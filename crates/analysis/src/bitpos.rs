@@ -1,0 +1,115 @@
+//! Corrupted-bit-position analysis.
+//!
+//! The paper observes that "the majority of the multiple bit corruptions
+//! occur in the least significant bits of the word". This module builds the
+//! per-bit-position histogram of corrupted bits (optionally restricted to
+//! multi-bit faults) and summarizes the low-half concentration.
+
+use crate::fault::Fault;
+
+/// Histogram over the 32 bit positions.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BitPositionHistogram {
+    pub counts: [u64; 32],
+}
+
+impl BitPositionHistogram {
+    /// Count corrupted bit positions across faults; `multibit_only`
+    /// restricts to faults corrupting >= 2 bits.
+    pub fn compute(faults: &[Fault], multibit_only: bool) -> BitPositionHistogram {
+        let mut h = BitPositionHistogram::default();
+        for f in faults {
+            if multibit_only && !f.is_multi_bit() {
+                continue;
+            }
+            let mut x = f.pattern();
+            while x != 0 {
+                let b = x.trailing_zeros();
+                h.counts[b as usize] += 1;
+                x &= x - 1;
+            }
+        }
+        h
+    }
+
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of corrupted bits in positions 0..16.
+    pub fn low_half_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let low: u64 = self.counts[..16].iter().sum();
+        low as f64 / total as f64
+    }
+
+    /// The most frequently corrupted bit position.
+    pub fn peak_position(&self) -> usize {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, c)| (**c, std::cmp::Reverse(*i)))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uc_cluster::NodeId;
+    use uc_simclock::SimTime;
+
+    fn fault(xor: u32) -> Fault {
+        Fault {
+            node: NodeId(0),
+            time: SimTime::from_secs(0),
+            vaddr: 0,
+            expected: 0xFFFF_FFFF,
+            actual: 0xFFFF_FFFF ^ xor,
+            temp: None,
+            raw_logs: 1,
+        }
+    }
+
+    #[test]
+    fn counts_each_set_bit() {
+        let faults = vec![fault(0b101), fault(0b100)];
+        let h = BitPositionHistogram::compute(&faults, false);
+        assert_eq!(h.counts[0], 1);
+        assert_eq!(h.counts[2], 2);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.peak_position(), 2);
+    }
+
+    #[test]
+    fn multibit_filter() {
+        let faults = vec![fault(1), fault(0b11 << 8)];
+        let all = BitPositionHistogram::compute(&faults, false);
+        let multi = BitPositionHistogram::compute(&faults, true);
+        assert_eq!(all.total(), 3);
+        assert_eq!(multi.total(), 2);
+        assert_eq!(multi.counts[0], 0);
+        assert_eq!(multi.counts[8], 1);
+        assert_eq!(multi.counts[9], 1);
+    }
+
+    #[test]
+    fn low_half_fraction_detects_concentration() {
+        let low: Vec<Fault> = (0..9).map(|b| fault(0b11 << b)).collect();
+        let mut mixed = low.clone();
+        mixed.push(fault(0b11 << 28));
+        let h = BitPositionHistogram::compute(&mixed, true);
+        assert!(h.low_half_fraction() > 0.8, "{}", h.low_half_fraction());
+    }
+
+    #[test]
+    fn empty_input() {
+        let h = BitPositionHistogram::compute(&[], true);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.low_half_fraction(), 0.0);
+    }
+}

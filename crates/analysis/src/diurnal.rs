@@ -1,0 +1,199 @@
+//! Diurnal analysis: errors per wall-clock hour of day (Figs. 5 and 6).
+
+use crate::fault::{BitClass, Fault};
+
+/// Per-hour, per-bit-class counts. `counts[hour][class]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Default)]
+pub struct HourlyProfile {
+    pub counts: [[u64; 6]; 24],
+}
+
+
+impl HourlyProfile {
+    pub fn compute(faults: &[Fault]) -> HourlyProfile {
+        let mut p = HourlyProfile::default();
+        for f in faults {
+            let hour = f.time.datetime().wall_hour() as usize;
+            let class = f.bit_class() as usize;
+            p.counts[hour][class] += 1;
+        }
+        p
+    }
+
+    /// Total faults in an hour across all classes.
+    pub fn hour_total(&self, hour: usize) -> u64 {
+        self.counts[hour].iter().sum()
+    }
+
+    /// Total multi-bit (>= 2 bits) faults in an hour.
+    pub fn hour_multibit(&self, hour: usize) -> u64 {
+        self.counts[hour][1..].iter().sum()
+    }
+
+    /// Counts for one class across the 24 hours.
+    pub fn class_series(&self, class: BitClass) -> [u64; 24] {
+        let mut out = [0u64; 24];
+        for (h, o) in out.iter_mut().enumerate() {
+            *o = self.counts[h][class as usize];
+        }
+        out
+    }
+
+    /// Day (07:00-17:59) vs night totals for multi-bit faults — the
+    /// quantity the paper reports as "double".
+    pub fn multibit_day_night(&self) -> (u64, u64) {
+        let mut day = 0;
+        let mut night = 0;
+        for h in 0..24 {
+            if (7..18).contains(&h) {
+                day += self.hour_multibit(h);
+            } else {
+                night += self.hour_multibit(h);
+            }
+        }
+        (day, night)
+    }
+
+    /// The hour with the most multi-bit faults (the paper: noon).
+    pub fn multibit_peak_hour(&self) -> usize {
+        (0..24)
+            .max_by_key(|&h| (self.hour_multibit(h), std::cmp::Reverse(h)))
+            .unwrap_or(0)
+    }
+
+    /// Ratio between the busiest and quietest hour for single-bit faults —
+    /// near 1 means the flat profile of Fig. 5.
+    pub fn single_bit_flatness(&self) -> f64 {
+        let series = self.class_series(BitClass::One);
+        let max = *series.iter().max().unwrap_or(&0);
+        let min = *series.iter().min().unwrap_or(&0);
+        if min == 0 {
+            f64::INFINITY
+        } else {
+            max as f64 / min as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uc_cluster::NodeId;
+    use uc_simclock::calendar::CivilDate;
+    use uc_simclock::{SimDuration, SimTime};
+
+    /// A fault whose *wall clock* hour is `hour` on a winter day (no DST).
+    fn fault_at_hour(hour: i64, xor: u32) -> Fault {
+        let t = CivilDate::new(2015, 2, 10).midnight() + SimDuration::from_hours(hour);
+        Fault {
+            node: NodeId(0),
+            time: t,
+            vaddr: 0,
+            expected: 0xFFFF_FFFF,
+            actual: 0xFFFF_FFFF ^ xor,
+            temp: None,
+            raw_logs: 1,
+        }
+    }
+
+    #[test]
+    fn counts_land_in_wall_hours() {
+        let faults = vec![
+            fault_at_hour(0, 1),
+            fault_at_hour(12, 1),
+            fault_at_hour(12, 0b11),
+            fault_at_hour(23, 0b111),
+        ];
+        let p = HourlyProfile::compute(&faults);
+        assert_eq!(p.hour_total(0), 1);
+        assert_eq!(p.hour_total(12), 2);
+        assert_eq!(p.hour_multibit(12), 1);
+        assert_eq!(p.counts[23][BitClass::Three as usize], 1);
+        let total: u64 = (0..24).map(|h| p.hour_total(h)).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn dst_shifts_the_wall_hour() {
+        // 12:00 standard time in July reads 13:00 on the wall clock.
+        let t = CivilDate::new(2015, 7, 10).midnight() + SimDuration::from_hours(12);
+        let f = Fault {
+            node: NodeId(0),
+            time: t,
+            vaddr: 0,
+            expected: 0,
+            actual: 1,
+            temp: None,
+            raw_logs: 1,
+        };
+        let p = HourlyProfile::compute(&[f]);
+        assert_eq!(p.hour_total(13), 1);
+        assert_eq!(p.hour_total(12), 0);
+    }
+
+    #[test]
+    fn day_night_split() {
+        let faults = vec![
+            fault_at_hour(12, 0b11),
+            fault_at_hour(13, 0b11),
+            fault_at_hour(2, 0b11),
+        ];
+        let p = HourlyProfile::compute(&faults);
+        assert_eq!(p.multibit_day_night(), (2, 1));
+    }
+
+    #[test]
+    fn peak_hour_detection() {
+        let mut faults = vec![fault_at_hour(3, 0b11)];
+        for _ in 0..5 {
+            faults.push(fault_at_hour(12, 0b11));
+        }
+        let p = HourlyProfile::compute(&faults);
+        assert_eq!(p.multibit_peak_hour(), 12);
+    }
+
+    #[test]
+    fn flatness_of_uniform_profile() {
+        let mut faults = Vec::new();
+        for h in 0..24 {
+            for _ in 0..10 {
+                faults.push(fault_at_hour(h, 1));
+            }
+        }
+        let p = HourlyProfile::compute(&faults);
+        assert_eq!(p.single_bit_flatness(), 1.0);
+    }
+
+    #[test]
+    fn class_series_sums_match() {
+        let faults = vec![
+            fault_at_hour(1, 1),
+            fault_at_hour(1, 0b11),
+            fault_at_hour(2, 0b11111),
+            fault_at_hour(2, 0x3F),
+        ];
+        let p = HourlyProfile::compute(&faults);
+        let per_class_total: u64 = BitClass::ALL
+            .iter()
+            .map(|&c| p.class_series(c).iter().sum::<u64>())
+            .sum();
+        assert_eq!(per_class_total, 4);
+        assert_eq!(p.class_series(BitClass::Five)[2], 1);
+        assert_eq!(p.class_series(BitClass::SixPlus)[2], 1);
+    }
+
+    #[test]
+    fn sim_time_midnight_epoch_is_hour_zero() {
+        let p = HourlyProfile::compute(&[Fault {
+            node: NodeId(0),
+            time: SimTime::from_secs(0),
+            vaddr: 0,
+            expected: 0,
+            actual: 1,
+            temp: None,
+            raw_logs: 1,
+        }]);
+        assert_eq!(p.hour_total(0), 1);
+    }
+}

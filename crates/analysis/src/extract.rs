@@ -1,0 +1,300 @@
+//! The error-extraction methodology (paper Section II-C).
+//!
+//! "In many cases, a fault in a memory cell manifests as many consecutive
+//! error logs over time, but they are all related to the same original root
+//! cause... Even if such a fault produced many incorrect values for
+//! thousands of consecutive iterations, we count this as one single memory
+//! error."
+//!
+//! The rule implemented here: within one node, error logs that repeat the
+//! *same corruption* (same address, same flipped bits) with gaps no larger
+//! than `merge_window` are one fault. A compressed [`LogEntry::ErrorRun`]
+//! is by construction a maximal consecutive repetition, so it collapses to
+//! one fault directly — which is what makes extraction O(entries) even for
+//! the 24M-log flood node. Re-occurrences after a longer gap (the weak-bit
+//! intermittents, separated by many clean passes) count as new independent
+//! faults, matching the paper's thousands of identical-but-independent
+//! weak-bit errors.
+
+use std::collections::HashMap;
+
+use uc_faultlog::record::ErrorRecord;
+use uc_faultlog::store::{LogEntry, NodeLog};
+use uc_simclock::{SimDuration, SimTime};
+
+use crate::fault::Fault;
+
+/// Extraction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ExtractConfig {
+    /// Maximum gap between identical error logs that still counts as the
+    /// same fault: two scan passes (~20 s each at 3 GB) plus margin. The
+    /// paper merges *consecutive iterations* only — a wider window would
+    /// swallow genuinely independent re-occurrences of a weak bit.
+    pub merge_window: SimDuration,
+}
+
+impl Default for ExtractConfig {
+    fn default() -> Self {
+        ExtractConfig {
+            merge_window: SimDuration::from_secs(45),
+        }
+    }
+}
+
+/// Per-cell accumulation state.
+struct OpenFault {
+    fault: Fault,
+    last_seen: SimTime,
+}
+
+/// Extract independent faults from one node's log. Faults are returned in
+/// order of first detection.
+pub fn extract_node_faults(log: &NodeLog, cfg: &ExtractConfig) -> Vec<Fault> {
+    let mut open: HashMap<(u64, u32), OpenFault> = HashMap::new();
+    let mut done: Vec<Fault> = Vec::new();
+
+    let absorb = |open: &mut HashMap<(u64, u32), OpenFault>,
+                      done: &mut Vec<Fault>,
+                      rec: &ErrorRecord,
+                      count: u64,
+                      last_time: SimTime| {
+        let key = (rec.vaddr, rec.expected ^ rec.actual);
+        match open.get_mut(&key) {
+            Some(of) if rec.time - of.last_seen <= cfg.merge_window => {
+                of.fault.raw_logs += count;
+                of.last_seen = last_time;
+            }
+            existing => {
+                if existing.is_some() {
+                    let of = open.remove(&key).expect("present");
+                    done.push(of.fault);
+                }
+                open.insert(
+                    key,
+                    OpenFault {
+                        fault: Fault {
+                            node: rec.node,
+                            time: rec.time,
+                            vaddr: rec.vaddr,
+                            expected: rec.expected,
+                            actual: rec.actual,
+                            temp: rec.temp.map(|t| t.0),
+                            raw_logs: count,
+                        },
+                        last_seen: last_time,
+                    },
+                );
+            }
+        }
+    };
+
+    for entry in log.entries() {
+        match entry {
+            LogEntry::One(rec) => {
+                if let Some(err) = rec.as_error() {
+                    absorb(&mut open, &mut done, err, 1, err.time);
+                }
+            }
+            LogEntry::ErrorRun {
+                first,
+                count,
+                period: _,
+            } => {
+                // A run is maximal consecutive repetition: one fault.
+                absorb(&mut open, &mut done, first, *count, entry.last_time());
+            }
+        }
+    }
+    done.extend(open.into_values().map(|of| of.fault));
+    // Fully discriminating key: the open-fault map iterates in hash order,
+    // so ties on (time, vaddr) must still sort deterministically.
+    done.sort_by_key(|f| (f.time, f.vaddr, f.expected, f.actual, f.raw_logs));
+    done
+}
+
+/// Extract faults for a whole cluster log, node by node, concatenated in
+/// node order (callers re-sort by time when needed).
+pub fn extract_cluster_faults(
+    cluster: &uc_faultlog::store::ClusterLog,
+    cfg: &ExtractConfig,
+) -> Vec<Fault> {
+    let mut out = Vec::new();
+    for log in cluster.node_logs() {
+        out.extend(extract_node_faults(log, cfg));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uc_cluster::NodeId;
+    use uc_faultlog::record::{ErrorRecord, LogRecord, TempC};
+
+    fn err(t: i64, vaddr: u64, expected: u32, actual: u32) -> ErrorRecord {
+        ErrorRecord {
+            time: SimTime::from_secs(t),
+            node: NodeId(1),
+            vaddr,
+            phys_page: vaddr >> 12,
+            expected,
+            actual,
+            temp: Some(TempC(33.0)),
+        }
+    }
+
+    fn log_of(records: Vec<ErrorRecord>) -> NodeLog {
+        let mut log = NodeLog::new(NodeId(1));
+        for r in records {
+            log.push(LogRecord::Error(r));
+        }
+        log
+    }
+
+    #[test]
+    fn consecutive_identical_logs_collapse() {
+        // Same cell erroring every 40 s for 5 logs: one fault.
+        let recs = (0..5)
+            .map(|k| err(1_000 + k * 40, 0x100, 0xFFFF_FFFF, 0xFFFF_FFFE))
+            .collect();
+        let faults = extract_node_faults(&log_of(recs), &ExtractConfig::default());
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].raw_logs, 5);
+        assert_eq!(faults[0].time.as_secs(), 1_000);
+    }
+
+    #[test]
+    fn gap_beyond_window_splits_faults() {
+        // Weak-bit style: same cell, same bits, but 30 minutes apart.
+        let recs = vec![
+            err(0, 0x100, 0xFFFF_FFFF, 0xFFFF_FFFE),
+            err(1_800, 0x100, 0xFFFF_FFFF, 0xFFFF_FFFE),
+            err(3_600, 0x100, 0xFFFF_FFFF, 0xFFFF_FFFE),
+        ];
+        let faults = extract_node_faults(&log_of(recs), &ExtractConfig::default());
+        assert_eq!(faults.len(), 3, "intermittent occurrences are independent");
+    }
+
+    #[test]
+    fn different_addresses_are_different_faults() {
+        let recs = vec![
+            err(0, 0x100, 0xFFFF_FFFF, 0xFFFF_FFFE),
+            err(10, 0x200, 0xFFFF_FFFF, 0xFFFF_FFFE),
+        ];
+        let faults = extract_node_faults(&log_of(recs), &ExtractConfig::default());
+        assert_eq!(faults.len(), 2);
+    }
+
+    #[test]
+    fn different_patterns_at_same_address_are_different_faults() {
+        let recs = vec![
+            err(0, 0x100, 0xFFFF_FFFF, 0xFFFF_FFFE),
+            err(10, 0x100, 0xFFFF_FFFF, 0xFFFF_FFFD),
+        ];
+        let faults = extract_node_faults(&log_of(recs), &ExtractConfig::default());
+        assert_eq!(faults.len(), 2);
+    }
+
+    #[test]
+    fn alternating_pattern_same_xor_merges() {
+        // The same stuck-low bit seen against both scan phases produces
+        // different (expected, actual) pairs but... different XOR? No: the
+        // stuck-low bit only mismatches on the all-ones phase, so the pair
+        // is identical each time. Here we check that identical XOR at the
+        // same address merges even when raw logs interleave other cells.
+        let recs = vec![
+            err(0, 0x100, 0xFFFF_FFFF, 0xFFFF_FFFE),
+            err(5, 0x900, 0x0000_0000, 0x0000_0400),
+            err(40, 0x100, 0xFFFF_FFFF, 0xFFFF_FFFE),
+        ];
+        let faults = extract_node_faults(&log_of(recs), &ExtractConfig::default());
+        assert_eq!(faults.len(), 2);
+        let f100 = faults.iter().find(|f| f.vaddr == 0x100).unwrap();
+        assert_eq!(f100.raw_logs, 2);
+    }
+
+    #[test]
+    fn error_runs_collapse_to_one_fault() {
+        let mut log = NodeLog::new(NodeId(1));
+        log.push_run(
+            err(100, 0x300, 0xFFFF_FFFF, 0xFFFF_F7FF),
+            1_000_000,
+            SimDuration::from_secs(40),
+        );
+        let faults = extract_node_faults(&log, &ExtractConfig::default());
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].raw_logs, 1_000_000);
+    }
+
+    #[test]
+    fn run_followed_by_adjacent_logs_merges() {
+        let mut log = NodeLog::new(NodeId(1));
+        log.push_run(
+            err(100, 0x300, 0xFFFF_FFFF, 0xFFFF_F7FF),
+            10,
+            SimDuration::from_secs(40),
+        );
+        // Last run record at t = 100 + 9*40 = 460; this log at 480 merges.
+        log.push(LogRecord::Error(err(480, 0x300, 0xFFFF_FFFF, 0xFFFF_F7FF)));
+        let faults = extract_node_faults(&log, &ExtractConfig::default());
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].raw_logs, 11);
+    }
+
+    #[test]
+    fn count_conservation() {
+        // Total raw_logs across faults == raw error logs in the store.
+        let mut log = NodeLog::new(NodeId(1));
+        log.push(LogRecord::Error(err(0, 0x1, 0xFFFF_FFFF, 0xFFFF_FFFE)));
+        log.push_run(
+            err(50, 0x2, 0x0, 0x10),
+            500,
+            SimDuration::from_secs(40),
+        );
+        log.push(LogRecord::Error(err(60, 0x3, 0x0, 0x1)));
+        let faults = extract_node_faults(&log, &ExtractConfig::default());
+        let total: u64 = faults.iter().map(|f| f.raw_logs).sum();
+        assert_eq!(total, log.raw_error_count());
+    }
+
+    #[test]
+    fn faults_sorted_by_first_detection() {
+        let recs = vec![
+            err(100, 0x300, 0x0, 0x1),
+            err(150, 0x100, 0x0, 0x2),
+            err(200, 0x200, 0x0, 0x4),
+        ];
+        let faults = extract_node_faults(&log_of(recs), &ExtractConfig::default());
+        let times: Vec<i64> = faults.iter().map(|f| f.time.as_secs()).collect();
+        assert_eq!(times, vec![100, 150, 200]);
+    }
+
+    #[test]
+    fn non_error_records_ignored() {
+        use uc_faultlog::record::{EndRecord, StartRecord};
+        let mut log = NodeLog::new(NodeId(1));
+        log.push(LogRecord::Start(StartRecord {
+            time: SimTime::from_secs(0),
+            node: NodeId(1),
+            alloc_bytes: 3 << 30,
+            temp: None,
+        }));
+        log.push(LogRecord::Error(err(10, 0x1, 0x0, 0x1)));
+        log.push(LogRecord::End(EndRecord {
+            time: SimTime::from_secs(100),
+            node: NodeId(1),
+            temp: None,
+        }));
+        let faults = extract_node_faults(&log, &ExtractConfig::default());
+        assert_eq!(faults.len(), 1);
+    }
+
+    #[test]
+    fn temperature_of_first_log_kept() {
+        let mut recs = vec![err(0, 0x1, 0x0, 0x1)];
+        recs[0].temp = Some(TempC(41.5));
+        let faults = extract_node_faults(&log_of(recs), &ExtractConfig::default());
+        assert_eq!(faults[0].temp, Some(41.5));
+    }
+}

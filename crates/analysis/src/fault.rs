@@ -1,0 +1,133 @@
+//! The independent-fault record.
+
+use uc_cluster::NodeId;
+use uc_dram::WordDiff;
+use uc_simclock::SimTime;
+
+/// Coarse bit-multiplicity classes used throughout the figures; "6+" groups
+/// the rare tail as the paper does in Figs. 5, 7, 10.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, PartialOrd, Ord)]
+pub enum BitClass {
+    One,
+    Two,
+    Three,
+    Four,
+    Five,
+    SixPlus,
+}
+
+impl BitClass {
+    pub fn of(bits: u32) -> BitClass {
+        match bits {
+            0 | 1 => BitClass::One,
+            2 => BitClass::Two,
+            3 => BitClass::Three,
+            4 => BitClass::Four,
+            5 => BitClass::Five,
+            _ => BitClass::SixPlus,
+        }
+    }
+
+    pub const ALL: [BitClass; 6] = [
+        BitClass::One,
+        BitClass::Two,
+        BitClass::Three,
+        BitClass::Four,
+        BitClass::Five,
+        BitClass::SixPlus,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            BitClass::One => "1",
+            BitClass::Two => "2",
+            BitClass::Three => "3",
+            BitClass::Four => "4",
+            BitClass::Five => "5",
+            BitClass::SixPlus => "6+",
+        }
+    }
+}
+
+/// One independent memory fault, as produced by the extraction methodology
+/// (Section II-C): consecutive re-detections of the same corruption have
+/// been collapsed, with the raw multiplicity retained in `raw_logs`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Fault {
+    pub node: NodeId,
+    /// Time of the first error log of this fault.
+    pub time: SimTime,
+    /// Virtual address of the corrupted word.
+    pub vaddr: u64,
+    pub expected: u32,
+    pub actual: u32,
+    /// Temperature at first detection, if telemetry was active.
+    pub temp: Option<f32>,
+    /// Number of raw ERROR logs collapsed into this fault.
+    pub raw_logs: u64,
+}
+
+impl Fault {
+    pub fn diff(&self) -> WordDiff {
+        WordDiff::new(self.expected, self.actual)
+    }
+
+    pub fn bits_corrupted(&self) -> u32 {
+        self.diff().bits_corrupted()
+    }
+
+    pub fn bit_class(&self) -> BitClass {
+        BitClass::of(self.bits_corrupted())
+    }
+
+    /// Multi-bit in the standard per-word sense.
+    pub fn is_multi_bit(&self) -> bool {
+        self.bits_corrupted() >= 2
+    }
+
+    /// The corruption pattern key (the paper counts "almost 30 different
+    /// corruption patterns" on node 02-04 by distinct flipped-bit masks).
+    pub fn pattern(&self) -> u32 {
+        self.expected ^ self.actual
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_class_mapping() {
+        assert_eq!(BitClass::of(1), BitClass::One);
+        assert_eq!(BitClass::of(2), BitClass::Two);
+        assert_eq!(BitClass::of(5), BitClass::Five);
+        assert_eq!(BitClass::of(6), BitClass::SixPlus);
+        assert_eq!(BitClass::of(9), BitClass::SixPlus);
+        assert_eq!(BitClass::of(32), BitClass::SixPlus);
+    }
+
+    #[test]
+    fn labels_and_order() {
+        assert_eq!(BitClass::ALL.len(), 6);
+        assert_eq!(BitClass::One.label(), "1");
+        assert_eq!(BitClass::SixPlus.label(), "6+");
+        assert!(BitClass::One < BitClass::SixPlus);
+    }
+
+    #[test]
+    fn fault_accessors() {
+        let f = Fault {
+            node: NodeId(3),
+            time: SimTime::from_secs(100),
+            vaddr: 0x1000,
+            expected: 0xFFFF_FFFF,
+            actual: 0xFFFF_7BFF,
+            temp: Some(34.0),
+            raw_logs: 1,
+        };
+        assert_eq!(f.bits_corrupted(), 2);
+        assert_eq!(f.bit_class(), BitClass::Two);
+        assert!(f.is_multi_bit());
+        assert_eq!(f.pattern(), 0x0000_8400);
+    }
+}

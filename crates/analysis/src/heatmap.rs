@@ -1,0 +1,201 @@
+//! Blade x SoC node grids — the data behind Figs. 1, 2 and 3 — with ASCII
+//! rendering for the `reproduce` binary.
+
+use uc_cluster::{NodeId, MONITORED_BLADES, SOCS_PER_BLADE};
+
+/// A per-node value grid over the monitored blades.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeGrid {
+    pub blades: u32,
+    /// `values[blade][soc]`.
+    pub values: Vec<Vec<f64>>,
+}
+
+impl NodeGrid {
+    pub fn new(blades: u32) -> NodeGrid {
+        NodeGrid {
+            blades,
+            values: vec![vec![0.0; SOCS_PER_BLADE as usize]; blades as usize],
+        }
+    }
+
+    /// The paper's 63-blade grid.
+    pub fn paper_size() -> NodeGrid {
+        NodeGrid::new(MONITORED_BLADES)
+    }
+
+    pub fn set(&mut self, node: NodeId, value: f64) {
+        let b = node.blade().0 as usize;
+        if b < self.values.len() {
+            self.values[b][node.soc() as usize] = value;
+        }
+    }
+
+    pub fn add(&mut self, node: NodeId, value: f64) {
+        let b = node.blade().0 as usize;
+        if b < self.values.len() {
+            self.values[b][node.soc() as usize] += value;
+        }
+    }
+
+    pub fn get(&self, node: NodeId) -> f64 {
+        let b = node.blade().0 as usize;
+        if b < self.values.len() {
+            self.values[b][node.soc() as usize]
+        } else {
+            0.0
+        }
+    }
+
+    pub fn max(&self) -> f64 {
+        self.values
+            .iter()
+            .flatten()
+            .copied()
+            .fold(0.0f64, f64::max)
+    }
+
+    pub fn total(&self) -> f64 {
+        self.values.iter().flatten().sum()
+    }
+
+    /// Number of cells with a non-zero value.
+    pub fn nonzero_cells(&self) -> usize {
+        self.values.iter().flatten().filter(|&&v| v != 0.0).count()
+    }
+
+    /// Mean over all cells.
+    pub fn mean(&self) -> f64 {
+        let n = (self.blades * SOCS_PER_BLADE) as f64;
+        if n == 0.0 {
+            0.0
+        } else {
+            self.total() / n
+        }
+    }
+
+    /// Per-SoC-position column means — shows the SoC-12 shutdown band.
+    pub fn soc_position_means(&self) -> Vec<f64> {
+        let mut out = vec![0.0; SOCS_PER_BLADE as usize];
+        for row in &self.values {
+            for (s, v) in row.iter().enumerate() {
+                out[s] += v;
+            }
+        }
+        for v in &mut out {
+            *v /= self.blades.max(1) as f64;
+        }
+        out
+    }
+
+    /// ASCII heat map: one row per blade, one character per SoC, with a
+    /// 10-level intensity ramp. `log_scale` reproduces Fig. 3's
+    /// logarithmic color scale.
+    pub fn render_ascii(&self, log_scale: bool) -> String {
+        const RAMP: [char; 11] = ['.', '1', '2', '3', '4', '5', '6', '7', '8', '9', '#'];
+        let transform = |v: f64| if log_scale { (v + 1.0).ln() } else { v };
+        let max = self
+            .values
+            .iter()
+            .flatten()
+            .map(|&v| transform(v))
+            .fold(0.0f64, f64::max);
+        let mut out = String::new();
+        out.push_str("      soc 123456789012345\n");
+        for (b, row) in self.values.iter().enumerate() {
+            out.push_str(&format!("blade {:02}  ", b + 1));
+            for &v in row {
+                let c = if v == 0.0 {
+                    RAMP[0]
+                } else if max <= 0.0 {
+                    RAMP[10]
+                } else {
+                    let level = (transform(v) / max * 10.0).ceil().clamp(1.0, 10.0) as usize;
+                    RAMP[level]
+                };
+                out.push(c);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uc_cluster::BladeId;
+
+    fn node(blade: u32, soc: u32) -> NodeId {
+        NodeId::new(BladeId(blade), soc)
+    }
+
+    #[test]
+    fn set_get_add() {
+        let mut g = NodeGrid::paper_size();
+        g.set(node(2, 3), 5.0);
+        g.add(node(2, 3), 1.5);
+        assert_eq!(g.get(node(2, 3)), 6.5);
+        assert_eq!(g.get(node(2, 4)), 0.0);
+        assert_eq!(g.total(), 6.5);
+        assert_eq!(g.nonzero_cells(), 1);
+    }
+
+    #[test]
+    fn out_of_range_blades_ignored() {
+        let mut g = NodeGrid::new(4);
+        g.set(node(60, 0), 9.0);
+        assert_eq!(g.total(), 0.0);
+        assert_eq!(g.get(node(60, 0)), 0.0);
+    }
+
+    #[test]
+    fn soc_position_means_detect_column_band() {
+        let mut g = NodeGrid::new(10);
+        for b in 0..10 {
+            for s in 0..SOCS_PER_BLADE {
+                g.set(node(b, s), if s == 11 { 1.0 } else { 5.0 });
+            }
+        }
+        let means = g.soc_position_means();
+        assert_eq!(means[11], 1.0);
+        assert_eq!(means[0], 5.0);
+    }
+
+    #[test]
+    fn ascii_rendering_shape() {
+        let mut g = NodeGrid::new(3);
+        g.set(node(0, 0), 10.0);
+        g.set(node(1, 7), 5.0);
+        let s = g.render_ascii(false);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4, "header + 3 blades");
+        assert!(lines[1].ends_with("#.............."));
+        assert!(lines[2].contains('5'));
+        // Zero cells render as dots.
+        assert_eq!(lines[3].matches('.').count(), 15);
+    }
+
+    #[test]
+    fn log_scale_compresses_range() {
+        let mut g = NodeGrid::new(2);
+        g.set(node(0, 0), 50_000.0);
+        g.set(node(1, 0), 100.0);
+        let linear = g.render_ascii(false);
+        let log = g.render_ascii(true);
+        // On the linear scale 100-of-50000 rounds into the lowest non-zero
+        // band; on the log scale it climbs several levels.
+        let level_of = |s: &str, line: usize| {
+            s.lines().nth(line + 1).unwrap().chars().nth(10).unwrap()
+        };
+        assert_eq!(level_of(&linear, 1), '1');
+        assert!(level_of(&log, 1) > '1');
+    }
+
+    #[test]
+    fn mean_over_cells() {
+        let mut g = NodeGrid::new(2);
+        g.set(node(0, 0), 30.0);
+        assert!((g.mean() - 1.0).abs() < 1e-12);
+    }
+}

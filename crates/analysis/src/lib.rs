@@ -1,0 +1,52 @@
+//! # uc-analysis — the paper's analysis suite
+//!
+//! Everything in Section III of the paper, implemented over the log model
+//! of `uc-faultlog`:
+//!
+//! - [`extract`]: the error-accounting methodology of Section II-C —
+//!   collapse consecutive re-detections of the same cell into one
+//!   independent fault, keeping the raw-log multiplicity for accounting;
+//! - [`fault`]: the independent-fault record all analyses consume;
+//! - [`simultaneity`]: grouping faults that share a timestamp on a node
+//!   (Section III-C's per-node multi-bit accounting, Fig. 4);
+//! - [`multibit`]: Table I — per-word multi-bit patterns, adjacency,
+//!   distances, flip directions, and the SECDED/chipkill counterfactual;
+//! - [`diurnal`]: Figs. 5-6 — error counts by wall-clock hour;
+//! - [`temperature`]: Figs. 7-8 — error counts by node temperature;
+//! - [`daily`]: Figs. 9-11 — per-day scanned terabyte-hours (reconstructed
+//!   from START/END pairs, with the paper's conservative zero-credit rule
+//!   for hard-rebooted sessions) and per-day error counts;
+//! - [`spatial`]: Figs. 3 and 12 — per-node fault counts and the top-k
+//!   nodes' time series;
+//! - [`regime`]: Fig. 13 and the MTBF split — normal vs degraded days;
+//! - [`heatmap`]: the blade x SoC grids of Figs. 1-3 with ASCII rendering;
+//! - [`temporal`]: burstiness statistics and the spatio-temporal failure
+//!   predictor of Section III-I;
+//! - [`bitpos`]: corrupted-bit-position histograms ("majority of multi-bit
+//!   corruptions in the least significant bits");
+//! - [`physical`]: mapping simultaneous corruption back to (rank, bank,
+//!   row, column) coordinates to test the paper's physical-proximity
+//!   suspicion;
+//! - [`stats`]: means, histograms, MTBF, and Pearson correlation with a
+//!   two-sided p-value (ln-gamma + regularized incomplete beta + Student-t
+//!   CDF, implemented from scratch).
+
+pub mod bitpos;
+pub mod daily;
+pub mod diurnal;
+pub mod extract;
+pub mod fault;
+pub mod heatmap;
+pub mod multibit;
+pub mod physical;
+pub mod regime;
+pub mod simultaneity;
+pub mod spatial;
+pub mod stats;
+pub mod temperature;
+pub mod temporal;
+
+pub use extract::{extract_node_faults, ExtractConfig};
+pub use fault::{BitClass, Fault};
+pub use heatmap::NodeGrid;
+pub use stats::{mtbf_hours, pearson, PearsonResult};

@@ -1,0 +1,280 @@
+//! Per-word multi-bit analysis: Table I and the flip-direction /
+//! bit-distance statistics of Section III-C, plus the SECDED/chipkill
+//! counterfactual of Section III-D.
+
+use std::collections::HashMap;
+
+use uc_dram::ecc::EccOutcome;
+
+use crate::fault::Fault;
+
+/// One row of the reproduced Table I.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TableIRow {
+    pub bits_corrupted: u32,
+    pub expected: u32,
+    pub corrupted: u32,
+    pub occurrences: u64,
+    pub consecutive: bool,
+}
+
+/// Build the multi-bit corruption table: one row per distinct
+/// (expected, corrupted) pair among multi-bit faults, sorted like the paper
+/// (by bit count, then by occurrences).
+pub fn table_i(faults: &[Fault]) -> Vec<TableIRow> {
+    let mut rows: HashMap<(u32, u32), u64> = HashMap::new();
+    for f in faults.iter().filter(|f| f.is_multi_bit()) {
+        *rows.entry((f.expected, f.actual)).or_insert(0) += 1;
+    }
+    let mut out: Vec<TableIRow> = rows
+        .into_iter()
+        .map(|((expected, corrupted), occurrences)| {
+            let diff = uc_dram::WordDiff::new(expected, corrupted);
+            TableIRow {
+                bits_corrupted: diff.bits_corrupted(),
+                expected,
+                corrupted,
+                occurrences,
+                consecutive: diff.is_consecutive(),
+            }
+        })
+        .collect();
+    out.sort_by_key(|r| (r.bits_corrupted, r.occurrences, r.expected, r.corrupted));
+    out
+}
+
+/// Aggregate multi-bit statistics (the Section III-C prose numbers).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MultiBitStats {
+    pub multi_bit_faults: u64,
+    pub double_bit_faults: u64,
+    /// Faults with more than 2 corrupted bits — SECDED-escape candidates.
+    pub over_two_bit_faults: u64,
+    /// Faults whose corrupted bits are *not* one consecutive run.
+    pub non_adjacent_faults: u64,
+    /// Mean gap between successive corrupted bits, over multi-bit faults.
+    pub mean_bit_distance: f64,
+    /// Largest gap observed between successive corrupted bits.
+    pub max_bit_distance: u32,
+}
+
+pub fn multibit_stats(faults: &[Fault]) -> MultiBitStats {
+    let mut s = MultiBitStats::default();
+    let mut gap_sum = 0.0;
+    let mut gap_n = 0u64;
+    for f in faults.iter().filter(|f| f.is_multi_bit()) {
+        s.multi_bit_faults += 1;
+        let bits = f.bits_corrupted();
+        if bits == 2 {
+            s.double_bit_faults += 1;
+        } else {
+            s.over_two_bit_faults += 1;
+        }
+        let d = f.diff();
+        if !d.is_consecutive() {
+            s.non_adjacent_faults += 1;
+        }
+        for g in d.gap_distances() {
+            gap_sum += f64::from(g);
+            gap_n += 1;
+            s.max_bit_distance = s.max_bit_distance.max(g);
+        }
+    }
+    s.mean_bit_distance = if gap_n > 0 {
+        gap_sum / gap_n as f64
+    } else {
+        0.0
+    };
+    s
+}
+
+/// Flip-direction totals over all faults (the "90% switched from 1 to 0"
+/// statistic counts corrupted *bits*, not faults).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlipDirections {
+    pub one_to_zero: u64,
+    pub zero_to_one: u64,
+}
+
+impl FlipDirections {
+    pub fn one_to_zero_fraction(&self) -> f64 {
+        let total = self.one_to_zero + self.zero_to_one;
+        if total == 0 {
+            0.0
+        } else {
+            self.one_to_zero as f64 / total as f64
+        }
+    }
+}
+
+pub fn flip_directions(faults: &[Fault]) -> FlipDirections {
+    let mut out = FlipDirections::default();
+    for f in faults {
+        let (down, up) = f.diff().flip_directions();
+        out.one_to_zero += u64::from(down);
+        out.zero_to_one += u64::from(up);
+    }
+    out
+}
+
+/// ECC counterfactual: what a protected system would have done with each
+/// fault (Section III-C/D's correctable / detectable / silent taxonomy).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EccCounterfactual {
+    pub corrected: u64,
+    pub detected: u64,
+    pub silent: u64,
+}
+
+pub fn secded_counterfactual(faults: &[Fault]) -> EccCounterfactual {
+    let mut out = EccCounterfactual::default();
+    for f in faults {
+        match f.diff().secded_outcome() {
+            EccOutcome::Clean | EccOutcome::Corrected => out.corrected += 1,
+            EccOutcome::Detected => out.detected += 1,
+            EccOutcome::Miscorrected | EccOutcome::Undetected => out.silent += 1,
+        }
+    }
+    out
+}
+
+pub fn chipkill_counterfactual(faults: &[Fault]) -> EccCounterfactual {
+    let mut out = EccCounterfactual::default();
+    for f in faults {
+        match f.diff().chipkill_outcome() {
+            EccOutcome::Clean | EccOutcome::Corrected => out.corrected += 1,
+            EccOutcome::Detected => out.detected += 1,
+            EccOutcome::Miscorrected | EccOutcome::Undetected => out.silent += 1,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uc_cluster::NodeId;
+    use uc_simclock::SimTime;
+
+    fn fault(expected: u32, actual: u32) -> Fault {
+        Fault {
+            node: NodeId(1),
+            time: SimTime::from_secs(0),
+            vaddr: 0,
+            expected,
+            actual,
+            temp: None,
+            raw_logs: 1,
+        }
+    }
+
+    /// The paper's Table I as faults (with occurrence multiplicity).
+    fn paper_table_faults() -> Vec<Fault> {
+        let rows: &[(u32, u32, u64)] = &[
+            (0x0000_16bb, 0x0000_16b8, 1),
+            (0xffff_ffff, 0xffff_eeff, 2),
+            (0x0000_03c1, 0x0000_03c2, 2),
+            (0xffff_ffff, 0xffff_7dff, 4),
+            (0xffff_ffff, 0xffff_f5ff, 4),
+            (0xffff_ffff, 0xffff_f3ff, 7),
+            (0xffff_ffff, 0xffff_f9ff, 10),
+            (0xffff_ffff, 0xffff_77ff, 10),
+            (0xffff_ffff, 0xffff_7bff, 36),
+            (0xffff_ffff, 0xffff_75ff, 1),
+            (0xffff_ffff, 0xffff_f1ff, 1),
+            (0x0000_0461, 0x0000_6e61, 1),
+            (0x0000_2957, 0x0000_2958, 1),
+            (0x0000_71b2, 0x0000_7100, 1),
+            (0x0000_02e4, 0x0000_0215, 1),
+            (0x0000_6ab4, 0x0000_6a5a, 1),
+            (0xffff_ffff, 0xffff_ff00, 1),
+            (0x0000_0058, 0xe600_6358, 1),
+        ];
+        let mut out = Vec::new();
+        for &(e, a, n) in rows {
+            for _ in 0..n {
+                out.push(fault(e, a));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn paper_table_reproduces_85_multibit() {
+        let faults = paper_table_faults();
+        let stats = multibit_stats(&faults);
+        assert_eq!(stats.multi_bit_faults, 85);
+        assert_eq!(stats.double_bit_faults, 76);
+        assert_eq!(stats.over_two_bit_faults, 9);
+        assert_eq!(stats.max_bit_distance, 11);
+        assert!(
+            stats.non_adjacent_faults > stats.multi_bit_faults / 2,
+            "majority non-adjacent"
+        );
+    }
+
+    #[test]
+    fn table_i_rows_regroup_to_18_patterns() {
+        let faults = paper_table_faults();
+        let rows = table_i(&faults);
+        assert_eq!(rows.len(), 18);
+        let total: u64 = rows.iter().map(|r| r.occurrences).sum();
+        assert_eq!(total, 85);
+        // The dominant row: 0xffffffff -> 0xffff7bff with 36 occurrences.
+        let top = rows.iter().max_by_key(|r| r.occurrences).unwrap();
+        assert_eq!(top.corrupted, 0xffff_7bff);
+        assert_eq!(top.occurrences, 36);
+        assert!(!top.consecutive);
+        // Sorted by bit count first.
+        assert!(rows.windows(2).all(|w| w[0].bits_corrupted <= w[1].bits_corrupted));
+    }
+
+    #[test]
+    fn single_bit_faults_excluded_from_table() {
+        let faults = vec![fault(0xFFFF_FFFF, 0xFFFF_FFFE), fault(0, 0b11)];
+        let rows = table_i(&faults);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].bits_corrupted, 2);
+    }
+
+    #[test]
+    fn flip_directions_ninety_ten() {
+        // 9 bits down, 1 bit up.
+        let faults = vec![
+            fault(0xFFFF_FFFF, 0xFFFF_FE00), // 8 bits 1->0... (0x1FF = 9 bits)
+            fault(0x0000_0000, 0x0000_0001), // 1 bit 0->1
+        ];
+        let d = flip_directions(&faults);
+        assert_eq!(d.one_to_zero, 9);
+        assert_eq!(d.zero_to_one, 1);
+        assert!((d.one_to_zero_fraction() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn secded_counterfactual_on_paper_table() {
+        let faults = paper_table_faults();
+        let c = secded_counterfactual(&faults);
+        // All 76 doubles are detected; none are corrected.
+        assert_eq!(c.corrected, 0);
+        assert!(c.detected >= 76);
+        assert_eq!(c.corrected + c.detected + c.silent, 85);
+    }
+
+    #[test]
+    fn chipkill_beats_secded_on_nibble_errors() {
+        // A 4-bit corruption within one nibble: chipkill corrects.
+        let f = vec![fault(0xFFFF_FFFF, 0xFFFF_0FFF)];
+        let ck = chipkill_counterfactual(&f);
+        assert_eq!(ck.corrected, 1);
+        let sd = secded_counterfactual(&f);
+        assert_eq!(sd.corrected, 0);
+    }
+
+    #[test]
+    fn empty_input_stats() {
+        let s = multibit_stats(&[]);
+        assert_eq!(s, MultiBitStats::default());
+        assert_eq!(flip_directions(&[]).one_to_zero_fraction(), 0.0);
+        assert!(table_i(&[]).is_empty());
+    }
+}

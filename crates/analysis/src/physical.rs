@@ -1,0 +1,223 @@
+//! Physical-alignment analysis of simultaneous corruption.
+//!
+//! "We suspect that the affected memory cells are in physical proximity or
+//! alignment (row, column, bank) however the memory controller maps them to
+//! different address words." (Section III-C). The scanner logs word
+//! addresses; mapping them back through the DRAM geometry lets us *test*
+//! that suspicion: within each simultaneity group, how often do corrupted
+//! words share a bank, share a column, and sit within a few rows of each
+//! other — versus what uniform placement would give?
+
+use uc_dram::{Geometry, WordAddr};
+
+use crate::fault::Fault;
+use crate::simultaneity::group_simultaneous;
+
+/// Alignment statistics over multi-word simultaneity groups.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AlignmentStats {
+    /// Multi-word groups examined.
+    pub groups: u64,
+    /// Word pairs within groups.
+    pub pairs: u64,
+    /// Pairs sharing (rank, bank).
+    pub same_bank_pairs: u64,
+    /// Pairs sharing (rank, bank, column).
+    pub same_column_pairs: u64,
+    /// Same-column pairs within `NEAR_ROWS` rows of each other.
+    pub near_row_pairs: u64,
+    /// Mean absolute row distance over same-column pairs.
+    pub mean_row_distance: f64,
+}
+
+/// "Physically近" threshold: rows within this distance count as adjacent
+/// neighbourhood (a strike track or a shared local defect).
+pub const NEAR_ROWS: u32 = 8;
+
+impl AlignmentStats {
+    /// Fraction of in-group pairs that share a column — the aligned
+    /// fraction the paper predicts to be far above chance (1/#columns).
+    pub fn same_column_fraction(&self) -> f64 {
+        if self.pairs == 0 {
+            0.0
+        } else {
+            self.same_column_pairs as f64 / self.pairs as f64
+        }
+    }
+
+    /// Chance level for the same-column fraction under uniform placement.
+    pub fn chance_same_column(geometry: Geometry) -> f64 {
+        1.0 / (1u64 << (geometry.rank_bits + geometry.bank_bits + geometry.col_bits)) as f64
+    }
+}
+
+/// Compute alignment statistics over the multi-word simultaneity groups of
+/// a fault stream, under the given device geometry.
+pub fn alignment_stats(faults: &[Fault], geometry: Geometry) -> AlignmentStats {
+    let mut s = AlignmentStats::default();
+    let mut row_dist_sum = 0.0f64;
+    for g in group_simultaneous(faults) {
+        if g.words() < 2 {
+            continue;
+        }
+        s.groups += 1;
+        let coords: Vec<_> = g
+            .faults
+            .iter()
+            .map(|f| geometry.coord(WordAddr((f.vaddr / 4) % geometry.words())))
+            .collect();
+        for i in 0..coords.len() {
+            for j in (i + 1)..coords.len() {
+                s.pairs += 1;
+                let (a, b) = (coords[i], coords[j]);
+                if a.rank == b.rank && a.bank == b.bank {
+                    s.same_bank_pairs += 1;
+                    if a.col == b.col {
+                        s.same_column_pairs += 1;
+                        let d = a.row.abs_diff(b.row);
+                        row_dist_sum += f64::from(d);
+                        if d <= NEAR_ROWS {
+                            s.near_row_pairs += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    s.mean_row_distance = if s.same_column_pairs > 0 {
+        row_dist_sum / s.same_column_pairs as f64
+    } else {
+        0.0
+    };
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uc_cluster::NodeId;
+    use uc_dram::PhysCoord;
+    use uc_simclock::SimTime;
+
+    fn geometry() -> Geometry {
+        Geometry::NODE_4GB
+    }
+
+    fn fault_at(t: i64, addr: WordAddr) -> Fault {
+        Fault {
+            node: NodeId(1),
+            time: SimTime::from_secs(t),
+            vaddr: addr.0 * 4,
+            expected: 0xFFFF_FFFF,
+            actual: 0xFFFF_FFFE,
+            temp: None,
+            raw_logs: 1,
+        }
+    }
+
+    #[test]
+    fn aligned_shower_detected() {
+        // A shower over adjacent rows of one column: all pairs aligned.
+        let g = geometry();
+        let base = PhysCoord { rank: 0, bank: 3, row: 100, col: 77 };
+        let faults: Vec<Fault> = (0..4)
+            .map(|k| {
+                fault_at(
+                    500,
+                    g.addr(PhysCoord {
+                        row: base.row + k,
+                        ..base
+                    }),
+                )
+            })
+            .collect();
+        let s = alignment_stats(&faults, g);
+        assert_eq!(s.groups, 1);
+        assert_eq!(s.pairs, 6);
+        assert_eq!(s.same_bank_pairs, 6);
+        assert_eq!(s.same_column_pairs, 6);
+        assert_eq!(s.near_row_pairs, 6);
+        assert!(s.mean_row_distance < 3.1);
+        assert_eq!(s.same_column_fraction(), 1.0);
+    }
+
+    #[test]
+    fn scattered_group_not_aligned() {
+        // Same timestamp, wildly different coordinates.
+        let g = geometry();
+        let faults = vec![
+            fault_at(500, g.addr(PhysCoord { rank: 0, bank: 0, row: 1, col: 1 })),
+            fault_at(500, g.addr(PhysCoord { rank: 1, bank: 5, row: 60_000, col: 900 })),
+            fault_at(500, g.addr(PhysCoord { rank: 0, bank: 7, row: 30_000, col: 500 })),
+        ];
+        let s = alignment_stats(&faults, g);
+        assert_eq!(s.same_column_pairs, 0);
+        assert_eq!(s.same_column_fraction(), 0.0);
+    }
+
+    #[test]
+    fn single_word_groups_ignored() {
+        let g = geometry();
+        let faults = vec![
+            fault_at(1, WordAddr(100)),
+            fault_at(2, WordAddr(200)),
+            fault_at(3, WordAddr(300)),
+        ];
+        let s = alignment_stats(&faults, g);
+        assert_eq!(s.groups, 0);
+        assert_eq!(s.pairs, 0);
+    }
+
+    #[test]
+    fn chance_level_is_tiny() {
+        // 2^(1+3+10) = 16384 distinct (rank,bank,col) combinations.
+        let chance = AlignmentStats::chance_same_column(geometry());
+        assert!((chance - 1.0 / 16_384.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn campaign_showers_are_aligned_far_above_chance() {
+        // The generative shower model places simultaneous single-bit hits
+        // in adjacent rows of one column; the analysis must recover that.
+        use uc_faults::FaultScenario;
+        use uc_faults::ScanWindow;
+        use uc_simclock::SimDuration;
+
+        let mut scenario = FaultScenario::background_only(0.01);
+        scenario.background.shower_prob = 0.5;
+        let windows: Vec<ScanWindow> = (0..200)
+            .map(|d| ScanWindow {
+                start: SimTime::from_secs(d * 86_400),
+                end: SimTime::from_secs(d * 86_400) + SimDuration::from_hours(12),
+                alloc_words: (3 << 30) / 4,
+            })
+            .collect();
+        let profile = scenario.profile_for_node(9, NodeId(4), &windows);
+        // Build faults directly from the strikes (all observed, 1 bit).
+        let faults: Vec<Fault> = profile
+            .transients
+            .iter()
+            .flat_map(|e| {
+                e.strikes.iter().map(move |s| Fault {
+                    node: e.node,
+                    time: e.time,
+                    vaddr: s.addr.0 * 4,
+                    expected: 0xFFFF_FFFF,
+                    actual: 0xFFFF_FFFE,
+                    temp: None,
+                    raw_logs: 1,
+                })
+            })
+            .collect();
+        let s = alignment_stats(&faults, geometry());
+        assert!(s.groups > 10, "groups {}", s.groups);
+        let chance = AlignmentStats::chance_same_column(geometry());
+        assert!(
+            s.same_column_fraction() > chance * 1_000.0,
+            "aligned fraction {} vs chance {}",
+            s.same_column_fraction(),
+            chance
+        );
+        assert!(s.mean_row_distance <= f64::from(NEAR_ROWS));
+    }
+}

@@ -1,0 +1,182 @@
+//! Regime classification: normal vs degraded days (Section III-I, Fig. 13).
+//!
+//! "In normal conditions, the system observes between one and two memory
+//! errors per day... To add a safety margin, we consider any day with three
+//! or less errors as normal." The permanently failed node (02-04) is
+//! excluded first, as a production system would have retired it.
+
+use std::collections::HashSet;
+
+use uc_cluster::NodeId;
+
+use crate::fault::Fault;
+use crate::stats::mtbf_hours;
+
+/// Classification threshold: days with more faults than this are degraded.
+pub const NORMAL_MAX_FAULTS_PER_DAY: u64 = 3;
+
+/// Day-by-day regime record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RegimeDays {
+    pub first_day: i64,
+    /// Fault count per day (after node exclusions).
+    pub counts: Vec<u64>,
+}
+
+/// The summary split the paper reports.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RegimeSummary {
+    pub normal_days: u64,
+    pub degraded_days: u64,
+    pub normal_faults: u64,
+    pub degraded_faults: u64,
+    /// System MTBF over normal days, hours.
+    pub normal_mtbf_h: f64,
+    /// System MTBF over degraded days, hours.
+    pub degraded_mtbf_h: f64,
+}
+
+impl RegimeDays {
+    /// Count faults per day over `[first_day, first_day+days)`, excluding
+    /// the given nodes.
+    pub fn compute(
+        faults: &[Fault],
+        exclude: &[NodeId],
+        first_day: i64,
+        days: usize,
+    ) -> RegimeDays {
+        let excluded: HashSet<u32> = exclude.iter().map(|n| n.0).collect();
+        let mut counts = vec![0u64; days];
+        for f in faults {
+            if excluded.contains(&f.node.0) {
+                continue;
+            }
+            let idx = f.time.day_index() - first_day;
+            if idx >= 0 && (idx as usize) < days {
+                counts[idx as usize] += 1;
+            }
+        }
+        RegimeDays { first_day, counts }
+    }
+
+    /// True for degraded days.
+    pub fn degraded_flags(&self) -> Vec<bool> {
+        self.counts
+            .iter()
+            .map(|&c| c > NORMAL_MAX_FAULTS_PER_DAY)
+            .collect()
+    }
+
+    pub fn summary(&self) -> RegimeSummary {
+        let mut s = RegimeSummary {
+            normal_days: 0,
+            degraded_days: 0,
+            normal_faults: 0,
+            degraded_faults: 0,
+            normal_mtbf_h: f64::INFINITY,
+            degraded_mtbf_h: f64::INFINITY,
+        };
+        for &c in &self.counts {
+            if c > NORMAL_MAX_FAULTS_PER_DAY {
+                s.degraded_days += 1;
+                s.degraded_faults += c;
+            } else {
+                s.normal_days += 1;
+                s.normal_faults += c;
+            }
+        }
+        s.normal_mtbf_h = mtbf_hours(s.normal_days as f64 * 24.0, s.normal_faults);
+        s.degraded_mtbf_h = mtbf_hours(s.degraded_days as f64 * 24.0, s.degraded_faults);
+        s
+    }
+
+    /// Fraction of days spent degraded (paper: 18.1%).
+    pub fn degraded_fraction(&self) -> f64 {
+        if self.counts.is_empty() {
+            return 0.0;
+        }
+        let degraded = self
+            .counts
+            .iter()
+            .filter(|&&c| c > NORMAL_MAX_FAULTS_PER_DAY)
+            .count();
+        degraded as f64 / self.counts.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uc_simclock::SimTime;
+
+    fn fault(node: u32, day: i64) -> Fault {
+        Fault {
+            node: NodeId(node),
+            time: SimTime::from_secs(day * 86_400 + 10),
+            vaddr: 0,
+            expected: 0,
+            actual: 1,
+            temp: None,
+            raw_logs: 1,
+        }
+    }
+
+    #[test]
+    fn threshold_is_three() {
+        let mut faults = Vec::new();
+        for _ in 0..3 {
+            faults.push(fault(1, 0)); // day 0: exactly 3 => normal
+        }
+        for _ in 0..4 {
+            faults.push(fault(1, 1)); // day 1: 4 => degraded
+        }
+        let r = RegimeDays::compute(&faults, &[], 0, 2);
+        assert_eq!(r.degraded_flags(), vec![false, true]);
+        let s = r.summary();
+        assert_eq!(s.normal_days, 1);
+        assert_eq!(s.degraded_days, 1);
+        assert_eq!(s.normal_faults, 3);
+        assert_eq!(s.degraded_faults, 4);
+    }
+
+    #[test]
+    fn excluded_nodes_do_not_count() {
+        let faults: Vec<Fault> = (0..100).map(|_| fault(7, 0)).collect();
+        let r = RegimeDays::compute(&faults, &[NodeId(7)], 0, 1);
+        assert_eq!(r.counts, vec![0]);
+        assert_eq!(r.degraded_fraction(), 0.0);
+    }
+
+    #[test]
+    fn paper_scale_mtbf_split() {
+        // Reconstruct the paper's numbers: 348 normal days with ~50 faults,
+        // 77 degraded days with ~4750 faults.
+        let mut faults = Vec::new();
+        for d in 0..348 {
+            if d % 7 == 0 {
+                faults.push(fault(1, d)); // 50 faults over normal days
+            }
+        }
+        for d in 348..425 {
+            for _ in 0..62 {
+                faults.push(fault(2, d)); // 4774 faults over degraded days
+            }
+        }
+        let r = RegimeDays::compute(&faults, &[], 0, 425);
+        let s = r.summary();
+        assert_eq!(s.normal_days, 348);
+        assert_eq!(s.degraded_days, 77);
+        assert!((s.normal_mtbf_h - 167.0).abs() < 10.0, "{}", s.normal_mtbf_h);
+        assert!(s.degraded_mtbf_h < 0.5, "{}", s.degraded_mtbf_h);
+        assert!((r.degraded_fraction() - 0.181).abs() < 0.01);
+    }
+
+    #[test]
+    fn empty_series() {
+        let r = RegimeDays::compute(&[], &[], 0, 10);
+        let s = r.summary();
+        assert_eq!(s.normal_days, 10);
+        assert_eq!(s.degraded_days, 0);
+        assert!(s.normal_mtbf_h.is_infinite());
+    }
+}

@@ -1,0 +1,277 @@
+//! Simultaneity analysis (paper Section III-C, Fig. 4).
+//!
+//! Faults on the same node sharing a timestamp are one *simultaneity
+//! group*: physically they share a root cause (one shower, one burst), even
+//! though a SECDED machine would report them as independent single-bit
+//! corrections. The paper's two accountings:
+//!
+//! - **per memory word**: multiplicity = bits corrupted within one word
+//!   (the standard multi-bit definition);
+//! - **per node**: multiplicity = total bits corrupted across all words of
+//!   the group.
+//!
+//! Total corrupted-word count is conserved between the two views — the
+//! paper's "keeping the total number of corruptions constant" remark — and
+//! a property test pins that invariant.
+
+use std::collections::HashMap;
+
+use uc_cluster::NodeId;
+use uc_simclock::SimTime;
+
+use crate::fault::Fault;
+
+/// A group of faults sharing (node, timestamp).
+#[derive(Clone, Debug)]
+pub struct SimulGroup {
+    pub node: NodeId,
+    pub time: SimTime,
+    pub faults: Vec<Fault>,
+}
+
+impl SimulGroup {
+    /// Total bits corrupted across the group (per-node multiplicity).
+    pub fn total_bits(&self) -> u32 {
+        self.faults.iter().map(|f| f.bits_corrupted()).sum()
+    }
+
+    /// Number of corrupted words.
+    pub fn words(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Sorted per-word bit multiplicities, e.g. [1, 1, 2] for a double
+    /// accompanied by two singles.
+    pub fn word_multiplicities(&self) -> Vec<u32> {
+        let mut m: Vec<u32> = self.faults.iter().map(|f| f.bits_corrupted()).collect();
+        m.sort_unstable();
+        m
+    }
+}
+
+/// Group faults by (node, exact timestamp).
+pub fn group_simultaneous(faults: &[Fault]) -> Vec<SimulGroup> {
+    let mut map: HashMap<(u32, i64), Vec<Fault>> = HashMap::new();
+    for f in faults {
+        map.entry((f.node.0, f.time.as_secs()))
+            .or_default()
+            .push(*f);
+    }
+    let mut groups: Vec<SimulGroup> = map
+        .into_iter()
+        .map(|((node, t), faults)| SimulGroup {
+            node: NodeId(node),
+            time: SimTime::from_secs(t),
+            faults,
+        })
+        .collect();
+    groups.sort_by_key(|g| (g.time, g.node.0));
+    groups
+}
+
+/// The Fig. 4 dataset: fault counts by multiplicity under both accountings.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MultiplicityComparison {
+    /// `per_word[m]` = number of corrupted words with exactly `m` bits
+    /// flipped (index 0 unused).
+    pub per_word: Vec<u64>,
+    /// `per_node[m]` = number of simultaneity groups whose total corrupted
+    /// bits equal `m` (index 0 unused).
+    pub per_node: Vec<u64>,
+}
+
+impl MultiplicityComparison {
+    pub fn compute(faults: &[Fault]) -> MultiplicityComparison {
+        let groups = group_simultaneous(faults);
+        let mut per_word = vec![0u64; 40];
+        let mut per_node = vec![0u64; 40];
+        for f in faults {
+            let b = (f.bits_corrupted() as usize).min(per_word.len() - 1);
+            per_word[b] += 1;
+        }
+        for g in &groups {
+            let b = (g.total_bits() as usize).min(per_node.len() - 1);
+            per_node[b] += 1;
+        }
+        MultiplicityComparison { per_word, per_node }
+    }
+
+    /// Multi-bit counts under each accounting (m >= 2).
+    pub fn multi_bit_totals(&self) -> (u64, u64) {
+        (
+            self.per_word[2..].iter().sum(),
+            self.per_node[2..].iter().sum(),
+        )
+    }
+
+    /// Single-bit counts under each accounting.
+    pub fn single_bit_totals(&self) -> (u64, u64) {
+        (self.per_word[1], self.per_node[1])
+    }
+}
+
+/// Coincidence statistics of Section III-C: how often multi-bit words are
+/// accompanied by other corruption in the same group.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoincidenceStats {
+    /// Groups of >= 2 single-bit words only.
+    pub multi_single_groups: u64,
+    /// Faults (words) that are part of any group with >= 2 words.
+    pub faults_in_groups: u64,
+    /// Double-bit words accompanied by at least one single-bit word.
+    pub double_with_single: u64,
+    /// Triple-bit words accompanied by at least one single-bit word.
+    pub triple_with_single: u64,
+    /// Groups with two double-bit words.
+    pub double_double_groups: u64,
+    /// Largest per-node total bit multiplicity observed.
+    pub max_group_bits: u32,
+}
+
+pub fn coincidence_stats(faults: &[Fault]) -> CoincidenceStats {
+    let mut s = CoincidenceStats::default();
+    for g in group_simultaneous(faults) {
+        s.max_group_bits = s.max_group_bits.max(g.total_bits());
+        if g.words() < 2 {
+            continue;
+        }
+        s.faults_in_groups += g.words() as u64;
+        let m = g.word_multiplicities();
+        let singles = m.iter().filter(|&&x| x == 1).count();
+        let doubles = m.iter().filter(|&&x| x == 2).count() as u64;
+        let triples = m.iter().filter(|&&x| x == 3).count() as u64;
+        if singles == g.words() {
+            s.multi_single_groups += 1;
+        }
+        if singles > 0 {
+            s.double_with_single += doubles;
+            s.triple_with_single += triples;
+        }
+        if doubles >= 2 {
+            s.double_double_groups += 1;
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fault(node: u32, t: i64, vaddr: u64, xor: u32) -> Fault {
+        Fault {
+            node: NodeId(node),
+            time: SimTime::from_secs(t),
+            vaddr,
+            expected: 0xFFFF_FFFF,
+            actual: 0xFFFF_FFFF ^ xor,
+            temp: None,
+            raw_logs: 1,
+        }
+    }
+
+    #[test]
+    fn grouping_by_node_and_time() {
+        let faults = vec![
+            fault(1, 100, 0x10, 1),
+            fault(1, 100, 0x20, 2),
+            fault(1, 200, 0x30, 1),
+            fault(2, 100, 0x40, 1),
+        ];
+        let groups = group_simultaneous(&faults);
+        assert_eq!(groups.len(), 3);
+        let big = groups.iter().find(|g| g.words() == 2).unwrap();
+        assert_eq!(big.node, NodeId(1));
+        assert_eq!(big.total_bits(), 2);
+    }
+
+    #[test]
+    fn fig4_shape_single_bits_migrate_to_multibit_per_node() {
+        // 10 words, all single-bit, in 5 simultaneous pairs: per-word sees
+        // ten 1-bit corruptions; per-node sees five 2-bit corruptions.
+        let mut faults = Vec::new();
+        for k in 0..5 {
+            faults.push(fault(1, 100 + k, 0x10 + k as u64, 1));
+            faults.push(fault(1, 100 + k, 0x9000 + k as u64, 2));
+        }
+        let cmp = MultiplicityComparison::compute(&faults);
+        assert_eq!(cmp.single_bit_totals(), (10, 0));
+        assert_eq!(cmp.multi_bit_totals(), (0, 5));
+        assert_eq!(cmp.per_node[2], 5);
+    }
+
+    #[test]
+    fn per_word_counts_by_bits() {
+        let faults = vec![
+            fault(1, 1, 0x1, 0b1),
+            fault(1, 2, 0x2, 0b11),
+            fault(1, 3, 0x3, 0b111),
+            fault(1, 4, 0x4, 0b1011),
+        ];
+        let cmp = MultiplicityComparison::compute(&faults);
+        assert_eq!(cmp.per_word[1], 1);
+        assert_eq!(cmp.per_word[2], 1);
+        assert_eq!(cmp.per_word[3], 2);
+    }
+
+    #[test]
+    fn coincidence_double_with_single() {
+        let faults = vec![
+            fault(1, 100, 0x1, 0b11),  // double
+            fault(1, 100, 0x900, 0b1), // single companion
+            fault(1, 200, 0x2, 0b11),  // lone double
+        ];
+        let s = coincidence_stats(&faults);
+        assert_eq!(s.double_with_single, 1);
+        assert_eq!(s.double_double_groups, 0);
+        assert_eq!(s.multi_single_groups, 0);
+        assert_eq!(s.max_group_bits, 3);
+    }
+
+    #[test]
+    fn coincidence_double_double() {
+        let faults = vec![fault(1, 100, 0x1, 0b11), fault(1, 100, 0x2, 0b1100)];
+        let s = coincidence_stats(&faults);
+        assert_eq!(s.double_double_groups, 1);
+        assert_eq!(s.double_with_single, 0);
+    }
+
+    #[test]
+    fn coincidence_pure_single_shower() {
+        let faults: Vec<Fault> = (0..36)
+            .map(|k| fault(1, 100, 0x100 + k, 1 << (k % 32)))
+            .collect();
+        let s = coincidence_stats(&faults);
+        assert_eq!(s.multi_single_groups, 1);
+        assert_eq!(s.faults_in_groups, 36);
+        assert_eq!(s.max_group_bits, 36, "up to 36 bits across words");
+    }
+
+    proptest! {
+        #[test]
+        fn word_count_conserved_between_accountings(
+            times in proptest::collection::vec(0i64..50, 1..60),
+        ) {
+            // Arbitrary coincidence structure: total corrupted words equals
+            // the per-word total; bit totals match between accountings.
+            let faults: Vec<Fault> = times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| fault(1, t, i as u64 * 8, 1 << (i % 32)))
+                .collect();
+            let cmp = MultiplicityComparison::compute(&faults);
+            let per_word_total: u64 = cmp.per_word.iter().sum();
+            prop_assert_eq!(per_word_total, faults.len() as u64);
+            // All faults are single-bit here, so total bits = word count,
+            // and per-node bit-weighted total must equal it.
+            let per_node_bits: u64 = cmp
+                .per_node
+                .iter()
+                .enumerate()
+                .map(|(m, &c)| m as u64 * c)
+                .sum();
+            prop_assert_eq!(per_node_bits, faults.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Spatial analysis: per-node fault counts (Fig. 3), the top-k nodes' daily
+//! series (Fig. 12), and per-node corruption structure (Section III-H:
+//! distinct addresses, distinct patterns, identical-error fractions).
+
+use std::collections::{HashMap, HashSet};
+
+use uc_cluster::NodeId;
+
+use crate::fault::Fault;
+
+/// Fault census of one node.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NodeCensus {
+    pub faults: u64,
+    pub distinct_addresses: u64,
+    pub distinct_patterns: u64,
+    /// Fraction of faults identical to the node's most common
+    /// (address, pattern) pair — 1.0 for a pure weak-bit node.
+    pub dominant_fraction: f64,
+    /// Fraction of corrupted bits that flipped 1 -> 0.
+    pub one_to_zero_fraction: f64,
+}
+
+/// Census every node that shows at least one fault.
+pub fn node_census(faults: &[Fault]) -> HashMap<NodeId, NodeCensus> {
+    let mut by_node: HashMap<NodeId, Vec<&Fault>> = HashMap::new();
+    for f in faults {
+        by_node.entry(f.node).or_default().push(f);
+    }
+    by_node
+        .into_iter()
+        .map(|(node, fs)| {
+            let addresses: HashSet<u64> = fs.iter().map(|f| f.vaddr).collect();
+            let patterns: HashSet<u32> = fs.iter().map(|f| f.pattern()).collect();
+            let mut sig_counts: HashMap<(u64, u32), u64> = HashMap::new();
+            for f in &fs {
+                *sig_counts.entry((f.vaddr, f.pattern())).or_insert(0) += 1;
+            }
+            let dominant = sig_counts.values().max().copied().unwrap_or(0);
+            let (mut down, mut up) = (0u64, 0u64);
+            for f in &fs {
+                let (d, u) = f.diff().flip_directions();
+                down += u64::from(d);
+                up += u64::from(u);
+            }
+            let census = NodeCensus {
+                faults: fs.len() as u64,
+                distinct_addresses: addresses.len() as u64,
+                distinct_patterns: patterns.len() as u64,
+                dominant_fraction: dominant as f64 / fs.len() as f64,
+                one_to_zero_fraction: if down + up == 0 {
+                    0.0
+                } else {
+                    down as f64 / (down + up) as f64
+                },
+            };
+            (node, census)
+        })
+        .collect()
+}
+
+/// The top-k nodes by fault count, descending; ties break by node id.
+pub fn top_nodes(faults: &[Fault], k: usize) -> Vec<(NodeId, u64)> {
+    let mut counts: HashMap<NodeId, u64> = HashMap::new();
+    for f in faults {
+        *counts.entry(f.node).or_insert(0) += 1;
+    }
+    let mut v: Vec<(NodeId, u64)> = counts.into_iter().collect();
+    v.sort_by_key(|(n, c)| (std::cmp::Reverse(*c), n.0));
+    v.truncate(k);
+    v
+}
+
+/// Spatial concentration: the fraction of faults carried by the busiest
+/// `node_fraction` of faulty nodes (the paper: ">99.9% of errors in <1% of
+/// the nodes", counting all 923 scanned nodes as the base).
+pub fn concentration(faults: &[Fault], top_count: usize) -> f64 {
+    if faults.is_empty() {
+        return 0.0;
+    }
+    let top: u64 = top_nodes(faults, top_count).iter().map(|(_, c)| c).sum();
+    top as f64 / faults.len() as f64
+}
+
+/// Fig. 12 dataset: daily fault counts for each of the top-k nodes plus an
+/// "all others" series.
+#[derive(Clone, Debug)]
+pub struct TopNodeSeries {
+    pub first_day: i64,
+    pub nodes: Vec<(NodeId, Vec<u64>)>,
+    pub others: Vec<u64>,
+}
+
+pub fn top_node_series(
+    faults: &[Fault],
+    k: usize,
+    first_day: i64,
+    days: usize,
+) -> TopNodeSeries {
+    let top: Vec<NodeId> = top_nodes(faults, k).into_iter().map(|(n, _)| n).collect();
+    let mut series = TopNodeSeries {
+        first_day,
+        nodes: top.iter().map(|&n| (n, vec![0u64; days])).collect(),
+        others: vec![0u64; days],
+    };
+    for f in faults {
+        let idx = f.time.day_index() - first_day;
+        if idx < 0 || idx as usize >= days {
+            continue;
+        }
+        let idx = idx as usize;
+        match top.iter().position(|&n| n == f.node) {
+            Some(pos) => series.nodes[pos].1[idx] += 1,
+            None => series.others[idx] += 1,
+        }
+    }
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uc_simclock::SimTime;
+
+    fn fault(node: u32, day: i64, vaddr: u64, xor: u32) -> Fault {
+        Fault {
+            node: NodeId(node),
+            time: SimTime::from_secs(day * 86_400 + 60),
+            vaddr,
+            expected: 0xFFFF_FFFF,
+            actual: 0xFFFF_FFFF ^ xor,
+            temp: None,
+            raw_logs: 1,
+        }
+    }
+
+    #[test]
+    fn census_weak_bit_signature() {
+        // A weak-bit node: identical error 50 times.
+        let faults: Vec<Fault> = (0..50).map(|d| fault(7, d, 0x100, 1 << 4)).collect();
+        let census = node_census(&faults);
+        let c = &census[&NodeId(7)];
+        assert_eq!(c.faults, 50);
+        assert_eq!(c.distinct_addresses, 1);
+        assert_eq!(c.distinct_patterns, 1);
+        assert_eq!(c.dominant_fraction, 1.0, "100% identical errors");
+        assert_eq!(c.one_to_zero_fraction, 1.0);
+    }
+
+    #[test]
+    fn census_degrading_signature() {
+        // Spread addresses and patterns.
+        let faults: Vec<Fault> = (0..200)
+            .map(|i| fault(3, i % 30, 0x1000 + i as u64 * 8, 1 << (i % 20)))
+            .collect();
+        let census = node_census(&faults);
+        let c = &census[&NodeId(3)];
+        assert_eq!(c.faults, 200);
+        assert_eq!(c.distinct_addresses, 200);
+        assert_eq!(c.distinct_patterns, 20);
+        assert!(c.dominant_fraction < 0.05);
+    }
+
+    #[test]
+    fn top_nodes_ordering() {
+        let mut faults = Vec::new();
+        for _ in 0..10 {
+            faults.push(fault(5, 0, 0, 1));
+        }
+        for _ in 0..3 {
+            faults.push(fault(9, 0, 0, 1));
+        }
+        faults.push(fault(2, 0, 0, 1));
+        let top = top_nodes(&faults, 2);
+        assert_eq!(top, vec![(NodeId(5), 10), (NodeId(9), 3)]);
+    }
+
+    #[test]
+    fn concentration_matches_paper_shape() {
+        // 3 hot nodes with 5500 faults, 20 cold nodes with 25 faults:
+        // >99% of faults in the top 3.
+        let mut faults = Vec::new();
+        for i in 0..5_500 {
+            faults.push(fault(i % 3, (i % 100) as i64, i as u64, 1));
+        }
+        for i in 0..25 {
+            faults.push(fault(100 + i, 0, 0, 1));
+        }
+        let c = concentration(&faults, 3);
+        assert!(c > 0.995, "concentration {c}");
+    }
+
+    #[test]
+    fn top_node_series_buckets() {
+        let faults = vec![
+            fault(1, 0, 0, 1),
+            fault(1, 0, 8, 1),
+            fault(1, 2, 0, 1),
+            fault(2, 1, 0, 1),
+            fault(3, 1, 0, 1),
+        ];
+        let s = top_node_series(&faults, 1, 0, 3);
+        assert_eq!(s.nodes.len(), 1);
+        assert_eq!(s.nodes[0].0, NodeId(1));
+        assert_eq!(s.nodes[0].1, vec![2, 0, 1]);
+        assert_eq!(s.others, vec![0, 2, 0]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(node_census(&[]).is_empty());
+        assert!(top_nodes(&[], 5).is_empty());
+        assert_eq!(concentration(&[], 3), 0.0);
+    }
+}

@@ -1,0 +1,382 @@
+//! Statistics utilities, implemented from scratch.
+//!
+//! The paper's quantitative claims rest on a handful of estimators: means,
+//! MTBF (hours per failure), and one Pearson correlation with a p-value
+//! ("Pearson correlation of -0.17966 with a p-value of 0.0002", Section
+//! III-G). The p-value needs the Student-t CDF, which needs the regularized
+//! incomplete beta function, which needs ln-gamma — all implemented below
+//! (Lanczos approximation + Lentz continued fraction, the standard
+//! numerical-recipes route) and validated against reference values.
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population variance (0 for fewer than 2 samples).
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64
+}
+
+/// Mean time between failures in hours, given an observation span and an
+/// error count. Returns `f64::INFINITY` when no errors occurred.
+pub fn mtbf_hours(observed_hours: f64, errors: u64) -> f64 {
+    if errors == 0 {
+        f64::INFINITY
+    } else {
+        observed_hours / errors as f64
+    }
+}
+
+/// Result of a Pearson correlation test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PearsonResult {
+    pub r: f64,
+    /// Two-sided p-value under the t-distribution null.
+    pub p_value: f64,
+    pub n: usize,
+}
+
+/// Pearson correlation of two equal-length series with a two-sided
+/// p-value. Panics on length mismatch; returns r = 0, p = 1 for degenerate
+/// inputs (n < 3 or zero variance).
+///
+/// ```
+/// use uc_analysis::stats::pearson;
+/// let xs: Vec<f64> = (0..100).map(f64::from).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+/// let r = pearson(&xs, &ys);
+/// assert!((r.r - 1.0).abs() < 1e-12);
+/// assert!(r.p_value < 1e-10);
+/// ```
+pub fn pearson(xs: &[f64], ys: &[f64]) -> PearsonResult {
+    assert_eq!(xs.len(), ys.len(), "series must be the same length");
+    let n = xs.len();
+    if n < 3 {
+        return PearsonResult { r: 0.0, p_value: 1.0, n };
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return PearsonResult { r: 0.0, p_value: 1.0, n };
+    }
+    let r = (sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0);
+    let df = (n - 2) as f64;
+    let p_value = if r.abs() >= 1.0 {
+        0.0
+    } else {
+        let t = r * (df / (1.0 - r * r)).sqrt();
+        2.0 * student_t_sf(t.abs(), df)
+    };
+    PearsonResult { r, p_value, n }
+}
+
+/// ln(Gamma(x)) via the Lanczos approximation (g = 7, n = 9 coefficients).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires positive argument, got {x}");
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection: Gamma(x) Gamma(1-x) = pi / sin(pi x).
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + 7.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized incomplete beta function I_x(a, b), via the Lentz continued
+/// fraction with the symmetry transform for convergence.
+pub fn inc_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "shape parameters must be positive");
+    assert!((0.0..=1.0).contains(&x), "x must be in [0,1], got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Continued fraction for the incomplete beta (Numerical Recipes betacf).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 3e-15;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Survival function of Student's t: P(T > t) for t >= 0 with `df` degrees
+/// of freedom.
+pub fn student_t_sf(t: f64, df: f64) -> f64 {
+    assert!(t >= 0.0, "survival function defined for t >= 0");
+    assert!(df > 0.0);
+    let x = df / (df + t * t);
+    0.5 * inc_beta(df / 2.0, 0.5, x)
+}
+
+/// A fixed-width histogram over `[lo, hi)` with values outside clamped
+/// into the edge bins.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    pub lo: f64,
+    pub hi: f64,
+    pub counts: Vec<u64>,
+}
+
+impl Histogram {
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(hi > lo && bins > 0);
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        }
+    }
+
+    pub fn add(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let idx = ((x - self.lo) / (self.hi - self.lo) * bins as f64)
+            .floor()
+            .clamp(0.0, (bins - 1) as f64) as usize;
+        self.counts[idx] += 1;
+    }
+
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + w * (i as f64 + 0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_variance_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        assert!((variance(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mtbf_examples_from_paper() {
+        // 348 normal days with ~50 errors => ~167 hours.
+        assert!((mtbf_hours(348.0 * 24.0, 50) - 167.04).abs() < 0.1);
+        // 77 degraded days with ~4750 errors => ~0.39 hours.
+        assert!((mtbf_hours(77.0 * 24.0, 4_750) - 0.389).abs() < 0.01);
+        assert!(mtbf_hours(100.0, 0).is_infinite());
+    }
+
+    #[test]
+    fn ln_gamma_reference_values() {
+        // Gamma(1) = Gamma(2) = 1; Gamma(5) = 24; Gamma(0.5) = sqrt(pi).
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+        // Gamma(10) = 362880.
+        assert!((ln_gamma(10.0) - 362_880f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inc_beta_reference_values() {
+        // I_x(1,1) = x.
+        for x in [0.0, 0.2, 0.5, 0.9, 1.0] {
+            assert!((inc_beta(1.0, 1.0, x) - x).abs() < 1e-12);
+        }
+        // I_x(2,2) = x^2 (3 - 2x).
+        for x in [0.1, 0.4, 0.7] {
+            let expected = x * x * (3.0 - 2.0 * x);
+            assert!((inc_beta(2.0, 2.0, x) - expected).abs() < 1e-12);
+        }
+        // Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+        let v = inc_beta(3.5, 1.25, 0.3);
+        let w = 1.0 - inc_beta(1.25, 3.5, 0.7);
+        assert!((v - w).abs() < 1e-12);
+    }
+
+    #[test]
+    fn student_t_reference_values() {
+        // t = 0: survival is 0.5.
+        assert!((student_t_sf(0.0, 10.0) - 0.5).abs() < 1e-12);
+        // Standard two-sided 95% quantile for df=10 is ~2.228.
+        let p = 2.0 * student_t_sf(2.228, 10.0);
+        assert!((p - 0.05).abs() < 0.001, "p {p}");
+        // Large df approaches the normal: t = 1.96 => two-sided ~0.05.
+        let p = 2.0 * student_t_sf(1.96, 10_000.0);
+        assert!((p - 0.05).abs() < 0.002, "p {p}");
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let xs: Vec<f64> = (0..50).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 1.0).collect();
+        let res = pearson(&xs, &ys);
+        assert!((res.r - 1.0).abs() < 1e-12);
+        assert!(res.p_value < 1e-10);
+        let ys_neg: Vec<f64> = xs.iter().map(|x| -2.0 * x).collect();
+        assert!((pearson(&xs, &ys_neg).r + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_paper_magnitude_case() {
+        // Construct series of the paper's scale (n = 425 days) with a weak
+        // negative correlation; |r| ~ 0.18 must be significant at ~1e-4,
+        // matching the paper's r = -0.17966, p = 0.0002 report.
+        let n = 425;
+        let xs: Vec<f64> = (0..n).map(|i| f64::from(i % 29)).collect();
+        let ys: Vec<f64> = (0..n)
+            .map(|i| {
+                let noise = f64::from((i * 37) % 17) - 8.0;
+                -0.25 * f64::from(i % 29) + noise
+            })
+            .collect();
+        let res = pearson(&xs, &ys);
+        assert!(res.r < -0.1, "r {}", res.r);
+        assert!(res.p_value < 0.01, "p {}", res.p_value);
+    }
+
+    #[test]
+    fn pearson_degenerate_inputs() {
+        let res = pearson(&[1.0, 2.0], &[3.0, 4.0]);
+        assert_eq!(res.p_value, 1.0);
+        let res = pearson(&[1.0, 1.0, 1.0, 1.0], &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(res.r, 0.0);
+        assert_eq!(res.p_value, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn pearson_length_mismatch_panics() {
+        pearson(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn histogram_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.add(0.5);
+        h.add(2.5);
+        h.add(9.99);
+        h.add(-3.0); // clamped into bin 0
+        h.add(42.0); // clamped into bin 4
+        assert_eq!(h.counts, vec![2, 1, 0, 0, 2]);
+        assert_eq!(h.total(), 5);
+        assert!((h.bin_center(0) - 1.0).abs() < 1e-12);
+        assert!((h.bin_center(4) - 9.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn pearson_r_bounded(seed in 1u64..5000) {
+            let xs: Vec<f64> = (0..40).map(|i| ((seed.wrapping_mul(i + 1)) % 1000) as f64).collect();
+            let ys: Vec<f64> = (0..40).map(|i| ((seed.wrapping_mul(7 * i + 3)) % 1000) as f64).collect();
+            let res = pearson(&xs, &ys);
+            prop_assert!((-1.0..=1.0).contains(&res.r));
+            prop_assert!((0.0..=1.0).contains(&res.p_value));
+        }
+
+        #[test]
+        fn inc_beta_monotone_in_x(a in 0.5f64..10.0, b in 0.5f64..10.0, x1 in 0.01f64..0.98) {
+            let x2 = x1 + 0.01;
+            prop_assert!(inc_beta(a, b, x1) <= inc_beta(a, b, x2) + 1e-12);
+        }
+
+        #[test]
+        fn ln_gamma_recurrence(x in 0.5f64..50.0) {
+            // Gamma(x+1) = x Gamma(x).
+            let lhs = ln_gamma(x + 1.0);
+            let rhs = x.ln() + ln_gamma(x);
+            prop_assert!((lhs - rhs).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Temperature analysis: errors vs node temperature (Figs. 7 and 8).
+//!
+//! Only faults with recorded temperature participate (telemetry began in
+//! April 2015). The paper's findings to reproduce: most errors sit in the
+//! nominal 30-40 C band, a small set above 60 C, and *no* multi-bit error
+//! at elevated temperature.
+
+use crate::fault::Fault;
+use crate::stats::Histogram;
+
+/// Temperature profile: one histogram per bit class plus scatter points.
+#[derive(Clone, Debug)]
+pub struct TemperatureProfile {
+    /// (temperature C, bits corrupted) for each fault with telemetry.
+    pub points: Vec<(f32, u32)>,
+    /// Faults lacking temperature (pre-April or sensor gaps).
+    pub censored: u64,
+}
+
+impl TemperatureProfile {
+    pub fn compute(faults: &[Fault]) -> TemperatureProfile {
+        let mut points = Vec::new();
+        let mut censored = 0;
+        for f in faults {
+            match f.temp {
+                Some(t) => points.push((t, f.bits_corrupted())),
+                None => censored += 1,
+            }
+        }
+        TemperatureProfile { points, censored }
+    }
+
+    /// Histogram of fault temperatures over [15, 90) C with 2-degree bins.
+    pub fn histogram(&self, multibit_only: bool) -> Histogram {
+        let mut h = Histogram::new(15.0, 90.0, 38);
+        for &(t, bits) in &self.points {
+            if !multibit_only || bits >= 2 {
+                h.add(f64::from(t));
+            }
+        }
+        h
+    }
+
+    /// Fraction of (temperature-known) faults within [lo, hi) C.
+    pub fn fraction_in_band(&self, lo: f32, hi: f32) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        let n = self
+            .points
+            .iter()
+            .filter(|(t, _)| *t >= lo && *t < hi)
+            .count();
+        n as f64 / self.points.len() as f64
+    }
+
+    /// Number of faults observed above a threshold temperature.
+    pub fn count_above(&self, threshold: f32, multibit_only: bool) -> u64 {
+        self.points
+            .iter()
+            .filter(|(t, bits)| *t > threshold && (!multibit_only || *bits >= 2))
+            .count() as u64
+    }
+
+    /// Pearson correlation between temperature and bit count, with p-value.
+    pub fn temp_bits_correlation(&self) -> crate::stats::PearsonResult {
+        let xs: Vec<f64> = self.points.iter().map(|(t, _)| f64::from(*t)).collect();
+        let ys: Vec<f64> = self.points.iter().map(|(_, b)| f64::from(*b)).collect();
+        crate::stats::pearson(&xs, &ys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uc_cluster::NodeId;
+    use uc_simclock::SimTime;
+
+    fn fault(temp: Option<f32>, xor: u32) -> Fault {
+        Fault {
+            node: NodeId(0),
+            time: SimTime::from_secs(0),
+            vaddr: 0,
+            expected: 0xFFFF_FFFF,
+            actual: 0xFFFF_FFFF ^ xor,
+            temp,
+            raw_logs: 1,
+        }
+    }
+
+    #[test]
+    fn censoring_counted() {
+        let faults = vec![fault(None, 1), fault(Some(35.0), 1), fault(None, 3)];
+        let p = TemperatureProfile::compute(&faults);
+        assert_eq!(p.censored, 2);
+        assert_eq!(p.points.len(), 1);
+    }
+
+    #[test]
+    fn band_fractions() {
+        let faults = vec![
+            fault(Some(32.0), 1),
+            fault(Some(35.0), 1),
+            fault(Some(38.0), 1),
+            fault(Some(65.0), 1),
+        ];
+        let p = TemperatureProfile::compute(&faults);
+        assert!((p.fraction_in_band(30.0, 40.0) - 0.75).abs() < 1e-12);
+        assert_eq!(p.count_above(60.0, false), 1);
+        assert_eq!(p.count_above(60.0, true), 0);
+    }
+
+    #[test]
+    fn multibit_histogram_filters() {
+        let faults = vec![
+            fault(Some(33.0), 1),
+            fault(Some(33.0), 0b11),
+            fault(Some(70.0), 1),
+        ];
+        let p = TemperatureProfile::compute(&faults);
+        assert_eq!(p.histogram(false).total(), 3);
+        assert_eq!(p.histogram(true).total(), 1);
+    }
+
+    #[test]
+    fn correlation_degenerate_when_uniform() {
+        let faults = vec![fault(Some(33.0), 1); 10];
+        let p = TemperatureProfile::compute(&faults);
+        let res = p.temp_bits_correlation();
+        assert_eq!(res.r, 0.0);
+        assert_eq!(res.p_value, 1.0);
+    }
+
+    #[test]
+    fn empty_profile() {
+        let p = TemperatureProfile::compute(&[]);
+        assert_eq!(p.fraction_in_band(0.0, 100.0), 0.0);
+        assert_eq!(p.histogram(false).total(), 0);
+    }
+}

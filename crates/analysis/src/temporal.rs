@@ -1,0 +1,250 @@
+//! Temporal-correlation analysis (paper Section III-I).
+//!
+//! "Memory errors are not only clustered in a few nodes, but also clustered
+//! in time... When a node starts having errors, many subsequent errors are
+//! observed in the following hours." Two quantifications:
+//!
+//! - burstiness statistics of the fault inter-arrival process: the
+//!   coefficient of variation of inter-arrival times (1 for a Poisson
+//!   process, >> 1 for bursty ones) and the Fano factor of windowed counts;
+//! - a spatio-temporal *predictor*: after seeing a fault on a node, predict
+//!   more faults on that node within a horizon; score precision/recall
+//!   against the actual stream — the paper's "relatively simple to foresee
+//!   future failures using the spatio-temporal analysis".
+
+use std::collections::HashMap;
+
+use uc_simclock::SimDuration;
+
+use crate::fault::Fault;
+
+/// Burstiness statistics of a fault time series.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Burstiness {
+    pub n: usize,
+    /// Mean inter-arrival time in hours.
+    pub mean_interarrival_h: f64,
+    /// Coefficient of variation of inter-arrivals (1 = Poisson).
+    pub interarrival_cv: f64,
+    /// Fano factor (variance/mean) of daily counts (1 = Poisson).
+    pub daily_fano: f64,
+}
+
+/// Compute burstiness over a time-sorted fault slice.
+pub fn burstiness(faults: &[Fault]) -> Burstiness {
+    debug_assert!(faults.windows(2).all(|w| w[0].time <= w[1].time));
+    let n = faults.len();
+    if n < 3 {
+        return Burstiness {
+            n,
+            mean_interarrival_h: f64::NAN,
+            interarrival_cv: f64::NAN,
+            daily_fano: f64::NAN,
+        };
+    }
+    let gaps: Vec<f64> = faults
+        .windows(2)
+        .map(|w| (w[1].time - w[0].time).as_hours_f64())
+        .collect();
+    let mean = crate::stats::mean(&gaps);
+    let var = crate::stats::variance(&gaps);
+    let cv = if mean > 0.0 { var.sqrt() / mean } else { f64::NAN };
+
+    // Daily counts over the observed span.
+    let first = faults[0].time.day_index();
+    let last = faults[n - 1].time.day_index();
+    let days = (last - first + 1).max(1) as usize;
+    let mut counts = vec![0.0f64; days];
+    for f in faults {
+        counts[(f.time.day_index() - first) as usize] += 1.0;
+    }
+    let cmean = crate::stats::mean(&counts);
+    let cvar = crate::stats::variance(&counts);
+    Burstiness {
+        n,
+        mean_interarrival_h: mean,
+        interarrival_cv: cv,
+        daily_fano: if cmean > 0.0 { cvar / cmean } else { f64::NAN },
+    }
+}
+
+/// The simple spatio-temporal predictor: after each fault on a node, an
+/// alarm window of `horizon` opens on that node predicting further faults.
+#[derive(Clone, Copy, Debug)]
+pub struct PredictorConfig {
+    /// How long an alarm stays open after a fault.
+    pub horizon: SimDuration,
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        PredictorConfig {
+            horizon: SimDuration::from_hours(24),
+        }
+    }
+}
+
+/// Predictor evaluation.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PredictionScore {
+    /// Faults that occurred inside an open alarm window (true positives).
+    pub predicted: u64,
+    /// Faults with no alarm open (missed; these also open new windows).
+    pub missed: u64,
+    /// Total alarm windows opened.
+    pub alarms: u64,
+}
+
+impl PredictionScore {
+    /// Fraction of (non-first) faults that were predicted.
+    pub fn recall(&self) -> f64 {
+        let total = self.predicted + self.missed;
+        if total == 0 {
+            0.0
+        } else {
+            self.predicted as f64 / total as f64
+        }
+    }
+}
+
+/// Replay the fault stream (time-sorted) through the predictor.
+///
+/// Every fault either lands inside its node's open window (predicted) or
+/// opens a new window (missed). Each fault also refreshes the window — the
+/// "many subsequent errors in the following hours" regime keeps one alarm
+/// alive.
+pub fn evaluate_predictor(faults: &[Fault], cfg: &PredictorConfig) -> PredictionScore {
+    debug_assert!(faults.windows(2).all(|w| w[0].time <= w[1].time));
+    let mut open_until: HashMap<u32, uc_simclock::SimTime> = HashMap::new();
+    let mut score = PredictionScore::default();
+    for f in faults {
+        match open_until.get(&f.node.0) {
+            Some(&until) if f.time <= until => score.predicted += 1,
+            _ => {
+                score.missed += 1;
+                score.alarms += 1;
+            }
+        }
+        open_until.insert(f.node.0, f.time + cfg.horizon);
+    }
+    score
+}
+
+/// Recall as a function of horizon — the curve a scheduler integrator
+/// would use to pick the alarm length.
+pub fn recall_curve(faults: &[Fault], horizons_h: &[i64]) -> Vec<(i64, f64)> {
+    horizons_h
+        .iter()
+        .map(|&h| {
+            let score = evaluate_predictor(
+                faults,
+                &PredictorConfig {
+                    horizon: SimDuration::from_hours(h),
+                },
+            );
+            (h, score.recall())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uc_cluster::NodeId;
+    use uc_simclock::SimTime;
+
+    fn fault(node: u32, t_h: i64) -> Fault {
+        Fault {
+            node: NodeId(node),
+            time: SimTime::from_secs(t_h * 3_600),
+            vaddr: 0,
+            expected: 0,
+            actual: 1,
+            temp: None,
+            raw_logs: 1,
+        }
+    }
+
+    #[test]
+    fn poisson_like_stream_cv_near_one() {
+        // Regular-ish random gaps drawn from an exponential via a fixed
+        // recurrence; CV should be near 1, Fano near 1.
+        let mut t = 0i64;
+        let mut faults = Vec::new();
+        let mut x = 12345u64;
+        for _ in 0..4_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = ((x >> 11) as f64 / (1u64 << 53) as f64).max(1e-12);
+            t += (-u.ln() * 3_600.0 * 2.0) as i64 + 1;
+            faults.push(Fault {
+                time: SimTime::from_secs(t),
+                ..fault(1, 0)
+            });
+        }
+        let b = burstiness(&faults);
+        assert!((0.8..=1.2).contains(&b.interarrival_cv), "cv {}", b.interarrival_cv);
+        assert!((0.6..=1.6).contains(&b.daily_fano), "fano {}", b.daily_fano);
+    }
+
+    #[test]
+    fn bursty_stream_cv_large() {
+        // 20 bursts of 50 faults a minute apart, bursts 10 days apart.
+        let mut faults = Vec::new();
+        for burst in 0..20i64 {
+            for k in 0..50i64 {
+                faults.push(Fault {
+                    time: SimTime::from_secs(burst * 10 * 86_400 + k * 60),
+                    ..fault(1, 0)
+                });
+            }
+        }
+        let b = burstiness(&faults);
+        assert!(b.interarrival_cv > 3.0, "cv {}", b.interarrival_cv);
+        assert!(b.daily_fano > 10.0, "fano {}", b.daily_fano);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let b = burstiness(&[fault(1, 0), fault(1, 1)]);
+        assert!(b.mean_interarrival_h.is_nan());
+    }
+
+    #[test]
+    fn predictor_catches_bursts() {
+        // A burst: first fault missed, the rest predicted.
+        let faults: Vec<Fault> = (0..10).map(|h| fault(1, h)).collect();
+        let score = evaluate_predictor(&faults, &PredictorConfig::default());
+        assert_eq!(score.missed, 1);
+        assert_eq!(score.predicted, 9);
+        assert_eq!(score.alarms, 1);
+        assert!((score.recall() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predictor_expires_windows() {
+        // Two faults 48 h apart with a 24 h horizon: both missed.
+        let faults = vec![fault(1, 0), fault(1, 48)];
+        let score = evaluate_predictor(&faults, &PredictorConfig::default());
+        assert_eq!(score.missed, 2);
+        assert_eq!(score.predicted, 0);
+    }
+
+    #[test]
+    fn predictor_windows_are_per_node() {
+        let mut faults = vec![fault(1, 0), fault(2, 1), fault(1, 2), fault(2, 3)];
+        faults.sort_by_key(|f| f.time);
+        let score = evaluate_predictor(&faults, &PredictorConfig::default());
+        assert_eq!(score.missed, 2, "one first-fault per node");
+        assert_eq!(score.predicted, 2);
+    }
+
+    #[test]
+    fn recall_grows_with_horizon() {
+        // Faults every 12 h on one node.
+        let faults: Vec<Fault> = (0..50).map(|k| fault(1, k * 12)).collect();
+        let curve = recall_curve(&faults, &[1, 6, 12, 24]);
+        assert_eq!(curve[0].1, 0.0, "1 h horizon misses everything");
+        assert!(curve[3].1 > 0.95, "24 h horizon catches the cadence");
+        assert!(curve.windows(2).all(|w| w[0].1 <= w[1].1), "monotone");
+    }
+}

@@ -1,0 +1,208 @@
+//! Ablation benches for the design choices DESIGN.md calls out: lane
+//! scrambling on/off, solar-gain on/off, the extraction merge window, the
+//! quarantine trigger, and SECDED vs chipkill judgement cost. Each bench
+//! also checks (once, outside the timed loop) that the ablation changes the
+//! *result* in the expected direction, so these double as documented
+//! experiments. Run with `cargo bench -p uc-bench --bench ablations`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use uc_analysis::extract::{extract_node_faults, ExtractConfig};
+use uc_bench::{campaign, faults};
+use uc_cluster::NodeId;
+use uc_dram::LaneScrambler;
+use uc_resilience::quarantine::{QuarantineConfig, QuarantineSim};
+use uc_simclock::solar::BARCELONA;
+use uc_simclock::{NeutronFlux, SimDuration};
+
+fn scrambler_ablation(c: &mut Criterion) {
+    // With the board scrambler, physically adjacent strikes land on
+    // non-adjacent logical bits (the paper's Table I observation); the
+    // identity mapping keeps them adjacent.
+    let real = LaneScrambler::default();
+    let ident = LaneScrambler::identity();
+    let real_mean = real.adjacent_pair_distances().iter().sum::<u32>() as f64 / 31.0;
+    let ident_mean = ident.adjacent_pair_distances().iter().sum::<u32>() as f64 / 31.0;
+    assert!(real_mean > 2.0 && (ident_mean - 1.0).abs() < 1e-9);
+
+    let mut group = c.benchmark_group("ablation_scrambler");
+    group.bench_function("strike_mask_scrambled", |b| {
+        let mut lane = 0u32;
+        b.iter(|| {
+            lane = (lane + 1) & 31;
+            black_box(real.strike_mask(lane, 3))
+        })
+    });
+    group.bench_function("strike_mask_identity", |b| {
+        let mut lane = 0u32;
+        b.iter(|| {
+            lane = (lane + 1) & 31;
+            black_box(ident.strike_mask(lane, 3))
+        })
+    });
+    group.finish();
+}
+
+fn solar_gain_ablation(c: &mut Criterion) {
+    // Solar gain drives the Fig. 6 day/night asymmetry; zero gain flattens
+    // the flux entirely.
+    let on = NeutronFlux::new(BARCELONA);
+    let off = NeutronFlux::with_gain(BARCELONA, 0.0);
+    assert!(on.day_night_ratio(100) > 1.8);
+    assert!((off.day_night_ratio(100) - 11.0 / 13.0).abs() < 0.01);
+
+    let mut group = c.benchmark_group("ablation_solar_gain");
+    for (name, flux) in [("gain_on", on), ("gain_off", off)] {
+        group.bench_function(name, |b| {
+            let mut t = 0i64;
+            b.iter(|| {
+                t += 60;
+                black_box(flux.factor(uc_simclock::SimTime::from_secs(t)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn merge_window_ablation(c: &mut Criterion) {
+    // The extraction merge window separates "one fault re-detected" from
+    // "independent re-occurrences": widening it collapses the weak-bit
+    // nodes' thousands of intermittent errors into a handful of faults.
+    let result = campaign();
+    let weak = NodeId::from_name("04-05").unwrap();
+    let log = &result
+        .outcomes
+        .iter()
+        .find(|o| o.node == weak)
+        .expect("weak node present")
+        .log;
+    let narrow = ExtractConfig {
+        merge_window: SimDuration::from_secs(45),
+    };
+    let wide = ExtractConfig {
+        merge_window: SimDuration::from_hours(24),
+    };
+    let n_narrow = extract_node_faults(log, &narrow).len();
+    let n_wide = extract_node_faults(log, &wide).len();
+    assert!(
+        n_narrow > n_wide * 5,
+        "wide window collapses intermittents: {n_narrow} vs {n_wide}"
+    );
+
+    let mut group = c.benchmark_group("ablation_merge_window");
+    group.bench_function("window_45s", |b| {
+        b.iter(|| black_box(extract_node_faults(log, &narrow).len()))
+    });
+    group.bench_function("window_24h", |b| {
+        b.iter(|| black_box(extract_node_faults(log, &wide).len()))
+    });
+    group.finish();
+}
+
+fn quarantine_trigger_ablation(c: &mut Criterion) {
+    let fs = faults();
+    let cfg = &campaign().config;
+    let sim = QuarantineSim {
+        observed_hours: cfg.study_days() as f64 * 24.0,
+        fleet_nodes: cfg.topology.monitored_node_count(),
+        exclude: vec![NodeId::from_name("02-04").unwrap()],
+    };
+    let aggressive = QuarantineConfig {
+        quarantine_days: 15,
+        trigger_faults: 1,
+        trigger_window: SimDuration::from_days(1),
+    };
+    let lax = QuarantineConfig {
+        quarantine_days: 15,
+        trigger_faults: 20,
+        trigger_window: SimDuration::from_days(1),
+    };
+    let a = sim.run(fs, &aggressive);
+    let l = sim.run(fs, &lax);
+    assert!(a.surviving_faults < l.surviving_faults);
+    assert!(a.node_days_quarantined >= l.node_days_quarantined);
+
+    let mut group = c.benchmark_group("ablation_quarantine_trigger");
+    group.bench_function("trigger_1_per_day", |b| {
+        b.iter(|| black_box(sim.run(fs, &aggressive).surviving_faults))
+    });
+    group.bench_function("trigger_20_per_day", |b| {
+        b.iter(|| black_box(sim.run(fs, &lax).surviving_faults))
+    });
+    group.finish();
+}
+
+fn ecc_judgement_ablation(c: &mut Criterion) {
+    // Judging the whole campaign's faults under each code: the chipkill
+    // decode is heavier (GF(16) syndromes) but stays comfortably fast.
+    let fs = faults();
+    let mut group = c.benchmark_group("ablation_ecc_judgement");
+    group.bench_function("secded_all_faults", |b| {
+        b.iter(|| black_box(uc_analysis::multibit::secded_counterfactual(fs)))
+    });
+    group.bench_function("chipkill_all_faults", |b| {
+        b.iter(|| black_box(uc_analysis::multibit::chipkill_counterfactual(fs)))
+    });
+    group.finish();
+}
+
+fn resilience_policies(c: &mut Criterion) {
+    // The Section IV policy simulators over the cached fault stream.
+    let fs = faults();
+    let cfg = &campaign().config;
+    let jobs = uc_resilience::placement::job_stream(
+        cfg.sched.start,
+        cfg.sched.end,
+        SimDuration::from_hours(4),
+        16,
+    );
+    let mut group = c.benchmark_group("resilience_policies");
+    group.bench_function("placement_oblivious", |b| {
+        b.iter(|| {
+            black_box(uc_resilience::placement::simulate_placement(
+                fs,
+                &jobs,
+                cfg.topology.monitored_node_count(),
+                uc_resilience::placement::Policy::Oblivious,
+            ))
+        })
+    });
+    group.bench_function("placement_avoid_history", |b| {
+        b.iter(|| {
+            black_box(uc_resilience::placement::simulate_placement(
+                fs,
+                &jobs,
+                cfg.topology.monitored_node_count(),
+                uc_resilience::placement::Policy::AvoidHistory,
+            ))
+        })
+    });
+    group.bench_function("scrub_sweep", |b| {
+        b.iter(|| black_box(uc_resilience::scrubbing::scrub_sweep(fs, &[1, 6, 24, 168]).len()))
+    });
+    group.bench_function("predictor_recall_curve", |b| {
+        b.iter(|| black_box(uc_analysis::temporal::recall_curve(fs, &[1, 6, 24, 72]).len()))
+    });
+    group.bench_function("protected_machine_replay", |b| {
+        b.iter(|| {
+            black_box(uc_resilience::ecc_machine::protected_outcome(
+                fs,
+                uc_resilience::ecc_machine::Protection::Secded,
+                10_000.0,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    ablations,
+    scrambler_ablation,
+    solar_gain_ablation,
+    merge_window_ablation,
+    quarantine_trigger_ablation,
+    ecc_judgement_ablation,
+    resilience_policies
+);
+criterion_main!(ablations);

@@ -1,0 +1,158 @@
+//! One bench per paper figure: each measures the analysis pass that
+//! regenerates that figure's dataset from the cached campaign. Run with
+//! `cargo bench -p uc-bench --bench figures`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use uc_analysis::daily::DailySeries;
+use uc_analysis::diurnal::HourlyProfile;
+use uc_analysis::heatmap::NodeGrid;
+use uc_analysis::regime::RegimeDays;
+use uc_analysis::simultaneity::MultiplicityComparison;
+use uc_analysis::spatial::top_node_series;
+use uc_analysis::temperature::TemperatureProfile;
+use uc_bench::{campaign, faults};
+
+fn first_day() -> i64 {
+    campaign().config.first_day()
+}
+
+fn days() -> usize {
+    campaign().config.study_days()
+}
+
+fn fig01_scan_hours(c: &mut Criterion) {
+    let result = campaign();
+    c.bench_function("fig01_scan_hours_grid", |b| {
+        b.iter(|| {
+            let mut grid = NodeGrid::paper_size();
+            for o in &result.outcomes {
+                grid.set(o.node, o.monitored_hours);
+            }
+            black_box(grid.total())
+        })
+    });
+}
+
+fn fig02_terabyte_hours(c: &mut Criterion) {
+    let result = campaign();
+    c.bench_function("fig02_tbh_grid", |b| {
+        b.iter(|| {
+            let mut grid = NodeGrid::paper_size();
+            for o in &result.outcomes {
+                grid.set(o.node, o.terabyte_hours);
+            }
+            black_box(grid.total())
+        })
+    });
+}
+
+fn fig03_faults_per_node(c: &mut Criterion) {
+    let fs = faults();
+    c.bench_function("fig03_fault_grid", |b| {
+        b.iter(|| {
+            let mut grid = NodeGrid::paper_size();
+            for f in fs {
+                grid.add(f.node, 1.0);
+            }
+            black_box(grid.nonzero_cells())
+        })
+    });
+}
+
+fn fig04_simultaneity(c: &mut Criterion) {
+    let fs = faults();
+    c.bench_function("fig04_multiplicity_comparison", |b| {
+        b.iter(|| black_box(MultiplicityComparison::compute(fs)))
+    });
+    c.bench_function("fig04_coincidence_stats", |b| {
+        b.iter(|| black_box(uc_analysis::simultaneity::coincidence_stats(fs)))
+    });
+}
+
+fn fig05_fig06_hourly(c: &mut Criterion) {
+    let fs = faults();
+    c.bench_function("fig05_hourly_profile", |b| {
+        b.iter(|| black_box(HourlyProfile::compute(fs)))
+    });
+    let profile = HourlyProfile::compute(fs);
+    c.bench_function("fig06_multibit_day_night", |b| {
+        b.iter(|| black_box(profile.multibit_day_night()))
+    });
+}
+
+fn fig07_fig08_temperature(c: &mut Criterion) {
+    let fs = faults();
+    c.bench_function("fig07_temperature_profile", |b| {
+        b.iter(|| black_box(TemperatureProfile::compute(fs).points.len()))
+    });
+    let profile = TemperatureProfile::compute(fs);
+    c.bench_function("fig08_multibit_temperature_hist", |b| {
+        b.iter(|| black_box(profile.histogram(true).total()))
+    });
+}
+
+fn fig09_to_fig11_daily(c: &mut Criterion) {
+    let result = campaign();
+    let fs = faults();
+    c.bench_function("fig09_daily_tbh_from_logs", |b| {
+        b.iter(|| {
+            let mut daily = DailySeries::new(first_day(), days());
+            for o in &result.outcomes {
+                daily.add_node_log(&o.log);
+            }
+            black_box(daily.tb_hours.iter().sum::<f64>())
+        })
+    });
+    c.bench_function("fig10_fig11_daily_faults", |b| {
+        b.iter(|| {
+            let mut daily = DailySeries::new(first_day(), days());
+            daily.add_faults(fs);
+            black_box((daily.fault_totals(), daily.multibit_totals()))
+        })
+    });
+    c.bench_function("fig09_pearson_scan_vs_errors", |b| {
+        let mut daily = DailySeries::new(first_day(), days());
+        for o in &result.outcomes {
+            daily.add_node_log(&o.log);
+        }
+        daily.add_faults(fs);
+        b.iter(|| black_box(daily.scan_error_correlation()))
+    });
+}
+
+fn fig12_spatial(c: &mut Criterion) {
+    let fs = faults();
+    c.bench_function("fig12_top_node_series", |b| {
+        b.iter(|| black_box(top_node_series(fs, 3, first_day(), days()).others.len()))
+    });
+    c.bench_function("fig12_node_census", |b| {
+        b.iter(|| black_box(uc_analysis::spatial::node_census(fs).len()))
+    });
+}
+
+fn fig13_regime(c: &mut Criterion) {
+    let fs = faults();
+    let excluded = vec![uc_cluster::NodeId::from_name("02-04").unwrap()];
+    c.bench_function("fig13_regime_classification", |b| {
+        b.iter(|| {
+            let r = RegimeDays::compute(fs, &excluded, first_day(), days());
+            black_box(r.summary())
+        })
+    });
+}
+
+criterion_group!(
+    figures,
+    fig01_scan_hours,
+    fig02_terabyte_hours,
+    fig03_faults_per_node,
+    fig04_simultaneity,
+    fig05_fig06_hourly,
+    fig07_fig08_temperature,
+    fig09_to_fig11_daily,
+    fig12_spatial,
+    fig13_regime
+);
+criterion_main!(figures);

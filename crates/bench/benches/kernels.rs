@@ -1,0 +1,165 @@
+//! Hot-loop kernels: the scan pass itself, the ECC codecs, the extraction
+//! pipeline, the PRNG, the parallel runtime and the log codec. Run with
+//! `cargo bench -p uc-bench --bench kernels`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use uc_analysis::extract::{extract_node_faults, ExtractConfig};
+use uc_bench::campaign;
+use uc_cluster::NodeId;
+use uc_dram::ecc::{ChipkillCode, Secded3932};
+use uc_dram::{Geometry, VecDevice};
+use uc_memscan::{DeviceScanner, Pattern};
+use uc_parallel::{par_map, par_reduce};
+use uc_simclock::rng::StreamRng;
+use uc_simclock::SimTime;
+
+fn scan_pass(c: &mut Criterion) {
+    let words = Geometry::TINY.words();
+    let mut group = c.benchmark_group("scan_pass");
+    group.throughput(Throughput::Bytes(words * 4));
+    group.bench_function("device_scan_iteration_256KiB", |b| {
+        let device = VecDevice::new(Geometry::TINY, 1);
+        let (mut scanner, _) = DeviceScanner::start(
+            device,
+            Pattern::Alternating,
+            NodeId(0),
+            SimTime::from_secs(0),
+            None,
+        );
+        let mut t = 1i64;
+        b.iter(|| {
+            let rep = scanner.run_iteration(SimTime::from_secs(t), None);
+            t += 1;
+            black_box(rep.errors.len())
+        })
+    });
+    group.finish();
+}
+
+fn ecc_codecs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ecc");
+    group.throughput(Throughput::Elements(1));
+    let secded = Secded3932;
+    group.bench_function("secded_encode", |b| {
+        let mut x = 0u32;
+        b.iter(|| {
+            x = x.wrapping_add(0x9E37_79B9);
+            black_box(secded.encode(x))
+        })
+    });
+    group.bench_function("secded_decode_clean", |b| {
+        let cw = secded.encode(0xDEAD_BEEF);
+        b.iter(|| black_box(secded.decode(cw, 0xDEAD_BEEF)))
+    });
+    group.bench_function("secded_judge_double_flip", |b| {
+        b.iter(|| black_box(secded.judge_data_corruption(0xFFFF_FFFF, 0b1010_0000)))
+    });
+    let chipkill = ChipkillCode;
+    group.bench_function("chipkill_encode", |b| {
+        let mut x = 0u32;
+        b.iter(|| {
+            x = x.wrapping_add(0x9E37_79B9);
+            black_box(chipkill.encode(x))
+        })
+    });
+    group.bench_function("chipkill_decode_single_symbol_error", |b| {
+        let cw = chipkill.encode(0x0BAD_F00D) ^ (0x7 << 20);
+        b.iter(|| black_box(chipkill.decode(cw, 0x0BAD_F00D)))
+    });
+    group.finish();
+}
+
+fn extraction(c: &mut Criterion) {
+    let result = campaign();
+    // The hottest node's log: the degrading node.
+    let hot = NodeId::from_name("02-04").unwrap();
+    let hot_log = result
+        .outcomes
+        .iter()
+        .find(|o| o.node == hot)
+        .expect("hot node present");
+    let mut group = c.benchmark_group("extraction");
+    group.throughput(Throughput::Elements(hot_log.log.raw_record_count()));
+    group.bench_function("extract_hot_node_log", |b| {
+        b.iter(|| black_box(extract_node_faults(&hot_log.log, &ExtractConfig::default()).len()))
+    });
+    group.finish();
+}
+
+fn prng(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prng");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("xoshiro_next_u64", |b| {
+        let mut rng = StreamRng::from_seed(1);
+        b.iter(|| black_box(rng.next_u64()))
+    });
+    group.bench_function("lemire_below_1000", |b| {
+        let mut rng = StreamRng::from_seed(2);
+        b.iter(|| black_box(rng.below(1000)))
+    });
+    group.bench_function("poisson_mean_5", |b| {
+        let mut rng = StreamRng::from_seed(3);
+        b.iter(|| black_box(uc_simclock::dist::poisson(&mut rng, 5.0)))
+    });
+    group.finish();
+}
+
+fn parallel_runtime(c: &mut Criterion) {
+    let items: Vec<u64> = (0..100_000).collect();
+    let mut group = c.benchmark_group("parallel");
+    group.throughput(Throughput::Elements(items.len() as u64));
+    group.bench_function("par_map_square_100k", |b| {
+        b.iter(|| black_box(par_map(&items, |_, &x| x.wrapping_mul(x)).len()))
+    });
+    group.bench_function("par_reduce_sum_100k", |b| {
+        b.iter(|| {
+            black_box(par_reduce(
+                &items,
+                || 0u64,
+                |acc, _, &x| acc.wrapping_add(x),
+                |a, b| a.wrapping_add(b),
+            ))
+        })
+    });
+    group.bench_function("sequential_sum_100k_baseline", |b| {
+        b.iter(|| black_box(items.iter().copied().fold(0u64, u64::wrapping_add)))
+    });
+    group.finish();
+}
+
+fn log_codec(c: &mut Criterion) {
+    use uc_faultlog::codec::{format_record, parse_line};
+    use uc_faultlog::record::{ErrorRecord, LogRecord, TempC};
+    let rec = LogRecord::Error(ErrorRecord {
+        time: SimTime::from_secs(2_679_000),
+        node: NodeId::from_name("02-04").unwrap(),
+        vaddr: 0x00fa_3b9c,
+        phys_page: 0x3e8,
+        expected: 0xffff_ffff,
+        actual: 0xffff_7bff,
+        temp: Some(TempC(35.0)),
+    });
+    let line = format_record(&rec);
+    let mut group = c.benchmark_group("log_codec");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("format_error_record", |b| {
+        b.iter(|| black_box(format_record(&rec).len()))
+    });
+    group.bench_function("parse_error_line", |b| {
+        b.iter(|| black_box(parse_line(&line).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    kernels,
+    scan_pass,
+    ecc_codecs,
+    extraction,
+    prng,
+    parallel_runtime,
+    log_codec
+);
+criterion_main!(kernels);

@@ -1,0 +1,57 @@
+//! Tables I and II, plus the headline-statistics pass and the full report
+//! build. Run with `cargo bench -p uc-bench --bench tables`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use uc_analysis::multibit::{flip_directions, multibit_stats, table_i};
+use uc_bench::{campaign, faults};
+use uc_resilience::quarantine::QuarantineSim;
+use unprotected_core::Report;
+
+fn table1_multibit(c: &mut Criterion) {
+    let fs = faults();
+    c.bench_function("table1_pattern_table", |b| {
+        b.iter(|| black_box(table_i(fs).len()))
+    });
+    c.bench_function("table1_multibit_stats", |b| {
+        b.iter(|| black_box(multibit_stats(fs)))
+    });
+    c.bench_function("table1_flip_directions", |b| {
+        b.iter(|| black_box(flip_directions(fs)))
+    });
+}
+
+fn table2_quarantine(c: &mut Criterion) {
+    let fs = faults();
+    let cfg = &campaign().config;
+    let sim = QuarantineSim {
+        observed_hours: cfg.study_days() as f64 * 24.0,
+        fleet_nodes: cfg.topology.monitored_node_count(),
+        exclude: vec![uc_cluster::NodeId::from_name("02-04").unwrap()],
+    };
+    c.bench_function("table2_quarantine_sweep", |b| {
+        b.iter(|| black_box(sim.sweep(fs, &[0, 5, 10, 15, 20, 25, 30]).len()))
+    });
+}
+
+fn headline_and_full_report(c: &mut Criterion) {
+    let result = campaign();
+    c.bench_function("headline_characterized_faults", |b| {
+        b.iter(|| black_box(result.characterized_faults().len()))
+    });
+    c.bench_function("full_report_build", |b| {
+        b.iter(|| black_box(Report::build(result).headline.independent_faults))
+    });
+    c.bench_function("full_campaign_run_8_blades", |b| {
+        b.iter(|| {
+            let r = unprotected_core::run_campaign(
+                &unprotected_core::CampaignConfig::small(42, 8),
+            );
+            black_box(r.raw_error_logs())
+        })
+    });
+}
+
+criterion_group!(tables, table1_multibit, table2_quarantine, headline_and_full_report);
+criterion_main!(tables);

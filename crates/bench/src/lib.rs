@@ -1,0 +1,41 @@
+//! # uc-bench — shared fixtures for the benchmark harness
+//!
+//! Criterion benches live in `benches/`:
+//!
+//! - `figures`: one bench per paper figure (Figs. 1-13) — each measures the
+//!   analysis pass that regenerates that figure's dataset from a cached
+//!   campaign;
+//! - `tables`: Tables I and II (multi-bit pattern table, quarantine sweep);
+//! - `kernels`: the hot loops (scan pass, ECC codecs, extraction, PRNG,
+//!   parallel map, log codec);
+//! - `ablations`: design-choice studies (lane scrambling on/off, solar gain
+//!   on/off, merge window, quarantine trigger, SECDED vs chipkill).
+//!
+//! The campaign fixture is built once per process and shared.
+
+use std::sync::OnceLock;
+
+use uc_analysis::fault::Fault;
+use unprotected_core::{run_campaign, CampaignConfig, CampaignResult};
+
+/// A cached scaled-down campaign (8 blades, full 13-month window) — large
+/// enough to exercise every code path, small enough to build in ~300 ms.
+pub fn campaign() -> &'static CampaignResult {
+    static CELL: OnceLock<CampaignResult> = OnceLock::new();
+    CELL.get_or_init(|| run_campaign(&CampaignConfig::small(42, 8)))
+}
+
+/// The characterized fault set of the cached campaign.
+pub fn faults() -> &'static Vec<Fault> {
+    static CELL: OnceLock<Vec<Fault>> = OnceLock::new();
+    CELL.get_or_init(|| campaign().characterized_faults())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fixtures_build() {
+        assert!(!super::faults().is_empty());
+        assert!(!super::campaign().outcomes.is_empty());
+    }
+}

@@ -1,0 +1,60 @@
+//! # uc-cluster — the prototype machine's topology
+//!
+//! Models the Mont-Blanc-style prototype the paper studies:
+//!
+//! - 2 racks, 4 chassis per rack, 9 blades per chassis, 15 SoC nodes per
+//!   blade — 72 blades / 1080 nodes total;
+//! - each node: 2 ARM cores @ 1.7 GHz, 4 GB ECC-less LPDDR, of which at most
+//!   3 GB is allocatable by applications (and by the memory scanner);
+//! - one chassis (9 blades) dedicated to another study and excluded, leaving
+//!   63 monitored blades / 945 nodes;
+//! - 9 login nodes (the first SoC of the first nine blades);
+//! - a handful of nodes dead from permanent hardware failures;
+//! - the SoC-12 position overheats (rack airflow) and is powered off for
+//!   long stretches; blade 33 was shut down for hardware issues.
+//!
+//! The paper names nodes `BB-SS` (blade-SoC); [`NodeName`] reproduces that.
+
+pub mod roles;
+pub mod topology;
+
+pub use roles::{NodeRole, RoleMap};
+pub use topology::{BladeId, NodeId, NodeName, Topology};
+
+/// Bytes per node of installed LPDDR (4 GB).
+pub const NODE_DRAM_BYTES: u64 = 4 * 1024 * 1024 * 1024;
+
+/// Largest allocation applications (and the scanner) can make: 3 GB.
+pub const NODE_SCANNABLE_BYTES: u64 = 3 * 1024 * 1024 * 1024;
+
+/// Memory word size the scanner checks, in bytes (32-bit words).
+pub const WORD_BYTES: u64 = 4;
+
+/// Number of SoC nodes per blade.
+pub const SOCS_PER_BLADE: u32 = 15;
+
+/// Number of blades per chassis.
+pub const BLADES_PER_CHASSIS: u32 = 9;
+
+/// Number of chassis per rack.
+pub const CHASSIS_PER_RACK: u32 = 4;
+
+/// Number of racks.
+pub const RACKS: u32 = 2;
+
+/// Total blades in the machine.
+pub const TOTAL_BLADES: u32 = RACKS * CHASSIS_PER_RACK * BLADES_PER_CHASSIS;
+
+/// Total SoC nodes in the machine.
+pub const TOTAL_NODES: u32 = TOTAL_BLADES * SOCS_PER_BLADE;
+
+/// Blades that take part in the memory study (one chassis is excluded).
+pub const MONITORED_BLADES: u32 = TOTAL_BLADES - BLADES_PER_CHASSIS;
+
+/// The SoC position (0-based) that overheats due to its rack location.
+/// The paper calls it "SoC 12" in 1-based numbering.
+pub const OVERHEATING_SOC: u32 = 11;
+
+/// The blade (0-based) shut down during the year for hardware issues
+/// ("Blade 33" in the paper's 1-based numbering).
+pub const SHUTDOWN_BLADE: u32 = 32;

@@ -1,0 +1,211 @@
+//! Node roles and operational status.
+//!
+//! Beyond the excluded chassis, the paper removes further nodes from the
+//! monitored pool: 9 login nodes (the first SoC of the first nine blades
+//! per Fig. 1), and nodes with permanent hardware failures. 923 of the 945
+//! candidate nodes were continuously scanned.
+
+use crate::topology::{BladeId, NodeId, Topology};
+use crate::{SOCS_PER_BLADE, TOTAL_NODES};
+
+/// Role of a node during the study.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum NodeRole {
+    /// Scanned for errors whenever idle.
+    #[default]
+    Scanned,
+    /// Login node: never scanned.
+    Login,
+    /// Part of the chassis dedicated to another study.
+    ExcludedChassis,
+    /// Permanent hardware failure before/at study start: never scanned.
+    DeadHardware,
+}
+
+/// Per-node role assignment.
+#[derive(Clone, Debug)]
+pub struct RoleMap {
+    roles: Vec<NodeRole>,
+}
+
+/// Number of login nodes in the real machine.
+pub const LOGIN_NODES: u32 = 9;
+
+/// Nodes that never got scanned due to permanent hardware failures, chosen
+/// so the scanned-node census matches the paper's 923.
+pub const DEAD_NODES: u32 = 945 - LOGIN_NODES - 923; // = 13
+
+impl RoleMap {
+    /// The paper's configuration: excluded chassis, 9 login SoCs (first SoC
+    /// of blades 1..=9), and `DEAD_NODES` dead nodes spread deterministically
+    /// over the monitored blades.
+    pub fn paper_defaults(topology: &Topology) -> RoleMap {
+        let mut roles = vec![NodeRole::Scanned; TOTAL_NODES as usize];
+        for node in topology.all_nodes() {
+            if !topology.is_monitored_blade(node) {
+                roles[node.index()] = NodeRole::ExcludedChassis;
+            }
+        }
+        for blade in 0..LOGIN_NODES.min(topology.monitored_blades) {
+            let id = NodeId::new(BladeId(blade), 0);
+            roles[id.index()] = NodeRole::Login;
+        }
+        // Dead nodes: a deterministic scatter over monitored blades, away
+        // from the login SoCs. Spread with a stride that avoids collisions.
+        let monitored = topology.monitored_blades;
+        if monitored > 0 {
+            let mut placed = 0;
+            let mut k = 0u32;
+            while placed < DEAD_NODES && k < 10_000 {
+                let blade = (7 + k * 11) % monitored;
+                let soc = 1 + (k * 5) % (SOCS_PER_BLADE - 1);
+                let id = NodeId::new(BladeId(blade), soc);
+                if roles[id.index()] == NodeRole::Scanned {
+                    roles[id.index()] = NodeRole::DeadHardware;
+                    placed += 1;
+                }
+                k += 1;
+            }
+        }
+        RoleMap { roles }
+    }
+
+    /// A role map with every monitored node scanned (tests, small runs).
+    pub fn all_scanned(topology: &Topology) -> RoleMap {
+        let mut roles = vec![NodeRole::Scanned; TOTAL_NODES as usize];
+        for node in topology.all_nodes() {
+            if !topology.is_monitored_blade(node) {
+                roles[node.index()] = NodeRole::ExcludedChassis;
+            }
+        }
+        RoleMap { roles }
+    }
+
+    pub fn role(&self, node: NodeId) -> NodeRole {
+        self.roles[node.index()]
+    }
+
+    /// Force the given nodes to be scanned if they were placed in the
+    /// dead-hardware pool, preserving the dead-node census by moving the
+    /// dead role to the next free compute node. Used when a fault scenario
+    /// designates specific nodes (they demonstrably ran).
+    pub fn ensure_scanned(&mut self, nodes: &[NodeId]) {
+        for &n in nodes {
+            if self.roles[n.index()] != NodeRole::DeadHardware {
+                continue;
+            }
+            self.roles[n.index()] = NodeRole::Scanned;
+            // Re-home the dead role on the next scanned node not in `nodes`.
+            let replacement = (0..TOTAL_NODES).map(NodeId).find(|m| {
+                self.roles[m.index()] == NodeRole::Scanned && !nodes.contains(m)
+            });
+            if let Some(m) = replacement {
+                self.roles[m.index()] = NodeRole::DeadHardware;
+            }
+        }
+    }
+
+    /// Whether the node takes part in memory scanning.
+    pub fn is_scanned(&self, node: NodeId) -> bool {
+        self.role(node) == NodeRole::Scanned
+    }
+
+    /// All nodes with the [`NodeRole::Scanned`] role, in id order.
+    pub fn scanned_nodes(&self) -> Vec<NodeId> {
+        (0..TOTAL_NODES)
+            .map(NodeId)
+            .filter(|n| self.is_scanned(*n))
+            .collect()
+    }
+
+    /// Census by role: (scanned, login, excluded, dead).
+    pub fn census(&self) -> (u32, u32, u32, u32) {
+        let mut c = (0, 0, 0, 0);
+        for r in &self.roles {
+            match r {
+                NodeRole::Scanned => c.0 += 1,
+                NodeRole::Login => c.1 += 1,
+                NodeRole::ExcludedChassis => c.2 += 1,
+                NodeRole::DeadHardware => c.3 += 1,
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_census_matches() {
+        let topo = Topology::default();
+        let roles = RoleMap::paper_defaults(&topo);
+        let (scanned, login, excluded, dead) = roles.census();
+        assert_eq!(scanned, 923, "923 continuously scanned nodes");
+        assert_eq!(login, 9);
+        assert_eq!(excluded, 135, "one chassis of 9 blades x 15 SoCs");
+        assert_eq!(dead, 13);
+        assert_eq!(scanned + login + excluded + dead, 1080);
+    }
+
+    #[test]
+    fn login_nodes_are_first_soc_of_first_blades() {
+        let topo = Topology::default();
+        let roles = RoleMap::paper_defaults(&topo);
+        for blade in 0..9 {
+            let id = NodeId::new(BladeId(blade), 0);
+            assert_eq!(roles.role(id), NodeRole::Login, "{id}");
+        }
+        assert_eq!(
+            roles.role(NodeId::new(BladeId(9), 0)),
+            NodeRole::Scanned,
+            "blade 10's first SoC is a compute node"
+        );
+    }
+
+    #[test]
+    fn excluded_chassis_not_scanned() {
+        let topo = Topology::default();
+        let roles = RoleMap::paper_defaults(&topo);
+        for blade in 63..72 {
+            for soc in 0..SOCS_PER_BLADE {
+                assert_eq!(
+                    roles.role(NodeId::new(BladeId(blade), soc)),
+                    NodeRole::ExcludedChassis
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scanned_nodes_sorted_and_consistent() {
+        let topo = Topology::default();
+        let roles = RoleMap::paper_defaults(&topo);
+        let nodes = roles.scanned_nodes();
+        assert_eq!(nodes.len(), 923);
+        assert!(nodes.windows(2).all(|w| w[0] < w[1]));
+        assert!(nodes.iter().all(|n| roles.is_scanned(*n)));
+    }
+
+    #[test]
+    fn all_scanned_variant() {
+        let topo = Topology::default();
+        let roles = RoleMap::all_scanned(&topo);
+        let (scanned, login, excluded, dead) = roles.census();
+        assert_eq!(scanned, 945);
+        assert_eq!(login, 0);
+        assert_eq!(excluded, 135);
+        assert_eq!(dead, 0);
+    }
+
+    #[test]
+    fn scaled_topology_roles() {
+        let topo = Topology::scaled(4);
+        let roles = RoleMap::paper_defaults(&topo);
+        let (scanned, login, excluded, dead) = roles.census();
+        assert_eq!(excluded, (72 - 4) * 15);
+        assert_eq!(login, 4);
+        assert_eq!(scanned + login + dead, 60);
+    }
+}

@@ -1,0 +1,259 @@
+//! Node/blade identifiers and the machine layout.
+
+use core::fmt;
+
+use crate::{
+    BLADES_PER_CHASSIS, CHASSIS_PER_RACK, MONITORED_BLADES, SOCS_PER_BLADE, TOTAL_BLADES,
+    TOTAL_NODES,
+};
+
+/// A blade index, `0..TOTAL_BLADES`. Displayed 1-based, as in the paper.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BladeId(pub u32);
+
+/// A node (SoC) index, `0..TOTAL_NODES`. Dense, usable as an array index.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+/// The paper's `BB-SS` node naming (blade and SoC, both 1-based, zero
+/// padded): node "02-04" is blade 2, SoC 4.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct NodeName {
+    pub blade: u32, // 1-based
+    pub soc: u32,   // 1-based
+}
+
+impl BladeId {
+    /// Rack of this blade, `0..RACKS`.
+    pub fn rack(self) -> u32 {
+        self.0 / (CHASSIS_PER_RACK * BLADES_PER_CHASSIS)
+    }
+
+    /// Chassis within the machine, `0..RACKS*CHASSIS_PER_RACK`.
+    pub fn chassis(self) -> u32 {
+        self.0 / BLADES_PER_CHASSIS
+    }
+
+    /// Position of the blade within its chassis, `0..BLADES_PER_CHASSIS`.
+    pub fn slot(self) -> u32 {
+        self.0 % BLADES_PER_CHASSIS
+    }
+}
+
+impl NodeId {
+    pub fn new(blade: BladeId, soc: u32) -> NodeId {
+        assert!(blade.0 < TOTAL_BLADES, "blade {} out of range", blade.0);
+        assert!(soc < SOCS_PER_BLADE, "soc {soc} out of range");
+        NodeId(blade.0 * SOCS_PER_BLADE + soc)
+    }
+
+    /// Parse the paper's `BB-SS` name (1-based components).
+    pub fn from_name(name: &str) -> Option<NodeId> {
+        let (b, s) = name.split_once('-')?;
+        let blade: u32 = b.parse().ok()?;
+        let soc: u32 = s.parse().ok()?;
+        if blade == 0 || blade > TOTAL_BLADES || soc == 0 || soc > SOCS_PER_BLADE {
+            return None;
+        }
+        Some(NodeId::new(BladeId(blade - 1), soc - 1))
+    }
+
+    /// Blade this node sits on.
+    pub fn blade(self) -> BladeId {
+        BladeId(self.0 / SOCS_PER_BLADE)
+    }
+
+    /// SoC position within the blade, `0..SOCS_PER_BLADE`.
+    pub fn soc(self) -> u32 {
+        self.0 % SOCS_PER_BLADE
+    }
+
+    /// Display name in the paper's format.
+    pub fn name(self) -> NodeName {
+        NodeName {
+            blade: self.blade().0 + 1,
+            soc: self.soc() + 1,
+        }
+    }
+
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Physical adjacency within a blade: SoCs at distance 1 in slot order.
+    /// Used to place the paper's isolated SDCs "near the SoC 12" positions.
+    pub fn is_adjacent_soc(self, other: NodeId) -> bool {
+        self.blade() == other.blade() && self.soc().abs_diff(other.soc()) == 1
+    }
+}
+
+impl fmt::Display for BladeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blade{:02}", self.0 + 1)
+    }
+}
+
+impl fmt::Display for NodeName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:02}-{:02}", self.blade, self.soc)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// The machine layout: which blades/nodes exist and which are monitored.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    /// Number of blades participating in the study (the rest are the
+    /// excluded chassis).
+    pub monitored_blades: u32,
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology {
+            monitored_blades: MONITORED_BLADES,
+        }
+    }
+}
+
+impl Topology {
+    /// A scaled-down topology for tests and examples: the first
+    /// `monitored_blades` blades participate.
+    pub fn scaled(monitored_blades: u32) -> Topology {
+        assert!(monitored_blades <= TOTAL_BLADES);
+        Topology { monitored_blades }
+    }
+
+    /// All nodes in the machine (monitored or not).
+    pub fn all_nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..TOTAL_NODES).map(NodeId)
+    }
+
+    /// Nodes on monitored blades (the excluded chassis filtered out).
+    /// Further role filtering (login nodes, dead hardware) happens in
+    /// [`crate::roles::RoleMap`].
+    pub fn monitored_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.monitored_blades * SOCS_PER_BLADE).map(NodeId)
+    }
+
+    /// Number of nodes on monitored blades.
+    pub fn monitored_node_count(&self) -> u32 {
+        self.monitored_blades * SOCS_PER_BLADE
+    }
+
+    /// Whether the node is on a blade participating in the study.
+    pub fn is_monitored_blade(&self, node: NodeId) -> bool {
+        node.blade().0 < self.monitored_blades
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn machine_dimensions() {
+        assert_eq!(TOTAL_BLADES, 72);
+        assert_eq!(TOTAL_NODES, 1080);
+        assert_eq!(MONITORED_BLADES, 63);
+        assert_eq!(Topology::default().monitored_node_count(), 945);
+    }
+
+    #[test]
+    fn node_id_round_trips_blade_soc() {
+        for blade in 0..TOTAL_BLADES {
+            for soc in 0..SOCS_PER_BLADE {
+                let id = NodeId::new(BladeId(blade), soc);
+                assert_eq!(id.blade().0, blade);
+                assert_eq!(id.soc(), soc);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_node_names_parse() {
+        // The three hot nodes the paper names in Fig 12.
+        let n = NodeId::from_name("02-04").unwrap();
+        assert_eq!(n.blade().0, 1);
+        assert_eq!(n.soc(), 3);
+        assert_eq!(n.to_string(), "02-04");
+        assert_eq!(NodeId::from_name("58-02").unwrap().to_string(), "58-02");
+        assert_eq!(NodeId::from_name("04-05").unwrap().to_string(), "04-05");
+    }
+
+    #[test]
+    fn bad_names_rejected() {
+        assert!(NodeId::from_name("00-01").is_none());
+        assert!(NodeId::from_name("73-01").is_none());
+        assert!(NodeId::from_name("01-16").is_none());
+        assert!(NodeId::from_name("01-00").is_none());
+        assert!(NodeId::from_name("junk").is_none());
+        assert!(NodeId::from_name("1").is_none());
+    }
+
+    #[test]
+    fn rack_chassis_slot_math() {
+        let b0 = BladeId(0);
+        assert_eq!((b0.rack(), b0.chassis(), b0.slot()), (0, 0, 0));
+        let b35 = BladeId(35);
+        assert_eq!(b35.rack(), 0);
+        assert_eq!(b35.chassis(), 3);
+        assert_eq!(b35.slot(), 8);
+        let b36 = BladeId(36);
+        assert_eq!(b36.rack(), 1);
+        assert_eq!(b36.chassis(), 4);
+        assert_eq!(b36.slot(), 0);
+        let b71 = BladeId(71);
+        assert_eq!(b71.rack(), 1);
+        assert_eq!(b71.chassis(), 7);
+    }
+
+    #[test]
+    fn monitored_filter() {
+        let t = Topology::default();
+        assert_eq!(t.monitored_nodes().count(), 945);
+        assert!(t.is_monitored_blade(NodeId::new(BladeId(62), 0)));
+        assert!(!t.is_monitored_blade(NodeId::new(BladeId(63), 0)));
+    }
+
+    #[test]
+    fn scaled_topology() {
+        let t = Topology::scaled(4);
+        assert_eq!(t.monitored_node_count(), 60);
+        assert_eq!(t.monitored_nodes().count(), 60);
+        assert_eq!(t.all_nodes().count(), 1080);
+    }
+
+    #[test]
+    fn adjacency_within_blade() {
+        let a = NodeId::new(BladeId(5), 10);
+        let b = NodeId::new(BladeId(5), 11);
+        let c = NodeId::new(BladeId(5), 12);
+        let d = NodeId::new(BladeId(6), 11);
+        assert!(a.is_adjacent_soc(b));
+        assert!(b.is_adjacent_soc(c));
+        assert!(!a.is_adjacent_soc(c));
+        assert!(!b.is_adjacent_soc(d));
+    }
+
+    proptest! {
+        #[test]
+        fn name_roundtrip(blade in 0u32..TOTAL_BLADES, soc in 0u32..SOCS_PER_BLADE) {
+            let id = NodeId::new(BladeId(blade), soc);
+            let parsed = NodeId::from_name(&id.to_string()).unwrap();
+            prop_assert_eq!(parsed, id);
+        }
+
+        #[test]
+        fn dense_index_bijective(raw in 0u32..TOTAL_NODES) {
+            let id = NodeId(raw);
+            prop_assert_eq!(NodeId::new(id.blade(), id.soc()), id);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Campaign configuration.
+
+use uc_cluster::{BladeId, NodeId, Topology};
+use uc_faults::cosmic::MultiBitConfig;
+use uc_faults::degrading::DegradingConfig;
+use uc_faults::flood::FloodConfig;
+use uc_faults::weakbit::WeakBitConfig;
+use uc_faults::FaultScenario;
+use uc_memscan::ScanModel;
+use uc_sched::{LoadModel, SchedConfig};
+use uc_simclock::calendar::CivilDate;
+use uc_thermal::ThermalModel;
+
+/// Everything needed to run one campaign.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Master seed; every stochastic stream derives from it.
+    pub seed: u64,
+    pub topology: Topology,
+    pub sched: SchedConfig,
+    pub load: LoadModel,
+    pub scenario: FaultScenario,
+    pub scan: ScanModel,
+    pub thermal: ThermalModel,
+    /// Fraction of scan sessions using the incrementing pattern (the paper:
+    /// "Most of the study was done using the former *alternating* method").
+    pub incrementing_fraction: f64,
+}
+
+impl CampaignConfig {
+    /// The full-scale paper campaign: 923 scanned nodes, 13 months.
+    pub fn paper_default(seed: u64) -> CampaignConfig {
+        let scenario = FaultScenario::paper_default();
+        let mut sched = SchedConfig::default();
+        // Node 02-04's monitoring gaps (Fig. 12): none from late November
+        // to a brief return in December, then nothing to the end.
+        for d in &scenario.degrading {
+            sched.per_node_blackouts.push((
+                d.node,
+                CivilDate::new(2015, 11, 25).midnight(),
+                CivilDate::new(2015, 12, 8).midnight(),
+            ));
+            sched.per_node_blackouts.push((
+                d.node,
+                CivilDate::new(2015, 12, 10).midnight(),
+                CivilDate::new(2016, 3, 1).midnight(),
+            ));
+        }
+        CampaignConfig {
+            seed,
+            topology: Topology::default(),
+            sched,
+            load: LoadModel::default(),
+            scenario,
+            scan: ScanModel::paper_default(seed ^ 0xD7A3),
+            thermal: ThermalModel::paper_default(seed ^ 0x7E41),
+            incrementing_fraction: 0.10,
+        }
+    }
+
+    /// A scaled-down campaign for tests, examples and benches: the first
+    /// `blades` blades, with the scenario's special nodes relocated inside
+    /// the scaled topology (same structure, smaller machine).
+    pub fn small(seed: u64, blades: u32) -> CampaignConfig {
+        assert!(blades >= 6, "need at least 6 blades for the special nodes");
+        let mut cfg = CampaignConfig::paper_default(seed);
+        cfg.topology = Topology::scaled(blades);
+
+        // Relocate special nodes that fall outside the scaled machine.
+        let degrading_node = NodeId::new(BladeId(1), 3); // keeps "02-04"
+        let weak1 = NodeId::new(BladeId(3), 4); // keeps "04-05"
+        let weak2 = NodeId::new(BladeId(5), 1); // "06-02" stands in for 58-02
+        let flood = NodeId::new(BladeId(4), 6); // "05-07" stands in for 40-07
+
+        let mut scenario = cfg.scenario.clone();
+        for d in &mut scenario.degrading {
+            *d = DegradingConfig {
+                node: degrading_node,
+                ..d.clone()
+            };
+        }
+        scenario.multibit = MultiBitConfig {
+            hot_node: Some(degrading_node),
+            ..scenario.multibit.clone()
+        };
+        scenario.weak_bits = vec![
+            WeakBitConfig {
+                node: weak1,
+                ..scenario.weak_bits[0].clone()
+            },
+            WeakBitConfig {
+                node: weak2,
+                ..scenario.weak_bits[1].clone()
+            },
+        ];
+        if let Some(f) = &mut scenario.flood {
+            *f = FloodConfig {
+                node: flood,
+                ..f.clone()
+            };
+        }
+        // Re-home isolated SDC nodes onto in-range blades, preserving the
+        // near-SoC-12 structure. The odd stride keeps them clear of the
+        // other special nodes (which sit on low blades at low SoCs).
+        for (i, sdc) in scenario.isolated.iter_mut().enumerate() {
+            let blade = (i as u32 * 2 + 7) % blades;
+            let soc = sdc.node.soc();
+            sdc.node = NodeId::new(BladeId(blade), soc);
+        }
+        // Rebuild the per-node blackouts for the relocated hot node.
+        let mut sched = SchedConfig::default();
+        sched.per_node_blackouts.push((
+            degrading_node,
+            CivilDate::new(2015, 11, 25).midnight(),
+            CivilDate::new(2015, 12, 8).midnight(),
+        ));
+        sched.per_node_blackouts.push((
+            degrading_node,
+            CivilDate::new(2015, 12, 10).midnight(),
+            CivilDate::new(2016, 3, 1).midnight(),
+        ));
+        cfg.sched = sched;
+        cfg.scenario = scenario;
+        cfg
+    }
+
+    /// Study span in whole days (for the daily series).
+    pub fn study_days(&self) -> usize {
+        ((self.sched.end - self.sched.start).as_secs() / 86_400) as usize
+    }
+
+    /// First day index of the study window.
+    pub fn first_day(&self) -> i64 {
+        self.sched.start.day_index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_shape() {
+        let cfg = CampaignConfig::paper_default(42);
+        assert_eq!(cfg.topology.monitored_node_count(), 945);
+        assert_eq!(cfg.study_days(), 394);
+        assert_eq!(cfg.first_day(), 31);
+        assert!(!cfg.scenario.degrading.is_empty());
+        assert_eq!(cfg.sched.per_node_blackouts.len(), 2);
+    }
+
+    #[test]
+    fn small_config_relocates_special_nodes() {
+        let cfg = CampaignConfig::small(1, 8);
+        let max_node = cfg.topology.monitored_node_count();
+        for n in cfg.scenario.special_nodes() {
+            assert!(n.0 < max_node, "special node {n} outside scaled machine");
+        }
+        assert_eq!(
+            cfg.scenario.degrading[0].node.to_string(),
+            "02-04"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 6 blades")]
+    fn too_small_rejected() {
+        CampaignConfig::small(1, 3);
+    }
+}

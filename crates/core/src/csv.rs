@@ -1,0 +1,300 @@
+//! CSV export of every figure's data series.
+//!
+//! The ASCII renderings in [`crate::render`] read well in a terminal; a
+//! downstream user regenerating the paper's *plots* wants machine-readable
+//! series. [`write_all`] emits one CSV per figure/table into a directory
+//! (also reachable via `uc report --csv <dir>`).
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use uc_analysis::fault::BitClass;
+
+use crate::report::Report;
+
+fn grid_csv(grid: &uc_analysis::heatmap::NodeGrid) -> String {
+    let mut s = String::from("blade,soc,value\n");
+    for (b, row) in grid.values.iter().enumerate() {
+        for (soc, v) in row.iter().enumerate() {
+            let _ = writeln!(s, "{},{},{v}", b + 1, soc + 1);
+        }
+    }
+    s
+}
+
+/// Fig. 1: per-node scanned hours.
+pub fn fig1(r: &Report) -> String {
+    grid_csv(&r.fig1_hours)
+}
+
+/// Fig. 2: per-node terabyte-hours.
+pub fn fig2(r: &Report) -> String {
+    grid_csv(&r.fig2_tbh)
+}
+
+/// Fig. 3: per-node independent faults.
+pub fn fig3(r: &Report) -> String {
+    grid_csv(&r.fig3_faults)
+}
+
+/// Table I rows.
+pub fn table1(r: &Report) -> String {
+    let mut s = String::from("bits,expected,corrupted,occurrences,consecutive\n");
+    for row in &r.table1 {
+        let _ = writeln!(
+            s,
+            "{},0x{:08x},0x{:08x},{},{}",
+            row.bits_corrupted, row.expected, row.corrupted, row.occurrences, row.consecutive
+        );
+    }
+    s
+}
+
+/// Fig. 4: multiplicity under both accountings.
+pub fn fig4(r: &Report) -> String {
+    let mut s = String::from("bits,per_word,per_node\n");
+    for m in 1..r.fig4.per_word.len() {
+        let (w, n) = (r.fig4.per_word[m], r.fig4.per_node[m]);
+        if w > 0 || n > 0 {
+            let _ = writeln!(s, "{m},{w},{n}");
+        }
+    }
+    s
+}
+
+/// Figs. 5-6: hourly counts per bit class.
+pub fn fig5_fig6(r: &Report) -> String {
+    let mut s = String::from("hour,bits1,bits2,bits3,bits4,bits5,bits6plus,multibit\n");
+    for h in 0..24 {
+        let row = &r.hourly.counts[h];
+        let _ = writeln!(
+            s,
+            "{h},{},{},{},{},{},{},{}",
+            row[BitClass::One as usize],
+            row[BitClass::Two as usize],
+            row[BitClass::Three as usize],
+            row[BitClass::Four as usize],
+            row[BitClass::Five as usize],
+            row[BitClass::SixPlus as usize],
+            r.hourly.hour_multibit(h)
+        );
+    }
+    s
+}
+
+/// Figs. 7-8: temperature scatter (one row per fault with telemetry).
+pub fn fig7_fig8(r: &Report) -> String {
+    let mut s = String::from("temp_c,bits\n");
+    for (t, bits) in &r.temperature.points {
+        let _ = writeln!(s, "{t:.1},{bits}");
+    }
+    s
+}
+
+/// Figs. 9-11: daily series.
+pub fn fig9_to_fig11(r: &Report) -> String {
+    let mut s = String::from("day_index,date,tb_hours,faults,multibit_faults\n");
+    let totals = r.daily.fault_totals();
+    let multis = r.daily.multibit_totals();
+    for (i, tb) in r.daily.tb_hours.iter().enumerate() {
+        let date = uc_simclock::CivilDate::from_day_index(r.daily.first_day + i as i64);
+        let _ = writeln!(
+            s,
+            "{},{date},{tb:.4},{},{}",
+            r.daily.first_day + i as i64,
+            totals[i],
+            multis[i]
+        );
+    }
+    s
+}
+
+/// Fig. 12: top-node daily series.
+pub fn fig12(r: &Report) -> String {
+    let mut header = String::from("day_index,date");
+    for (n, _) in &r.fig12.nodes {
+        let _ = write!(header, ",{n}");
+    }
+    header.push_str(",others\n");
+    let mut s = header;
+    for i in 0..r.fig12.others.len() {
+        let date = uc_simclock::CivilDate::from_day_index(r.fig12.first_day + i as i64);
+        let _ = write!(s, "{},{date}", r.fig12.first_day + i as i64);
+        for (_, series) in &r.fig12.nodes {
+            let _ = write!(s, ",{}", series[i]);
+        }
+        let _ = writeln!(s, ",{}", r.fig12.others[i]);
+    }
+    s
+}
+
+/// Fig. 13: regime flags.
+pub fn fig13(r: &Report) -> String {
+    let mut s = String::from("day_index,date,faults,degraded\n");
+    for (i, &c) in r.regime.counts.iter().enumerate() {
+        let date = uc_simclock::CivilDate::from_day_index(r.regime.first_day + i as i64);
+        let _ = writeln!(
+            s,
+            "{},{date},{c},{}",
+            r.regime.first_day + i as i64,
+            c > uc_analysis::regime::NORMAL_MAX_FAULTS_PER_DAY
+        );
+    }
+    s
+}
+
+/// Table II rows.
+pub fn table2(r: &Report) -> String {
+    let mut s = String::from(
+        "quarantine_days,surviving_faults,node_days_quarantined,system_mtbf_h,availability_loss\n",
+    );
+    for q in &r.table2 {
+        let _ = writeln!(
+            s,
+            "{},{},{},{:.3},{:.6}",
+            q.quarantine_days,
+            q.surviving_faults,
+            q.node_days_quarantined,
+            q.system_mtbf_h,
+            q.availability_loss
+        );
+    }
+    s
+}
+
+/// The paper-vs-measured comparison.
+pub fn comparison(r: &Report) -> String {
+    let mut s = String::from("quantity,paper,measured,ratio,band_lo,band_hi,in_band\n");
+    for c in crate::paperref::compare(r) {
+        let _ = writeln!(
+            s,
+            "\"{}\",{},{},{:.4},{},{},{}",
+            c.reference.name,
+            c.reference.paper,
+            c.measured,
+            c.ratio(),
+            c.reference.ratio_band.0,
+            c.reference.ratio_band.1,
+            c.in_band()
+        );
+    }
+    s
+}
+
+/// Every figure/table as `(file name, contents)`.
+pub fn all_series(r: &Report) -> Vec<(&'static str, String)> {
+    vec![
+        ("fig01_scan_hours.csv", fig1(r)),
+        ("fig02_terabyte_hours.csv", fig2(r)),
+        ("fig03_faults_per_node.csv", fig3(r)),
+        ("table1_multibit.csv", table1(r)),
+        ("fig04_multiplicity.csv", fig4(r)),
+        ("fig05_06_hourly.csv", fig5_fig6(r)),
+        ("fig07_08_temperature.csv", fig7_fig8(r)),
+        ("fig09_11_daily.csv", fig9_to_fig11(r)),
+        ("fig12_top_nodes.csv", fig12(r)),
+        ("fig13_regime.csv", fig13(r)),
+        ("table2_quarantine.csv", table2(r)),
+        ("paper_comparison.csv", comparison(r)),
+    ]
+}
+
+/// Write every series into `dir` (created if missing). Returns the paths.
+pub fn write_all(r: &Report, dir: &Path) -> io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut out = Vec::new();
+    for (name, contents) in all_series(r) {
+        let path = dir.join(name);
+        std::fs::write(&path, contents)?;
+        out.push(path);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::run_campaign;
+    use crate::config::CampaignConfig;
+    use std::sync::OnceLock;
+
+    fn report() -> &'static Report {
+        static CELL: OnceLock<Report> = OnceLock::new();
+        CELL.get_or_init(|| Report::build(&run_campaign(&CampaignConfig::small(42, 8))))
+    }
+
+    fn parse_csv(s: &str) -> (Vec<String>, usize) {
+        let mut lines = s.lines();
+        let header: Vec<String> = lines
+            .next()
+            .expect("header")
+            .split(',')
+            .map(str::to_string)
+            .collect();
+        let mut rows = 0;
+        for line in lines {
+            assert_eq!(
+                line.split(',').count(),
+                header.len(),
+                "ragged row: {line}"
+            );
+            rows += 1;
+        }
+        (header, rows)
+    }
+
+    #[test]
+    fn every_series_is_rectangular_and_nonempty() {
+        let r = report();
+        for (name, contents) in all_series(r) {
+            let (header, rows) = parse_csv(&contents);
+            assert!(header.len() >= 2, "{name}");
+            assert!(rows > 0, "{name} has no data rows");
+        }
+    }
+
+    #[test]
+    fn grid_csv_covers_every_cell() {
+        let r = report();
+        let (_, rows) = parse_csv(&fig1(r));
+        assert_eq!(rows, 63 * uc_cluster::SOCS_PER_BLADE as usize);
+    }
+
+    #[test]
+    fn hourly_csv_has_24_rows() {
+        let (_, rows) = parse_csv(&fig5_fig6(report()));
+        assert_eq!(rows, 24);
+    }
+
+    #[test]
+    fn daily_csv_spans_study() {
+        let r = report();
+        let (_, rows) = parse_csv(&fig9_to_fig11(r));
+        assert_eq!(rows, r.daily.days());
+    }
+
+    #[test]
+    fn table1_totals_match_report() {
+        let r = report();
+        let csv = table1(r);
+        let total: u64 = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(3).unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(total, r.multibit.multi_bit_faults);
+    }
+
+    #[test]
+    fn write_all_creates_files() {
+        let dir = std::env::temp_dir().join(format!("uc-csv-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let paths = write_all(report(), &dir).unwrap();
+        assert_eq!(paths.len(), 12);
+        for p in &paths {
+            assert!(p.exists());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,25 @@
+//! # unprotected-core — the campaign: configuration, runner, report
+//!
+//! Ties every subsystem together into the end-to-end reproduction:
+//!
+//! 1. [`config::CampaignConfig`] assembles the topology, roles, scheduler,
+//!    fault scenario, thermal model and scan model (paper-calibrated
+//!    defaults, plus scaled-down variants for tests and benches);
+//! 2. [`campaign::run_campaign`] simulates every scanned node in parallel
+//!    (deterministically — same seed, same result, any thread count) and
+//!    yields the cluster's log files plus the extracted independent faults;
+//! 3. [`report::Report`] derives every figure and table of the paper from
+//!    that output, and [`render`] prints them as text (series, ASCII heat
+//!    maps, tables) the way the `reproduce` example shows them.
+
+pub mod campaign;
+pub mod config;
+pub mod csv;
+pub mod paperref;
+pub mod render;
+pub mod report;
+
+pub use campaign::{run_campaign, CampaignResult, NodeOutcome};
+pub use config::CampaignConfig;
+pub use paperref::{compare, Comparison};
+pub use report::Report;

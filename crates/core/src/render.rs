@@ -1,0 +1,551 @@
+//! Text rendering of the report — the same rows and series the paper's
+//! figures and tables show, printable from the `reproduce` example.
+
+use std::fmt::Write as _;
+
+use uc_analysis::fault::BitClass;
+
+use crate::report::Report;
+
+fn bar(count: u64, max: u64, width: usize) -> String {
+    if max == 0 {
+        return String::new();
+    }
+    let n = ((count as f64 / max as f64) * width as f64).round() as usize;
+    "#".repeat(n.min(width))
+}
+
+/// The headline block (abstract / Section III numbers).
+pub fn headline(r: &Report) -> String {
+    let h = &r.headline;
+    let mut s = String::new();
+    let _ = writeln!(s, "== Headline statistics =====================================");
+    let _ = writeln!(s, "nodes continuously scanned        {:>12}", h.nodes_scanned);
+    let _ = writeln!(s, "monitored node-hours              {:>12.0}", h.monitored_node_hours);
+    let _ = writeln!(s, "memory analyzed (terabyte-hours)  {:>12.0}", h.terabyte_hours);
+    let _ = writeln!(s, "raw error logs                    {:>12}", h.raw_error_logs);
+    let _ = writeln!(
+        s,
+        "flood node(s) {:?} holding {:.1}% of raw logs (removed)",
+        h.flood_nodes.iter().map(|n| n.to_string()).collect::<Vec<_>>(),
+        h.flood_log_share * 100.0
+    );
+    let _ = writeln!(s, "independent memory faults         {:>12}", h.independent_faults);
+    let _ = writeln!(s, "node MTBF (hours per fault)       {:>12.1}", h.node_mtbf_h);
+    let _ = writeln!(s, "cluster fault interval (minutes)  {:>12.1}", h.cluster_error_interval_min);
+    let _ = writeln!(
+        s,
+        "share of faults in 3 hottest nodes{:>11.2}%",
+        h.top3_concentration * 100.0
+    );
+    s
+}
+
+/// Fig. 1: hours each node was scanned (ASCII heat map).
+pub fn fig1(r: &Report) -> String {
+    format!(
+        "== Fig 1: hours each node was scanned (mean {:.0} h) ==========\n{}",
+        r.fig1_hours.total() / r.headline.nodes_scanned.max(1) as f64,
+        r.fig1_hours.render_ascii(false)
+    )
+}
+
+/// Fig. 2: terabyte-hours per node.
+pub fn fig2(r: &Report) -> String {
+    format!(
+        "== Fig 2: memory analyzed per node, TBh (mean {:.1}) ==========\n{}",
+        r.fig2_tbh.total() / r.headline.nodes_scanned.max(1) as f64,
+        r.fig2_tbh.render_ascii(false)
+    )
+}
+
+/// Fig. 3: independent faults per node (log color scale).
+pub fn fig3(r: &Report) -> String {
+    format!(
+        "== Fig 3: independent faults per node (log scale; {} faulty nodes) ==\n{}",
+        r.fig3_faults.nonzero_cells(),
+        r.fig3_faults.render_ascii(true)
+    )
+}
+
+/// Table I: multi-bit corruptions.
+pub fn table1(r: &Report) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== Table I: multi-bit corruptions ==========================");
+    let _ = writeln!(s, "bits  expected    corrupted   occurrences  consecutive");
+    for row in &r.table1 {
+        let _ = writeln!(
+            s,
+            "{:>4}  0x{:08x}  0x{:08x}  {:>11}  {}",
+            row.bits_corrupted,
+            row.expected,
+            row.corrupted,
+            row.occurrences,
+            if row.consecutive { "Yes" } else { "No" }
+        );
+    }
+    let m = &r.multibit;
+    let _ = writeln!(
+        s,
+        "total multi-bit {} (double {}, >2-bit {}); non-adjacent {}; \
+         mean bit distance {:.1}, max {}",
+        m.multi_bit_faults,
+        m.double_bit_faults,
+        m.over_two_bit_faults,
+        m.non_adjacent_faults,
+        m.mean_bit_distance,
+        m.max_bit_distance
+    );
+    let _ = writeln!(
+        s,
+        "flip direction: {:.1}% of corrupted bits switched 1 -> 0",
+        r.flips.one_to_zero_fraction() * 100.0
+    );
+    s
+}
+
+/// Fig. 4: per-word vs per-node multiplicity counts.
+pub fn fig4(r: &Report) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== Fig 4: simultaneous vs per-word multi-bit faults ========");
+    let _ = writeln!(s, "bits   per-word       per-node");
+    for m in 1..12 {
+        let (w, n) = (r.fig4.per_word[m], r.fig4.per_node[m]);
+        if w > 0 || n > 0 {
+            let _ = writeln!(s, "{:>4}   {:>10}     {:>10}", m, w, n);
+        }
+    }
+    let tail_w: u64 = r.fig4.per_word[12..].iter().sum();
+    let tail_n: u64 = r.fig4.per_node[12..].iter().sum();
+    if tail_w > 0 || tail_n > 0 {
+        let _ = writeln!(s, " 12+   {tail_w:>10}     {tail_n:>10}");
+    }
+    let c = &r.coincidence;
+    let _ = writeln!(
+        s,
+        "faults involved in simultaneous groups: {}; pure single-bit groups {}; \
+         double+single {}; triple+single {}; double+double groups {}; \
+         largest group {} bits",
+        c.faults_in_groups,
+        c.multi_single_groups,
+        c.double_with_single,
+        c.triple_with_single,
+        c.double_double_groups,
+        c.max_group_bits
+    );
+    s
+}
+
+/// Figs. 5 and 6: errors per hour of day.
+pub fn fig5_fig6(r: &Report) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== Fig 5: faults per hour of day (by corrupted bits) =======");
+    let _ = writeln!(s, "hour     1    2    3    4    5   6+   all");
+    for h in 0..24 {
+        let row = &r.hourly.counts[h];
+        let _ = writeln!(
+            s,
+            "{:>4}  {:>4} {:>4} {:>4} {:>4} {:>4} {:>4} {:>5}",
+            h,
+            row[BitClass::One as usize],
+            row[BitClass::Two as usize],
+            row[BitClass::Three as usize],
+            row[BitClass::Four as usize],
+            row[BitClass::Five as usize],
+            row[BitClass::SixPlus as usize],
+            r.hourly.hour_total(h)
+        );
+    }
+    let _ = writeln!(s, "== Fig 6: multi-bit faults per hour of day =================");
+    let max = (0..24).map(|h| r.hourly.hour_multibit(h)).max().unwrap_or(0);
+    for h in 0..24 {
+        let c = r.hourly.hour_multibit(h);
+        let _ = writeln!(s, "{:>4}  {:>4}  {}", h, c, bar(c, max, 40));
+    }
+    let (day, night) = r.hourly.multibit_day_night();
+    let _ = writeln!(
+        s,
+        "multi-bit day (07-18) {} vs night {} => ratio {:.2} (paper ~2); \
+         peak hour {}",
+        day,
+        night,
+        if night == 0 { f64::NAN } else { day as f64 / night as f64 },
+        r.hourly.multibit_peak_hour()
+    );
+    s
+}
+
+/// Figs. 7 and 8: temperature profiles.
+pub fn fig7_fig8(r: &Report) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== Fig 7: faults vs node temperature =======================");
+    let all = r.temperature.histogram(false);
+    let multi = r.temperature.histogram(true);
+    let max = all.counts.iter().copied().max().unwrap_or(0);
+    let _ = writeln!(s, " temp   all  multi");
+    for (i, (&a, &m)) in all.counts.iter().zip(&multi.counts).enumerate() {
+        if a > 0 || m > 0 {
+            let _ = writeln!(
+                s,
+                "{:>5.0}  {:>4}  {:>4}  {}",
+                all.bin_center(i),
+                a,
+                m,
+                bar(a, max, 40)
+            );
+        }
+    }
+    let _ = writeln!(
+        s,
+        "faults with temperature {} (censored {}); in 30-40C band {:.0}%; \
+         above 60C {} (multi-bit above 60C: {})",
+        r.temperature.points.len(),
+        r.temperature.censored,
+        r.temperature.fraction_in_band(30.0, 40.0) * 100.0,
+        r.temperature.count_above(60.0, false),
+        r.temperature.count_above(60.0, true)
+    );
+    s
+}
+
+/// Figs. 9-11: daily series.
+pub fn fig9_to_fig11(r: &Report) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== Fig 9: memory scanned per day (monthly totals, TBh) =====");
+    for (y, m, tb) in r.daily.monthly_tb_hours() {
+        let _ = writeln!(s, "{y:>5}-{m:02}  {tb:>8.1}  {}", bar(tb as u64, 1_400, 40));
+    }
+    let totals = r.daily.fault_totals();
+    let multis = r.daily.multibit_totals();
+    let _ = writeln!(s, "== Fig 10/11: faults per day (monthly totals) ==============");
+    let _ = writeln!(s, "  month     all   multi-bit");
+    let mut month_rows: Vec<(i32, u8, u64, u64)> = Vec::new();
+    for (i, (&t, &mb)) in totals.iter().zip(&multis).enumerate() {
+        let date = uc_simclock::CivilDate::from_day_index(r.daily.first_day + i as i64);
+        match month_rows.last_mut() {
+            Some((y, m, at, amb)) if *y == date.year && *m == date.month => {
+                *at += t;
+                *amb += mb;
+            }
+            _ => month_rows.push((date.year, date.month, t, mb)),
+        }
+    }
+    for (y, m, t, mb) in month_rows {
+        let _ = writeln!(s, "{y:>5}-{m:02}  {t:>6}  {mb:>6}");
+    }
+    let p = r.scan_error_pearson;
+    let _ = writeln!(
+        s,
+        "Pearson(scan volume, daily faults): r = {:.4}, p = {:.4}, n = {} \
+         (paper: r = -0.1797, p = 0.0002)",
+        p.r, p.p_value, p.n
+    );
+    s
+}
+
+/// Fig. 12: the top nodes' daily fault series (monthly rollup).
+pub fn fig12(r: &Report) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== Fig 12: faults per day for the hottest nodes ============");
+    let mut header = String::from("  month  ");
+    for (n, _) in &r.fig12.nodes {
+        let _ = write!(header, "{:>9}", n.to_string());
+    }
+    let _ = writeln!(s, "{header}   others");
+    let days = r.fig12.others.len();
+    let mut month_keys: Vec<(i32, u8)> = Vec::new();
+    let mut rows: Vec<Vec<u64>> = Vec::new();
+    for i in 0..days {
+        let date = uc_simclock::CivilDate::from_day_index(r.fig12.first_day + i as i64);
+        if month_keys.last() != Some(&(date.year, date.month)) {
+            month_keys.push((date.year, date.month));
+            rows.push(vec![0; r.fig12.nodes.len() + 1]);
+        }
+        let row = rows.last_mut().expect("pushed above");
+        for (k, (_, series)) in r.fig12.nodes.iter().enumerate() {
+            row[k] += series[i];
+        }
+        *row.last_mut().expect("others slot") += r.fig12.others[i];
+    }
+    for ((y, m), row) in month_keys.iter().zip(&rows) {
+        let mut line = format!("{y:>5}-{m:02}");
+        for v in row {
+            let _ = write!(line, "{v:>9}");
+        }
+        let _ = writeln!(s, "{line}");
+    }
+    s
+}
+
+/// Fig. 13 + the regime MTBF split.
+pub fn fig13(r: &Report) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== Fig 13: system regime per day ===========================");
+    let flags = r.regime.degraded_flags();
+    for (w, week) in flags.chunks(28).enumerate() {
+        let line: String = week.iter().map(|&d| if d { 'D' } else { '.' }).collect();
+        let _ = writeln!(s, "day {:>3}+ {line}", w * 28);
+    }
+    let sum = r.regime_summary;
+    let _ = writeln!(
+        s,
+        "normal days {} ({} faults, MTBF {:.1} h) | degraded days {} \
+         ({} faults, MTBF {:.2} h) | degraded fraction {:.1}% \
+         (paper: 348/77 days, 167 h / 0.39 h, 18.1%)",
+        sum.normal_days,
+        sum.normal_faults,
+        sum.normal_mtbf_h,
+        sum.degraded_days,
+        sum.degraded_faults,
+        sum.degraded_mtbf_h,
+        r.regime.degraded_fraction() * 100.0
+    );
+    s
+}
+
+/// Table II: the quarantine sweep.
+pub fn table2(r: &Report) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== Table II: system MTBF for quarantine periods ============");
+    let _ = writeln!(
+        s,
+        "quarantine(d)   faults  node-days-quar  system MTBF(h)  avail.loss"
+    );
+    for q in &r.table2 {
+        let _ = writeln!(
+            s,
+            "{:>13}  {:>7}  {:>14}  {:>14.1}  {:>9.4}%",
+            q.quarantine_days,
+            q.surviving_faults,
+            q.node_days_quarantined,
+            q.system_mtbf_h,
+            q.availability_loss * 100.0
+        );
+    }
+    s
+}
+
+/// ECC counterfactual summary (Sections III-C/D).
+pub fn ecc(r: &Report) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== ECC counterfactual (had the machine been protected) =====");
+    let _ = writeln!(
+        s,
+        "SECDED:   corrected {:>7}  detected {:>5}  silent {:>3}",
+        r.secded.corrected, r.secded.detected, r.secded.silent
+    );
+    let _ = writeln!(
+        s,
+        "chipkill: corrected {:>7}  detected {:>5}  silent {:>3}",
+        r.chipkill.corrected, r.chipkill.detected, r.chipkill.silent
+    );
+    let p = &r.protection;
+    let _ = writeln!(
+        s,
+        "protected-machine view: raw fault MTBF {:.1} h; SECDED crash MTBF \
+         {:.0} h ({} crashes on {} nodes, {} silent); chipkill crash MTBF \
+         {:.0} h ({} crashes, {} silent)",
+        p.raw_mtbf_h,
+        p.secded.crash_mtbf_h,
+        p.secded.crashes,
+        p.secded.crashed_nodes,
+        p.secded.silent_corruptions,
+        p.chipkill.crash_mtbf_h,
+        p.chipkill.crashes,
+        p.chipkill.silent_corruptions
+    );
+    let _ = writeln!(
+        s,
+        "of the corrections a SECDED counter would log, {} belonged to \
+         same-instant groups — correlation the counter view cannot express",
+        p.secded.corrected_in_groups
+    );
+    s
+}
+
+/// Temporal structure, predictor, bit positions and scrubbing extras.
+pub fn extras(r: &Report) -> String {
+    let mut s = String::new();
+    let b = r.burstiness;
+    let _ = writeln!(s, "== Temporal structure & derived studies =====================");
+    let _ = writeln!(
+        s,
+        "burstiness: inter-arrival CV {:.1} (1 = Poisson), daily Fano {:.1} \
+         — faults are strongly clustered in time",
+        b.interarrival_cv, b.daily_fano
+    );
+    let _ = write!(s, "predictor recall (alarm horizon -> recall):");
+    for (h, recall) in &r.predictor_recall {
+        let _ = write!(s, "  {h}h -> {:.1}%", recall * 100.0);
+    }
+    let _ = writeln!(s);
+    let _ = writeln!(
+        s,
+        "multi-bit corrupted-bit positions: {:.0}% in bits 0-15, peak bit {}",
+        r.bitpos_multibit.low_half_fraction() * 100.0,
+        r.bitpos_multibit.peak_position()
+    );
+    let _ = writeln!(s, "scrubbing sweep (interval -> same-word accumulations):");
+    for (h, o) in &r.scrub {
+        let _ = writeln!(
+            s,
+            "  {h:>4} h  accumulated {:>6}  scrubbed-in-time {:>6}",
+            o.accumulated_words, o.scrubbed_in_time
+        );
+    }
+    let a = &r.alignment;
+    let chance = uc_analysis::physical::AlignmentStats::chance_same_column(
+        uc_dram::Geometry::NODE_4GB,
+    );
+    let _ = writeln!(
+        s,
+        "physical alignment of simultaneous corruption: {:.1}% of in-group \
+         word pairs share a (rank,bank,column) vs {:.4}% by chance ({} groups)",
+        a.same_column_fraction() * 100.0,
+        chance * 100.0,
+        a.groups
+    );
+    let ab = &r.alignment_background;
+    let _ = writeln!(
+        s,
+        "  excluding the degrading node: {:.1}% aligned, mean row distance \
+         {:.1} ({} groups) — cosmic showers are physically aligned; the \
+         degrading node's bursts are not (its fault sits outside the array)",
+        ab.same_column_fraction() * 100.0,
+        ab.mean_row_distance,
+        ab.groups
+    );
+    let _ = writeln!(
+        s,
+        "exascale projection of measured rates under SECDED \
+         (nodes -> raw MTBF, crash MTBF, SDC/day, ckpt interval, waste):"
+    );
+    for p in &r.projection {
+        let _ = writeln!(
+            s,
+            "  {:>9} nodes  raw {:>8.3} h  crash {:>8.1} h  SDC/day {:>7.3}  \
+             ckpt {:>5.2} h  waste {:>5.1}%",
+            p.nodes,
+            p.raw_mtbf_h,
+            p.crash_mtbf_h,
+            p.silent_per_day,
+            p.checkpoint_interval_h,
+            p.waste * 100.0
+        );
+    }
+    s
+}
+
+/// The paper-vs-measured comparison table (see `paperref`).
+pub fn paper_comparison(r: &Report) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== Paper vs measured =======================================");
+    let _ = writeln!(
+        s,
+        "{:<34} {:>12} {:>12} {:>7}  band        verdict",
+        "quantity", "paper", "measured", "ratio"
+    );
+    let cmp = crate::paperref::compare(r);
+    let mut in_band = 0;
+    for c in &cmp {
+        let _ = writeln!(
+            s,
+            "{:<34} {:>12.3} {:>12.3} {:>7.2}  [{:.2},{:.2}]  {}",
+            c.reference.name,
+            c.reference.paper,
+            c.measured,
+            c.ratio(),
+            c.reference.ratio_band.0,
+            c.reference.ratio_band.1,
+            if c.in_band() { "ok" } else { "OUT" }
+        );
+        if c.in_band() {
+            in_band += 1;
+        }
+    }
+    let _ = writeln!(s, "{in_band}/{} quantities within their shape bands", cmp.len());
+    s
+}
+
+/// The whole report as one text document.
+pub fn full_report(r: &Report) -> String {
+    [
+        headline(r),
+        fig1(r),
+        fig2(r),
+        fig3(r),
+        table1(r),
+        fig4(r),
+        fig5_fig6(r),
+        fig7_fig8(r),
+        fig9_to_fig11(r),
+        fig12(r),
+        fig13(r),
+        table2(r),
+        ecc(r),
+        extras(r),
+        paper_comparison(r),
+    ]
+    .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::run_campaign;
+    use crate::config::CampaignConfig;
+
+    fn report() -> &'static Report {
+        static REPORT: std::sync::OnceLock<Report> = std::sync::OnceLock::new();
+        REPORT.get_or_init(|| Report::build(&run_campaign(&CampaignConfig::small(42, 8))))
+    }
+
+    #[test]
+    fn all_sections_render_nonempty() {
+        let r = report();
+        for (name, text) in [
+            ("headline", headline(r)),
+            ("fig1", fig1(r)),
+            ("fig2", fig2(r)),
+            ("fig3", fig3(r)),
+            ("table1", table1(r)),
+            ("fig4", fig4(r)),
+            ("fig5_fig6", fig5_fig6(r)),
+            ("fig7_fig8", fig7_fig8(r)),
+            ("fig9_to_fig11", fig9_to_fig11(r)),
+            ("fig12", fig12(r)),
+            ("fig13", fig13(r)),
+            ("table2", table2(r)),
+            ("ecc", ecc(r)),
+            ("extras", extras(r)),
+        ] {
+            assert!(text.lines().count() >= 2, "{name} too short:\n{text}");
+        }
+    }
+
+    #[test]
+    fn full_report_contains_every_figure() {
+        let text = full_report(report());
+        for tag in [
+            "Fig 1", "Fig 2", "Fig 3", "Table I", "Fig 4", "Fig 5", "Fig 6", "Fig 7",
+            "Fig 9", "Fig 10", "Fig 12", "Fig 13", "Table II", "SECDED",
+        ] {
+            assert!(text.contains(tag), "missing {tag}");
+        }
+    }
+
+    #[test]
+    fn fig12_header_names_hot_node() {
+        let r = report();
+        let text = fig12(r);
+        assert!(text.contains("02-04"), "{text}");
+    }
+
+    #[test]
+    fn bar_rendering() {
+        assert_eq!(bar(5, 10, 10), "#####");
+        assert_eq!(bar(0, 10, 10), "");
+        assert_eq!(bar(20, 10, 10), "##########");
+        assert_eq!(bar(3, 0, 10), "");
+    }
+}

@@ -1,0 +1,325 @@
+//! The report: every figure and table of the paper, derived from one
+//! campaign result. See DESIGN.md §3 for the experiment index.
+
+use uc_analysis::daily::DailySeries;
+use uc_analysis::diurnal::HourlyProfile;
+use uc_analysis::fault::Fault;
+use uc_analysis::heatmap::NodeGrid;
+use uc_analysis::physical::{alignment_stats, AlignmentStats};
+use uc_analysis::multibit::{
+    chipkill_counterfactual, flip_directions, multibit_stats, secded_counterfactual, table_i,
+    EccCounterfactual, FlipDirections, MultiBitStats, TableIRow,
+};
+use uc_analysis::regime::{RegimeDays, RegimeSummary};
+use uc_analysis::simultaneity::{coincidence_stats, CoincidenceStats, MultiplicityComparison};
+use uc_analysis::bitpos::BitPositionHistogram;
+use uc_analysis::spatial::{concentration, node_census, top_node_series, TopNodeSeries};
+use uc_analysis::stats::PearsonResult;
+use uc_analysis::temperature::TemperatureProfile;
+use uc_analysis::temporal::{burstiness, recall_curve, Burstiness};
+use uc_cluster::NodeId;
+use uc_resilience::ecc_machine::{compare_protections, ProtectionComparison};
+use uc_resilience::projection::{exascale_sweep, FleetProjection, NodeRates};
+use uc_resilience::quarantine::{QuarantineOutcome, QuarantineSim};
+use uc_resilience::scrubbing::{scrub_sweep, ScrubOutcome};
+
+use crate::campaign::CampaignResult;
+
+/// The headline statistics of the abstract / Section III.
+#[derive(Clone, Debug)]
+pub struct Headline {
+    pub nodes_scanned: usize,
+    pub monitored_node_hours: f64,
+    pub terabyte_hours: f64,
+    pub raw_error_logs: u64,
+    pub flood_nodes: Vec<NodeId>,
+    pub flood_log_share: f64,
+    pub independent_faults: u64,
+    /// Hours of node monitoring per fault.
+    pub node_mtbf_h: f64,
+    /// Minutes between faults cluster-wide (wall clock).
+    pub cluster_error_interval_min: f64,
+    /// Fraction of faults carried by the 3 hottest nodes.
+    pub top3_concentration: f64,
+}
+
+/// The full report.
+pub struct Report {
+    pub headline: Headline,
+    /// Fig. 1: hours each node was scanned.
+    pub fig1_hours: NodeGrid,
+    /// Fig. 2: terabyte-hours scanned per node.
+    pub fig2_tbh: NodeGrid,
+    /// Fig. 3: independent faults per node (characterized set).
+    pub fig3_faults: NodeGrid,
+    /// Table I: multi-bit word corruption patterns.
+    pub table1: Vec<TableIRow>,
+    pub multibit: MultiBitStats,
+    pub flips: FlipDirections,
+    /// Fig. 4 + the Section III-C coincidence statistics.
+    pub fig4: MultiplicityComparison,
+    pub coincidence: CoincidenceStats,
+    /// Figs. 5-6: hourly profile (multi-bit views built in).
+    pub hourly: HourlyProfile,
+    /// Figs. 7-8: temperature profile.
+    pub temperature: TemperatureProfile,
+    /// Figs. 9-11: daily scanned volume and fault counts.
+    pub daily: DailySeries,
+    /// Section III-G: scanning-vs-errors correlation.
+    pub scan_error_pearson: PearsonResult,
+    /// Fig. 12: top-3 nodes' daily series plus the rest.
+    pub fig12: TopNodeSeries,
+    /// Fig. 13 / Section III-I: regime split (hot node excluded).
+    pub regime: RegimeDays,
+    pub regime_summary: RegimeSummary,
+    /// Table II: quarantine sweep (hot node excluded).
+    pub table2: Vec<QuarantineOutcome>,
+    /// Section III-C/D counterfactuals.
+    pub secded: EccCounterfactual,
+    pub chipkill: EccCounterfactual,
+    /// Nodes excluded from MTBF/quarantine (the permanent failure).
+    pub mtbf_excluded: Vec<NodeId>,
+    /// Section III-I temporal structure: burstiness of the fault stream.
+    pub burstiness: Burstiness,
+    /// Spatio-temporal predictor recall at various horizons (hours).
+    pub predictor_recall: Vec<(i64, f64)>,
+    /// Corrupted-bit positions of multi-bit faults (low-bit concentration).
+    pub bitpos_multibit: BitPositionHistogram,
+    /// Scrubbing-interval sweep over the fault stream.
+    pub scrub: Vec<(i64, ScrubOutcome)>,
+    /// The protected-machine counterfactual (crash MTBF, hidden structure).
+    pub protection: ProtectionComparison,
+    /// Extreme-scale projection of the measured rates (SECDED protection).
+    pub projection: Vec<FleetProjection>,
+    /// Physical alignment of simultaneous corruption (Section III-C's
+    /// proximity suspicion, tested).
+    pub alignment: AlignmentStats,
+    /// The same analysis excluding the degrading node: its burst addresses
+    /// are *not* aligned (the fault is outside the DRAM array), while the
+    /// cosmic showers on ordinary nodes are — the alignment test separates
+    /// the two root causes.
+    pub alignment_background: AlignmentStats,
+}
+
+impl Report {
+    /// Build the full report from a campaign result.
+    pub fn build(result: &CampaignResult) -> Report {
+        let cfg = &result.config;
+        let faults = result.characterized_faults();
+        let first_day = cfg.first_day();
+        let days = cfg.study_days();
+
+        // Heat maps.
+        let mut fig1_hours = NodeGrid::paper_size();
+        let mut fig2_tbh = NodeGrid::paper_size();
+        let mut fig3_faults = NodeGrid::paper_size();
+        for o in &result.outcomes {
+            fig1_hours.set(o.node, o.monitored_hours);
+            fig2_tbh.set(o.node, o.terabyte_hours);
+        }
+        let flood = result.flood_nodes(0.5);
+        for f in &faults {
+            fig3_faults.add(f.node, 1.0);
+        }
+
+        // Daily series.
+        let mut daily = DailySeries::new(first_day, days);
+        for o in &result.outcomes {
+            daily.add_node_log(&o.log);
+        }
+        daily.add_faults(&faults);
+        let scan_error_pearson = daily.scan_error_correlation();
+
+        // Regime and quarantine exclude the permanently failing node.
+        let mtbf_excluded = excluded_for_mtbf(cfg, &faults);
+        let regime = RegimeDays::compute(&faults, &mtbf_excluded, first_day, days);
+        let regime_summary = regime.summary();
+        let sim = QuarantineSim {
+            observed_hours: days as f64 * 24.0,
+            fleet_nodes: cfg.topology.monitored_node_count(),
+            exclude: mtbf_excluded.clone(),
+        };
+        let table2 = sim.sweep(&faults, &[0, 5, 10, 15, 20, 25, 30]);
+
+        let raw = result.raw_error_logs();
+        let flood_logs: u64 = result
+            .outcomes
+            .iter()
+            .filter(|o| flood.contains(&o.node))
+            .map(|o| o.log.raw_error_count())
+            .sum();
+        let monitored_node_hours = result.monitored_node_hours();
+        let protection = compare_protections(&faults, days as f64 * 24.0);
+        let alignment_background = {
+            let background: Vec<_> = faults
+                .iter()
+                .filter(|f| !mtbf_excluded.contains(&f.node))
+                .copied()
+                .collect();
+            alignment_stats(&background, cfg.scan.geometry)
+        };
+        let projection = exascale_sweep(&NodeRates::from_totals(
+            faults.len() as u64,
+            protection.secded.silent_corruptions,
+            protection.secded.crashes,
+            monitored_node_hours.max(1.0),
+        ));
+        let headline = Headline {
+            nodes_scanned: result.outcomes.len(),
+            monitored_node_hours,
+            terabyte_hours: result.terabyte_hours(),
+            raw_error_logs: raw,
+            flood_nodes: flood,
+            flood_log_share: if raw == 0 {
+                0.0
+            } else {
+                flood_logs as f64 / raw as f64
+            },
+            independent_faults: faults.len() as u64,
+            node_mtbf_h: uc_analysis::stats::mtbf_hours(monitored_node_hours, faults.len() as u64),
+            cluster_error_interval_min: if faults.is_empty() {
+                f64::INFINITY
+            } else {
+                days as f64 * 24.0 * 60.0 / faults.len() as f64
+            },
+            top3_concentration: concentration(&faults, 3),
+        };
+
+        Report {
+            headline,
+            fig1_hours,
+            fig2_tbh,
+            fig3_faults,
+            table1: table_i(&faults),
+            multibit: multibit_stats(&faults),
+            flips: flip_directions(&faults),
+            fig4: MultiplicityComparison::compute(&faults),
+            coincidence: coincidence_stats(&faults),
+            hourly: HourlyProfile::compute(&faults),
+            temperature: TemperatureProfile::compute(&faults),
+            daily,
+            scan_error_pearson,
+            fig12: top_node_series(&faults, 3, first_day, days),
+            regime,
+            regime_summary,
+            table2,
+            secded: secded_counterfactual(&faults),
+            chipkill: chipkill_counterfactual(&faults),
+            mtbf_excluded,
+            burstiness: burstiness(&faults),
+            predictor_recall: recall_curve(&faults, &[1, 6, 24, 72]),
+            bitpos_multibit: BitPositionHistogram::compute(&faults, true),
+            scrub: scrub_sweep(&faults, &[1, 6, 24, 168]),
+            protection,
+            projection,
+            alignment: alignment_stats(&faults, cfg.scan.geometry),
+            alignment_background,
+        }
+    }
+}
+
+/// The node(s) excluded from MTBF and quarantine analyses: the configured
+/// degrading node if present, else any node carrying more than 20% of all
+/// faults (the paper's "permanent failure, would be replaced" rule).
+fn excluded_for_mtbf(cfg: &crate::config::CampaignConfig, faults: &[Fault]) -> Vec<NodeId> {
+    if !cfg.scenario.degrading.is_empty() {
+        return cfg.scenario.degrading.iter().map(|d| d.node).collect();
+    }
+    let census = node_census(faults);
+    let total = faults.len() as f64;
+    census
+        .into_iter()
+        .filter(|(_, c)| c.faults as f64 > total * 0.2)
+        .map(|(n, _)| n)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::run_campaign;
+    use crate::config::CampaignConfig;
+
+    fn report() -> &'static Report {
+        static REPORT: std::sync::OnceLock<Report> = std::sync::OnceLock::new();
+        REPORT.get_or_init(|| Report::build(&run_campaign(&CampaignConfig::small(42, 8))))
+    }
+
+    #[test]
+    fn headline_sanity() {
+        let r = report();
+        // Scaled(8) machine: 120 nodes minus login and dead-hardware pool.
+        assert!(r.headline.nodes_scanned > 90);
+        assert!(r.headline.independent_faults > 1_000);
+        assert!(r.headline.flood_log_share > 0.9);
+        assert_eq!(r.headline.flood_nodes.len(), 1);
+        assert!(r.headline.top3_concentration > 0.95, "spatial concentration");
+    }
+
+    #[test]
+    fn figure_grids_consistent_with_totals() {
+        let r = report();
+        assert_eq!(r.fig3_faults.total() as u64, r.headline.independent_faults);
+        assert!(r.fig1_hours.total() > 0.0);
+        assert!((r.fig2_tbh.total() - r.headline.terabyte_hours).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multibit_table_nonempty_with_doubles_dominant() {
+        let r = report();
+        assert!(!r.table1.is_empty());
+        assert!(r.multibit.double_bit_faults > r.multibit.over_two_bit_faults);
+        assert!(r.multibit.multi_bit_faults >= 7, "at least the placed SDCs");
+    }
+
+    #[test]
+    fn flip_direction_asymmetry() {
+        let r = report();
+        let frac = r.flips.one_to_zero_fraction();
+        assert!(frac > 0.8, "1->0 fraction {frac} (paper: ~0.9)");
+    }
+
+    #[test]
+    fn regime_excludes_hot_node() {
+        let r = report();
+        assert_eq!(r.mtbf_excluded.len(), 1);
+        assert_eq!(r.mtbf_excluded[0].to_string(), "02-04");
+        let s = r.regime_summary;
+        assert!(s.normal_days > 0);
+        assert!(s.normal_mtbf_h > s.degraded_mtbf_h || s.degraded_days == 0);
+    }
+
+    #[test]
+    fn quarantine_sweep_has_paper_shape() {
+        let r = report();
+        assert_eq!(r.table2.len(), 7);
+        assert_eq!(r.table2[0].quarantine_days, 0);
+        let q0 = &r.table2[0];
+        let q30 = r.table2.last().unwrap();
+        assert!(q30.surviving_faults < q0.surviving_faults);
+        assert!(q30.system_mtbf_h > q0.system_mtbf_h);
+        // Availability loss scales inversely with fleet size; the scaled
+        // 120-node machine pays ~8x the 945-node fleet's fraction.
+        assert!(q30.availability_loss < 0.02, "{}", q30.availability_loss);
+    }
+
+    #[test]
+    fn daily_and_hourly_totals_match_faults() {
+        let r = report();
+        let daily_total: u64 = r.daily.fault_totals().iter().sum();
+        let hourly_total: u64 = (0..24).map(|h| r.hourly.hour_total(h)).sum();
+        assert_eq!(daily_total, r.headline.independent_faults);
+        assert_eq!(hourly_total, r.headline.independent_faults);
+    }
+
+    #[test]
+    fn ecc_counterfactual_counts_conserve() {
+        let r = report();
+        let s = r.secded;
+        assert_eq!(
+            s.corrected + s.detected + s.silent,
+            r.headline.independent_faults
+        );
+        assert!(r.chipkill.corrected >= s.corrected);
+    }
+}

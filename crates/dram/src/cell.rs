@@ -1,0 +1,170 @@
+//! The cell charge model: true-cells vs anti-cells.
+//!
+//! The paper found that "about 90% of corrupted bits switched from 1 to 0
+//! and only 10% the other way around. This is an indication that in the
+//! large majority of corruptions, the affected memory cell loses some
+//! charge."
+//!
+//! DRAM arrays mix *true cells* (charged == logical 1) and *anti cells*
+//! (charged == logical 0); a particle strike or retention failure always
+//! *discharges* a cell, so the logical flip direction depends on the cell's
+//! polarity and its current content. With 90% true cells, a discharge event
+//! over uniformly charged content produces the 90/10 asymmetry the paper
+//! measured — mechanistically, not by post-hoc biasing of flip directions.
+
+use uc_simclock::rng::mix64;
+
+/// Polarity of a cell.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CellPolarity {
+    /// Charged cell stores logical 1 (discharge flips 1 -> 0).
+    True,
+    /// Charged cell stores logical 0 (discharge flips 0 -> 1).
+    Anti,
+}
+
+/// Deterministic per-row polarity assignment.
+///
+/// Real devices assign polarity per row (or per row pair); we hash the row
+/// coordinate with a device-level salt so the assignment is stable across
+/// the campaign and the fraction of anti-cell rows is configurable.
+#[derive(Clone, Copy, Debug)]
+pub struct PolarityMap {
+    salt: u64,
+    /// Fraction of rows using anti-cells, in [0, 1].
+    anti_fraction: f64,
+}
+
+/// The paper-calibrated anti-cell fraction producing the ~90/10 split.
+pub const DEFAULT_ANTI_FRACTION: f64 = 0.10;
+
+impl PolarityMap {
+    pub fn new(salt: u64, anti_fraction: f64) -> PolarityMap {
+        assert!((0.0..=1.0).contains(&anti_fraction));
+        PolarityMap {
+            salt,
+            anti_fraction,
+        }
+    }
+
+    pub fn paper_default(salt: u64) -> PolarityMap {
+        PolarityMap::new(salt, DEFAULT_ANTI_FRACTION)
+    }
+
+    /// Polarity of every cell in the given row.
+    pub fn row_polarity(&self, rank: u32, bank: u32, row: u32) -> CellPolarity {
+        let key = (u64::from(rank) << 40) | (u64::from(bank) << 32) | u64::from(row);
+        let h = mix64(self.salt ^ key);
+        // Map the hash to [0,1) and compare with the anti fraction.
+        let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if u < self.anti_fraction {
+            CellPolarity::Anti
+        } else {
+            CellPolarity::True
+        }
+    }
+
+    /// The *logical value that a discharge flips away from* in this row:
+    /// 1 for true-cell rows, 0 for anti-cell rows.
+    pub fn vulnerable_value(&self, rank: u32, bank: u32, row: u32) -> u32 {
+        match self.row_polarity(rank, bank, row) {
+            CellPolarity::True => 1,
+            CellPolarity::Anti => 0,
+        }
+    }
+
+    /// Apply a discharge event to a stored word: bits in `mask` flip only
+    /// if they currently hold the row's vulnerable value. Returns the new
+    /// value (which may equal the old one if no bit was susceptible).
+    pub fn discharge(&self, rank: u32, bank: u32, row: u32, stored: u32, mask: u32) -> u32 {
+        match self.row_polarity(rank, bank, row) {
+            // Discharge clears bits that are currently 1.
+            CellPolarity::True => stored & !(mask & stored),
+            // Discharge sets bits that are currently 0.
+            CellPolarity::Anti => stored | (mask & !stored),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polarity_is_deterministic() {
+        let p = PolarityMap::paper_default(42);
+        for row in 0..100 {
+            assert_eq!(p.row_polarity(0, 0, row), p.row_polarity(0, 0, row));
+        }
+    }
+
+    #[test]
+    fn anti_fraction_is_respected() {
+        let p = PolarityMap::paper_default(7);
+        let n = 100_000;
+        let anti = (0..n)
+            .filter(|&row| p.row_polarity(0, 0, row) == CellPolarity::Anti)
+            .count();
+        let frac = anti as f64 / f64::from(n);
+        assert!((frac - 0.10).abs() < 0.01, "anti fraction {frac}");
+    }
+
+    #[test]
+    fn zero_fraction_all_true() {
+        let p = PolarityMap::new(1, 0.0);
+        assert!((0..1000).all(|row| p.row_polarity(0, 0, row) == CellPolarity::True));
+    }
+
+    #[test]
+    fn one_fraction_all_anti() {
+        let p = PolarityMap::new(1, 1.0);
+        assert!((0..1000).all(|row| p.row_polarity(0, 0, row) == CellPolarity::Anti));
+    }
+
+    #[test]
+    fn discharge_true_row_clears_ones() {
+        let p = PolarityMap::new(1, 0.0); // all true rows
+        // All-ones word: every masked bit flips 1 -> 0.
+        assert_eq!(p.discharge(0, 0, 5, 0xFFFF_FFFF, 0x0000_0F00), 0xFFFF_F0FF);
+        // All-zero word: discharge cannot flip a 0 in a true-cell row.
+        assert_eq!(p.discharge(0, 0, 5, 0x0000_0000, 0x0000_0F00), 0x0000_0000);
+    }
+
+    #[test]
+    fn discharge_anti_row_sets_zeros() {
+        let p = PolarityMap::new(1, 1.0); // all anti rows
+        assert_eq!(p.discharge(0, 0, 5, 0x0000_0000, 0x0000_00F0), 0x0000_00F0);
+        assert_eq!(p.discharge(0, 0, 5, 0xFFFF_FFFF, 0x0000_00F0), 0xFFFF_FFFF);
+    }
+
+    #[test]
+    fn discharge_mixed_content() {
+        let p = PolarityMap::new(1, 0.0);
+        // Only the 1-bits inside the mask flip.
+        let stored = 0b1010_1010;
+        let mask = 0b1111_0000;
+        assert_eq!(p.discharge(0, 0, 0, stored, mask), 0b0000_1010);
+    }
+
+    #[test]
+    fn vulnerable_value_matches_polarity() {
+        let p = PolarityMap::paper_default(3);
+        for row in 0..1000 {
+            let v = p.vulnerable_value(1, 2, row);
+            match p.row_polarity(1, 2, row) {
+                CellPolarity::True => assert_eq!(v, 1),
+                CellPolarity::Anti => assert_eq!(v, 0),
+            }
+        }
+    }
+
+    #[test]
+    fn different_salts_differ() {
+        let a = PolarityMap::new(1, 0.5);
+        let b = PolarityMap::new(2, 0.5);
+        let diff = (0..1000)
+            .filter(|&row| a.row_polarity(0, 0, row) != b.row_polarity(0, 0, row))
+            .count();
+        assert!(diff > 100, "salts produce different maps ({diff} diffs)");
+    }
+}

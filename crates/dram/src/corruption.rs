@@ -1,0 +1,305 @@
+//! Expected-vs-actual word diff analysis.
+//!
+//! Every ERROR log carries the expected and the actual 32-bit value. All of
+//! the paper's per-word structure analyses derive from the XOR of the two:
+//! how many bits flipped, whether they are consecutive, the distances
+//! between them (Table I's "Consecutive" column and the "3 bits average /
+//! 11 bits maximum distance" statistics), and the flip direction (the 90%
+//! 1->0 observation).
+
+use crate::ecc::{ChipkillCode, EccOutcome, Secded3932};
+
+/// Structural analysis of one corrupted word.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct WordDiff {
+    pub expected: u32,
+    pub actual: u32,
+}
+
+impl WordDiff {
+    pub fn new(expected: u32, actual: u32) -> WordDiff {
+        WordDiff { expected, actual }
+    }
+
+    /// XOR mask of flipped bits.
+    #[inline]
+    pub fn xor(self) -> u32 {
+        self.expected ^ self.actual
+    }
+
+    /// Number of corrupted bits.
+    #[inline]
+    pub fn bits_corrupted(self) -> u32 {
+        self.xor().count_ones()
+    }
+
+    /// Whether any corruption happened at all.
+    #[inline]
+    pub fn is_corrupted(self) -> bool {
+        self.xor() != 0
+    }
+
+    /// Whether this is a multi-bit (>= 2 bits) corruption of one word.
+    #[inline]
+    pub fn is_multi_bit(self) -> bool {
+        self.bits_corrupted() >= 2
+    }
+
+    /// Bit positions flipped, ascending.
+    pub fn flipped_positions(self) -> Vec<u32> {
+        let mut x = self.xor();
+        let mut out = Vec::with_capacity(x.count_ones() as usize);
+        while x != 0 {
+            let b = x.trailing_zeros();
+            out.push(b);
+            x &= x - 1;
+        }
+        out
+    }
+
+    /// Number of bits flipped 1 -> 0 (charge loss) and 0 -> 1.
+    pub fn flip_directions(self) -> (u32, u32) {
+        let x = self.xor();
+        let one_to_zero = (x & self.expected).count_ones();
+        let zero_to_one = (x & !self.expected).count_ones();
+        (one_to_zero, zero_to_one)
+    }
+
+    /// Whether all flipped bits form one consecutive run (Table I's
+    /// "Consecutive = Yes"). Single-bit corruptions count as consecutive.
+    pub fn is_consecutive(self) -> bool {
+        let x = self.xor();
+        if x == 0 {
+            return false;
+        }
+        let shifted = x >> x.trailing_zeros();
+        // A single run of ones becomes ...0111 after shifting out zeros.
+        (shifted & (shifted + 1)) == 0
+    }
+
+    /// Distances between successive flipped bits (empty for single-bit).
+    pub fn gap_distances(self) -> Vec<u32> {
+        let pos = self.flipped_positions();
+        pos.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+
+    /// Maximum distance between any two successive flipped bits.
+    pub fn max_gap(self) -> u32 {
+        self.gap_distances().into_iter().max().unwrap_or(0)
+    }
+
+    /// Mean distance between successive flipped bits (0 for single-bit).
+    pub fn mean_gap(self) -> f64 {
+        let d = self.gap_distances();
+        if d.is_empty() {
+            0.0
+        } else {
+            d.iter().sum::<u32>() as f64 / d.len() as f64
+        }
+    }
+
+    /// What a SECDED-protected system would have done with this corruption.
+    pub fn secded_outcome(self) -> EccOutcome {
+        Secded3932.judge_data_corruption(self.expected, self.xor())
+    }
+
+    /// What a chipkill-protected system would have done.
+    pub fn chipkill_outcome(self) -> EccOutcome {
+        ChipkillCode.judge_data_corruption(self.expected, self.xor())
+    }
+
+    /// The paper's coarse taxonomy: 1 bit => ECC-correctable;
+    /// 2 bits => SECDED-detectable; 3+ bits => potentially silent.
+    pub fn paper_class(self) -> CorruptionClass {
+        match self.bits_corrupted() {
+            0 => CorruptionClass::None,
+            1 => CorruptionClass::SingleBit,
+            2 => CorruptionClass::DoubleBit,
+            _ => CorruptionClass::PotentiallySilent,
+        }
+    }
+}
+
+/// The paper's coarse per-word corruption taxonomy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum CorruptionClass {
+    None,
+    /// Correctable under SECDED.
+    SingleBit,
+    /// Detectable (uncorrectable) under SECDED.
+    DoubleBit,
+    /// More than 2 bits: could pass undetected — SDC candidate.
+    PotentiallySilent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The complete Table I of the paper: (expected, corrupted, bits,
+    /// consecutive). Our diff analysis must reproduce the table's own
+    /// bits-corrupted and consecutive columns exactly.
+    pub const TABLE_I: &[(u32, u32, u32, bool)] = &[
+        (0x0000_16bb, 0x0000_16b8, 2, true),
+        (0xffff_ffff, 0xffff_eeff, 2, false),
+        (0x0000_03c1, 0x0000_03c2, 2, true),
+        (0xffff_ffff, 0xffff_7dff, 2, false),
+        (0xffff_ffff, 0xffff_f5ff, 2, false),
+        (0xffff_ffff, 0xffff_f3ff, 2, true),
+        (0xffff_ffff, 0xffff_f9ff, 2, true),
+        (0xffff_ffff, 0xffff_77ff, 2, false),
+        (0xffff_ffff, 0xffff_7bff, 2, false),
+        (0xffff_ffff, 0xffff_75ff, 3, false),
+        (0xffff_ffff, 0xffff_f1ff, 3, true),
+        (0x0000_0461, 0x0000_6e61, 4, false),
+        (0x0000_2957, 0x0000_2958, 4, true),
+        (0x0000_71b2, 0x0000_7100, 4, false),
+        (0x0000_02e4, 0x0000_0215, 5, false),
+        (0x0000_6ab4, 0x0000_6a5a, 6, false),
+        (0xffff_ffff, 0xffff_ff00, 8, true),
+        (0x0000_0058, 0xe600_6358, 9, false),
+    ];
+
+    #[test]
+    fn table_i_bit_counts_match() {
+        for &(exp, act, bits, _) in TABLE_I {
+            let d = WordDiff::new(exp, act);
+            assert_eq!(
+                d.bits_corrupted(),
+                bits,
+                "bits for {exp:#010x} -> {act:#010x}"
+            );
+        }
+    }
+
+    #[test]
+    fn table_i_consecutive_flags_match() {
+        for &(exp, act, _, consecutive) in TABLE_I {
+            let d = WordDiff::new(exp, act);
+            assert_eq!(
+                d.is_consecutive(),
+                consecutive,
+                "consecutive for {exp:#010x} -> {act:#010x}"
+            );
+        }
+    }
+
+    #[test]
+    fn table_i_max_distance_is_eleven() {
+        // "the maximum observed distance is 11 bits for this system"
+        let max = TABLE_I
+            .iter()
+            .map(|&(e, a, _, _)| WordDiff::new(e, a).max_gap())
+            .max()
+            .unwrap();
+        assert_eq!(max, 11);
+    }
+
+    #[test]
+    fn table_i_majority_non_adjacent() {
+        let non_adjacent = TABLE_I
+            .iter()
+            .filter(|&&(e, a, _, c)| {
+                let _ = WordDiff::new(e, a);
+                !c
+            })
+            .count();
+        assert!(non_adjacent * 2 > TABLE_I.len(), "majority non-adjacent");
+    }
+
+    #[test]
+    fn flip_directions_examples() {
+        // 0xffffffff -> 0xffff7bff: both flips are 1 -> 0.
+        let d = WordDiff::new(0xffff_ffff, 0xffff_7bff);
+        assert_eq!(d.flip_directions(), (2, 0));
+        // 0x000003c1 -> 0x000003c2: bit0 1->0, bit1 0->1.
+        let d = WordDiff::new(0x0000_03c1, 0x0000_03c2);
+        assert_eq!(d.flip_directions(), (1, 1));
+    }
+
+    #[test]
+    fn positions_and_gaps() {
+        let d = WordDiff::new(0xffff_ffff, 0xffff_eeff); // bits 8 and 12
+        assert_eq!(d.flipped_positions(), vec![8, 12]);
+        assert_eq!(d.gap_distances(), vec![4]);
+        assert_eq!(d.max_gap(), 4);
+        assert!((d.mean_gap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_bit_properties() {
+        let d = WordDiff::new(0xffff_ffff, 0xffff_fffe);
+        assert_eq!(d.bits_corrupted(), 1);
+        assert!(d.is_consecutive());
+        assert!(!d.is_multi_bit());
+        assert_eq!(d.max_gap(), 0);
+        assert_eq!(d.paper_class(), CorruptionClass::SingleBit);
+    }
+
+    #[test]
+    fn clean_word_properties() {
+        let d = WordDiff::new(42, 42);
+        assert!(!d.is_corrupted());
+        assert!(!d.is_consecutive());
+        assert_eq!(d.paper_class(), CorruptionClass::None);
+    }
+
+    #[test]
+    fn paper_class_taxonomy() {
+        assert_eq!(
+            WordDiff::new(0xffff_ffff, 0xffff_f3ff).paper_class(),
+            CorruptionClass::DoubleBit
+        );
+        assert_eq!(
+            WordDiff::new(0x0000_0058, 0xe600_6358).paper_class(),
+            CorruptionClass::PotentiallySilent
+        );
+    }
+
+    #[test]
+    fn secded_judgement_on_table_i() {
+        // All single... none here; doubles must be Detected, and the 3+
+        // rows must never decode Clean/Corrected.
+        for &(exp, act, bits, _) in TABLE_I {
+            let outcome = WordDiff::new(exp, act).secded_outcome();
+            if bits == 2 {
+                assert_eq!(outcome, EccOutcome::Detected, "{exp:#x}->{act:#x}");
+            } else {
+                assert!(
+                    !matches!(outcome, EccOutcome::Clean | EccOutcome::Corrected),
+                    "{exp:#x}->{act:#x} gave {outcome:?}"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn directions_sum_to_bit_count(exp in any::<u32>(), act in any::<u32>()) {
+            let d = WordDiff::new(exp, act);
+            let (down, up) = d.flip_directions();
+            prop_assert_eq!(down + up, d.bits_corrupted());
+        }
+
+        #[test]
+        fn positions_count_matches(exp in any::<u32>(), act in any::<u32>()) {
+            let d = WordDiff::new(exp, act);
+            prop_assert_eq!(d.flipped_positions().len() as u32, d.bits_corrupted());
+        }
+
+        #[test]
+        fn consecutive_iff_contiguous_mask(start in 0u32..31, len in 1u32..8) {
+            prop_assume!(start + len <= 32);
+            let mask = if len == 32 { u32::MAX } else { ((1u32 << len) - 1) << start };
+            let d = WordDiff::new(0, mask);
+            prop_assert!(d.is_consecutive());
+        }
+
+        #[test]
+        fn gap_distances_are_positive(exp in any::<u32>(), act in any::<u32>()) {
+            let d = WordDiff::new(exp, act);
+            prop_assert!(d.gap_distances().iter().all(|&g| g >= 1));
+        }
+    }
+}

@@ -1,0 +1,625 @@
+//! ECC codecs: SECDED Hamming(39,32) and a chipkill-style GF(16) code.
+//!
+//! The prototype has *no* ECC — that is what makes the raw-error study
+//! possible. The codecs here answer the counterfactual the paper keeps
+//! returning to: *had this been a classical SECDED-protected system, would
+//! this corruption have been corrected, detected, or silent?* Section III-C
+//! classifies the 85 multi-bit word errors that way (76 double-bit errors
+//! detectable, 9 errors of 3+ bits potentially silent), and Section III-D
+//! studies the ones that escape.
+//!
+//! Both codecs are real encoder/decoder implementations, not lookup tables
+//! of the paper's conclusions: detection/miscorrection behaviour for 3+ bit
+//! flips is whatever the actual syndrome algebra produces.
+
+/// Outcome of decoding a (possibly corrupted) codeword.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EccOutcome {
+    /// Codeword is consistent; data returned as stored.
+    Clean,
+    /// A single-bit (or single-symbol) error was corrected.
+    Corrected,
+    /// An uncorrectable error was *detected* (machine would raise MCE).
+    Detected,
+    /// The decoder "corrected" the wrong thing — the data returned differs
+    /// from what was written and no alarm is raised. Silent data corruption.
+    Miscorrected,
+    /// The corruption aliased to a valid codeword — entirely invisible.
+    Undetected,
+}
+
+impl EccOutcome {
+    /// Whether the outcome leads to silent data corruption.
+    pub fn is_silent(self) -> bool {
+        matches!(self, EccOutcome::Miscorrected | EccOutcome::Undetected)
+    }
+}
+
+// --------------------------------------------------------------------------
+// SECDED Hamming(39,32)
+// --------------------------------------------------------------------------
+
+/// SECDED Hamming(39,32): 32 data bits, 6 Hamming check bits, 1 overall
+/// parity bit. Corrects any single-bit error and detects any double-bit
+/// error; 3+ bit errors may miscorrect or alias.
+///
+/// Layout: codeword bit 0 is the overall parity; bits 1..=38 follow the
+/// classic Hamming positions, with check bits at positions 1, 2, 4, 8, 16,
+/// 32 and data bits filling the rest in increasing order.
+/// ```
+/// use uc_dram::{EccOutcome, Secded3932};
+/// let code = Secded3932;
+/// // Single-bit corruption: corrected. Double: detected. 3+: dangerous.
+/// assert_eq!(code.judge_data_corruption(0xFFFF_FFFF, 1 << 9), EccOutcome::Corrected);
+/// assert_eq!(code.judge_data_corruption(0xFFFF_FFFF, 0b11 << 9), EccOutcome::Detected);
+/// assert_ne!(code.judge_data_corruption(0xFFFF_FFFF, 0b111 << 9), EccOutcome::Corrected);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Secded3932;
+
+/// Positions 1..=38 that hold data bits (not powers of two), in order.
+fn data_positions() -> impl Iterator<Item = u32> {
+    (1u32..=38).filter(|p| !p.is_power_of_two())
+}
+
+impl Secded3932 {
+    /// Encode 32 data bits into a 39-bit codeword (in the low bits of u64).
+    pub fn encode(&self, data: u32) -> u64 {
+        let mut cw: u64 = 0;
+        for (i, pos) in data_positions().enumerate() {
+            if data & (1 << i) != 0 {
+                cw |= 1 << pos;
+            }
+        }
+        // Hamming check bits: check bit at position 2^k covers positions
+        // whose index has bit k set.
+        for k in 0..6 {
+            let p = 1u32 << k;
+            let mut parity = 0u64;
+            for pos in 1..=38u32 {
+                if pos != p && (pos & p) != 0 {
+                    parity ^= (cw >> pos) & 1;
+                }
+            }
+            if parity != 0 {
+                cw |= 1 << p;
+            }
+        }
+        // Overall parity over positions 1..=38, stored at bit 0, chosen so
+        // the whole 39-bit word has even parity.
+        if (cw >> 1).count_ones() % 2 == 1 {
+            cw |= 1;
+        }
+        cw
+    }
+
+    /// Extract the data bits of a codeword (no checking).
+    pub fn extract(&self, cw: u64) -> u32 {
+        let mut data = 0u32;
+        for (i, pos) in data_positions().enumerate() {
+            if cw & (1 << pos) != 0 {
+                data |= 1 << i;
+            }
+        }
+        data
+    }
+
+    /// Decode a stored codeword, returning the outcome and the data the
+    /// memory controller would hand to the CPU. `original` is the data that
+    /// was written, used only to classify miscorrection vs. correction (the
+    /// decoder itself never sees it).
+    pub fn decode(&self, stored: u64, original: u32) -> (EccOutcome, u32) {
+        debug_assert!(stored >> 39 == 0, "codeword wider than 39 bits");
+        // Recompute the syndrome.
+        let mut syndrome = 0u32;
+        for k in 0..6 {
+            let p = 1u32 << k;
+            let mut parity = 0u64;
+            for pos in 1..=38u32 {
+                if (pos & p) != 0 {
+                    parity ^= (stored >> pos) & 1;
+                }
+            }
+            if parity != 0 {
+                syndrome |= p;
+            }
+        }
+        let overall_odd = stored.count_ones() % 2 == 1;
+
+        match (syndrome, overall_odd) {
+            (0, false) => {
+                let data = self.extract(stored);
+                if data == original {
+                    (EccOutcome::Clean, data)
+                } else {
+                    // Flips cancelled out in every check: aliased codeword.
+                    (EccOutcome::Undetected, data)
+                }
+            }
+            (0, true) => {
+                // Only the overall parity bit is wrong: correct it (data
+                // unaffected). If the data still differs, something aliased.
+                let data = self.extract(stored);
+                if data == original {
+                    (EccOutcome::Corrected, data)
+                } else {
+                    (EccOutcome::Miscorrected, data)
+                }
+            }
+            (s, true) => {
+                // Odd number of flips with a syndrome: single-bit model.
+                if s <= 38 {
+                    let fixed = stored ^ (1u64 << s);
+                    let data = self.extract(fixed);
+                    if data == original {
+                        (EccOutcome::Corrected, data)
+                    } else {
+                        (EccOutcome::Miscorrected, data)
+                    }
+                } else {
+                    // Syndrome points outside the codeword: detected.
+                    (EccOutcome::Detected, self.extract(stored))
+                }
+            }
+            (_, false) => {
+                // Even number of flips, non-zero syndrome: the SECDED
+                // double-error-detected case.
+                (EccOutcome::Detected, self.extract(stored))
+            }
+        }
+    }
+
+    /// Convenience: write `data`, flip `xor_mask` bits of the *data lanes*
+    /// (the scanner only sees data corruption), decode. This mirrors how a
+    /// DRAM word corruption would present to a SECDED controller whose
+    /// check bits were stored on separate (healthy) chips.
+    pub fn judge_data_corruption(&self, data: u32, xor_mask: u32) -> EccOutcome {
+        let mut cw = self.encode(data);
+        for (i, pos) in data_positions().enumerate() {
+            if xor_mask & (1 << i) != 0 {
+                cw ^= 1 << pos;
+            }
+        }
+        self.decode(cw, data).0
+    }
+}
+
+// --------------------------------------------------------------------------
+// Chipkill-style single-symbol-correct code over GF(16)
+// --------------------------------------------------------------------------
+
+/// GF(2^4) arithmetic with the primitive polynomial x^4 + x + 1 (0x13).
+mod gf16 {
+    /// antilog[i] = alpha^i for i in 0..15.
+    pub const EXP: [u8; 15] = [1, 2, 4, 8, 3, 6, 12, 11, 5, 10, 7, 14, 15, 13, 9];
+
+    /// log[x] for x in 1..=15 (log[0] unused).
+    pub const LOG: [u8; 16] = {
+        let mut log = [0u8; 16];
+        let mut i = 0;
+        while i < 15 {
+            log[EXP[i] as usize] = i as u8;
+            i += 1;
+        }
+        log
+    };
+
+    #[inline]
+    pub fn mul(a: u8, b: u8) -> u8 {
+        if a == 0 || b == 0 {
+            0
+        } else {
+            EXP[((LOG[a as usize] as usize) + (LOG[b as usize] as usize)) % 15]
+        }
+    }
+
+    #[inline]
+    pub fn div(a: u8, b: u8) -> u8 {
+        assert!(b != 0, "division by zero in GF(16)");
+        if a == 0 {
+            0
+        } else {
+            EXP[((LOG[a as usize] as usize) + 15 - (LOG[b as usize] as usize)) % 15]
+        }
+    }
+
+    /// alpha^i for any non-negative i.
+    #[inline]
+    pub fn alpha_pow(i: usize) -> u8 {
+        EXP[i % 15]
+    }
+
+    /// Discrete log of a non-zero element.
+    #[inline]
+    pub fn log(x: u8) -> usize {
+        debug_assert!(x != 0);
+        LOG[x as usize] as usize
+    }
+}
+
+/// A chipkill-like Reed-Solomon code over GF(16): 8 data symbols (one
+/// 32-bit word as 4-bit nibbles) plus 3 check symbols — an RS(11, 8) code
+/// with minimum distance 4, i.e. single-symbol correct / double-symbol
+/// detect (SSC-DSD). A "symbol" models an entire x4 DRAM chip, so this
+/// corrects any corruption confined to one chip — the chipkill property the
+/// related work (Sridharan & Liberty) credits with 42x better reliability
+/// than SECDED.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChipkillCode;
+
+/// Generator polynomial g(x) = (x+a)(x+a^2)(x+a^3)
+///                           = x^3 + 14x^2 + 13x + 12 over GF(16).
+const GEN: [u8; 3] = [12, 13, 14]; // coefficients of x^0, x^1, x^2
+
+impl ChipkillCode {
+    const DATA_SYMBOLS: usize = 8;
+    const CHECK_SYMBOLS: usize = 3;
+    const TOTAL_SYMBOLS: usize = 11;
+
+    /// Encode a 32-bit word into 11 nibbles: symbols 0..3 are the RS
+    /// remainder (check symbols), symbols 3..11 the data nibbles
+    /// (low nibble of the data word = symbol 3).
+    pub fn encode(&self, data: u32) -> u64 {
+        // Systematic encoding: remainder of m(x) * x^3 modulo g(x),
+        // computed with the standard LFSR division.
+        let mut r = [0u8; Self::CHECK_SYMBOLS];
+        for i in (0..Self::DATA_SYMBOLS).rev() {
+            let sym = ((data >> (i * 4)) & 0xF) as u8;
+            let fb = sym ^ r[2];
+            r[2] = r[1] ^ gf16::mul(fb, GEN[2]);
+            r[1] = r[0] ^ gf16::mul(fb, GEN[1]);
+            r[0] = gf16::mul(fb, GEN[0]);
+        }
+        let mut cw = 0u64;
+        for (i, &c) in r.iter().enumerate() {
+            cw |= u64::from(c) << (i * 4);
+        }
+        cw | (u64::from(data) << (Self::CHECK_SYMBOLS * 4))
+    }
+
+    fn symbols_of(cw: u64) -> [u8; Self::TOTAL_SYMBOLS] {
+        let mut s = [0u8; Self::TOTAL_SYMBOLS];
+        for (i, sym) in s.iter_mut().enumerate() {
+            *sym = ((cw >> (i * 4)) & 0xF) as u8;
+        }
+        s
+    }
+
+    /// Extract the data word (no checking).
+    pub fn extract(&self, cw: u64) -> u32 {
+        ((cw >> (Self::CHECK_SYMBOLS * 4)) & 0xFFFF_FFFF) as u32
+    }
+
+    /// Decode, classifying against the originally written data.
+    pub fn decode(&self, stored: u64, original: u32) -> (EccOutcome, u32) {
+        let symbols = Self::symbols_of(stored);
+        // Syndromes S_k = cw(alpha^k), k = 1..=3.
+        let mut s = [0u8; 3];
+        for (i, &c) in symbols.iter().enumerate() {
+            for (k, sk) in s.iter_mut().enumerate() {
+                *sk ^= gf16::mul(c, gf16::alpha_pow((k + 1) * i));
+            }
+        }
+        if s == [0, 0, 0] {
+            let data = self.extract(stored);
+            return if data == original {
+                (EccOutcome::Clean, data)
+            } else {
+                (EccOutcome::Undetected, data)
+            };
+        }
+        // Single-error hypothesis: S1 = m a^j, S2 = m a^2j, S3 = m a^3j.
+        // Requires all syndromes non-zero, S1*S3 == S2^2, and a valid j.
+        if s[0] != 0 && s[1] != 0 && s[2] != 0 && gf16::mul(s[0], s[2]) == gf16::mul(s[1], s[1])
+        {
+            let j = (gf16::log(s[1]) + 15 - gf16::log(s[0])) % 15;
+            if j < Self::TOTAL_SYMBOLS {
+                let m = gf16::div(s[0], gf16::alpha_pow(j));
+                let fixed = stored ^ (u64::from(m) << (j * 4));
+                let data = self.extract(fixed);
+                return if data == original {
+                    (EccOutcome::Corrected, data)
+                } else {
+                    (EccOutcome::Miscorrected, data)
+                };
+            }
+        }
+        (EccOutcome::Detected, self.extract(stored))
+    }
+
+    /// Corrupt the data lanes of a codeword by `xor_mask` and decode.
+    pub fn judge_data_corruption(&self, data: u32, xor_mask: u32) -> EccOutcome {
+        let cw = self.encode(data) ^ (u64::from(xor_mask) << (Self::CHECK_SYMBOLS * 4));
+        self.decode(cw, data).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    // ---------------- SECDED ----------------
+
+    #[test]
+    fn secded_clean_roundtrip() {
+        let c = Secded3932;
+        for data in [0u32, 1, 0xFFFF_FFFF, 0xDEAD_BEEF, 0x8000_0001] {
+            let cw = c.encode(data);
+            assert_eq!(c.extract(cw), data);
+            let (outcome, decoded) = c.decode(cw, data);
+            assert_eq!(outcome, EccOutcome::Clean);
+            assert_eq!(decoded, data);
+        }
+    }
+
+    #[test]
+    fn secded_corrects_every_single_bit_flip() {
+        let c = Secded3932;
+        let data = 0xCAFE_F00D;
+        let cw = c.encode(data);
+        for pos in 0..39 {
+            let (outcome, decoded) = c.decode(cw ^ (1u64 << pos), data);
+            assert_eq!(outcome, EccOutcome::Corrected, "flip at {pos}");
+            assert_eq!(decoded, data, "flip at {pos}");
+        }
+    }
+
+    #[test]
+    fn secded_detects_every_double_bit_flip() {
+        let c = Secded3932;
+        let data = 0x1234_5678;
+        let cw = c.encode(data);
+        for a in 0..39u64 {
+            for b in (a + 1)..39 {
+                let (outcome, _) = c.decode(cw ^ (1 << a) ^ (1 << b), data);
+                assert_eq!(outcome, EccOutcome::Detected, "flips at {a},{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn secded_triple_flips_can_miscorrect() {
+        // 3 flips have odd parity, so the decoder attempts a single-bit
+        // correction, which must be wrong => classified Miscorrected (or
+        // Detected when the syndrome lands outside the codeword).
+        let c = Secded3932;
+        let data = 0xFFFF_FFFF;
+        let cw = c.encode(data);
+        let mut miscorrected = 0;
+        let mut detected = 0;
+        for a in 0..12u64 {
+            for b in (a + 1)..25 {
+                for e in (b + 1)..39 {
+                    let bad = cw ^ (1 << a) ^ (1 << b) ^ (1 << e);
+                    match c.decode(bad, data).0 {
+                        EccOutcome::Miscorrected => miscorrected += 1,
+                        EccOutcome::Detected => detected += 1,
+                        other => panic!("triple flip gave {other:?}"),
+                    }
+                }
+            }
+        }
+        assert!(miscorrected > 0, "some triples miscorrect (silent!)");
+        assert!(
+            miscorrected > detected,
+            "most triples miscorrect: {miscorrected} vs {detected}"
+        );
+    }
+
+    #[test]
+    fn secded_data_corruption_judgement_matches_paper_taxonomy() {
+        let c = Secded3932;
+        // Single-bit data corruption: corrected.
+        assert_eq!(c.judge_data_corruption(0xFFFF_FFFF, 1 << 9), EccOutcome::Corrected);
+        // The paper's double-bit example 0xffffffff -> 0xffff7bff
+        // (bits 10 and 15): detected, would crash a SECDED machine.
+        assert_eq!(
+            c.judge_data_corruption(0xFFFF_FFFF, 0xFFFF_FFFF ^ 0xFFFF_7BFF),
+            EccOutcome::Detected
+        );
+        // The paper's 9-bit example 0x00000058 -> 0xe6006358: silent or
+        // detected, but never correctly corrected.
+        let nine_bit = 0x0000_0058u32 ^ 0xE600_6358;
+        assert_eq!(nine_bit.count_ones(), 9);
+        let outcome = c.judge_data_corruption(0x0000_0058, nine_bit);
+        assert_ne!(outcome, EccOutcome::Corrected);
+        assert_ne!(outcome, EccOutcome::Clean);
+    }
+
+    #[test]
+    fn secded_exhaustive_silent_fraction_for_4bit_flips() {
+        // 4-bit corruptions (even) either alias (Undetected) or are
+        // Detected; count them over a sample and ensure both exist.
+        let c = Secded3932;
+        let data = 0xA5A5_5A5A;
+        let mut undetected = 0u32;
+        let mut detected = 0u32;
+        let mut mask_sample = Vec::new();
+        for a in 0..8u32 {
+            for b in 9..16 {
+                for e in 17..24 {
+                    for f in 25..32 {
+                        mask_sample.push((1 << a) | (1 << b) | (1 << e) | (1 << f));
+                    }
+                }
+            }
+        }
+        for mask in mask_sample {
+            match c.judge_data_corruption(data, mask) {
+                EccOutcome::Detected => detected += 1,
+                EccOutcome::Undetected | EccOutcome::Miscorrected => undetected += 1,
+                other => panic!("4-flip gave {other:?}"),
+            }
+        }
+        assert!(detected > 0);
+        assert!(undetected > 0, "some 4-bit flips escape SECDED");
+    }
+
+    // ---------------- GF(16) ----------------
+
+    #[test]
+    fn gf16_tables_consistent() {
+        for x in 1u8..16 {
+            assert_eq!(gf16::EXP[gf16::LOG[x as usize] as usize], x);
+        }
+        // alpha^15 == 1.
+        assert_eq!(gf16::alpha_pow(15), 1);
+    }
+
+    #[test]
+    fn gf16_mul_div_inverse() {
+        for a in 1u8..16 {
+            for b in 1u8..16 {
+                let p = gf16::mul(a, b);
+                assert_eq!(gf16::div(p, b), a);
+                assert_eq!(gf16::div(p, a), b);
+            }
+        }
+    }
+
+    #[test]
+    fn gf16_mul_commutative_associative() {
+        for a in 0u8..16 {
+            for b in 0u8..16 {
+                assert_eq!(gf16::mul(a, b), gf16::mul(b, a));
+                for c in 0u8..16 {
+                    assert_eq!(
+                        gf16::mul(gf16::mul(a, b), c),
+                        gf16::mul(a, gf16::mul(b, c))
+                    );
+                }
+            }
+        }
+    }
+
+    // ---------------- Chipkill ----------------
+
+    #[test]
+    fn chipkill_clean_roundtrip() {
+        let c = ChipkillCode;
+        for data in [0u32, 0xFFFF_FFFF, 0x0F0F_0F0F, 0xDEAD_BEEF] {
+            let cw = c.encode(data);
+            assert_eq!(c.extract(cw), data);
+            assert_eq!(c.decode(cw, data), (EccOutcome::Clean, data));
+        }
+    }
+
+    #[test]
+    fn chipkill_corrects_any_single_symbol_error() {
+        let c = ChipkillCode;
+        let data = 0x1357_9BDF;
+        let cw = c.encode(data);
+        for sym in 0..11 {
+            for err in 1u64..16 {
+                let bad = cw ^ (err << (sym * 4));
+                let (outcome, decoded) = c.decode(bad, data);
+                assert_eq!(outcome, EccOutcome::Corrected, "sym {sym} err {err:x}");
+                assert_eq!(decoded, data);
+            }
+        }
+    }
+
+    #[test]
+    fn chipkill_corrects_whole_nibble_where_secded_fails() {
+        // A 4-bit error inside one nibble: chipkill corrects it; SECDED
+        // at best detects it. This is the 42x-reliability argument from the
+        // related work, reproduced in miniature.
+        let data = 0xFFFF_FFFF;
+        let mask = 0xF << 8; // all four bits of data nibble 2 (one chip)
+        assert_eq!(
+            ChipkillCode.judge_data_corruption(data, mask),
+            EccOutcome::Corrected
+        );
+        assert_ne!(
+            Secded3932.judge_data_corruption(data, mask),
+            EccOutcome::Corrected
+        );
+    }
+
+    #[test]
+    fn chipkill_detects_every_double_symbol_error() {
+        // Min distance 4 => SSC-DSD: *all* double-symbol errors are
+        // detected, never miscorrected, never silent.
+        let c = ChipkillCode;
+        let data = 0x0BAD_F00D;
+        let cw = c.encode(data);
+        for s1 in 0..10usize {
+            for s2 in (s1 + 1)..11 {
+                for e1 in 1u64..16 {
+                    for e2 in 1u64..16 {
+                        let bad = cw ^ (e1 << (s1 * 4)) ^ (e2 << (s2 * 4));
+                        assert_eq!(
+                            c.decode(bad, data).0,
+                            EccOutcome::Detected,
+                            "syms {s1},{s2} errs {e1:x},{e2:x}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chipkill_triple_symbol_errors_can_be_silent() {
+        // Beyond the design distance some corruption escapes — the same
+        // qualitative gap the paper worries about for SECDED.
+        let c = ChipkillCode;
+        let data = 0x0BAD_F00D;
+        let cw = c.encode(data);
+        let mut silent = 0u32;
+        let mut total = 0u32;
+        for e1 in 1u64..16 {
+            for e2 in 1u64..16 {
+                for e3 in 1u64..16 {
+                    let bad = cw ^ (e1 << 12) ^ (e2 << 20) ^ (e3 << 28);
+                    total += 1;
+                    if c.decode(bad, data).0.is_silent() {
+                        silent += 1;
+                    }
+                }
+            }
+        }
+        assert!(silent > 0, "some triple-symbol errors escape");
+        assert!(silent * 4 < total, "but most are caught ({silent}/{total})");
+    }
+
+    proptest! {
+        #[test]
+        fn secded_roundtrip_any_data(data in any::<u32>()) {
+            let c = Secded3932;
+            prop_assert_eq!(c.decode(c.encode(data), data), (EccOutcome::Clean, data));
+        }
+
+        #[test]
+        fn secded_single_flip_corrected_any_data(data in any::<u32>(), pos in 0u64..39) {
+            let c = Secded3932;
+            let (outcome, decoded) = c.decode(c.encode(data) ^ (1 << pos), data);
+            prop_assert_eq!(outcome, EccOutcome::Corrected);
+            prop_assert_eq!(decoded, data);
+        }
+
+        #[test]
+        fn secded_double_flip_detected_any_data(data in any::<u32>(), a in 0u64..39, b in 0u64..39) {
+            prop_assume!(a != b);
+            let c = Secded3932;
+            let (outcome, _) = c.decode(c.encode(data) ^ (1 << a) ^ (1 << b), data);
+            prop_assert_eq!(outcome, EccOutcome::Detected);
+        }
+
+        #[test]
+        fn chipkill_roundtrip_any_data(data in any::<u32>()) {
+            let c = ChipkillCode;
+            prop_assert_eq!(c.decode(c.encode(data), data), (EccOutcome::Clean, data));
+        }
+
+        #[test]
+        fn chipkill_single_symbol_any_data(data in any::<u32>(), sym in 0usize..11, err in 1u64..16) {
+            let c = ChipkillCode;
+            let bad = c.encode(data) ^ (err << (sym * 4));
+            let (outcome, decoded) = c.decode(bad, data);
+            prop_assert_eq!(outcome, EccOutcome::Corrected);
+            prop_assert_eq!(decoded, data);
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! DRAM address geometry.
+//!
+//! A node's 4 GB of LPDDR is addressed by the scanner as a flat array of
+//! 32-bit words. Physically, each word address decomposes into
+//! (rank, bank, row, column) coordinates; cells that share a row and sit in
+//! adjacent columns are physical neighbours even when their word addresses
+//! are far apart. The fault models use this to place multi-cell strikes that
+//! land in *different* memory words — the paper's "multiple single-bit
+//! corruptions occurring simultaneously in different regions of the memory".
+
+use core::fmt;
+
+/// A word (4-byte) address within a node's scanned region.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct WordAddr(pub u64);
+
+impl WordAddr {
+    #[inline]
+    pub fn byte_addr(self) -> u64 {
+        self.0 * 4
+    }
+}
+
+impl fmt::Display for WordAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:010x}", self.byte_addr())
+    }
+}
+
+/// Physical coordinates of a word.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PhysCoord {
+    pub rank: u32,
+    pub bank: u32,
+    pub row: u32,
+    pub col: u32,
+}
+
+/// Bit widths of each coordinate field in a word address.
+///
+/// Address layout (LSB to MSB): column | bank | row | rank. Interleaving
+/// banks below rows is the common performance layout; it also means a
+/// row+column neighbourhood maps to word addresses strided by the full
+/// column space, i.e. physically clustered faults appear scattered in the
+/// scanner's address space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Geometry {
+    pub col_bits: u32,
+    pub bank_bits: u32,
+    pub row_bits: u32,
+    pub rank_bits: u32,
+}
+
+impl Geometry {
+    /// Geometry of the prototype's 4 GB node: 2 ranks x 8 banks x 64Ki rows
+    /// x 1Ki columns of 32-bit words = 2^30 words = 4 GB.
+    pub const NODE_4GB: Geometry = Geometry {
+        col_bits: 10,
+        bank_bits: 3,
+        row_bits: 16,
+        rank_bits: 1,
+    };
+
+    /// A tiny geometry for tests and examples (2^16 words = 256 KiB).
+    pub const TINY: Geometry = Geometry {
+        col_bits: 6,
+        bank_bits: 2,
+        row_bits: 7,
+        rank_bits: 1,
+    };
+
+    /// Total address bits.
+    pub const fn addr_bits(&self) -> u32 {
+        self.col_bits + self.bank_bits + self.row_bits + self.rank_bits
+    }
+
+    /// Total words addressable.
+    pub const fn words(&self) -> u64 {
+        1u64 << self.addr_bits()
+    }
+
+    /// Columns per row.
+    pub const fn cols(&self) -> u32 {
+        1 << self.col_bits
+    }
+
+    /// Decompose a word address into physical coordinates.
+    pub fn coord(&self, addr: WordAddr) -> PhysCoord {
+        debug_assert!(addr.0 < self.words(), "address out of range");
+        let mut a = addr.0;
+        let col = (a & ((1 << self.col_bits) - 1)) as u32;
+        a >>= self.col_bits;
+        let bank = (a & ((1 << self.bank_bits) - 1)) as u32;
+        a >>= self.bank_bits;
+        let row = (a & ((1 << self.row_bits) - 1)) as u32;
+        a >>= self.row_bits;
+        let rank = (a & ((1 << self.rank_bits) - 1)) as u32;
+        PhysCoord {
+            rank,
+            bank,
+            row,
+            col,
+        }
+    }
+
+    /// Compose physical coordinates back into a word address.
+    pub fn addr(&self, c: PhysCoord) -> WordAddr {
+        debug_assert!(c.col < (1 << self.col_bits));
+        debug_assert!(c.bank < (1 << self.bank_bits));
+        debug_assert!(c.row < (1 << self.row_bits));
+        debug_assert!(c.rank < (1 << self.rank_bits));
+        let a = (u64::from(c.rank) << (self.row_bits + self.bank_bits + self.col_bits))
+            | (u64::from(c.row) << (self.bank_bits + self.col_bits))
+            | (u64::from(c.bank) << self.col_bits)
+            | u64::from(c.col);
+        WordAddr(a)
+    }
+
+    /// The word addresses of up to `span` same-row column neighbours
+    /// starting at `addr` (wrapping within the row). Physically contiguous,
+    /// but separated in address space only by the column stride.
+    pub fn row_neighbours(&self, addr: WordAddr, span: u32) -> Vec<WordAddr> {
+        let c = self.coord(addr);
+        (0..span)
+            .map(|k| {
+                let col = (c.col + k) % self.cols();
+                self.addr(PhysCoord { col, ..c })
+            })
+            .collect()
+    }
+
+    /// The word addresses of up to `span` same-column row neighbours
+    /// (adjacent rows in the same bank), wrapping within the bank.
+    pub fn col_neighbours(&self, addr: WordAddr, span: u32) -> Vec<WordAddr> {
+        let c = self.coord(addr);
+        let rows = 1u32 << self.row_bits;
+        (0..span)
+            .map(|k| {
+                let row = (c.row.wrapping_add(k)) % rows;
+                self.addr(PhysCoord { row, ..c })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn node_geometry_is_4gb() {
+        assert_eq!(Geometry::NODE_4GB.words(), 1 << 30);
+        assert_eq!(Geometry::NODE_4GB.words() * 4, 4 << 30);
+        assert_eq!(Geometry::NODE_4GB.addr_bits(), 30);
+    }
+
+    #[test]
+    fn tiny_geometry_words() {
+        assert_eq!(Geometry::TINY.words(), 1 << 16);
+    }
+
+    #[test]
+    fn coord_decomposition_known_values() {
+        let g = Geometry::NODE_4GB;
+        let c = g.coord(WordAddr(0));
+        assert_eq!(c, PhysCoord { rank: 0, bank: 0, row: 0, col: 0 });
+        let c = g.coord(WordAddr(1023));
+        assert_eq!(c.col, 1023);
+        assert_eq!(c.bank, 0);
+        let c = g.coord(WordAddr(1024));
+        assert_eq!(c.col, 0);
+        assert_eq!(c.bank, 1);
+        let c = g.coord(WordAddr(1 << 29));
+        assert_eq!(c.rank, 1, "bit 29 is the rank bit");
+        assert_eq!(c.row, 0);
+        let c = g.coord(WordAddr(1 << 28));
+        assert_eq!(c.rank, 0);
+        assert_eq!(c.row, 1 << 15);
+    }
+
+    #[test]
+    fn row_neighbours_share_row() {
+        let g = Geometry::NODE_4GB;
+        let addr = g.addr(PhysCoord { rank: 1, bank: 3, row: 777, col: 100 });
+        let n = g.row_neighbours(addr, 4);
+        assert_eq!(n.len(), 4);
+        for (k, a) in n.iter().enumerate() {
+            let c = g.coord(*a);
+            assert_eq!(c.row, 777);
+            assert_eq!(c.bank, 3);
+            assert_eq!(c.rank, 1);
+            assert_eq!(c.col, 100 + k as u32);
+        }
+        // Column stride of 1 => word-address stride of 1 within a row.
+        assert_eq!(n[1].0 - n[0].0, 1);
+    }
+
+    #[test]
+    fn row_neighbours_wrap_column() {
+        let g = Geometry::TINY;
+        let addr = g.addr(PhysCoord { rank: 0, bank: 0, row: 5, col: g.cols() - 1 });
+        let n = g.row_neighbours(addr, 2);
+        assert_eq!(g.coord(n[1]).col, 0);
+        assert_eq!(g.coord(n[1]).row, 5);
+    }
+
+    #[test]
+    fn col_neighbours_stride_is_row_pitch() {
+        let g = Geometry::NODE_4GB;
+        let addr = g.addr(PhysCoord { rank: 0, bank: 2, row: 10, col: 33 });
+        let n = g.col_neighbours(addr, 3);
+        // Adjacent rows differ by 2^(bank_bits + col_bits) words = 8192.
+        assert_eq!(n[1].0 - n[0].0, 8_192);
+        assert_eq!(n[2].0 - n[1].0, 8_192);
+    }
+
+    #[test]
+    fn display_formats_byte_address() {
+        assert_eq!(WordAddr(1).to_string(), "0x0000000004");
+    }
+
+    proptest! {
+        #[test]
+        fn coord_addr_roundtrip(raw in 0u64..(1 << 30)) {
+            let g = Geometry::NODE_4GB;
+            let addr = WordAddr(raw);
+            prop_assert_eq!(g.addr(g.coord(addr)), addr);
+        }
+
+        #[test]
+        fn tiny_roundtrip(raw in 0u64..(1 << 16)) {
+            let g = Geometry::TINY;
+            let addr = WordAddr(raw);
+            prop_assert_eq!(g.addr(g.coord(addr)), addr);
+        }
+
+        #[test]
+        fn neighbours_are_distinct(raw in 0u64..(1 << 30), span in 2u32..8) {
+            let g = Geometry::NODE_4GB;
+            let n = g.row_neighbours(WordAddr(raw), span);
+            let mut sorted = n.clone();
+            sorted.sort();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), n.len());
+        }
+    }
+}

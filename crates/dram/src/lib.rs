@@ -1,0 +1,39 @@
+//! # uc-dram — ECC-less LPDDR device model and ECC codecs
+//!
+//! The prototype's nodes carry 4 GB of low-power DRAM *without* error
+//! correction — that is the whole point of the study. This crate models the
+//! device at the level the analyses need:
+//!
+//! - [`geometry`]: the address geometry (rank / bank / row / column) and the
+//!   mapping between a word address and its physical coordinates;
+//! - [`scramble`]: the bit-lane scrambler. DRAM layouts spread logically
+//!   adjacent bits of a word over distant physical cells (done to avoid bus
+//!   resonance, as the paper notes); it is the mechanism behind the paper's
+//!   observation that most multi-bit errors corrupt *non-adjacent* bits,
+//!   with an average in-word distance of ~3 bits and a maximum of 11;
+//! - [`device`]: a word-addressable memory device trait plus a concrete
+//!   [`device::VecDevice`] with a fault-injection overlay (bit flips persist
+//!   until the word is rewritten; stuck cells persist across writes), used
+//!   by the scanner in device mode;
+//! - [`cell`]: the charge model — true-cells vs anti-cells, which produces
+//!   the paper's ~90% 1->0 flip-direction asymmetry mechanistically;
+//! - [`ecc`]: SECDED Hamming(39,32) and a GF(16) Reed-Solomon chipkill-like
+//!   codec, used to classify every observed corruption as correctable,
+//!   detectable-uncorrectable, or potentially silent (paper Sections
+//!   III-C/III-D);
+//! - [`corruption`]: expected-vs-actual word diff analysis (bit count,
+//!   adjacency, distances, flip direction) shared by the whole workspace.
+
+pub mod cell;
+pub mod corruption;
+pub mod device;
+pub mod ecc;
+pub mod geometry;
+pub mod scramble;
+
+pub use cell::{CellPolarity, PolarityMap};
+pub use corruption::WordDiff;
+pub use device::{MemoryDevice, VecDevice};
+pub use ecc::{ChipkillCode, EccOutcome, Secded3932};
+pub use geometry::{Geometry, PhysCoord, WordAddr};
+pub use scramble::LaneScrambler;

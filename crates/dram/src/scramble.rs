@@ -1,0 +1,228 @@
+//! Bit-lane scrambling.
+//!
+//! The paper observes that "the majority of multi-bit errors did not corrupt
+//! consecutive bits. In fact, 3 bits is the average distance between
+//! corrupted bits in the same memory word and the maximum observed distance
+//! is 11 bits... This could be due to DRAM layout spreading the adjacent
+//! bits of the word. Usually this scrambling is done to avoid resonance on
+//! the bus."
+//!
+//! We model that mechanism directly: a strike damages a run of *physically*
+//! adjacent bit lanes; [`LaneScrambler`] maps each physical lane to the
+//! logical bit position it carries. The permutation below was designed so
+//! that physically adjacent lanes map to logical positions whose pairwise
+//! distance distribution matches the paper (mean ~3, max 11, with a minority
+//! of consecutive pairs).
+
+/// A bijective physical-lane -> logical-bit permutation over 32 lanes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LaneScrambler {
+    /// `to_logical[phys] = logical`.
+    to_logical: [u8; 32],
+    /// `to_phys[logical] = phys`.
+    to_phys: [u8; 32],
+}
+
+/// The default lane map. Local shuffles within byte groups plus a couple of
+/// long hops, which is what board-level swizzling typically looks like.
+const DEFAULT_MAP: [u8; 32] = [
+    0, 3, 1, 4, 2, 7, 5, 9, 6, 12, 8, 13, 10, 11, 15, 14, //
+    16, 19, 17, 20, 18, 23, 21, 26, 22, 27, 24, 25, 29, 31, 28, 30,
+];
+
+impl Default for LaneScrambler {
+    fn default() -> Self {
+        LaneScrambler::new(DEFAULT_MAP)
+    }
+}
+
+impl LaneScrambler {
+    /// Build from an explicit permutation; panics if it is not bijective.
+    pub fn new(to_logical: [u8; 32]) -> LaneScrambler {
+        let mut to_phys = [255u8; 32];
+        for (phys, &logical) in to_logical.iter().enumerate() {
+            assert!(logical < 32, "lane map entry out of range");
+            assert!(
+                to_phys[logical as usize] == 255,
+                "lane map is not a permutation (duplicate logical {logical})"
+            );
+            to_phys[logical as usize] = phys as u8;
+        }
+        LaneScrambler {
+            to_logical,
+            to_phys,
+        }
+    }
+
+    /// The identity scrambler (no board swizzle): physically adjacent
+    /// strikes produce logically adjacent flips. Used in ablations.
+    pub fn identity() -> LaneScrambler {
+        let mut map = [0u8; 32];
+        for (i, m) in map.iter_mut().enumerate() {
+            *m = i as u8;
+        }
+        LaneScrambler::new(map)
+    }
+
+    /// Logical bit position carried by a physical lane.
+    #[inline]
+    pub fn to_logical(&self, phys_lane: u32) -> u32 {
+        u32::from(self.to_logical[(phys_lane & 31) as usize])
+    }
+
+    /// Physical lane carrying a logical bit position.
+    #[inline]
+    pub fn to_phys(&self, logical_bit: u32) -> u32 {
+        u32::from(self.to_phys[(logical_bit & 31) as usize])
+    }
+
+    /// XOR mask of logical bits affected by a strike hitting `span`
+    /// physically consecutive lanes starting at `start_lane` (wrapping).
+    pub fn strike_mask(&self, start_lane: u32, span: u32) -> u32 {
+        let mut mask = 0u32;
+        for k in 0..span.min(32) {
+            mask |= 1 << self.to_logical((start_lane + k) & 31);
+        }
+        mask
+    }
+
+    /// Scramble a whole word: bit `b` of the output is the logical bit
+    /// carried by physical lane `b` of the input.
+    pub fn scramble_word(&self, physical: u32) -> u32 {
+        let mut out = 0u32;
+        for phys in 0..32 {
+            if physical & (1 << phys) != 0 {
+                out |= 1 << self.to_logical(phys);
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`LaneScrambler::scramble_word`].
+    pub fn unscramble_word(&self, logical: u32) -> u32 {
+        let mut out = 0u32;
+        for bit in 0..32 {
+            if logical & (1 << bit) != 0 {
+                out |= 1 << self.to_phys(bit);
+            }
+        }
+        out
+    }
+
+    /// Pairwise distances between the logical positions of physically
+    /// adjacent lane pairs — the quantity the paper summarizes as "3 bits is
+    /// the average distance".
+    pub fn adjacent_pair_distances(&self) -> Vec<u32> {
+        (0..31)
+            .map(|p| self.to_logical(p).abs_diff(self.to_logical(p + 1)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn default_map_is_permutation() {
+        let s = LaneScrambler::default();
+        let mut seen = [false; 32];
+        for p in 0..32 {
+            seen[s.to_logical(p) as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn forward_backward_consistent() {
+        let s = LaneScrambler::default();
+        for p in 0..32 {
+            assert_eq!(s.to_phys(s.to_logical(p)), p);
+        }
+        for b in 0..32 {
+            assert_eq!(s.to_logical(s.to_phys(b)), b);
+        }
+    }
+
+    #[test]
+    fn adjacent_distance_statistics_match_paper_shape() {
+        let s = LaneScrambler::default();
+        let d = s.adjacent_pair_distances();
+        let mean = d.iter().sum::<u32>() as f64 / d.len() as f64;
+        let max = *d.iter().max().unwrap();
+        assert!(
+            (2.0..=4.0).contains(&mean),
+            "mean adjacent-pair distance {mean}, paper reports ~3"
+        );
+        assert!(max <= 11, "max distance {max}, paper reports max 11");
+        // A minority of pairs stay consecutive (paper Table I has both).
+        let consecutive = d.iter().filter(|&&x| x == 1).count();
+        assert!(consecutive >= 2, "some pairs remain consecutive");
+        assert!(
+            consecutive * 2 < d.len(),
+            "most pairs must be non-adjacent (paper: majority non-consecutive)"
+        );
+    }
+
+    #[test]
+    fn strike_mask_popcount_equals_span() {
+        let s = LaneScrambler::default();
+        for start in 0..32 {
+            for span in 1..=9u32 {
+                let mask = s.strike_mask(start, span);
+                assert_eq!(mask.count_ones(), span, "start={start} span={span}");
+            }
+        }
+    }
+
+    #[test]
+    fn strike_mask_span_over_32_saturates() {
+        let s = LaneScrambler::default();
+        assert_eq!(s.strike_mask(0, 64), u32::MAX);
+    }
+
+    #[test]
+    fn identity_scrambler_preserves_adjacency() {
+        let s = LaneScrambler::identity();
+        assert_eq!(s.strike_mask(4, 3), 0b111 << 4);
+        let d = s.adjacent_pair_distances();
+        assert!(d.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn duplicate_entries_rejected() {
+        let mut map = [0u8; 32];
+        for (i, m) in map.iter_mut().enumerate() {
+            *m = i as u8;
+        }
+        map[5] = 4; // duplicate
+        LaneScrambler::new(map);
+    }
+
+    proptest! {
+        #[test]
+        fn scramble_word_roundtrip(word in any::<u32>()) {
+            let s = LaneScrambler::default();
+            prop_assert_eq!(s.unscramble_word(s.scramble_word(word)), word);
+        }
+
+        #[test]
+        fn scramble_preserves_popcount(word in any::<u32>()) {
+            let s = LaneScrambler::default();
+            prop_assert_eq!(s.scramble_word(word).count_ones(), word.count_ones());
+        }
+
+        #[test]
+        fn strike_mask_matches_scrambled_contiguous_mask(start in 0u32..32, span in 1u32..16) {
+            let s = LaneScrambler::default();
+            // Build the physical contiguous mask with wraparound, scramble it.
+            let mut phys = 0u32;
+            for k in 0..span {
+                phys |= 1 << ((start + k) & 31);
+            }
+            prop_assert_eq!(s.scramble_word(phys), s.strike_mask(start, span));
+        }
+    }
+}

@@ -1,0 +1,435 @@
+//! The plain-text log format.
+//!
+//! One record per line, first token is the record kind, then the timestamp
+//! (seconds on the study clock), the node name in the paper's `BB-SS` form,
+//! and kind-specific `key=value` fields. Examples:
+//!
+//! ```text
+//! START t=2678400 node=02-04 alloc=3221225472 temp=34.5
+//! ERROR t=2679000 node=02-04 vaddr=0x00fa3b9c page=0x0003e8 expected=0xffffffff actual=0xffff7bff temp=35.0
+//! END t=2680000 node=02-04 temp=NA
+//! ALLOCFAIL t=2678400 node=05-11
+//! ```
+//!
+//! The parser is strict about structure (unknown kinds, missing fields and
+//! malformed numbers are errors with the offending line number preserved by
+//! the caller) but tolerant of extra whitespace, matching how the analysis
+//! tooling for the real study had to be robust against log truncation.
+
+use std::fmt::Write as _;
+
+use uc_cluster::NodeId;
+use uc_simclock::SimTime;
+
+use crate::record::{EndRecord, ErrorRecord, LogRecord, StartRecord, TempC};
+
+/// A parse failure for one line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    Empty,
+    UnknownKind(String),
+    MissingField(&'static str),
+    BadNumber(&'static str, String),
+    BadNode(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Empty => write!(f, "empty line"),
+            ParseError::UnknownKind(k) => write!(f, "unknown record kind {k:?}"),
+            ParseError::MissingField(name) => write!(f, "missing field {name}"),
+            ParseError::BadNumber(name, v) => write!(f, "bad number for {name}: {v:?}"),
+            ParseError::BadNode(v) => write!(f, "bad node name {v:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn fmt_temp(temp: Option<TempC>) -> String {
+    match temp {
+        Some(t) => format!("{:.1}", t.0),
+        None => "NA".to_string(),
+    }
+}
+
+/// Render a record as one log line (no trailing newline).
+pub fn format_record(r: &LogRecord) -> String {
+    let mut s = String::with_capacity(96);
+    match r {
+        LogRecord::Start(rec) => {
+            let _ = write!(
+                s,
+                "START t={} node={} alloc={} temp={}",
+                rec.time.as_secs(),
+                rec.node,
+                rec.alloc_bytes,
+                fmt_temp(rec.temp)
+            );
+        }
+        LogRecord::Error(rec) => {
+            let _ = write!(
+                s,
+                "ERROR t={} node={} vaddr=0x{:08x} page=0x{:06x} expected=0x{:08x} actual=0x{:08x} temp={}",
+                rec.time.as_secs(),
+                rec.node,
+                rec.vaddr,
+                rec.phys_page,
+                rec.expected,
+                rec.actual,
+                fmt_temp(rec.temp)
+            );
+        }
+        LogRecord::End(rec) => {
+            let _ = write!(
+                s,
+                "END t={} node={} temp={}",
+                rec.time.as_secs(),
+                rec.node,
+                fmt_temp(rec.temp)
+            );
+        }
+        LogRecord::AllocFail { time, node } => {
+            let _ = write!(s, "ALLOCFAIL t={} node={}", time.as_secs(), node);
+        }
+    }
+    s
+}
+
+/// Field lookup within a tokenized line.
+fn field<'a>(tokens: &'a [&'a str], key: &'static str) -> Result<&'a str, ParseError> {
+    tokens
+        .iter()
+        .find_map(|t| t.strip_prefix(key).and_then(|rest| rest.strip_prefix('=')))
+        .ok_or(ParseError::MissingField(key))
+}
+
+fn parse_i64(tokens: &[&str], key: &'static str) -> Result<i64, ParseError> {
+    let v = field(tokens, key)?;
+    v.parse()
+        .map_err(|_| ParseError::BadNumber(key, v.to_string()))
+}
+
+fn parse_u64(tokens: &[&str], key: &'static str) -> Result<u64, ParseError> {
+    let v = field(tokens, key)?;
+    v.parse()
+        .map_err(|_| ParseError::BadNumber(key, v.to_string()))
+}
+
+fn parse_hex(tokens: &[&str], key: &'static str) -> Result<u64, ParseError> {
+    let v = field(tokens, key)?;
+    let stripped = v
+        .strip_prefix("0x")
+        .ok_or_else(|| ParseError::BadNumber(key, v.to_string()))?;
+    u64::from_str_radix(stripped, 16).map_err(|_| ParseError::BadNumber(key, v.to_string()))
+}
+
+fn parse_node(tokens: &[&str]) -> Result<NodeId, ParseError> {
+    let v = field(tokens, "node")?;
+    NodeId::from_name(v).ok_or_else(|| ParseError::BadNode(v.to_string()))
+}
+
+fn parse_temp(tokens: &[&str]) -> Result<Option<TempC>, ParseError> {
+    let v = field(tokens, "temp")?;
+    if v == "NA" {
+        Ok(None)
+    } else {
+        v.parse::<f32>()
+            .map(|t| Some(TempC(t)))
+            .map_err(|_| ParseError::BadNumber("temp", v.to_string()))
+    }
+}
+
+/// Render a store entry: single records use the standard line format; a
+/// compressed run becomes one `ERRORRUN` line carrying its count and
+/// period, so the flood node's tens of millions of re-detections persist
+/// as ~one line per scan session instead of thousands.
+pub fn format_entry(entry: &crate::store::LogEntry) -> String {
+    match entry {
+        crate::store::LogEntry::One(rec) => format_record(rec),
+        crate::store::LogEntry::ErrorRun {
+            first,
+            count,
+            period,
+        } => {
+            let mut out = String::with_capacity(120);
+            let _ = write!(
+                out,
+                "ERRORRUN t={} node={} vaddr=0x{:08x} page=0x{:06x}                  expected=0x{:08x} actual=0x{:08x} temp={} count={} period={}",
+                first.time.as_secs(),
+                first.node,
+                first.vaddr,
+                first.phys_page,
+                first.expected,
+                first.actual,
+                fmt_temp(first.temp),
+                count,
+                period.as_secs()
+            );
+            out
+        }
+    }
+}
+
+/// Parse a line that may be either a plain record or an `ERRORRUN` entry.
+pub fn parse_entry_line(line: &str) -> Result<crate::store::LogEntry, ParseError> {
+    let trimmed = line.trim_start();
+    if let Some(rest) = trimmed.strip_prefix("ERRORRUN ") {
+        let tokens: Vec<&str> = rest.split_whitespace().collect();
+        let first = ErrorRecord {
+            time: SimTime::from_secs(parse_i64(&tokens, "t")?),
+            node: parse_node(&tokens)?,
+            vaddr: parse_hex(&tokens, "vaddr")?,
+            phys_page: parse_hex(&tokens, "page")?,
+            expected: parse_hex(&tokens, "expected")? as u32,
+            actual: parse_hex(&tokens, "actual")? as u32,
+            temp: parse_temp(&tokens)?,
+        };
+        let count = parse_u64(&tokens, "count")?;
+        if count == 0 {
+            return Err(ParseError::BadNumber("count", "0".to_string()));
+        }
+        let period = uc_simclock::SimDuration::from_secs(parse_i64(&tokens, "period")?);
+        Ok(crate::store::LogEntry::ErrorRun {
+            first,
+            count,
+            period,
+        })
+    } else {
+        parse_line(line).map(crate::store::LogEntry::One)
+    }
+}
+
+/// Parse one log line.
+pub fn parse_line(line: &str) -> Result<LogRecord, ParseError> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let Some((&kind, rest)) = tokens.split_first() else {
+        return Err(ParseError::Empty);
+    };
+    let time = SimTime::from_secs(parse_i64(rest, "t")?);
+    let node = parse_node(rest)?;
+    match kind {
+        "START" => Ok(LogRecord::Start(StartRecord {
+            time,
+            node,
+            alloc_bytes: parse_u64(rest, "alloc")?,
+            temp: parse_temp(rest)?,
+        })),
+        "ERROR" => Ok(LogRecord::Error(ErrorRecord {
+            time,
+            node,
+            vaddr: parse_hex(rest, "vaddr")?,
+            phys_page: parse_hex(rest, "page")?,
+            expected: parse_hex(rest, "expected")? as u32,
+            actual: parse_hex(rest, "actual")? as u32,
+            temp: parse_temp(rest)?,
+        })),
+        "END" => Ok(LogRecord::End(EndRecord {
+            time,
+            node,
+            temp: parse_temp(rest)?,
+        })),
+        "ALLOCFAIL" => Ok(LogRecord::AllocFail { time, node }),
+        other => Err(ParseError::UnknownKind(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use uc_cluster::NodeId;
+
+    fn sample_error() -> LogRecord {
+        LogRecord::Error(ErrorRecord {
+            time: SimTime::from_secs(2_679_000),
+            node: NodeId::from_name("02-04").unwrap(),
+            vaddr: 0x00fa_3b9c,
+            phys_page: 0x0000_03e8,
+            expected: 0xffff_ffff,
+            actual: 0xffff_7bff,
+            temp: Some(TempC(35.0)),
+        })
+    }
+
+    #[test]
+    fn error_line_format() {
+        let line = format_record(&sample_error());
+        assert_eq!(
+            line,
+            "ERROR t=2679000 node=02-04 vaddr=0x00fa3b9c page=0x0003e8 \
+             expected=0xffffffff actual=0xffff7bff temp=35.0"
+        );
+    }
+
+    #[test]
+    fn error_roundtrip() {
+        let r = sample_error();
+        assert_eq!(parse_line(&format_record(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn start_roundtrip_with_and_without_temp() {
+        for temp in [None, Some(TempC(41.5))] {
+            let r = LogRecord::Start(StartRecord {
+                time: SimTime::from_secs(100),
+                node: NodeId::from_name("58-02").unwrap(),
+                alloc_bytes: 3 << 30,
+                temp,
+            });
+            assert_eq!(parse_line(&format_record(&r)).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn end_and_allocfail_roundtrip() {
+        let e = LogRecord::End(EndRecord {
+            time: SimTime::from_secs(7),
+            node: NodeId(0),
+            temp: None,
+        });
+        assert_eq!(parse_line(&format_record(&e)).unwrap(), e);
+        let a = LogRecord::AllocFail {
+            time: SimTime::from_secs(8),
+            node: NodeId(44),
+        };
+        assert_eq!(parse_line(&format_record(&a)).unwrap(), a);
+    }
+
+    #[test]
+    fn parser_tolerates_extra_whitespace() {
+        let r = parse_line("  END   t=7   node=01-02   temp=NA  ").unwrap();
+        assert_eq!(r.time().as_secs(), 7);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert_eq!(parse_line(""), Err(ParseError::Empty));
+        assert!(matches!(
+            parse_line("BOOM t=1 node=01-01"),
+            Err(ParseError::UnknownKind(_))
+        ));
+        assert!(matches!(
+            parse_line("END t=1 node=99-99 temp=NA"),
+            Err(ParseError::BadNode(_))
+        ));
+        assert!(matches!(
+            parse_line("END t=xx node=01-01 temp=NA"),
+            Err(ParseError::BadNumber("t", _))
+        ));
+        assert!(matches!(
+            parse_line("END node=01-01 temp=NA"),
+            Err(ParseError::MissingField("t"))
+        ));
+        assert!(matches!(
+            parse_line("ERROR t=1 node=01-01 vaddr=123 page=0x0 expected=0x0 actual=0x1 temp=NA"),
+            Err(ParseError::BadNumber("vaddr", _))
+        ));
+    }
+
+    #[test]
+    fn errorrun_entry_roundtrip() {
+        use crate::store::LogEntry;
+        let entry = LogEntry::ErrorRun {
+            first: ErrorRecord {
+                time: SimTime::from_secs(1_000),
+                node: NodeId::from_name("40-07").unwrap(),
+                vaddr: 0x0600_0040,
+                phys_page: 0x1800,
+                expected: 0xFFFF_FFFF,
+                actual: 0xFFFF_FFFE,
+                temp: Some(TempC(36.5)),
+            },
+            count: 123_456,
+            period: uc_simclock::SimDuration::from_secs(40),
+        };
+        let line = format_entry(&entry);
+        assert!(line.starts_with("ERRORRUN "));
+        assert!(line.contains("count=123456"));
+        assert!(line.contains("period=40"));
+        assert_eq!(parse_entry_line(&line).unwrap(), entry);
+    }
+
+    #[test]
+    fn entry_line_accepts_plain_records() {
+        use crate::store::LogEntry;
+        let line = "END t=5 node=01-01 temp=NA";
+        match parse_entry_line(line).unwrap() {
+            LogEntry::One(r) => assert_eq!(r.time().as_secs(), 5),
+            other => panic!("expected One, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errorrun_zero_count_rejected() {
+        let line = "ERRORRUN t=0 node=01-01 vaddr=0x0 page=0x0 \
+                    expected=0x0 actual=0x1 temp=NA count=0 period=40";
+        assert!(parse_entry_line(line).is_err());
+    }
+
+    #[test]
+    fn negative_timestamps_parse() {
+        // Instants before the study epoch are representable.
+        let r = parse_line("END t=-5 node=01-01 temp=NA").unwrap();
+        assert_eq!(r.time().as_secs(), -5);
+    }
+
+    proptest! {
+        #[test]
+        fn parser_never_panics_on_arbitrary_input(line in "\\PC*") {
+            // Any unicode garbage: Err is fine, panicking is not.
+            let _ = parse_line(&line);
+            let _ = parse_entry_line(&line);
+        }
+
+        #[test]
+        fn parser_never_panics_on_mangled_valid_lines(
+            cut in 0usize..80,
+            insert in "[ =x0-9a-f]{0,6}",
+        ) {
+            let base = "ERROR t=2679000 node=02-04 vaddr=0x00fa3b9c page=0x0003e8 \
+                        expected=0xffffffff actual=0xffff7bff temp=35.0";
+            let cut = cut.min(base.len());
+            let mangled = format!("{}{}{}", &base[..cut], insert, &base[cut..]);
+            let _ = parse_line(&mangled);
+        }
+
+        #[test]
+        fn roundtrip_any_error(
+            t in -10_000_000i64..500_000_000,
+            node_raw in 0u32..1080,
+            vaddr in any::<u32>(),
+            page in 0u64..0xFF_FFFF,
+            expected in any::<u32>(),
+            actual in any::<u32>(),
+            temp_tenths in proptest::option::of(0i32..900),
+        ) {
+            let r = LogRecord::Error(ErrorRecord {
+                time: SimTime::from_secs(t),
+                node: NodeId(node_raw),
+                vaddr: u64::from(vaddr),
+                phys_page: page,
+                expected,
+                actual,
+                temp: temp_tenths.map(|x| TempC(x as f32 / 10.0)),
+            });
+            prop_assert_eq!(parse_line(&format_record(&r)).unwrap(), r);
+        }
+
+        #[test]
+        fn roundtrip_any_start(
+            t in 0i64..500_000_000,
+            node_raw in 0u32..1080,
+            alloc in 0u64..(4u64 << 30),
+        ) {
+            let r = LogRecord::Start(StartRecord {
+                time: SimTime::from_secs(t),
+                node: NodeId(node_raw),
+                alloc_bytes: alloc,
+                temp: None,
+            });
+            prop_assert_eq!(parse_line(&format_record(&r)).unwrap(), r);
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! File-backed log storage: one plain-text log file per node, the way the
+//! paper's scanner wrote them ("log entries are stored in log files with
+//! each node having a separate log file").
+//!
+//! Layout: `<dir>/node-BB-SS.log`, lines in the [`crate::codec`] format.
+//! Reading back tolerates unknown files in the directory and reports
+//! per-line parse failures without aborting the whole load.
+
+use std::fs;
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use uc_cluster::NodeId;
+
+use crate::codec::{format_record, parse_line, ParseError};
+use crate::store::{ClusterLog, NodeLog};
+
+/// File name for a node's log.
+pub fn node_file_name(node: NodeId) -> String {
+    format!("node-{node}.log")
+}
+
+/// Parse a node id back out of a log file name.
+pub fn node_of_file_name(name: &str) -> Option<NodeId> {
+    let stem = name.strip_prefix("node-")?.strip_suffix(".log")?;
+    NodeId::from_name(stem)
+}
+
+/// Write one node's log to `<dir>/node-BB-SS.log` (directory created if
+/// missing). Compressed runs are expanded to raw lines, as the real
+/// scanner would have written them.
+pub fn write_node_log(dir: &Path, log: &NodeLog) -> io::Result<PathBuf> {
+    let node = log
+        .node
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "log has no node id"))?;
+    fs::create_dir_all(dir)?;
+    let path = dir.join(node_file_name(node));
+    let mut w = BufWriter::new(fs::File::create(&path)?);
+    for rec in log.iter() {
+        writeln!(w, "{}", format_record(&rec))?;
+    }
+    w.flush()?;
+    Ok(path)
+}
+
+/// Write one node's log in the compact format: compressed runs persist as
+/// single `ERRORRUN` lines (the flood node shrinks from tens of millions of
+/// lines to about one per scan session).
+pub fn write_node_log_compact(dir: &Path, log: &NodeLog) -> io::Result<PathBuf> {
+    let node = log
+        .node
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "log has no node id"))?;
+    fs::create_dir_all(dir)?;
+    let path = dir.join(node_file_name(node));
+    let mut w = BufWriter::new(fs::File::create(&path)?);
+    for entry in log.entries() {
+        writeln!(w, "{}", crate::codec::format_entry(entry))?;
+    }
+    w.flush()?;
+    Ok(path)
+}
+
+/// Write a whole cluster compactly; returns files written.
+pub fn write_cluster_log_compact(dir: &Path, cluster: &ClusterLog) -> io::Result<usize> {
+    let mut n = 0;
+    for log in cluster.node_logs() {
+        if log.node.is_some() {
+            write_node_log_compact(dir, log)?;
+            n += 1;
+        }
+    }
+    Ok(n)
+}
+
+/// Read a directory of (possibly compact) node logs.
+pub fn read_cluster_log_compact(dir: &Path) -> io::Result<(ClusterLog, LoadIssues)> {
+    let mut issues = LoadIssues::default();
+    let mut logs: Vec<NodeLog> = Vec::new();
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            issues.skipped_files.push(path);
+            continue;
+        };
+        if node_of_file_name(name).is_none() {
+            issues.skipped_files.push(path.clone());
+            continue;
+        }
+        let text = fs::read_to_string(&path)?;
+        let (log, errs) = NodeLog::from_text_compact(&text);
+        for (line, e) in errs {
+            issues.bad_lines.push((path.clone(), line, e));
+        }
+        logs.push(log);
+    }
+    logs.sort_by_key(|l| l.node.map(|n| n.0));
+    Ok((ClusterLog::new(logs), issues))
+}
+
+/// Write a whole cluster's logs, one file per node. Returns the number of
+/// files written.
+pub fn write_cluster_log(dir: &Path, cluster: &ClusterLog) -> io::Result<usize> {
+    let mut n = 0;
+    for log in cluster.node_logs() {
+        if log.node.is_some() {
+            write_node_log(dir, log)?;
+            n += 1;
+        }
+    }
+    Ok(n)
+}
+
+/// Problems encountered while loading a directory.
+#[derive(Debug, Default)]
+pub struct LoadIssues {
+    /// (file, line number, error) triples for unparseable lines.
+    pub bad_lines: Vec<(PathBuf, usize, ParseError)>,
+    /// Files that did not match the node-log naming convention.
+    pub skipped_files: Vec<PathBuf>,
+}
+
+/// Read every `node-*.log` in a directory into a [`ClusterLog`]. Node logs
+/// come back sorted by node id; parse failures are collected, not fatal.
+pub fn read_cluster_log(dir: &Path) -> io::Result<(ClusterLog, LoadIssues)> {
+    let mut issues = LoadIssues::default();
+    let mut logs: Vec<NodeLog> = Vec::new();
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            issues.skipped_files.push(path);
+            continue;
+        };
+        let Some(node) = node_of_file_name(name) else {
+            issues.skipped_files.push(path.clone());
+            continue;
+        };
+        let file = fs::File::open(&path)?;
+        let mut log = NodeLog::new(node);
+        for (i, line) in io::BufReader::new(file).lines().enumerate() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            match parse_line(&line) {
+                Ok(rec) => log.push(rec),
+                Err(e) => issues.bad_lines.push((path.clone(), i + 1, e)),
+            }
+        }
+        logs.push(log);
+    }
+    logs.sort_by_key(|l| l.node.map(|n| n.0));
+    Ok((ClusterLog::new(logs), issues))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{EndRecord, ErrorRecord, LogRecord, StartRecord};
+    use uc_simclock::{SimDuration, SimTime};
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "uc-faultlog-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_log(node: u32) -> NodeLog {
+        let id = NodeId(node);
+        let mut log = NodeLog::new(id);
+        log.push(LogRecord::Start(StartRecord {
+            time: SimTime::from_secs(0),
+            node: id,
+            alloc_bytes: 3 << 30,
+            temp: None,
+        }));
+        log.push_run(
+            ErrorRecord {
+                time: SimTime::from_secs(40),
+                node: id,
+                vaddr: 0x1000,
+                phys_page: 1,
+                expected: 0xFFFF_FFFF,
+                actual: 0xFFFF_FFFE,
+                temp: None,
+            },
+            3,
+            SimDuration::from_secs(40),
+        );
+        log.push(LogRecord::End(EndRecord {
+            time: SimTime::from_secs(500),
+            node: id,
+            temp: None,
+        }));
+        log
+    }
+
+    #[test]
+    fn file_names_roundtrip() {
+        let id = NodeId::from_name("02-04").unwrap();
+        assert_eq!(node_file_name(id), "node-02-04.log");
+        assert_eq!(node_of_file_name("node-02-04.log"), Some(id));
+        assert_eq!(node_of_file_name("README.md"), None);
+        assert_eq!(node_of_file_name("node-xx-yy.log"), None);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let dir = tempdir("roundtrip");
+        let cluster = ClusterLog::new(vec![sample_log(10), sample_log(77)]);
+        let written = write_cluster_log(&dir, &cluster).unwrap();
+        assert_eq!(written, 2);
+        let (loaded, issues) = read_cluster_log(&dir).unwrap();
+        assert!(issues.bad_lines.is_empty());
+        assert_eq!(loaded.node_logs().len(), 2);
+        assert_eq!(loaded.raw_record_count(), cluster.raw_record_count());
+        // Records identical once runs are expanded.
+        let orig: Vec<LogRecord> = cluster.merged().collect();
+        let back: Vec<LogRecord> = loaded.merged().collect();
+        assert_eq!(orig, back);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn foreign_files_skipped_and_bad_lines_reported() {
+        let dir = tempdir("issues");
+        fs::create_dir_all(&dir).unwrap();
+        write_node_log(&dir, &sample_log(3)).unwrap();
+        fs::write(dir.join("README.txt"), "not a log").unwrap();
+        let path = dir.join("node-01-02.log");
+        fs::write(&path, "END t=5 node=01-02 temp=NA\nGARBAGE LINE\n").unwrap();
+        let (loaded, issues) = read_cluster_log(&dir).unwrap();
+        assert_eq!(loaded.node_logs().len(), 2);
+        assert_eq!(issues.skipped_files.len(), 1);
+        assert_eq!(issues.bad_lines.len(), 1);
+        assert_eq!(issues.bad_lines[0].1, 2, "line number preserved");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn logs_sorted_by_node() {
+        let dir = tempdir("sorted");
+        let cluster = ClusterLog::new(vec![sample_log(500), sample_log(3), sample_log(77)]);
+        write_cluster_log(&dir, &cluster).unwrap();
+        let (loaded, _) = read_cluster_log(&dir).unwrap();
+        let ids: Vec<u32> = loaded
+            .node_logs()
+            .iter()
+            .filter_map(|l| l.node.map(|n| n.0))
+            .collect();
+        assert_eq!(ids, vec![3, 77, 500]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_roundtrip_preserves_entries_exactly() {
+        let dir = tempdir("compact");
+        let cluster = ClusterLog::new(vec![sample_log(10), sample_log(77)]);
+        write_cluster_log_compact(&dir, &cluster).unwrap();
+        // A run of 3 stays one line: 1 START + 1 ERRORRUN + 1 END.
+        let text = fs::read_to_string(dir.join("node-01-11.log")).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("ERRORRUN"));
+        assert!(text.contains("count=3"));
+        let (loaded, issues) = read_cluster_log_compact(&dir).unwrap();
+        assert!(issues.bad_lines.is_empty());
+        for (a, b) in loaded.node_logs().iter().zip(cluster.node_logs()) {
+            assert_eq!(a.entries(), b.entries(), "entry-exact roundtrip");
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_reader_accepts_plain_files_too() {
+        let dir = tempdir("mixed");
+        write_cluster_log(&dir, &ClusterLog::new(vec![sample_log(3)])).unwrap();
+        let (loaded, issues) = read_cluster_log_compact(&dir).unwrap();
+        assert!(issues.bad_lines.is_empty());
+        assert_eq!(loaded.raw_record_count(), 5);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_is_much_smaller_for_runs() {
+        let id = NodeId(9);
+        let mut log = NodeLog::new(id);
+        log.push_run(
+            ErrorRecord {
+                time: SimTime::from_secs(0),
+                node: id,
+                vaddr: 0x40,
+                phys_page: 0,
+                expected: 0xFFFF_FFFF,
+                actual: 0xFFFF_FFF7,
+                temp: None,
+            },
+            100_000,
+            SimDuration::from_secs(40),
+        );
+        let plain = log.to_text();
+        let compact = log.to_text_compact();
+        assert!(plain.len() > compact.len() * 10_000);
+        let (back, errs) = NodeLog::from_text_compact(&compact);
+        assert!(errs.is_empty());
+        assert_eq!(back.raw_error_count(), 100_000);
+    }
+
+    #[test]
+    fn empty_directory_loads_empty() {
+        let dir = tempdir("empty");
+        fs::create_dir_all(&dir).unwrap();
+        let (loaded, issues) = read_cluster_log(&dir).unwrap();
+        assert!(loaded.node_logs().is_empty());
+        assert!(issues.bad_lines.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

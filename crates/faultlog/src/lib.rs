@@ -1,0 +1,28 @@
+//! # uc-faultlog — the scanner's log records, text format and stores
+//!
+//! The paper's dataset is a set of per-node log files produced by the memory
+//! scanner: START entries (timestamp, allocated bytes, host, temperature),
+//! ERROR entries (timestamp, host, virtual address, expected and actual
+//! value, temperature, physical page), END entries, and a separate
+//! allocation-failure log. This crate reproduces that data model:
+//!
+//! - [`record`]: the typed records;
+//! - [`codec`]: a line-oriented plain-text format (writer + strict parser)
+//!   mirroring the paper's log files — no serde, the format *is* the
+//!   artifact;
+//! - [`store`]: per-node logs with run-length compression for the
+//!   pathological flood node (98% of the paper's 25M raw entries came from
+//!   a single faulty node — we keep those as compact runs and expand them
+//!   lazily), plus a k-way time-ordered merge across nodes;
+//! - [`files`]: one-text-file-per-node persistence, the paper's on-disk
+//!   layout, with tolerant directory loading.
+
+pub mod codec;
+pub mod files;
+pub mod record;
+pub mod store;
+
+pub use codec::{format_record, parse_line, ParseError};
+pub use record::{EndRecord, ErrorRecord, LogRecord, StartRecord, TempC};
+pub use files::{read_cluster_log, write_cluster_log};
+pub use store::{ClusterLog, LogEntry, NodeLog};

@@ -1,0 +1,492 @@
+//! Per-node log stores and the cluster-wide merged stream.
+//!
+//! The full-scale campaign produces ~25M raw ERROR entries, 98% of them from
+//! a single flood node that re-detects the same stuck cells on every scan
+//! iteration. Storing those as individual records would cost gigabytes, so
+//! [`NodeLog`] holds [`LogEntry`] values where a run of periodic identical
+//! errors is one compact [`LogEntry::ErrorRun`]; iteration expands runs
+//! lazily and all counting is O(entries), not O(records).
+
+use std::collections::BinaryHeap;
+
+use uc_cluster::NodeId;
+use uc_simclock::{SimDuration, SimTime};
+
+use crate::record::{ErrorRecord, LogRecord};
+
+/// One stored entry: either a single record or a compressed run of
+/// identical-shape periodic errors.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LogEntry {
+    One(LogRecord),
+    /// `count` errors identical to `first` except the timestamp, which
+    /// advances by `period` per repetition. Models a faulty cell re-detected
+    /// on every scan iteration.
+    ErrorRun {
+        first: ErrorRecord,
+        count: u64,
+        period: SimDuration,
+    },
+}
+
+impl LogEntry {
+    /// Number of raw records this entry represents.
+    pub fn record_count(&self) -> u64 {
+        match self {
+            LogEntry::One(_) => 1,
+            LogEntry::ErrorRun { count, .. } => *count,
+        }
+    }
+
+    /// Number of raw ERROR records this entry represents.
+    pub fn error_count(&self) -> u64 {
+        match self {
+            LogEntry::One(r) => u64::from(r.is_error()),
+            LogEntry::ErrorRun { count, .. } => *count,
+        }
+    }
+
+    /// Timestamp of the first record in the entry.
+    pub fn first_time(&self) -> SimTime {
+        match self {
+            LogEntry::One(r) => r.time(),
+            LogEntry::ErrorRun { first, .. } => first.time,
+        }
+    }
+
+    /// Timestamp of the last record in the entry.
+    pub fn last_time(&self) -> SimTime {
+        match self {
+            LogEntry::One(r) => r.time(),
+            LogEntry::ErrorRun {
+                first,
+                count,
+                period,
+            } => first.time + SimDuration::from_secs(period.as_secs() * (*count as i64 - 1)),
+        }
+    }
+
+    /// Expand into raw records.
+    pub fn expand(&self) -> LogEntryIter<'_> {
+        LogEntryIter {
+            entry: self,
+            next: 0,
+        }
+    }
+}
+
+/// Iterator expanding a [`LogEntry`] into raw records.
+pub struct LogEntryIter<'a> {
+    entry: &'a LogEntry,
+    next: u64,
+}
+
+impl Iterator for LogEntryIter<'_> {
+    type Item = LogRecord;
+
+    fn next(&mut self) -> Option<LogRecord> {
+        match self.entry {
+            LogEntry::One(r) => {
+                if self.next == 0 {
+                    self.next = 1;
+                    Some(*r)
+                } else {
+                    None
+                }
+            }
+            LogEntry::ErrorRun {
+                first,
+                count,
+                period,
+            } => {
+                if self.next >= *count {
+                    return None;
+                }
+                let mut rec = *first;
+                rec.time =
+                    first.time + SimDuration::from_secs(period.as_secs() * self.next as i64);
+                self.next += 1;
+                Some(LogRecord::Error(rec))
+            }
+        }
+    }
+}
+
+/// The log file of one node: entries in time order.
+#[derive(Clone, Debug, Default)]
+pub struct NodeLog {
+    pub node: Option<NodeId>,
+    entries: Vec<LogEntry>,
+}
+
+impl NodeLog {
+    pub fn new(node: NodeId) -> NodeLog {
+        NodeLog {
+            node: Some(node),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Append a single record. Entries must be appended in order of their
+    /// *first* timestamp; compressed runs may overlap later entries in time
+    /// (a stuck word keeps erroring while fresh faults appear), which is
+    /// why [`ClusterLog::merged`] only guarantees start-time order.
+    pub fn push(&mut self, record: LogRecord) {
+        debug_assert!(
+            self.entries
+                .last()
+                .is_none_or(|e| e.first_time() <= record.time()),
+            "entries must be appended in start-time order"
+        );
+        self.entries.push(LogEntry::One(record));
+    }
+
+    /// Append a compressed run of periodic identical errors.
+    pub fn push_run(&mut self, first: ErrorRecord, count: u64, period: SimDuration) {
+        assert!(count > 0, "empty run");
+        assert!(period.as_secs() >= 0, "negative period");
+        debug_assert!(
+            self.entries
+                .last()
+                .is_none_or(|e| e.first_time() <= first.time),
+            "entries must be appended in start-time order"
+        );
+        self.entries.push(LogEntry::ErrorRun {
+            first,
+            count,
+            period,
+        });
+    }
+
+    pub fn entries(&self) -> &[LogEntry] {
+        &self.entries
+    }
+
+    /// Total raw records (runs counted at full multiplicity).
+    pub fn raw_record_count(&self) -> u64 {
+        self.entries.iter().map(LogEntry::record_count).sum()
+    }
+
+    /// Total raw ERROR records.
+    pub fn raw_error_count(&self) -> u64 {
+        self.entries.iter().map(LogEntry::error_count).sum()
+    }
+
+    /// Iterate raw records in time order, expanding runs.
+    pub fn iter(&self) -> impl Iterator<Item = LogRecord> + '_ {
+        self.entries.iter().flat_map(LogEntry::expand)
+    }
+
+    /// Write as compact text lines: runs stay as one `ERRORRUN` line each.
+    pub fn to_text_compact(&self) -> String {
+        let mut out = String::new();
+        for entry in &self.entries {
+            out.push_str(&crate::codec::format_entry(entry));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse compact text (accepts plain lines too). Parse failures are
+    /// returned alongside, as in [`NodeLog::from_text`].
+    pub fn from_text_compact(text: &str) -> (NodeLog, Vec<(usize, crate::codec::ParseError)>) {
+        let mut log = NodeLog::default();
+        let mut errors = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match crate::codec::parse_entry_line(line) {
+                Ok(entry) => {
+                    if log.node.is_none() {
+                        log.node = Some(match &entry {
+                            LogEntry::One(r) => r.node(),
+                            LogEntry::ErrorRun { first, .. } => first.node,
+                        });
+                    }
+                    log.entries.push(entry);
+                }
+                Err(e) => errors.push((i + 1, e)),
+            }
+        }
+        (log, errors)
+    }
+
+    /// Write as text lines.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for rec in self.iter() {
+            out.push_str(&crate::codec::format_record(&rec));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse from text lines (single node's file). Lines failing to parse
+    /// are returned as `(line_number, error)` alongside the log.
+    pub fn from_text(text: &str) -> (NodeLog, Vec<(usize, crate::codec::ParseError)>) {
+        let mut log = NodeLog::default();
+        let mut errors = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match crate::codec::parse_line(line) {
+                Ok(rec) => {
+                    if log.node.is_none() {
+                        log.node = Some(rec.node());
+                    }
+                    log.entries.push(LogEntry::One(rec));
+                }
+                Err(e) => errors.push((i + 1, e)),
+            }
+        }
+        (log, errors)
+    }
+}
+
+/// All nodes' logs, with a time-ordered merged view.
+#[derive(Clone, Debug, Default)]
+pub struct ClusterLog {
+    logs: Vec<NodeLog>,
+}
+
+impl ClusterLog {
+    pub fn new(logs: Vec<NodeLog>) -> ClusterLog {
+        ClusterLog { logs }
+    }
+
+    pub fn push(&mut self, log: NodeLog) {
+        self.logs.push(log);
+    }
+
+    pub fn node_logs(&self) -> &[NodeLog] {
+        &self.logs
+    }
+
+    pub fn raw_record_count(&self) -> u64 {
+        self.logs.iter().map(NodeLog::raw_record_count).sum()
+    }
+
+    pub fn raw_error_count(&self) -> u64 {
+        self.logs.iter().map(NodeLog::raw_error_count).sum()
+    }
+
+    /// Merged, time-ordered stream over all nodes (k-way heap merge).
+    /// Ties break by node id, then by arrival order, so the merge is total
+    /// and deterministic.
+    pub fn merged(&self) -> MergedIter<'_> {
+        let mut heap = BinaryHeap::with_capacity(self.logs.len());
+        let mut iters: Vec<Box<dyn Iterator<Item = LogRecord> + '_>> = self
+            .logs
+            .iter()
+            .map(|l| Box::new(l.iter()) as Box<dyn Iterator<Item = LogRecord> + '_>)
+            .collect();
+        for (i, it) in iters.iter_mut().enumerate() {
+            if let Some(rec) = it.next() {
+                heap.push(HeapItem { rec, source: i });
+            }
+        }
+        MergedIter { iters, heap }
+    }
+}
+
+struct HeapItem {
+    rec: LogRecord,
+    source: usize,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        (other.rec.time(), other.rec.node().0, other.source).cmp(&(
+            self.rec.time(),
+            self.rec.node().0,
+            self.source,
+        ))
+    }
+}
+
+/// Time-ordered merged record stream.
+pub struct MergedIter<'a> {
+    iters: Vec<Box<dyn Iterator<Item = LogRecord> + 'a>>,
+    heap: BinaryHeap<HeapItem>,
+}
+
+impl Iterator for MergedIter<'_> {
+    type Item = LogRecord;
+
+    fn next(&mut self) -> Option<LogRecord> {
+        let HeapItem { rec, source } = self.heap.pop()?;
+        if let Some(next) = self.iters[source].next() {
+            self.heap.push(HeapItem { rec: next, source });
+        }
+        Some(rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{EndRecord, StartRecord};
+    use proptest::prelude::*;
+    use uc_cluster::NodeId;
+
+    fn err(node: u32, t: i64) -> ErrorRecord {
+        ErrorRecord {
+            time: SimTime::from_secs(t),
+            node: NodeId(node),
+            vaddr: 0x100,
+            phys_page: 0x2,
+            expected: 0xFFFF_FFFF,
+            actual: 0xFFFF_FFFE,
+            temp: None,
+        }
+    }
+
+    #[test]
+    fn run_expansion_times() {
+        let mut log = NodeLog::new(NodeId(3));
+        log.push_run(err(3, 100), 4, SimDuration::from_secs(10));
+        let times: Vec<i64> = log.iter().map(|r| r.time().as_secs()).collect();
+        assert_eq!(times, vec![100, 110, 120, 130]);
+        assert_eq!(log.raw_record_count(), 4);
+        assert_eq!(log.raw_error_count(), 4);
+    }
+
+    #[test]
+    fn entry_boundaries() {
+        let e = LogEntry::ErrorRun {
+            first: err(0, 50),
+            count: 3,
+            period: SimDuration::from_secs(7),
+        };
+        assert_eq!(e.first_time().as_secs(), 50);
+        assert_eq!(e.last_time().as_secs(), 64);
+        assert_eq!(e.record_count(), 3);
+    }
+
+    #[test]
+    fn counting_does_not_expand() {
+        // A trillion-record run is countable instantly.
+        let mut log = NodeLog::new(NodeId(0));
+        log.push_run(err(0, 0), 1_000_000_000_000, SimDuration::from_secs(1));
+        assert_eq!(log.raw_error_count(), 1_000_000_000_000);
+    }
+
+    #[test]
+    fn mixed_records_counting() {
+        let mut log = NodeLog::new(NodeId(1));
+        log.push(LogRecord::Start(StartRecord {
+            time: SimTime::from_secs(0),
+            node: NodeId(1),
+            alloc_bytes: 3 << 30,
+            temp: None,
+        }));
+        log.push_run(err(1, 10), 5, SimDuration::from_secs(1));
+        log.push(LogRecord::End(EndRecord {
+            time: SimTime::from_secs(100),
+            node: NodeId(1),
+            temp: None,
+        }));
+        assert_eq!(log.raw_record_count(), 7);
+        assert_eq!(log.raw_error_count(), 5);
+    }
+
+    #[test]
+    fn merged_stream_is_time_ordered() {
+        let mut a = NodeLog::new(NodeId(0));
+        a.push(LogRecord::Error(err(0, 5)));
+        a.push(LogRecord::Error(err(0, 15)));
+        let mut b = NodeLog::new(NodeId(1));
+        b.push_run(err(1, 0), 3, SimDuration::from_secs(10)); // 0, 10, 20
+        let cluster = ClusterLog::new(vec![a, b]);
+        let times: Vec<i64> = cluster.merged().map(|r| r.time().as_secs()).collect();
+        assert_eq!(times, vec![0, 5, 10, 15, 20]);
+        assert_eq!(cluster.raw_record_count(), 5);
+    }
+
+    #[test]
+    fn merged_tie_break_by_node() {
+        let mut a = NodeLog::new(NodeId(7));
+        a.push(LogRecord::Error(err(7, 5)));
+        let mut b = NodeLog::new(NodeId(2));
+        b.push(LogRecord::Error(err(2, 5)));
+        let cluster = ClusterLog::new(vec![a, b]);
+        let nodes: Vec<u32> = cluster.merged().map(|r| r.node().0).collect();
+        assert_eq!(nodes, vec![2, 7], "ties sort by node id");
+    }
+
+    #[test]
+    fn text_roundtrip_including_runs() {
+        let mut log = NodeLog::new(NodeId(19));
+        log.push(LogRecord::Start(StartRecord {
+            time: SimTime::from_secs(0),
+            node: NodeId(19),
+            alloc_bytes: 3 << 30,
+            temp: None,
+        }));
+        log.push_run(err(19, 3), 3, SimDuration::from_secs(4));
+        let text = log.to_text();
+        assert_eq!(text.lines().count(), 4, "runs expand in text form");
+        let (parsed, errors) = NodeLog::from_text(&text);
+        assert!(errors.is_empty());
+        assert_eq!(parsed.raw_record_count(), 4);
+        let orig: Vec<LogRecord> = log.iter().collect();
+        let round: Vec<LogRecord> = parsed.iter().collect();
+        assert_eq!(orig, round);
+    }
+
+    #[test]
+    fn from_text_reports_bad_lines_with_numbers() {
+        let text = "END t=1 node=01-01 temp=NA\nGARBAGE\nEND t=2 node=01-01 temp=NA\n";
+        let (log, errors) = NodeLog::from_text(text);
+        assert_eq!(log.raw_record_count(), 2);
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].0, 2, "line number of the bad line");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty run")]
+    fn empty_run_rejected() {
+        NodeLog::new(NodeId(0)).push_run(err(0, 0), 0, SimDuration::from_secs(1));
+    }
+
+    proptest! {
+        #[test]
+        fn run_count_matches_expansion(count in 1u64..500, period in 0i64..100, t0 in 0i64..1000) {
+            let mut log = NodeLog::new(NodeId(0));
+            log.push_run(err(0, t0), count, SimDuration::from_secs(period));
+            prop_assert_eq!(log.iter().count() as u64, count);
+            prop_assert_eq!(log.raw_record_count(), count);
+        }
+
+        #[test]
+        fn merged_is_sorted(
+            times_a in proptest::collection::vec(0i64..1000, 0..20),
+            times_b in proptest::collection::vec(0i64..1000, 0..20),
+        ) {
+            let mut ta = times_a.clone(); ta.sort_unstable();
+            let mut tb = times_b.clone(); tb.sort_unstable();
+            let mut a = NodeLog::new(NodeId(0));
+            for t in &ta { a.push(LogRecord::Error(err(0, *t))); }
+            let mut b = NodeLog::new(NodeId(1));
+            for t in &tb { b.push(LogRecord::Error(err(1, *t))); }
+            let cluster = ClusterLog::new(vec![a, b]);
+            let merged: Vec<i64> = cluster.merged().map(|r| r.time().as_secs()).collect();
+            prop_assert_eq!(merged.len(), ta.len() + tb.len());
+            prop_assert!(merged.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+}

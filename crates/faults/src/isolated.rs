@@ -1,0 +1,261 @@
+//! The isolated >3-bit SDC events (paper Section III-D).
+//!
+//! "Those 7 undetectable errors occurred in 5 different nodes that did not
+//! show any other error in the whole period... 4 of the concerned nodes are
+//! located near the SoC 12 (i.e., the overheating SoCs)... 6 of these
+//! errors occurred before we turned off the overheating nodes" — and they
+//! predate temperature logging, so no temperature is known for them.
+//!
+//! These are placed explicitly (not drawn from a rate process): seven
+//! events with lane spans {4, 4, 4, 5, 6, 8, 9} matching the bottom of
+//! Table I, on five designated quiet nodes, four of which sit adjacent to
+//! the overheating SoC-12 position. Two share a day in March and two share
+//! a day in May, hours apart (Fig. 11's same-day pairs).
+
+use uc_cluster::{BladeId, NodeId, OVERHEATING_SOC};
+use uc_dram::WordAddr;
+use uc_simclock::calendar::CivilDate;
+use uc_simclock::rng::mix64;
+use uc_simclock::{SimDuration, SimTime};
+
+use crate::scenario::ScanWindow;
+use crate::types::{Strike, StrikeKind, TransientEvent};
+
+/// One placed SDC event.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IsolatedSdc {
+    pub node: NodeId,
+    /// Nominal instant; snapped into the node's nearest scan window at
+    /// generation time so the scanner actually observes it.
+    pub nominal_time: SimTime,
+    /// The logical bit pattern the corruption flips (>= 4 bits).
+    pub xor: u32,
+}
+
+/// The paper's seven events on five quiet nodes.
+pub fn paper_defaults() -> Vec<IsolatedSdc> {
+    let at = |y: i32, m: u8, d: u8, h: i64| {
+        CivilDate::new(y, m, d).midnight() + SimDuration::from_hours(h)
+    };
+    // Four nodes adjacent to the overheating SoC-12 position (soc index 10
+    // or 12 next to OVERHEATING_SOC = 11), one elsewhere.
+    let near_a = NodeId::new(BladeId(14), OVERHEATING_SOC - 1);
+    let near_b = NodeId::new(BladeId(27), OVERHEATING_SOC + 1);
+    let near_c = NodeId::new(BladeId(45), OVERHEATING_SOC - 1);
+    let near_d = NodeId::new(BladeId(51), OVERHEATING_SOC + 1);
+    let far = NodeId::new(BladeId(8), 4);
+    // Bit patterns with Table I's tail structure: counts {4,4,4,5,6,8,9},
+    // mostly non-adjacent; 0x0001A004 carries the 11-bit maximum gap and
+    // 0xE6006300 is the XOR of the paper's own 9-bit row
+    // (0x00000058 -> 0xe6006358).
+    vec![
+        // Two on the same March day, hours apart, on different nodes.
+        IsolatedSdc { node: near_a, nominal_time: at(2015, 3, 10, 3), xor: 0x0000_6A00 },
+        IsolatedSdc { node: near_b, nominal_time: at(2015, 3, 10, 16), xor: 0x0000_0315 },
+        // Singles.
+        IsolatedSdc { node: near_c, nominal_time: at(2015, 2, 21, 11), xor: 0x0001_A004 },
+        IsolatedSdc { node: far, nominal_time: at(2015, 3, 25, 20), xor: 0x0000_3452 },
+        // Two on the same May day, hours apart.
+        IsolatedSdc { node: near_d, nominal_time: at(2015, 5, 14, 2), xor: 0x0000_00FF },
+        IsolatedSdc { node: near_a, nominal_time: at(2015, 5, 14, 18), xor: 0x0000_0039 },
+        // One after the SoC-12 shutdown ("6 occurred before").
+        IsolatedSdc { node: near_c, nominal_time: at(2015, 7, 20, 9), xor: 0xE600_6300 },
+    ]
+}
+
+/// Snap a nominal time into the node's scan windows: if no window covers
+/// it, use the start of the next window (or the last window's interior if
+/// none follow). Returns `None` when the node has no windows at all.
+fn snap(windows: &[ScanWindow], t: SimTime) -> Option<SimTime> {
+    if windows.iter().any(|w| t >= w.start && t < w.end) {
+        return Some(t);
+    }
+    windows
+        .iter()
+        .map(|w| w.start + SimDuration::from_secs(30))
+        .find(|&s| s >= t)
+        .or_else(|| {
+            windows
+                .last()
+                .map(|w| w.start.midpoint(w.end))
+        })
+}
+
+/// Generate the placed SDC events for one node.
+pub fn isolated_events(
+    placed: &[IsolatedSdc],
+    node: NodeId,
+    windows: &[ScanWindow],
+) -> Vec<TransientEvent> {
+    let mut out: Vec<TransientEvent> = placed
+        .iter()
+        .filter(|s| s.node == node)
+        .filter_map(|s| {
+            let time = snap(windows, s.nominal_time)?;
+            // A deterministic per-event address inside the scanned region.
+            let addr = mix64(
+                (u64::from(s.node.0) << 32) ^ (s.nominal_time.as_secs() as u64),
+            ) % ((3u64 << 30) / 4);
+            // ForcedFlip: these events must be observed regardless of scan
+            // phase — the paper's SDCs were single occurrences, not retried
+            // processes.
+            Some(TransientEvent {
+                time,
+                node: s.node,
+                strikes: vec![Strike {
+                    addr: WordAddr(addr),
+                    kind: StrikeKind::ForcedFlip { xor: s.xor },
+                }],
+            })
+        })
+        .collect();
+    out.sort_by_key(|e| e.time);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_day_windows() -> Vec<ScanWindow> {
+        (0..420)
+            .map(|d| ScanWindow {
+                start: SimTime::from_secs(d * 86_400),
+                end: SimTime::from_secs((d + 1) * 86_400),
+                alloc_words: (3 << 30) / 4,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn seven_events_five_nodes() {
+        let placed = paper_defaults();
+        assert_eq!(placed.len(), 7);
+        let nodes: std::collections::HashSet<u32> =
+            placed.iter().map(|s| s.node.0).collect();
+        assert_eq!(nodes.len(), 5);
+    }
+
+    #[test]
+    fn bit_counts_match_table_one_tail() {
+        let mut bits: Vec<u32> = paper_defaults()
+            .iter()
+            .map(|s| s.xor.count_ones())
+            .collect();
+        bits.sort_unstable();
+        assert_eq!(bits, vec![4, 4, 4, 5, 6, 8, 9]);
+    }
+
+    #[test]
+    fn max_gap_of_eleven_present() {
+        // The paper reports a maximum in-word distance of 11 bits between
+        // corrupted bits; one placed pattern carries it.
+        let max_gap = paper_defaults()
+            .iter()
+            .map(|s| uc_dram::WordDiff::new(0, s.xor).max_gap())
+            .max()
+            .unwrap();
+        assert_eq!(max_gap, 11);
+    }
+
+    #[test]
+    fn mostly_non_adjacent_patterns() {
+        let non_adjacent = paper_defaults()
+            .iter()
+            .filter(|s| !uc_dram::WordDiff::new(0, s.xor).is_consecutive())
+            .count();
+        assert!(non_adjacent >= 5, "{non_adjacent} of 7 non-adjacent");
+    }
+
+    #[test]
+    fn four_nodes_sit_next_to_soc12() {
+        let placed = paper_defaults();
+        let near: std::collections::HashSet<u32> = placed
+            .iter()
+            .filter(|s| s.node.soc().abs_diff(OVERHEATING_SOC) == 1)
+            .map(|s| s.node.0)
+            .collect();
+        assert_eq!(near.len(), 4);
+    }
+
+    #[test]
+    fn six_before_soc12_shutdown() {
+        let cutoff = CivilDate::new(2015, 6, 15).midnight();
+        let before = paper_defaults()
+            .iter()
+            .filter(|s| s.nominal_time < cutoff)
+            .count();
+        assert_eq!(before, 6);
+    }
+
+    #[test]
+    fn same_day_pairs_hours_apart() {
+        let placed = paper_defaults();
+        let mut by_day = std::collections::HashMap::new();
+        for s in &placed {
+            by_day
+                .entry(s.nominal_time.day_index())
+                .or_insert_with(Vec::new)
+                .push(s.nominal_time);
+        }
+        let pairs: Vec<&Vec<SimTime>> =
+            by_day.values().filter(|v| v.len() == 2).collect();
+        assert_eq!(pairs.len(), 2, "one same-day pair in March, one in May");
+        for p in pairs {
+            let gap = (p[1] - p[0]).as_hours_f64().abs();
+            assert!(gap >= 3.0, "events separated by hours: {gap}");
+        }
+    }
+
+    #[test]
+    fn events_generate_with_multibit_masks() {
+        let placed = paper_defaults();
+        let windows = all_day_windows();
+        let mut total = 0;
+        let nodes: std::collections::HashSet<u32> =
+            placed.iter().map(|s| s.node.0).collect();
+        for raw in nodes {
+            let evs = isolated_events(&placed, NodeId(raw), &windows);
+            total += evs.len();
+            for e in &evs {
+                assert_eq!(e.strikes.len(), 1);
+                let bits = e.strikes[0].kind.footprint_bits();
+                assert!(bits >= 4, "SDC events corrupt >3 bits, got {bits}");
+            }
+        }
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn snapping_moves_event_into_windows() {
+        let placed = paper_defaults();
+        // Windows only in the second half of the year.
+        let windows: Vec<ScanWindow> = (200..400)
+            .map(|d| ScanWindow {
+                start: SimTime::from_secs(d * 86_400),
+                end: SimTime::from_secs(d * 86_400 + 43_200),
+                alloc_words: 1 << 20,
+            })
+            .collect();
+        let evs = isolated_events(&placed, placed[0].node, &windows);
+        for e in &evs {
+            assert!(
+                windows.iter().any(|w| e.time >= w.start && e.time < w.end),
+                "event snapped into a window"
+            );
+        }
+    }
+
+    #[test]
+    fn no_windows_no_events() {
+        let placed = paper_defaults();
+        assert!(isolated_events(&placed, placed[0].node, &[]).is_empty());
+    }
+
+    #[test]
+    fn other_nodes_unaffected() {
+        let placed = paper_defaults();
+        let evs = isolated_events(&placed, NodeId(0), &all_day_windows());
+        assert!(evs.is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! # uc-faults — the fault-process models
+//!
+//! This crate is the synthetic stand-in for the physics the paper measured
+//! (see DESIGN.md §1 and §4 for the substitution rationale). It generates,
+//! per node, a deterministic stream of *physical* fault events — which cells
+//! were hit, when, and how — leaving detection (does the scanner see it?)
+//! to `uc-memscan`. The models and their paper-calibrated parameters:
+//!
+//! - [`cosmic`]: background single-cell strikes (homogeneous Poisson over
+//!   monitored time) plus a solar-modulated *multi-lane* strike process
+//!   whose rate follows the neutron flux (Fig. 6's noon-peaked bell), and
+//!   occasional multi-word showers;
+//! - [`degrading`]: the node 02-04 analogue — a component that starts
+//!   failing in August and ramps beyond 1000 errors/day by November,
+//!   spraying single-bit 1->0 flips over >11k distinct addresses with ~30
+//!   recurring patterns, often corrupting many addresses in the same scan
+//!   pass (the source of most of the paper's 26k simultaneous corruptions);
+//! - [`weakbit`]: the 04-05 / 58-02 analogues — one manufacturing-weak cell
+//!   per node that intermittently leaks charge, producing thousands of
+//!   byte-identical single-bit errors;
+//! - [`flood`]: the removed faulty node — a stuck region re-detected every
+//!   scan iteration, contributing ~98% of all raw error logs;
+//! - [`isolated`]: the seven isolated >3-bit SDC events of Section III-D,
+//!   placed on five otherwise-quiet nodes near the overheating SoC-12
+//!   positions, six of them before temperature logging began;
+//! - [`scenario`]: ties the models together into a [`FaultScenario`] and
+//!   produces a [`NodeFaultProfile`] for any node from `(seed, node,
+//!   scan sessions)` alone — the determinism contract.
+
+pub mod cosmic;
+pub mod degrading;
+pub mod flood;
+pub mod isolated;
+pub mod scenario;
+pub mod types;
+pub mod weakbit;
+
+pub use scenario::{FaultScenario, ScanWindow};
+pub use types::{NodeFaultProfile, Strike, StrikeKind, StuckFault, TransientEvent};

@@ -1,0 +1,285 @@
+//! The composite fault scenario: every model wired together.
+
+use uc_cluster::NodeId;
+use uc_simclock::calendar::CivilDate;
+use uc_simclock::rng::{StreamRng, StreamTag};
+use uc_simclock::solar::BARCELONA;
+use uc_simclock::{NeutronFlux, SimTime};
+
+use crate::cosmic::{background_events, multibit_events, BackgroundConfig, MultiBitConfig};
+use crate::degrading::{degrading_events, DegradingConfig};
+use crate::flood::{flood_faults, FloodConfig};
+use crate::isolated::{isolated_events, IsolatedSdc};
+use crate::types::{NodeFaultProfile, TransientEvent};
+use crate::weakbit::{weakbit_events, WeakBitConfig};
+
+/// A scan window: the only times faults can be *observed*. Fault generation
+/// is conditioned on these windows (rates are per monitored hour), which is
+/// also what the paper's detected counts are conditioned on.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScanWindow {
+    pub start: SimTime,
+    pub end: SimTime,
+    /// Words the scanner allocated in this window (3 GB / 4 normally).
+    pub alloc_words: u64,
+}
+
+/// The full fault scenario for a campaign.
+#[derive(Clone, Debug)]
+pub struct FaultScenario {
+    pub background: BackgroundConfig,
+    pub multibit: MultiBitConfig,
+    pub degrading: Vec<DegradingConfig>,
+    pub weak_bits: Vec<WeakBitConfig>,
+    pub flood: Option<FloodConfig>,
+    pub isolated: Vec<IsolatedSdc>,
+    pub flux: NeutronFlux,
+}
+
+impl FaultScenario {
+    /// The paper-calibrated scenario (DESIGN.md §4).
+    pub fn paper_default() -> FaultScenario {
+        let degrading = DegradingConfig::paper_default();
+        let multibit = MultiBitConfig {
+            hot_node: Some(degrading.node),
+            hot_window: Some((
+                degrading.onset,
+                CivilDate::new(2015, 11, 25).midnight(),
+            )),
+            ..MultiBitConfig::default()
+        };
+        FaultScenario {
+            background: BackgroundConfig::default(),
+            multibit,
+            degrading: vec![degrading],
+            weak_bits: WeakBitConfig::paper_defaults(),
+            flood: Some(FloodConfig::paper_default()),
+            isolated: crate::isolated::paper_defaults(),
+            flux: NeutronFlux::new(BARCELONA),
+        }
+    }
+
+    /// Background-only scenario (tests, ablations).
+    pub fn background_only(rate_per_hour: f64) -> FaultScenario {
+        FaultScenario {
+            background: BackgroundConfig {
+                rate_per_hour,
+                ..BackgroundConfig::default()
+            },
+            multibit: MultiBitConfig {
+                rate_per_hour: 0.0,
+                hot_node_rate_per_hour: 0.0,
+                ..MultiBitConfig::default()
+            },
+            degrading: Vec::new(),
+            weak_bits: Vec::new(),
+            flood: None,
+            isolated: Vec::new(),
+            flux: NeutronFlux::new(BARCELONA),
+        }
+    }
+
+    /// The nodes this scenario singles out (hot, weak-bit, flood, SDC).
+    pub fn special_nodes(&self) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        for d in &self.degrading {
+            out.push(d.node);
+        }
+        out.extend(self.weak_bits.iter().map(|w| w.node));
+        if let Some(f) = &self.flood {
+            out.push(f.node);
+        }
+        out.extend(self.isolated.iter().map(|s| s.node));
+        out.sort_by_key(|n| n.0);
+        out.dedup();
+        out
+    }
+
+    /// Generate the full fault profile for one node. Deterministic in
+    /// `(campaign_seed, node, windows)`; independent of other nodes.
+    pub fn profile_for_node(
+        &self,
+        campaign_seed: u64,
+        node: NodeId,
+        windows: &[ScanWindow],
+    ) -> NodeFaultProfile {
+        let node_u = u64::from(node.0);
+        let scan_words = windows
+            .iter()
+            .map(|w| w.alloc_words)
+            .min()
+            .unwrap_or((3 << 30) / 4)
+            .max(1);
+
+        let mut transients: Vec<TransientEvent> = Vec::new();
+
+        let mut rng = StreamRng::for_stream(campaign_seed, node_u, StreamTag::Cosmic);
+        transients.extend(background_events(
+            &self.background,
+            node,
+            windows,
+            scan_words,
+            &mut rng,
+        ));
+
+        let mut rng = StreamRng::for_stream(campaign_seed, node_u, StreamTag::Footprint);
+        transients.extend(multibit_events(
+            &self.multibit,
+            node,
+            windows,
+            scan_words,
+            &self.flux,
+            &mut rng,
+        ));
+
+        for d in &self.degrading {
+            if d.node == node {
+                let mut rng =
+                    StreamRng::for_stream(campaign_seed, node_u, StreamTag::Degradation);
+                transients.extend(degrading_events(d, windows, &mut rng));
+            }
+        }
+
+        for w in &self.weak_bits {
+            if w.node == node {
+                let mut rng = StreamRng::for_stream(campaign_seed, node_u, StreamTag::WeakBit);
+                transients.extend(weakbit_events(w, windows, &mut rng));
+            }
+        }
+
+        transients.extend(isolated_events(&self.isolated, node, windows));
+
+        // Stable merge by (time, insertion order) — generators each produce
+        // sorted output, so a stable sort keeps intra-source order.
+        transients.sort_by_key(|e| e.time);
+
+        let mut stuck = Vec::new();
+        if let Some(f) = &self.flood {
+            if f.node == node {
+                let mut rng = StreamRng::for_stream(campaign_seed, node_u, StreamTag::Flood);
+                stuck.extend(flood_faults(f, &mut rng));
+            }
+        }
+
+        NodeFaultProfile { transients, stuck }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uc_simclock::SimDuration;
+
+    fn windows() -> Vec<ScanWindow> {
+        (0..394)
+            .map(|d| ScanWindow {
+                start: SimTime::from_secs((31 + d) * 86_400),
+                end: SimTime::from_secs((31 + d) * 86_400) + SimDuration::from_hours(13),
+                alloc_words: (3 << 30) / 4,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn special_nodes_enumerated() {
+        let s = FaultScenario::paper_default();
+        let special = s.special_nodes();
+        assert!(special.len() >= 9, "hot + 2 weak + flood + 5 SDC nodes");
+        assert!(special.contains(&NodeId::from_name("02-04").unwrap()));
+        assert!(special.contains(&NodeId::from_name("04-05").unwrap()));
+        assert!(special.contains(&NodeId::from_name("58-02").unwrap()));
+    }
+
+    #[test]
+    fn quiet_node_profile_is_sparse() {
+        let s = FaultScenario::paper_default();
+        let profile = s.profile_for_node(42, NodeId(300), &windows());
+        // An ordinary node sees at most a few background events all year.
+        assert!(profile.transients.len() < 10, "{}", profile.transients.len());
+        assert!(profile.stuck.is_empty());
+        assert!(profile.is_time_ordered());
+    }
+
+    #[test]
+    fn hot_node_profile_is_huge() {
+        let s = FaultScenario::paper_default();
+        let hot = NodeId::from_name("02-04").unwrap();
+        let profile = s.profile_for_node(42, hot, &windows());
+        assert!(
+            profile.transients.len() > 10_000,
+            "degrading node events: {}",
+            profile.transients.len()
+        );
+        assert!(profile.is_time_ordered());
+    }
+
+    #[test]
+    fn weak_bit_node_profile_is_monotonous() {
+        let s = FaultScenario::paper_default();
+        let weak = NodeId::from_name("04-05").unwrap();
+        let profile = s.profile_for_node(42, weak, &windows());
+        assert!(profile.transients.len() > 2_000);
+        // Nearly all events hit the same address (a couple of background
+        // strikes may land here too).
+        let mut addr_counts = std::collections::HashMap::new();
+        for e in &profile.transients {
+            for s in &e.strikes {
+                *addr_counts.entry(s.addr.0).or_insert(0u32) += 1;
+            }
+        }
+        let max = addr_counts.values().max().copied().unwrap_or(0);
+        assert!(
+            f64::from(max) > profile.transients.len() as f64 * 0.99,
+            "dominant single address"
+        );
+    }
+
+    #[test]
+    fn flood_node_has_stuck_faults() {
+        let s = FaultScenario::paper_default();
+        let flood = s.flood.as_ref().unwrap().node;
+        let profile = s.profile_for_node(42, flood, &windows());
+        assert_eq!(profile.stuck.len(), 80);
+    }
+
+    #[test]
+    fn profiles_deterministic_and_seed_sensitive() {
+        let s = FaultScenario::paper_default();
+        let n = NodeId(150);
+        let a = s.profile_for_node(1, n, &windows());
+        let b = s.profile_for_node(1, n, &windows());
+        assert_eq!(a.transients, b.transients);
+        assert_eq!(a.stuck, b.stuck);
+        // Use a node with enough events that a seed change is visible.
+        let hot = NodeId::from_name("02-04").unwrap();
+        let c = s.profile_for_node(1, hot, &windows());
+        let d = s.profile_for_node(2, hot, &windows());
+        assert_ne!(c.transients, d.transients);
+    }
+
+    #[test]
+    fn background_only_scenario() {
+        let s = FaultScenario::background_only(0.001);
+        let profile = s.profile_for_node(7, NodeId(10), &windows());
+        assert!(profile.stuck.is_empty());
+        for e in &profile.transients {
+            assert!(e.strikes.iter().all(|s| s.kind.footprint_bits() == 1));
+        }
+    }
+
+    #[test]
+    fn events_confined_to_windows() {
+        let s = FaultScenario::paper_default();
+        let w = windows();
+        for node in [NodeId::from_name("02-04").unwrap(), NodeId(100)] {
+            let profile = s.profile_for_node(42, node, &w);
+            for e in &profile.transients {
+                assert!(
+                    w.iter().any(|win| e.time >= win.start && e.time < win.end),
+                    "event at {} outside all windows",
+                    e.time
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Fault event types shared by all models.
+
+use uc_cluster::NodeId;
+use uc_dram::device::StuckMask;
+use uc_dram::WordAddr;
+use uc_simclock::SimTime;
+
+/// How a strike corrupts its word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StrikeKind {
+    /// A charge-loss event over `span` physically adjacent bit lanes
+    /// starting at `start_lane`. Whether (and in which direction) logical
+    /// bits flip depends on the row's cell polarity and the value stored at
+    /// strike time — resolved by the scanner model.
+    Discharge { start_lane: u32, span: u32 },
+    /// A direct value corruption with a fixed XOR pattern — observed
+    /// whatever the stored content. Used for the placed isolated SDC events
+    /// which the paper records as single occurrences.
+    ForcedFlip { xor: u32 },
+    /// Masked bits are driven low (signal attenuation on a bus/connector):
+    /// only stored 1-bits inside the mask flip, always 1 -> 0. The
+    /// degrading-component model's dominant mode — it is why that node's
+    /// errors are "single bit-flips switching from 1 to 0".
+    ForcedClear { mask: u32 },
+    /// Masked bits are driven high; the rare 0 -> 1 counterpart.
+    ForcedSet { mask: u32 },
+}
+
+impl StrikeKind {
+    /// Number of physical cells (or lanes) the strike touches.
+    pub fn footprint_bits(self) -> u32 {
+        match self {
+            StrikeKind::Discharge { span, .. } => span,
+            StrikeKind::ForcedFlip { xor } => xor.count_ones(),
+            StrikeKind::ForcedClear { mask } | StrikeKind::ForcedSet { mask } => {
+                mask.count_ones()
+            }
+        }
+    }
+}
+
+/// One corrupted word within a transient event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Strike {
+    pub addr: WordAddr,
+    pub kind: StrikeKind,
+}
+
+/// A transient fault event: one or more words corrupted at the same instant
+/// on the same node. Multi-strike events are the paper's "multiple
+/// single-bit corruptions occurring simultaneously in different regions of
+/// the memory".
+#[derive(Clone, Debug, PartialEq)]
+pub struct TransientEvent {
+    pub time: SimTime,
+    pub node: NodeId,
+    pub strikes: Vec<Strike>,
+}
+
+impl TransientEvent {
+    /// Total logical bits the event can corrupt (upper bound; polarity and
+    /// content may reduce what the scanner observes).
+    pub fn footprint_bits(&self) -> u32 {
+        self.strikes.iter().map(|s| s.kind.footprint_bits()).sum()
+    }
+}
+
+/// A permanent/stuck fault active from `from` onward.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StuckFault {
+    pub addr: WordAddr,
+    pub from: SimTime,
+    pub mask: StuckMask,
+}
+
+/// Everything that goes wrong on one node during the campaign.
+#[derive(Clone, Debug, Default)]
+pub struct NodeFaultProfile {
+    /// Transient events in time order.
+    pub transients: Vec<TransientEvent>,
+    /// Stuck faults (weak cells surface here too when permanent).
+    pub stuck: Vec<StuckFault>,
+}
+
+impl NodeFaultProfile {
+    pub fn is_quiet(&self) -> bool {
+        self.transients.is_empty() && self.stuck.is_empty()
+    }
+
+    /// Sorted-by-time invariant check (debug aid for generators).
+    pub fn is_time_ordered(&self) -> bool {
+        self.transients.windows(2).all(|w| w[0].time <= w[1].time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprint_accounting() {
+        let e = TransientEvent {
+            time: SimTime::from_secs(0),
+            node: NodeId(0),
+            strikes: vec![
+                Strike {
+                    addr: WordAddr(1),
+                    kind: StrikeKind::Discharge { start_lane: 3, span: 2 },
+                },
+                Strike {
+                    addr: WordAddr(9000),
+                    kind: StrikeKind::ForcedFlip { xor: 0b101 },
+                },
+            ],
+        };
+        assert_eq!(e.footprint_bits(), 4);
+    }
+
+    #[test]
+    fn profile_invariants() {
+        let mut p = NodeFaultProfile::default();
+        assert!(p.is_quiet());
+        assert!(p.is_time_ordered());
+        p.transients.push(TransientEvent {
+            time: SimTime::from_secs(10),
+            node: NodeId(0),
+            strikes: vec![],
+        });
+        p.transients.push(TransientEvent {
+            time: SimTime::from_secs(5),
+            node: NodeId(0),
+            strikes: vec![],
+        });
+        assert!(!p.is_quiet());
+        assert!(!p.is_time_ordered());
+    }
+}

@@ -1,0 +1,245 @@
+//! Weak-bit intermittent faults (the paper's nodes 04-05 and 58-02).
+//!
+//! "Absolutely all the memory errors were identical. In other words, the
+//! corrupted bit was the same in 100% of the cases... the intermittent
+//! memory errors were caused by a faulty memory cell that would
+//! occasionally leak charge" — a manufacturing weak bit that escaped
+//! burn-in.
+//!
+//! The fault is *episodic*: the cell leaks in bursts of a few hours every
+//! several days (retention marginality crossing threshold), not uniformly.
+//! That temporal structure is what produces the paper's regime split — a
+//! handful of degraded days carrying thousands of errors while most days
+//! stay clean (Section III-I) — and the spiky per-day series of Fig. 12.
+//!
+//! Discharge semantics matter: the flip is only *observed* when the cell
+//! currently holds its vulnerable value, so roughly half the leak events
+//! surface under the alternating 0x0/0xF scan pattern — all with the same
+//! bit and the same direction, exactly the paper's signature.
+
+use uc_cluster::NodeId;
+use uc_dram::WordAddr;
+use uc_simclock::dist::{exponential, thinned_poisson_times};
+use uc_simclock::rng::StreamRng;
+use uc_simclock::SimTime;
+
+use crate::scenario::ScanWindow;
+use crate::types::{Strike, StrikeKind, TransientEvent};
+
+/// Configuration of one weak-bit node.
+#[derive(Clone, Debug)]
+pub struct WeakBitConfig {
+    pub node: NodeId,
+    /// The faulty cell's word address.
+    pub addr: WordAddr,
+    /// The faulty cell's physical bit lane.
+    pub lane: u32,
+    /// When the cell started leaking.
+    pub onset: SimTime,
+    /// Mean days between leak episodes.
+    pub episode_interval_days: f64,
+    /// Mean episode duration in hours.
+    pub episode_hours: f64,
+    /// Leak events per hour *within* an episode.
+    pub rate_per_hour: f64,
+}
+
+impl WeakBitConfig {
+    /// The two paper nodes. Calibrated so the pair yields ~5000 observed
+    /// identical errors concentrated on a few dozen degraded days.
+    pub fn paper_defaults() -> Vec<WeakBitConfig> {
+        use uc_simclock::calendar::CivilDate;
+        vec![
+            WeakBitConfig {
+                node: NodeId::from_name("04-05").expect("valid name"),
+                addr: WordAddr(0x02B4_77A1),
+                lane: 21,
+                onset: CivilDate::new(2015, 4, 20).midnight(),
+                episode_interval_days: 9.0,
+                episode_hours: 10.0,
+                rate_per_hour: 32.0,
+            },
+            WeakBitConfig {
+                node: NodeId::from_name("58-02").expect("valid name"),
+                addr: WordAddr(0x1199_0C44),
+                lane: 6,
+                onset: CivilDate::new(2015, 9, 1).midnight(),
+                episode_interval_days: 5.0,
+                episode_hours: 9.0,
+                rate_per_hour: 34.0,
+            },
+        ]
+    }
+}
+
+/// Generate leak events: episodes drawn over wall time from the onset,
+/// leaks drawn within each episode, then intersected with scan windows
+/// (leaks while the node runs jobs are never observed and never logged).
+pub fn weakbit_events(
+    cfg: &WeakBitConfig,
+    windows: &[ScanWindow],
+    rng: &mut StreamRng,
+) -> Vec<TransientEvent> {
+    let Some(last) = windows.last() else {
+        return Vec::new();
+    };
+    let horizon = last.end;
+    let mut out = Vec::new();
+    let mut t = cfg.onset;
+    loop {
+        // Next episode start.
+        t += uc_simclock::SimDuration::from_secs_f64(
+            exponential(rng, 1.0 / (cfg.episode_interval_days * 86_400.0)),
+        );
+        if t >= horizon {
+            break;
+        }
+        let dur_s = exponential(rng, 1.0 / (cfg.episode_hours * 3_600.0));
+        let episode_end = t + uc_simclock::SimDuration::from_secs_f64(dur_s);
+        // Leaks within the episode, clipped to scan windows.
+        let rate = cfg.rate_per_hour / 3_600.0;
+        for w in windows {
+            let lo = w.start.max(t);
+            let hi = w.end.min(episode_end);
+            if lo >= hi {
+                continue;
+            }
+            let times = thinned_poisson_times(
+                rng,
+                lo.as_secs() as f64,
+                hi.as_secs() as f64,
+                rate,
+                |_| rate,
+            );
+            out.extend(times.into_iter().map(|ts| TransientEvent {
+                time: SimTime::from_secs(ts as i64),
+                node: cfg.node,
+                strikes: vec![Strike {
+                    addr: cfg.addr,
+                    kind: StrikeKind::Discharge {
+                        start_lane: cfg.lane,
+                        span: 1,
+                    },
+                }],
+            }));
+        }
+        t = episode_end;
+    }
+    out.sort_by_key(|e| e.time);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uc_simclock::SimDuration;
+
+    fn windows(from_day: i64, days: i64) -> Vec<ScanWindow> {
+        (from_day..from_day + days)
+            .map(|d| ScanWindow {
+                start: SimTime::from_secs(d * 86_400),
+                end: SimTime::from_secs(d * 86_400) + SimDuration::from_hours(13),
+                alloc_words: (3 << 30) / 4,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_event_is_the_same_cell() {
+        let cfg = &WeakBitConfig::paper_defaults()[0];
+        let mut rng = StreamRng::from_seed(1);
+        let onset_day = cfg.onset.day_index();
+        let events = weakbit_events(cfg, &windows(onset_day, 300), &mut rng);
+        assert!(!events.is_empty());
+        for e in &events {
+            assert_eq!(e.strikes.len(), 1);
+            assert_eq!(e.strikes[0].addr, cfg.addr);
+            assert_eq!(
+                e.strikes[0].kind,
+                StrikeKind::Discharge {
+                    start_lane: cfg.lane,
+                    span: 1
+                }
+            );
+        }
+        assert!(events.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn silent_before_onset() {
+        let cfg = &WeakBitConfig::paper_defaults()[1];
+        let mut rng = StreamRng::from_seed(2);
+        let events = weakbit_events(cfg, &windows(0, 60), &mut rng);
+        assert!(events.is_empty(), "onset is in September");
+    }
+
+    #[test]
+    fn thousands_of_raw_leaks_at_paper_rates() {
+        let cfg = &WeakBitConfig::paper_defaults()[0];
+        let mut rng = StreamRng::from_seed(3);
+        let onset_day = cfg.onset.day_index();
+        let events = weakbit_events(cfg, &windows(onset_day, 315), &mut rng);
+        // ~35 episodes x ~5 h x ~28/h, about half clipped by the 13 h scan
+        // windows: thousands of raw leaks, half of which will be observed
+        // downstream.
+        assert!(
+            (4_000..25_000).contains(&events.len()),
+            "raw leak events {}",
+            events.len()
+        );
+    }
+
+    #[test]
+    fn events_are_clustered_into_episode_days() {
+        let cfg = &WeakBitConfig::paper_defaults()[0];
+        let mut rng = StreamRng::from_seed(4);
+        let onset_day = cfg.onset.day_index();
+        let events = weakbit_events(cfg, &windows(onset_day, 315), &mut rng);
+        let mut days = std::collections::HashSet::new();
+        for e in &events {
+            days.insert(e.time.day_index());
+        }
+        // Clustered: far fewer active days than events, and well under a
+        // third of the active span.
+        assert!(days.len() < 315 / 3, "active days {}", days.len());
+        assert!(
+            events.len() > days.len() * 10,
+            "episodes are dense: {} events on {} days",
+            events.len(),
+            days.len()
+        );
+    }
+
+    #[test]
+    fn events_confined_to_windows() {
+        let cfg = &WeakBitConfig::paper_defaults()[0];
+        let mut rng = StreamRng::from_seed(5);
+        let onset_day = cfg.onset.day_index();
+        let w = windows(onset_day, 200);
+        let events = weakbit_events(cfg, &w, &mut rng);
+        for e in &events {
+            assert!(
+                w.iter().any(|win| e.time >= win.start && e.time < win.end),
+                "event outside scan windows"
+            );
+        }
+    }
+
+    #[test]
+    fn no_windows_no_events() {
+        let cfg = &WeakBitConfig::paper_defaults()[0];
+        let mut rng = StreamRng::from_seed(6);
+        assert!(weakbit_events(cfg, &[], &mut rng).is_empty());
+    }
+
+    #[test]
+    fn the_two_paper_nodes_differ() {
+        let defaults = WeakBitConfig::paper_defaults();
+        assert_eq!(defaults.len(), 2);
+        assert_ne!(defaults[0].node, defaults[1].node);
+        assert_ne!(defaults[0].addr, defaults[1].addr);
+        assert_ne!(defaults[0].lane, defaults[1].lane);
+        assert_eq!(defaults[0].node.to_string(), "04-05");
+        assert_eq!(defaults[1].node.to_string(), "58-02");
+    }
+}

@@ -1,0 +1,34 @@
+//! # uc-memscan — the memory scanner tool
+//!
+//! This is the paper's measurement instrument, implemented from scratch
+//! (Section II-B): allocate as much memory as possible (3 GB, shrinking by
+//! 10 MB steps on failure), write every word with a pattern, then loop —
+//! check every word against the value last written, log an ERROR on any
+//! mismatch, and rewrite with the next pattern value. Two write strategies:
+//!
+//! - **alternating**: `0x00000000` then `0xFFFFFFFF` and back, stressing
+//!   every bit position equally (used for most of the study);
+//! - **incrementing**: start at `0x00000001` and add 1 every iteration
+//!   (the paper's second strategy; it is why Table I contains expected
+//!   values like `0x000016bb`).
+//!
+//! Three execution modes share the same pattern logic:
+//!
+//! - [`scanner`]: the real scan loop over any [`uc_dram::MemoryDevice`] —
+//!   used against the simulated device in tests/examples;
+//! - [`host`]: the scan loop over memory actually allocated from the host
+//!   allocator — a working memtester-style tool (see the `memscan` example);
+//! - [`model`]: the event-driven equivalent used by the full campaign: it
+//!   converts fault events and stuck cells directly into the log records
+//!   the loop *would* have produced, which is how 4.2M node-hours of
+//!   scanning complete in seconds.
+
+pub mod host;
+pub mod model;
+mod model_props;
+pub mod pattern;
+pub mod scanner;
+
+pub use model::{ScanModel, SessionSpec};
+pub use pattern::Pattern;
+pub use scanner::{DeviceScanner, ScanIterationReport};

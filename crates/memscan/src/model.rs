@@ -1,0 +1,482 @@
+//! The event-driven scan model.
+//!
+//! Running the real scan loop for 4.2M node-hours is infeasible (and
+//! pointless — nothing happens between faults), so the campaign uses this
+//! model: given a scan session and the fault events that fall inside it,
+//! produce exactly the log records the loop would have written.
+//!
+//! Timing semantics mirror [`crate::scanner::DeviceScanner`]: pass `j`
+//! rewrites memory with `value_at(j)`; a fault landing in the gap after
+//! pass `j` corrupts `value_at(j)` and is detected by pass `j+1` — unless
+//! the session ends first, in which case the corruption is never observed
+//! (it is healed by the next session's initial write).
+
+use uc_cluster::NodeId;
+use uc_dram::cell::PolarityMap;
+use uc_dram::device::StuckMask;
+use uc_dram::{Geometry, LaneScrambler};
+use uc_faultlog::record::{EndRecord, ErrorRecord, LogRecord, StartRecord, TempC};
+use uc_faultlog::store::NodeLog;
+use uc_faults::types::{StrikeKind, StuckFault, TransientEvent};
+use uc_simclock::rng::mix64;
+use uc_simclock::{SimDuration, SimTime};
+
+use crate::pattern::Pattern;
+
+/// One scan session to render into log records.
+#[derive(Clone, Copy, Debug)]
+pub struct SessionSpec {
+    pub node: NodeId,
+    pub start: SimTime,
+    pub end: SimTime,
+    pub alloc_words: u64,
+    pub pattern: Pattern,
+    /// False for hard-reboot sessions: no END record is written.
+    pub clean_end: bool,
+}
+
+/// The scan model: throughput and device-physics parameters.
+#[derive(Clone, Debug)]
+pub struct ScanModel {
+    /// Words checked+rewritten per second (sets the iteration period).
+    pub words_per_second: u64,
+    /// Salt for the per-node cell-polarity maps.
+    pub polarity_salt: u64,
+    pub scrambler: LaneScrambler,
+    pub geometry: Geometry,
+}
+
+impl ScanModel {
+    pub fn paper_default(polarity_salt: u64) -> ScanModel {
+        ScanModel {
+            // ~800M words in 3 GB at ~40M words/s => ~20 s per pass.
+            words_per_second: 40_000_000,
+            polarity_salt,
+            scrambler: LaneScrambler::default(),
+            geometry: Geometry::NODE_4GB,
+        }
+    }
+
+    /// Seconds per full pass for a given allocation.
+    pub fn iter_secs(&self, alloc_words: u64) -> i64 {
+        (alloc_words / self.words_per_second.max(1)).max(1) as i64
+    }
+
+    /// The polarity map of one node's DRAM.
+    pub fn polarity_for(&self, node: NodeId) -> PolarityMap {
+        PolarityMap::paper_default(self.polarity_salt ^ mix64(u64::from(node.0)))
+    }
+
+    /// Render one session into `log`: START, error records for every
+    /// observed fault, END (when terminated by SIGTERM).
+    pub fn render_session(
+        &self,
+        spec: &SessionSpec,
+        events: &[TransientEvent],
+        stuck: &[StuckFault],
+        temp: &dyn Fn(SimTime) -> Option<f32>,
+        log: &mut NodeLog,
+    ) {
+        let iter = self.iter_secs(spec.alloc_words);
+        let polarity = self.polarity_for(spec.node);
+        let temp_of = |t: SimTime| temp(t).map(TempC);
+
+        log.push(LogRecord::Start(StartRecord {
+            time: spec.start,
+            node: spec.node,
+            alloc_bytes: spec.alloc_words * 4,
+            temp: temp_of(spec.start),
+        }));
+
+        // Entries to insert, keyed by their (first) timestamp.
+        enum Pending {
+            One(ErrorRecord),
+            Run(ErrorRecord, u64, SimDuration),
+        }
+        let mut pending: Vec<(SimTime, usize, Pending)> = Vec::new();
+        let mut seq = 0usize;
+
+        // --- Transient events -------------------------------------------
+        for ev in events {
+            if ev.time < spec.start || ev.time >= spec.end {
+                continue;
+            }
+            let gap = (ev.time - spec.start).as_secs() / iter;
+            let detect = spec.start + SimDuration::from_secs((gap + 1) * iter);
+            if detect >= spec.end {
+                continue; // session ended before the next pass
+            }
+            let stored = spec.pattern.value_at(gap as u64);
+            for strike in &ev.strikes {
+                let actual = match strike.kind {
+                    StrikeKind::ForcedFlip { xor } => stored ^ xor,
+                    StrikeKind::ForcedClear { mask } => stored & !mask,
+                    StrikeKind::ForcedSet { mask } => stored | mask,
+                    StrikeKind::Discharge { start_lane, span } => {
+                        let mask = self.scrambler.strike_mask(start_lane, span);
+                        let c = self.geometry.coord(strike.addr);
+                        polarity.discharge(c.rank, c.bank, c.row, stored, mask)
+                    }
+                };
+                if actual == stored {
+                    continue; // nothing susceptible held charge
+                }
+                pending.push((
+                    detect,
+                    seq,
+                    Pending::One(ErrorRecord {
+                        time: detect,
+                        node: spec.node,
+                        vaddr: strike.addr.byte_addr(),
+                        phys_page: strike.addr.0 / 1024,
+                        expected: stored,
+                        actual,
+                        temp: temp_of(detect),
+                    }),
+                ));
+                seq += 1;
+            }
+        }
+
+        // --- Stuck cells --------------------------------------------------
+        // A stuck word mismatches on every pass whose expected value the
+        // mask alters. For the alternating pattern that is every second
+        // pass; for the incrementing pattern we approximate with the same
+        // every-other-pass cadence (the long-run exposure fraction of any
+        // single bit of a counter is 1/2).
+        let total_passes = ((spec.end - spec.start).as_secs() / iter).max(0) as u64;
+        for fault in stuck {
+            if fault.from >= spec.end || fault.addr.0 >= spec.alloc_words {
+                continue;
+            }
+            // First pass index >= both session start and fault onset whose
+            // stored value is altered by the mask.
+            let first_gap = if fault.from <= spec.start {
+                0
+            } else {
+                ((fault.from - spec.start).as_secs() + iter - 1) / iter
+            } as u64;
+            let Some(gap) = (first_gap..first_gap + 2)
+                .find(|&g| exposes(spec.pattern, g, fault.mask))
+            else {
+                continue;
+            };
+            if gap + 1 > total_passes {
+                continue;
+            }
+            let count = (total_passes - gap).div_ceil(2);
+            if count == 0 {
+                continue;
+            }
+            let stored = spec.pattern.value_at(gap);
+            let detect = spec.start + SimDuration::from_secs((gap as i64 + 1) * iter);
+            let rec = ErrorRecord {
+                time: detect,
+                node: spec.node,
+                vaddr: fault.addr.byte_addr(),
+                phys_page: fault.addr.0 / 1024,
+                expected: stored,
+                actual: fault.mask.apply(stored),
+                temp: temp_of(detect),
+            };
+            pending.push((detect, seq, Pending::Run(rec, count, SimDuration::from_secs(2 * iter))));
+            seq += 1;
+        }
+
+        // Entries go in sorted by first timestamp (runs may overlap later
+        // singles in time, which NodeLog permits).
+        pending.sort_by_key(|(t, s, _)| (*t, *s));
+        for (_, _, p) in pending {
+            match p {
+                Pending::One(rec) => log.push(LogRecord::Error(rec)),
+                Pending::Run(rec, count, period) => log.push_run(rec, count, period),
+            }
+        }
+
+        if spec.clean_end {
+            log.push(LogRecord::End(EndRecord {
+                time: spec.end,
+                node: spec.node,
+                temp: temp_of(spec.end),
+            }));
+        }
+    }
+}
+
+/// Whether pass `gap`'s stored value is altered by the stuck mask under the
+/// alternating exposure cadence.
+fn exposes(pattern: Pattern, gap: u64, mask: StuckMask) -> bool {
+    let v = match pattern {
+        Pattern::Alternating | Pattern::Checkerboard => pattern.value_at(gap),
+        // Incrementing: modelled on the alternating cadence (see above).
+        Pattern::Incrementing { .. } => Pattern::Alternating.value_at(gap),
+    };
+    mask.apply(v) != v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uc_dram::WordAddr;
+    use uc_faults::types::Strike;
+
+    fn spec(pattern: Pattern) -> SessionSpec {
+        SessionSpec {
+            node: NodeId(9),
+            start: SimTime::from_secs(10_000),
+            end: SimTime::from_secs(10_000 + 7_200),
+            alloc_words: (3 << 30) / 4,
+            pattern,
+            clean_end: true,
+        }
+    }
+
+    fn model() -> ScanModel {
+        ScanModel::paper_default(99)
+    }
+
+    fn forced_event(t: i64, addr: u64, xor: u32) -> TransientEvent {
+        TransientEvent {
+            time: SimTime::from_secs(t),
+            node: NodeId(9),
+            strikes: vec![Strike {
+                addr: WordAddr(addr),
+                kind: StrikeKind::ForcedFlip { xor },
+            }],
+        }
+    }
+
+    #[test]
+    fn session_brackets_with_start_end() {
+        let mut log = NodeLog::new(NodeId(9));
+        model().render_session(&spec(Pattern::Alternating), &[], &[], &|_| Some(35.0), &mut log);
+        let recs: Vec<LogRecord> = log.iter().collect();
+        assert_eq!(recs.len(), 2);
+        assert!(matches!(recs[0], LogRecord::Start(_)));
+        assert!(matches!(recs[1], LogRecord::End(_)));
+    }
+
+    #[test]
+    fn hard_reboot_suppresses_end() {
+        let mut log = NodeLog::new(NodeId(9));
+        let s = SessionSpec {
+            clean_end: false,
+            ..spec(Pattern::Alternating)
+        };
+        model().render_session(&s, &[], &[], &|_| None, &mut log);
+        let recs: Vec<LogRecord> = log.iter().collect();
+        assert_eq!(recs.len(), 1);
+        assert!(matches!(recs[0], LogRecord::Start(_)));
+    }
+
+    #[test]
+    fn forced_flip_always_observed() {
+        let mut log = NodeLog::new(NodeId(9));
+        let ev = forced_event(10_500, 1234, 0b101);
+        model().render_session(&spec(Pattern::Alternating), &[ev], &[], &|_| None, &mut log);
+        let errors: Vec<ErrorRecord> =
+            log.iter().filter_map(|r| r.as_error().copied()).collect();
+        assert_eq!(errors.len(), 1);
+        let e = &errors[0];
+        assert_eq!(e.expected ^ e.actual, 0b101);
+        assert!(e.time > SimTime::from_secs(10_500), "detected on next pass");
+        assert!(e.time < SimTime::from_secs(10_600));
+    }
+
+    #[test]
+    fn detection_waits_for_next_pass() {
+        let m = model();
+        let s = spec(Pattern::Alternating);
+        let iter = m.iter_secs(s.alloc_words);
+        let ev = forced_event(10_000 + iter * 3 + 1, 7, 1);
+        let mut log = NodeLog::new(NodeId(9));
+        m.render_session(&s, &[ev], &[], &|_| None, &mut log);
+        let e = log.iter().find_map(|r| r.as_error().copied()).unwrap();
+        assert_eq!(e.time.as_secs(), 10_000 + iter * 4);
+    }
+
+    #[test]
+    fn event_after_last_pass_is_unobserved() {
+        let m = model();
+        let s = spec(Pattern::Alternating);
+        // Strike one second before session end: no further pass runs.
+        let ev = forced_event(s.end.as_secs() - 1, 7, 1);
+        let mut log = NodeLog::new(NodeId(9));
+        m.render_session(&s, &[ev], &[], &|_| None, &mut log);
+        assert_eq!(log.raw_error_count(), 0);
+    }
+
+    #[test]
+    fn discharge_only_observed_when_charge_held() {
+        let m = model();
+        let s = spec(Pattern::Alternating);
+        let iter = m.iter_secs(s.alloc_words);
+        let polarity = m.polarity_for(s.node);
+        // Find an address on a true-cell row.
+        let addr = (0..10_000u64)
+            .find(|a| {
+                let c = m.geometry.coord(WordAddr(*a));
+                polarity.vulnerable_value(c.rank, c.bank, c.row) == 1
+            })
+            .unwrap();
+        let strike = |gap: i64| TransientEvent {
+            time: SimTime::from_secs(10_000 + gap * iter + 2),
+            node: NodeId(9),
+            strikes: vec![Strike {
+                addr: WordAddr(addr),
+                kind: StrikeKind::Discharge {
+                    start_lane: 4,
+                    span: 2,
+                },
+            }],
+        };
+        // Gap 0 stores 0x00000000 (all-zero phase): true cells uncharged.
+        let mut log = NodeLog::new(NodeId(9));
+        m.render_session(&s, &[strike(0)], &[], &|_| None, &mut log);
+        assert_eq!(log.raw_error_count(), 0, "no charge to lose");
+        // Gap 1 stores 0xFFFFFFFF: the discharge flips 2 bits 1 -> 0.
+        let mut log = NodeLog::new(NodeId(9));
+        m.render_session(&s, &[strike(1)], &[], &|_| None, &mut log);
+        let e = log.iter().find_map(|r| r.as_error().copied()).unwrap();
+        assert_eq!(e.expected, 0xFFFF_FFFF);
+        assert_eq!(e.bits_corrupted(), 2);
+        assert_eq!(e.expected & e.actual, e.actual, "pure 1->0 flips");
+    }
+
+    #[test]
+    fn multi_strike_event_shares_timestamp() {
+        let m = model();
+        let s = spec(Pattern::Alternating);
+        let ev = TransientEvent {
+            time: SimTime::from_secs(10_700),
+            node: NodeId(9),
+            strikes: vec![
+                Strike {
+                    addr: WordAddr(100),
+                    kind: StrikeKind::ForcedFlip { xor: 1 },
+                },
+                Strike {
+                    addr: WordAddr(9_000_000),
+                    kind: StrikeKind::ForcedFlip { xor: 2 },
+                },
+                Strike {
+                    addr: WordAddr(500_000_000),
+                    kind: StrikeKind::ForcedFlip { xor: 4 },
+                },
+            ],
+        };
+        let mut log = NodeLog::new(NodeId(9));
+        m.render_session(&s, &[ev], &[], &|_| None, &mut log);
+        let errors: Vec<ErrorRecord> =
+            log.iter().filter_map(|r| r.as_error().copied()).collect();
+        assert_eq!(errors.len(), 3);
+        assert!(errors.iter().all(|e| e.time == errors[0].time));
+        // Distinct regions of memory.
+        let pages: std::collections::HashSet<u64> =
+            errors.iter().map(|e| e.phys_page).collect();
+        assert_eq!(pages.len(), 3);
+    }
+
+    #[test]
+    fn stuck_cell_produces_run_every_other_pass() {
+        let m = model();
+        let s = spec(Pattern::Alternating);
+        let iter = m.iter_secs(s.alloc_words);
+        let stuck = StuckFault {
+            addr: WordAddr(42),
+            from: SimTime::from_secs(0),
+            mask: StuckMask {
+                force_low: 1 << 5,
+                force_high: 0,
+            },
+        };
+        let mut log = NodeLog::new(NodeId(9));
+        m.render_session(&s, &[], &[stuck], &|_| None, &mut log);
+        let errors: Vec<ErrorRecord> =
+            log.iter().filter_map(|r| r.as_error().copied()).collect();
+        let passes = (7_200 / iter) as u64;
+        assert_eq!(errors.len() as u64, passes.div_ceil(2));
+        // All identical content, expected = all-ones phase.
+        for e in &errors {
+            assert_eq!(e.expected, 0xFFFF_FFFF);
+            assert_eq!(e.actual, 0xFFFF_FFDF);
+        }
+        // Period of two passes.
+        assert_eq!(
+            (errors[1].time - errors[0].time).as_secs(),
+            2 * iter
+        );
+    }
+
+    #[test]
+    fn stuck_high_cell_exposed_on_zero_phase() {
+        let m = model();
+        let s = spec(Pattern::Alternating);
+        let stuck = StuckFault {
+            addr: WordAddr(42),
+            from: SimTime::from_secs(0),
+            mask: StuckMask {
+                force_low: 0,
+                force_high: 1 << 9,
+            },
+        };
+        let mut log = NodeLog::new(NodeId(9));
+        m.render_session(&s, &[], &[stuck], &|_| None, &mut log);
+        let e = log.iter().find_map(|r| r.as_error().copied()).unwrap();
+        assert_eq!(e.expected, 0x0000_0000);
+        assert_eq!(e.actual, 1 << 9);
+    }
+
+    #[test]
+    fn stuck_cell_outside_allocation_ignored() {
+        let m = model();
+        let mut s = spec(Pattern::Alternating);
+        s.alloc_words = 1 << 20;
+        let stuck = StuckFault {
+            addr: WordAddr(1 << 24),
+            from: SimTime::from_secs(0),
+            mask: StuckMask {
+                force_low: 1,
+                force_high: 0,
+            },
+        };
+        let mut log = NodeLog::new(NodeId(9));
+        m.render_session(&s, &[], &[stuck], &|_| None, &mut log);
+        assert_eq!(log.raw_error_count(), 0);
+    }
+
+    #[test]
+    fn temperatures_flow_into_records() {
+        let mut log = NodeLog::new(NodeId(9));
+        let ev = forced_event(10_500, 3, 1);
+        model().render_session(
+            &spec(Pattern::Alternating),
+            &[ev],
+            &[],
+            &|t| Some(30.0 + (t.as_secs() % 10) as f32),
+            &mut log,
+        );
+        for rec in log.iter() {
+            match rec {
+                LogRecord::Start(r) => assert!(r.temp.is_some()),
+                LogRecord::Error(r) => assert!(r.temp.is_some()),
+                LogRecord::End(r) => assert!(r.temp.is_some()),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn incrementing_pattern_expected_values_in_errors() {
+        let m = model();
+        let s = spec(Pattern::incrementing());
+        let iter = m.iter_secs(s.alloc_words);
+        // Event in gap 5: stored value is 1 + 5 = 6.
+        let ev = forced_event(10_000 + 5 * iter + 1, 77, 0b11);
+        let mut log = NodeLog::new(NodeId(9));
+        m.render_session(&s, &[ev], &[], &|_| None, &mut log);
+        let e = log.iter().find_map(|r| r.as_error().copied()).unwrap();
+        assert_eq!(e.expected, 6);
+        assert_eq!(e.actual, 6 ^ 0b11);
+    }
+}

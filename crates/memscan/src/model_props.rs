@@ -1,0 +1,198 @@
+//! Property tests for the event-driven scan model: random sessions, random
+//! events, structural invariants. Kept in a separate module to keep
+//! `model.rs` readable.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+use uc_cluster::NodeId;
+use uc_dram::device::StuckMask;
+use uc_dram::WordAddr;
+use uc_faultlog::record::LogRecord;
+use uc_faultlog::store::NodeLog;
+use uc_faults::types::{Strike, StrikeKind, StuckFault, TransientEvent};
+use uc_simclock::{SimDuration, SimTime};
+
+use crate::model::{ScanModel, SessionSpec};
+use crate::pattern::Pattern;
+
+fn model() -> ScanModel {
+    ScanModel::paper_default(5)
+}
+
+fn arb_pattern() -> impl Strategy<Value = Pattern> {
+    prop_oneof![
+        Just(Pattern::Alternating),
+        (1u32..1000).prop_map(|s| Pattern::Incrementing { start: s }),
+    ]
+}
+
+fn arb_strike() -> impl Strategy<Value = Strike> {
+    (0u64..(3 << 28), 0u32..32, 1u32..10, any::<u32>(), 0u8..4).prop_map(
+        |(addr, lane, span, xor, kind)| Strike {
+            addr: WordAddr(addr),
+            kind: match kind {
+                0 => StrikeKind::Discharge {
+                    start_lane: lane,
+                    span,
+                },
+                1 => StrikeKind::ForcedFlip {
+                    xor: xor | 1, // never a no-op
+                },
+                2 => StrikeKind::ForcedClear { mask: xor | 1 },
+                _ => StrikeKind::ForcedSet { mask: xor | 1 },
+            },
+        },
+    )
+}
+
+prop_compose! {
+    fn arb_session()(
+        start in 0i64..1_000_000,
+        len_h in 1i64..48,
+        pattern in arb_pattern(),
+        clean in any::<bool>(),
+    ) -> SessionSpec {
+        SessionSpec {
+            node: NodeId(7),
+            start: SimTime::from_secs(start),
+            end: SimTime::from_secs(start) + SimDuration::from_hours(len_h),
+            alloc_words: (3u64 << 30) / 4,
+            pattern,
+            clean_end: clean,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn error_records_stay_inside_the_session(
+        spec in arb_session(),
+        offsets in proptest::collection::vec(0i64..48 * 3_600, 0..20),
+        strikes in proptest::collection::vec(arb_strike(), 1..4),
+    ) {
+        let events: Vec<TransientEvent> = offsets
+            .iter()
+            .map(|&o| TransientEvent {
+                time: spec.start + SimDuration::from_secs(o % (spec.end - spec.start).as_secs().max(1)),
+                node: spec.node,
+                strikes: strikes.clone(),
+            })
+            .collect();
+        let mut log = NodeLog::new(spec.node);
+        model().render_session(&spec, &events, &[], &|_| None, &mut log);
+        for rec in log.iter() {
+            prop_assert!(rec.time() >= spec.start);
+            prop_assert!(rec.time() <= spec.end);
+            if let LogRecord::Error(e) = rec {
+                prop_assert!(e.expected != e.actual, "an error is a mismatch");
+                prop_assert!(e.vaddr < spec.alloc_words * 4);
+            }
+        }
+    }
+
+    #[test]
+    fn expected_values_always_come_from_the_pattern(
+        spec in arb_session(),
+        offsets in proptest::collection::vec(0i64..48 * 3_600, 1..12),
+        strike in arb_strike(),
+    ) {
+        let span = (spec.end - spec.start).as_secs().max(1);
+        let events: Vec<TransientEvent> = offsets
+            .iter()
+            .map(|&o| TransientEvent {
+                time: spec.start + SimDuration::from_secs(o % span),
+                node: spec.node,
+                strikes: vec![strike],
+            })
+            .collect();
+        let mut log = NodeLog::new(spec.node);
+        let m = model();
+        m.render_session(&spec, &events, &[], &|_| None, &mut log);
+        let iter = m.iter_secs(spec.alloc_words);
+        for rec in log.iter() {
+            if let LogRecord::Error(e) = rec {
+                // Detection happens at a pass boundary; the expected value
+                // is the pattern value of the gap before it.
+                let k = (e.time - spec.start).as_secs() / iter;
+                prop_assert!(k >= 1);
+                prop_assert_eq!(e.expected, spec.pattern.value_at((k - 1) as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn start_end_bracket_always_present(spec in arb_session()) {
+        let mut log = NodeLog::new(spec.node);
+        model().render_session(&spec, &[], &[], &|_| Some(33.0), &mut log);
+        let recs: Vec<LogRecord> = log.iter().collect();
+        prop_assert!(matches!(recs[0], LogRecord::Start(_)));
+        if spec.clean_end {
+            prop_assert!(matches!(recs.last(), Some(LogRecord::End(_))));
+        } else {
+            prop_assert!(!recs.iter().any(|r| matches!(r, LogRecord::End(_))));
+        }
+    }
+
+    #[test]
+    fn forced_clear_only_drops_bits(
+        spec in arb_session(),
+        offset in 0i64..3_600,
+        mask in 1u32..,
+        addr in 0u64..(3 << 28),
+    ) {
+        let events = vec![TransientEvent {
+            time: spec.start + SimDuration::from_secs(offset),
+            node: spec.node,
+            strikes: vec![Strike {
+                addr: WordAddr(addr),
+                kind: StrikeKind::ForcedClear { mask },
+            }],
+        }];
+        let mut log = NodeLog::new(spec.node);
+        model().render_session(&spec, &events, &[], &|_| None, &mut log);
+        for rec in log.iter() {
+            if let LogRecord::Error(e) = rec {
+                // 1 -> 0 only: actual is a submask of expected.
+                prop_assert_eq!(e.expected & e.actual, e.actual);
+            }
+        }
+    }
+
+    #[test]
+    fn stuck_runs_have_uniform_period_and_content(
+        start in 0i64..1_000_000,
+        len_h in 2i64..72,
+        bit in 0u32..32,
+        addr in 0u64..(3u64 << 28),
+    ) {
+        let spec = SessionSpec {
+            node: NodeId(3),
+            start: SimTime::from_secs(start),
+            end: SimTime::from_secs(start) + SimDuration::from_hours(len_h),
+            alloc_words: (3u64 << 30) / 4,
+            pattern: Pattern::Alternating,
+            clean_end: true,
+        };
+        let stuck = StuckFault {
+            addr: WordAddr(addr),
+            from: SimTime::from_secs(0),
+            mask: StuckMask { force_low: 1 << bit, force_high: 0 },
+        };
+        let mut log = NodeLog::new(spec.node);
+        let m = model();
+        m.render_session(&spec, &[], &[stuck], &|_| None, &mut log);
+        let errors: Vec<_> = log.iter().filter_map(|r| r.as_error().copied()).collect();
+        prop_assert!(!errors.is_empty(), "multi-hour session always exposes the stuck bit");
+        let iter = m.iter_secs(spec.alloc_words);
+        for pair in errors.windows(2) {
+            prop_assert_eq!((pair[1].time - pair[0].time).as_secs(), 2 * iter);
+        }
+        for e in &errors {
+            prop_assert_eq!(e.expected, 0xFFFF_FFFF);
+            prop_assert_eq!(e.actual, 0xFFFF_FFFF & !(1 << bit));
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Write patterns.
+
+/// The scanner's write strategy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Pattern {
+    /// Alternate `0x00000000` / `0xFFFFFFFF` every iteration; iteration 0
+    /// writes zeros. Stresses all bit positions equally.
+    Alternating,
+    /// Write `start + k` on iteration `k` (wrapping); the paper starts at
+    /// `0x00000001`.
+    Incrementing {
+        start: u32,
+    },
+    /// Alternate `0xAAAAAAAA` / `0x55555555` — the classic memtester
+    /// checkerboard, stressing adjacent-cell coupling. An extension beyond
+    /// the paper's two strategies.
+    Checkerboard,
+}
+
+impl Pattern {
+    /// The paper's incrementing pattern.
+    pub const fn incrementing() -> Pattern {
+        Pattern::Incrementing { start: 1 }
+    }
+
+    /// Value written to every word on iteration `k` (0-based).
+    #[inline]
+    pub fn value_at(self, k: u64) -> u32 {
+        match self {
+            Pattern::Alternating => {
+                if k.is_multiple_of(2) {
+                    0x0000_0000
+                } else {
+                    0xFFFF_FFFF
+                }
+            }
+            Pattern::Incrementing { start } => start.wrapping_add(k as u32),
+            Pattern::Checkerboard => {
+                if k.is_multiple_of(2) {
+                    0xAAAA_AAAA
+                } else {
+                    0x5555_5555
+                }
+            }
+        }
+    }
+
+    /// Short tag used in reports.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Pattern::Alternating => "alternating",
+            Pattern::Incrementing { .. } => "incrementing",
+            Pattern::Checkerboard => "checkerboard",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alternating_values() {
+        let p = Pattern::Alternating;
+        assert_eq!(p.value_at(0), 0x0000_0000);
+        assert_eq!(p.value_at(1), 0xFFFF_FFFF);
+        assert_eq!(p.value_at(2), 0x0000_0000);
+        assert_eq!(p.value_at(1_000_001), 0xFFFF_FFFF);
+    }
+
+    #[test]
+    fn incrementing_values() {
+        let p = Pattern::incrementing();
+        assert_eq!(p.value_at(0), 1);
+        assert_eq!(p.value_at(9), 10);
+        assert_eq!(p.value_at(0x16ba), 0x16bb, "Table I expected value");
+    }
+
+    #[test]
+    fn incrementing_wraps() {
+        let p = Pattern::Incrementing { start: u32::MAX };
+        assert_eq!(p.value_at(0), u32::MAX);
+        assert_eq!(p.value_at(1), 0);
+        assert_eq!(p.value_at(2), 1);
+    }
+
+    #[test]
+    fn tags() {
+        assert_eq!(Pattern::Alternating.tag(), "alternating");
+        assert_eq!(Pattern::incrementing().tag(), "incrementing");
+        assert_eq!(Pattern::Checkerboard.tag(), "checkerboard");
+    }
+
+    #[test]
+    fn checkerboard_values() {
+        let p = Pattern::Checkerboard;
+        assert_eq!(p.value_at(0), 0xAAAA_AAAA);
+        assert_eq!(p.value_at(1), 0x5555_5555);
+        assert_eq!(p.value_at(0) ^ p.value_at(1), u32::MAX, "complementary");
+        // Every bit position is stressed in both directions over two passes.
+        assert_eq!(p.value_at(0) | p.value_at(1), u32::MAX);
+    }
+}

@@ -1,0 +1,242 @@
+//! The scan loop over a [`MemoryDevice`].
+//!
+//! Mirrors the paper's tool exactly: on start, write the iteration-0 value
+//! to every word and emit a START record; each call to
+//! [`DeviceScanner::run_iteration`] checks every word against the value
+//! last written, logs an ERROR for every mismatch, and rewrites the word
+//! with the next value (healing transient flips, as the real tool does);
+//! [`DeviceScanner::stop`] emits the END record (the SIGTERM path).
+
+use uc_cluster::NodeId;
+use uc_dram::{MemoryDevice, WordAddr};
+use uc_faultlog::record::{EndRecord, ErrorRecord, StartRecord, TempC};
+use uc_simclock::SimTime;
+
+use crate::pattern::Pattern;
+
+/// Result of one full pass over the device.
+#[derive(Clone, Debug, Default)]
+pub struct ScanIterationReport {
+    pub errors: Vec<ErrorRecord>,
+    pub words_checked: u64,
+}
+
+/// A running scanner bound to a device.
+///
+/// ```
+/// use uc_cluster::NodeId;
+/// use uc_dram::{Geometry, VecDevice, WordAddr};
+/// use uc_memscan::{DeviceScanner, Pattern};
+/// use uc_simclock::SimTime;
+///
+/// let device = VecDevice::new(Geometry::TINY, 1);
+/// let (mut scanner, start) =
+///     DeviceScanner::start(device, Pattern::Alternating, NodeId(0), SimTime::from_secs(0), None);
+/// assert_eq!(start.alloc_bytes, Geometry::TINY.words() * 4);
+///
+/// // A particle strike between passes...
+/// scanner.device_mut().inject_flip(WordAddr(123), 1 << 7);
+/// // ...is caught by the next pass and healed by its rewrite.
+/// let report = scanner.run_iteration(SimTime::from_secs(30), None);
+/// assert_eq!(report.errors.len(), 1);
+/// assert_eq!(report.errors[0].bits_corrupted(), 1);
+/// assert!(scanner.run_iteration(SimTime::from_secs(60), None).errors.is_empty());
+/// ```
+pub struct DeviceScanner<D: MemoryDevice> {
+    device: D,
+    pattern: Pattern,
+    node: NodeId,
+    iteration: u64,
+    /// Bytes per page for the physical-page field of ERROR records.
+    page_words: u64,
+}
+
+impl<D: MemoryDevice> DeviceScanner<D> {
+    /// Initialize: writes the iteration-0 value everywhere and returns the
+    /// scanner plus the START record.
+    pub fn start(
+        mut device: D,
+        pattern: Pattern,
+        node: NodeId,
+        time: SimTime,
+        temp: Option<TempC>,
+    ) -> (DeviceScanner<D>, StartRecord) {
+        let v0 = pattern.value_at(0);
+        let words = device.len_words();
+        for addr in 0..words {
+            device.write_word(WordAddr(addr), v0);
+        }
+        let start = StartRecord {
+            time,
+            node,
+            alloc_bytes: words * 4,
+            temp,
+        };
+        (
+            DeviceScanner {
+                device,
+                pattern,
+                node,
+                iteration: 0,
+                page_words: 1024, // 4 KiB pages of 32-bit words
+            },
+            start,
+        )
+    }
+
+    /// Iterations completed so far.
+    pub fn iteration(&self) -> u64 {
+        self.iteration
+    }
+
+    /// Borrow the device (e.g. to inject faults between iterations).
+    pub fn device_mut(&mut self) -> &mut D {
+        &mut self.device
+    }
+
+    /// One full pass: check every word against the last written value, log
+    /// mismatches, rewrite with the next value.
+    pub fn run_iteration(
+        &mut self,
+        time: SimTime,
+        temp: Option<TempC>,
+    ) -> ScanIterationReport {
+        let expected = self.pattern.value_at(self.iteration);
+        let next = self.pattern.value_at(self.iteration + 1);
+        let words = self.device.len_words();
+        let mut report = ScanIterationReport {
+            errors: Vec::new(),
+            words_checked: words,
+        };
+        for addr in 0..words {
+            let a = WordAddr(addr);
+            let actual = self.device.read_word(a);
+            if actual != expected {
+                report.errors.push(ErrorRecord {
+                    time,
+                    node: self.node,
+                    vaddr: a.byte_addr(),
+                    phys_page: addr / self.page_words,
+                    expected,
+                    actual,
+                    temp,
+                });
+            }
+            self.device.write_word(a, next);
+        }
+        self.iteration += 1;
+        report
+    }
+
+    /// SIGTERM: emit the END record and release the device.
+    pub fn stop(self, time: SimTime, temp: Option<TempC>) -> (D, EndRecord) {
+        (
+            self.device,
+            EndRecord {
+                time,
+                node: self.node,
+                temp,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uc_dram::device::{StuckMask, VecDevice};
+    use uc_dram::Geometry;
+
+    fn new_scanner(pattern: Pattern) -> (DeviceScanner<VecDevice>, StartRecord) {
+        let device = VecDevice::new(Geometry::TINY, 7);
+        DeviceScanner::start(device, pattern, NodeId(5), SimTime::from_secs(100), None)
+    }
+
+    #[test]
+    fn clean_device_produces_no_errors() {
+        let (mut s, start) = new_scanner(Pattern::Alternating);
+        assert_eq!(start.alloc_bytes, (1 << 16) * 4);
+        for k in 1..=4 {
+            let rep = s.run_iteration(SimTime::from_secs(100 + k), None);
+            assert!(rep.errors.is_empty(), "iteration {k}");
+            assert_eq!(rep.words_checked, 1 << 16);
+        }
+        let (_, end) = s.stop(SimTime::from_secs(200), None);
+        assert_eq!(end.time.as_secs(), 200);
+    }
+
+    #[test]
+    fn injected_flip_detected_once_then_healed() {
+        let (mut s, _) = new_scanner(Pattern::Alternating);
+        s.device_mut().inject_flip(WordAddr(1234), 1 << 7);
+        let rep = s.run_iteration(SimTime::from_secs(101), None);
+        assert_eq!(rep.errors.len(), 1);
+        let e = &rep.errors[0];
+        assert_eq!(e.vaddr, 1234 * 4);
+        assert_eq!(e.expected, 0x0000_0000);
+        assert_eq!(e.actual, 1 << 7);
+        assert_eq!(e.bits_corrupted(), 1);
+        // The rewrite healed it: next iterations are clean.
+        let rep2 = s.run_iteration(SimTime::from_secs(102), None);
+        assert!(rep2.errors.is_empty());
+    }
+
+    #[test]
+    fn stuck_bit_errors_on_every_exposing_iteration() {
+        let (mut s, _) = new_scanner(Pattern::Alternating);
+        // Stuck-low bit: exposed only when 0xFFFFFFFF is expected.
+        s.device_mut().set_stuck(
+            WordAddr(77),
+            StuckMask {
+                force_low: 1 << 3,
+                force_high: 0,
+            },
+        );
+        let mut error_iters = Vec::new();
+        for k in 1..=6 {
+            let rep = s.run_iteration(SimTime::from_secs(100 + k), None);
+            if !rep.errors.is_empty() {
+                assert_eq!(rep.errors[0].expected, 0xFFFF_FFFF);
+                assert_eq!(rep.errors[0].actual, 0xFFFF_FFF7);
+                error_iters.push(k);
+            }
+        }
+        // Iteration k checks value_at(k-1): odd pattern (all ones) is
+        // checked on even k.
+        assert_eq!(error_iters, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn incrementing_pattern_expected_values() {
+        let (mut s, _) = new_scanner(Pattern::incrementing());
+        s.device_mut().inject_flip(WordAddr(0), 0b11);
+        let rep = s.run_iteration(SimTime::from_secs(101), None);
+        assert_eq!(rep.errors.len(), 1);
+        assert_eq!(rep.errors[0].expected, 1);
+        assert_eq!(rep.errors[0].actual, 1 ^ 0b11);
+        // Iteration 2 expects 2 everywhere.
+        s.device_mut().inject_flip(WordAddr(9), 1 << 30);
+        let rep = s.run_iteration(SimTime::from_secs(102), None);
+        assert_eq!(rep.errors[0].expected, 2);
+    }
+
+    #[test]
+    fn multiple_simultaneous_flips_logged_individually() {
+        let (mut s, _) = new_scanner(Pattern::Alternating);
+        for addr in [10u64, 5_000, 40_000] {
+            s.device_mut().inject_flip(WordAddr(addr), 1 << 20);
+        }
+        let rep = s.run_iteration(SimTime::from_secs(101), None);
+        assert_eq!(rep.errors.len(), 3);
+        let t0 = rep.errors[0].time;
+        assert!(rep.errors.iter().all(|e| e.time == t0), "same timestamp");
+    }
+
+    #[test]
+    fn phys_page_field_derived_from_address() {
+        let (mut s, _) = new_scanner(Pattern::Alternating);
+        s.device_mut().inject_flip(WordAddr(4096), 1);
+        let rep = s.run_iteration(SimTime::from_secs(101), None);
+        assert_eq!(rep.errors[0].phys_page, 4);
+    }
+}

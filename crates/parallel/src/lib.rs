@@ -1,0 +1,368 @@
+//! # uc-parallel — a minimal deterministic data-parallel runtime
+//!
+//! The campaign simulates ~1000 nodes independently, which is embarrassingly
+//! parallel. Rather than pulling in a full work-stealing framework, this
+//! crate provides the three primitives the workspace needs, built directly on
+//! `std::thread::scope` plus atomics (see the atomics-and-locks guidance):
+//!
+//! - [`par_map`]: order-preserving parallel map — the output vector is
+//!   index-for-index identical to the sequential map, regardless of thread
+//!   count or scheduling, which is the cornerstone of the campaign's
+//!   determinism contract (DESIGN.md §6).
+//! - [`par_for_chunks`]: parallel iteration over mutable chunks of a slice.
+//! - [`par_reduce`]: parallel fold + associative merge with a deterministic
+//!   merge order.
+//!
+//! Work distribution uses a shared `AtomicUsize` cursor with `Relaxed`
+//! ordering — the counter only hands out indices, it does not publish data;
+//! the scope join provides the final happens-before edge for the results.
+//!
+//! The [`pipeline`] module adds a bounded-channel producer/consumer stage
+//! built on `crossbeam-channel`, used by the log-processing examples.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod pipeline;
+
+/// Number of worker threads to use: the available parallelism, capped so
+/// tiny inputs do not spawn idle threads.
+pub fn worker_count(items: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    hw.min(items).max(1)
+}
+
+/// Parallel, order-preserving map. Semantically identical to
+/// `items.iter().enumerate().map(|(i, t)| f(i, t)).collect()`, but `f` runs
+/// on multiple threads.
+///
+/// `f` receives `(index, &item)` so callers can derive deterministic
+/// per-item seeds from the index. A panic in `f` is propagated to the caller
+/// after all workers stop.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = worker_count(n);
+    if workers == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let out_slots = SliceCells::new(&mut out);
+    let cursor = AtomicUsize::new(0);
+
+    let panic_payload = std::sync::Mutex::new(None);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let result = catch_unwind(AssertUnwindSafe(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let value = f(i, &items[i]);
+                    // SAFETY: the cursor hands out each index exactly once,
+                    // so no two threads touch the same slot, and the scope
+                    // join orders these writes before the caller's reads.
+                    unsafe { out_slots.write(i, Some(value)) };
+                }));
+                if let Err(p) = result {
+                    // First panic wins; park the cursor so siblings drain.
+                    cursor.store(n, Ordering::Relaxed);
+                    let mut slot = panic_payload.lock().unwrap();
+                    if slot.is_none() {
+                        *slot = Some(p);
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(p) = panic_payload.into_inner().unwrap() {
+        resume_unwind(p);
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("every index visited"))
+        .collect()
+}
+
+/// Parallel mutable iteration over `chunk_size`-sized chunks of a slice.
+/// `f` receives `(chunk_index, chunk)`.
+pub fn par_for_chunks<T, F>(items: &mut [T], chunk_size: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    if items.is_empty() {
+        return;
+    }
+    let chunks: Vec<&mut [T]> = items.chunks_mut(chunk_size).collect();
+    let n = chunks.len();
+    let cells = VecCells::new(chunks);
+    let cursor = AtomicUsize::new(0);
+    let workers = worker_count(n);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                // SAFETY: each chunk index is claimed exactly once.
+                let chunk = unsafe { cells.take(i) };
+                f(i, chunk);
+            });
+        }
+    });
+}
+
+/// Parallel fold-and-merge: folds disjoint contiguous index ranges with
+/// `fold`, then merges the per-range accumulators left-to-right with
+/// `merge`. Because the ranges are contiguous and merged in index order, the
+/// result is deterministic whenever `fold`/`merge` satisfy the usual
+/// fold-homomorphism law — commutativity is *not* required.
+pub fn par_reduce<T, A, F, M>(
+    items: &[T],
+    identity: impl Fn() -> A + Sync,
+    fold: F,
+    merge: M,
+) -> A
+where
+    T: Sync,
+    A: Send,
+    F: Fn(A, usize, &T) -> A + Sync,
+    M: Fn(A, A) -> A,
+{
+    let n = items.len();
+    if n == 0 {
+        return identity();
+    }
+    let workers = worker_count(n);
+    if workers == 1 {
+        return items
+            .iter()
+            .enumerate()
+            .fold(identity(), |acc, (i, t)| fold(acc, i, t));
+    }
+    let per = n.div_ceil(workers);
+    let ranges: Vec<(usize, usize)> = (0..workers)
+        .map(|w| (w * per, ((w + 1) * per).min(n)))
+        .filter(|(lo, hi)| lo < hi)
+        .collect();
+
+    let partials = par_map(&ranges, |_, &(lo, hi)| {
+        let mut acc = identity();
+        for (i, item) in items.iter().enumerate().take(hi).skip(lo) {
+            acc = fold(acc, i, item);
+        }
+        acc
+    });
+    partials
+        .into_iter()
+        .fold(identity(), merge)
+}
+
+/// Shared mutable access to distinct slots of a slice; exclusivity (each
+/// index written by at most one thread) is the caller's obligation.
+struct SliceCells<T> {
+    ptr: *mut T,
+    len: usize,
+}
+
+unsafe impl<T: Send> Sync for SliceCells<T> {}
+
+impl<T> SliceCells<T> {
+    fn new(slice: &mut [T]) -> Self {
+        SliceCells {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+        }
+    }
+
+    /// # Safety
+    /// `i < len`, and no other thread writes slot `i`; reads of the slot
+    /// must happen after the spawning scope joins.
+    unsafe fn write(&self, i: usize, value: T) {
+        debug_assert!(i < self.len);
+        unsafe { self.ptr.add(i).write(value) };
+    }
+}
+
+/// Hands out each element of an owned `Vec` exactly once across threads.
+struct VecCells<T> {
+    ptr: *mut T,
+    len: usize,
+}
+
+unsafe impl<T: Send> Sync for VecCells<T> {}
+
+impl<T> VecCells<T> {
+    fn new(v: Vec<T>) -> Self {
+        let mut v = std::mem::ManuallyDrop::new(v);
+        VecCells {
+            ptr: v.as_mut_ptr(),
+            len: v.len(),
+        }
+    }
+
+    /// # Safety
+    /// `i < len`, and each index is taken at most once.
+    unsafe fn take(&self, i: usize) -> T {
+        debug_assert!(i < self.len);
+        unsafe { self.ptr.add(i).read() }
+    }
+}
+
+impl<T> Drop for VecCells<T> {
+    fn drop(&mut self) {
+        // Elements were moved out by `take`; reclaim only the allocation.
+        unsafe {
+            drop(Vec::from_raw_parts(self.ptr, 0, self.len));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_map_matches_sequential() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        let par = par_map(&items, |_, x| x * x + 1);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn par_map_empty() {
+        let out: Vec<u32> = par_map(&[] as &[u32], |_, x| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_map_single_item() {
+        assert_eq!(par_map(&[7], |i, x| (i, *x)), vec![(0, 7)]);
+    }
+
+    #[test]
+    fn par_map_indices_are_correct() {
+        let items = vec![0u8; 5_000];
+        let out = par_map(&items, |i, _| i);
+        assert_eq!(out, (0..5_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_propagates_panics() {
+        let items: Vec<u32> = (0..1_000).collect();
+        let result = std::panic::catch_unwind(|| {
+            par_map(&items, |_, &x| {
+                if x == 437 {
+                    panic!("injected failure at {x}");
+                }
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn par_for_chunks_touches_every_element() {
+        let mut v = vec![0u32; 10_001];
+        par_for_chunks(&mut v, 97, |ci, chunk| {
+            for (k, x) in chunk.iter_mut().enumerate() {
+                *x = (ci * 97 + k) as u32 + 1;
+            }
+        });
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn par_for_chunks_empty_ok() {
+        let mut v: Vec<u8> = Vec::new();
+        par_for_chunks(&mut v, 16, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_size must be positive")]
+    fn par_for_chunks_zero_chunk_panics() {
+        let mut v = vec![1u8];
+        par_for_chunks(&mut v, 0, |_, _| {});
+    }
+
+    #[test]
+    fn par_reduce_sums() {
+        let items: Vec<u64> = (1..=100_000).collect();
+        let total = par_reduce(&items, || 0u64, |acc, _, &x| acc + x, |a, b| a + b);
+        assert_eq!(total, 100_000 * 100_001 / 2);
+    }
+
+    #[test]
+    fn par_reduce_empty_is_identity() {
+        let total = par_reduce(&[] as &[u64], || 42u64, |acc, _, &x| acc + x, |a, b| a + b);
+        assert_eq!(total, 42);
+    }
+
+    #[test]
+    fn par_reduce_merge_order_deterministic() {
+        // Concatenation is associative but not commutative, so the merge
+        // order is observable — and must match the sequential order.
+        let items: Vec<usize> = (0..1_000).collect();
+        let s1 = par_reduce(
+            &items,
+            String::new,
+            |mut acc, _, &x| {
+                acc.push_str(&x.to_string());
+                acc
+            },
+            |a, b| a + &b,
+        );
+        let mut s2 = String::new();
+        for x in &items {
+            s2.push_str(&x.to_string());
+        }
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn par_map_side_effect_counts_once_per_item() {
+        let counter = AtomicU64::new(0);
+        let items = vec![(); 8_192];
+        par_map(&items, |_, _| counter.fetch_add(1, Ordering::Relaxed));
+        assert_eq!(counter.load(Ordering::Relaxed), 8_192);
+    }
+
+    #[test]
+    fn worker_count_bounds() {
+        assert_eq!(worker_count(0), 1);
+        assert_eq!(worker_count(1), 1);
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(worker_count(1_000_000), hw);
+    }
+
+    #[test]
+    fn par_map_with_non_copy_results() {
+        let items: Vec<u32> = (0..500).collect();
+        let out = par_map(&items, |i, &x| vec![i as u32, x]);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(v, &vec![i as u32, i as u32]);
+        }
+    }
+}

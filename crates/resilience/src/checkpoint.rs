@@ -1,0 +1,131 @@
+//! Checkpoint-interval adaptation (paper Sections III-I and IV).
+//!
+//! "The system can adapt to the new MTBF by increasing the checkpoint
+//! frequency." The classic first-order optimum is Young's formula,
+//! `T = sqrt(2 * C * MTBF)`, refined by Daly's higher-order version. With
+//! the paper's regime split — MTBF 167 h normal vs 0.39 h degraded — the
+//! optimal interval shrinks by a factor of ~20, and a system that keeps the
+//! normal-regime interval during degraded periods pays a large waste
+//! penalty, which [`waste_fraction`] quantifies.
+
+/// Young's optimal checkpoint interval (hours), given checkpoint cost `c_h`
+/// (hours) and `mtbf_h` (hours).
+pub fn young_interval(c_h: f64, mtbf_h: f64) -> f64 {
+    assert!(c_h > 0.0 && mtbf_h > 0.0);
+    (2.0 * c_h * mtbf_h).sqrt()
+}
+
+/// Daly's refined optimal interval (hours). For small `c / mtbf` it reduces
+/// to Young's; it remains sensible when the checkpoint cost is a sizable
+/// fraction of the MTBF.
+pub fn daly_interval(c_h: f64, mtbf_h: f64) -> f64 {
+    assert!(c_h > 0.0 && mtbf_h > 0.0);
+    if c_h < mtbf_h / 2.0 {
+        let x = (c_h / (2.0 * mtbf_h)).sqrt();
+        (2.0 * c_h * mtbf_h).sqrt() * (1.0 + x / 3.0 + x * x / 9.0) - c_h
+    } else {
+        mtbf_h
+    }
+}
+
+/// Expected fraction of time wasted (checkpoint overhead + expected rework
+/// after failures) when checkpointing every `t_h` hours with cost `c_h` on
+/// a machine with exponential failures at `mtbf_h`. First-order model:
+///
+/// ```text
+/// waste(t) = c/t + t / (2 * mtbf)
+/// ```
+pub fn waste_fraction(t_h: f64, c_h: f64, mtbf_h: f64) -> f64 {
+    assert!(t_h > 0.0 && c_h > 0.0 && mtbf_h > 0.0);
+    c_h / t_h + t_h / (2.0 * mtbf_h)
+}
+
+/// The interval and waste for both regimes, and the penalty of *not*
+/// adapting when the system degrades.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdaptationReport {
+    pub normal_interval_h: f64,
+    pub degraded_interval_h: f64,
+    pub normal_waste: f64,
+    pub degraded_waste_adapted: f64,
+    pub degraded_waste_unadapted: f64,
+}
+
+/// Compute the adaptation report for the given checkpoint cost and the
+/// two regime MTBFs.
+pub fn adaptation_report(c_h: f64, normal_mtbf_h: f64, degraded_mtbf_h: f64) -> AdaptationReport {
+    let normal_interval_h = young_interval(c_h, normal_mtbf_h);
+    let degraded_interval_h = young_interval(c_h, degraded_mtbf_h);
+    AdaptationReport {
+        normal_interval_h,
+        degraded_interval_h,
+        normal_waste: waste_fraction(normal_interval_h, c_h, normal_mtbf_h),
+        degraded_waste_adapted: waste_fraction(degraded_interval_h, c_h, degraded_mtbf_h),
+        degraded_waste_unadapted: waste_fraction(normal_interval_h, c_h, degraded_mtbf_h),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn young_reference_values() {
+        // C = 5 min, MTBF = 24 h => T = sqrt(2 * (1/12) * 24) = 2 h.
+        let t = young_interval(1.0 / 12.0, 24.0);
+        assert!((t - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn young_interval_is_waste_optimal() {
+        let c = 0.05;
+        let mtbf = 10.0;
+        let t_opt = young_interval(c, mtbf);
+        let w_opt = waste_fraction(t_opt, c, mtbf);
+        for t in [t_opt * 0.5, t_opt * 0.8, t_opt * 1.25, t_opt * 2.0] {
+            assert!(waste_fraction(t, c, mtbf) > w_opt);
+        }
+    }
+
+    #[test]
+    fn daly_close_to_young_for_small_cost() {
+        let c = 0.01;
+        let mtbf = 100.0;
+        let y = young_interval(c, mtbf);
+        let d = daly_interval(c, mtbf);
+        assert!((y - d).abs() / y < 0.05, "young {y} daly {d}");
+    }
+
+    #[test]
+    fn daly_clamps_at_large_cost() {
+        assert_eq!(daly_interval(10.0, 10.0), 10.0);
+    }
+
+    #[test]
+    fn paper_regime_adaptation_factor() {
+        // MTBF 167 h normal vs 0.39 h degraded: the interval shrinks by
+        // sqrt(167/0.39) ~ 20.7x.
+        let r = adaptation_report(0.05, 167.0, 0.39);
+        let factor = r.normal_interval_h / r.degraded_interval_h;
+        assert!((factor - (167.0f64 / 0.39).sqrt()).abs() < 1e-9);
+        assert!(factor > 20.0 && factor < 21.5, "factor {factor}");
+    }
+
+    #[test]
+    fn not_adapting_is_expensive() {
+        let r = adaptation_report(0.05, 167.0, 0.39);
+        assert!(
+            r.degraded_waste_unadapted > 3.0 * r.degraded_waste_adapted,
+            "unadapted {} vs adapted {}",
+            r.degraded_waste_unadapted,
+            r.degraded_waste_adapted
+        );
+        assert!(r.normal_waste < 0.05, "normal-regime waste is small");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_inputs_rejected() {
+        young_interval(0.0, 10.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Composed mitigation: page retirement first, quarantine on what remains.
+//!
+//! Section IV evaluates quarantine and mentions page retirement as
+//! "useful in particular for nodes showing evidence of a weak bit" but
+//! "not effective in all cases". The natural production policy is both:
+//! retirement silently absorbs the repeat-offender cells (no capacity
+//! loss), and quarantine catches the multi-region and degrading behaviour
+//! retirement cannot. This module composes the two replay simulators and
+//! reports the trade-off.
+
+use uc_analysis::fault::Fault;
+
+use crate::quarantine::{QuarantineConfig, QuarantineOutcome, QuarantineSim};
+use crate::retirement::{simulate_retirement, RetirementConfig, RetirementOutcome};
+
+/// Outcome of the composed policy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CombinedOutcome {
+    pub retirement: RetirementOutcome,
+    pub quarantine: QuarantineOutcome,
+}
+
+impl CombinedOutcome {
+    /// Faults that reached the system after both mitigations.
+    pub fn surviving_faults(&self) -> u64 {
+        self.quarantine.surviving_faults
+    }
+}
+
+/// Replay `faults` (time-sorted) through page retirement, then feed the
+/// surviving stream into the quarantine simulator.
+pub fn simulate_combined(
+    faults: &[Fault],
+    retire: &RetirementConfig,
+    sim: &QuarantineSim,
+    quarantine: &QuarantineConfig,
+) -> CombinedOutcome {
+    // Re-run the retirement replay, keeping the surviving faults this time.
+    let survivors = surviving_after_retirement(faults, retire);
+    let retirement = simulate_retirement(faults, retire);
+    debug_assert_eq!(retirement.surviving_faults as usize, survivors.len());
+    CombinedOutcome {
+        retirement,
+        quarantine: sim.run(&survivors, quarantine),
+    }
+}
+
+/// The faults that survive page retirement (same policy as
+/// [`simulate_retirement`], returning the stream instead of counts).
+pub fn surviving_after_retirement(faults: &[Fault], cfg: &RetirementConfig) -> Vec<Fault> {
+    use std::collections::HashMap;
+    let mut counts: HashMap<(u32, u64), u32> = HashMap::new();
+    let mut retired: HashMap<(u32, u64), bool> = HashMap::new();
+    let mut per_node: HashMap<u32, u32> = HashMap::new();
+    let mut out = Vec::new();
+    for f in faults {
+        let page = f.vaddr / crate::retirement::PAGE_BYTES;
+        let key = (f.node.0, page);
+        if retired.get(&key).copied().unwrap_or(false) {
+            continue;
+        }
+        out.push(*f);
+        let c = counts.entry(key).or_insert(0);
+        *c += 1;
+        if *c >= cfg.retire_after {
+            let budget = per_node.entry(f.node.0).or_insert(0);
+            if *budget < cfg.max_pages_per_node {
+                *budget += 1;
+                retired.insert(key, true);
+            }
+        }
+    }
+    out
+}
+
+/// Compare quarantine alone vs the combined policy at one quarantine length.
+pub fn policy_comparison(
+    faults: &[Fault],
+    sim: &QuarantineSim,
+    quarantine_days: u32,
+) -> (QuarantineOutcome, CombinedOutcome) {
+    let qcfg = QuarantineConfig::with_days(quarantine_days);
+    let alone = sim.run(faults, &qcfg);
+    let combined = simulate_combined(faults, &RetirementConfig::default(), sim, &qcfg);
+    (alone, combined)
+}
+
+/// Hours of the observation window covered by `faults`' sorted span.
+pub fn observed_span_hours(faults: &[Fault]) -> f64 {
+    match (faults.first(), faults.last()) {
+        (Some(a), Some(b)) => (b.time - a.time).as_hours_f64().max(1.0),
+        _ => 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uc_cluster::NodeId;
+    use uc_simclock::SimTime;
+
+    fn fault(node: u32, t_h: i64, vaddr: u64) -> Fault {
+        Fault {
+            node: NodeId(node),
+            time: SimTime::from_secs(t_h * 3_600),
+            vaddr,
+            expected: 0xFFFF_FFFF,
+            actual: 0xFFFF_FFFE,
+            temp: None,
+            raw_logs: 1,
+        }
+    }
+
+    fn sim() -> QuarantineSim {
+        QuarantineSim {
+            observed_hours: 300.0 * 24.0,
+            fleet_nodes: 100,
+            exclude: vec![],
+        }
+    }
+
+    /// A weak-bit node (same address repeating) plus a scattered node.
+    fn mixed_stream() -> Vec<Fault> {
+        let mut out = Vec::new();
+        for d in 0..100i64 {
+            for k in 0..8 {
+                out.push(fault(1, d * 24 + k, 0x5000)); // weak bit
+            }
+        }
+        for i in 0..60u64 {
+            out.push(fault(2, (i * 37) as i64, i * 8192 * 4)); // scattered
+        }
+        out.sort_by_key(|f| f.time);
+        out
+    }
+
+    #[test]
+    fn survivors_match_retirement_counts() {
+        let faults = mixed_stream();
+        let cfg = RetirementConfig::default();
+        let survivors = surviving_after_retirement(&faults, &cfg);
+        let outcome = simulate_retirement(&faults, &cfg);
+        assert_eq!(survivors.len() as u64, outcome.surviving_faults);
+        assert!(survivors.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn retirement_absorbs_weak_bit_before_quarantine() {
+        let faults = mixed_stream();
+        let s = sim();
+        let (alone, combined) = policy_comparison(&faults, &s, 15);
+        // Retirement removes the weak-bit repeats, so the combined policy
+        // spends far fewer node-days in quarantine...
+        assert!(
+            combined.quarantine.node_days_quarantined < alone.node_days_quarantined,
+            "combined {} vs alone {}",
+            combined.quarantine.node_days_quarantined,
+            alone.node_days_quarantined
+        );
+        // ...while letting no more faults through than retirement's floor.
+        assert!(combined.surviving_faults() <= alone.surviving_faults + 2);
+    }
+
+    #[test]
+    fn combined_never_worse_than_nothing() {
+        let faults = mixed_stream();
+        let s = sim();
+        let (_, combined) = policy_comparison(&faults, &s, 10);
+        assert!(combined.surviving_faults() < faults.len() as u64);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let s = sim();
+        let (alone, combined) = policy_comparison(&[], &s, 10);
+        assert_eq!(alone.surviving_faults, 0);
+        assert_eq!(combined.surviving_faults(), 0);
+        assert_eq!(observed_span_hours(&[]), 1.0);
+    }
+}

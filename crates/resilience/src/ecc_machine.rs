@@ -1,0 +1,195 @@
+//! The protected-machine counterfactual.
+//!
+//! The paper's machine had no ECC, which is what made every error visible.
+//! This module replays the observed fault stream through a hypothetical
+//! *protected* machine and reports what its operators would have seen:
+//!
+//! - corrected events (invisible to applications; ECC counter ticks — the
+//!   only signal the related-work field studies had);
+//! - detected-uncorrectable events (machine-check exception: the node
+//!   crashes and every job on it dies);
+//! - silent corruptions (miscorrected or aliased — the SDCs the paper
+//!   warns "could lead to scientific results being produced that were
+//!   unknowingly erroneous");
+//!
+//! plus the headline operators care about: the crash MTBF of the protected
+//! system, and how much of the raw-error phenomenology (simultaneity,
+//! which-bit information) the ECC view *hides* — the paper's core argument
+//! for raw-error studies.
+
+use uc_analysis::fault::Fault;
+use uc_analysis::stats::mtbf_hours;
+use uc_dram::ecc::EccOutcome;
+
+/// Which code protects the hypothetical machine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Protection {
+    Secded,
+    Chipkill,
+}
+
+/// What the protected machine experienced.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ProtectedOutcome {
+    pub corrected: u64,
+    /// Node crashes (detected uncorrectable errors).
+    pub crashes: u64,
+    pub silent_corruptions: u64,
+    /// Crash MTBF of the protected system, hours.
+    pub crash_mtbf_h: f64,
+    /// Distinct nodes that crashed at least once.
+    pub crashed_nodes: u64,
+    /// Corrected events that were part of a same-timestamp group — the
+    /// correlation structure an ECC counter (timestamp-free) cannot see.
+    pub corrected_in_groups: u64,
+}
+
+/// Replay `faults` (time-sorted) through a protected machine observed for
+/// `observed_hours`.
+pub fn protected_outcome(
+    faults: &[Fault],
+    protection: Protection,
+    observed_hours: f64,
+) -> ProtectedOutcome {
+    let mut out = ProtectedOutcome::default();
+    let mut crashed: std::collections::HashSet<u32> = std::collections::HashSet::new();
+
+    // Same-timestamp grouping for the hidden-correlation statistic.
+    let groups = uc_analysis::simultaneity::group_simultaneous(faults);
+    let mut in_group: std::collections::HashSet<(u32, i64, u64)> =
+        std::collections::HashSet::new();
+    for g in &groups {
+        if g.words() >= 2 {
+            for f in &g.faults {
+                in_group.insert((f.node.0, f.time.as_secs(), f.vaddr));
+            }
+        }
+    }
+
+    for f in faults {
+        let outcome = match protection {
+            Protection::Secded => f.diff().secded_outcome(),
+            Protection::Chipkill => f.diff().chipkill_outcome(),
+        };
+        match outcome {
+            EccOutcome::Clean | EccOutcome::Corrected => {
+                out.corrected += 1;
+                if in_group.contains(&(f.node.0, f.time.as_secs(), f.vaddr)) {
+                    out.corrected_in_groups += 1;
+                }
+            }
+            EccOutcome::Detected => {
+                out.crashes += 1;
+                crashed.insert(f.node.0);
+            }
+            EccOutcome::Miscorrected | EccOutcome::Undetected => {
+                out.silent_corruptions += 1;
+            }
+        }
+    }
+    out.crashed_nodes = crashed.len() as u64;
+    out.crash_mtbf_h = mtbf_hours(observed_hours, out.crashes);
+    out
+}
+
+/// Side-by-side comparison of the unprotected machine and both protected
+/// variants over the same fault stream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProtectionComparison {
+    pub raw_faults: u64,
+    pub raw_mtbf_h: f64,
+    pub secded: ProtectedOutcome,
+    pub chipkill: ProtectedOutcome,
+}
+
+pub fn compare_protections(faults: &[Fault], observed_hours: f64) -> ProtectionComparison {
+    ProtectionComparison {
+        raw_faults: faults.len() as u64,
+        raw_mtbf_h: mtbf_hours(observed_hours, faults.len() as u64),
+        secded: protected_outcome(faults, Protection::Secded, observed_hours),
+        chipkill: protected_outcome(faults, Protection::Chipkill, observed_hours),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uc_cluster::NodeId;
+    use uc_simclock::SimTime;
+
+    fn fault(node: u32, t: i64, xor: u32) -> Fault {
+        Fault {
+            node: NodeId(node),
+            time: SimTime::from_secs(t),
+            vaddr: 0x100,
+            expected: 0xFFFF_FFFF,
+            actual: 0xFFFF_FFFF ^ xor,
+            temp: None,
+            raw_logs: 1,
+        }
+    }
+
+    #[test]
+    fn single_bits_all_corrected() {
+        let faults: Vec<Fault> = (0..100).map(|k| fault(1, k * 100, 1 << (k % 32))).collect();
+        let out = protected_outcome(&faults, Protection::Secded, 1_000.0);
+        assert_eq!(out.corrected, 100);
+        assert_eq!(out.crashes, 0);
+        assert_eq!(out.silent_corruptions, 0);
+        assert!(out.crash_mtbf_h.is_infinite());
+    }
+
+    #[test]
+    fn doubles_crash_secded_not_chipkill_within_nibble() {
+        // A double inside one nibble: SECDED detects (crash), chipkill
+        // corrects.
+        let faults = vec![fault(1, 0, 0b11)];
+        let s = protected_outcome(&faults, Protection::Secded, 100.0);
+        assert_eq!(s.crashes, 1);
+        assert_eq!(s.crashed_nodes, 1);
+        assert!((s.crash_mtbf_h - 100.0).abs() < 1e-9);
+        let c = protected_outcome(&faults, Protection::Chipkill, 100.0);
+        assert_eq!(c.crashes, 0);
+        assert_eq!(c.corrected, 1);
+    }
+
+    #[test]
+    fn hidden_correlation_counted() {
+        // Two single-bit faults at the same instant on one node: both are
+        // corrected, both belong to a simultaneity group the ECC counter
+        // cannot express.
+        let mut faults = vec![fault(1, 500, 1), fault(1, 500, 2)];
+        faults[1].vaddr = 0x900;
+        let out = protected_outcome(&faults, Protection::Secded, 100.0);
+        assert_eq!(out.corrected, 2);
+        assert_eq!(out.corrected_in_groups, 2);
+    }
+
+    #[test]
+    fn comparison_totals_conserve() {
+        let faults = vec![
+            fault(1, 0, 1),
+            fault(2, 10, 0b11),
+            fault(3, 20, 0x1F),
+            fault(3, 900, 1 << 30),
+        ];
+        let cmp = compare_protections(&faults, 1_000.0);
+        assert_eq!(cmp.raw_faults, 4);
+        let s = &cmp.secded;
+        assert_eq!(s.corrected + s.crashes + s.silent_corruptions, 4);
+        let c = &cmp.chipkill;
+        assert_eq!(c.corrected + c.crashes + c.silent_corruptions, 4);
+        assert!(c.crashes <= s.crashes, "chipkill never crashes more");
+    }
+
+    #[test]
+    fn raw_mtbf_lower_than_crash_mtbf() {
+        // The unprotected machine "fails" at every fault; the protected one
+        // only at uncorrectable ones.
+        let faults: Vec<Fault> = (0..50)
+            .map(|k| fault(1, k * 60, if k % 10 == 0 { 0b11 } else { 1 }))
+            .collect();
+        let cmp = compare_protections(&faults, 1_000.0);
+        assert!(cmp.raw_mtbf_h < cmp.secded.crash_mtbf_h);
+    }
+}

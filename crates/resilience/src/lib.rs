@@ -1,0 +1,47 @@
+//! # uc-resilience — failure avoidance mechanisms (paper Section IV)
+//!
+//! Three mechanisms the paper proposes or discusses, implemented as
+//! replay simulators over the extracted fault stream:
+//!
+//! - [`quarantine`]: "putting compute nodes in quarantine as soon as they
+//!   show an abnormally high error rate" — the Table II sweep over
+//!   quarantine lengths, reporting surviving errors, node-days lost, and
+//!   the resulting system MTBF;
+//! - [`retirement`]: page retirement — effective against weak bits,
+//!   ineffective against multi-region simultaneous corruption, exactly the
+//!   nuance the paper calls out;
+//! - [`checkpoint`]: checkpoint-interval adaptation (Young/Daly) to the
+//!   regime-dependent MTBF — the paper's "shortening in the checkpoint
+//!   interval in order to adapt to the reduced MTBF";
+//! - [`scrubbing`]: how often must a SECDED machine scrub so single-bit
+//!   errors do not accumulate into uncorrectable doubles — evaluated both
+//!   analytically and by replay over the observed fault stream;
+//! - [`ecc_machine`]: the protected-machine counterfactual — what a SECDED
+//!   or chipkill machine's operators would have seen of the same fault
+//!   stream (corrections, crashes, SDCs, and the correlation structure the
+//!   ECC view hides);
+//! - [`projection`]: the intro's scaling arithmetic run forward from
+//!   measured rates — fault MTBF, SDC-per-day and checkpoint waste at
+//!   10k/100k/1M-node fleets;
+//! - [`placement`]: failure-history-aware job placement — the scheduler
+//!   integration Section IV proposes, with oblivious / avoid-history /
+//!   debug-jobs-only policies compared by killed job count;
+//! - [`combined`]: page retirement and quarantine composed — retirement
+//!   absorbs the weak-bit repeats cheaply, quarantine handles what
+//!   retirement cannot (the paper's "would not be effective in all cases").
+
+pub mod checkpoint;
+pub mod ecc_machine;
+pub mod combined;
+pub mod placement;
+pub mod projection;
+pub mod quarantine;
+pub mod retirement;
+pub mod scrubbing;
+
+pub use checkpoint::{daly_interval, waste_fraction, young_interval};
+pub use ecc_machine::{compare_protections, protected_outcome, Protection};
+pub use placement::{simulate_placement, Policy};
+pub use projection::{exascale_sweep, project, FleetProjection, NodeRates};
+pub use quarantine::{QuarantineConfig, QuarantineOutcome, QuarantineSim};
+pub use retirement::{RetirementConfig, RetirementOutcome};

@@ -1,0 +1,275 @@
+//! Failure-history-aware job placement (paper Section III-H/IV).
+//!
+//! "Spatial correlation information can be added into the scheduler
+//! algorithm to avoid large high priority jobs running in nodes with a long
+//! history of failures. A more aggressive approach would be to run only
+//! short debugging jobs on those nodes."
+//!
+//! The replay: a synthetic stream of jobs (node count, duration) is placed
+//! over the fleet while the observed fault stream plays out. A job dies if
+//! any of its nodes faults during its run. Policies:
+//!
+//! - [`Policy::Oblivious`]: nodes chosen round-robin, history ignored;
+//! - [`Policy::AvoidHistory`]: nodes that faulted within a lookback window
+//!   are placed last (large jobs effectively avoid them);
+//! - [`Policy::DebugOnly`]: like `AvoidHistory`, but recently-faulty nodes
+//!   are *only* eligible for single-node short jobs — the paper's
+//!   aggressive variant.
+
+use std::collections::HashMap;
+
+use uc_analysis::fault::Fault;
+use uc_simclock::{SimDuration, SimTime};
+
+/// Placement policy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Policy {
+    Oblivious,
+    AvoidHistory,
+    DebugOnly,
+}
+
+/// A job to place.
+#[derive(Clone, Copy, Debug)]
+pub struct Job {
+    pub start: SimTime,
+    pub duration: SimDuration,
+    pub nodes_needed: u32,
+}
+
+/// Synthetic job stream: fixed cadence, alternating small/large jobs —
+/// deterministic so policy comparisons are exact.
+pub fn job_stream(
+    start: SimTime,
+    end: SimTime,
+    cadence: SimDuration,
+    large_nodes: u32,
+) -> Vec<Job> {
+    assert!(cadence.as_secs() > 0);
+    let mut out = Vec::new();
+    let mut t = start;
+    let mut k = 0u32;
+    while t < end {
+        let (nodes_needed, dur_h) = if k.is_multiple_of(4) {
+            (large_nodes, 12)
+        } else {
+            (1 + k % 3, 3)
+        };
+        out.push(Job {
+            start: t,
+            duration: SimDuration::from_hours(i64::from(dur_h)),
+            nodes_needed,
+        });
+        t += cadence;
+        k += 1;
+    }
+    out
+}
+
+/// Replay outcome.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlacementOutcome {
+    pub jobs: u64,
+    /// Jobs that lost a node to a fault mid-run.
+    pub failed_jobs: u64,
+    /// Node-hours of work killed by faults.
+    pub lost_node_hours: u64,
+}
+
+/// How long a fault keeps a node on the avoid list.
+pub const LOOKBACK: SimDuration = SimDuration::from_days(14);
+
+/// Replay `jobs` over a `fleet_nodes`-node machine while `faults`
+/// (time-sorted) land on their recorded nodes. Node ids in the fault stream
+/// index the fleet modulo `fleet_nodes`.
+pub fn simulate_placement(
+    faults: &[Fault],
+    jobs: &[Job],
+    fleet_nodes: u32,
+    policy: Policy,
+) -> PlacementOutcome {
+    assert!(fleet_nodes > 0);
+    let mut out = PlacementOutcome {
+        jobs: jobs.len() as u64,
+        ..Default::default()
+    };
+    // Last fault time per fleet slot.
+    let mut last_fault: HashMap<u32, SimTime> = HashMap::new();
+    let mut fault_idx = 0usize;
+    let mut rr_cursor = 0u32;
+
+    for job in jobs {
+        // Advance fault history to the job's start.
+        while fault_idx < faults.len() && faults[fault_idx].time < job.start {
+            let slot = faults[fault_idx].node.0 % fleet_nodes;
+            last_fault.insert(slot, faults[fault_idx].time);
+            fault_idx += 1;
+        }
+        let is_recent = |slot: u32| {
+            last_fault
+                .get(&slot)
+                .is_some_and(|&t| job.start - t <= LOOKBACK)
+        };
+        // Choose nodes.
+        let mut chosen: Vec<u32> = Vec::with_capacity(job.nodes_needed as usize);
+        match policy {
+            Policy::Oblivious => {
+                for k in 0..job.nodes_needed {
+                    chosen.push((rr_cursor + k) % fleet_nodes);
+                }
+            }
+            Policy::AvoidHistory | Policy::DebugOnly => {
+                // Clean nodes first, round-robin from the cursor.
+                let mut clean = Vec::new();
+                let mut dirty = Vec::new();
+                for k in 0..fleet_nodes {
+                    let slot = (rr_cursor + k) % fleet_nodes;
+                    if is_recent(slot) {
+                        dirty.push(slot);
+                    } else {
+                        clean.push(slot);
+                    }
+                }
+                let debug_job = job.nodes_needed == 1 && job.duration <= SimDuration::from_hours(3);
+                for slot in clean.into_iter().chain(dirty) {
+                    if chosen.len() as u32 == job.nodes_needed {
+                        break;
+                    }
+                    if policy == Policy::DebugOnly && is_recent(slot) && !debug_job {
+                        continue; // large/long jobs never touch dirty nodes
+                    }
+                    chosen.push(slot);
+                }
+            }
+        }
+        rr_cursor = (rr_cursor + job.nodes_needed) % fleet_nodes;
+        if (chosen.len() as u32) < job.nodes_needed {
+            // Machine too dirty to place the job under DebugOnly: count as
+            // a (policy-induced) failure to make the trade-off visible.
+            out.failed_jobs += 1;
+            continue;
+        }
+        // Does a fault land on a chosen node during the run?
+        let job_end = job.start + job.duration;
+        let hit = faults[fault_idx..]
+            .iter()
+            .take_while(|f| f.time < job_end)
+            .any(|f| chosen.contains(&(f.node.0 % fleet_nodes)));
+        if hit {
+            out.failed_jobs += 1;
+            out.lost_node_hours +=
+                (job.duration.as_hours_f64() as u64) * u64::from(job.nodes_needed);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uc_cluster::NodeId;
+
+    fn fault(node: u32, t_h: i64) -> Fault {
+        Fault {
+            node: NodeId(node),
+            time: SimTime::from_secs(t_h * 3_600),
+            vaddr: 0,
+            expected: 0,
+            actual: 1,
+            temp: None,
+            raw_logs: 1,
+        }
+    }
+
+    /// One chronically faulty node erroring every 2 h all year.
+    fn hot_node_faults(node: u32, days: i64) -> Vec<Fault> {
+        (0..days * 12).map(|k| fault(node, k * 2)).collect()
+    }
+
+    #[test]
+    fn job_stream_is_deterministic_and_bounded() {
+        let jobs = job_stream(
+            SimTime::from_secs(0),
+            SimTime::from_secs(30 * 86_400),
+            SimDuration::from_hours(6),
+            16,
+        );
+        assert_eq!(jobs.len(), 120);
+        assert!(jobs.iter().all(|j| j.nodes_needed >= 1));
+        let again = job_stream(
+            SimTime::from_secs(0),
+            SimTime::from_secs(30 * 86_400),
+            SimDuration::from_hours(6),
+            16,
+        );
+        assert_eq!(jobs.len(), again.len());
+    }
+
+    #[test]
+    fn history_avoidance_beats_oblivious() {
+        let faults = hot_node_faults(5, 60);
+        let jobs = job_stream(
+            SimTime::from_secs(86_400),
+            SimTime::from_secs(60 * 86_400),
+            SimDuration::from_hours(6),
+            8,
+        );
+        let oblivious = simulate_placement(&faults, &jobs, 32, Policy::Oblivious);
+        let avoid = simulate_placement(&faults, &jobs, 32, Policy::AvoidHistory);
+        assert!(
+            avoid.failed_jobs < oblivious.failed_jobs,
+            "avoid {} vs oblivious {}",
+            avoid.failed_jobs,
+            oblivious.failed_jobs
+        );
+        assert!(avoid.lost_node_hours <= oblivious.lost_node_hours);
+    }
+
+    #[test]
+    fn debug_only_protects_large_jobs_completely() {
+        let faults = hot_node_faults(5, 60);
+        let jobs = job_stream(
+            SimTime::from_secs(10 * 86_400),
+            SimTime::from_secs(60 * 86_400),
+            SimDuration::from_hours(6),
+            8,
+        );
+        let debug_only = simulate_placement(&faults, &jobs, 32, Policy::DebugOnly);
+        // Large jobs never touch the hot node; only 1-node debug jobs can
+        // land there, so failures are at most the debug jobs placed on it.
+        let avoid = simulate_placement(&faults, &jobs, 32, Policy::AvoidHistory);
+        assert!(debug_only.failed_jobs <= avoid.failed_jobs);
+    }
+
+    #[test]
+    fn clean_fleet_no_failures() {
+        let jobs = job_stream(
+            SimTime::from_secs(0),
+            SimTime::from_secs(10 * 86_400),
+            SimDuration::from_hours(12),
+            4,
+        );
+        for policy in [Policy::Oblivious, Policy::AvoidHistory, Policy::DebugOnly] {
+            let out = simulate_placement(&[], &jobs, 16, policy);
+            assert_eq!(out.failed_jobs, 0, "{policy:?}");
+            assert_eq!(out.jobs, jobs.len() as u64);
+        }
+    }
+
+    #[test]
+    fn lookback_expires() {
+        // Faults only in the first week; jobs start three weeks later —
+        // all policies place identically (history expired).
+        let faults = hot_node_faults(2, 7);
+        let jobs = job_stream(
+            SimTime::from_secs(28 * 86_400),
+            SimTime::from_secs(35 * 86_400),
+            SimDuration::from_hours(6),
+            8,
+        );
+        let a = simulate_placement(&faults, &jobs, 16, Policy::Oblivious);
+        let b = simulate_placement(&faults, &jobs, 16, Policy::AvoidHistory);
+        assert_eq!(a, b);
+        assert_eq!(a.failed_jobs, 0);
+    }
+}

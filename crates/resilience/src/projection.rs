@@ -1,0 +1,176 @@
+//! Extreme-scale projection.
+//!
+//! The paper's introduction motivates the study with scaling arithmetic —
+//! "if each processor of a machine has a mean time to failure of 25 years,
+//! then a supercomputer with one hundred thousand of those processors will
+//! have a mean time between failures of only two hours" — and its abstract
+//! promises "a glimpse of the failure rates for extreme scale systems if we
+//! do not reach the reliability level desired at that scale."
+//!
+//! This module does that arithmetic from *measured* per-node rates: given a
+//! per-node fault rate (and the silent fraction under a chosen ECC), project
+//! the system MTBF, daily fault count and daily-SDC expectation to fleets of
+//! arbitrary size, and derive the checkpoint efficiency at that scale.
+
+use crate::checkpoint::{waste_fraction, young_interval};
+
+/// Measured per-node rates, the projection input.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NodeRates {
+    /// Faults per node-hour (raw, unprotected view).
+    pub faults_per_node_hour: f64,
+    /// Fraction of faults that would be silent under the chosen protection.
+    pub silent_fraction: f64,
+    /// Fraction that would crash the node (detected uncorrectable).
+    pub crash_fraction: f64,
+}
+
+impl NodeRates {
+    /// Derive rates from campaign totals.
+    pub fn from_totals(
+        faults: u64,
+        silent: u64,
+        crashes: u64,
+        monitored_node_hours: f64,
+    ) -> NodeRates {
+        assert!(monitored_node_hours > 0.0);
+        let f = faults.max(1) as f64;
+        NodeRates {
+            faults_per_node_hour: faults as f64 / monitored_node_hours,
+            silent_fraction: silent as f64 / f,
+            crash_fraction: crashes as f64 / f,
+        }
+    }
+}
+
+/// Projection of one fleet size.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FleetProjection {
+    pub nodes: u64,
+    /// Raw fault MTBF of the whole system, hours.
+    pub raw_mtbf_h: f64,
+    /// Crash MTBF under the protection, hours.
+    pub crash_mtbf_h: f64,
+    /// Expected silent corruptions per day across the fleet.
+    pub silent_per_day: f64,
+    /// Optimal (Young) checkpoint interval at the crash MTBF, hours, for a
+    /// 5-minute checkpoint cost.
+    pub checkpoint_interval_h: f64,
+    /// Fraction of machine time lost to checkpoint overhead + rework.
+    pub waste: f64,
+}
+
+/// Project measured rates to a fleet of `nodes`.
+pub fn project(rates: &NodeRates, nodes: u64) -> FleetProjection {
+    assert!(nodes > 0);
+    let system_rate = rates.faults_per_node_hour * nodes as f64; // per hour
+    let raw_mtbf_h = 1.0 / system_rate.max(1e-300);
+    let crash_rate = system_rate * rates.crash_fraction;
+    let crash_mtbf_h = 1.0 / crash_rate.max(1e-300);
+    let c_h = 5.0 / 60.0;
+    let checkpoint_interval_h = young_interval(c_h, crash_mtbf_h);
+    FleetProjection {
+        nodes,
+        raw_mtbf_h,
+        crash_mtbf_h,
+        silent_per_day: system_rate * rates.silent_fraction * 24.0,
+        checkpoint_interval_h,
+        waste: waste_fraction(checkpoint_interval_h, c_h, crash_mtbf_h).min(1.0),
+    }
+}
+
+/// The sweep the paper's conclusion gestures at: today's prototype size up
+/// to an exascale fleet.
+pub fn exascale_sweep(rates: &NodeRates) -> Vec<FleetProjection> {
+    [923u64, 10_000, 100_000, 1_000_000]
+        .iter()
+        .map(|&n| project(rates, n))
+        .collect()
+}
+
+/// The intro's illustrative arithmetic: per-component MTTF in years and a
+/// component count give a system MTBF in hours.
+pub fn intro_arithmetic(component_mttf_years: f64, components: u64) -> f64 {
+    assert!(component_mttf_years > 0.0 && components > 0);
+    component_mttf_years * 365.25 * 24.0 / components as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intro_example_reproduces() {
+        // 25-year MTTF, 100k processors => ~2.2 h.
+        let mtbf = intro_arithmetic(25.0, 100_000);
+        assert!((mtbf - 2.19).abs() < 0.05, "mtbf {mtbf}");
+    }
+
+    #[test]
+    fn projection_scales_inversely() {
+        let rates = NodeRates {
+            faults_per_node_hour: 1.0 / 88.0,
+            silent_fraction: 0.0001,
+            crash_fraction: 0.002,
+        };
+        let a = project(&rates, 1_000);
+        let b = project(&rates, 10_000);
+        assert!((a.raw_mtbf_h / b.raw_mtbf_h - 10.0).abs() < 1e-9);
+        assert!((b.silent_per_day / a.silent_per_day - 10.0).abs() < 1e-9);
+        assert!(a.crash_mtbf_h > b.crash_mtbf_h);
+    }
+
+    #[test]
+    fn from_totals_fractions() {
+        let r = NodeRates::from_totals(50_000, 5, 100, 4_500_000.0);
+        assert!((r.faults_per_node_hour - 50_000.0 / 4_500_000.0).abs() < 1e-12);
+        assert!((r.silent_fraction - 1e-4).abs() < 1e-9);
+        assert!((r.crash_fraction - 2e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exascale_sweep_shape() {
+        let rates = NodeRates {
+            faults_per_node_hour: 1.0 / 88.0,
+            silent_fraction: 6e-5,
+            crash_fraction: 1.6e-3,
+        };
+        let sweep = exascale_sweep(&rates);
+        assert_eq!(sweep.len(), 4);
+        assert_eq!(sweep[0].nodes, 923);
+        // Raw MTBF at prototype scale ~ minutes; at exascale ~ sub-second
+        // territory in hours terms.
+        assert!(sweep[0].raw_mtbf_h < 0.2);
+        assert!(sweep[3].raw_mtbf_h < sweep[0].raw_mtbf_h / 900.0);
+        // Waste grows with scale, bounded at 1.
+        assert!(sweep.windows(2).all(|w| w[0].waste <= w[1].waste));
+        assert!(sweep[3].waste <= 1.0);
+        // Silent corruption becomes a daily event at scale.
+        assert!(sweep[2].silent_per_day > sweep[0].silent_per_day * 50.0);
+    }
+
+    #[test]
+    fn checkpoint_interval_shrinks_with_scale() {
+        let rates = NodeRates {
+            faults_per_node_hour: 1e-4,
+            silent_fraction: 0.0,
+            crash_fraction: 1.0,
+        };
+        let small = project(&rates, 100);
+        let big = project(&rates, 100_000);
+        assert!(big.checkpoint_interval_h < small.checkpoint_interval_h / 10.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_nodes_rejected() {
+        project(
+            &NodeRates {
+                faults_per_node_hour: 1e-3,
+                silent_fraction: 0.0,
+                crash_fraction: 0.1,
+            },
+            0,
+        );
+    }
+}

@@ -1,0 +1,273 @@
+//! The quarantine simulator (paper Table II).
+//!
+//! "We implemented this quarantine algorithm in a simulator and fed it with
+//! the error logs gathered during this study." The algorithm: replay the
+//! independent faults in time order (with the permanently failed node
+//! already excluded, as the paper does); when a node shows abnormal
+//! behaviour — more than a threshold of errors within a sliding day — it
+//! goes into quarantine for a configurable number of days. Errors from
+//! quarantined nodes are prevented (the scheduler would not have placed
+//! jobs there); each quarantine stay costs node-days of capacity.
+
+use std::collections::HashMap;
+
+use uc_analysis::fault::Fault;
+use uc_analysis::stats::mtbf_hours;
+use uc_cluster::NodeId;
+use uc_simclock::{SimDuration, SimTime};
+
+/// Quarantine policy parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct QuarantineConfig {
+    /// Days a node stays in quarantine (the Table II sweep variable).
+    pub quarantine_days: u32,
+    /// A node is abnormal when it exceeds this many faults within the
+    /// trigger window. The paper quarantines "as soon as it shows abnormal
+    /// behaviour"; with the system-wide normal rate at 1-2 faults/day, a
+    /// single node repeating within a day is already abnormal.
+    pub trigger_faults: u32,
+    /// Sliding window for the trigger.
+    pub trigger_window: SimDuration,
+}
+
+impl QuarantineConfig {
+    pub fn with_days(quarantine_days: u32) -> QuarantineConfig {
+        QuarantineConfig {
+            quarantine_days,
+            trigger_faults: 3,
+            trigger_window: SimDuration::from_days(1),
+        }
+    }
+}
+
+/// Result of one quarantine replay.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QuarantineOutcome {
+    pub quarantine_days: u32,
+    /// Faults that still reached the system.
+    pub surviving_faults: u64,
+    /// Faults absorbed while their node was quarantined.
+    pub prevented_faults: u64,
+    /// Total node-days spent in quarantine.
+    pub node_days_quarantined: u64,
+    /// Number of quarantine entries.
+    pub quarantine_entries: u64,
+    /// System MTBF in hours over the observation span.
+    pub system_mtbf_h: f64,
+    /// Availability loss: quarantined node-days over total node-days.
+    pub availability_loss: f64,
+}
+
+/// The replay simulator.
+pub struct QuarantineSim {
+    /// Observation span (for MTBF) in hours.
+    pub observed_hours: f64,
+    /// Fleet size (for availability accounting).
+    pub fleet_nodes: u32,
+    /// Nodes excluded up front (the permanently failed 02-04).
+    pub exclude: Vec<NodeId>,
+}
+
+impl QuarantineSim {
+    /// Replay `faults` (must be sorted by time) under `cfg`.
+    pub fn run(&self, faults: &[Fault], cfg: &QuarantineConfig) -> QuarantineOutcome {
+        debug_assert!(
+            faults.windows(2).all(|w| w[0].time <= w[1].time),
+            "faults must be time-sorted"
+        );
+        let mut outcome = QuarantineOutcome {
+            quarantine_days: cfg.quarantine_days,
+            surviving_faults: 0,
+            prevented_faults: 0,
+            node_days_quarantined: 0,
+            quarantine_entries: 0,
+            system_mtbf_h: f64::INFINITY,
+            availability_loss: 0.0,
+        };
+        // Per-node state: recent fault times (trigger window) and the
+        // quarantine-release instant, if any.
+        let mut recent: HashMap<u32, Vec<SimTime>> = HashMap::new();
+        let mut released_at: HashMap<u32, SimTime> = HashMap::new();
+
+        for f in faults {
+            if self.exclude.contains(&f.node) {
+                continue;
+            }
+            if let Some(&until) = released_at.get(&f.node.0) {
+                if f.time < until {
+                    outcome.prevented_faults += 1;
+                    continue;
+                }
+            }
+            outcome.surviving_faults += 1;
+            if cfg.quarantine_days == 0 {
+                continue;
+            }
+            let window = recent.entry(f.node.0).or_default();
+            window.push(f.time);
+            window.retain(|&t| f.time - t <= cfg.trigger_window);
+            if window.len() as u32 > cfg.trigger_faults {
+                released_at.insert(
+                    f.node.0,
+                    f.time + SimDuration::from_days(i64::from(cfg.quarantine_days)),
+                );
+                window.clear();
+                outcome.quarantine_entries += 1;
+                outcome.node_days_quarantined += u64::from(cfg.quarantine_days);
+            }
+        }
+        outcome.system_mtbf_h = mtbf_hours(self.observed_hours, outcome.surviving_faults);
+        let total_node_days = f64::from(self.fleet_nodes) * self.observed_hours / 24.0;
+        outcome.availability_loss = if total_node_days > 0.0 {
+            outcome.node_days_quarantined as f64 / total_node_days
+        } else {
+            0.0
+        };
+        outcome
+    }
+
+    /// The paper's Table II sweep.
+    pub fn sweep(&self, faults: &[Fault], days: &[u32]) -> Vec<QuarantineOutcome> {
+        days.iter()
+            .map(|&d| self.run(faults, &QuarantineConfig::with_days(d)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fault(node: u32, t: i64) -> Fault {
+        Fault {
+            node: NodeId(node),
+            time: SimTime::from_secs(t),
+            vaddr: 0,
+            expected: 0,
+            actual: 1,
+            temp: None,
+            raw_logs: 1,
+        }
+    }
+
+    fn sim() -> QuarantineSim {
+        QuarantineSim {
+            observed_hours: 425.0 * 24.0,
+            fleet_nodes: 945,
+            exclude: vec![],
+        }
+    }
+
+    /// A weak-bit-like stream: one node erroring 12x/day for 100 days.
+    fn weak_stream(node: u32, days: i64) -> Vec<Fault> {
+        let mut out = Vec::new();
+        for d in 0..days {
+            for k in 0..12 {
+                out.push(fault(node, d * 86_400 + k * 7_000));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn zero_quarantine_counts_everything() {
+        let faults = weak_stream(1, 50);
+        let out = sim().run(&faults, &QuarantineConfig::with_days(0));
+        assert_eq!(out.surviving_faults, 600);
+        assert_eq!(out.prevented_faults, 0);
+        assert_eq!(out.node_days_quarantined, 0);
+    }
+
+    #[test]
+    fn quarantine_cuts_errors_by_orders_of_magnitude() {
+        let faults = weak_stream(1, 100);
+        let s = sim();
+        let q0 = s.run(&faults, &QuarantineConfig::with_days(0));
+        let q30 = s.run(&faults, &QuarantineConfig::with_days(30));
+        assert!(
+            q30.surviving_faults * 20 < q0.surviving_faults,
+            "q30 {} vs q0 {}",
+            q30.surviving_faults,
+            q0.surviving_faults
+        );
+        assert_eq!(
+            q0.surviving_faults,
+            q30.surviving_faults + q30.prevented_faults,
+            "fault conservation"
+        );
+        assert!(q30.system_mtbf_h > q0.system_mtbf_h * 20.0);
+    }
+
+    #[test]
+    fn longer_quarantine_never_lets_more_errors_through() {
+        let faults = weak_stream(1, 120);
+        let s = sim();
+        let outcomes = s.sweep(&faults, &[0, 5, 10, 15, 20, 25, 30]);
+        for w in outcomes.windows(2) {
+            assert!(
+                w[1].surviving_faults <= w[0].surviving_faults,
+                "monotone errors: {:?}",
+                outcomes.iter().map(|o| o.surviving_faults).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn availability_loss_is_small() {
+        let faults = weak_stream(1, 100);
+        let out = sim().run(&faults, &QuarantineConfig::with_days(30));
+        // One node cycling through quarantine costs well under 1% of a
+        // 945-node fleet (paper: < 0.1%).
+        assert!(out.availability_loss < 0.001, "{}", out.availability_loss);
+        assert_eq!(
+            out.node_days_quarantined,
+            out.quarantine_entries * 30
+        );
+    }
+
+    #[test]
+    fn excluded_node_invisible() {
+        let faults = weak_stream(7, 50);
+        let mut s = sim();
+        s.exclude = vec![NodeId(7)];
+        let out = s.run(&faults, &QuarantineConfig::with_days(5));
+        assert_eq!(out.surviving_faults, 0);
+        assert_eq!(out.prevented_faults, 0);
+        assert_eq!(out.quarantine_entries, 0);
+    }
+
+    #[test]
+    fn trigger_requires_burst_within_window() {
+        // One fault per week never triggers quarantine.
+        let faults: Vec<Fault> = (0..20).map(|w| fault(1, w * 7 * 86_400)).collect();
+        let out = sim().run(&faults, &QuarantineConfig::with_days(10));
+        assert_eq!(out.quarantine_entries, 0);
+        assert_eq!(out.surviving_faults, 20);
+    }
+
+    #[test]
+    fn independent_nodes_quarantined_independently() {
+        let mut faults = weak_stream(1, 30);
+        faults.extend(weak_stream(2, 30));
+        faults.sort_by_key(|f| f.time);
+        let out = sim().run(&faults, &QuarantineConfig::with_days(10));
+        assert!(out.quarantine_entries >= 2, "both nodes trigger");
+    }
+
+    #[test]
+    fn table_ii_shape() {
+        // The full Table II shape on a synthetic two-hot-node stream:
+        // errors collapse, node-days stay bounded, MTBF climbs by
+        // orders of magnitude.
+        let mut faults = weak_stream(1, 150);
+        faults.extend(weak_stream(2, 80));
+        faults.sort_by_key(|f| f.time);
+        let s = sim();
+        let sweep = s.sweep(&faults, &[0, 5, 10, 15, 20, 25, 30]);
+        assert!(sweep[0].system_mtbf_h < 5.0);
+        let last = sweep.last().unwrap();
+        assert!(last.system_mtbf_h > 100.0 * sweep[0].system_mtbf_h / 50.0);
+        assert!(last.node_days_quarantined < 2_000);
+        assert!(last.availability_loss < 0.005);
+    }
+}

@@ -1,0 +1,146 @@
+//! Memory-scrubbing study.
+//!
+//! On a SECDED-protected machine, a single-bit error is harmless *until a
+//! second error lands in the same word before the first is corrected*.
+//! Scrubbing — periodically sweeping memory, correcting single-bit errors —
+//! bounds that accumulation window. The paper's raw-error data lets us ask
+//! directly: given the observed single-bit fault rate, how often would two
+//! independent faults have shared a word within one scrub interval?
+//!
+//! Two tools:
+//!
+//! - [`accumulation_probability`]: the analytic birthday-style model — the
+//!   probability that some word collects two independent single-bit faults
+//!   within a scrub interval, given a fault rate and memory size;
+//! - [`simulate_scrubbing`]: a replay over an actual fault stream, counting
+//!   the double-fault words that a given scrub interval would have allowed.
+
+use std::collections::HashMap;
+
+use uc_analysis::fault::Fault;
+use uc_simclock::SimDuration;
+
+/// Probability that at least one of `words` memory words collects >= 2 of
+/// the `faults_per_hour * interval_h` uniformly-placed single-bit faults
+/// (birthday approximation; exact enough for k << words).
+pub fn accumulation_probability(words: f64, faults_per_hour: f64, interval_h: f64) -> f64 {
+    assert!(words > 0.0 && faults_per_hour >= 0.0 && interval_h >= 0.0);
+    let k = faults_per_hour * interval_h;
+    // P(collision) ~ 1 - exp(-k^2 / (2 words)).
+    1.0 - (-k * k / (2.0 * words)).exp()
+}
+
+/// Result of a scrubbing replay.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScrubOutcome {
+    /// Words that collected >= 2 distinct faults within one scrub interval
+    /// — the uncorrectable-accumulation events scrubbing failed to prevent.
+    pub accumulated_words: u64,
+    /// Faults cleaned by a scrub pass before a second fault arrived.
+    pub scrubbed_in_time: u64,
+}
+
+/// Replay a time-sorted fault stream against a scrub interval: each fault
+/// marks its (node, word); if another fault hits the same word before the
+/// next scrub boundary clears it, that word accumulated.
+pub fn simulate_scrubbing(faults: &[Fault], interval: SimDuration) -> ScrubOutcome {
+    assert!(interval.as_secs() > 0, "scrub interval must be positive");
+    debug_assert!(faults.windows(2).all(|w| w[0].time <= w[1].time));
+    let mut out = ScrubOutcome::default();
+    // (node, word address) -> scrub-epoch of the last fault.
+    let mut last_epoch: HashMap<(u32, u64), i64> = HashMap::new();
+    for f in faults {
+        let epoch = f.time.as_secs().div_euclid(interval.as_secs());
+        let key = (f.node.0, f.vaddr / 4);
+        match last_epoch.insert(key, epoch) {
+            Some(prev) if prev == epoch => out.accumulated_words += 1,
+            Some(_) => out.scrubbed_in_time += 1,
+            None => {}
+        }
+    }
+    out
+}
+
+/// Sweep scrub intervals (hours) over a fault stream.
+pub fn scrub_sweep(faults: &[Fault], intervals_h: &[i64]) -> Vec<(i64, ScrubOutcome)> {
+    intervals_h
+        .iter()
+        .map(|&h| (h, simulate_scrubbing(faults, SimDuration::from_hours(h))))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uc_cluster::NodeId;
+    use uc_simclock::SimTime;
+
+    fn fault(node: u32, t_h: i64, word: u64) -> Fault {
+        Fault {
+            node: NodeId(node),
+            time: SimTime::from_secs(t_h * 3_600),
+            vaddr: word * 4,
+            expected: 0xFFFF_FFFF,
+            actual: 0xFFFF_FFFE,
+            temp: None,
+            raw_logs: 1,
+        }
+    }
+
+    #[test]
+    fn analytic_model_basics() {
+        // No faults: no collision. Huge rate: certainty.
+        assert_eq!(accumulation_probability(1e9, 0.0, 24.0), 0.0);
+        assert!(accumulation_probability(1e3, 1e4, 24.0) > 0.999);
+        // Monotone in interval length.
+        let words = 8e8; // a 3 GB allocation
+        let p1 = accumulation_probability(words, 0.5, 1.0);
+        let p24 = accumulation_probability(words, 0.5, 24.0);
+        assert!(p24 > p1);
+        // At the paper's background rates the probability is tiny — the
+        // real risk is the multi-word simultaneity, not accumulation.
+        assert!(p24 < 1e-3, "p24 {p24}");
+    }
+
+    #[test]
+    fn replay_counts_same_epoch_repeats() {
+        // Two faults on the same word 1 h apart: accumulated under a 24 h
+        // scrub, prevented under a finer-grained boundary... note epochs
+        // are wall-aligned, so pick times within one epoch.
+        let faults = vec![fault(1, 1, 100), fault(1, 2, 100)];
+        let day = simulate_scrubbing(&faults, SimDuration::from_hours(24));
+        assert_eq!(day.accumulated_words, 1);
+        assert_eq!(day.scrubbed_in_time, 0);
+        let hourly = simulate_scrubbing(&faults, SimDuration::from_hours(1));
+        assert_eq!(hourly.accumulated_words, 0);
+        assert_eq!(hourly.scrubbed_in_time, 1);
+    }
+
+    #[test]
+    fn distinct_words_never_accumulate() {
+        let faults = vec![fault(1, 1, 100), fault(1, 1, 101), fault(2, 1, 100)];
+        let out = simulate_scrubbing(&faults, SimDuration::from_hours(24));
+        assert_eq!(out.accumulated_words, 0);
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_accumulation() {
+        // A weak-bit style repeater: same word every 2 h.
+        let faults: Vec<Fault> = (0..100).map(|k| fault(1, k * 2, 55)).collect();
+        let sweep = scrub_sweep(&faults, &[1, 4, 12, 48]);
+        for w in sweep.windows(2) {
+            assert!(
+                w[0].1.accumulated_words <= w[1].1.accumulated_words,
+                "finer scrubbing never accumulates more"
+            );
+        }
+        assert_eq!(sweep[0].1.accumulated_words, 0, "1 h scrub beats 2 h cadence");
+        assert!(sweep[3].1.accumulated_words > 50, "48 h scrub loses");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        simulate_scrubbing(&[], SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,28 @@
+//! # uc-sched — the job scheduler that opens scan windows
+//!
+//! The paper's scanner only runs while a node is *idle*: the scheduler's
+//! epilogue script starts it when a job finishes, and the prologue script
+//! SIGTERMs it when the next job arrives. The scan-hour record (Figs. 1, 2
+//! and 9) is therefore shaped by the machine's utilization — the paper
+//! notes "large periods of intense memory scanning in August, September and
+//! December which seem to coincide with the low activity periods of
+//! academic vacations" and lower scanning April-July.
+//!
+//! This crate models that pipeline:
+//!
+//! - [`LoadModel`]: per-day scan-fraction driven by an academic calendar
+//!   (vacation peaks, end-of-academic-year trough, weekend lift);
+//! - [`planner`]: an alternating busy/idle renewal process per node,
+//!   yielding [`ScanSession`] windows with the paper's operational noise —
+//!   allocation shrink from leaked memory (3 GB minus a multiple of 10 MB),
+//!   outright allocation failures, hard reboots that swallow the END record
+//!   (counted as zero monitored hours, the paper's conservative rule), and
+//!   availability blackouts (the overheating SoC-12 position, blade 33).
+
+pub mod load;
+pub mod planner;
+
+pub use load::LoadModel;
+pub use planner::{
+    NodePlan, ScanSession, SchedConfig, SessionTermination, TEN_MB,
+};

@@ -1,0 +1,136 @@
+//! The academic-calendar load model.
+//!
+//! Returns, for each civil day, the expected fraction of the day a node
+//! spends idle-and-scanning. Calibrated so that (a) the study-wide average
+//! puts most nodes near 5000 scan hours (Fig. 1), (b) August / September /
+//! December show intense scanning, and (c) April-July is the trough
+//! (Fig. 9).
+
+use uc_simclock::calendar::CivilDate;
+
+/// Per-day scan-fraction model.
+#[derive(Clone, Debug)]
+pub struct LoadModel {
+    /// Baseline idle (scanning) fraction of a node-day.
+    pub base_fraction: f64,
+    /// Added during academic vacation periods.
+    pub vacation_boost: f64,
+    /// Subtracted during the busy end of the academic year (April-July).
+    pub busy_penalty: f64,
+    /// Added on Saturdays and Sundays.
+    pub weekend_boost: f64,
+}
+
+impl Default for LoadModel {
+    fn default() -> Self {
+        LoadModel {
+            base_fraction: 0.53,
+            vacation_boost: 0.27,
+            busy_penalty: 0.17,
+            weekend_boost: 0.08,
+        }
+    }
+}
+
+impl LoadModel {
+    /// Whether the date falls in an academic vacation window: August,
+    /// September, or mid-December to the first week of January.
+    pub fn is_vacation(date: CivilDate) -> bool {
+        match date.month {
+            8 | 9 => true,
+            12 => date.day >= 15,
+            1 => date.day <= 7,
+            _ => false,
+        }
+    }
+
+    /// Whether the date falls in the busy end of the academic year.
+    pub fn is_busy_season(date: CivilDate) -> bool {
+        matches!(date.month, 4..=7)
+    }
+
+    /// Expected scanning fraction of the day, in [0.05, 0.95].
+    pub fn scan_fraction(&self, date: CivilDate) -> f64 {
+        let mut f = self.base_fraction;
+        if Self::is_vacation(date) {
+            f += self.vacation_boost;
+        } else if Self::is_busy_season(date) {
+            f -= self.busy_penalty;
+        }
+        if date.weekday() >= 5 {
+            f += self.weekend_boost;
+        }
+        f.clamp(0.05, 0.95)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(y: i32, m: u8, day: u8) -> CivilDate {
+        CivilDate::new(y, m, day)
+    }
+
+    #[test]
+    fn vacation_windows() {
+        assert!(LoadModel::is_vacation(d(2015, 8, 10)));
+        assert!(LoadModel::is_vacation(d(2015, 9, 1)));
+        assert!(LoadModel::is_vacation(d(2015, 12, 20)));
+        assert!(LoadModel::is_vacation(d(2016, 1, 3)));
+        assert!(!LoadModel::is_vacation(d(2015, 12, 10)));
+        assert!(!LoadModel::is_vacation(d(2016, 1, 20)));
+        assert!(!LoadModel::is_vacation(d(2015, 5, 10)));
+    }
+
+    #[test]
+    fn busy_season_windows() {
+        for m in 4..=7 {
+            assert!(LoadModel::is_busy_season(d(2015, m, 15)));
+        }
+        assert!(!LoadModel::is_busy_season(d(2015, 3, 15)));
+        assert!(!LoadModel::is_busy_season(d(2015, 8, 15)));
+    }
+
+    #[test]
+    fn august_scans_more_than_may() {
+        let m = LoadModel::default();
+        // Compare same weekday: 2015-08-05 and 2015-05-06 are Wednesdays.
+        let aug = m.scan_fraction(d(2015, 8, 5));
+        let may = m.scan_fraction(d(2015, 5, 6));
+        assert!(aug > may + 0.3, "august {aug} vs may {may}");
+    }
+
+    #[test]
+    fn weekends_scan_more() {
+        let m = LoadModel::default();
+        let sat = m.scan_fraction(d(2015, 3, 7));
+        let wed = m.scan_fraction(d(2015, 3, 4));
+        assert!(sat > wed);
+    }
+
+    #[test]
+    fn fraction_bounds_hold_all_year() {
+        let m = LoadModel::default();
+        for idx in 0..425 {
+            let date = CivilDate::from_day_index(idx);
+            let f = m.scan_fraction(date);
+            assert!((0.05..=0.95).contains(&f), "{date}: {f}");
+        }
+    }
+
+    #[test]
+    fn yearly_average_supports_5000_hours() {
+        // 5000 h over the 394-day window needs a mean fraction near 0.53.
+        let m = LoadModel::default();
+        let total: f64 = (31..(31 + 394))
+            .map(|idx| m.scan_fraction(CivilDate::from_day_index(idx)))
+            .sum();
+        let mean = total / 394.0;
+        let hours = mean * 394.0 * 24.0;
+        assert!(
+            (4_500.0..=6_000.0).contains(&hours),
+            "mean {mean} => {hours} scan hours"
+        );
+    }
+}

@@ -1,0 +1,470 @@
+//! Per-node scan-session planning.
+//!
+//! Each node alternates between running jobs (busy) and idling; every idle
+//! gap hosts one scan session, terminated by the next job's prologue
+//! (SIGTERM -> clean END record) or, rarely, by a hard reboot that swallows
+//! the END record. The busy/idle renewal process is tuned so the fraction
+//! of each day spent scanning tracks [`crate::LoadModel`].
+
+use uc_cluster::{NodeId, OVERHEATING_SOC, SHUTDOWN_BLADE};
+use uc_simclock::calendar::CivilDate;
+use uc_simclock::dist::{exponential, geometric};
+use uc_simclock::rng::{StreamRng, StreamTag};
+use uc_simclock::{SimDuration, SimTime, STUDY_END, STUDY_START};
+
+use crate::load::LoadModel;
+
+/// 10 MB: the scanner's allocation-shrink step when a leak blocks the full
+/// 3 GB request.
+pub const TEN_MB: u64 = 10 * 1024 * 1024;
+
+/// How a scan session ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SessionTermination {
+    /// Prologue SIGTERM: an END record is written.
+    Clean,
+    /// Node was hard-rebooted: no END record; the paper's accounting
+    /// conservatively counts such sessions as zero monitored hours.
+    HardReboot,
+}
+
+/// One scan session on one node.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScanSession {
+    pub node: NodeId,
+    pub start: SimTime,
+    pub end: SimTime,
+    /// Bytes the scanner managed to allocate.
+    pub alloc_bytes: u64,
+    pub termination: SessionTermination,
+}
+
+impl ScanSession {
+    /// Wall duration of the session.
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+
+    /// Monitored hours under the paper's conservative accounting: hard
+    /// reboots contribute zero because the operator cannot know when the
+    /// reboot happened from a START/START log pair.
+    pub fn monitored_hours(&self) -> f64 {
+        match self.termination {
+            SessionTermination::Clean => self.duration().as_hours_f64(),
+            SessionTermination::HardReboot => 0.0,
+        }
+    }
+
+    /// Terabyte-hours of memory scanned in this session (zero for hard
+    /// reboots, consistent with [`ScanSession::monitored_hours`]).
+    pub fn terabyte_hours(&self) -> f64 {
+        self.monitored_hours() * self.alloc_bytes as f64 / (1u64 << 40) as f64
+    }
+}
+
+/// The full plan for one node.
+#[derive(Clone, Debug, Default)]
+pub struct NodePlan {
+    pub sessions: Vec<ScanSession>,
+    /// Instants where even the minimum allocation failed (separate log).
+    pub alloc_failures: Vec<SimTime>,
+}
+
+impl NodePlan {
+    pub fn total_monitored_hours(&self) -> f64 {
+        self.sessions.iter().map(ScanSession::monitored_hours).sum()
+    }
+
+    pub fn total_terabyte_hours(&self) -> f64 {
+        self.sessions.iter().map(ScanSession::terabyte_hours).sum()
+    }
+
+    /// The session (if any) covering instant `t`.
+    pub fn session_at(&self, t: SimTime) -> Option<&ScanSession> {
+        // Sessions are in time order; binary search by start.
+        let idx = self.sessions.partition_point(|s| s.start <= t);
+        idx.checked_sub(1)
+            .map(|i| &self.sessions[i])
+            .filter(|s| t < s.end)
+    }
+}
+
+/// Scheduler configuration.
+#[derive(Clone, Debug)]
+pub struct SchedConfig {
+    pub start: SimTime,
+    pub end: SimTime,
+    /// Mean idle-gap (scan session) length in hours.
+    pub mean_idle_hours: f64,
+    /// Probability a session starts with leaked memory forcing a shrink.
+    pub leak_prob: f64,
+    /// Given a leak, the geometric step parameter for how many 10 MB steps
+    /// are lost (success probability; smaller => bigger leaks).
+    pub leak_step_p: f64,
+    /// Probability an idle window produces a total allocation failure.
+    pub allocfail_prob: f64,
+    /// Probability a session terminates by hard reboot instead of SIGTERM.
+    pub hard_reboot_prob: f64,
+    /// Power-off date for the overheating SoC-12 position, if any.
+    pub soc12_shutdown: Option<SimTime>,
+    /// Blackout window for the failed blade ("blade 33").
+    pub blade33_blackout: Option<(SimTime, SimTime)>,
+    /// Extra per-node blackouts, e.g. the hot node 02-04's monitoring gaps
+    /// in late November / December (paper Fig. 12: "no memory monitoring
+    /// was done on that node during those dates").
+    pub per_node_blackouts: Vec<(NodeId, SimTime, SimTime)>,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            start: STUDY_START,
+            end: STUDY_END,
+            mean_idle_hours: 6.0,
+            leak_prob: 0.10,
+            leak_step_p: 0.25,
+            allocfail_prob: 0.002,
+            hard_reboot_prob: 0.004,
+            soc12_shutdown: Some(CivilDate::new(2015, 6, 15).midnight()),
+            blade33_blackout: Some((
+                CivilDate::new(2015, 10, 1).midnight(),
+                CivilDate::new(2016, 3, 1).midnight(),
+            )),
+            per_node_blackouts: Vec::new(),
+        }
+    }
+}
+
+impl SchedConfig {
+    /// Availability blackouts for a node: intervals when it is powered off.
+    pub fn blackouts(&self, node: NodeId) -> Vec<(SimTime, SimTime)> {
+        let mut out = Vec::new();
+        if node.soc() == OVERHEATING_SOC {
+            if let Some(cutoff) = self.soc12_shutdown {
+                out.push((cutoff, self.end));
+            }
+        }
+        if node.blade().0 == SHUTDOWN_BLADE {
+            if let Some(w) = self.blade33_blackout {
+                out.push(w);
+            }
+        }
+        for &(n, lo, hi) in &self.per_node_blackouts {
+            if n == node {
+                out.push((lo, hi));
+            }
+        }
+        out
+    }
+
+    fn in_blackout(blackouts: &[(SimTime, SimTime)], t: SimTime) -> Option<SimTime> {
+        blackouts
+            .iter()
+            .find(|(lo, hi)| t >= *lo && t < *hi)
+            .map(|&(_, hi)| hi)
+    }
+
+    /// Plan all scan sessions for a node over the configured period.
+    ///
+    /// The busy/idle renewal process: idle gaps are exponential with mean
+    /// `mean_idle_hours`; busy (job) spans are exponential with a mean
+    /// derived from the day's scan fraction `f`:
+    /// `mean_busy = mean_idle * (1 - f) / f`.
+    pub fn plan_node(
+        &self,
+        node: NodeId,
+        load: &LoadModel,
+        campaign_seed: u64,
+    ) -> NodePlan {
+        let mut rng = StreamRng::for_stream(campaign_seed, u64::from(node.0), StreamTag::Scheduler);
+        let blackouts = self.blackouts(node);
+        let mut plan = NodePlan::default();
+        let mut t = self.start;
+        // Stagger the first event so nodes do not phase-lock.
+        t += SimDuration::from_secs_f64(rng.next_f64() * self.mean_idle_hours * 3_600.0);
+
+        while t < self.end {
+            if let Some(until) = Self::in_blackout(&blackouts, t) {
+                t = until;
+                continue;
+            }
+            let f = load.scan_fraction(t.date()).clamp(0.05, 0.95);
+            let mean_busy_h = self.mean_idle_hours * (1.0 - f) / f;
+            // Busy span (job running; no scanning).
+            let busy = exponential(&mut rng, 1.0 / (mean_busy_h * 3_600.0));
+            t += SimDuration::from_secs_f64(busy.min(30.0 * 86_400.0));
+            if t >= self.end {
+                break;
+            }
+            if let Some(until) = Self::in_blackout(&blackouts, t) {
+                t = until;
+                continue;
+            }
+            // Idle gap: one scan session (or an allocation failure).
+            let idle = exponential(&mut rng, 1.0 / (self.mean_idle_hours * 3_600.0));
+            let mut session_end = t + SimDuration::from_secs_f64(idle.min(30.0 * 86_400.0));
+            session_end = session_end.clamp(t, self.end);
+            // Clip to a blackout that begins mid-session.
+            for &(lo, hi) in &blackouts {
+                if t < lo && session_end > lo {
+                    session_end = lo;
+                }
+                let _ = hi;
+            }
+            if (session_end - t).as_secs() < 60 {
+                t = session_end;
+                continue;
+            }
+            if rng.chance(self.allocfail_prob) {
+                plan.alloc_failures.push(t);
+                t = session_end;
+                continue;
+            }
+            let alloc_bytes = if rng.chance(self.leak_prob) {
+                let steps = geometric(&mut rng, self.leak_step_p) + 1;
+                uc_cluster::NODE_SCANNABLE_BYTES.saturating_sub(steps.min(200) * TEN_MB)
+            } else {
+                uc_cluster::NODE_SCANNABLE_BYTES
+            };
+            let termination = if rng.chance(self.hard_reboot_prob) {
+                SessionTermination::HardReboot
+            } else {
+                SessionTermination::Clean
+            };
+            plan.sessions.push(ScanSession {
+                node,
+                start: t,
+                end: session_end,
+                alloc_bytes,
+                termination,
+            });
+            t = session_end;
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use uc_cluster::BladeId;
+
+    fn node(blade: u32, soc: u32) -> NodeId {
+        NodeId::new(BladeId(blade), soc)
+    }
+
+    fn plan(n: NodeId) -> NodePlan {
+        SchedConfig::default().plan_node(n, &LoadModel::default(), 42)
+    }
+
+    #[test]
+    fn sessions_are_ordered_and_disjoint() {
+        let p = plan(node(5, 5));
+        assert!(!p.sessions.is_empty());
+        for w in p.sessions.windows(2) {
+            assert!(w[0].end <= w[1].start, "sessions overlap");
+        }
+        for s in &p.sessions {
+            assert!(s.start < s.end);
+            assert!(s.start >= STUDY_START && s.end <= STUDY_END);
+        }
+    }
+
+    #[test]
+    fn typical_node_gets_about_5000_hours() {
+        // Average over several nodes to smooth the renewal noise.
+        let mut total = 0.0;
+        let nodes = 12;
+        for b in 0..nodes {
+            total += plan(node(b, 4)).total_monitored_hours();
+        }
+        let mean = total / f64::from(nodes);
+        assert!(
+            (4_000.0..=6_200.0).contains(&mean),
+            "mean monitored hours {mean}, paper: ~5000"
+        );
+    }
+
+    #[test]
+    fn typical_node_scans_about_15_terabyte_hours() {
+        let mut total = 0.0;
+        let nodes = 12;
+        for b in 0..nodes {
+            total += plan(node(b, 4)).total_terabyte_hours();
+        }
+        let mean = total / f64::from(nodes);
+        assert!(
+            (11.0..=18.5).contains(&mean),
+            "mean TBh {mean}, paper: ~15"
+        );
+    }
+
+    #[test]
+    fn soc12_stops_scanning_after_shutdown() {
+        let p = plan(node(20, OVERHEATING_SOC));
+        let cutoff = CivilDate::new(2015, 6, 15).midnight();
+        assert!(p.sessions.iter().all(|s| s.end <= cutoff));
+        assert!(
+            p.total_monitored_hours() < 3_500.0,
+            "overheating position is scanned much less"
+        );
+    }
+
+    #[test]
+    fn blade33_blackout_respected() {
+        let p = plan(node(SHUTDOWN_BLADE, 3));
+        let (lo, hi) = SchedConfig::default().blade33_blackout.unwrap();
+        for s in &p.sessions {
+            assert!(s.end <= lo || s.start >= hi, "session inside blackout");
+        }
+    }
+
+    #[test]
+    fn hard_reboots_counted_as_zero_hours() {
+        let s = ScanSession {
+            node: node(0, 1),
+            start: SimTime::from_secs(0),
+            end: SimTime::from_secs(7_200),
+            alloc_bytes: uc_cluster::NODE_SCANNABLE_BYTES,
+            termination: SessionTermination::HardReboot,
+        };
+        assert_eq!(s.monitored_hours(), 0.0);
+        assert_eq!(s.terabyte_hours(), 0.0);
+        let clean = ScanSession {
+            termination: SessionTermination::Clean,
+            ..s
+        };
+        assert!((clean.monitored_hours() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn some_sessions_shrink_allocation() {
+        let mut shrunk = 0;
+        let mut full = 0;
+        for b in 0..10 {
+            for s in &plan(node(b, 2)).sessions {
+                if s.alloc_bytes < uc_cluster::NODE_SCANNABLE_BYTES {
+                    shrunk += 1;
+                    assert_eq!(
+                        (uc_cluster::NODE_SCANNABLE_BYTES - s.alloc_bytes) % TEN_MB,
+                        0,
+                        "shrink is a multiple of 10 MB"
+                    );
+                } else {
+                    full += 1;
+                }
+            }
+        }
+        assert!(shrunk > 0, "some sessions hit leaks");
+        assert!(full > shrunk * 4, "most sessions get the full 3 GB");
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let a = plan(node(3, 3));
+        let b = plan(node(3, 3));
+        assert_eq!(a.sessions, b.sessions);
+        assert_eq!(a.alloc_failures, b.alloc_failures);
+    }
+
+    #[test]
+    fn different_nodes_get_different_plans() {
+        let a = plan(node(3, 3));
+        let b = plan(node(3, 4));
+        assert_ne!(a.sessions, b.sessions);
+    }
+
+    #[test]
+    fn session_at_lookup() {
+        let p = plan(node(1, 1));
+        let s = p.sessions[0];
+        let mid = s.start.midpoint(s.end);
+        assert_eq!(p.session_at(mid).unwrap().start, s.start);
+        assert!(p.session_at(s.start - SimDuration::from_secs(1)).is_none() ||
+                p.session_at(s.start - SimDuration::from_secs(1)).unwrap().end <= s.start);
+        assert!(p.session_at(s.end).map(|x| x.start) != Some(s.start));
+    }
+
+    #[test]
+    fn vacation_days_scan_more_than_busy_days() {
+        // Aggregate hours per day across nodes; compare August vs May.
+        let mut aug = 0.0;
+        let mut may = 0.0;
+        for b in 0..10 {
+            let p = plan(node(b, 7));
+            for s in &p.sessions {
+                let m = s.start.date().month;
+                if m == 8 {
+                    aug += s.monitored_hours();
+                } else if m == 5 {
+                    may += s.monitored_hours();
+                }
+            }
+        }
+        assert!(aug > may * 1.3, "august {aug} vs may {may}");
+    }
+
+    #[test]
+    fn per_node_blackouts_respected() {
+        let target = node(1, 3);
+        let lo = CivilDate::new(2015, 11, 25).midnight();
+        let hi = CivilDate::new(2015, 12, 8).midnight();
+        let cfg = SchedConfig {
+            per_node_blackouts: vec![(target, lo, hi)],
+            ..SchedConfig::default()
+        };
+        let p = cfg.plan_node(target, &LoadModel::default(), 42);
+        for s in &p.sessions {
+            assert!(s.end <= lo || s.start >= hi, "session inside blackout");
+        }
+        // A different node is unaffected by the blackout list.
+        let other = cfg.plan_node(node(1, 4), &LoadModel::default(), 42);
+        assert!(other
+            .sessions
+            .iter()
+            .any(|s| s.start < hi && s.end > lo));
+    }
+
+    #[test]
+    fn occasional_alloc_failures_logged() {
+        let mut fails = 0;
+        for b in 0..30 {
+            fails += plan(node(b, 9)).alloc_failures.len();
+        }
+        assert!(fails > 0, "allocation failures occur at full scale");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn sessions_always_well_formed(seed in any::<u64>(), raw in 0u32..945) {
+            let n = NodeId(raw);
+            let plan = SchedConfig::default().plan_node(n, &LoadModel::default(), seed);
+            for s in &plan.sessions {
+                prop_assert!(s.start < s.end);
+                prop_assert!(s.start >= STUDY_START && s.end <= STUDY_END);
+                prop_assert!(s.alloc_bytes <= uc_cluster::NODE_SCANNABLE_BYTES);
+                prop_assert!((s.end - s.start).as_secs() >= 60);
+            }
+            for w in plan.sessions.windows(2) {
+                prop_assert!(w[0].end <= w[1].start, "sessions are disjoint");
+            }
+            for t in &plan.alloc_failures {
+                prop_assert!(*t >= STUDY_START && *t < STUDY_END);
+            }
+        }
+
+        #[test]
+        fn mean_idle_controls_session_count(seed in 1u64..500) {
+            let short = SchedConfig { mean_idle_hours: 2.0, ..SchedConfig::default() };
+            let long = SchedConfig { mean_idle_hours: 12.0, ..SchedConfig::default() };
+            let n = NodeId(100);
+            let a = short.plan_node(n, &LoadModel::default(), seed);
+            let b = long.plan_node(n, &LoadModel::default(), seed);
+            // Shorter idle gaps mean more, shorter sessions.
+            prop_assert!(a.sessions.len() > b.sessions.len());
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! Civil-date conversions (proleptic Gregorian) and the European
+//! daylight-saving rule.
+//!
+//! Day-index <-> civil-date conversion uses the classic days-from-civil /
+//! civil-from-days algorithms based on 400-year eras. Day index 0 is
+//! 2015-01-01 (the study epoch), which keeps all study timestamps small and
+//! positive.
+//!
+//! Timestamps in the paper's logs are Barcelona wall clock. We model that as
+//! CET (UTC+1) with the EU summer-time rule: clocks advance one hour at
+//! 01:00 UTC on the last Sunday of March and fall back at 01:00 UTC on the
+//! last Sunday of October. [`CivilDateTime::from_sim_time`] applies the rule,
+//! so "hour of day" analyses (paper Figs. 5-6) see the same wall clock the
+//! operators saw.
+
+use core::fmt;
+
+use crate::time::SimTime;
+
+/// Days between 1970-01-01 and 2015-01-01 (the study epoch).
+const EPOCH_OFFSET_1970: i64 = 16_436;
+
+/// A civil (year, month, day) date in the proleptic Gregorian calendar.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CivilDate {
+    pub year: i32,
+    /// 1-based month.
+    pub month: u8,
+    /// 1-based day of month.
+    pub day: u8,
+}
+
+/// A civil date plus wall-clock time of day.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CivilDateTime {
+    pub date: CivilDate,
+    pub hour: u8,
+    pub minute: u8,
+    pub second: u8,
+    /// True if the instant falls in the EU summer-time window (the displayed
+    /// wall clock is standard time + 1h).
+    pub dst: bool,
+}
+
+/// Days from 1970-01-01 to the given civil date (negative before 1970).
+fn days_from_civil_1970(year: i32, month: u8, day: u8) -> i64 {
+    let y = i64::from(year) - i64::from(month <= 2);
+    let era = y.div_euclid(400);
+    let yoe = y - era * 400; // [0, 399]
+    let m = i64::from(month);
+    let d = i64::from(day);
+    let doy = (153 * (m + if m > 2 { -3 } else { 9 }) + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Civil date for the given number of days since 1970-01-01.
+fn civil_from_days_1970(z: i64) -> CivilDate {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    CivilDate {
+        year: (y + i64::from(m <= 2)) as i32,
+        month: m as u8,
+        day: d as u8,
+    }
+}
+
+impl CivilDate {
+    /// Construct a date, panicking if it is not a valid calendar date.
+    pub fn new(year: i32, month: u8, day: u8) -> CivilDate {
+        let date = CivilDate { year, month, day };
+        assert!(date.is_valid(), "invalid civil date {year}-{month}-{day}");
+        date
+    }
+
+    /// Whether `(year, month, day)` names a real calendar day.
+    pub fn is_valid(self) -> bool {
+        (1..=12).contains(&self.month)
+            && self.day >= 1
+            && self.day <= days_in_month(self.year, self.month)
+    }
+
+    /// Day index relative to the study epoch (2015-01-01 = 0).
+    pub fn day_index(self) -> i64 {
+        days_from_civil_1970(self.year, self.month, self.day) - EPOCH_OFFSET_1970
+    }
+
+    /// Inverse of [`CivilDate::day_index`].
+    pub fn from_day_index(idx: i64) -> CivilDate {
+        civil_from_days_1970(idx + EPOCH_OFFSET_1970)
+    }
+
+    /// The [`SimTime`] of this date's local (standard-time) midnight.
+    pub fn midnight(self) -> SimTime {
+        SimTime::from_secs(self.day_index() * 86_400)
+    }
+
+    /// Day of week, 0 = Monday .. 6 = Sunday (ISO).
+    pub fn weekday(self) -> u8 {
+        // 1970-01-01 was a Thursday (ISO index 3).
+        (days_from_civil_1970(self.year, self.month, self.day) + 3).rem_euclid(7) as u8
+    }
+
+    /// 1-based ordinal day of the year.
+    pub fn day_of_year(self) -> u32 {
+        (self.day_index() - CivilDate::new(self.year, 1, 1).day_index() + 1) as u32
+    }
+
+    /// True in years with a February 29.
+    pub fn is_leap_year(year: i32) -> bool {
+        year % 4 == 0 && (year % 100 != 0 || year % 400 == 0)
+    }
+
+    /// The last Sunday of the given month — the EU clock-change anchor.
+    pub fn last_sunday(year: i32, month: u8) -> CivilDate {
+        let last = CivilDate::new(year, month, days_in_month(year, month));
+        let back = (last.weekday() + 7 - 6) % 7; // days since the last Sunday
+        CivilDate::from_day_index(last.day_index() - i64::from(back))
+    }
+}
+
+/// Number of days in a month of a given year.
+pub fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if CivilDate::is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// Whether the EU summer-time offset applies at the given instant.
+///
+/// Summer time runs from 01:00 UTC on the last Sunday of March to 01:00 UTC
+/// on the last Sunday of October. In CET terms the transitions happen at
+/// 02:00 standard time; we evaluate against the standard-time clock that
+/// [`SimTime`] carries.
+pub fn is_dst(t: SimTime) -> bool {
+    let date = t.date();
+    let year = date.year;
+    let start = CivilDate::last_sunday(year, 3).midnight() + crate::SimDuration::from_hours(2);
+    let end = CivilDate::last_sunday(year, 10).midnight() + crate::SimDuration::from_hours(2);
+    t >= start && t < end
+}
+
+impl CivilDateTime {
+    /// Wall-clock (DST-adjusted) date-time of a [`SimTime`].
+    pub fn from_sim_time(t: SimTime) -> CivilDateTime {
+        let dst = is_dst(t);
+        let shifted = if dst {
+            t + crate::SimDuration::from_hours(1)
+        } else {
+            t
+        };
+        let date = shifted.date();
+        let sod = shifted.seconds_of_day();
+        CivilDateTime {
+            date,
+            hour: (sod / 3_600) as u8,
+            minute: ((sod % 3_600) / 60) as u8,
+            second: (sod % 60) as u8,
+            dst,
+        }
+    }
+
+    /// Wall-clock hour of day (`0..24`), as used for the diurnal histograms.
+    pub fn wall_hour(self) -> u32 {
+        u32::from(self.hour)
+    }
+
+    /// The [`SimTime`] this wall-clock reading denotes. Inverse of
+    /// [`CivilDateTime::from_sim_time`] for unambiguous instants.
+    pub fn to_sim_time(self) -> SimTime {
+        let base = self.date.midnight()
+            + crate::SimDuration::from_secs(
+                i64::from(self.hour) * 3_600 + i64::from(self.minute) * 60 + i64::from(self.second),
+            );
+        if self.dst {
+            base - crate::SimDuration::from_hours(1)
+        } else {
+            base
+        }
+    }
+}
+
+impl fmt::Display for CivilDate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+impl fmt::Display for CivilDateTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {:02}:{:02}:{:02}{}",
+            self.date,
+            self.hour,
+            self.minute,
+            self.second,
+            if self.dst { " DST" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{SimDuration, STUDY_EPOCH};
+    use proptest::prelude::*;
+
+    #[test]
+    fn epoch_is_jan_1_2015() {
+        assert_eq!(STUDY_EPOCH.date(), CivilDate::new(2015, 1, 1));
+        assert_eq!(CivilDate::new(2015, 1, 1).day_index(), 0);
+    }
+
+    #[test]
+    fn known_day_indices() {
+        assert_eq!(CivilDate::new(2015, 2, 1).day_index(), 31);
+        assert_eq!(CivilDate::new(2015, 12, 31).day_index(), 364);
+        assert_eq!(CivilDate::new(2016, 1, 1).day_index(), 365);
+        assert_eq!(CivilDate::new(2016, 2, 29).day_index(), 365 + 31 + 28);
+        assert_eq!(CivilDate::new(2016, 3, 1).day_index(), 365 + 31 + 29);
+        assert_eq!(CivilDate::new(2014, 12, 31).day_index(), -1);
+    }
+
+    #[test]
+    fn weekdays_known() {
+        // 2015-01-01 was a Thursday.
+        assert_eq!(CivilDate::new(2015, 1, 1).weekday(), 3);
+        // 2016-02-29 was a Monday.
+        assert_eq!(CivilDate::new(2016, 2, 29).weekday(), 0);
+        // 2015-11-15 was a Sunday.
+        assert_eq!(CivilDate::new(2015, 11, 15).weekday(), 6);
+    }
+
+    #[test]
+    fn leap_year_rule() {
+        assert!(CivilDate::is_leap_year(2016));
+        assert!(!CivilDate::is_leap_year(2015));
+        assert!(!CivilDate::is_leap_year(1900));
+        assert!(CivilDate::is_leap_year(2000));
+    }
+
+    #[test]
+    fn days_in_month_table() {
+        assert_eq!(days_in_month(2015, 2), 28);
+        assert_eq!(days_in_month(2016, 2), 29);
+        assert_eq!(days_in_month(2015, 4), 30);
+        assert_eq!(days_in_month(2015, 12), 31);
+    }
+
+    #[test]
+    fn last_sundays_2015() {
+        // EU clock changes in 2015: March 29 and October 25.
+        assert_eq!(CivilDate::last_sunday(2015, 3), CivilDate::new(2015, 3, 29));
+        assert_eq!(
+            CivilDate::last_sunday(2015, 10),
+            CivilDate::new(2015, 10, 25)
+        );
+        // And in 2016: March 27 / October 30.
+        assert_eq!(CivilDate::last_sunday(2016, 3), CivilDate::new(2016, 3, 27));
+        assert_eq!(
+            CivilDate::last_sunday(2016, 10),
+            CivilDate::new(2016, 10, 30)
+        );
+    }
+
+    #[test]
+    fn dst_window_2015() {
+        let before = CivilDate::new(2015, 3, 29).midnight() + SimDuration::from_hours(1);
+        let after = CivilDate::new(2015, 3, 29).midnight() + SimDuration::from_hours(2);
+        assert!(!is_dst(before));
+        assert!(is_dst(after));
+        let fall_before = CivilDate::new(2015, 10, 25).midnight() + SimDuration::from_hours(1);
+        let fall_after = CivilDate::new(2015, 10, 25).midnight() + SimDuration::from_hours(2);
+        assert!(is_dst(fall_before));
+        assert!(!is_dst(fall_after));
+        assert!(!is_dst(CivilDate::new(2015, 1, 15).midnight()));
+        assert!(is_dst(CivilDate::new(2015, 7, 15).midnight()));
+    }
+
+    #[test]
+    fn wall_clock_shifts_in_summer() {
+        // 12:00 standard time on a July day reads 13:00 on the wall.
+        let t = CivilDate::new(2015, 7, 10).midnight() + SimDuration::from_hours(12);
+        let dt = CivilDateTime::from_sim_time(t);
+        assert_eq!(dt.hour, 13);
+        assert!(dt.dst);
+        assert_eq!(dt.to_sim_time(), t);
+    }
+
+    #[test]
+    fn wall_clock_unshifted_in_winter() {
+        let t = CivilDate::new(2015, 1, 10).midnight() + SimDuration::from_hours(12);
+        let dt = CivilDateTime::from_sim_time(t);
+        assert_eq!(dt.hour, 12);
+        assert!(!dt.dst);
+        assert_eq!(dt.to_sim_time(), t);
+    }
+
+    #[test]
+    fn day_of_year_examples() {
+        assert_eq!(CivilDate::new(2015, 1, 1).day_of_year(), 1);
+        assert_eq!(CivilDate::new(2015, 12, 31).day_of_year(), 365);
+        assert_eq!(CivilDate::new(2016, 12, 31).day_of_year(), 366);
+        assert_eq!(CivilDate::new(2015, 3, 1).day_of_year(), 60);
+    }
+
+    #[test]
+    fn validity_checks() {
+        assert!(CivilDate { year: 2015, month: 2, day: 28 }.is_valid());
+        assert!(!CivilDate { year: 2015, month: 2, day: 29 }.is_valid());
+        assert!(CivilDate { year: 2016, month: 2, day: 29 }.is_valid());
+        assert!(!CivilDate { year: 2015, month: 13, day: 1 }.is_valid());
+        assert!(!CivilDate { year: 2015, month: 0, day: 1 }.is_valid());
+        assert!(!CivilDate { year: 2015, month: 6, day: 31 }.is_valid());
+    }
+
+    proptest! {
+        #[test]
+        fn day_index_roundtrip(idx in -800_000i64..800_000) {
+            let date = CivilDate::from_day_index(idx);
+            prop_assert!(date.is_valid());
+            prop_assert_eq!(date.day_index(), idx);
+        }
+
+        #[test]
+        fn civil_roundtrip(year in 1600i32..2400, month in 1u8..=12, day in 1u8..=28) {
+            let date = CivilDate::new(year, month, day);
+            prop_assert_eq!(CivilDate::from_day_index(date.day_index()), date);
+        }
+
+        #[test]
+        fn consecutive_days_differ_by_one(idx in -800_000i64..800_000) {
+            let a = CivilDate::from_day_index(idx);
+            let b = CivilDate::from_day_index(idx + 1);
+            prop_assert_eq!(b.day_index() - a.day_index(), 1);
+            prop_assert_eq!((a.weekday() + 1) % 7, b.weekday());
+        }
+
+        #[test]
+        fn wall_clock_roundtrip(secs in 0i64..(420 * 86_400)) {
+            let t = SimTime::from_secs(secs);
+            let dt = CivilDateTime::from_sim_time(t);
+            prop_assert_eq!(dt.to_sim_time(), t);
+        }
+    }
+}

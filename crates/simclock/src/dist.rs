@@ -1,0 +1,292 @@
+//! Random distributions built on [`crate::rng::StreamRng`].
+//!
+//! The fault and scheduler models need exponential inter-arrival times,
+//! Poisson counts, and Gaussian noise. These are implemented from scratch:
+//!
+//! - exponential: inverse-CDF transform,
+//! - normal: Marsaglia's polar method,
+//! - Poisson: Knuth's product method for small means, and for large means a
+//!   normal approximation with continuity correction (accurate to well under
+//!   a percent for the means the campaign uses, and monotone in the mean),
+//! - geometric, and discrete sampling by cumulative weights.
+
+use crate::rng::StreamRng;
+
+/// Exponential variate with the given rate (events per unit time).
+/// Returns `+inf` if `rate <= 0` (a process that never fires).
+#[inline]
+pub fn exponential(rng: &mut StreamRng, rate: f64) -> f64 {
+    if rate <= 0.0 {
+        return f64::INFINITY;
+    }
+    -rng.next_f64_open().ln() / rate
+}
+
+/// Standard normal variate (Marsaglia polar method). One value per call; the
+/// second root is deliberately discarded to keep the stream consumption
+/// independent of call sites caching state.
+pub fn standard_normal(rng: &mut StreamRng) -> f64 {
+    loop {
+        let u = 2.0 * rng.next_f64() - 1.0;
+        let v = 2.0 * rng.next_f64() - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Normal variate with the given mean and standard deviation.
+#[inline]
+pub fn normal(rng: &mut StreamRng, mean: f64, sd: f64) -> f64 {
+    mean + sd * standard_normal(rng)
+}
+
+/// Poisson count with the given mean.
+pub fn poisson(rng: &mut StreamRng, mean: f64) -> u64 {
+    assert!(mean >= 0.0 && mean.is_finite(), "poisson mean {mean}");
+    if mean == 0.0 {
+        0
+    } else if mean < 30.0 {
+        poisson_knuth(rng, mean)
+    } else {
+        // Normal approximation with continuity correction; error < 0.5% at
+        // mean 30 and shrinking as the mean grows.
+        let x = normal(rng, mean, mean.sqrt());
+        (x + 0.5).max(0.0) as u64
+    }
+}
+
+fn poisson_knuth(rng: &mut StreamRng, mean: f64) -> u64 {
+    let l = (-mean).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.next_f64_open();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Geometric count: number of Bernoulli(p) failures before the first success.
+/// Panics if `p` is outside `(0, 1]`.
+pub fn geometric(rng: &mut StreamRng, p: f64) -> u64 {
+    assert!(p > 0.0 && p <= 1.0, "geometric p {p}");
+    if p >= 1.0 {
+        return 0;
+    }
+    let u = rng.next_f64_open();
+    (u.ln() / (1.0 - p).ln()).floor() as u64
+}
+
+/// Sample an index from non-negative weights, proportional to weight.
+/// Panics if the weights are empty or all zero.
+pub fn weighted_index(rng: &mut StreamRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weighted_index needs positive total weight");
+    let mut target = rng.next_f64() * total;
+    for (i, w) in weights.iter().enumerate() {
+        target -= w;
+        if target < 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1 // numerical fallback
+}
+
+/// Draw the arrival times of a *non-homogeneous* Poisson process on
+/// `[t0, t1)` by thinning: `rate(t)` must be bounded above by `max_rate`.
+/// Returns times in increasing order. Used for solar-modulated cosmic
+/// strikes, where the rate follows the neutron flux.
+pub fn thinned_poisson_times(
+    rng: &mut StreamRng,
+    t0: f64,
+    t1: f64,
+    max_rate: f64,
+    mut rate: impl FnMut(f64) -> f64,
+) -> Vec<f64> {
+    let mut out = Vec::new();
+    if max_rate <= 0.0 || t1 <= t0 {
+        return out;
+    }
+    let mut t = t0;
+    loop {
+        t += exponential(rng, max_rate);
+        if t >= t1 {
+            return out;
+        }
+        let r = rate(t);
+        debug_assert!(
+            r <= max_rate * (1.0 + 1e-9),
+            "rate {r} exceeds the stated bound {max_rate}"
+        );
+        if rng.next_f64() * max_rate < r {
+            out.push(t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rng(seed: u64) -> StreamRng {
+        StreamRng::from_seed(seed)
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut r = rng(1);
+        let rate = 0.25;
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| exponential(&mut r, rate)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 4.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_zero_rate_never_fires() {
+        let mut r = rng(2);
+        assert!(exponential(&mut r, 0.0).is_infinite());
+        assert!(exponential(&mut r, -1.0).is_infinite());
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng(3);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut r, 10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.03, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn poisson_small_mean_moments() {
+        let mut r = rng(4);
+        let n = 100_000;
+        let mean_target = 3.7;
+        let sum: u64 = (0..n).map(|_| poisson(&mut r, mean_target)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - mean_target).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_mean_moments() {
+        let mut r = rng(5);
+        let n = 50_000;
+        let mean_target = 250.0;
+        let xs: Vec<u64> = (0..n).map(|_| poisson(&mut r, mean_target)).collect();
+        let mean = xs.iter().sum::<u64>() as f64 / n as f64;
+        let var = xs
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - mean_target).abs() < 1.0, "mean {mean}");
+        // Poisson variance == mean.
+        assert!((var - mean_target).abs() < 10.0, "var {var}");
+    }
+
+    #[test]
+    fn poisson_zero_mean_is_zero() {
+        let mut r = rng(6);
+        for _ in 0..100 {
+            assert_eq!(poisson(&mut r, 0.0), 0);
+        }
+    }
+
+    #[test]
+    fn geometric_mean() {
+        let mut r = rng(7);
+        let p = 0.2;
+        let n = 100_000;
+        let sum: u64 = (0..n).map(|_| geometric(&mut r, p)).sum();
+        let mean = sum as f64 / n as f64;
+        // E[failures before success] = (1-p)/p = 4.
+        assert!((mean - 4.0).abs() < 0.08, "mean {mean}");
+    }
+
+    #[test]
+    fn geometric_p_one_is_zero() {
+        let mut r = rng(8);
+        assert_eq!(geometric(&mut r, 1.0), 0);
+    }
+
+    #[test]
+    fn weighted_index_proportions() {
+        let mut r = rng(9);
+        let weights = [1.0, 3.0, 6.0];
+        let mut counts = [0u32; 3];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[weighted_index(&mut r, &weights)] += 1;
+        }
+        assert!((f64::from(counts[0]) / n as f64 - 0.1).abs() < 0.01);
+        assert!((f64::from(counts[1]) / n as f64 - 0.3).abs() < 0.01);
+        assert!((f64::from(counts[2]) / n as f64 - 0.6).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn weighted_index_all_zero_panics() {
+        weighted_index(&mut rng(10), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn thinned_process_rate_matches_constant() {
+        let mut r = rng(11);
+        // Constant rate: thinning degenerates to a plain Poisson process.
+        let times = thinned_poisson_times(&mut r, 0.0, 10_000.0, 0.5, |_| 0.5);
+        let rate = times.len() as f64 / 10_000.0;
+        assert!((rate - 0.5).abs() < 0.02, "rate {rate}");
+        assert!(times.windows(2).all(|w| w[0] < w[1]), "times sorted");
+    }
+
+    #[test]
+    fn thinned_process_modulation_shapes_counts() {
+        let mut r = rng(12);
+        // Rate is 1.0 on the first half of each unit interval, 0 on the rest.
+        let times =
+            thinned_poisson_times(&mut r, 0.0, 50_000.0, 1.0, |t| if t.fract() < 0.5 { 1.0 } else { 0.0 });
+        let in_active: usize = times.iter().filter(|t| t.fract() < 0.5).count();
+        assert_eq!(in_active, times.len(), "no events in zero-rate windows");
+        let rate = times.len() as f64 / 50_000.0;
+        assert!((rate - 0.5).abs() < 0.02, "overall rate {rate}");
+    }
+
+    #[test]
+    fn thinned_process_empty_interval() {
+        let mut r = rng(13);
+        assert!(thinned_poisson_times(&mut r, 5.0, 5.0, 1.0, |_| 1.0).is_empty());
+        assert!(thinned_poisson_times(&mut r, 0.0, 10.0, 0.0, |_| 0.0).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn exponential_nonnegative(seed in any::<u64>(), rate in 0.001f64..100.0) {
+            let mut r = rng(seed);
+            for _ in 0..20 {
+                prop_assert!(exponential(&mut r, rate) >= 0.0);
+            }
+        }
+
+        #[test]
+        fn poisson_nonnegative_finite(seed in any::<u64>(), mean in 0.0f64..500.0) {
+            let mut r = rng(seed);
+            let x = poisson(&mut r, mean);
+            prop_assert!(x < 10_000); // sanity: far above any plausible draw
+        }
+
+        #[test]
+        fn weighted_index_in_bounds(seed in any::<u64>(), n in 1usize..20) {
+            let weights: Vec<f64> = (0..n).map(|i| (i + 1) as f64).collect();
+            let mut r = rng(seed);
+            prop_assert!(weighted_index(&mut r, &weights) < n);
+        }
+    }
+}

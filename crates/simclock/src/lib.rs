@@ -1,0 +1,37 @@
+//! # uc-simclock — simulation time, calendars, solar geometry and randomness
+//!
+//! Foundation crate for the Unprotected Computing reproduction. It provides:
+//!
+//! - [`SimTime`] / [`SimDuration`]: a second-resolution virtual clock anchored
+//!   at the study epoch (2015-01-01 00:00:00 local standard time, Barcelona).
+//! - [`calendar`]: proleptic-Gregorian civil-date conversions, day-of-year /
+//!   hour-of-day helpers, and the European daylight-saving rule, so that log
+//!   timestamps carry the same "wall clock in Barcelona" semantics as the
+//!   paper's log files.
+//! - [`solar`]: a solar-position model (declination, hour angle, elevation)
+//!   for an arbitrary site, used by the neutron-flux model that drives the
+//!   diurnal modulation of multi-bit errors (paper Fig. 6).
+//! - [`flux`]: the atmospheric-neutron flux factor as a function of time and
+//!   altitude.
+//! - [`rng`]: a deterministic, splittable PRNG (SplitMix64 seeding +
+//!   xoshiro256++) so that per-node random streams are independent of thread
+//!   count and schedule.
+//! - [`dist`]: the distributions the fault models need (uniform, Bernoulli,
+//!   exponential, Poisson, normal), implemented from scratch.
+//!
+//! Nothing in this crate allocates on the hot path; everything is `Copy` or
+//! small, per the HPC guidance of keeping inner loops free of locks and heap
+//! traffic.
+
+pub mod calendar;
+pub mod dist;
+pub mod flux;
+pub mod rng;
+pub mod solar;
+pub mod time;
+
+pub use calendar::{CivilDate, CivilDateTime};
+pub use flux::NeutronFlux;
+pub use rng::{SplitMix64, StreamRng, Xoshiro256pp};
+pub use solar::{Site, SolarPosition, BARCELONA};
+pub use time::{SimDuration, SimTime, STUDY_END, STUDY_EPOCH, STUDY_START};

@@ -1,0 +1,217 @@
+//! Solar-position model.
+//!
+//! The paper's most striking correlation (Fig. 6) is between multi-bit error
+//! rate and the position of the sun in the sky: atmospheric neutron showers
+//! are modulated by solar elevation, and the multi-bit rate roughly doubles
+//! during the day with a peak at local noon. To reproduce that mechanism
+//! (rather than hard-coding a sine wave on wall-clock hours) we compute the
+//! actual solar elevation over the machine's site in Barcelona with the
+//! standard low-precision astronomical formulas: fractional-year angle,
+//! declination, equation of time, hour angle, elevation.
+//!
+//! Accuracy is a fraction of a degree — far beyond what the flux model
+//! needs — and the formulas are cheap enough to evaluate per fault event.
+
+use crate::time::SimTime;
+
+/// Geographic site of the machine.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Site {
+    /// Latitude in degrees, north positive.
+    pub latitude_deg: f64,
+    /// Longitude in degrees, east positive.
+    pub longitude_deg: f64,
+    /// Altitude above sea level in meters.
+    pub altitude_m: f64,
+    /// Offset of the local standard clock from UTC, in hours (CET = +1).
+    pub utc_offset_h: f64,
+}
+
+/// Barcelona Supercomputing Center: ~41.39 N, 2.11 E, about 100 m altitude
+/// (the paper: "located in Barcelona at an altitude of about 100 meters").
+pub const BARCELONA: Site = Site {
+    latitude_deg: 41.389,
+    longitude_deg: 2.113,
+    altitude_m: 100.0,
+    utc_offset_h: 1.0,
+};
+
+/// Solar position at one instant over one site.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SolarPosition {
+    /// Elevation above the horizon in degrees (negative below the horizon).
+    pub elevation_deg: f64,
+    /// Solar declination in degrees.
+    pub declination_deg: f64,
+    /// Hour angle in degrees (0 at local solar noon, negative mornings).
+    pub hour_angle_deg: f64,
+}
+
+const DEG: f64 = core::f64::consts::PI / 180.0;
+
+impl Site {
+    /// Solar position at the given instant.
+    pub fn solar_position(&self, t: SimTime) -> SolarPosition {
+        let date = t.date();
+        let doy = f64::from(date.day_of_year());
+        let leap_len = if crate::CivilDate::is_leap_year(date.year) {
+            366.0
+        } else {
+            365.0
+        };
+        // Hours on the local *standard* clock (SimTime is standard time).
+        let clock_h = t.seconds_of_day() as f64 / 3_600.0;
+
+        // Fractional year in radians, including the time-of-day term.
+        let gamma = 2.0 * core::f64::consts::PI / leap_len * (doy - 1.0 + (clock_h - 12.0) / 24.0);
+
+        // Equation of time (minutes) and declination (radians): standard
+        // Fourier fits (NOAA / Spencer 1971 coefficients).
+        let eqtime = 229.18
+            * (0.000075 + 0.001868 * gamma.cos()
+                - 0.032077 * gamma.sin()
+                - 0.014615 * (2.0 * gamma).cos()
+                - 0.040849 * (2.0 * gamma).sin());
+        let decl = 0.006918 - 0.399912 * gamma.cos() + 0.070257 * gamma.sin()
+            - 0.006758 * (2.0 * gamma).cos()
+            + 0.000907 * (2.0 * gamma).sin()
+            - 0.002697 * (3.0 * gamma).cos()
+            + 0.00148 * (3.0 * gamma).sin();
+
+        // True solar time in minutes.
+        let time_offset = eqtime + 4.0 * self.longitude_deg - 60.0 * self.utc_offset_h;
+        let tst = clock_h * 60.0 + time_offset;
+        let hour_angle_deg = tst / 4.0 - 180.0;
+
+        let lat = self.latitude_deg * DEG;
+        let ha = hour_angle_deg * DEG;
+        let cos_zenith = lat.sin() * decl.sin() + lat.cos() * decl.cos() * ha.cos();
+        let elevation_deg = 90.0 - cos_zenith.clamp(-1.0, 1.0).acos() / DEG;
+
+        SolarPosition {
+            elevation_deg,
+            declination_deg: decl / DEG,
+            hour_angle_deg,
+        }
+    }
+
+    /// Sine of the solar elevation, clamped at zero below the horizon.
+    /// This is the geometric modulation factor the flux model consumes.
+    pub fn solar_factor(&self, t: SimTime) -> f64 {
+        (self.solar_position(t).elevation_deg * DEG).sin().max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calendar::CivilDate;
+    use crate::time::SimDuration;
+
+    fn at(date: CivilDate, hour: i64) -> SimTime {
+        date.midnight() + SimDuration::from_hours(hour)
+    }
+
+    #[test]
+    fn noon_higher_than_midnight() {
+        let d = CivilDate::new(2015, 6, 21);
+        let noon = BARCELONA.solar_position(at(d, 12)).elevation_deg;
+        let midnight = BARCELONA.solar_position(at(d, 0)).elevation_deg;
+        assert!(noon > 60.0, "summer noon elevation {noon}");
+        assert!(midnight < -20.0, "summer midnight elevation {midnight}");
+    }
+
+    /// Max elevation over the day, sampled per minute, and the SimTime at
+    /// which it occurs (solar noon on the standard clock).
+    fn max_elevation(date: CivilDate) -> (f64, SimTime) {
+        let mut best = (f64::MIN, date.midnight());
+        for m in 0..(24 * 60) {
+            let t = date.midnight() + SimDuration::from_minutes(m);
+            let e = BARCELONA.solar_position(t).elevation_deg;
+            if e > best.0 {
+                best = (e, t);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn solstice_elevations_match_latitude_geometry() {
+        // Max elevation ~ 90 - lat + 23.44 in June, 90 - lat - 23.44 in Dec.
+        let (jun, _) = max_elevation(CivilDate::new(2015, 6, 21));
+        let (dec, _) = max_elevation(CivilDate::new(2015, 12, 21));
+        assert!((jun - (90.0 - 41.389 + 23.44)).abs() < 1.0, "june max {jun}");
+        assert!((dec - (90.0 - 41.389 - 23.44)).abs() < 1.0, "dec max {dec}");
+    }
+
+    #[test]
+    fn solar_noon_lags_clock_noon_in_barcelona() {
+        // Longitude 2.1E vs the 15E CET meridian puts solar noon ~50 min
+        // after 12:00 standard time (modulo the equation of time).
+        let (_, peak) = max_elevation(CivilDate::new(2015, 10, 1));
+        let sod = peak.seconds_of_day();
+        assert!(
+            (12 * 3_600..=14 * 3_600).contains(&sod),
+            "solar noon at {sod}s of day"
+        );
+    }
+
+    #[test]
+    fn declination_bounds() {
+        for day in 0..365 {
+            let t = SimTime::from_secs(day * 86_400 + 43_200);
+            let p = BARCELONA.solar_position(t);
+            assert!(
+                p.declination_deg.abs() <= 23.6,
+                "declination {} out of range on day {day}",
+                p.declination_deg
+            );
+        }
+    }
+
+    #[test]
+    fn equinox_declination_near_zero() {
+        let p = BARCELONA.solar_position(at(CivilDate::new(2015, 3, 20), 12));
+        assert!(p.declination_deg.abs() < 1.5, "equinox decl {}", p.declination_deg);
+    }
+
+    #[test]
+    fn solar_factor_zero_at_night_positive_at_noon() {
+        let d = CivilDate::new(2015, 9, 1);
+        assert_eq!(BARCELONA.solar_factor(at(d, 2)), 0.0);
+        assert!(BARCELONA.solar_factor(at(d, 12)) > 0.5);
+    }
+
+    #[test]
+    fn elevation_peaks_near_clock_noon() {
+        // On the standard clock in Barcelona solar noon is close to 12:00
+        // (slightly after; longitude 2.1E vs the 15E CET meridian). The peak
+        // hour sampled hourly must be 12 or 13.
+        let d = CivilDate::new(2015, 10, 1);
+        let mut best = (0, f64::MIN);
+        for h in 0..24 {
+            let e = BARCELONA.solar_position(at(d, h)).elevation_deg;
+            if e > best.1 {
+                best = (h, e);
+            }
+        }
+        assert!(best.0 == 12 || best.0 == 13, "peak at hour {}", best.0);
+    }
+
+    #[test]
+    fn day_night_symmetry_around_solar_noon() {
+        // Elevation +/- k hours around the *solar* noon should be within a
+        // few degrees of each other.
+        let d = CivilDate::new(2015, 4, 15);
+        let (_, peak) = max_elevation(d);
+        for k in 1..=5 {
+            let a = BARCELONA
+                .solar_position(peak - SimDuration::from_hours(k))
+                .elevation_deg;
+            let b = BARCELONA
+                .solar_position(peak + SimDuration::from_hours(k))
+                .elevation_deg;
+            assert!((a - b).abs() < 3.0, "asymmetric at k={k}: {a} vs {b}");
+        }
+    }
+}

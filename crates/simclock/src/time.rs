@@ -1,0 +1,345 @@
+//! Virtual time: [`SimTime`] instants and [`SimDuration`] spans.
+//!
+//! The clock is anchored at the *study epoch*, 2015-01-01 00:00:00 local
+//! standard time (CET) in Barcelona, and counts whole seconds. Second
+//! resolution matches the paper's log files, whose timestamps are wall-clock
+//! seconds; nothing in the study needs sub-second precision.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub, SubAssign};
+
+use crate::calendar::{CivilDate, CivilDateTime};
+
+/// An instant on the virtual clock: seconds since the study epoch
+/// (2015-01-01 00:00:00 CET). May be negative for instants before the epoch.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub(crate) i64);
+
+/// A span between two [`SimTime`] instants, in whole seconds. May be negative.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub(crate) i64);
+
+/// The study epoch: 2015-01-01 00:00:00 (CET). All timestamps count from here.
+pub const STUDY_EPOCH: SimTime = SimTime(0);
+
+/// Monitoring start: 2015-02-01 00:00:00. The paper's campaign began in
+/// February 2015.
+pub const STUDY_START: SimTime = SimTime(31 * 86_400);
+
+/// Monitoring end (exclusive): 2016-03-01 00:00:00. "February 2015 to
+/// February 2016 inclusive" — 2016 was a leap year, so the window covers
+/// 365 - 31 + 31 + 29 = 394 days.
+pub const STUDY_END: SimTime = SimTime((365 + 31 + 29) * 86_400);
+
+impl SimTime {
+    /// Construct from raw seconds since the study epoch.
+    #[inline]
+    pub const fn from_secs(secs: i64) -> Self {
+        SimTime(secs)
+    }
+
+    /// Seconds since the study epoch.
+    #[inline]
+    pub const fn as_secs(self) -> i64 {
+        self.0
+    }
+
+    /// Whole days since the study epoch (floor division, so instants before
+    /// the epoch land on negative day indices).
+    #[inline]
+    pub const fn day_index(self) -> i64 {
+        self.0.div_euclid(86_400)
+    }
+
+    /// Seconds elapsed since local midnight of the instant's day.
+    #[inline]
+    pub const fn seconds_of_day(self) -> i64 {
+        self.0.rem_euclid(86_400)
+    }
+
+    /// Hour of day in `0..24` (standard time; see
+    /// [`CivilDateTime::from_sim_time`] for the DST-adjusted wall clock).
+    #[inline]
+    pub const fn hour_of_day(self) -> u32 {
+        (self.seconds_of_day() / 3_600) as u32
+    }
+
+    /// The civil date (standard time) of this instant.
+    #[inline]
+    pub fn date(self) -> CivilDate {
+        CivilDate::from_day_index(self.day_index())
+    }
+
+    /// The civil date-time (standard time) of this instant.
+    #[inline]
+    pub fn datetime(self) -> CivilDateTime {
+        CivilDateTime::from_sim_time(self)
+    }
+
+    /// Saturating addition of a duration.
+    #[inline]
+    pub const fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+
+    /// Midpoint between two instants (rounds toward the earlier one).
+    #[inline]
+    pub const fn midpoint(self, other: SimTime) -> SimTime {
+        SimTime(self.0 + (other.0 - self.0) / 2)
+    }
+
+    /// Clamp into `[lo, hi]`.
+    #[inline]
+    pub fn clamp(self, lo: SimTime, hi: SimTime) -> SimTime {
+        SimTime(self.0.clamp(lo.0, hi.0))
+    }
+}
+
+impl SimDuration {
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    #[inline]
+    pub const fn from_secs(secs: i64) -> Self {
+        SimDuration(secs)
+    }
+
+    #[inline]
+    pub const fn from_minutes(m: i64) -> Self {
+        SimDuration(m * 60)
+    }
+
+    #[inline]
+    pub const fn from_hours(h: i64) -> Self {
+        SimDuration(h * 3_600)
+    }
+
+    #[inline]
+    pub const fn from_days(d: i64) -> Self {
+        SimDuration(d * 86_400)
+    }
+
+    /// Nearest whole-second duration for a fractional number of seconds.
+    /// Panics in debug builds if the value is not finite.
+    #[inline]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        debug_assert!(secs.is_finite(), "duration must be finite");
+        SimDuration(secs.round() as i64)
+    }
+
+    #[inline]
+    pub const fn as_secs(self) -> i64 {
+        self.0
+    }
+
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    #[inline]
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 3_600.0
+    }
+
+    #[inline]
+    pub fn as_days_f64(self) -> f64 {
+        self.0 as f64 / 86_400.0
+    }
+
+    #[inline]
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    #[inline]
+    pub const fn max(self, other: SimDuration) -> SimDuration {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    #[inline]
+    pub const fn min(self, other: SimDuration) -> SimDuration {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign<SimDuration> for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl core::iter::Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        SimDuration(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimTime({} = {})", self.0, self.datetime())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.datetime())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimDuration({}s)", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.0.unsigned_abs();
+        let sign = if self.0 < 0 { "-" } else { "" };
+        let (d, rem) = (total / 86_400, total % 86_400);
+        let (h, rem) = (rem / 3_600, rem % 3_600);
+        let (m, s) = (rem / 60, rem % 60);
+        if d > 0 {
+            write!(f, "{sign}{d}d{h:02}h{m:02}m{s:02}s")
+        } else {
+            write!(f, "{sign}{h:02}h{m:02}m{s:02}s")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(STUDY_EPOCH.day_index(), 0);
+        assert_eq!(STUDY_EPOCH.seconds_of_day(), 0);
+        assert_eq!(STUDY_EPOCH.hour_of_day(), 0);
+    }
+
+    #[test]
+    fn study_window_covers_394_days() {
+        let days = (STUDY_END - STUDY_START).as_days_f64();
+        assert_eq!(days, 394.0);
+    }
+
+    #[test]
+    fn negative_times_floor_correctly() {
+        let t = SimTime::from_secs(-1);
+        assert_eq!(t.day_index(), -1);
+        assert_eq!(t.seconds_of_day(), 86_399);
+        assert_eq!(t.hour_of_day(), 23);
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = SimTime::from_secs(123_456);
+        let d = SimDuration::from_hours(5);
+        assert_eq!((t + d) - d, t);
+        assert_eq!((t + d) - t, d);
+    }
+
+    #[test]
+    fn duration_constructors_consistent() {
+        assert_eq!(SimDuration::from_days(1), SimDuration::from_hours(24));
+        assert_eq!(SimDuration::from_hours(1), SimDuration::from_minutes(60));
+        assert_eq!(SimDuration::from_minutes(1), SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn duration_display_formats() {
+        assert_eq!(SimDuration::from_secs(3_661).to_string(), "01h01m01s");
+        assert_eq!(
+            SimDuration::from_secs(90_061).to_string(),
+            "1d01h01m01s"
+        );
+        assert_eq!(SimDuration::from_secs(-60).to_string(), "-00h01m00s");
+    }
+
+    #[test]
+    fn midpoint_and_clamp() {
+        let a = SimTime::from_secs(100);
+        let b = SimTime::from_secs(200);
+        assert_eq!(a.midpoint(b).as_secs(), 150);
+        assert_eq!(SimTime::from_secs(500).clamp(a, b), b);
+        assert_eq!(SimTime::from_secs(0).clamp(a, b), a);
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_hours).sum();
+        assert_eq!(total, SimDuration::from_hours(10));
+    }
+
+    #[test]
+    fn hour_of_day_spans_full_range() {
+        for h in 0..24 {
+            let t = SimTime::from_secs(h * 3_600 + 17);
+            assert_eq!(t.hour_of_day(), h as u32);
+        }
+    }
+}

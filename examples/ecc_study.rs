@@ -1,0 +1,86 @@
+//! ECC counterfactual study (paper Sections III-C/III-D).
+//!
+//! The study's machine had no ECC; the interesting question is what a
+//! protected machine would have done with the same corruption. This example
+//! measures, exhaustively per flip-count, how SECDED Hamming(39,32) and the
+//! chipkill RS(11,8) code classify random k-bit data corruptions — and then
+//! applies both codes to the multi-bit faults of a simulated campaign,
+//! reproducing the paper's "76 detectable doubles, 9 potentially silent"
+//! taxonomy.
+//!
+//! ```text
+//! cargo run --release --example ecc_study
+//! ```
+
+use uc_dram::ecc::{ChipkillCode, EccOutcome, Secded3932};
+use uc_simclock::rng::StreamRng;
+use unprotected_core::{run_campaign, CampaignConfig, Report};
+
+fn random_mask(rng: &mut StreamRng, bits: u32) -> u32 {
+    let mut mask = 0u32;
+    while mask.count_ones() < bits {
+        mask |= 1 << rng.below(32);
+    }
+    mask
+}
+
+fn main() {
+    println!("== Random k-bit data corruption vs ECC (10k trials per k) ==");
+    println!("bits   SECDED corr/det/silent      chipkill corr/det/silent");
+    let secded = Secded3932;
+    let chipkill = ChipkillCode;
+    let mut rng = StreamRng::from_seed(2016);
+    for bits in 1..=9u32 {
+        let mut s = [0u64; 3];
+        let mut c = [0u64; 3];
+        for _ in 0..10_000 {
+            let data = rng.next_u32();
+            let mask = random_mask(&mut rng, bits);
+            let class = |o: EccOutcome| match o {
+                EccOutcome::Clean | EccOutcome::Corrected => 0,
+                EccOutcome::Detected => 1,
+                _ => 2,
+            };
+            s[class(secded.judge_data_corruption(data, mask))] += 1;
+            c[class(chipkill.judge_data_corruption(data, mask))] += 1;
+        }
+        println!(
+            "{bits:>4}   {:>6} {:>5} {:>6}       {:>8} {:>5} {:>6}",
+            s[0], s[1], s[2], c[0], c[1], c[2]
+        );
+    }
+    println!("\nSECDED guarantees: 1-bit corrected, 2-bit detected; beyond");
+    println!("that some corruptions miscorrect or alias silently — the");
+    println!("paper's SDC concern. Chipkill corrects anything confined to");
+    println!("one 4-bit symbol and detects any two-symbol corruption.");
+
+    println!("\n== The simulated campaign's faults under both codes =========");
+    let result = run_campaign(&CampaignConfig::small(42, 8));
+    let report = Report::build(&result);
+    println!(
+        "faults: {} ({} multi-bit: {} double, {} >2-bit)",
+        report.headline.independent_faults,
+        report.multibit.multi_bit_faults,
+        report.multibit.double_bit_faults,
+        report.multibit.over_two_bit_faults
+    );
+    println!(
+        "SECDED:   corrected {} detected {} silent {}",
+        report.secded.corrected, report.secded.detected, report.secded.silent
+    );
+    println!(
+        "chipkill: corrected {} detected {} silent {}",
+        report.chipkill.corrected, report.chipkill.detected, report.chipkill.silent
+    );
+    let s_bad = report.secded.detected + report.secded.silent;
+    let c_bad = report.chipkill.detected + report.chipkill.silent;
+    println!(
+        "uncorrectable-or-silent outcomes: SECDED {s_bad} vs chipkill {c_bad} \
+         ({:.1}x fewer; silent: {} vs {}). The related work's 42x field-\n\
+         reliability gap additionally counts whole-chip failures, which \
+         chipkill absorbs entirely.",
+        s_bad as f64 / c_bad.max(1) as f64,
+        report.secded.silent,
+        report.chipkill.silent
+    );
+}

@@ -1,0 +1,130 @@
+//! The paper's future-work experiments, run forward.
+//!
+//! "As future work, we are planning to stress test our system by turning on
+//! the nodes with heating issues and monitoring them as well as their
+//! neighbors. In addition, we want to swap some components from the most
+//! faulty nodes with some healthy nodes to further improve the memory error
+//! characterization."
+//!
+//! Experiment 1 — **heat stress**: keep the overheating SoC-12 position
+//! powered all year (no admin shutdown in scheduler or thermal model) and
+//! compare the >60 °C exposure and fault census of those nodes and their
+//! neighbours against the baseline.
+//!
+//! Experiment 2 — **component swap**: at a swap date, the degrading
+//! component leaves node 02-04 and is installed in a previously healthy
+//! node. If the fault follows the component (as the paper suspects for a
+//! bus/connector fault), the error stream must move with it — which is
+//! exactly what the campaign shows.
+//!
+//! ```text
+//! cargo run --release --example future_work
+//! ```
+
+use uc_cluster::{NodeId, OVERHEATING_SOC};
+use uc_faults::degrading::DegradingConfig;
+use uc_simclock::calendar::CivilDate;
+use unprotected_core::{run_campaign, CampaignConfig, Report};
+
+fn count_faults(report: &Report, pred: impl Fn(NodeId) -> bool) -> u64 {
+    let mut total = 0u64;
+    for node in uc_cluster::Topology::default().all_nodes() {
+        if pred(node) {
+            total += report.fig3_faults.get(node) as u64;
+        }
+    }
+    total
+}
+
+fn main() {
+    let seed = 42;
+
+    println!("== Experiment 1: heat stress (SoC-12 never shut down) ======");
+    let is_hot_position = |n: NodeId| n.soc() == OVERHEATING_SOC;
+    let is_neighbour = |n: NodeId| n.soc().abs_diff(OVERHEATING_SOC) == 1;
+    // Aggregate over seeds: per-position fault counts are small Poisson
+    // draws, so a single campaign cannot show the exposure effect.
+    let arms = 5u64;
+    let mut agg = [[0u64; 3]; 2]; // [arm][soc12 faults, neighbour faults, >60C]
+    let mut hours = [0.0f64; 2];
+    for s in 0..arms {
+        let baseline = Report::build(&run_campaign(&CampaignConfig::paper_default(seed + s)));
+        let mut stress_cfg = CampaignConfig::paper_default(seed + s);
+        stress_cfg.sched.soc12_shutdown = None;
+        stress_cfg.thermal.overheat_shutdown = None;
+        let stress = Report::build(&run_campaign(&stress_cfg));
+        for (k, rep) in [baseline, stress].iter().enumerate() {
+            agg[k][0] += count_faults(rep, is_hot_position);
+            agg[k][1] += count_faults(rep, is_neighbour);
+            agg[k][2] += rep.temperature.count_above(60.0, false);
+            hours[k] += rep.fig1_hours.soc_position_means()[OVERHEATING_SOC as usize];
+        }
+    }
+    println!("({arms} seeds per arm)         baseline   heat-stress");
+    println!("SoC-12 monitored hours   {:>8.0}   {:>11.0}", hours[0] / arms as f64, hours[1] / arms as f64);
+    println!("faults on SoC-12 nodes   {:>8}   {:>11}", agg[0][0], agg[1][0]);
+    println!("faults on neighbours     {:>8}   {:>11}", agg[0][1], agg[1][1]);
+    println!("faults above 60 C        {:>8}   {:>11}", agg[0][2], agg[1][2]);
+    println!("(more monitored hours at the hot position => more exposure,");
+    println!(" and every fault there now carries a >60 C temperature tag)");
+
+    println!("\n== Experiment 2: component swap =============================");
+    let swap_date = CivilDate::new(2015, 11, 1).midnight();
+    let healthy = NodeId::from_name("30-08").expect("valid");
+    let mut swap_cfg = CampaignConfig::paper_default(seed);
+    let original = swap_cfg.scenario.degrading[0].clone();
+    swap_cfg.scenario.degrading = vec![
+        DegradingConfig {
+            until: Some(swap_date),
+            ..original.clone()
+        },
+        DegradingConfig {
+            node: healthy,
+            onset: swap_date,
+            until: None,
+            // The component resumes at the degradation level it had
+            // reached, and keeps worsening.
+            initial_rate_per_hour: original.rate_at(swap_date
+                - uc_simclock::SimDuration::from_secs(1)),
+            ..original.clone()
+        },
+    ];
+    // The recipient node now needs the monitoring attention; drop the
+    // original node's post-swap blackouts so both streams stay visible.
+    swap_cfg.sched.per_node_blackouts.clear();
+    let swapped = Report::build(&run_campaign(&swap_cfg));
+
+    let hot = original.node;
+    let per_month = |report: &Report, node: NodeId| -> Vec<(u8, u64)> {
+        let series = report
+            .fig12
+            .nodes
+            .iter()
+            .find(|(n, _)| *n == node)
+            .map(|(_, s)| s.clone());
+        let Some(series) = series else { return Vec::new() };
+        let mut out: Vec<(u8, u64)> = Vec::new();
+        for (i, &c) in series.iter().enumerate() {
+            let date = uc_simclock::CivilDate::from_day_index(report.fig12.first_day + i as i64);
+            match out.last_mut() {
+                Some((m, acc)) if *m == date.month => *acc += c,
+                _ => out.push((date.month, c)),
+            }
+        }
+        out
+    };
+    println!("monthly faults after the swap campaign:");
+    println!("  node   months (month: count, swap on Nov 1)");
+    for node in [hot, healthy] {
+        let months: Vec<String> = per_month(&swapped, node)
+            .into_iter()
+            .filter(|(_, c)| *c > 0)
+            .map(|(m, c)| format!("{m:02}: {c}"))
+            .collect();
+        println!("  {node}  {}", months.join(", "));
+    }
+    println!(
+        "the error stream leaves {hot} and reappears on {healthy} — the \
+         fault followed the component."
+    );
+}

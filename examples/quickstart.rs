@@ -1,0 +1,30 @@
+//! Quickstart: simulate a scaled-down unprotected cluster, extract the
+//! independent memory faults, and print the headline numbers plus two of
+//! the paper's figures.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! For the full 923-node reproduction of every figure and table, see the
+//! `reproduce` example.
+
+use unprotected_core::{render, run_campaign, CampaignConfig, Report};
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    // An 8-blade slice of the machine: same structure (degrading node,
+    // weak bits, flood node, isolated SDCs), 120 nodes instead of 1080.
+    let cfg = CampaignConfig::small(42, 8);
+    let result = run_campaign(&cfg);
+    let report = Report::build(&result);
+
+    println!("{}", render::headline(&report));
+    println!("{}", render::table1(&report));
+    println!("{}", render::fig13(&report));
+    println!(
+        "simulated {} node-logs in {:?}",
+        result.outcomes.len(),
+        t0.elapsed()
+    );
+}

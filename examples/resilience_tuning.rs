@@ -1,0 +1,137 @@
+//! Failure-avoidance tuning (paper Section IV).
+//!
+//! Three what-if studies over one simulated campaign's fault stream:
+//!
+//! 1. the Table II quarantine sweep, extended with trigger-sensitivity
+//!    rows (how aggressive should "abnormal behaviour" be?);
+//! 2. page retirement, split by root cause — near-total coverage of the
+//!    weak-bit nodes, near-zero coverage of scattered corruption;
+//! 3. checkpoint-interval adaptation to the regime MTBFs (Young/Daly).
+//!
+//! ```text
+//! cargo run --release --example resilience_tuning
+//! ```
+
+use uc_resilience::checkpoint::adaptation_report;
+use uc_resilience::combined::policy_comparison;
+use uc_resilience::placement::{job_stream, simulate_placement, Policy};
+use uc_resilience::quarantine::{QuarantineConfig, QuarantineSim};
+use uc_resilience::retirement::{simulate_retirement, RetirementConfig};
+use uc_simclock::SimDuration;
+use unprotected_core::{run_campaign, CampaignConfig, Report};
+
+fn main() {
+    let cfg = CampaignConfig::paper_default(42);
+    let result = run_campaign(&cfg);
+    let report = Report::build(&result);
+    let faults = result.characterized_faults();
+    let sim = QuarantineSim {
+        observed_hours: cfg.study_days() as f64 * 24.0,
+        fleet_nodes: cfg.topology.monitored_node_count(),
+        exclude: report.mtbf_excluded.clone(),
+    };
+
+    println!("== Quarantine: length sweep (Table II) ======================");
+    println!("days   faults  node-days  MTBF(h)");
+    for q in sim.sweep(&faults, &[0, 5, 10, 15, 20, 25, 30]) {
+        println!(
+            "{:>4}  {:>7}  {:>9}  {:>7.1}",
+            q.quarantine_days, q.surviving_faults, q.node_days_quarantined, q.system_mtbf_h
+        );
+    }
+
+    println!("\n== Quarantine: trigger sensitivity at 15 days ===============");
+    println!("trigger(faults/day)   faults  entries  node-days");
+    for trigger in [1, 2, 3, 5, 10, 20] {
+        let out = sim.run(
+            &faults,
+            &QuarantineConfig {
+                quarantine_days: 15,
+                trigger_faults: trigger,
+                trigger_window: SimDuration::from_days(1),
+            },
+        );
+        println!(
+            "{:>19}  {:>7}  {:>7}  {:>9}",
+            trigger, out.surviving_faults, out.quarantine_entries, out.node_days_quarantined
+        );
+    }
+
+    println!("\n== Page retirement ==========================================");
+    println!("retire-after   surviving  prevented  pages");
+    for after in [1, 2, 4, 8] {
+        let out = simulate_retirement(
+            &faults,
+            &RetirementConfig {
+                retire_after: after,
+                max_pages_per_node: 64,
+            },
+        );
+        println!(
+            "{:>12}  {:>10}  {:>9}  {:>5}",
+            after, out.surviving_faults, out.prevented_faults, out.pages_retired
+        );
+    }
+    println!("(prevented faults are almost entirely the weak-bit repeats;");
+    println!(" the scattered simultaneous corruption survives, as Section IV");
+    println!(" anticipates)");
+
+    println!("\n== Combined policy: retirement + quarantine =================");
+    println!("quarantine(d)   alone: faults/node-days    combined: faults/node-days");
+    for q in [5, 15, 30] {
+        let (alone, combined) = policy_comparison(&faults, &sim, q);
+        println!(
+            "{q:>13}   {:>6} / {:>9}        {:>6} / {:>9}",
+            alone.surviving_faults,
+            alone.node_days_quarantined,
+            combined.surviving_faults(),
+            combined.quarantine.node_days_quarantined
+        );
+    }
+    println!("(retirement silently absorbs the weak-bit repeats, so the");
+    println!(" combined policy reaches the same fault floor with a fraction");
+    println!(" of the quarantine capacity cost)");
+
+    println!("\n== Failure-aware job placement ==============================");
+    let jobs = job_stream(
+        cfg.sched.start,
+        cfg.sched.end,
+        SimDuration::from_hours(2),
+        64,
+    );
+    println!("policy          jobs   failed   lost node-hours");
+    for (name, policy) in [
+        ("oblivious", Policy::Oblivious),
+        ("avoid-history", Policy::AvoidHistory),
+        ("debug-only", Policy::DebugOnly),
+    ] {
+        let out = simulate_placement(
+            &faults,
+            &jobs,
+            cfg.topology.monitored_node_count(),
+            policy,
+        );
+        println!(
+            "{name:<14} {:>5}  {:>7}  {:>16}",
+            out.jobs, out.failed_jobs, out.lost_node_hours
+        );
+    }
+
+    println!("\n== Checkpoint-interval adaptation ===========================");
+    let s = report.regime_summary;
+    println!(
+        "regime MTBFs: normal {:.1} h / degraded {:.2} h",
+        s.normal_mtbf_h, s.degraded_mtbf_h
+    );
+    for cost_min in [1.0, 5.0, 15.0] {
+        let r = adaptation_report(cost_min / 60.0, s.normal_mtbf_h, s.degraded_mtbf_h);
+        println!(
+            "checkpoint cost {cost_min:>4.0} min: interval {:.1} h -> {:.2} h; \
+             degraded-waste {:.1}% adapted vs {:.1}% unadapted",
+            r.normal_interval_h,
+            r.degraded_interval_h,
+            r.degraded_waste_adapted * 100.0,
+            r.degraded_waste_unadapted * 100.0
+        );
+    }
+}

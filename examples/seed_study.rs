@@ -1,0 +1,56 @@
+//! Seed-robustness study: run the full-scale campaign across many seeds and
+//! report the spread of every compared quantity, plus how often each stays
+//! inside its shape band (see `unprotected_core::paperref`).
+//!
+//! This is the honest version of a single-number reproduction claim: the
+//! generative models are stochastic, the paper observed *one* draw of
+//! reality, and the bands say which conclusions survive the noise.
+//!
+//! ```text
+//! cargo run --release --example seed_study [seeds]
+//! ```
+
+use unprotected_core::{compare, paperref, run_campaign, CampaignConfig, Report};
+
+fn main() {
+    let seeds = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8u64);
+    eprintln!("running {seeds} full-scale campaigns...");
+    let t0 = std::time::Instant::now();
+
+    let n_quantities = paperref::REFERENCE.len();
+    let mut measured: Vec<Vec<f64>> = vec![Vec::new(); n_quantities];
+    let mut in_band: Vec<u32> = vec![0; n_quantities];
+    for seed in 0..seeds {
+        let result = run_campaign(&CampaignConfig::paper_default(2_000 + seed));
+        let report = Report::build(&result);
+        for (i, c) in compare(&report).iter().enumerate() {
+            measured[i].push(c.measured);
+            if c.in_band() {
+                in_band[i] += 1;
+            }
+        }
+    }
+
+    println!(
+        "{:<34} {:>12} {:>12} {:>12}  in-band",
+        "quantity", "paper", "mean", "sd"
+    );
+    for (i, r) in paperref::REFERENCE.iter().enumerate() {
+        let xs = &measured[i];
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        println!(
+            "{:<34} {:>12.3} {:>12.3} {:>12.3}  {}/{}",
+            r.name,
+            r.paper,
+            mean,
+            var.sqrt(),
+            in_band[i],
+            seeds
+        );
+    }
+    eprintln!("done in {:?}", t0.elapsed());
+}

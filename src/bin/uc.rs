@@ -1,0 +1,294 @@
+//! `uc` — the command-line front end.
+//!
+//! Subcommands:
+//!
+//! - `uc campaign --out <dir> [--seed N] [--blades N] [--compact x]` — run a campaign and
+//!   write per-node log files (the paper's on-disk layout) plus the full
+//!   text report;
+//! - `uc analyze <dir>` — load a log directory, run the extraction
+//!   methodology and print the analyses that derive from logs alone;
+//! - `uc scan [--mb N] [--iters N]` — scan real host memory (memtester
+//!   mode; see also the `memscan_host` example for fault injection);
+//! - `uc report [--seed N] [--blades N] [--csv <dir>]` — run a campaign in memory and
+//!   print every figure and table.
+//!
+//! Argument handling is deliberately bare: flags are `--key value` pairs.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use uc_analysis::daily::DailySeries;
+use uc_analysis::extract::{extract_node_faults, ExtractConfig};
+use uc_analysis::fault::Fault;
+use uc_analysis::multibit::{multibit_stats, table_i};
+use uc_analysis::spatial::top_nodes;
+use uc_faultlog::files::{write_cluster_log, write_cluster_log_compact};
+use uc_memscan::host::{run_host_scan, run_host_scan_parallel};
+use uc_memscan::Pattern;
+use unprotected_core::{render, run_campaign, CampaignConfig, Report};
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = it.next().cloned().unwrap_or_default();
+                flags.push((key.to_string(), value));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  uc campaign --out <dir> [--seed N] [--blades N] [--compact x]\n  \
+         uc analyze <dir>\n  uc scan [--mb N] [--iters N] [--pattern alternating|incrementing|checkerboard] [--parallel x]\n  \
+         uc report [--seed N] [--blades N] [--csv <dir>]"
+    );
+    ExitCode::FAILURE
+}
+
+fn config_for(args: &Args) -> CampaignConfig {
+    let seed = args.get_u64("seed", 42);
+    match args.get_u64("blades", 0) {
+        0 => CampaignConfig::paper_default(seed),
+        b => CampaignConfig::small(seed, b.clamp(6, 63) as u32),
+    }
+}
+
+fn cmd_campaign(args: &Args) -> ExitCode {
+    let Some(out) = args.get("out") else {
+        eprintln!("campaign requires --out <dir>");
+        return ExitCode::FAILURE;
+    };
+    let cfg = config_for(args);
+    eprintln!(
+        "running campaign: seed {}, {} candidate nodes...",
+        cfg.seed,
+        cfg.topology.monitored_node_count()
+    );
+    let result = run_campaign(&cfg);
+    let dir = PathBuf::from(out);
+    let compact = args.flags.iter().any(|(k, _)| k == "compact");
+    let write = if compact {
+        write_cluster_log_compact
+    } else {
+        write_cluster_log
+    };
+    match write(&dir, &result.cluster_log()) {
+        Ok(n) => eprintln!("wrote {n} node log files to {}", dir.display()),
+        Err(e) => {
+            eprintln!("failed to write logs: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let report = Report::build(&result);
+    let report_path = dir.join("report.txt");
+    if let Err(e) = std::fs::write(&report_path, render::full_report(&report)) {
+        eprintln!("failed to write report: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("report at {}", report_path.display());
+    println!("{}", render::headline(&report));
+    ExitCode::SUCCESS
+}
+
+fn cmd_analyze(args: &Args) -> ExitCode {
+    let Some(dir) = args.positional.first() else {
+        eprintln!("analyze requires a log directory");
+        return ExitCode::FAILURE;
+    };
+    // Parallel load: list the node-log files, parse each on its own worker
+    // (the full-scale campaign writes ~36M lines / several GB of text).
+    let dir_path = PathBuf::from(dir);
+    let mut paths: Vec<PathBuf> = match std::fs::read_dir(&dir_path) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .and_then(uc_faultlog::files::node_of_file_name)
+                    .is_some()
+            })
+            .collect(),
+        Err(e) => {
+            eprintln!("cannot read {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    paths.sort();
+    let t0 = std::time::Instant::now();
+    let loaded = uc_parallel::par_map(&paths, |_, path| {
+        let text = std::fs::read_to_string(path).unwrap_or_default();
+        // The compact reader accepts both plain and ERRORRUN lines.
+        uc_faultlog::store::NodeLog::from_text_compact(&text)
+    });
+    let bad_lines: usize = loaded.iter().map(|(_, errs)| errs.len()).sum();
+    let cluster = uc_faultlog::store::ClusterLog::new(
+        loaded.into_iter().map(|(log, _)| log).collect(),
+    );
+    eprintln!(
+        "parsed {} files in {:?} ({} worker threads)",
+        paths.len(),
+        t0.elapsed(),
+        uc_parallel::worker_count(paths.len())
+    );
+    if bad_lines > 0 {
+        eprintln!("warning: {bad_lines} unparseable log lines");
+    }
+    println!(
+        "loaded {} node logs, {} raw records ({} raw errors)",
+        cluster.node_logs().len(),
+        cluster.raw_record_count(),
+        cluster.raw_error_count()
+    );
+
+    // Extraction, flood filter, and the log-derivable analyses.
+    let cfg = ExtractConfig::default();
+    let mut faults: Vec<Fault> = Vec::new();
+    let total_raw = cluster.raw_error_count().max(1);
+    let mut flood_nodes = Vec::new();
+    for log in cluster.node_logs() {
+        if log.raw_error_count() as f64 / total_raw as f64 > 0.5 {
+            flood_nodes.push(log.node);
+            continue;
+        }
+        faults.extend(extract_node_faults(log, &cfg));
+    }
+    faults.sort_by_key(|f| (f.time, f.node.0, f.vaddr));
+    if !flood_nodes.is_empty() {
+        println!(
+            "excluded flood node(s): {:?}",
+            flood_nodes
+                .iter()
+                .map(|n| n.map(|n| n.to_string()).unwrap_or_default())
+                .collect::<Vec<_>>()
+        );
+    }
+    println!("independent faults: {}", faults.len());
+
+    let stats = multibit_stats(&faults);
+    println!(
+        "multi-bit: {} (double {}, >2-bit {}), max in-word gap {}",
+        stats.multi_bit_faults,
+        stats.double_bit_faults,
+        stats.over_two_bit_faults,
+        stats.max_bit_distance
+    );
+    println!("top nodes by fault count:");
+    for (node, count) in top_nodes(&faults, 5) {
+        println!("  {node}  {count}");
+    }
+    println!("multi-bit corruption table rows: {}", table_i(&faults).len());
+
+    // Daily volume from the logs alone (START/END reconstruction).
+    let first_day = faults.first().map(|f| f.time.day_index()).unwrap_or(0);
+    let days = faults
+        .last()
+        .map(|f| (f.time.day_index() - first_day + 1) as usize)
+        .unwrap_or(1);
+    let mut daily = DailySeries::new(first_day, days.max(1));
+    for log in cluster.node_logs() {
+        daily.add_node_log(log);
+    }
+    daily.add_faults(&faults);
+    let p = daily.scan_error_correlation();
+    println!(
+        "scan-volume vs daily-error Pearson: r = {:.4}, p = {:.4} over {} days",
+        p.r, p.p_value, p.n
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_scan(args: &Args) -> ExitCode {
+    let mb = args.get_u64("mb", 256);
+    let iters = args.get_u64("iters", 4);
+    let pattern = match args.get("pattern") {
+        Some("incrementing") => Pattern::incrementing(),
+        Some("checkerboard") => Pattern::Checkerboard,
+        _ => Pattern::Alternating,
+    };
+    let parallel = args.get("parallel").is_some() || args.flags.iter().any(|(k, _)| k == "parallel");
+    println!(
+        "scanning {mb} MB of host memory, {iters} passes, {} pattern{}...",
+        pattern.tag(),
+        if parallel { ", parallel" } else { "" }
+    );
+    let t0 = std::time::Instant::now();
+    let report = if parallel {
+        run_host_scan_parallel(mb * 1024 * 1024, iters, pattern, None)
+    } else {
+        run_host_scan(mb * 1024 * 1024, iters, pattern)
+    };
+    let secs = t0.elapsed().as_secs_f64();
+    println!(
+        "{} words x {} passes in {secs:.2}s ({:.0}M words/s): {} errors",
+        report.words,
+        report.iterations,
+        report.words as f64 * report.iterations as f64 / secs / 1e6,
+        report.errors.len()
+    );
+    for e in &report.errors {
+        println!(
+            "{}",
+            uc_faultlog::codec::format_record(&uc_faultlog::record::LogRecord::Error(*e))
+        );
+    }
+    if report.errors.is_empty() {
+        println!("no corruption observed (expected on ECC-protected hosts)");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_report(args: &Args) -> ExitCode {
+    let cfg = config_for(args);
+    let result = run_campaign(&cfg);
+    let report = Report::build(&result);
+    if let Some(dir) = args.get("csv") {
+        match unprotected_core::csv::write_all(&report, &PathBuf::from(dir)) {
+            Ok(paths) => eprintln!("wrote {} CSV series to {dir}", paths.len()),
+            Err(e) => {
+                eprintln!("failed to write CSVs: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("{}", render::full_report(&report));
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = raw.split_first() else {
+        return usage();
+    };
+    let args = Args::parse(rest);
+    match cmd.as_str() {
+        "campaign" => cmd_campaign(&args),
+        "analyze" => cmd_analyze(&args),
+        "scan" => cmd_scan(&args),
+        "report" => cmd_report(&args),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,77 @@
+//! Cross-crate determinism: the campaign's output is a pure function of its
+//! configuration — the DESIGN.md §6 contract.
+
+use unprotected_core::{run_campaign, CampaignConfig, Report};
+
+#[test]
+fn same_seed_same_everything() {
+    let a = run_campaign(&CampaignConfig::small(123, 7));
+    let b = run_campaign(&CampaignConfig::small(123, 7));
+
+    assert_eq!(a.raw_error_logs(), b.raw_error_logs());
+    assert_eq!(a.all_faults(), b.all_faults());
+    assert_eq!(a.characterized_faults(), b.characterized_faults());
+    assert_eq!(a.monitored_node_hours(), b.monitored_node_hours());
+    assert_eq!(a.terabyte_hours(), b.terabyte_hours());
+
+    // Per-node logs byte-identical.
+    for (oa, ob) in a.outcomes.iter().zip(&b.outcomes) {
+        assert_eq!(oa.node, ob.node);
+        assert_eq!(oa.log.entries(), ob.log.entries(), "node {}", oa.node);
+    }
+
+    // Reports identical down to the rendered text.
+    let ra = Report::build(&a);
+    let rb = Report::build(&b);
+    assert_eq!(
+        unprotected_core::render::full_report(&ra),
+        unprotected_core::render::full_report(&rb)
+    );
+}
+
+#[test]
+fn golden_numbers_for_seed_42() {
+    // Regression anchor: the campaign is a pure function of its config, so
+    // these exact values must never drift unintentionally. If a deliberate
+    // model recalibration changes them, update the constants *and* re-check
+    // EXPERIMENTS.md / the paperref bands.
+    let result = run_campaign(&CampaignConfig::small(42, 8));
+    assert_eq!(result.raw_error_logs(), 36_528_844);
+    assert_eq!(result.characterized_faults().len(), 53_128);
+    let report = Report::build(&result);
+    assert_eq!(report.multibit.max_bit_distance, 11);
+    assert_eq!(report.headline.flood_nodes.len(), 1);
+}
+
+#[test]
+fn different_seeds_different_results() {
+    let a = run_campaign(&CampaignConfig::small(1, 7));
+    let b = run_campaign(&CampaignConfig::small(2, 7));
+    assert_ne!(a.all_faults(), b.all_faults());
+    assert_ne!(a.raw_error_logs(), b.raw_error_logs());
+}
+
+#[test]
+fn node_simulation_independent_of_fleet_composition() {
+    // A node's log depends only on (seed, node, its own fault scenario):
+    // scaling the topology up must not change nodes present in both.
+    // Scenario-special nodes are excluded — CampaignConfig::small relocates
+    // them based on the blade count, so their scenarios legitimately differ.
+    let cfg_a = CampaignConfig::small(5, 7);
+    let cfg_b = CampaignConfig::small(5, 10);
+    let mut special: Vec<_> = cfg_a.scenario.special_nodes();
+    special.extend(cfg_b.scenario.special_nodes());
+    let small = run_campaign(&cfg_a);
+    let bigger = run_campaign(&cfg_b);
+    let mut checked = 0;
+    for oa in &small.outcomes {
+        if special.contains(&oa.node) {
+            continue;
+        }
+        if let Some(ob) = bigger.outcomes.iter().find(|o| o.node == oa.node) {
+            assert_eq!(oa.log.entries(), ob.log.entries(), "node {}", oa.node);
+            checked += 1;
+        }
+    }
+    assert!(checked >= 60, "most nodes present in both ({checked})");
+}

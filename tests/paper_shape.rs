@@ -1,0 +1,335 @@
+//! Shape assertions against the paper's findings, on a mid-size slice of
+//! the machine (16 blades — all special nodes present, full 13-month
+//! window). The absolute numbers scale with fleet size; the *shapes* are
+//! what the reproduction must preserve (DESIGN.md §3).
+
+use std::sync::OnceLock;
+
+use unprotected_core::{run_campaign, CampaignConfig, CampaignResult, Report};
+
+fn campaign() -> &'static (CampaignResult, Report) {
+    static CELL: OnceLock<(CampaignResult, Report)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let result = run_campaign(&CampaignConfig::small(42, 16));
+        let report = Report::build(&result);
+        (result, report)
+    })
+}
+
+#[test]
+fn flood_node_dominates_raw_logs_like_the_paper() {
+    // Paper: "over 98% of the observed failures came from the same node".
+    let (_, report) = campaign();
+    assert_eq!(report.headline.flood_nodes.len(), 1);
+    assert!(
+        report.headline.flood_log_share > 0.98,
+        "flood share {}",
+        report.headline.flood_log_share
+    );
+}
+
+#[test]
+fn errors_concentrate_in_under_one_percent_of_nodes() {
+    // Paper: ">99.9% of errors occurring in less than 1% of the nodes".
+    let (_, report) = campaign();
+    assert!(
+        report.headline.top3_concentration > 0.99,
+        "top-3 concentration {}",
+        report.headline.top3_concentration
+    );
+}
+
+#[test]
+fn most_nodes_show_no_fault_at_all() {
+    // Paper Fig. 3: "most of the nodes did not show any failure".
+    let (result, report) = campaign();
+    let faulty = report.fig3_faults.nonzero_cells();
+    assert!(
+        faulty * 2 < result.outcomes.len(),
+        "{faulty} faulty of {}",
+        result.outcomes.len()
+    );
+}
+
+#[test]
+fn doubles_dominate_multibit_and_silent_tail_exists() {
+    // Paper Table I: 76 of 85 multi-bit errors are doubles; 9 exceed the
+    // SECDED detection guarantee.
+    let (_, report) = campaign();
+    let m = &report.multibit;
+    assert!(m.multi_bit_faults > 20);
+    assert!(
+        m.double_bit_faults as f64 > m.multi_bit_faults as f64 * 0.75,
+        "doubles {}/{}",
+        m.double_bit_faults,
+        m.multi_bit_faults
+    );
+    assert!(m.over_two_bit_faults >= 7, "the placed SDCs at minimum");
+}
+
+#[test]
+fn multibit_mostly_non_adjacent_with_distance_shape() {
+    // Paper: majority non-adjacent, mean in-word distance ~3, max 11.
+    let (_, report) = campaign();
+    let m = &report.multibit;
+    assert!(m.non_adjacent_faults * 2 > m.multi_bit_faults);
+    assert!(
+        (2.0..=5.5).contains(&m.mean_bit_distance),
+        "mean distance {}",
+        m.mean_bit_distance
+    );
+    assert_eq!(m.max_bit_distance, 11, "the 11-bit maximum gap");
+}
+
+#[test]
+fn ninety_percent_of_flips_are_one_to_zero() {
+    let (_, report) = campaign();
+    let frac = report.flips.one_to_zero_fraction();
+    assert!((0.82..=0.97).contains(&frac), "1->0 fraction {frac}");
+}
+
+#[test]
+fn simultaneous_corruption_is_pervasive() {
+    // Paper: >26k corruptions in simultaneous groups, >99.9% of them pure
+    // single-bit groups; groups up to 36 bits.
+    let (_, report) = campaign();
+    let c = &report.coincidence;
+    assert!(c.faults_in_groups > 1_000, "{}", c.faults_in_groups);
+    assert!(c.multi_single_groups > 500);
+    assert!(c.max_group_bits >= 12, "large groups exist: {}", c.max_group_bits);
+    // Most multi-bit faults are accompanied by simultaneous singles.
+    assert!(c.double_with_single > 0);
+}
+
+#[test]
+fn single_bit_rate_flat_across_the_day() {
+    // Paper Fig. 5: no particular hour concentrates single-bit errors.
+    let (_, report) = campaign();
+    let series = report.hourly.class_series(uc_analysis::fault::BitClass::One);
+    let max = *series.iter().max().unwrap() as f64;
+    let min = *series.iter().min().unwrap() as f64;
+    assert!(min > 0.0, "every hour sees errors");
+    assert!(max / min < 6.0, "roughly flat profile: {max}/{min}");
+}
+
+#[test]
+fn multibit_day_night_ratio_above_one() {
+    // Paper Fig. 6: daytime multi-bit count about double the night count.
+    // At the paper's sample size (~85 events) the ratio is noisy; assert
+    // the direction and magnitude band rather than a point value.
+    let (_, report) = campaign();
+    let (day, night) = report.hourly.multibit_day_night();
+    assert!(day > night, "day {day} vs night {night}");
+    let ratio = day as f64 / night.max(1) as f64;
+    assert!((1.1..=4.0).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn temperatures_nominal_and_uncorrelated() {
+    // Paper Figs. 7-8: most faults at 30-40 C; multi-bit faults all at
+    // nominal temperature; and some early faults lack telemetry.
+    let (_, report) = campaign();
+    let t = &report.temperature;
+    assert!(t.fraction_in_band(30.0, 40.0) > 0.6);
+    assert!(t.censored > 0, "pre-April faults have no temperature");
+    assert_eq!(t.count_above(60.0, true), 0, "no hot multi-bit faults");
+}
+
+#[test]
+fn scanning_volume_does_not_drive_errors() {
+    // Paper Section III-G: |r| small (they report -0.18).
+    let (_, report) = campaign();
+    let p = report.scan_error_pearson;
+    assert!(p.r.abs() < 0.35, "r {}", p.r);
+}
+
+#[test]
+fn vacation_months_scan_more() {
+    // Paper Fig. 9: August/September/December peaks.
+    let (_, report) = campaign();
+    let months = report.daily.monthly_tb_hours();
+    let total_of = |month: u8| -> f64 {
+        months
+            .iter()
+            .filter(|(_, m, _)| *m == month)
+            .map(|(_, _, tb)| tb)
+            .sum()
+    };
+    assert!(total_of(8) > total_of(5) * 1.3, "August beats May");
+    assert!(total_of(9) > total_of(6) * 1.3, "September beats June");
+}
+
+#[test]
+fn hot_node_ramps_from_august_and_dominates_fig12() {
+    let (_, report) = campaign();
+    let (hot, series) = &report.fig12.nodes[0];
+    assert_eq!(hot.to_string(), "02-04");
+    let total: u64 = series.iter().sum();
+    let others: u64 = report.fig12.others.iter().sum();
+    assert!(total > others * 5, "hot {total} vs others {others}");
+    // Nothing before August (day index of Aug 1 2015 is 212; series starts
+    // Feb 1 = day 31).
+    let pre_onset: u64 = series[..(212 - 31)].iter().sum();
+    assert_eq!(pre_onset, 0, "silent before onset");
+    // November (days 273..303 of the year) dominates.
+    let nov: u64 = series[(304 - 31)..(334 - 31)].iter().sum();
+    assert!(nov * 2 > total, "november carries most: {nov}/{total}");
+}
+
+#[test]
+fn regime_split_matches_paper_fractions() {
+    // Paper: 18.1% degraded days; MTBF 167 h normal vs 0.39 h degraded.
+    let (_, report) = campaign();
+    let frac = report.regime.degraded_fraction();
+    assert!((0.08..=0.30).contains(&frac), "degraded fraction {frac}");
+    let s = report.regime_summary;
+    assert!(s.normal_mtbf_h > 80.0, "normal MTBF {}", s.normal_mtbf_h);
+    assert!(s.degraded_mtbf_h < 2.0, "degraded MTBF {}", s.degraded_mtbf_h);
+    assert!(
+        s.normal_mtbf_h / s.degraded_mtbf_h > 100.0,
+        "orders of magnitude apart"
+    );
+}
+
+#[test]
+fn quarantine_restores_mtbf_cheaply() {
+    // Paper Table II: MTBF up by orders of magnitude for <0.1% capacity.
+    let (_, report) = campaign();
+    let q0 = &report.table2[0];
+    let q30 = report.table2.last().unwrap();
+    assert!(q30.system_mtbf_h / q0.system_mtbf_h > 10.0);
+    assert!(
+        q30.surviving_faults * 10 < q0.surviving_faults,
+        "{} vs {}",
+        q30.surviving_faults,
+        q0.surviving_faults
+    );
+    assert!(q30.availability_loss < 0.02);
+    // Monotone improvement in surviving faults along the sweep.
+    for w in report.table2.windows(2) {
+        assert!(w[1].surviving_faults <= w[0].surviving_faults);
+    }
+}
+
+#[test]
+fn faults_are_bursty_not_poisson() {
+    // Paper Section III-I: "memory errors are ... clustered in time".
+    let (_, report) = campaign();
+    assert!(
+        report.burstiness.interarrival_cv > 3.0,
+        "CV {}",
+        report.burstiness.interarrival_cv
+    );
+    assert!(
+        report.burstiness.daily_fano > 10.0,
+        "Fano {}",
+        report.burstiness.daily_fano
+    );
+}
+
+#[test]
+fn spatio_temporal_predictor_works() {
+    // Paper: "it is relatively simple to foresee future failures using the
+    // spatio-temporal analysis" — a 24 h per-node alarm catches nearly
+    // everything, because repeat offenders dominate.
+    let (_, report) = campaign();
+    let recall_24h = report
+        .predictor_recall
+        .iter()
+        .find(|(h, _)| *h == 24)
+        .map(|(_, r)| *r)
+        .unwrap();
+    assert!(recall_24h > 0.9, "24 h recall {recall_24h}");
+    // Monotone in horizon.
+    assert!(report
+        .predictor_recall
+        .windows(2)
+        .all(|w| w[0].1 <= w[1].1));
+}
+
+#[test]
+fn multibit_bits_concentrate_in_low_half() {
+    // Paper: "the majority of the multiple bit corruptions occur in the
+    // least significant bits of the word".
+    let (_, report) = campaign();
+    let frac = report.bitpos_multibit.low_half_fraction();
+    assert!(frac > 0.6, "low-half fraction {frac}");
+}
+
+#[test]
+fn finer_scrubbing_prevents_accumulation() {
+    let (_, report) = campaign();
+    // Monotone: longer scrub intervals accumulate at least as much.
+    assert!(report
+        .scrub
+        .windows(2)
+        .all(|w| w[0].1.accumulated_words <= w[1].1.accumulated_words));
+}
+
+#[test]
+fn isolated_sdcs_on_quiet_nodes() {
+    // Paper Section III-D: the >3-bit errors sit on nodes with (almost) no
+    // other errors, uncorrelated with anything.
+    let (result, _) = campaign();
+    let faults = result.characterized_faults();
+    let big: Vec<_> = faults.iter().filter(|f| f.bits_corrupted() > 3).collect();
+    assert!(big.len() >= 7, "the placed SDCs observed: {}", big.len());
+    for f in &big {
+        let node_total = faults.iter().filter(|g| g.node == f.node).count();
+        assert!(
+            node_total <= 4,
+            "SDC node {} has {node_total} faults — not quiet",
+            f.node
+        );
+    }
+}
+
+#[test]
+fn weak_bit_nodes_are_pure_repeaters() {
+    // Paper Section III-H: "the corrupted bit was the same in 100% of the
+    // cases" on the two weak-bit nodes.
+    let (result, _) = campaign();
+    let faults = result.characterized_faults();
+    let census = uc_analysis::spatial::node_census(&faults);
+    let mut found = 0;
+    for name in ["04-05", "06-02"] {
+        let node = uc_cluster::NodeId::from_name(name).unwrap();
+        if let Some(c) = census.get(&node) {
+            assert!(c.faults > 300, "{name} has {} faults", c.faults);
+            assert!(
+                c.dominant_fraction > 0.99,
+                "{name} dominant fraction {}",
+                c.dominant_fraction
+            );
+            assert_eq!(c.distinct_addresses, 1, "{name}");
+            found += 1;
+        }
+    }
+    assert_eq!(found, 2, "both weak-bit nodes present");
+}
+
+#[test]
+fn degrading_node_census_matches_section_iii_h() {
+    // Paper: >11,000 distinct addresses, ~30 patterns, mostly 1->0.
+    let (result, _) = campaign();
+    let faults = result.characterized_faults();
+    let census = uc_analysis::spatial::node_census(&faults);
+    let hot = uc_cluster::NodeId::from_name("02-04").unwrap();
+    let c = &census[&hot];
+    assert!(c.faults > 10_000, "hot node faults {}", c.faults);
+    assert!(
+        c.distinct_addresses > 5_000,
+        "addresses {}",
+        c.distinct_addresses
+    );
+    // The paper reports "almost 30" patterns; our hot node also hosts the
+    // solar multi-bit strikes (each a fresh mask) and counter-phase
+    // partial clears, so the count runs somewhat higher.
+    assert!(
+        (10..=90).contains(&c.distinct_patterns),
+        "patterns {}",
+        c.distinct_patterns
+    );
+    assert!(c.one_to_zero_fraction > 0.85);
+    assert!(c.dominant_fraction < 0.05, "no single signature dominates");
+}
