@@ -3,12 +3,10 @@
 use crate::fault::{BitClass, Fault};
 
 /// Per-hour, per-bit-class counts. `counts[hour][class]`.
-#[derive(Clone, Debug, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct HourlyProfile {
     pub counts: [[u64; 6]; 24],
 }
-
 
 impl HourlyProfile {
     pub fn compute(faults: &[Fault]) -> HourlyProfile {

@@ -55,10 +55,10 @@ pub fn extract_node_faults(log: &NodeLog, cfg: &ExtractConfig) -> Vec<Fault> {
     let mut done: Vec<Fault> = Vec::new();
 
     let absorb = |open: &mut HashMap<(u64, u32), OpenFault>,
-                      done: &mut Vec<Fault>,
-                      rec: &ErrorRecord,
-                      count: u64,
-                      last_time: SimTime| {
+                  done: &mut Vec<Fault>,
+                  rec: &ErrorRecord,
+                  count: u64,
+                  last_time: SimTime| {
         let key = (rec.vaddr, rec.expected ^ rec.actual);
         match open.get_mut(&key) {
             Some(of) if rec.time - of.last_seen <= cfg.merge_window => {
@@ -124,6 +124,48 @@ pub fn extract_cluster_faults(
         out.extend(extract_node_faults(log, cfg));
     }
     out
+}
+
+/// Extraction over a recovered (lossy) ingest: the paper's flood filter
+/// plus per-node extraction, with the ingest accounting carried along so
+/// downstream consumers can qualify the fault counts ("out of N lines, M
+/// were dropped") instead of silently presenting a damaged corpus as
+/// complete.
+#[derive(Clone, Debug)]
+pub struct RecoveredExtract {
+    /// Independent faults, sorted by (time, node, vaddr).
+    pub faults: Vec<Fault>,
+    /// Nodes excluded by the flood filter.
+    pub flood_nodes: Vec<uc_cluster::NodeId>,
+    /// The ingest accounting the faults were derived under.
+    pub stats: uc_faultlog::ingest::IngestStats,
+}
+
+/// Run the extraction methodology over a recovering ingest's output. A
+/// node whose raw error logs exceed `flood_share` of the cluster total is
+/// excluded, mirroring the paper's removal of its single faulty node.
+pub fn extract_recovered(
+    cluster: &uc_faultlog::store::ClusterLog,
+    stats: uc_faultlog::ingest::IngestStats,
+    cfg: &ExtractConfig,
+    flood_share: f64,
+) -> RecoveredExtract {
+    let total_raw = cluster.raw_error_count().max(1);
+    let mut faults: Vec<Fault> = Vec::new();
+    let mut flood_nodes = Vec::new();
+    for log in cluster.node_logs() {
+        if log.raw_error_count() as f64 / total_raw as f64 > flood_share {
+            flood_nodes.extend(log.node);
+            continue;
+        }
+        faults.extend(extract_node_faults(log, cfg));
+    }
+    faults.sort_by_key(|f| (f.time, f.node.0, f.vaddr));
+    RecoveredExtract {
+        faults,
+        flood_nodes,
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -247,11 +289,7 @@ mod tests {
         // Total raw_logs across faults == raw error logs in the store.
         let mut log = NodeLog::new(NodeId(1));
         log.push(LogRecord::Error(err(0, 0x1, 0xFFFF_FFFF, 0xFFFF_FFFE)));
-        log.push_run(
-            err(50, 0x2, 0x0, 0x10),
-            500,
-            SimDuration::from_secs(40),
-        );
+        log.push_run(err(50, 0x2, 0x0, 0x10), 500, SimDuration::from_secs(40));
         log.push(LogRecord::Error(err(60, 0x3, 0x0, 0x1)));
         let faults = extract_node_faults(&log, &ExtractConfig::default());
         let total: u64 = faults.iter().map(|f| f.raw_logs).sum();
@@ -288,6 +326,34 @@ mod tests {
         }));
         let faults = extract_node_faults(&log, &ExtractConfig::default());
         assert_eq!(faults.len(), 1);
+    }
+
+    #[test]
+    fn recovered_extract_applies_flood_filter_and_carries_stats() {
+        use uc_faultlog::ingest::IngestStats;
+        use uc_faultlog::store::ClusterLog;
+        let quiet = log_of(vec![err(0, 0x100, 0xFFFF_FFFF, 0xFFFF_FFFE)]);
+        let mut flood = NodeLog::new(NodeId(2));
+        let mut flood_rec = err(0, 0x300, 0xFFFF_FFFF, 0xFFFF_F7FF);
+        flood_rec.node = NodeId(2);
+        flood.push_run(flood_rec, 1_000_000, SimDuration::from_secs(40));
+        let cluster = ClusterLog::new(vec![quiet, flood]);
+        let stats = IngestStats {
+            lines_read: 10,
+            records_kept: 9,
+            bad_kind: 1,
+            ..IngestStats::default()
+        };
+        let out = extract_recovered(&cluster, stats, &ExtractConfig::default(), 0.5);
+        assert_eq!(out.flood_nodes, vec![NodeId(2)]);
+        assert_eq!(out.faults.len(), 1, "flood node excluded from faults");
+        assert_eq!(out.stats, stats);
+        let all = extract_recovered(&cluster, stats, &ExtractConfig::default(), 1.1);
+        assert_eq!(
+            all.faults.len(),
+            2,
+            "flood_share above 1 disables the filter"
+        );
     }
 
     #[test]

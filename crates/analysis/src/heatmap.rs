@@ -48,11 +48,7 @@ impl NodeGrid {
     }
 
     pub fn max(&self) -> f64 {
-        self.values
-            .iter()
-            .flatten()
-            .copied()
-            .fold(0.0f64, f64::max)
+        self.values.iter().flatten().copied().fold(0.0f64, f64::max)
     }
 
     pub fn total(&self) -> f64 {
@@ -185,9 +181,8 @@ mod tests {
         let log = g.render_ascii(true);
         // On the linear scale 100-of-50000 rounds into the lowest non-zero
         // band; on the log scale it climbs several levels.
-        let level_of = |s: &str, line: usize| {
-            s.lines().nth(line + 1).unwrap().chars().nth(10).unwrap()
-        };
+        let level_of =
+            |s: &str, line: usize| s.lines().nth(line + 1).unwrap().chars().nth(10).unwrap();
         assert_eq!(level_of(&linear, 1), '1');
         assert!(level_of(&log, 1) > '1');
     }

@@ -226,7 +226,9 @@ mod tests {
         assert_eq!(top.occurrences, 36);
         assert!(!top.consecutive);
         // Sorted by bit count first.
-        assert!(rows.windows(2).all(|w| w[0].bits_corrupted <= w[1].bits_corrupted));
+        assert!(rows
+            .windows(2)
+            .all(|w| w[0].bits_corrupted <= w[1].bits_corrupted));
     }
 
     #[test]

@@ -119,7 +119,12 @@ mod tests {
     fn aligned_shower_detected() {
         // A shower over adjacent rows of one column: all pairs aligned.
         let g = geometry();
-        let base = PhysCoord { rank: 0, bank: 3, row: 100, col: 77 };
+        let base = PhysCoord {
+            rank: 0,
+            bank: 3,
+            row: 100,
+            col: 77,
+        };
         let faults: Vec<Fault> = (0..4)
             .map(|k| {
                 fault_at(
@@ -146,9 +151,33 @@ mod tests {
         // Same timestamp, wildly different coordinates.
         let g = geometry();
         let faults = vec![
-            fault_at(500, g.addr(PhysCoord { rank: 0, bank: 0, row: 1, col: 1 })),
-            fault_at(500, g.addr(PhysCoord { rank: 1, bank: 5, row: 60_000, col: 900 })),
-            fault_at(500, g.addr(PhysCoord { rank: 0, bank: 7, row: 30_000, col: 500 })),
+            fault_at(
+                500,
+                g.addr(PhysCoord {
+                    rank: 0,
+                    bank: 0,
+                    row: 1,
+                    col: 1,
+                }),
+            ),
+            fault_at(
+                500,
+                g.addr(PhysCoord {
+                    rank: 1,
+                    bank: 5,
+                    row: 60_000,
+                    col: 900,
+                }),
+            ),
+            fault_at(
+                500,
+                g.addr(PhysCoord {
+                    rank: 0,
+                    bank: 7,
+                    row: 30_000,
+                    col: 500,
+                }),
+            ),
         ];
         let s = alignment_stats(&faults, g);
         assert_eq!(s.same_column_pairs, 0);

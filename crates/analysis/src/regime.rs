@@ -166,7 +166,11 @@ mod tests {
         let s = r.summary();
         assert_eq!(s.normal_days, 348);
         assert_eq!(s.degraded_days, 77);
-        assert!((s.normal_mtbf_h - 167.0).abs() < 10.0, "{}", s.normal_mtbf_h);
+        assert!(
+            (s.normal_mtbf_h - 167.0).abs() < 10.0,
+            "{}",
+            s.normal_mtbf_h
+        );
         assert!(s.degraded_mtbf_h < 0.5, "{}", s.degraded_mtbf_h);
         assert!((r.degraded_fraction() - 0.181).abs() < 0.01);
     }

@@ -91,12 +91,7 @@ pub struct TopNodeSeries {
     pub others: Vec<u64>,
 }
 
-pub fn top_node_series(
-    faults: &[Fault],
-    k: usize,
-    first_day: i64,
-    days: usize,
-) -> TopNodeSeries {
+pub fn top_node_series(faults: &[Fault], k: usize, first_day: i64, days: usize) -> TopNodeSeries {
     let top: Vec<NodeId> = top_nodes(faults, k).into_iter().map(|(n, _)| n).collect();
     let mut series = TopNodeSeries {
         first_day,

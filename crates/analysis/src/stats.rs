@@ -61,7 +61,11 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> PearsonResult {
     assert_eq!(xs.len(), ys.len(), "series must be the same length");
     let n = xs.len();
     if n < 3 {
-        return PearsonResult { r: 0.0, p_value: 1.0, n };
+        return PearsonResult {
+            r: 0.0,
+            p_value: 1.0,
+            n,
+        };
     }
     let mx = mean(xs);
     let my = mean(ys);
@@ -76,7 +80,11 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> PearsonResult {
         syy += dy * dy;
     }
     if sxx == 0.0 || syy == 0.0 {
-        return PearsonResult { r: 0.0, p_value: 1.0, n };
+        return PearsonResult {
+            r: 0.0,
+            p_value: 1.0,
+            n,
+        };
     }
     let r = (sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0);
     let df = (n - 2) as f64;

@@ -48,7 +48,11 @@ pub fn burstiness(faults: &[Fault]) -> Burstiness {
         .collect();
     let mean = crate::stats::mean(&gaps);
     let var = crate::stats::variance(&gaps);
-    let cv = if mean > 0.0 { var.sqrt() / mean } else { f64::NAN };
+    let cv = if mean > 0.0 {
+        var.sqrt() / mean
+    } else {
+        f64::NAN
+    };
 
     // Daily counts over the observed span.
     let first = faults[0].time.day_index();
@@ -173,7 +177,9 @@ mod tests {
         let mut faults = Vec::new();
         let mut x = 12345u64;
         for _ in 0..4_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u = ((x >> 11) as f64 / (1u64 << 53) as f64).max(1e-12);
             t += (-u.ln() * 3_600.0 * 2.0) as i64 + 1;
             faults.push(Fault {
@@ -182,7 +188,11 @@ mod tests {
             });
         }
         let b = burstiness(&faults);
-        assert!((0.8..=1.2).contains(&b.interarrival_cv), "cv {}", b.interarrival_cv);
+        assert!(
+            (0.8..=1.2).contains(&b.interarrival_cv),
+            "cv {}",
+            b.interarrival_cv
+        );
         assert!((0.6..=1.6).contains(&b.daily_fano), "fano {}", b.daily_fano);
     }
 

@@ -72,8 +72,7 @@ fn merge_window_ablation(c: &mut Criterion) {
     let result = campaign();
     let weak = NodeId::from_name("04-05").unwrap();
     let log = &result
-        .outcomes
-        .iter()
+        .completed()
         .find(|o| o.node == weak)
         .expect("weak node present")
         .log;

@@ -27,7 +27,7 @@ fn fig01_scan_hours(c: &mut Criterion) {
     c.bench_function("fig01_scan_hours_grid", |b| {
         b.iter(|| {
             let mut grid = NodeGrid::paper_size();
-            for o in &result.outcomes {
+            for o in result.completed() {
                 grid.set(o.node, o.monitored_hours);
             }
             black_box(grid.total())
@@ -40,7 +40,7 @@ fn fig02_terabyte_hours(c: &mut Criterion) {
     c.bench_function("fig02_tbh_grid", |b| {
         b.iter(|| {
             let mut grid = NodeGrid::paper_size();
-            for o in &result.outcomes {
+            for o in result.completed() {
                 grid.set(o.node, o.terabyte_hours);
             }
             black_box(grid.total())
@@ -99,7 +99,7 @@ fn fig09_to_fig11_daily(c: &mut Criterion) {
     c.bench_function("fig09_daily_tbh_from_logs", |b| {
         b.iter(|| {
             let mut daily = DailySeries::new(first_day(), days());
-            for o in &result.outcomes {
+            for o in result.completed() {
                 daily.add_node_log(&o.log);
             }
             black_box(daily.tb_hours.iter().sum::<f64>())
@@ -114,7 +114,7 @@ fn fig09_to_fig11_daily(c: &mut Criterion) {
     });
     c.bench_function("fig09_pearson_scan_vs_errors", |b| {
         let mut daily = DailySeries::new(first_day(), days());
-        for o in &result.outcomes {
+        for o in result.completed() {
             daily.add_node_log(&o.log);
         }
         daily.add_faults(fs);

@@ -76,8 +76,7 @@ fn extraction(c: &mut Criterion) {
     // The hottest node's log: the degrading node.
     let hot = NodeId::from_name("02-04").unwrap();
     let hot_log = result
-        .outcomes
-        .iter()
+        .completed()
         .find(|o| o.node == hot)
         .expect("hot node present");
     let mut group = c.benchmark_group("extraction");

@@ -45,13 +45,16 @@ fn headline_and_full_report(c: &mut Criterion) {
     });
     c.bench_function("full_campaign_run_8_blades", |b| {
         b.iter(|| {
-            let r = unprotected_core::run_campaign(
-                &unprotected_core::CampaignConfig::small(42, 8),
-            );
+            let r = unprotected_core::run_campaign(&unprotected_core::CampaignConfig::small(42, 8));
             black_box(r.raw_error_logs())
         })
     });
 }
 
-criterion_group!(tables, table1_multibit, table2_quarantine, headline_and_full_report);
+criterion_group!(
+    tables,
+    table1_multibit,
+    table2_quarantine,
+    headline_and_full_report
+);
 criterion_main!(tables);

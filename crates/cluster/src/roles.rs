@@ -96,9 +96,9 @@ impl RoleMap {
             }
             self.roles[n.index()] = NodeRole::Scanned;
             // Re-home the dead role on the next scanned node not in `nodes`.
-            let replacement = (0..TOTAL_NODES).map(NodeId).find(|m| {
-                self.roles[m.index()] == NodeRole::Scanned && !nodes.contains(m)
-            });
+            let replacement = (0..TOTAL_NODES)
+                .map(NodeId)
+                .find(|m| self.roles[m.index()] == NodeRole::Scanned && !nodes.contains(m));
             if let Some(m) = replacement {
                 self.roles[m.index()] = NodeRole::DeadHardware;
             }

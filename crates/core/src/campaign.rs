@@ -7,7 +7,7 @@ use uc_cluster::{NodeId, RoleMap};
 use uc_faultlog::store::{ClusterLog, NodeLog};
 use uc_faults::ScanWindow;
 use uc_memscan::{Pattern, SessionSpec};
-use uc_parallel::par_map;
+use uc_parallel::{par_map_supervised, Supervised};
 use uc_sched::SessionTermination;
 use uc_simclock::rng::{StreamRng, StreamTag};
 
@@ -15,12 +15,46 @@ use crate::config::CampaignConfig;
 
 /// Per-node simulation output.
 #[derive(Clone, Debug)]
-pub struct NodeOutcome {
+pub struct NodeSim {
     pub node: NodeId,
     pub log: NodeLog,
     pub faults: Vec<Fault>,
     pub monitored_hours: f64,
     pub terabyte_hours: f64,
+}
+
+/// Supervised outcome of one node's simulation: either the simulation
+/// output, or a record of the node's worker panicking on every attempt.
+/// A failed node degrades the campaign instead of aborting it — the
+/// paper's pipeline likewise kept 12 other blades' logs when one node's
+/// scanner died.
+#[derive(Clone, Debug)]
+pub enum NodeOutcome {
+    Completed(NodeSim),
+    Failed {
+        node: NodeId,
+        /// Times the simulation was attempted before giving up.
+        attempts: u32,
+        /// The final panic's message.
+        reason: String,
+    },
+}
+
+impl NodeOutcome {
+    pub fn node(&self) -> NodeId {
+        match self {
+            NodeOutcome::Completed(sim) => sim.node,
+            NodeOutcome::Failed { node, .. } => *node,
+        }
+    }
+
+    /// The simulation output, if the node completed.
+    pub fn sim(&self) -> Option<&NodeSim> {
+        match self {
+            NodeOutcome::Completed(sim) => Some(sim),
+            NodeOutcome::Failed { .. } => None,
+        }
+    }
 }
 
 /// The whole campaign's output.
@@ -31,11 +65,38 @@ pub struct CampaignResult {
 }
 
 impl CampaignResult {
+    /// Completed per-node simulations (the degraded-mode survivors).
+    pub fn completed(&self) -> impl Iterator<Item = &NodeSim> {
+        self.outcomes.iter().filter_map(NodeOutcome::sim)
+    }
+
+    /// Roster of failed nodes: `(node, attempts, reason)`.
+    pub fn failed_nodes(&self) -> Vec<(NodeId, u32, &str)> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| match o {
+                NodeOutcome::Failed {
+                    node,
+                    attempts,
+                    reason,
+                } => Some((*node, *attempts, reason.as_str())),
+                NodeOutcome::Completed(_) => None,
+            })
+            .collect()
+    }
+
+    /// True when at least one node failed and the aggregates below cover
+    /// only the surviving nodes.
+    pub fn is_degraded(&self) -> bool {
+        self.outcomes
+            .iter()
+            .any(|o| matches!(o, NodeOutcome::Failed { .. }))
+    }
+
     /// All faults across the cluster, time-sorted (ties by node id).
     pub fn all_faults(&self) -> Vec<Fault> {
         let mut out: Vec<Fault> = self
-            .outcomes
-            .iter()
+            .completed()
             .flat_map(|o| o.faults.iter().copied())
             .collect();
         out.sort_by_key(|f| (f.time, f.node.0, f.vaddr, f.expected, f.actual));
@@ -44,12 +105,12 @@ impl CampaignResult {
 
     /// The cluster log (borrows nothing; clones node logs).
     pub fn cluster_log(&self) -> ClusterLog {
-        ClusterLog::new(self.outcomes.iter().map(|o| o.log.clone()).collect())
+        ClusterLog::new(self.completed().map(|o| o.log.clone()).collect())
     }
 
     /// Total raw error logs across the cluster.
     pub fn raw_error_logs(&self) -> u64 {
-        self.outcomes.iter().map(|o| o.log.raw_error_count()).sum()
+        self.completed().map(|o| o.log.raw_error_count()).sum()
     }
 
     /// Identify "replaced" nodes the paper filters out before
@@ -60,8 +121,7 @@ impl CampaignResult {
         if total == 0 {
             return Vec::new();
         }
-        self.outcomes
-            .iter()
+        self.completed()
             .filter(|o| o.log.raw_error_count() as f64 / total as f64 > share)
             .map(|o| o.node)
             .collect()
@@ -72,8 +132,7 @@ impl CampaignResult {
     pub fn characterized_faults(&self) -> Vec<Fault> {
         let flood = self.flood_nodes(0.5);
         let mut out: Vec<Fault> = self
-            .outcomes
-            .iter()
+            .completed()
             .filter(|o| !flood.contains(&o.node))
             .flat_map(|o| o.faults.iter().copied())
             .collect();
@@ -83,17 +142,23 @@ impl CampaignResult {
 
     /// Total monitored node-hours under the conservative accounting.
     pub fn monitored_node_hours(&self) -> f64 {
-        self.outcomes.iter().map(|o| o.monitored_hours).sum()
+        self.completed().map(|o| o.monitored_hours).sum()
     }
 
     /// Total terabyte-hours scanned.
     pub fn terabyte_hours(&self) -> f64 {
-        self.outcomes.iter().map(|o| o.terabyte_hours).sum()
+        self.completed().map(|o| o.terabyte_hours).sum()
     }
 }
 
 /// Simulate one node end to end.
-fn simulate_node(cfg: &CampaignConfig, node: NodeId) -> NodeOutcome {
+pub(crate) fn simulate_node(cfg: &CampaignConfig, node: NodeId) -> NodeSim {
+    // Chaos hook: configs can poison specific nodes to exercise the
+    // supervised runner's degraded mode.
+    if cfg.panic_nodes.contains(&node) {
+        panic!("chaos: injected panic on node {node}");
+    }
+
     // 1. Scheduler: when does this node scan, and with how much memory?
     let plan = cfg.sched.plan_node(node, &cfg.load, cfg.seed);
 
@@ -156,7 +221,7 @@ fn simulate_node(cfg: &CampaignConfig, node: NodeId) -> NodeOutcome {
     // 4. Extraction: independent faults.
     let faults = extract_node_faults(&log, &ExtractConfig::default());
 
-    NodeOutcome {
+    NodeSim {
         node,
         monitored_hours: plan.total_monitored_hours(),
         terabyte_hours: plan.total_terabyte_hours(),
@@ -165,8 +230,36 @@ fn simulate_node(cfg: &CampaignConfig, node: NodeId) -> NodeOutcome {
     }
 }
 
+/// The node roster a config's campaign covers, in deterministic order.
+pub(crate) fn campaign_nodes(cfg: &CampaignConfig) -> (RoleMap, Vec<NodeId>) {
+    let mut roles = RoleMap::paper_defaults(&cfg.topology);
+    // Scenario-designated nodes demonstrably ran: never mark them dead.
+    roles.ensure_scanned(&cfg.scenario.special_nodes());
+    let nodes: Vec<NodeId> = roles
+        .scanned_nodes()
+        .into_iter()
+        .filter(|n| cfg.topology.is_monitored_blade(*n))
+        .collect();
+    (roles, nodes)
+}
+
+pub(crate) fn supervised_to_outcome(node: NodeId, s: Supervised<NodeSim>) -> NodeOutcome {
+    match s {
+        Supervised::Ok(sim) => NodeOutcome::Completed(sim),
+        Supervised::Panicked { attempts, message } => NodeOutcome::Failed {
+            node,
+            attempts,
+            reason: message,
+        },
+    }
+}
+
 /// Run the campaign over every scanned node, in parallel. Deterministic:
 /// the result depends only on `cfg` (including its seed).
+///
+/// Each node simulation runs supervised: a panic inside one node's worker
+/// is caught, retried up to `cfg.node_attempts` times, and finally recorded
+/// as a [`NodeOutcome::Failed`] entry so the rest of the campaign survives.
 ///
 /// ```
 /// use unprotected_core::{run_campaign, CampaignConfig};
@@ -181,15 +274,14 @@ fn simulate_node(cfg: &CampaignConfig, node: NodeId) -> NodeOutcome {
 /// assert_eq!(faults, again.characterized_faults());
 /// ```
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignResult {
-    let mut roles = RoleMap::paper_defaults(&cfg.topology);
-    // Scenario-designated nodes demonstrably ran: never mark them dead.
-    roles.ensure_scanned(&cfg.scenario.special_nodes());
-    let nodes: Vec<NodeId> = roles
-        .scanned_nodes()
-        .into_iter()
-        .filter(|n| cfg.topology.is_monitored_blade(*n))
+    let (roles, nodes) = campaign_nodes(cfg);
+    let attempts = cfg.node_attempts.max(1);
+    let sims = par_map_supervised(&nodes, attempts, |_, &node| simulate_node(cfg, node));
+    let outcomes = nodes
+        .iter()
+        .zip(sims)
+        .map(|(&node, s)| supervised_to_outcome(node, s))
         .collect();
-    let outcomes = par_map(&nodes, |_, &node| simulate_node(cfg, node));
     CampaignResult {
         config: cfg.clone(),
         roles,
@@ -221,8 +313,7 @@ mod tests {
         assert_eq!(flood.len(), 1);
         assert_eq!(flood[0].to_string(), "05-07");
         let flood_logs = r
-            .outcomes
-            .iter()
+            .completed()
             .find(|o| o.node == flood[0])
             .unwrap()
             .log
@@ -266,12 +357,47 @@ mod tests {
     #[test]
     fn monitored_hours_in_plausible_range() {
         let r = small();
-        let per_node = r.monitored_node_hours() / r.outcomes.len() as f64;
+        let per_node = r.monitored_node_hours() / r.completed().count() as f64;
         assert!(
             (3_000.0..7_000.0).contains(&per_node),
             "mean monitored hours {per_node}"
         );
-        let tbh = r.terabyte_hours() / r.outcomes.len() as f64;
+        let tbh = r.terabyte_hours() / r.completed().count() as f64;
         assert!((9.0..20.0).contains(&tbh), "mean TBh {tbh}");
+    }
+
+    #[test]
+    fn poisoned_node_degrades_instead_of_aborting() {
+        let mut cfg = CampaignConfig::small(42, 8);
+        let victim = NodeId::from_name("03-03").unwrap();
+        cfg.panic_nodes.push(victim);
+        let r = run_campaign(&cfg);
+        assert!(r.is_degraded());
+        let failed = r.failed_nodes();
+        assert_eq!(failed.len(), 1);
+        let (node, attempts, reason) = failed[0];
+        assert_eq!(node, victim);
+        assert_eq!(attempts, 1);
+        assert!(reason.contains("injected panic"), "reason: {reason}");
+        // Every other node's output is intact and identical to the
+        // healthy run's.
+        let healthy = small();
+        assert_eq!(r.completed().count() + 1, healthy.completed().count());
+        for (a, b) in r
+            .completed()
+            .zip(healthy.completed().filter(|o| o.node != victim))
+        {
+            assert_eq!(a.node, b.node);
+            assert_eq!(a.faults, b.faults);
+            assert_eq!(a.log.entries(), b.log.entries());
+        }
+    }
+
+    #[test]
+    fn healthy_campaign_is_not_degraded() {
+        let r = small();
+        assert!(!r.is_degraded());
+        assert!(r.failed_nodes().is_empty());
+        assert_eq!(r.completed().count(), r.outcomes.len());
     }
 }

@@ -1,0 +1,252 @@
+//! Incremental per-node campaign checkpointing.
+//!
+//! A full-scale campaign simulates ~900 nodes; an interruption (OOM kill,
+//! Ctrl-C, node crash) should not force recomputation of finished nodes.
+//! Each node's completed simulation is persisted as one small file the
+//! moment it finishes; [`run_campaign_checkpointed`] reads the surviving
+//! files on restart and only simulates the remainder.
+//!
+//! The determinism contract (DESIGN.md §6) must hold across a resume: a
+//! resumed campaign's output is byte-identical to an uninterrupted run.
+//! Two consequences shape the format:
+//!
+//! - temperatures are stored with the exact-bit `temp=#<hex>` codec
+//!   (`format_entry_exact`), because the human-readable `{:.1}` form
+//!   rounds `f32`s and would perturb the restored log;
+//! - monitored/terabyte hours are stored as raw `f64` bit patterns, not
+//!   decimal text.
+//!
+//! Faults are *not* stored: extraction is deterministic, so they are
+//! recomputed from the restored log on load (and the checkpoint stays
+//! small). Checkpoints are advisory — any unreadable, stale-seed or
+//! malformed file is ignored and the node recomputed.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use uc_analysis::extract::{extract_node_faults, ExtractConfig};
+use uc_cluster::NodeId;
+use uc_faultlog::codec::{format_entry_exact, parse_entry_line};
+use uc_faultlog::store::NodeLog;
+use uc_parallel::par_map_supervised;
+
+use crate::campaign::CampaignResult;
+use crate::campaign::{campaign_nodes, simulate_node, supervised_to_outcome, NodeSim};
+use crate::config::CampaignConfig;
+
+const MAGIC: &str = "CKPT v1";
+
+/// Checkpoint file name for one node.
+fn ckpt_path(dir: &Path, node: NodeId) -> PathBuf {
+    dir.join(format!("node-{node}.ckpt"))
+}
+
+/// Serialize a completed node simulation.
+fn encode(seed: u64, sim: &NodeSim) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{MAGIC} seed={seed} node={} mh={:016x} tbh={:016x} entries={}\n",
+        sim.node,
+        sim.monitored_hours.to_bits(),
+        sim.terabyte_hours.to_bits(),
+        sim.log.entries().len()
+    ));
+    for e in sim.log.entries() {
+        s.push_str(&format_entry_exact(e));
+        s.push('\n');
+    }
+    s
+}
+
+/// Parse a checkpoint file's text. Returns `None` on any mismatch —
+/// wrong magic, wrong seed, wrong node, truncated entry list, or an
+/// unparseable line. Callers recompute the node in that case.
+fn decode(text: &str, seed: u64, node: NodeId) -> Option<NodeSim> {
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    let rest = header.strip_prefix(MAGIC)?.trim_start();
+    let mut mh = None;
+    let mut tbh = None;
+    let mut count = None;
+    for field in rest.split_whitespace() {
+        let (k, v) = field.split_once('=')?;
+        match k {
+            "seed" => {
+                if v.parse::<u64>().ok()? != seed {
+                    return None;
+                }
+            }
+            "node" => {
+                if NodeId::from_name(v)? != node {
+                    return None;
+                }
+            }
+            "mh" => mh = Some(f64::from_bits(u64::from_str_radix(v, 16).ok()?)),
+            "tbh" => tbh = Some(f64::from_bits(u64::from_str_radix(v, 16).ok()?)),
+            "entries" => count = Some(v.parse::<usize>().ok()?),
+            _ => return None,
+        }
+    }
+    let (mh, tbh, count) = (mh?, tbh?, count?);
+    let mut entries = Vec::with_capacity(count);
+    for line in lines {
+        entries.push(parse_entry_line(line).ok()?);
+    }
+    if entries.len() != count {
+        return None; // torn write
+    }
+    let log = NodeLog::from_entries(Some(node), entries);
+    let faults = extract_node_faults(&log, &ExtractConfig::default());
+    Some(NodeSim {
+        node,
+        log,
+        faults,
+        monitored_hours: mh,
+        terabyte_hours: tbh,
+    })
+}
+
+/// Load one node's checkpoint if present and valid.
+pub fn read_node_checkpoint(dir: &Path, seed: u64, node: NodeId) -> Option<NodeSim> {
+    let text = fs::read_to_string(ckpt_path(dir, node)).ok()?;
+    decode(&text, seed, node)
+}
+
+/// Write one node's checkpoint atomically (tmp file + rename), so a crash
+/// mid-write leaves either the old file or none — never a torn one that
+/// happens to parse.
+pub fn write_node_checkpoint(dir: &Path, seed: u64, sim: &NodeSim) -> std::io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let path = ckpt_path(dir, sim.node);
+    let tmp = path.with_extension("ckpt.tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(encode(seed, sim).as_bytes())?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, &path)
+}
+
+/// Remove every checkpoint file in `dir` (used when starting a fresh,
+/// non-resumed run so stale state from an earlier campaign can't leak in).
+pub fn clear_checkpoints(dir: &Path) -> std::io::Result<()> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with("node-") && (name.ends_with(".ckpt") || name.ends_with(".ckpt.tmp")) {
+            fs::remove_file(&path)?;
+        }
+    }
+    Ok(())
+}
+
+/// Like [`crate::campaign::run_campaign`], but with per-node checkpoints
+/// in `ckpt_dir`: nodes with a valid checkpoint are restored instead of
+/// recomputed, and every freshly simulated node is checkpointed as soon
+/// as it completes. Checkpoint write failures are non-fatal (the
+/// simulation result is still used); failed nodes are never checkpointed.
+///
+/// Resumed output is byte-identical to an uninterrupted run: restored
+/// logs round-trip exactly (bit-exact temperatures, bit-exact hours) and
+/// fault extraction is deterministic.
+pub fn run_campaign_checkpointed(cfg: &CampaignConfig, ckpt_dir: &Path) -> CampaignResult {
+    let (roles, nodes) = campaign_nodes(cfg);
+    let attempts = cfg.node_attempts.max(1);
+    let sims = par_map_supervised(&nodes, attempts, |_, &node| {
+        if let Some(sim) = read_node_checkpoint(ckpt_dir, cfg.seed, node) {
+            return sim;
+        }
+        let sim = simulate_node(cfg, node);
+        // Best-effort: a full disk must not kill the campaign.
+        let _ = write_node_checkpoint(ckpt_dir, cfg.seed, &sim);
+        sim
+    });
+    let outcomes = nodes
+        .iter()
+        .zip(sims)
+        .map(|(&node, s)| supervised_to_outcome(node, s))
+        .collect();
+    CampaignResult {
+        config: cfg.clone(),
+        roles,
+        outcomes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::run_campaign;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("uc-ckpt-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_a_node_sim_exactly() {
+        let cfg = CampaignConfig::small(42, 8);
+        let r = run_campaign(&cfg);
+        let sim = r.completed().next().unwrap();
+        let dir = tmpdir("roundtrip");
+        write_node_checkpoint(&dir, cfg.seed, sim).unwrap();
+        let back = read_node_checkpoint(&dir, cfg.seed, sim.node).unwrap();
+        assert_eq!(back.log.entries(), sim.log.entries());
+        assert_eq!(back.faults, sim.faults);
+        assert_eq!(
+            back.monitored_hours.to_bits(),
+            sim.monitored_hours.to_bits()
+        );
+        assert_eq!(back.terabyte_hours.to_bits(), sim.terabyte_hours.to_bits());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_seed_checkpoint_is_ignored() {
+        let cfg = CampaignConfig::small(42, 8);
+        let r = run_campaign(&cfg);
+        let sim = r.completed().next().unwrap();
+        let dir = tmpdir("stale");
+        write_node_checkpoint(&dir, cfg.seed, sim).unwrap();
+        assert!(read_node_checkpoint(&dir, cfg.seed + 1, sim.node).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_ignored() {
+        let cfg = CampaignConfig::small(42, 8);
+        let r = run_campaign(&cfg);
+        let sim = r.completed().next().unwrap();
+        let dir = tmpdir("torn");
+        write_node_checkpoint(&dir, cfg.seed, sim).unwrap();
+        let path = ckpt_path(&dir, sim.node);
+        let text = fs::read_to_string(&path).unwrap();
+        let cut = text.len() * 2 / 3;
+        fs::write(&path, &text[..cut]).unwrap();
+        assert!(read_node_checkpoint(&dir, cfg.seed, sim.node).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clear_checkpoints_removes_only_checkpoint_files() {
+        let dir = tmpdir("clear");
+        fs::write(dir.join("node-01-01.ckpt"), "junk").unwrap();
+        fs::write(dir.join("node-01-02.ckpt.tmp"), "junk").unwrap();
+        fs::write(dir.join("report.txt"), "keep me").unwrap();
+        clear_checkpoints(&dir).unwrap();
+        assert!(!dir.join("node-01-01.ckpt").exists());
+        assert!(!dir.join("node-01-02.ckpt.tmp").exists());
+        assert!(dir.join("report.txt").exists());
+        // Clearing a missing directory is fine.
+        clear_checkpoints(&dir.join("nope")).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -25,6 +25,11 @@ pub struct CampaignConfig {
     /// Fraction of scan sessions using the incrementing pattern (the paper:
     /// "Most of the study was done using the former *alternating* method").
     pub incrementing_fraction: f64,
+    /// Chaos hook: nodes whose simulation workers panic on entry, to
+    /// exercise the supervised runner's degraded mode. Empty in production.
+    pub panic_nodes: Vec<NodeId>,
+    /// Attempts per node before it is recorded as failed (min 1).
+    pub node_attempts: u32,
 }
 
 impl CampaignConfig {
@@ -55,6 +60,8 @@ impl CampaignConfig {
             scan: ScanModel::paper_default(seed ^ 0xD7A3),
             thermal: ThermalModel::paper_default(seed ^ 0x7E41),
             incrementing_fraction: 0.10,
+            panic_nodes: Vec::new(),
+            node_attempts: 1,
         }
     }
 
@@ -156,10 +163,7 @@ mod tests {
         for n in cfg.scenario.special_nodes() {
             assert!(n.0 < max_node, "special node {n} outside scaled machine");
         }
-        assert_eq!(
-            cfg.scenario.degrading[0].node.to_string(),
-            "02-04"
-        );
+        assert_eq!(cfg.scenario.degrading[0].node.to_string(), "02-04");
     }
 
     #[test]

@@ -234,11 +234,7 @@ mod tests {
             .collect();
         let mut rows = 0;
         for line in lines {
-            assert_eq!(
-                line.split(',').count(),
-                header.len(),
-                "ragged row: {line}"
-            );
+            assert_eq!(line.split(',').count(), header.len(), "ragged row: {line}");
             rows += 1;
         }
         (header, rows)

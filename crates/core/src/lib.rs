@@ -13,13 +13,15 @@
 //!    maps, tables) the way the `reproduce` example shows them.
 
 pub mod campaign;
+pub mod checkpoint;
 pub mod config;
 pub mod csv;
 pub mod paperref;
 pub mod render;
 pub mod report;
 
-pub use campaign::{run_campaign, CampaignResult, NodeOutcome};
+pub use campaign::{run_campaign, CampaignResult, NodeOutcome, NodeSim};
+pub use checkpoint::run_campaign_checkpointed;
 pub use config::CampaignConfig;
 pub use paperref::{compare, Comparison};
 pub use report::Report;

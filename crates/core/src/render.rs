@@ -19,25 +19,72 @@ fn bar(count: u64, max: u64, width: usize) -> String {
 pub fn headline(r: &Report) -> String {
     let h = &r.headline;
     let mut s = String::new();
-    let _ = writeln!(s, "== Headline statistics =====================================");
-    let _ = writeln!(s, "nodes continuously scanned        {:>12}", h.nodes_scanned);
-    let _ = writeln!(s, "monitored node-hours              {:>12.0}", h.monitored_node_hours);
-    let _ = writeln!(s, "memory analyzed (terabyte-hours)  {:>12.0}", h.terabyte_hours);
-    let _ = writeln!(s, "raw error logs                    {:>12}", h.raw_error_logs);
+    let _ = writeln!(
+        s,
+        "== Headline statistics ====================================="
+    );
+    let _ = writeln!(
+        s,
+        "nodes continuously scanned        {:>12}",
+        h.nodes_scanned
+    );
+    let _ = writeln!(
+        s,
+        "monitored node-hours              {:>12.0}",
+        h.monitored_node_hours
+    );
+    let _ = writeln!(
+        s,
+        "memory analyzed (terabyte-hours)  {:>12.0}",
+        h.terabyte_hours
+    );
+    let _ = writeln!(
+        s,
+        "raw error logs                    {:>12}",
+        h.raw_error_logs
+    );
     let _ = writeln!(
         s,
         "flood node(s) {:?} holding {:.1}% of raw logs (removed)",
-        h.flood_nodes.iter().map(|n| n.to_string()).collect::<Vec<_>>(),
+        h.flood_nodes
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>(),
         h.flood_log_share * 100.0
     );
-    let _ = writeln!(s, "independent memory faults         {:>12}", h.independent_faults);
-    let _ = writeln!(s, "node MTBF (hours per fault)       {:>12.1}", h.node_mtbf_h);
-    let _ = writeln!(s, "cluster fault interval (minutes)  {:>12.1}", h.cluster_error_interval_min);
+    let _ = writeln!(
+        s,
+        "independent memory faults         {:>12}",
+        h.independent_faults
+    );
+    let _ = writeln!(
+        s,
+        "node MTBF (hours per fault)       {:>12.1}",
+        h.node_mtbf_h
+    );
+    let _ = writeln!(
+        s,
+        "cluster fault interval (minutes)  {:>12.1}",
+        h.cluster_error_interval_min
+    );
     let _ = writeln!(
         s,
         "share of faults in 3 hottest nodes{:>11.2}%",
         h.top3_concentration * 100.0
     );
+    if !r.failed_nodes.is_empty() {
+        let _ = writeln!(
+            s,
+            "DEGRADED: {} node(s) failed to simulate; totals above cover the survivors",
+            r.failed_nodes.len()
+        );
+        for (node, attempts, reason) in &r.failed_nodes {
+            let _ = writeln!(
+                s,
+                "  failed node {node} after {attempts} attempt(s): {reason}"
+            );
+        }
+    }
     s
 }
 
@@ -71,7 +118,10 @@ pub fn fig3(r: &Report) -> String {
 /// Table I: multi-bit corruptions.
 pub fn table1(r: &Report) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "== Table I: multi-bit corruptions ==========================");
+    let _ = writeln!(
+        s,
+        "== Table I: multi-bit corruptions =========================="
+    );
     let _ = writeln!(s, "bits  expected    corrupted   occurrences  consecutive");
     for row in &r.table1 {
         let _ = writeln!(
@@ -107,7 +157,10 @@ pub fn table1(r: &Report) -> String {
 /// Fig. 4: per-word vs per-node multiplicity counts.
 pub fn fig4(r: &Report) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "== Fig 4: simultaneous vs per-word multi-bit faults ========");
+    let _ = writeln!(
+        s,
+        "== Fig 4: simultaneous vs per-word multi-bit faults ========"
+    );
     let _ = writeln!(s, "bits   per-word       per-node");
     for m in 1..12 {
         let (w, n) = (r.fig4.per_word[m], r.fig4.per_node[m]);
@@ -139,7 +192,10 @@ pub fn fig4(r: &Report) -> String {
 /// Figs. 5 and 6: errors per hour of day.
 pub fn fig5_fig6(r: &Report) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "== Fig 5: faults per hour of day (by corrupted bits) =======");
+    let _ = writeln!(
+        s,
+        "== Fig 5: faults per hour of day (by corrupted bits) ======="
+    );
     let _ = writeln!(s, "hour     1    2    3    4    5   6+   all");
     for h in 0..24 {
         let row = &r.hourly.counts[h];
@@ -156,8 +212,14 @@ pub fn fig5_fig6(r: &Report) -> String {
             r.hourly.hour_total(h)
         );
     }
-    let _ = writeln!(s, "== Fig 6: multi-bit faults per hour of day =================");
-    let max = (0..24).map(|h| r.hourly.hour_multibit(h)).max().unwrap_or(0);
+    let _ = writeln!(
+        s,
+        "== Fig 6: multi-bit faults per hour of day ================="
+    );
+    let max = (0..24)
+        .map(|h| r.hourly.hour_multibit(h))
+        .max()
+        .unwrap_or(0);
     for h in 0..24 {
         let c = r.hourly.hour_multibit(h);
         let _ = writeln!(s, "{:>4}  {:>4}  {}", h, c, bar(c, max, 40));
@@ -169,7 +231,11 @@ pub fn fig5_fig6(r: &Report) -> String {
          peak hour {}",
         day,
         night,
-        if night == 0 { f64::NAN } else { day as f64 / night as f64 },
+        if night == 0 {
+            f64::NAN
+        } else {
+            day as f64 / night as f64
+        },
         r.hourly.multibit_peak_hour()
     );
     s
@@ -178,7 +244,10 @@ pub fn fig5_fig6(r: &Report) -> String {
 /// Figs. 7 and 8: temperature profiles.
 pub fn fig7_fig8(r: &Report) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "== Fig 7: faults vs node temperature =======================");
+    let _ = writeln!(
+        s,
+        "== Fig 7: faults vs node temperature ======================="
+    );
     let all = r.temperature.histogram(false);
     let multi = r.temperature.histogram(true);
     let max = all.counts.iter().copied().max().unwrap_or(0);
@@ -211,13 +280,19 @@ pub fn fig7_fig8(r: &Report) -> String {
 /// Figs. 9-11: daily series.
 pub fn fig9_to_fig11(r: &Report) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "== Fig 9: memory scanned per day (monthly totals, TBh) =====");
+    let _ = writeln!(
+        s,
+        "== Fig 9: memory scanned per day (monthly totals, TBh) ====="
+    );
     for (y, m, tb) in r.daily.monthly_tb_hours() {
         let _ = writeln!(s, "{y:>5}-{m:02}  {tb:>8.1}  {}", bar(tb as u64, 1_400, 40));
     }
     let totals = r.daily.fault_totals();
     let multis = r.daily.multibit_totals();
-    let _ = writeln!(s, "== Fig 10/11: faults per day (monthly totals) ==============");
+    let _ = writeln!(
+        s,
+        "== Fig 10/11: faults per day (monthly totals) =============="
+    );
     let _ = writeln!(s, "  month     all   multi-bit");
     let mut month_rows: Vec<(i32, u8, u64, u64)> = Vec::new();
     for (i, (&t, &mb)) in totals.iter().zip(&multis).enumerate() {
@@ -246,7 +321,10 @@ pub fn fig9_to_fig11(r: &Report) -> String {
 /// Fig. 12: the top nodes' daily fault series (monthly rollup).
 pub fn fig12(r: &Report) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "== Fig 12: faults per day for the hottest nodes ============");
+    let _ = writeln!(
+        s,
+        "== Fig 12: faults per day for the hottest nodes ============"
+    );
     let mut header = String::from("  month  ");
     for (n, _) in &r.fig12.nodes {
         let _ = write!(header, "{:>9}", n.to_string());
@@ -280,7 +358,10 @@ pub fn fig12(r: &Report) -> String {
 /// Fig. 13 + the regime MTBF split.
 pub fn fig13(r: &Report) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "== Fig 13: system regime per day ===========================");
+    let _ = writeln!(
+        s,
+        "== Fig 13: system regime per day ==========================="
+    );
     let flags = r.regime.degraded_flags();
     for (w, week) in flags.chunks(28).enumerate() {
         let line: String = week.iter().map(|&d| if d { 'D' } else { '.' }).collect();
@@ -306,7 +387,10 @@ pub fn fig13(r: &Report) -> String {
 /// Table II: the quarantine sweep.
 pub fn table2(r: &Report) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "== Table II: system MTBF for quarantine periods ============");
+    let _ = writeln!(
+        s,
+        "== Table II: system MTBF for quarantine periods ============"
+    );
     let _ = writeln!(
         s,
         "quarantine(d)   faults  node-days-quar  system MTBF(h)  avail.loss"
@@ -328,7 +412,10 @@ pub fn table2(r: &Report) -> String {
 /// ECC counterfactual summary (Sections III-C/D).
 pub fn ecc(r: &Report) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "== ECC counterfactual (had the machine been protected) =====");
+    let _ = writeln!(
+        s,
+        "== ECC counterfactual (had the machine been protected) ====="
+    );
     let _ = writeln!(
         s,
         "SECDED:   corrected {:>7}  detected {:>5}  silent {:>3}",
@@ -367,7 +454,10 @@ pub fn ecc(r: &Report) -> String {
 pub fn extras(r: &Report) -> String {
     let mut s = String::new();
     let b = r.burstiness;
-    let _ = writeln!(s, "== Temporal structure & derived studies =====================");
+    let _ = writeln!(
+        s,
+        "== Temporal structure & derived studies ====================="
+    );
     let _ = writeln!(
         s,
         "burstiness: inter-arrival CV {:.1} (1 = Poisson), daily Fano {:.1} \
@@ -394,9 +484,8 @@ pub fn extras(r: &Report) -> String {
         );
     }
     let a = &r.alignment;
-    let chance = uc_analysis::physical::AlignmentStats::chance_same_column(
-        uc_dram::Geometry::NODE_4GB,
-    );
+    let chance =
+        uc_analysis::physical::AlignmentStats::chance_same_column(uc_dram::Geometry::NODE_4GB);
     let _ = writeln!(
         s,
         "physical alignment of simultaneous corruption: {:.1}% of in-group \
@@ -439,7 +528,10 @@ pub fn extras(r: &Report) -> String {
 /// The paper-vs-measured comparison table (see `paperref`).
 pub fn paper_comparison(r: &Report) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "== Paper vs measured =======================================");
+    let _ = writeln!(
+        s,
+        "== Paper vs measured ======================================="
+    );
     let _ = writeln!(
         s,
         "{:<34} {:>12} {:>12} {:>7}  band        verdict",
@@ -463,7 +555,11 @@ pub fn paper_comparison(r: &Report) -> String {
             in_band += 1;
         }
     }
-    let _ = writeln!(s, "{in_band}/{} quantities within their shape bands", cmp.len());
+    let _ = writeln!(
+        s,
+        "{in_band}/{} quantities within their shape bands",
+        cmp.len()
+    );
     s
 }
 
@@ -527,8 +623,8 @@ mod tests {
     fn full_report_contains_every_figure() {
         let text = full_report(report());
         for tag in [
-            "Fig 1", "Fig 2", "Fig 3", "Table I", "Fig 4", "Fig 5", "Fig 6", "Fig 7",
-            "Fig 9", "Fig 10", "Fig 12", "Fig 13", "Table II", "SECDED",
+            "Fig 1", "Fig 2", "Fig 3", "Table I", "Fig 4", "Fig 5", "Fig 6", "Fig 7", "Fig 9",
+            "Fig 10", "Fig 12", "Fig 13", "Table II", "SECDED",
         ] {
             assert!(text.contains(tag), "missing {tag}");
         }

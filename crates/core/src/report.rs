@@ -1,18 +1,18 @@
 //! The report: every figure and table of the paper, derived from one
 //! campaign result. See DESIGN.md §3 for the experiment index.
 
+use uc_analysis::bitpos::BitPositionHistogram;
 use uc_analysis::daily::DailySeries;
 use uc_analysis::diurnal::HourlyProfile;
 use uc_analysis::fault::Fault;
 use uc_analysis::heatmap::NodeGrid;
-use uc_analysis::physical::{alignment_stats, AlignmentStats};
 use uc_analysis::multibit::{
     chipkill_counterfactual, flip_directions, multibit_stats, secded_counterfactual, table_i,
     EccCounterfactual, FlipDirections, MultiBitStats, TableIRow,
 };
+use uc_analysis::physical::{alignment_stats, AlignmentStats};
 use uc_analysis::regime::{RegimeDays, RegimeSummary};
 use uc_analysis::simultaneity::{coincidence_stats, CoincidenceStats, MultiplicityComparison};
-use uc_analysis::bitpos::BitPositionHistogram;
 use uc_analysis::spatial::{concentration, node_census, top_node_series, TopNodeSeries};
 use uc_analysis::stats::PearsonResult;
 use uc_analysis::temperature::TemperatureProfile;
@@ -46,6 +46,9 @@ pub struct Headline {
 /// The full report.
 pub struct Report {
     pub headline: Headline,
+    /// Degraded-mode roster: nodes whose simulation failed (with attempt
+    /// count and panic message). Empty on a healthy run.
+    pub failed_nodes: Vec<(NodeId, u32, String)>,
     /// Fig. 1: hours each node was scanned.
     pub fig1_hours: NodeGrid,
     /// Fig. 2: terabyte-hours scanned per node.
@@ -113,7 +116,7 @@ impl Report {
         let mut fig1_hours = NodeGrid::paper_size();
         let mut fig2_tbh = NodeGrid::paper_size();
         let mut fig3_faults = NodeGrid::paper_size();
-        for o in &result.outcomes {
+        for o in result.completed() {
             fig1_hours.set(o.node, o.monitored_hours);
             fig2_tbh.set(o.node, o.terabyte_hours);
         }
@@ -124,7 +127,7 @@ impl Report {
 
         // Daily series.
         let mut daily = DailySeries::new(first_day, days);
-        for o in &result.outcomes {
+        for o in result.completed() {
             daily.add_node_log(&o.log);
         }
         daily.add_faults(&faults);
@@ -143,8 +146,7 @@ impl Report {
 
         let raw = result.raw_error_logs();
         let flood_logs: u64 = result
-            .outcomes
-            .iter()
+            .completed()
             .filter(|o| flood.contains(&o.node))
             .map(|o| o.log.raw_error_count())
             .sum();
@@ -164,8 +166,13 @@ impl Report {
             protection.secded.crashes,
             monitored_node_hours.max(1.0),
         ));
+        let failed_nodes: Vec<(NodeId, u32, String)> = result
+            .failed_nodes()
+            .into_iter()
+            .map(|(n, a, r)| (n, a, r.to_string()))
+            .collect();
         let headline = Headline {
-            nodes_scanned: result.outcomes.len(),
+            nodes_scanned: result.completed().count(),
             monitored_node_hours,
             terabyte_hours: result.terabyte_hours(),
             raw_error_logs: raw,
@@ -187,6 +194,7 @@ impl Report {
 
         Report {
             headline,
+            failed_nodes,
             fig1_hours,
             fig2_tbh,
             fig3_faults,
@@ -253,7 +261,10 @@ mod tests {
         assert!(r.headline.independent_faults > 1_000);
         assert!(r.headline.flood_log_share > 0.9);
         assert_eq!(r.headline.flood_nodes.len(), 1);
-        assert!(r.headline.top3_concentration > 0.95, "spatial concentration");
+        assert!(
+            r.headline.top3_concentration > 0.95,
+            "spatial concentration"
+        );
     }
 
     #[test]

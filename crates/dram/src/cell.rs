@@ -124,7 +124,7 @@ mod tests {
     #[test]
     fn discharge_true_row_clears_ones() {
         let p = PolarityMap::new(1, 0.0); // all true rows
-        // All-ones word: every masked bit flips 1 -> 0.
+                                          // All-ones word: every masked bit flips 1 -> 0.
         assert_eq!(p.discharge(0, 0, 5, 0xFFFF_FFFF, 0x0000_0F00), 0xFFFF_F0FF);
         // All-zero word: discharge cannot flip a 0 in a true-cell row.
         assert_eq!(p.discharge(0, 0, 5, 0x0000_0000, 0x0000_0F00), 0x0000_0000);

@@ -61,7 +61,10 @@ impl VecDevice {
     /// Allocate a device of the given geometry, zero-filled.
     pub fn new(geometry: Geometry, polarity_salt: u64) -> VecDevice {
         let n = geometry.words();
-        assert!(n <= 1 << 26, "VecDevice caps at 64Mi words; use the event-driven path for full nodes");
+        assert!(
+            n <= 1 << 26,
+            "VecDevice caps at 64Mi words; use the event-driven path for full nodes"
+        );
         VecDevice {
             geometry,
             words: vec![0; n as usize],
@@ -217,8 +220,20 @@ mod tests {
     #[test]
     fn stuck_masks_merge() {
         let mut d = tiny();
-        d.set_stuck(WordAddr(1), StuckMask { force_low: 0x1, force_high: 0 });
-        d.set_stuck(WordAddr(1), StuckMask { force_low: 0x4, force_high: 0 });
+        d.set_stuck(
+            WordAddr(1),
+            StuckMask {
+                force_low: 0x1,
+                force_high: 0,
+            },
+        );
+        d.set_stuck(
+            WordAddr(1),
+            StuckMask {
+                force_low: 0x4,
+                force_high: 0,
+            },
+        );
         d.write_word(WordAddr(1), 0xF);
         assert_eq!(d.read_word(WordAddr(1)), 0xA);
         assert_eq!(d.stuck_count(), 1);

@@ -310,8 +310,7 @@ impl ChipkillCode {
         }
         // Single-error hypothesis: S1 = m a^j, S2 = m a^2j, S3 = m a^3j.
         // Requires all syndromes non-zero, S1*S3 == S2^2, and a valid j.
-        if s[0] != 0 && s[1] != 0 && s[2] != 0 && gf16::mul(s[0], s[2]) == gf16::mul(s[1], s[1])
-        {
+        if s[0] != 0 && s[1] != 0 && s[2] != 0 && gf16::mul(s[0], s[2]) == gf16::mul(s[1], s[1]) {
             let j = (gf16::log(s[1]) + 15 - gf16::log(s[0])) % 15;
             if j < Self::TOTAL_SYMBOLS {
                 let m = gf16::div(s[0], gf16::alpha_pow(j));
@@ -411,7 +410,10 @@ mod tests {
     fn secded_data_corruption_judgement_matches_paper_taxonomy() {
         let c = Secded3932;
         // Single-bit data corruption: corrected.
-        assert_eq!(c.judge_data_corruption(0xFFFF_FFFF, 1 << 9), EccOutcome::Corrected);
+        assert_eq!(
+            c.judge_data_corruption(0xFFFF_FFFF, 1 << 9),
+            EccOutcome::Corrected
+        );
         // The paper's double-bit example 0xffffffff -> 0xffff7bff
         // (bits 10 and 15): detected, would crash a SECDED machine.
         assert_eq!(
@@ -484,10 +486,7 @@ mod tests {
             for b in 0u8..16 {
                 assert_eq!(gf16::mul(a, b), gf16::mul(b, a));
                 for c in 0u8..16 {
-                    assert_eq!(
-                        gf16::mul(gf16::mul(a, b), c),
-                        gf16::mul(a, gf16::mul(b, c))
-                    );
+                    assert_eq!(gf16::mul(gf16::mul(a, b), c), gf16::mul(a, gf16::mul(b, c)));
                 }
             }
         }

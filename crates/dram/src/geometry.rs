@@ -164,7 +164,15 @@ mod tests {
     fn coord_decomposition_known_values() {
         let g = Geometry::NODE_4GB;
         let c = g.coord(WordAddr(0));
-        assert_eq!(c, PhysCoord { rank: 0, bank: 0, row: 0, col: 0 });
+        assert_eq!(
+            c,
+            PhysCoord {
+                rank: 0,
+                bank: 0,
+                row: 0,
+                col: 0
+            }
+        );
         let c = g.coord(WordAddr(1023));
         assert_eq!(c.col, 1023);
         assert_eq!(c.bank, 0);
@@ -182,7 +190,12 @@ mod tests {
     #[test]
     fn row_neighbours_share_row() {
         let g = Geometry::NODE_4GB;
-        let addr = g.addr(PhysCoord { rank: 1, bank: 3, row: 777, col: 100 });
+        let addr = g.addr(PhysCoord {
+            rank: 1,
+            bank: 3,
+            row: 777,
+            col: 100,
+        });
         let n = g.row_neighbours(addr, 4);
         assert_eq!(n.len(), 4);
         for (k, a) in n.iter().enumerate() {
@@ -199,7 +212,12 @@ mod tests {
     #[test]
     fn row_neighbours_wrap_column() {
         let g = Geometry::TINY;
-        let addr = g.addr(PhysCoord { rank: 0, bank: 0, row: 5, col: g.cols() - 1 });
+        let addr = g.addr(PhysCoord {
+            rank: 0,
+            bank: 0,
+            row: 5,
+            col: g.cols() - 1,
+        });
         let n = g.row_neighbours(addr, 2);
         assert_eq!(g.coord(n[1]).col, 0);
         assert_eq!(g.coord(n[1]).row, 5);
@@ -208,7 +226,12 @@ mod tests {
     #[test]
     fn col_neighbours_stride_is_row_pitch() {
         let g = Geometry::NODE_4GB;
-        let addr = g.addr(PhysCoord { rank: 0, bank: 2, row: 10, col: 33 });
+        let addr = g.addr(PhysCoord {
+            rank: 0,
+            bank: 2,
+            row: 10,
+            col: 33,
+        });
         let n = g.col_neighbours(addr, 3);
         // Adjacent rows differ by 2^(bank_bits + col_bits) words = 8192.
         assert_eq!(n[1].0 - n[0].0, 8_192);

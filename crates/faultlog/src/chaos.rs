@@ -1,0 +1,314 @@
+//! Deterministic log corrupter for chaos-testing the ingestion path.
+//!
+//! The integration tests corrupt a freshly written campaign corpus with a
+//! configurable dose of the damage real log pipelines see — flipped bits,
+//! files truncated mid-write, duplicated / reordered / garbage lines,
+//! whole node files gone — and then assert that recovering ingestion and
+//! extraction degrade gracefully instead of aborting.
+//!
+//! Everything is driven by [`uc_simclock::StreamRng`] streams keyed by
+//! `(seed, node, StreamTag::Chaos)`, so a corruption run is a pure
+//! function of its seed: the same seed mangles the same corpus the same
+//! way, which makes chaos-test failures reproducible. Corruption works on
+//! raw bytes, deliberately — bit flips may produce invalid UTF-8, and the
+//! ingestion layer must survive that too.
+
+use std::fs;
+use std::path::Path;
+
+use uc_simclock::{StreamRng, StreamTag};
+
+use crate::ingest::{node_log_paths, IngestError};
+
+/// Dose and seed for one corruption pass.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosConfig {
+    /// Seed for the corruption streams (independent of the campaign seed).
+    pub seed: u64,
+    /// Probability that any given line receives a mutation.
+    pub line_corruption_rate: f64,
+    /// Probability that a file is truncated at an arbitrary byte offset.
+    pub truncate_file_rate: f64,
+    /// Probability that a node file is deleted outright.
+    pub drop_file_rate: f64,
+}
+
+impl ChaosConfig {
+    /// Line-level corruption only, at the given rate.
+    pub fn lines(seed: u64, rate: f64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            line_corruption_rate: rate,
+            truncate_file_rate: 0.0,
+            drop_file_rate: 0.0,
+        }
+    }
+}
+
+/// What one corruption pass actually did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChaosReport {
+    /// Files rewritten with at least one mutation.
+    pub files_corrupted: u64,
+    /// Files deleted outright.
+    pub files_dropped: u64,
+    /// Files truncated at a random byte offset.
+    pub files_truncated: u64,
+    /// Line mutations applied, by kind, in [`LineMutation`] order.
+    pub line_mutations: [u64; 5],
+}
+
+impl ChaosReport {
+    pub fn total_line_mutations(&self) -> u64 {
+        self.line_mutations.iter().sum()
+    }
+}
+
+/// The line-level mutations, in the order counted by
+/// [`ChaosReport::line_mutations`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LineMutation {
+    /// Flip one random bit of one random byte.
+    BitFlip = 0,
+    /// Cut the line at a random byte offset.
+    Truncate = 1,
+    /// Emit the line twice.
+    Duplicate = 2,
+    /// Swap the line with the previously emitted one.
+    Reorder = 3,
+    /// Replace the line with random printable garbage.
+    Garbage = 4,
+}
+
+const MUTATIONS: [LineMutation; 5] = [
+    LineMutation::BitFlip,
+    LineMutation::Truncate,
+    LineMutation::Duplicate,
+    LineMutation::Reorder,
+    LineMutation::Garbage,
+];
+
+/// Corrupt one file's bytes in place (line mutations only; file-level
+/// truncation and deletion are directory concerns). Returns per-kind
+/// mutation counts.
+pub fn corrupt_bytes(bytes: &[u8], rate: f64, rng: &mut StreamRng) -> (Vec<u8>, [u64; 5]) {
+    let mut counts = [0u64; 5];
+    if bytes.is_empty() {
+        return (Vec::new(), counts);
+    }
+    // Split on the body without the final newline, so the trailing empty
+    // element of `split` doesn't masquerade as a blank line.
+    let body = bytes.strip_suffix(b"\n").unwrap_or(bytes);
+    let had_final_newline = body.len() != bytes.len();
+    let mut out_lines: Vec<Vec<u8>> = Vec::new();
+    for line in body.split(|&b| b == b'\n') {
+        if !rng.chance(rate) {
+            out_lines.push(line.to_vec());
+            continue;
+        }
+        let m = *rng.pick(&MUTATIONS);
+        counts[m as usize] += 1;
+        match m {
+            LineMutation::BitFlip => {
+                let mut l = line.to_vec();
+                if l.is_empty() {
+                    l.push(rng.below(256) as u8);
+                } else {
+                    let i = rng.below(l.len() as u64) as usize;
+                    let mut flipped = l[i] ^ (1 << rng.below(8) as u8);
+                    if flipped == b'\n' {
+                        // A flip that fabricates a newline would change the
+                        // line count semantics; nudge it off.
+                        flipped ^= 1;
+                    }
+                    l[i] = flipped;
+                }
+                out_lines.push(l);
+            }
+            LineMutation::Truncate => {
+                let cut = if line.is_empty() {
+                    0
+                } else {
+                    rng.below(line.len() as u64) as usize
+                };
+                out_lines.push(line[..cut].to_vec());
+            }
+            LineMutation::Duplicate => {
+                out_lines.push(line.to_vec());
+                out_lines.push(line.to_vec());
+            }
+            LineMutation::Reorder => {
+                out_lines.push(line.to_vec());
+                let n = out_lines.len();
+                if n >= 2 {
+                    out_lines.swap(n - 1, n - 2);
+                }
+            }
+            LineMutation::Garbage => {
+                let len = rng.range_inclusive(1, 40) as usize;
+                let garbage: Vec<u8> = (0..len)
+                    .map(|_| rng.range_inclusive(0x20, 0x7E) as u8)
+                    .collect();
+                out_lines.push(garbage);
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(bytes.len() + 64);
+    for (i, l) in out_lines.iter().enumerate() {
+        out.extend_from_slice(l);
+        if i + 1 < out_lines.len() || had_final_newline {
+            out.push(b'\n');
+        }
+    }
+    (out, counts)
+}
+
+/// Corrupt every node-log file under `dir` in place, deterministically in
+/// `cfg.seed`. Per-file randomness is keyed by the node id parsed from the
+/// file name, so the outcome is independent of directory iteration order.
+pub fn corrupt_dir(dir: &Path, cfg: &ChaosConfig) -> Result<ChaosReport, IngestError> {
+    let mut report = ChaosReport::default();
+    for path in node_log_paths(dir)? {
+        let node = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .and_then(crate::files::node_of_file_name)
+            .expect("node_log_paths only yields node files");
+        let mut rng = StreamRng::for_stream(cfg.seed, u64::from(node.0), StreamTag::Chaos);
+        if rng.chance(cfg.drop_file_rate) {
+            fs::remove_file(&path).map_err(|e| IngestError::io(&path, e))?;
+            report.files_dropped += 1;
+            continue;
+        }
+        let bytes = fs::read(&path).map_err(|e| IngestError::io(&path, e))?;
+        let (mut mangled, counts) = corrupt_bytes(&bytes, cfg.line_corruption_rate, &mut rng);
+        let mut touched = counts.iter().any(|&c| c > 0);
+        if rng.chance(cfg.truncate_file_rate) && !mangled.is_empty() {
+            mangled.truncate(rng.below(mangled.len() as u64) as usize);
+            report.files_truncated += 1;
+            touched = true;
+        }
+        for (total, c) in report.line_mutations.iter_mut().zip(counts) {
+            *total += c;
+        }
+        if touched {
+            fs::write(&path, &mangled).map_err(|e| IngestError::io(&path, e))?;
+            report.files_corrupted += 1;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<u8> {
+        let mut text = String::new();
+        for t in 0..200 {
+            text.push_str(&format!("END t={t} node=01-01 temp=NA\n"));
+        }
+        text.into_bytes()
+    }
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let bytes = corpus();
+        let mut rng = StreamRng::from_seed(7);
+        let (out, counts) = corrupt_bytes(&bytes, 0.0, &mut rng);
+        assert_eq!(out, bytes);
+        assert_eq!(counts, [0; 5]);
+    }
+
+    #[test]
+    fn same_seed_same_damage() {
+        let bytes = corpus();
+        let mut a = StreamRng::from_seed(99);
+        let mut b = StreamRng::from_seed(99);
+        assert_eq!(
+            corrupt_bytes(&bytes, 0.3, &mut a),
+            corrupt_bytes(&bytes, 0.3, &mut b)
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let bytes = corpus();
+        let mut a = StreamRng::from_seed(1);
+        let mut b = StreamRng::from_seed(2);
+        assert_ne!(
+            corrupt_bytes(&bytes, 0.3, &mut a).0,
+            corrupt_bytes(&bytes, 0.3, &mut b).0
+        );
+    }
+
+    #[test]
+    fn rate_one_touches_every_line() {
+        let bytes = corpus();
+        let mut rng = StreamRng::from_seed(5);
+        let (_, counts) = corrupt_bytes(&bytes, 1.0, &mut rng);
+        assert_eq!(counts.iter().sum::<u64>(), 200);
+    }
+
+    #[test]
+    fn corrupted_corpus_still_mostly_ingestible() {
+        let bytes = corpus();
+        let mut rng = StreamRng::from_seed(11);
+        let (out, _) = corrupt_bytes(&bytes, 0.05, &mut rng);
+        let text = String::from_utf8_lossy(&out);
+        let rec = crate::ingest::recover_text(&text);
+        assert!(rec.stats.is_conserved());
+        assert!(
+            rec.stats.records_kept >= 180,
+            "5% line corruption should keep >=90% of records, kept {}",
+            rec.stats.records_kept
+        );
+    }
+
+    #[test]
+    fn corrupt_dir_drops_and_mangles_deterministically() {
+        let dir = std::env::temp_dir().join(format!("uc-chaos-dir-{}", std::process::id()));
+        let make = || {
+            let _ = fs::remove_dir_all(&dir);
+            fs::create_dir_all(&dir).unwrap();
+            for node in ["01-01", "01-02", "02-01", "02-02", "03-01", "03-02"] {
+                fs::write(
+                    dir.join(format!("node-{node}.log")),
+                    format!("END t=1 node={node} temp=NA\nEND t=2 node={node} temp=NA\n"),
+                )
+                .unwrap();
+            }
+        };
+        let cfg = ChaosConfig {
+            seed: 3,
+            line_corruption_rate: 0.5,
+            truncate_file_rate: 0.3,
+            drop_file_rate: 0.3,
+        };
+        make();
+        let a = corrupt_dir(&dir, &cfg).unwrap();
+        let snapshot_a: Vec<(String, Vec<u8>)> = read_all(&dir);
+        make();
+        let b = corrupt_dir(&dir, &cfg).unwrap();
+        let snapshot_b = read_all(&dir);
+        assert_eq!(a, b, "report deterministic in the seed");
+        assert_eq!(snapshot_a, snapshot_b, "damage deterministic in the seed");
+        assert!(a.files_dropped + a.files_corrupted > 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn read_all(dir: &Path) -> Vec<(String, Vec<u8>)> {
+        let mut files: Vec<_> = fs::read_dir(dir)
+            .unwrap()
+            .map(|e| {
+                let p = e.unwrap().path();
+                (
+                    p.file_name().unwrap().to_string_lossy().into_owned(),
+                    fs::read(&p).unwrap(),
+                )
+            })
+            .collect();
+        files.sort();
+        files
+    }
+}

@@ -54,8 +54,29 @@ fn fmt_temp(temp: Option<TempC>) -> String {
     }
 }
 
+/// Lossless temperature encoding: `#` plus the f32 bit pattern in hex. The
+/// human-readable `{:.1}` form rounds to a tenth of a degree, which is fine
+/// for the study logs but would break byte-identical campaign resume —
+/// checkpoint files use this form instead.
+fn fmt_temp_exact(temp: Option<TempC>) -> String {
+    match temp {
+        Some(t) => format!("#{:08x}", t.0.to_bits()),
+        None => "NA".to_string(),
+    }
+}
+
 /// Render a record as one log line (no trailing newline).
 pub fn format_record(r: &LogRecord) -> String {
+    format_record_with(r, fmt_temp)
+}
+
+/// Like [`format_record`] but with the lossless temperature encoding, so
+/// the line parses back to the bit-identical in-memory record.
+pub fn format_record_exact(r: &LogRecord) -> String {
+    format_record_with(r, fmt_temp_exact)
+}
+
+fn format_record_with(r: &LogRecord, ft: fn(Option<TempC>) -> String) -> String {
     let mut s = String::with_capacity(96);
     match r {
         LogRecord::Start(rec) => {
@@ -65,7 +86,7 @@ pub fn format_record(r: &LogRecord) -> String {
                 rec.time.as_secs(),
                 rec.node,
                 rec.alloc_bytes,
-                fmt_temp(rec.temp)
+                ft(rec.temp)
             );
         }
         LogRecord::Error(rec) => {
@@ -78,7 +99,7 @@ pub fn format_record(r: &LogRecord) -> String {
                 rec.phys_page,
                 rec.expected,
                 rec.actual,
-                fmt_temp(rec.temp)
+                ft(rec.temp)
             );
         }
         LogRecord::End(rec) => {
@@ -87,7 +108,7 @@ pub fn format_record(r: &LogRecord) -> String {
                 "END t={} node={} temp={}",
                 rec.time.as_secs(),
                 rec.node,
-                fmt_temp(rec.temp)
+                ft(rec.temp)
             );
         }
         LogRecord::AllocFail { time, node } => {
@@ -134,6 +155,10 @@ fn parse_temp(tokens: &[&str]) -> Result<Option<TempC>, ParseError> {
     let v = field(tokens, "temp")?;
     if v == "NA" {
         Ok(None)
+    } else if let Some(bits) = v.strip_prefix('#') {
+        u32::from_str_radix(bits, 16)
+            .map(|b| Some(TempC(f32::from_bits(b))))
+            .map_err(|_| ParseError::BadNumber("temp", v.to_string()))
     } else {
         v.parse::<f32>()
             .map(|t| Some(TempC(t)))
@@ -146,8 +171,18 @@ fn parse_temp(tokens: &[&str]) -> Result<Option<TempC>, ParseError> {
 /// period, so the flood node's tens of millions of re-detections persist
 /// as ~one line per scan session instead of thousands.
 pub fn format_entry(entry: &crate::store::LogEntry) -> String {
+    format_entry_with(entry, fmt_temp)
+}
+
+/// Like [`format_entry`] but with the lossless temperature encoding; see
+/// [`format_record_exact`].
+pub fn format_entry_exact(entry: &crate::store::LogEntry) -> String {
+    format_entry_with(entry, fmt_temp_exact)
+}
+
+fn format_entry_with(entry: &crate::store::LogEntry, ft: fn(Option<TempC>) -> String) -> String {
     match entry {
-        crate::store::LogEntry::One(rec) => format_record(rec),
+        crate::store::LogEntry::One(rec) => format_record_with(rec, ft),
         crate::store::LogEntry::ErrorRun {
             first,
             count,
@@ -163,7 +198,7 @@ pub fn format_entry(entry: &crate::store::LogEntry) -> String {
                 first.phys_page,
                 first.expected,
                 first.actual,
-                fmt_temp(first.temp),
+                ft(first.temp),
                 count,
                 period.as_secs()
             );
@@ -366,6 +401,60 @@ mod tests {
         let line = "ERRORRUN t=0 node=01-01 vaddr=0x0 page=0x0 \
                     expected=0x0 actual=0x1 temp=NA count=0 period=40";
         assert!(parse_entry_line(line).is_err());
+    }
+
+    #[test]
+    fn exact_temp_roundtrips_bit_for_bit() {
+        // A temperature that `{:.1}` cannot represent exactly.
+        let r = LogRecord::Error(ErrorRecord {
+            temp: Some(TempC(35.123_456)),
+            ..match sample_error() {
+                LogRecord::Error(e) => e,
+                _ => unreachable!(),
+            }
+        });
+        let lossy = parse_line(&format_record(&r)).unwrap();
+        assert_ne!(lossy, r, "the {{:.1}} form rounds");
+        let line = format_record_exact(&r);
+        assert!(line.contains("temp=#"));
+        assert_eq!(parse_line(&line).unwrap(), r, "the exact form does not");
+    }
+
+    #[test]
+    fn exact_entry_roundtrips_runs_and_na() {
+        use crate::store::LogEntry;
+        let entry = LogEntry::ErrorRun {
+            first: ErrorRecord {
+                time: SimTime::from_secs(9),
+                node: NodeId(3),
+                vaddr: 0x40,
+                phys_page: 0,
+                expected: 0xFFFF_FFFF,
+                actual: 0xFFFF_FFF7,
+                temp: Some(TempC(33.333_33)),
+            },
+            count: 7,
+            period: uc_simclock::SimDuration::from_secs(40),
+        };
+        assert_eq!(
+            parse_entry_line(&format_entry_exact(&entry)).unwrap(),
+            entry
+        );
+        let none = LogEntry::One(LogRecord::End(EndRecord {
+            time: SimTime::from_secs(1),
+            node: NodeId(0),
+            temp: None,
+        }));
+        assert!(format_entry_exact(&none).contains("temp=NA"));
+        assert_eq!(parse_entry_line(&format_entry_exact(&none)).unwrap(), none);
+    }
+
+    #[test]
+    fn bad_exact_temp_rejected() {
+        assert!(matches!(
+            parse_line("END t=1 node=01-01 temp=#zz"),
+            Err(ParseError::BadNumber("temp", _))
+        ));
     }
 
     #[test]

@@ -13,6 +13,7 @@ use std::path::{Path, PathBuf};
 use uc_cluster::NodeId;
 
 use crate::codec::{format_record, parse_line, ParseError};
+use crate::ingest::IngestError;
 use crate::store::{ClusterLog, NodeLog};
 
 /// File name for a node's log.
@@ -29,39 +30,43 @@ pub fn node_of_file_name(name: &str) -> Option<NodeId> {
 /// Write one node's log to `<dir>/node-BB-SS.log` (directory created if
 /// missing). Compressed runs are expanded to raw lines, as the real
 /// scanner would have written them.
-pub fn write_node_log(dir: &Path, log: &NodeLog) -> io::Result<PathBuf> {
-    let node = log
-        .node
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "log has no node id"))?;
-    fs::create_dir_all(dir)?;
+pub fn write_node_log(dir: &Path, log: &NodeLog) -> Result<PathBuf, IngestError> {
+    let node = log.node.ok_or(IngestError::NoNodeId)?;
+    fs::create_dir_all(dir).map_err(|e| IngestError::io(dir, e))?;
     let path = dir.join(node_file_name(node));
-    let mut w = BufWriter::new(fs::File::create(&path)?);
-    for rec in log.iter() {
-        writeln!(w, "{}", format_record(&rec))?;
-    }
-    w.flush()?;
+    let file = fs::File::create(&path).map_err(|e| IngestError::io(&path, e))?;
+    let mut w = BufWriter::new(file);
+    let write_all = |w: &mut BufWriter<fs::File>| -> io::Result<()> {
+        for rec in log.iter() {
+            writeln!(w, "{}", format_record(&rec))?;
+        }
+        w.flush()
+    };
+    write_all(&mut w).map_err(|e| IngestError::io(&path, e))?;
     Ok(path)
 }
 
 /// Write one node's log in the compact format: compressed runs persist as
 /// single `ERRORRUN` lines (the flood node shrinks from tens of millions of
 /// lines to about one per scan session).
-pub fn write_node_log_compact(dir: &Path, log: &NodeLog) -> io::Result<PathBuf> {
-    let node = log
-        .node
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "log has no node id"))?;
-    fs::create_dir_all(dir)?;
+pub fn write_node_log_compact(dir: &Path, log: &NodeLog) -> Result<PathBuf, IngestError> {
+    let node = log.node.ok_or(IngestError::NoNodeId)?;
+    fs::create_dir_all(dir).map_err(|e| IngestError::io(dir, e))?;
     let path = dir.join(node_file_name(node));
-    let mut w = BufWriter::new(fs::File::create(&path)?);
-    for entry in log.entries() {
-        writeln!(w, "{}", crate::codec::format_entry(entry))?;
-    }
-    w.flush()?;
+    let file = fs::File::create(&path).map_err(|e| IngestError::io(&path, e))?;
+    let mut w = BufWriter::new(file);
+    let write_all = |w: &mut BufWriter<fs::File>| -> io::Result<()> {
+        for entry in log.entries() {
+            writeln!(w, "{}", crate::codec::format_entry(entry))?;
+        }
+        w.flush()
+    };
+    write_all(&mut w).map_err(|e| IngestError::io(&path, e))?;
     Ok(path)
 }
 
 /// Write a whole cluster compactly; returns files written.
-pub fn write_cluster_log_compact(dir: &Path, cluster: &ClusterLog) -> io::Result<usize> {
+pub fn write_cluster_log_compact(dir: &Path, cluster: &ClusterLog) -> Result<usize, IngestError> {
     let mut n = 0;
     for log in cluster.node_logs() {
         if log.node.is_some() {
@@ -73,10 +78,11 @@ pub fn write_cluster_log_compact(dir: &Path, cluster: &ClusterLog) -> io::Result
 }
 
 /// Read a directory of (possibly compact) node logs.
-pub fn read_cluster_log_compact(dir: &Path) -> io::Result<(ClusterLog, LoadIssues)> {
+pub fn read_cluster_log_compact(dir: &Path) -> Result<(ClusterLog, LoadIssues), IngestError> {
     let mut issues = LoadIssues::default();
     let mut logs: Vec<NodeLog> = Vec::new();
-    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| IngestError::io(dir, e))?
         .filter_map(|e| e.ok().map(|e| e.path()))
         .collect();
     entries.sort();
@@ -89,7 +95,7 @@ pub fn read_cluster_log_compact(dir: &Path) -> io::Result<(ClusterLog, LoadIssue
             issues.skipped_files.push(path.clone());
             continue;
         }
-        let text = fs::read_to_string(&path)?;
+        let text = fs::read_to_string(&path).map_err(|e| IngestError::io(&path, e))?;
         let (log, errs) = NodeLog::from_text_compact(&text);
         for (line, e) in errs {
             issues.bad_lines.push((path.clone(), line, e));
@@ -102,7 +108,7 @@ pub fn read_cluster_log_compact(dir: &Path) -> io::Result<(ClusterLog, LoadIssue
 
 /// Write a whole cluster's logs, one file per node. Returns the number of
 /// files written.
-pub fn write_cluster_log(dir: &Path, cluster: &ClusterLog) -> io::Result<usize> {
+pub fn write_cluster_log(dir: &Path, cluster: &ClusterLog) -> Result<usize, IngestError> {
     let mut n = 0;
     for log in cluster.node_logs() {
         if log.node.is_some() {
@@ -124,10 +130,11 @@ pub struct LoadIssues {
 
 /// Read every `node-*.log` in a directory into a [`ClusterLog`]. Node logs
 /// come back sorted by node id; parse failures are collected, not fatal.
-pub fn read_cluster_log(dir: &Path) -> io::Result<(ClusterLog, LoadIssues)> {
+pub fn read_cluster_log(dir: &Path) -> Result<(ClusterLog, LoadIssues), IngestError> {
     let mut issues = LoadIssues::default();
     let mut logs: Vec<NodeLog> = Vec::new();
-    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| IngestError::io(dir, e))?
         .filter_map(|e| e.ok().map(|e| e.path()))
         .collect();
     entries.sort();
@@ -140,10 +147,10 @@ pub fn read_cluster_log(dir: &Path) -> io::Result<(ClusterLog, LoadIssues)> {
             issues.skipped_files.push(path.clone());
             continue;
         };
-        let file = fs::File::open(&path)?;
+        let file = fs::File::open(&path).map_err(|e| IngestError::io(&path, e))?;
         let mut log = NodeLog::new(node);
         for (i, line) in io::BufReader::new(file).lines().enumerate() {
-            let line = line?;
+            let line = line.map_err(|e| IngestError::io(&path, e))?;
             if line.trim().is_empty() {
                 continue;
             }
@@ -165,10 +172,8 @@ mod tests {
     use uc_simclock::{SimDuration, SimTime};
 
     fn tempdir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "uc-faultlog-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("uc-faultlog-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -311,6 +316,23 @@ mod tests {
         let (back, errs) = NodeLog::from_text_compact(&compact);
         assert!(errs.is_empty());
         assert_eq!(back.raw_error_count(), 100_000);
+    }
+
+    #[test]
+    fn write_without_node_id_is_typed_error() {
+        let log = NodeLog::default();
+        let dir = tempdir("no-node-id");
+        assert!(matches!(
+            write_node_log(&dir, &log),
+            Err(IngestError::NoNodeId)
+        ));
+    }
+
+    #[test]
+    fn missing_directory_read_is_typed_error() {
+        let err = read_cluster_log(Path::new("/definitely/not/a/real/dir")).unwrap_err();
+        assert!(matches!(err, IngestError::Missing(_)));
+        assert!(err.to_string().contains("/definitely/not/a/real/dir"));
     }
 
     #[test]

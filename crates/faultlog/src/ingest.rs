@@ -1,0 +1,567 @@
+//! Recovering (lossy) ingestion.
+//!
+//! The strict parser in [`crate::codec`] hands every malformed line back to
+//! the caller; the readers in [`crate::files`] collect those errors but
+//! still assume readable, well-formed UTF-8 files. Field data is messier —
+//! the paper's 13-month dataset survived hard reboots mid-scan, monitoring
+//! gaps and truncated sessions — so this module reads whatever is actually
+//! on disk, keeps every record that can be kept, and accounts precisely for
+//! what was lost and why:
+//!
+//! - malformed lines are skipped and counted per [`ParseError`] category;
+//! - a torn final line (file truncated mid-write: unparseable *and* missing
+//!   its trailing newline) is counted separately from ordinary corruption;
+//! - invalid UTF-8 is replaced, not fatal;
+//! - a START/END line byte-identical to the previously kept one (log-shipper
+//!   hiccup) is dropped as a duplicate — a session cannot legitimately start
+//!   or end twice at the same instant. Identical consecutive ERROR lines are
+//!   kept: a weak bit really can fire twice within one second at the same
+//!   address and temperature;
+//! - out-of-order timestamps are kept (entries are re-sorted) but counted;
+//! - START followed by another START with no END between — the paper's
+//!   hard-reboot signature — is counted as a session gap.
+//!
+//! The conservation law `lines_read == records_kept + dropped()` holds for
+//! every ingest and is property-tested in `tests/` at the workspace root.
+
+use std::borrow::Cow;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::codec::{parse_entry_line, ParseError};
+use crate::record::LogRecord;
+use crate::store::{ClusterLog, LogEntry, NodeLog};
+
+/// Why a log directory or file could not be ingested at all. Per-line
+/// trouble never produces this — it lands in [`IngestStats`] instead.
+#[derive(Debug)]
+pub enum IngestError {
+    /// The path does not exist.
+    Missing(PathBuf),
+    /// The path exists but is not a directory.
+    NotADirectory(PathBuf),
+    /// The directory contains no `node-*.log` files.
+    NoLogFiles(PathBuf),
+    /// A log has no node id, so its file name cannot be derived.
+    NoNodeId,
+    /// An underlying I/O failure, with the path that caused it.
+    Io { path: PathBuf, source: io::Error },
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Missing(p) => write!(f, "log directory {} does not exist", p.display()),
+            IngestError::NotADirectory(p) => write!(f, "{} is not a directory", p.display()),
+            IngestError::NoLogFiles(p) => {
+                write!(f, "no node-*.log files in {}", p.display())
+            }
+            IngestError::NoNodeId => write!(f, "log has no node id"),
+            IngestError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl IngestError {
+    pub(crate) fn io(path: &Path, source: io::Error) -> IngestError {
+        if source.kind() == io::ErrorKind::NotFound {
+            IngestError::Missing(path.to_path_buf())
+        } else {
+            IngestError::Io {
+                path: path.to_path_buf(),
+                source,
+            }
+        }
+    }
+}
+
+/// Accounting for one recovering ingest (one file, or a whole directory —
+/// stats from multiple files merge additively).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Files successfully opened and read.
+    pub files_read: u64,
+    /// Files that existed but could not be read; their lines are lost.
+    pub files_unreadable: u64,
+    /// Files whose bytes were not valid UTF-8 (read with replacement).
+    pub invalid_utf8_files: u64,
+    /// Every line seen, kept or not.
+    pub lines_read: u64,
+    /// Lines that parsed into a kept record or run entry.
+    pub records_kept: u64,
+    /// Blank / whitespace-only lines.
+    pub blank_lines: u64,
+    /// Final line of a truncated file: unparseable and missing its newline.
+    pub torn_final_lines: u64,
+    /// START/END lines byte-identical to the previously kept line.
+    pub duplicate_lines: u64,
+    /// Dropped: unknown record kind ([`ParseError::UnknownKind`]).
+    pub bad_kind: u64,
+    /// Dropped: missing `key=value` field ([`ParseError::MissingField`]).
+    pub bad_field: u64,
+    /// Dropped: malformed number ([`ParseError::BadNumber`]).
+    pub bad_number: u64,
+    /// Dropped: node name outside the topology ([`ParseError::BadNode`]).
+    pub bad_node: u64,
+    /// Kept, but timestamped earlier than a preceding record.
+    pub out_of_order: u64,
+    /// START seen while a session was already open (hard-reboot signature).
+    pub session_gaps: u64,
+}
+
+impl IngestStats {
+    /// Lines that did not become records, across every drop category.
+    pub fn dropped(&self) -> u64 {
+        self.blank_lines
+            + self.torn_final_lines
+            + self.duplicate_lines
+            + self.bad_kind
+            + self.bad_field
+            + self.bad_number
+            + self.bad_node
+    }
+
+    /// The conservation law: every line read is either kept or counted in
+    /// exactly one drop category.
+    pub fn is_conserved(&self) -> bool {
+        self.lines_read == self.records_kept + self.dropped()
+    }
+
+    /// Fold another file's stats into this one.
+    pub fn merge(&mut self, other: &IngestStats) {
+        self.files_read += other.files_read;
+        self.files_unreadable += other.files_unreadable;
+        self.invalid_utf8_files += other.invalid_utf8_files;
+        self.lines_read += other.lines_read;
+        self.records_kept += other.records_kept;
+        self.blank_lines += other.blank_lines;
+        self.torn_final_lines += other.torn_final_lines;
+        self.duplicate_lines += other.duplicate_lines;
+        self.bad_kind += other.bad_kind;
+        self.bad_field += other.bad_field;
+        self.bad_number += other.bad_number;
+        self.bad_node += other.bad_node;
+        self.out_of_order += other.out_of_order;
+        self.session_gaps += other.session_gaps;
+    }
+
+    fn classify(&mut self, e: &ParseError) {
+        match e {
+            ParseError::Empty => self.blank_lines += 1,
+            ParseError::UnknownKind(_) => self.bad_kind += 1,
+            ParseError::MissingField(_) => self.bad_field += 1,
+            ParseError::BadNumber(..) => self.bad_number += 1,
+            ParseError::BadNode(_) => self.bad_node += 1,
+        }
+    }
+
+    /// Human-readable multi-line summary, as `uc analyze` prints it.
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "ingest: {} files read ({} unreadable, {} invalid UTF-8)",
+            self.files_read, self.files_unreadable, self.invalid_utf8_files
+        );
+        let _ = writeln!(
+            s,
+            "ingest: {} lines -> {} records kept, {} dropped",
+            self.lines_read,
+            self.records_kept,
+            self.dropped()
+        );
+        if self.dropped() > 0 {
+            let _ = writeln!(
+                s,
+                "ingest: dropped by category: {} blank, {} torn-final, {} duplicate, \
+                 {} unknown-kind, {} missing-field, {} bad-number, {} bad-node",
+                self.blank_lines,
+                self.torn_final_lines,
+                self.duplicate_lines,
+                self.bad_kind,
+                self.bad_field,
+                self.bad_number,
+                self.bad_node
+            );
+        }
+        if self.out_of_order + self.session_gaps > 0 {
+            let _ = writeln!(
+                s,
+                "ingest: anomalies kept: {} out-of-order records, {} session gaps (START/START)",
+                self.out_of_order, self.session_gaps
+            );
+        }
+        s.pop();
+        s
+    }
+}
+
+/// The product of a recovering ingest: whatever could be kept, plus the
+/// accounting for everything that could not.
+#[derive(Clone, Debug, Default)]
+pub struct Recovered {
+    pub log: NodeLog,
+    pub stats: IngestStats,
+}
+
+/// Lossy-parse one node's log text. Never fails and never panics: every
+/// line either becomes a record or increments a drop counter.
+pub fn recover_text(text: &str) -> Recovered {
+    let mut stats = IngestStats::default();
+    let mut entries: Vec<LogEntry> = Vec::new();
+    // A file torn mid-write ends without a newline; only then can the last
+    // line's parse failure be attributed to truncation rather than damage.
+    let torn_tail = !text.is_empty() && !text.ends_with('\n');
+    let total_lines = text.lines().count();
+    let mut last_kept_raw: Option<&str> = None;
+    let mut high_water: Option<uc_simclock::SimTime> = None;
+    let mut in_session = false;
+
+    for (i, line) in text.lines().enumerate() {
+        stats.lines_read += 1;
+        if line.trim().is_empty() {
+            stats.blank_lines += 1;
+            continue;
+        }
+        match parse_entry_line(line) {
+            Ok(entry) => {
+                // A repeated session marker is provably illegitimate (a
+                // session cannot start or end twice at the same instant),
+                // so a byte-identical consecutive START/END is dropped as
+                // a duplicated line. Identical consecutive ERROR lines are
+                // kept: a weak bit really can fire twice within a second
+                // at the same address and temperature.
+                let is_marker = matches!(
+                    entry,
+                    LogEntry::One(LogRecord::Start(_)) | LogEntry::One(LogRecord::End(_))
+                );
+                if is_marker && last_kept_raw == Some(line) {
+                    stats.duplicate_lines += 1;
+                    continue;
+                }
+                if let LogEntry::One(LogRecord::Start(_)) = entry {
+                    if in_session {
+                        stats.session_gaps += 1;
+                    }
+                    in_session = true;
+                } else if let LogEntry::One(LogRecord::End(_)) = entry {
+                    in_session = false;
+                }
+                // Compare against the high-water mark, not the previous
+                // record, so one displaced-early line counts once instead
+                // of tainting everything after it.
+                if high_water.is_some_and(|t| entry.first_time() < t) {
+                    stats.out_of_order += 1;
+                } else {
+                    high_water = Some(entry.first_time());
+                }
+                last_kept_raw = Some(line);
+                stats.records_kept += 1;
+                entries.push(entry);
+            }
+            Err(e) => {
+                if torn_tail && i + 1 == total_lines {
+                    stats.torn_final_lines += 1;
+                } else {
+                    stats.classify(&e);
+                }
+            }
+        }
+    }
+    Recovered {
+        log: NodeLog::from_entries(None, entries),
+        stats,
+    }
+}
+
+/// Read one node-log file in recovering mode. Fails only if the file
+/// itself cannot be read; its *content* can be arbitrarily damaged.
+pub fn read_node_log_recovering(path: &Path) -> Result<Recovered, IngestError> {
+    let bytes = fs::read(path).map_err(|e| IngestError::io(path, e))?;
+    let text = String::from_utf8_lossy(&bytes);
+    let mut rec = recover_text(&text);
+    rec.stats.files_read = 1;
+    if let Cow::Owned(_) = text {
+        rec.stats.invalid_utf8_files = 1;
+    }
+    if rec.log.node.is_none() {
+        // A file whose every line is damaged still names its node.
+        rec.log.node = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .and_then(crate::files::node_of_file_name);
+    }
+    Ok(rec)
+}
+
+/// List the `node-*.log` files under `dir`, sorted, with typed errors for
+/// each way a directory can be unusable.
+pub fn node_log_paths(dir: &Path) -> Result<Vec<PathBuf>, IngestError> {
+    if !dir.exists() {
+        return Err(IngestError::Missing(dir.to_path_buf()));
+    }
+    if !dir.is_dir() {
+        return Err(IngestError::NotADirectory(dir.to_path_buf()));
+    }
+    let rd = fs::read_dir(dir).map_err(|e| IngestError::io(dir, e))?;
+    let mut paths: Vec<PathBuf> = rd
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .and_then(crate::files::node_of_file_name)
+                .is_some()
+        })
+        .collect();
+    if paths.is_empty() {
+        return Err(IngestError::NoLogFiles(dir.to_path_buf()));
+    }
+    paths.sort();
+    Ok(paths)
+}
+
+/// Read a whole directory of node logs in recovering mode. Unreadable
+/// individual files are counted and skipped; the call fails only when the
+/// directory is missing/empty/unusable or *no* file could be read at all.
+pub fn read_cluster_log_recovering(dir: &Path) -> Result<(ClusterLog, IngestStats), IngestError> {
+    let paths = node_log_paths(dir)?;
+    let mut stats = IngestStats::default();
+    let mut logs: Vec<NodeLog> = Vec::new();
+    let mut first_err: Option<IngestError> = None;
+    for path in &paths {
+        match read_node_log_recovering(path) {
+            Ok(rec) => {
+                stats.merge(&rec.stats);
+                logs.push(rec.log);
+            }
+            Err(e) => {
+                stats.files_unreadable += 1;
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    if logs.is_empty() {
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+    }
+    logs.sort_by_key(|l| l.node.map(|n| n.0));
+    Ok((ClusterLog::new(logs), stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "START t=0 node=01-01 alloc=3221225472 temp=34.5\n\
+                        ERROR t=40 node=01-01 vaddr=0x00000100 page=0x000001 \
+                        expected=0xffffffff actual=0xfffffffe temp=35.0\n\
+                        END t=100 node=01-01 temp=NA\n";
+
+    #[test]
+    fn clean_text_recovers_everything() {
+        let rec = recover_text(GOOD);
+        assert_eq!(rec.stats.lines_read, 3);
+        assert_eq!(rec.stats.records_kept, 3);
+        assert_eq!(rec.stats.dropped(), 0);
+        assert!(rec.stats.is_conserved());
+        assert_eq!(rec.log.raw_record_count(), 3);
+        assert_eq!(
+            rec.log.node.map(|n| n.to_string()).as_deref(),
+            Some("01-01")
+        );
+    }
+
+    #[test]
+    fn garbage_lines_classified_and_counted() {
+        let text = format!(
+            "{GOOD}BOOM t=1 node=01-01\n\
+             ERROR t=1 node=01-01 vaddr=zz page=0x0 expected=0x0 actual=0x1 temp=NA\n\
+             END t=1 node=99-99 temp=NA\n\
+             END t=1 temp=NA\n\n"
+        );
+        let rec = recover_text(&text);
+        assert_eq!(rec.stats.records_kept, 3);
+        assert_eq!(rec.stats.bad_kind, 1);
+        assert_eq!(rec.stats.bad_number, 1);
+        assert_eq!(rec.stats.bad_node, 1);
+        assert_eq!(rec.stats.bad_field, 1);
+        assert_eq!(rec.stats.blank_lines, 1);
+        assert!(rec.stats.is_conserved());
+    }
+
+    #[test]
+    fn torn_final_line_counted_separately() {
+        let torn = format!("{GOOD}ERROR t=140 node=01-01 vaddr=0x0000");
+        let rec = recover_text(&torn);
+        assert_eq!(rec.stats.torn_final_lines, 1);
+        assert_eq!(rec.stats.bad_field + rec.stats.bad_number, 0);
+        assert_eq!(rec.stats.records_kept, 3);
+        assert!(rec.stats.is_conserved());
+    }
+
+    #[test]
+    fn unterminated_but_valid_final_line_kept() {
+        let rec = recover_text(GOOD.trim_end());
+        assert_eq!(rec.stats.records_kept, 3);
+        assert_eq!(rec.stats.torn_final_lines, 0);
+    }
+
+    #[test]
+    fn damaged_final_line_in_terminated_file_is_not_torn() {
+        let text = format!("{GOOD}GARBAGE\n");
+        let rec = recover_text(&text);
+        assert_eq!(rec.stats.torn_final_lines, 0);
+        // "GARBAGE" has no t= field, which the parser checks before the
+        // record kind.
+        assert_eq!(rec.stats.bad_field, 1);
+    }
+
+    #[test]
+    fn duplicate_lines_dropped_once() {
+        let text = "END t=1 node=01-01 temp=NA\nEND t=1 node=01-01 temp=NA\n\
+                    END t=2 node=01-01 temp=NA\n";
+        let rec = recover_text(text);
+        assert_eq!(rec.stats.duplicate_lines, 1);
+        assert_eq!(rec.stats.records_kept, 2);
+        assert!(rec.stats.is_conserved());
+    }
+
+    #[test]
+    fn repeated_error_lines_are_legitimate() {
+        // The same weak bit firing twice within one second produces two
+        // byte-identical ERROR lines; both are real records.
+        let text = "ERROR t=5 node=01-01 vaddr=0x10 page=0x1 expected=0xffffffff \
+                    actual=0xff7fffff temp=NA\n\
+                    ERROR t=5 node=01-01 vaddr=0x10 page=0x1 expected=0xffffffff \
+                    actual=0xff7fffff temp=NA\n";
+        let rec = recover_text(text);
+        assert_eq!(rec.stats.duplicate_lines, 0);
+        assert_eq!(rec.stats.records_kept, 2);
+        assert!(rec.stats.is_conserved());
+    }
+
+    #[test]
+    fn out_of_order_kept_and_resorted() {
+        let text = "END t=50 node=01-01 temp=NA\nEND t=10 node=01-01 temp=NA\n\
+                    END t=60 node=01-01 temp=NA\n";
+        let rec = recover_text(text);
+        assert_eq!(rec.stats.out_of_order, 1);
+        assert_eq!(rec.stats.records_kept, 3);
+        let times: Vec<i64> = rec
+            .log
+            .entries()
+            .iter()
+            .map(|e| e.first_time().as_secs())
+            .collect();
+        assert_eq!(times, vec![10, 50, 60], "entries re-sorted");
+    }
+
+    #[test]
+    fn start_start_counts_session_gap() {
+        let text = "START t=0 node=01-01 alloc=1 temp=NA\n\
+                    START t=500 node=01-01 alloc=1 temp=NA\n\
+                    END t=900 node=01-01 temp=NA\n";
+        let rec = recover_text(text);
+        assert_eq!(rec.stats.session_gaps, 1);
+        assert_eq!(rec.stats.records_kept, 3);
+    }
+
+    #[test]
+    fn empty_text_is_empty_not_error() {
+        let rec = recover_text("");
+        assert_eq!(rec.stats.lines_read, 0);
+        assert!(rec.stats.is_conserved());
+        assert!(rec.log.entries().is_empty());
+    }
+
+    #[test]
+    fn stats_merge_is_additive() {
+        let a = recover_text(GOOD).stats;
+        let garbage = format!("{GOOD}JUNK\n");
+        let b = recover_text(&garbage).stats;
+        let mut sum = a;
+        sum.merge(&b);
+        assert_eq!(sum.lines_read, a.lines_read + b.lines_read);
+        assert_eq!(sum.records_kept, a.records_kept + b.records_kept);
+        assert_eq!(sum.dropped(), a.dropped() + b.dropped());
+        assert!(sum.is_conserved());
+    }
+
+    #[test]
+    fn file_reads_survive_invalid_utf8_and_name_node_from_path() {
+        let dir = std::env::temp_dir().join(format!("uc-ingest-utf8-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("node-02-03.log");
+        let mut bytes = b"END t=1 node=02-03 temp=NA\n".to_vec();
+        bytes.extend_from_slice(&[0xFF, 0xFE, b'\n']);
+        fs::write(&path, &bytes).unwrap();
+        let rec = read_node_log_recovering(&path).unwrap();
+        assert_eq!(rec.stats.invalid_utf8_files, 1);
+        assert_eq!(rec.stats.records_kept, 1);
+        assert!(rec.stats.is_conserved());
+        assert_eq!(
+            rec.log.node.map(|n| n.to_string()).as_deref(),
+            Some("02-03")
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn directory_errors_are_typed() {
+        let missing = Path::new("/definitely/not/a/real/dir");
+        assert!(matches!(
+            read_cluster_log_recovering(missing),
+            Err(IngestError::Missing(_))
+        ));
+        let dir = std::env::temp_dir().join(format!("uc-ingest-empty-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(
+            read_cluster_log_recovering(&dir),
+            Err(IngestError::NoLogFiles(_))
+        ));
+        let file = dir.join("plain.txt");
+        fs::write(&file, "x").unwrap();
+        assert!(matches!(
+            read_cluster_log_recovering(&file),
+            Err(IngestError::NotADirectory(_))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn directory_recovery_merges_stats_across_files() {
+        let dir = std::env::temp_dir().join(format!("uc-ingest-dir-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("node-01-01.log"), GOOD).unwrap();
+        fs::write(
+            dir.join("node-01-02.log"),
+            "END t=1 node=01-02 temp=NA\nJUNK t=9 node=01-02\n",
+        )
+        .unwrap();
+        fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        let (cluster, stats) = read_cluster_log_recovering(&dir).unwrap();
+        assert_eq!(cluster.node_logs().len(), 2);
+        assert_eq!(stats.files_read, 2);
+        assert_eq!(stats.records_kept, 4);
+        assert_eq!(stats.bad_kind, 1);
+        assert!(stats.is_conserved());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

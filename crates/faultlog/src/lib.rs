@@ -15,14 +15,22 @@
 //!   a single faulty node — we keep those as compact runs and expand them
 //!   lazily), plus a k-way time-ordered merge across nodes;
 //! - [`files`]: one-text-file-per-node persistence, the paper's on-disk
-//!   layout, with tolerant directory loading.
+//!   layout, with tolerant directory loading;
+//! - [`ingest`]: recovering (lossy) ingestion for damaged corpora — skip
+//!   and count instead of abort, with per-category [`ingest::IngestStats`]
+//!   accounting;
+//! - [`chaos`]: a deterministic log corrupter for chaos testing the
+//!   ingestion and extraction paths.
 
+pub mod chaos;
 pub mod codec;
 pub mod files;
+pub mod ingest;
 pub mod record;
 pub mod store;
 
 pub use codec::{format_record, parse_line, ParseError};
-pub use record::{EndRecord, ErrorRecord, LogRecord, StartRecord, TempC};
 pub use files::{read_cluster_log, write_cluster_log};
+pub use ingest::{read_cluster_log_recovering, IngestError, IngestStats, Recovered};
+pub use record::{EndRecord, ErrorRecord, LogRecord, StartRecord, TempC};
 pub use store::{ClusterLog, LogEntry, NodeLog};

@@ -46,6 +46,14 @@ impl LogEntry {
         }
     }
 
+    /// Node the entry belongs to.
+    pub fn node(&self) -> NodeId {
+        match self {
+            LogEntry::One(r) => r.node(),
+            LogEntry::ErrorRun { first, .. } => first.node,
+        }
+    }
+
     /// Timestamp of the first record in the entry.
     pub fn first_time(&self) -> SimTime {
         match self {
@@ -103,8 +111,7 @@ impl Iterator for LogEntryIter<'_> {
                     return None;
                 }
                 let mut rec = *first;
-                rec.time =
-                    first.time + SimDuration::from_secs(period.as_secs() * self.next as i64);
+                rec.time = first.time + SimDuration::from_secs(period.as_secs() * self.next as i64);
                 self.next += 1;
                 Some(LogRecord::Error(rec))
             }
@@ -125,6 +132,16 @@ impl NodeLog {
             node: Some(node),
             entries: Vec::new(),
         }
+    }
+
+    /// Build a log from already-parsed entries. The entries are stable-sorted
+    /// by first timestamp, so out-of-order input (say, recovered from a
+    /// reordered or corrupted file) still satisfies the start-time append
+    /// invariant. The node id falls back to the first entry's when `None`.
+    pub fn from_entries(node: Option<NodeId>, mut entries: Vec<LogEntry>) -> NodeLog {
+        entries.sort_by_key(LogEntry::first_time);
+        let node = node.or_else(|| entries.first().map(LogEntry::node));
+        NodeLog { node, entries }
     }
 
     /// Append a single record. Entries must be appended in order of their
@@ -199,10 +216,7 @@ impl NodeLog {
             match crate::codec::parse_entry_line(line) {
                 Ok(entry) => {
                     if log.node.is_none() {
-                        log.node = Some(match &entry {
-                            LogEntry::One(r) => r.node(),
-                            LogEntry::ErrorRun { first, .. } => first.node,
-                        });
+                        log.node = Some(entry.node());
                     }
                     log.entries.push(entry);
                 }
@@ -455,6 +469,27 @@ mod tests {
         assert_eq!(log.raw_record_count(), 2);
         assert_eq!(errors.len(), 1);
         assert_eq!(errors[0].0, 2, "line number of the bad line");
+    }
+
+    #[test]
+    fn from_entries_sorts_and_infers_node() {
+        let entries = vec![
+            LogEntry::One(LogRecord::Error(err(6, 50))),
+            LogEntry::One(LogRecord::Error(err(6, 10))),
+            LogEntry::ErrorRun {
+                first: err(6, 30),
+                count: 2,
+                period: SimDuration::from_secs(5),
+            },
+        ];
+        let log = NodeLog::from_entries(None, entries);
+        assert_eq!(log.node, Some(NodeId(6)));
+        let firsts: Vec<i64> = log
+            .entries()
+            .iter()
+            .map(|e| e.first_time().as_secs())
+            .collect();
+        assert_eq!(firsts, vec![10, 30, 50]);
     }
 
     #[test]

@@ -115,21 +115,13 @@ fn solar_modulated_times(
             rate * max,
             |t| rate * flux.factor(SimTime::from_secs(t as i64)) / mean,
         );
-        out.extend(
-            times
-                .into_iter()
-                .map(|t| SimTime::from_secs(t as i64)),
-        );
+        out.extend(times.into_iter().map(|t| SimTime::from_secs(t as i64)));
     }
     out
 }
 
 /// Uniform (non-modulated) event times inside scan windows.
-fn uniform_times(
-    rng: &mut StreamRng,
-    windows: &[ScanWindow],
-    rate_per_hour: f64,
-) -> Vec<SimTime> {
+fn uniform_times(rng: &mut StreamRng, windows: &[ScanWindow], rate_per_hour: f64) -> Vec<SimTime> {
     let mut out = Vec::new();
     let rate = rate_per_hour / 3_600.0;
     for w in windows {
@@ -360,7 +352,14 @@ mod tests {
         };
         let flux = NeutronFlux::new(BARCELONA);
         let mut rng = StreamRng::from_seed(3);
-        let events = multibit_events(&cfg, NodeId(1), &windows_days(394), 1 << 28, &flux, &mut rng);
+        let events = multibit_events(
+            &cfg,
+            NodeId(1),
+            &windows_days(394),
+            1 << 28,
+            &flux,
+            &mut rng,
+        );
         assert!(!events.is_empty());
         let doubles = events
             .iter()
@@ -379,7 +378,14 @@ mod tests {
         };
         let flux = NeutronFlux::new(BARCELONA);
         let mut rng = StreamRng::from_seed(4);
-        let events = multibit_events(&cfg, NodeId(1), &windows_days(394), 1 << 28, &flux, &mut rng);
+        let events = multibit_events(
+            &cfg,
+            NodeId(1),
+            &windows_days(394),
+            1 << 28,
+            &flux,
+            &mut rng,
+        );
         let day = events
             .iter()
             .filter(|e| (7..18).contains(&e.time.datetime().wall_hour()))
@@ -401,7 +407,14 @@ mod tests {
         };
         let flux = NeutronFlux::new(BARCELONA);
         let mut rng = StreamRng::from_seed(5);
-        let events = multibit_events(&cfg, NodeId(1), &windows_days(100), 1 << 28, &flux, &mut rng);
+        let events = multibit_events(
+            &cfg,
+            NodeId(1),
+            &windows_days(100),
+            1 << 28,
+            &flux,
+            &mut rng,
+        );
         assert!(!events.is_empty());
         for e in &events {
             assert!(e.strikes.len() >= 2, "companion present");
@@ -444,6 +457,8 @@ mod tests {
             ..BackgroundConfig::default()
         };
         let mut rng = StreamRng::from_seed(9);
-        assert!(background_events(&cfg, NodeId(0), &windows_days(10), 1 << 20, &mut rng).is_empty());
+        assert!(
+            background_events(&cfg, NodeId(0), &windows_days(10), 1 << 20, &mut rng).is_empty()
+        );
     }
 }

@@ -218,9 +218,7 @@ mod tests {
     #[test]
     fn rate_ramps_exponentially() {
         let cfg = DegradingConfig::paper_default();
-        let at = |days: i64| {
-            cfg.rate_at(cfg.onset + SimDuration::from_days(days)) * 24.0
-        };
+        let at = |days: i64| cfg.rate_at(cfg.onset + SimDuration::from_days(days)) * 24.0;
         assert!(at(0) < 30.0, "starts slow: {}/day", at(0));
         assert!(at(60) > 2.0 * at(0));
         assert!(
@@ -259,10 +257,7 @@ mod tests {
         let nov_start = CivilDate::new(2015, 11, 1).midnight().day_index();
         let events = degrading_events(&cfg, &windows(onset_day(), nov_start + 24), &mut rng);
         assert!(!events.is_empty());
-        let in_november = events
-            .iter()
-            .filter(|e| e.time.date().month == 11)
-            .count();
+        let in_november = events.iter().filter(|e| e.time.date().month == 11).count();
         assert!(
             in_november * 2 > events.len(),
             "november has most events: {in_november}/{}",
@@ -312,8 +307,9 @@ mod tests {
     #[test]
     fn pattern_pool_is_bounded_and_deterministic() {
         let cfg = DegradingConfig::paper_default();
-        let all: std::collections::HashSet<u32> =
-            (0..cfg.pattern_pool).map(|i| pattern_xor(&cfg, i)).collect();
+        let all: std::collections::HashSet<u32> = (0..cfg.pattern_pool)
+            .map(|i| pattern_xor(&cfg, i))
+            .collect();
         assert!(all.len() <= 30, "paper: almost 30 distinct patterns");
         assert!(all.len() >= 20);
         assert_eq!(pattern_xor(&cfg, 5), pattern_xor(&cfg, 5));

@@ -50,16 +50,44 @@ pub fn paper_defaults() -> Vec<IsolatedSdc> {
     // (0x00000058 -> 0xe6006358).
     vec![
         // Two on the same March day, hours apart, on different nodes.
-        IsolatedSdc { node: near_a, nominal_time: at(2015, 3, 10, 3), xor: 0x0000_6A00 },
-        IsolatedSdc { node: near_b, nominal_time: at(2015, 3, 10, 16), xor: 0x0000_0315 },
+        IsolatedSdc {
+            node: near_a,
+            nominal_time: at(2015, 3, 10, 3),
+            xor: 0x0000_6A00,
+        },
+        IsolatedSdc {
+            node: near_b,
+            nominal_time: at(2015, 3, 10, 16),
+            xor: 0x0000_0315,
+        },
         // Singles.
-        IsolatedSdc { node: near_c, nominal_time: at(2015, 2, 21, 11), xor: 0x0001_A004 },
-        IsolatedSdc { node: far, nominal_time: at(2015, 3, 25, 20), xor: 0x0000_3452 },
+        IsolatedSdc {
+            node: near_c,
+            nominal_time: at(2015, 2, 21, 11),
+            xor: 0x0001_A004,
+        },
+        IsolatedSdc {
+            node: far,
+            nominal_time: at(2015, 3, 25, 20),
+            xor: 0x0000_3452,
+        },
         // Two on the same May day, hours apart.
-        IsolatedSdc { node: near_d, nominal_time: at(2015, 5, 14, 2), xor: 0x0000_00FF },
-        IsolatedSdc { node: near_a, nominal_time: at(2015, 5, 14, 18), xor: 0x0000_0039 },
+        IsolatedSdc {
+            node: near_d,
+            nominal_time: at(2015, 5, 14, 2),
+            xor: 0x0000_00FF,
+        },
+        IsolatedSdc {
+            node: near_a,
+            nominal_time: at(2015, 5, 14, 18),
+            xor: 0x0000_0039,
+        },
         // One after the SoC-12 shutdown ("6 occurred before").
-        IsolatedSdc { node: near_c, nominal_time: at(2015, 7, 20, 9), xor: 0xE600_6300 },
+        IsolatedSdc {
+            node: near_c,
+            nominal_time: at(2015, 7, 20, 9),
+            xor: 0xE600_6300,
+        },
     ]
 }
 
@@ -74,11 +102,7 @@ fn snap(windows: &[ScanWindow], t: SimTime) -> Option<SimTime> {
         .iter()
         .map(|w| w.start + SimDuration::from_secs(30))
         .find(|&s| s >= t)
-        .or_else(|| {
-            windows
-                .last()
-                .map(|w| w.start.midpoint(w.end))
-        })
+        .or_else(|| windows.last().map(|w| w.start.midpoint(w.end)))
 }
 
 /// Generate the placed SDC events for one node.
@@ -93,9 +117,8 @@ pub fn isolated_events(
         .filter_map(|s| {
             let time = snap(windows, s.nominal_time)?;
             // A deterministic per-event address inside the scanned region.
-            let addr = mix64(
-                (u64::from(s.node.0) << 32) ^ (s.nominal_time.as_secs() as u64),
-            ) % ((3u64 << 30) / 4);
+            let addr = mix64((u64::from(s.node.0) << 32) ^ (s.nominal_time.as_secs() as u64))
+                % ((3u64 << 30) / 4);
             // ForcedFlip: these events must be observed regardless of scan
             // phase — the paper's SDCs were single occurrences, not retried
             // processes.
@@ -131,8 +154,7 @@ mod tests {
     fn seven_events_five_nodes() {
         let placed = paper_defaults();
         assert_eq!(placed.len(), 7);
-        let nodes: std::collections::HashSet<u32> =
-            placed.iter().map(|s| s.node.0).collect();
+        let nodes: std::collections::HashSet<u32> = placed.iter().map(|s| s.node.0).collect();
         assert_eq!(nodes.len(), 5);
     }
 
@@ -198,8 +220,7 @@ mod tests {
                 .or_insert_with(Vec::new)
                 .push(s.nominal_time);
         }
-        let pairs: Vec<&Vec<SimTime>> =
-            by_day.values().filter(|v| v.len() == 2).collect();
+        let pairs: Vec<&Vec<SimTime>> = by_day.values().filter(|v| v.len() == 2).collect();
         assert_eq!(pairs.len(), 2, "one same-day pair in March, one in May");
         for p in pairs {
             let gap = (p[1] - p[0]).as_hours_f64().abs();
@@ -212,8 +233,7 @@ mod tests {
         let placed = paper_defaults();
         let windows = all_day_windows();
         let mut total = 0;
-        let nodes: std::collections::HashSet<u32> =
-            placed.iter().map(|s| s.node.0).collect();
+        let nodes: std::collections::HashSet<u32> = placed.iter().map(|s| s.node.0).collect();
         for raw in nodes {
             let evs = isolated_events(&placed, NodeId(raw), &windows);
             total += evs.len();

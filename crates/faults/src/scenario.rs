@@ -42,10 +42,7 @@ impl FaultScenario {
         let degrading = DegradingConfig::paper_default();
         let multibit = MultiBitConfig {
             hot_node: Some(degrading.node),
-            hot_window: Some((
-                degrading.onset,
-                CivilDate::new(2015, 11, 25).midnight(),
-            )),
+            hot_window: Some((degrading.onset, CivilDate::new(2015, 11, 25).midnight())),
             ..MultiBitConfig::default()
         };
         FaultScenario {
@@ -134,8 +131,7 @@ impl FaultScenario {
 
         for d in &self.degrading {
             if d.node == node {
-                let mut rng =
-                    StreamRng::for_stream(campaign_seed, node_u, StreamTag::Degradation);
+                let mut rng = StreamRng::for_stream(campaign_seed, node_u, StreamTag::Degradation);
                 transients.extend(degrading_events(d, windows, &mut rng));
             }
         }
@@ -195,7 +191,11 @@ mod tests {
         let s = FaultScenario::paper_default();
         let profile = s.profile_for_node(42, NodeId(300), &windows());
         // An ordinary node sees at most a few background events all year.
-        assert!(profile.transients.len() < 10, "{}", profile.transients.len());
+        assert!(
+            profile.transients.len() < 10,
+            "{}",
+            profile.transients.len()
+        );
         assert!(profile.stuck.is_empty());
         assert!(profile.is_time_ordered());
     }

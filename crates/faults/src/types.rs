@@ -32,9 +32,7 @@ impl StrikeKind {
         match self {
             StrikeKind::Discharge { span, .. } => span,
             StrikeKind::ForcedFlip { xor } => xor.count_ones(),
-            StrikeKind::ForcedClear { mask } | StrikeKind::ForcedSet { mask } => {
-                mask.count_ones()
-            }
+            StrikeKind::ForcedClear { mask } | StrikeKind::ForcedSet { mask } => mask.count_ones(),
         }
     }
 }
@@ -105,7 +103,10 @@ mod tests {
             strikes: vec![
                 Strike {
                     addr: WordAddr(1),
-                    kind: StrikeKind::Discharge { start_lane: 3, span: 2 },
+                    kind: StrikeKind::Discharge {
+                        start_lane: 3,
+                        span: 2,
+                    },
                 },
                 Strike {
                     addr: WordAddr(9000),

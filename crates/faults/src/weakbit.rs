@@ -88,9 +88,10 @@ pub fn weakbit_events(
     let mut t = cfg.onset;
     loop {
         // Next episode start.
-        t += uc_simclock::SimDuration::from_secs_f64(
-            exponential(rng, 1.0 / (cfg.episode_interval_days * 86_400.0)),
-        );
+        t += uc_simclock::SimDuration::from_secs_f64(exponential(
+            rng,
+            1.0 / (cfg.episode_interval_days * 86_400.0),
+        ));
         if t >= horizon {
             break;
         }
@@ -104,13 +105,10 @@ pub fn weakbit_events(
             if lo >= hi {
                 continue;
             }
-            let times = thinned_poisson_times(
-                rng,
-                lo.as_secs() as f64,
-                hi.as_secs() as f64,
-                rate,
-                |_| rate,
-            );
+            let times =
+                thinned_poisson_times(rng, lo.as_secs() as f64, hi.as_secs() as f64, rate, |_| {
+                    rate
+                });
             out.extend(times.into_iter().map(|ts| TransientEvent {
                 time: SimTime::from_secs(ts as i64),
                 node: cfg.node,

@@ -156,8 +156,8 @@ impl ScanModel {
             } else {
                 ((fault.from - spec.start).as_secs() + iter - 1) / iter
             } as u64;
-            let Some(gap) = (first_gap..first_gap + 2)
-                .find(|&g| exposes(spec.pattern, g, fault.mask))
+            let Some(gap) =
+                (first_gap..first_gap + 2).find(|&g| exposes(spec.pattern, g, fault.mask))
             else {
                 continue;
             };
@@ -179,7 +179,11 @@ impl ScanModel {
                 actual: fault.mask.apply(stored),
                 temp: temp_of(detect),
             };
-            pending.push((detect, seq, Pending::Run(rec, count, SimDuration::from_secs(2 * iter))));
+            pending.push((
+                detect,
+                seq,
+                Pending::Run(rec, count, SimDuration::from_secs(2 * iter)),
+            ));
             seq += 1;
         }
 
@@ -249,7 +253,13 @@ mod tests {
     #[test]
     fn session_brackets_with_start_end() {
         let mut log = NodeLog::new(NodeId(9));
-        model().render_session(&spec(Pattern::Alternating), &[], &[], &|_| Some(35.0), &mut log);
+        model().render_session(
+            &spec(Pattern::Alternating),
+            &[],
+            &[],
+            &|_| Some(35.0),
+            &mut log,
+        );
         let recs: Vec<LogRecord> = log.iter().collect();
         assert_eq!(recs.len(), 2);
         assert!(matches!(recs[0], LogRecord::Start(_)));
@@ -274,8 +284,7 @@ mod tests {
         let mut log = NodeLog::new(NodeId(9));
         let ev = forced_event(10_500, 1234, 0b101);
         model().render_session(&spec(Pattern::Alternating), &[ev], &[], &|_| None, &mut log);
-        let errors: Vec<ErrorRecord> =
-            log.iter().filter_map(|r| r.as_error().copied()).collect();
+        let errors: Vec<ErrorRecord> = log.iter().filter_map(|r| r.as_error().copied()).collect();
         assert_eq!(errors.len(), 1);
         let e = &errors[0];
         assert_eq!(e.expected ^ e.actual, 0b101);
@@ -367,13 +376,11 @@ mod tests {
         };
         let mut log = NodeLog::new(NodeId(9));
         m.render_session(&s, &[ev], &[], &|_| None, &mut log);
-        let errors: Vec<ErrorRecord> =
-            log.iter().filter_map(|r| r.as_error().copied()).collect();
+        let errors: Vec<ErrorRecord> = log.iter().filter_map(|r| r.as_error().copied()).collect();
         assert_eq!(errors.len(), 3);
         assert!(errors.iter().all(|e| e.time == errors[0].time));
         // Distinct regions of memory.
-        let pages: std::collections::HashSet<u64> =
-            errors.iter().map(|e| e.phys_page).collect();
+        let pages: std::collections::HashSet<u64> = errors.iter().map(|e| e.phys_page).collect();
         assert_eq!(pages.len(), 3);
     }
 
@@ -392,8 +399,7 @@ mod tests {
         };
         let mut log = NodeLog::new(NodeId(9));
         m.render_session(&s, &[], &[stuck], &|_| None, &mut log);
-        let errors: Vec<ErrorRecord> =
-            log.iter().filter_map(|r| r.as_error().copied()).collect();
+        let errors: Vec<ErrorRecord> = log.iter().filter_map(|r| r.as_error().copied()).collect();
         let passes = (7_200 / iter) as u64;
         assert_eq!(errors.len() as u64, passes.div_ceil(2));
         // All identical content, expected = all-ones phase.
@@ -402,10 +408,7 @@ mod tests {
             assert_eq!(e.actual, 0xFFFF_FFDF);
         }
         // Period of two passes.
-        assert_eq!(
-            (errors[1].time - errors[0].time).as_secs(),
-            2 * iter
-        );
+        assert_eq!((errors[1].time - errors[0].time).as_secs(), 2 * iter);
     }
 
     #[test]

@@ -192,7 +192,7 @@ proptest! {
         }
         for e in &errors {
             prop_assert_eq!(e.expected, 0xFFFF_FFFF);
-            prop_assert_eq!(e.actual, 0xFFFF_FFFF & !(1 << bit));
+            prop_assert_eq!(e.actual, !(1u32 << bit));
         }
     }
 }

@@ -8,9 +8,7 @@ pub enum Pattern {
     Alternating,
     /// Write `start + k` on iteration `k` (wrapping); the paper starts at
     /// `0x00000001`.
-    Incrementing {
-        start: u32,
-    },
+    Incrementing { start: u32 },
     /// Alternate `0xAAAAAAAA` / `0x55555555` — the classic memtester
     /// checkerboard, stressing adjacent-cell coupling. An extension beyond
     /// the paper's two strategies.

@@ -96,11 +96,7 @@ impl<D: MemoryDevice> DeviceScanner<D> {
 
     /// One full pass: check every word against the last written value, log
     /// mismatches, rewrite with the next value.
-    pub fn run_iteration(
-        &mut self,
-        time: SimTime,
-        temp: Option<TempC>,
-    ) -> ScanIterationReport {
+    pub fn run_iteration(&mut self, time: SimTime, temp: Option<TempC>) -> ScanIterationReport {
         let expected = self.pattern.value_at(self.iteration);
         let next = self.pattern.value_at(self.iteration + 1);
         let words = self.device.len_words();

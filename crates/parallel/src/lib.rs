@@ -12,6 +12,9 @@
 //! - [`par_for_chunks`]: parallel iteration over mutable chunks of a slice.
 //! - [`par_reduce`]: parallel fold + associative merge with a deterministic
 //!   merge order.
+//! - [`par_map_supervised`]: like [`par_map`], but each item runs under
+//!   `catch_unwind` with bounded retry, so one poisoned item degrades to a
+//!   [`Supervised::Panicked`] entry instead of aborting the whole map.
 //!
 //! Work distribution uses a shared `AtomicUsize` cursor with `Relaxed`
 //! ordering — the counter only hands out indices, it does not publish data;
@@ -96,6 +99,83 @@ where
         .collect()
 }
 
+/// Outcome of one supervised item.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Supervised<R> {
+    /// The closure returned normally (possibly after retries).
+    Ok(R),
+    /// The closure panicked on every attempt.
+    Panicked {
+        /// How many times the item was tried.
+        attempts: u32,
+        /// The final panic's message, if it carried one.
+        message: String,
+    },
+}
+
+impl<R> Supervised<R> {
+    /// The value, if the item completed.
+    pub fn ok(self) -> Option<R> {
+        match self {
+            Supervised::Ok(r) => Some(r),
+            Supervised::Panicked { .. } => None,
+        }
+    }
+
+    pub fn is_panicked(&self) -> bool {
+        matches!(self, Supervised::Panicked { .. })
+    }
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Supervised parallel map: like [`par_map`], but a panic in `f` is caught
+/// per item and the item retried up to `max_attempts` total tries. An item
+/// that panics on every attempt yields [`Supervised::Panicked`] carrying
+/// the attempt count and final panic message; every other item's result is
+/// unaffected. Output order is index-for-index, as in [`par_map`].
+///
+/// The standard panic hook still runs on each caught panic (the backtrace
+/// chatter on stderr is deliberate — a supervised failure should be loud in
+/// the logs even though it no longer aborts the run).
+///
+/// Retrying is only useful when `f`'s failures are transient (e.g. it talks
+/// to the outside world); a deterministic `f` that panics once will panic
+/// on every retry, and callers running such workloads should pass
+/// `max_attempts = 1`.
+pub fn par_map_supervised<T, R, F>(items: &[T], max_attempts: u32, f: F) -> Vec<Supervised<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    assert!(max_attempts > 0, "at least one attempt required");
+    par_map(items, |i, t| {
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            match catch_unwind(AssertUnwindSafe(|| f(i, t))) {
+                Ok(r) => return Supervised::Ok(r),
+                Err(p) if attempts >= max_attempts => {
+                    return Supervised::Panicked {
+                        attempts,
+                        message: panic_message(p.as_ref()),
+                    };
+                }
+                Err(_) => {}
+            }
+        }
+    })
+}
+
 /// Parallel mutable iteration over `chunk_size`-sized chunks of a slice.
 /// `f` receives `(chunk_index, chunk)`.
 pub fn par_for_chunks<T, F>(items: &mut [T], chunk_size: usize, f: F)
@@ -133,12 +213,7 @@ where
 /// `merge`. Because the ranges are contiguous and merged in index order, the
 /// result is deterministic whenever `fold`/`merge` satisfy the usual
 /// fold-homomorphism law — commutativity is *not* required.
-pub fn par_reduce<T, A, F, M>(
-    items: &[T],
-    identity: impl Fn() -> A + Sync,
-    fold: F,
-    merge: M,
-) -> A
+pub fn par_reduce<T, A, F, M>(items: &[T], identity: impl Fn() -> A + Sync, fold: F, merge: M) -> A
 where
     T: Sync,
     A: Send,
@@ -169,9 +244,7 @@ where
         }
         acc
     });
-    partials
-        .into_iter()
-        .fold(identity(), merge)
+    partials.into_iter().fold(identity(), merge)
 }
 
 /// Shared mutable access to distinct slots of a slice; exclusivity (each
@@ -277,6 +350,77 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn supervised_all_ok_matches_par_map() {
+        let items: Vec<u64> = (0..5_000).collect();
+        let out = par_map_supervised(&items, 1, |_, x| x * 2);
+        let expect: Vec<Supervised<u64>> = items.iter().map(|x| Supervised::Ok(x * 2)).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn supervised_isolates_a_poisoned_item() {
+        let items: Vec<u32> = (0..1_000).collect();
+        let out = par_map_supervised(&items, 1, |_, &x| {
+            if x == 437 {
+                panic!("poisoned node {x}");
+            }
+            x
+        });
+        for (i, s) in out.iter().enumerate() {
+            if i == 437 {
+                match s {
+                    Supervised::Panicked { attempts, message } => {
+                        assert_eq!(*attempts, 1);
+                        assert!(message.contains("poisoned node 437"));
+                    }
+                    Supervised::Ok(_) => panic!("item 437 must fail"),
+                }
+            } else {
+                assert_eq!(*s, Supervised::Ok(i as u32), "other items unaffected");
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_retries_transient_failures() {
+        // Item 3 fails on its first two attempts and succeeds on the third.
+        let tries: Vec<AtomicU64> = (0..8).map(|_| AtomicU64::new(0)).collect();
+        let items: Vec<usize> = (0..8).collect();
+        let out = par_map_supervised(&items, 3, |_, &x| {
+            let attempt = tries[x].fetch_add(1, Ordering::Relaxed);
+            if x == 3 && attempt < 2 {
+                panic!("transient");
+            }
+            x
+        });
+        assert_eq!(out[3], Supervised::Ok(3));
+        assert_eq!(tries[3].load(Ordering::Relaxed), 3);
+        assert_eq!(
+            tries[0].load(Ordering::Relaxed),
+            1,
+            "healthy items run once"
+        );
+    }
+
+    #[test]
+    fn supervised_reports_exhausted_attempts() {
+        let out = par_map_supervised(&[()], 3, |_, _| -> u8 { panic!("always") });
+        assert_eq!(
+            out[0],
+            Supervised::Panicked {
+                attempts: 3,
+                message: "always".to_string()
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attempt")]
+    fn supervised_zero_attempts_rejected() {
+        let _ = par_map_supervised(&[1u8], 0, |_, &x| x);
     }
 
     #[test]

@@ -75,10 +75,7 @@ where
 
     let mut parts = partials.into_inner();
     parts.sort_by_key(|(w, _)| *w);
-    let acc = parts
-        .into_iter()
-        .map(|(_, a)| a)
-        .fold(identity(), merge);
+    let acc = parts.into_iter().map(|(_, a)| a).fold(identity(), merge);
     let stats = StageStats {
         produced: produced.into_inner(),
         consumed: consumed_total.into_inner(),

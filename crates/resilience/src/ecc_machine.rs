@@ -56,8 +56,7 @@ pub fn protected_outcome(
 
     // Same-timestamp grouping for the hidden-correlation statistic.
     let groups = uc_analysis::simultaneity::group_simultaneous(faults);
-    let mut in_group: std::collections::HashSet<(u32, i64, u64)> =
-        std::collections::HashSet::new();
+    let mut in_group: std::collections::HashSet<(u32, i64, u64)> = std::collections::HashSet::new();
     for g in &groups {
         if g.words() >= 2 {
             for f in &g.faults {

@@ -31,8 +31,8 @@
 //!   retirement cannot (the paper's "would not be effective in all cases").
 
 pub mod checkpoint;
-pub mod ecc_machine;
 pub mod combined;
+pub mod ecc_machine;
 pub mod placement;
 pub mod projection;
 pub mod quarantine;

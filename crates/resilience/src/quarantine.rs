@@ -207,7 +207,10 @@ mod tests {
             assert!(
                 w[1].surviving_faults <= w[0].surviving_faults,
                 "monotone errors: {:?}",
-                outcomes.iter().map(|o| o.surviving_faults).collect::<Vec<_>>()
+                outcomes
+                    .iter()
+                    .map(|o| o.surviving_faults)
+                    .collect::<Vec<_>>()
             );
         }
     }
@@ -219,10 +222,7 @@ mod tests {
         // One node cycling through quarantine costs well under 1% of a
         // 945-node fleet (paper: < 0.1%).
         assert!(out.availability_loss < 0.001, "{}", out.availability_loss);
-        assert_eq!(
-            out.node_days_quarantined,
-            out.quarantine_entries * 30
-        );
+        assert_eq!(out.node_days_quarantined, out.quarantine_entries * 30);
     }
 
     #[test]

@@ -134,7 +134,10 @@ mod tests {
                 "finer scrubbing never accumulates more"
             );
         }
-        assert_eq!(sweep[0].1.accumulated_words, 0, "1 h scrub beats 2 h cadence");
+        assert_eq!(
+            sweep[0].1.accumulated_words, 0,
+            "1 h scrub beats 2 h cadence"
+        );
         assert!(sweep[3].1.accumulated_words > 50, "48 h scrub loses");
     }
 

@@ -23,6 +23,4 @@ pub mod load;
 pub mod planner;
 
 pub use load::LoadModel;
-pub use planner::{
-    NodePlan, ScanSession, SchedConfig, SessionTermination, TEN_MB,
-};
+pub use planner::{NodePlan, ScanSession, SchedConfig, SessionTermination, TEN_MB};

@@ -170,12 +170,7 @@ impl SchedConfig {
     /// `mean_idle_hours`; busy (job) spans are exponential with a mean
     /// derived from the day's scan fraction `f`:
     /// `mean_busy = mean_idle * (1 - f) / f`.
-    pub fn plan_node(
-        &self,
-        node: NodeId,
-        load: &LoadModel,
-        campaign_seed: u64,
-    ) -> NodePlan {
+    pub fn plan_node(&self, node: NodeId, load: &LoadModel, campaign_seed: u64) -> NodePlan {
         let mut rng = StreamRng::for_stream(campaign_seed, u64::from(node.0), StreamTag::Scheduler);
         let blackouts = self.blackouts(node);
         let mut plan = NodePlan::default();
@@ -294,10 +289,7 @@ mod tests {
             total += plan(node(b, 4)).total_terabyte_hours();
         }
         let mean = total / f64::from(nodes);
-        assert!(
-            (11.0..=18.5).contains(&mean),
-            "mean TBh {mean}, paper: ~15"
-        );
+        assert!((11.0..=18.5).contains(&mean), "mean TBh {mean}, paper: ~15");
     }
 
     #[test]
@@ -381,8 +373,13 @@ mod tests {
         let s = p.sessions[0];
         let mid = s.start.midpoint(s.end);
         assert_eq!(p.session_at(mid).unwrap().start, s.start);
-        assert!(p.session_at(s.start - SimDuration::from_secs(1)).is_none() ||
-                p.session_at(s.start - SimDuration::from_secs(1)).unwrap().end <= s.start);
+        assert!(
+            p.session_at(s.start - SimDuration::from_secs(1)).is_none()
+                || p.session_at(s.start - SimDuration::from_secs(1))
+                    .unwrap()
+                    .end
+                    <= s.start
+        );
         assert!(p.session_at(s.end).map(|x| x.start) != Some(s.start));
     }
 
@@ -420,10 +417,7 @@ mod tests {
         }
         // A different node is unaffected by the blackout list.
         let other = cfg.plan_node(node(1, 4), &LoadModel::default(), 42);
-        assert!(other
-            .sessions
-            .iter()
-            .any(|s| s.start < hi && s.end > lo));
+        assert!(other.sessions.iter().any(|s| s.start < hi && s.end > lo));
     }
 
     #[test]

@@ -323,12 +323,42 @@ mod tests {
 
     #[test]
     fn validity_checks() {
-        assert!(CivilDate { year: 2015, month: 2, day: 28 }.is_valid());
-        assert!(!CivilDate { year: 2015, month: 2, day: 29 }.is_valid());
-        assert!(CivilDate { year: 2016, month: 2, day: 29 }.is_valid());
-        assert!(!CivilDate { year: 2015, month: 13, day: 1 }.is_valid());
-        assert!(!CivilDate { year: 2015, month: 0, day: 1 }.is_valid());
-        assert!(!CivilDate { year: 2015, month: 6, day: 31 }.is_valid());
+        assert!(CivilDate {
+            year: 2015,
+            month: 2,
+            day: 28
+        }
+        .is_valid());
+        assert!(!CivilDate {
+            year: 2015,
+            month: 2,
+            day: 29
+        }
+        .is_valid());
+        assert!(CivilDate {
+            year: 2016,
+            month: 2,
+            day: 29
+        }
+        .is_valid());
+        assert!(!CivilDate {
+            year: 2015,
+            month: 13,
+            day: 1
+        }
+        .is_valid());
+        assert!(!CivilDate {
+            year: 2015,
+            month: 0,
+            day: 1
+        }
+        .is_valid());
+        assert!(!CivilDate {
+            year: 2015,
+            month: 6,
+            day: 31
+        }
+        .is_valid());
     }
 
     proptest! {

@@ -182,11 +182,7 @@ mod tests {
         let mean_target = 250.0;
         let xs: Vec<u64> = (0..n).map(|_| poisson(&mut r, mean_target)).collect();
         let mean = xs.iter().sum::<u64>() as f64 / n as f64;
-        let var = xs
-            .iter()
-            .map(|&x| (x as f64 - mean).powi(2))
-            .sum::<f64>()
-            / n as f64;
+        let var = xs.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((mean - mean_target).abs() < 1.0, "mean {mean}");
         // Poisson variance == mean.
         assert!((var - mean_target).abs() < 10.0, "var {var}");
@@ -251,8 +247,13 @@ mod tests {
     fn thinned_process_modulation_shapes_counts() {
         let mut r = rng(12);
         // Rate is 1.0 on the first half of each unit interval, 0 on the rest.
-        let times =
-            thinned_poisson_times(&mut r, 0.0, 50_000.0, 1.0, |t| if t.fract() < 0.5 { 1.0 } else { 0.0 });
+        let times = thinned_poisson_times(&mut r, 0.0, 50_000.0, 1.0, |t| {
+            if t.fract() < 0.5 {
+                1.0
+            } else {
+                0.0
+            }
+        });
         let in_active: usize = times.iter().filter(|t| t.fract() < 0.5).count();
         assert_eq!(in_active, times.len(), "no events in zero-rate windows");
         let rate = times.len() as f64 / 50_000.0;

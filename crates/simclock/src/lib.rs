@@ -32,6 +32,6 @@ pub mod time;
 
 pub use calendar::{CivilDate, CivilDateTime};
 pub use flux::NeutronFlux;
-pub use rng::{SplitMix64, StreamRng, Xoshiro256pp};
+pub use rng::{SplitMix64, StreamRng, StreamTag, Xoshiro256pp};
 pub use solar::{Site, SolarPosition, BARCELONA};
 pub use time::{SimDuration, SimTime, STUDY_END, STUDY_EPOCH, STUDY_START};

@@ -140,7 +140,10 @@ mod tests {
         // Max elevation ~ 90 - lat + 23.44 in June, 90 - lat - 23.44 in Dec.
         let (jun, _) = max_elevation(CivilDate::new(2015, 6, 21));
         let (dec, _) = max_elevation(CivilDate::new(2015, 12, 21));
-        assert!((jun - (90.0 - 41.389 + 23.44)).abs() < 1.0, "june max {jun}");
+        assert!(
+            (jun - (90.0 - 41.389 + 23.44)).abs() < 1.0,
+            "june max {jun}"
+        );
         assert!((dec - (90.0 - 41.389 - 23.44)).abs() < 1.0, "dec max {dec}");
     }
 
@@ -172,7 +175,11 @@ mod tests {
     #[test]
     fn equinox_declination_near_zero() {
         let p = BARCELONA.solar_position(at(CivilDate::new(2015, 3, 20), 12));
-        assert!(p.declination_deg.abs() < 1.5, "equinox decl {}", p.declination_deg);
+        assert!(
+            p.declination_deg.abs() < 1.5,
+            "equinox decl {}",
+            p.declination_deg
+        );
     }
 
     #[test]

@@ -313,10 +313,7 @@ mod tests {
     #[test]
     fn duration_display_formats() {
         assert_eq!(SimDuration::from_secs(3_661).to_string(), "01h01m01s");
-        assert_eq!(
-            SimDuration::from_secs(90_061).to_string(),
-            "1d01h01m01s"
-        );
+        assert_eq!(SimDuration::from_secs(90_061).to_string(), "1d01h01m01s");
         assert_eq!(SimDuration::from_secs(-60).to_string(), "-00h01m00s");
     }
 

@@ -69,8 +69,8 @@ impl ThermalModel {
     /// Always within the paper's 18-26 C controlled band.
     pub fn room_c(&self, t: SimTime) -> f64 {
         let day = t.day_index() as f64;
-        let seasonal = self.room_seasonal_amp_c
-            * (2.0 * std::f64::consts::PI * (day - 196.0) / 365.25).cos();
+        let seasonal =
+            self.room_seasonal_amp_c * (2.0 * std::f64::consts::PI * (day - 196.0) / 365.25).cos();
         let sod = t.seconds_of_day() as f64 / 86_400.0;
         let daily = self.room_daily_amp_c * (2.0 * std::f64::consts::PI * (sod - 0.625)).cos();
         self.room_mean_c + seasonal + daily
@@ -103,8 +103,8 @@ impl ThermalModel {
     /// Node temperature in C at an instant, assuming the node is powered
     /// and running the (CPU-light) memory scanner.
     pub fn node_c(&self, node: NodeId, t: SimTime) -> f64 {
-        let mut temp = self.room_c(t) + self.idle_rise_c + self.node_offset_c(node)
-            + self.noise_c(node, t);
+        let mut temp =
+            self.room_c(t) + self.idle_rise_c + self.node_offset_c(node) + self.noise_c(node, t);
         if self.overheat_active(t) {
             let soc = node.soc();
             if soc == OVERHEATING_SOC {
@@ -198,7 +198,10 @@ mod tests {
         let hot = m.node_c(node(10, OVERHEATING_SOC), t);
         assert!(hot > 60.0, "overheating SoC at {hot} C");
         let neighbour = m.node_c(node(10, OVERHEATING_SOC - 1), t);
-        assert!(neighbour > m.node_c(node(10, 2), t), "neighbour runs warmer");
+        assert!(
+            neighbour > m.node_c(node(10, 2), t),
+            "neighbour runs warmer"
+        );
         assert!(neighbour < 55.0);
     }
 

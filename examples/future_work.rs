@@ -61,10 +61,23 @@ fn main() {
         }
     }
     println!("({arms} seeds per arm)         baseline   heat-stress");
-    println!("SoC-12 monitored hours   {:>8.0}   {:>11.0}", hours[0] / arms as f64, hours[1] / arms as f64);
-    println!("faults on SoC-12 nodes   {:>8}   {:>11}", agg[0][0], agg[1][0]);
-    println!("faults on neighbours     {:>8}   {:>11}", agg[0][1], agg[1][1]);
-    println!("faults above 60 C        {:>8}   {:>11}", agg[0][2], agg[1][2]);
+    println!(
+        "SoC-12 monitored hours   {:>8.0}   {:>11.0}",
+        hours[0] / arms as f64,
+        hours[1] / arms as f64
+    );
+    println!(
+        "faults on SoC-12 nodes   {:>8}   {:>11}",
+        agg[0][0], agg[1][0]
+    );
+    println!(
+        "faults on neighbours     {:>8}   {:>11}",
+        agg[0][1], agg[1][1]
+    );
+    println!(
+        "faults above 60 C        {:>8}   {:>11}",
+        agg[0][2], agg[1][2]
+    );
     println!("(more monitored hours at the hot position => more exposure,");
     println!(" and every fault there now carries a >60 C temperature tag)");
 
@@ -84,8 +97,8 @@ fn main() {
             until: None,
             // The component resumes at the degradation level it had
             // reached, and keeps worsening.
-            initial_rate_per_hour: original.rate_at(swap_date
-                - uc_simclock::SimDuration::from_secs(1)),
+            initial_rate_per_hour: original
+                .rate_at(swap_date - uc_simclock::SimDuration::from_secs(1)),
             ..original.clone()
         },
     ];
@@ -102,7 +115,9 @@ fn main() {
             .iter()
             .find(|(n, _)| *n == node)
             .map(|(_, s)| s.clone());
-        let Some(series) = series else { return Vec::new() };
+        let Some(series) = series else {
+            return Vec::new();
+        };
         let mut out: Vec<(u8, u64)> = Vec::new();
         for (i, &c) in series.iter().enumerate() {
             let date = uc_simclock::CivilDate::from_day_index(report.fig12.first_day + i as i64);

@@ -54,7 +54,9 @@ fn main() {
             if inject && k == 2 {
                 // Three upsets in different regions: a single-bit flip, a
                 // double-bit flip, and a multi-bit corruption.
-                scanner.device_mut().inject_flip(WordAddr(words / 7), 1 << 5);
+                scanner
+                    .device_mut()
+                    .inject_flip(WordAddr(words / 7), 1 << 5);
                 scanner
                     .device_mut()
                     .inject_flip(WordAddr(words / 3), (1 << 9) | (1 << 14));

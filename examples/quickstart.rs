@@ -24,7 +24,7 @@ fn main() {
     println!("{}", render::fig13(&report));
     println!(
         "simulated {} node-logs in {:?}",
-        result.outcomes.len(),
+        result.completed().count(),
         t0.elapsed()
     );
 }

@@ -105,12 +105,7 @@ fn main() {
         ("avoid-history", Policy::AvoidHistory),
         ("debug-only", Policy::DebugOnly),
     ] {
-        let out = simulate_placement(
-            &faults,
-            &jobs,
-            cfg.topology.monitored_node_count(),
-            policy,
-        );
+        let out = simulate_placement(&faults, &jobs, cfg.topology.monitored_node_count(), policy);
         println!(
             "{name:<14} {:>5}  {:>7}  {:>16}",
             out.jobs, out.failed_jobs, out.lost_node_hours

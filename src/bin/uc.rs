@@ -2,9 +2,12 @@
 //!
 //! Subcommands:
 //!
-//! - `uc campaign --out <dir> [--seed N] [--blades N] [--compact x]` — run a campaign and
-//!   write per-node log files (the paper's on-disk layout) plus the full
-//!   text report;
+//! - `uc campaign --out <dir> [--seed N] [--blades N] [--compact x] [--resume x]` —
+//!   run a campaign and write per-node log files (the paper's on-disk
+//!   layout) plus the full text report. Per-node checkpoints are kept in
+//!   `<out>/.checkpoints`; `--resume` restores finished nodes from them
+//!   instead of recomputing (resumed output is byte-identical to an
+//!   uninterrupted run), while a fresh run clears them first;
 //! - `uc analyze <dir>` — load a log directory, run the extraction
 //!   methodology and print the analyses that derive from logs alone;
 //! - `uc scan [--mb N] [--iters N]` — scan real host memory (memtester
@@ -18,14 +21,15 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use uc_analysis::daily::DailySeries;
-use uc_analysis::extract::{extract_node_faults, ExtractConfig};
+use uc_analysis::extract::{extract_recovered, ExtractConfig};
 use uc_analysis::fault::Fault;
 use uc_analysis::multibit::{multibit_stats, table_i};
 use uc_analysis::spatial::top_nodes;
 use uc_faultlog::files::{write_cluster_log, write_cluster_log_compact};
+use uc_faultlog::ingest::IngestStats;
 use uc_memscan::host::{run_host_scan, run_host_scan_parallel};
 use uc_memscan::Pattern;
-use unprotected_core::{render, run_campaign, CampaignConfig, Report};
+use unprotected_core::{checkpoint, render, run_campaign, CampaignConfig, Report};
 
 struct Args {
     positional: Vec<String>,
@@ -56,13 +60,15 @@ impl Args {
     }
 
     fn get_u64(&self, key: &str, default: u64) -> u64 {
-        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  uc campaign --out <dir> [--seed N] [--blades N] [--compact x]\n  \
+        "usage:\n  uc campaign --out <dir> [--seed N] [--blades N] [--compact x] [--resume x]\n  \
          uc analyze <dir>\n  uc scan [--mb N] [--iters N] [--pattern alternating|incrementing|checkerboard] [--parallel x]\n  \
          uc report [--seed N] [--blades N] [--csv <dir>]"
     );
@@ -83,13 +89,30 @@ fn cmd_campaign(args: &Args) -> ExitCode {
         return ExitCode::FAILURE;
     };
     let cfg = config_for(args);
-    eprintln!(
-        "running campaign: seed {}, {} candidate nodes...",
-        cfg.seed,
-        cfg.topology.monitored_node_count()
-    );
-    let result = run_campaign(&cfg);
     let dir = PathBuf::from(out);
+    let resume = args.flags.iter().any(|(k, _)| k == "resume");
+    let ckpt_dir = dir.join(".checkpoints");
+    if !resume {
+        // Stale checkpoints from an earlier run (possibly another seed)
+        // must not leak into a fresh campaign.
+        if let Err(e) = checkpoint::clear_checkpoints(&ckpt_dir) {
+            eprintln!("failed to clear checkpoints in {}: {e}", ckpt_dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!(
+        "running campaign: seed {}, {} candidate nodes{}...",
+        cfg.seed,
+        cfg.topology.monitored_node_count(),
+        if resume { " (resuming)" } else { "" }
+    );
+    let result = checkpoint::run_campaign_checkpointed(&cfg, &ckpt_dir);
+    if result.is_degraded() {
+        for (node, attempts, reason) in result.failed_nodes() {
+            eprintln!("WARNING: node {node} failed after {attempts} attempt(s): {reason}");
+        }
+        eprintln!("campaign is DEGRADED: output covers the surviving nodes only");
+    }
     let compact = args.flags.iter().any(|(k, _)| k == "compact");
     let write = if compact {
         write_cluster_log_compact
@@ -119,44 +142,53 @@ fn cmd_analyze(args: &Args) -> ExitCode {
         eprintln!("analyze requires a log directory");
         return ExitCode::FAILURE;
     };
-    // Parallel load: list the node-log files, parse each on its own worker
-    // (the full-scale campaign writes ~36M lines / several GB of text).
+    // Recovering, parallel load: list the node-log files, lossy-parse each
+    // on its own worker (the full-scale campaign writes ~36M lines /
+    // several GB of text), then merge the per-file ingest accounting.
     let dir_path = PathBuf::from(dir);
-    let mut paths: Vec<PathBuf> = match std::fs::read_dir(&dir_path) {
-        Ok(rd) => rd
-            .filter_map(|e| e.ok().map(|e| e.path()))
-            .filter(|p| {
-                p.file_name()
-                    .and_then(|n| n.to_str())
-                    .and_then(uc_faultlog::files::node_of_file_name)
-                    .is_some()
-            })
-            .collect(),
+    let paths = match uc_faultlog::ingest::node_log_paths(&dir_path) {
+        Ok(p) => p,
         Err(e) => {
-            eprintln!("cannot read {dir}: {e}");
+            eprintln!("analyze: {e}");
             return ExitCode::FAILURE;
         }
     };
-    paths.sort();
     let t0 = std::time::Instant::now();
     let loaded = uc_parallel::par_map(&paths, |_, path| {
-        let text = std::fs::read_to_string(path).unwrap_or_default();
-        // The compact reader accepts both plain and ERRORRUN lines.
-        uc_faultlog::store::NodeLog::from_text_compact(&text)
+        uc_faultlog::ingest::read_node_log_recovering(path)
     });
-    let bad_lines: usize = loaded.iter().map(|(_, errs)| errs.len()).sum();
-    let cluster = uc_faultlog::store::ClusterLog::new(
-        loaded.into_iter().map(|(log, _)| log).collect(),
-    );
+    let mut stats = IngestStats::default();
+    let mut logs = Vec::new();
+    let mut first_err = None;
+    for res in loaded {
+        match res {
+            Ok(rec) => {
+                stats.merge(&rec.stats);
+                logs.push(rec.log);
+            }
+            Err(e) => {
+                stats.files_unreadable += 1;
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    if logs.is_empty() {
+        if let Some(e) = first_err {
+            eprintln!("analyze: no readable log files: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    logs.sort_by_key(|l| l.node.map(|n| n.0));
+    let cluster = uc_faultlog::store::ClusterLog::new(logs);
     eprintln!(
         "parsed {} files in {:?} ({} worker threads)",
         paths.len(),
         t0.elapsed(),
         uc_parallel::worker_count(paths.len())
     );
-    if bad_lines > 0 {
-        eprintln!("warning: {bad_lines} unparseable log lines");
-    }
+    eprintln!("{}", stats.summary());
     println!(
         "loaded {} node logs, {} raw records ({} raw errors)",
         cluster.node_logs().len(),
@@ -165,24 +197,15 @@ fn cmd_analyze(args: &Args) -> ExitCode {
     );
 
     // Extraction, flood filter, and the log-derivable analyses.
-    let cfg = ExtractConfig::default();
-    let mut faults: Vec<Fault> = Vec::new();
-    let total_raw = cluster.raw_error_count().max(1);
-    let mut flood_nodes = Vec::new();
-    for log in cluster.node_logs() {
-        if log.raw_error_count() as f64 / total_raw as f64 > 0.5 {
-            flood_nodes.push(log.node);
-            continue;
-        }
-        faults.extend(extract_node_faults(log, &cfg));
-    }
-    faults.sort_by_key(|f| (f.time, f.node.0, f.vaddr));
-    if !flood_nodes.is_empty() {
+    let recovered = extract_recovered(&cluster, stats, &ExtractConfig::default(), 0.5);
+    let faults: Vec<Fault> = recovered.faults;
+    if !recovered.flood_nodes.is_empty() {
         println!(
             "excluded flood node(s): {:?}",
-            flood_nodes
+            recovered
+                .flood_nodes
                 .iter()
-                .map(|n| n.map(|n| n.to_string()).unwrap_or_default())
+                .map(|n| n.to_string())
                 .collect::<Vec<_>>()
         );
     }
@@ -200,7 +223,10 @@ fn cmd_analyze(args: &Args) -> ExitCode {
     for (node, count) in top_nodes(&faults, 5) {
         println!("  {node}  {count}");
     }
-    println!("multi-bit corruption table rows: {}", table_i(&faults).len());
+    println!(
+        "multi-bit corruption table rows: {}",
+        table_i(&faults).len()
+    );
 
     // Daily volume from the logs alone (START/END reconstruction).
     let first_day = faults.first().map(|f| f.time.day_index()).unwrap_or(0);
@@ -229,7 +255,8 @@ fn cmd_scan(args: &Args) -> ExitCode {
         Some("checkerboard") => Pattern::Checkerboard,
         _ => Pattern::Alternating,
     };
-    let parallel = args.get("parallel").is_some() || args.flags.iter().any(|(k, _)| k == "parallel");
+    let parallel =
+        args.get("parallel").is_some() || args.flags.iter().any(|(k, _)| k == "parallel");
     println!(
         "scanning {mb} MB of host memory, {iters} passes, {} pattern{}...",
         pattern.tag(),

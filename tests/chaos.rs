@@ -1,0 +1,132 @@
+//! Chaos-injection harness: a campaign corpus on disk is deterministically
+//! damaged (bit flips, truncations, duplicated/reordered/garbage lines,
+//! dropped files) and the recovering ingestion path must degrade
+//! gracefully — never panic, account for every line it saw, and still
+//! recover a fault set close to the uncorrupted one.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use uc_analysis::extract::{extract_recovered, ExtractConfig, RecoveredExtract};
+use uc_faultlog::chaos::{corrupt_dir, ChaosConfig};
+use uc_faultlog::files::write_cluster_log;
+use uc_faultlog::ingest::read_cluster_log_recovering;
+use uc_faultlog::store::ClusterLog;
+use unprotected_core::{run_campaign, CampaignConfig};
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("uc-chaos-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Write a small campaign's logs (minus the flood node, whose run-length
+/// compressed store expands to tens of millions of text lines) to `dir`.
+fn write_corpus(dir: &Path) -> usize {
+    let cfg = CampaignConfig::small(42, 6);
+    let result = run_campaign(&cfg);
+    let flood = result.flood_nodes(0.5);
+    let logs: Vec<_> = result
+        .completed()
+        .filter(|o| !flood.contains(&o.node))
+        .map(|o| o.log.clone())
+        .collect();
+    let n = logs.len();
+    write_cluster_log(dir, &ClusterLog::new(logs)).unwrap();
+    n
+}
+
+fn ingest_and_extract(dir: &Path) -> RecoveredExtract {
+    let (cluster, stats) = read_cluster_log_recovering(dir).unwrap();
+    assert!(stats.is_conserved(), "accounting broken: {stats:?}");
+    extract_recovered(&cluster, stats, &ExtractConfig::default(), 0.5)
+}
+
+#[test]
+fn one_percent_corruption_degrades_gracefully() {
+    let dir = tempdir("light");
+    write_corpus(&dir);
+
+    let baseline = ingest_and_extract(&dir);
+    assert!(baseline.faults.len() > 500, "baseline too small to compare");
+    assert_eq!(baseline.stats.dropped(), 0, "clean corpus drops nothing");
+
+    let report = corrupt_dir(&dir, &ChaosConfig::lines(7, 0.01)).unwrap();
+    assert!(report.files_corrupted > 0);
+    assert!(report.total_line_mutations() > 0);
+
+    let damaged = ingest_and_extract(&dir);
+    // The accounting is accurate: damage shows up in the drop counters,
+    // and every line read is either kept or attributed to a category.
+    assert!(damaged.stats.dropped() > 0, "{:?}", damaged.stats);
+    assert!(damaged.stats.records_kept > 0);
+
+    // Graceful degradation: 1% line corruption moves the recovered fault
+    // count by at most 2%.
+    let a = baseline.faults.len() as f64;
+    let b = damaged.faults.len() as f64;
+    let deviation = (a - b).abs() / a;
+    assert!(
+        deviation <= 0.02,
+        "fault count deviated {:.2}% ({} -> {})",
+        deviation * 100.0,
+        baseline.faults.len(),
+        damaged.faults.len()
+    );
+
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn heavy_corruption_never_panics_and_still_accounts() {
+    let dir = tempdir("heavy");
+    let files = write_corpus(&dir);
+
+    // 20% of lines mutated, 10% of files truncated, 5% dropped entirely.
+    let cfg = ChaosConfig {
+        seed: 99,
+        line_corruption_rate: 0.20,
+        truncate_file_rate: 0.10,
+        drop_file_rate: 0.05,
+    };
+    let report = corrupt_dir(&dir, &cfg).unwrap();
+    assert!(report.files_corrupted > 0);
+
+    let (cluster, stats) = read_cluster_log_recovering(&dir).unwrap();
+    assert!(stats.is_conserved(), "accounting broken: {stats:?}");
+    assert!(stats.dropped() > 0);
+    assert_eq!(
+        cluster.node_logs().len() + report.files_dropped as usize,
+        files,
+        "every surviving file yields a log"
+    );
+    // Even at 20% corruption most records survive: damage is per-line.
+    assert!(
+        stats.records_kept as f64 > stats.lines_read as f64 * 0.5,
+        "{:?}",
+        stats
+    );
+
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn chaos_is_deterministic_end_to_end() {
+    let dir_a = tempdir("det-a");
+    let dir_b = tempdir("det-b");
+    write_corpus(&dir_a);
+    write_corpus(&dir_b);
+
+    let cfg = ChaosConfig::lines(1234, 0.05);
+    let ra = corrupt_dir(&dir_a, &cfg).unwrap();
+    let rb = corrupt_dir(&dir_b, &cfg).unwrap();
+    assert_eq!(ra.line_mutations, rb.line_mutations);
+
+    let a = ingest_and_extract(&dir_a);
+    let b = ingest_and_extract(&dir_b);
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.faults, b.faults);
+
+    fs::remove_dir_all(&dir_a).unwrap();
+    fs::remove_dir_all(&dir_b).unwrap();
+}

@@ -15,7 +15,7 @@ fn same_seed_same_everything() {
     assert_eq!(a.terabyte_hours(), b.terabyte_hours());
 
     // Per-node logs byte-identical.
-    for (oa, ob) in a.outcomes.iter().zip(&b.outcomes) {
+    for (oa, ob) in a.completed().zip(b.completed()) {
         assert_eq!(oa.node, ob.node);
         assert_eq!(oa.log.entries(), ob.log.entries(), "node {}", oa.node);
     }
@@ -64,11 +64,11 @@ fn node_simulation_independent_of_fleet_composition() {
     let small = run_campaign(&cfg_a);
     let bigger = run_campaign(&cfg_b);
     let mut checked = 0;
-    for oa in &small.outcomes {
+    for oa in small.completed() {
         if special.contains(&oa.node) {
             continue;
         }
-        if let Some(ob) = bigger.outcomes.iter().find(|o| o.node == oa.node) {
+        if let Some(ob) = bigger.completed().find(|o| o.node == oa.node) {
             assert_eq!(oa.log.entries(), ob.log.entries(), "node {}", oa.node);
             checked += 1;
         }

@@ -1,0 +1,48 @@
+//! Property tests for the recovering ingestion path: on *any* input —
+//! valid log text, mangled log text, or pure garbage — recovery must not
+//! panic and its accounting must conserve lines (every line read is
+//! either kept or attributed to exactly one drop category).
+
+use proptest::prelude::*;
+use uc_faultlog::ingest::recover_text;
+
+proptest! {
+    #[test]
+    fn recovery_conserves_counts_on_arbitrary_text(text in "\\PC*") {
+        let rec = recover_text(&text);
+        prop_assert!(rec.stats.is_conserved(), "stats: {:?}", rec.stats);
+        prop_assert_eq!(
+            rec.stats.lines_read,
+            rec.stats.records_kept + rec.stats.dropped()
+        );
+    }
+
+    #[test]
+    fn recovery_conserves_counts_on_mangled_log_lines(
+        lines in prop::collection::vec(
+            prop_oneof![
+                Just("START t=3600 node=01-02 alloc=1048576 pattern=alternating".to_string()),
+                Just("ERROR t=3700 node=01-02 vaddr=0x00fa3b9c page=0x0003e8 \
+                      expected=0xffffffff actual=0xffff7bff temp=35.0".to_string()),
+                Just("END t=7200 node=01-02 errors=1 temp=36.1".to_string()),
+                Just(String::new()),
+                "[ =x0-9a-fA-F#]{0,40}",
+            ],
+            0..40,
+        ),
+        cut in 0usize..200,
+    ) {
+        // Join and then cut the tail to simulate a torn final line. All
+        // strategy output is ASCII, so byte slicing is safe.
+        let mut text = lines.join("\n");
+        if !text.is_empty() {
+            text.push('\n');
+        }
+        let cut = cut.min(text.len());
+        let torn = &text[..text.len() - cut];
+        let rec = recover_text(torn);
+        prop_assert!(rec.stats.is_conserved(), "stats: {:?}", rec.stats);
+        // Kept records never exceed parseable input lines.
+        prop_assert!(rec.stats.records_kept <= rec.stats.lines_read);
+    }
+}

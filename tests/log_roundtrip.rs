@@ -29,8 +29,7 @@ fn campaign_logs_roundtrip_through_text_files() {
     // text lines — exercised separately by the `uc` CLI at full scale).
     let flood = result.flood_nodes(0.5);
     let logs: Vec<_> = result
-        .outcomes
-        .iter()
+        .completed()
         .filter(|o| !flood.contains(&o.node))
         .map(|o| o.log.clone())
         .collect();
@@ -82,8 +81,7 @@ fn merged_stream_equivalent_after_roundtrip() {
     // A couple of interesting nodes only (hot + weak bit) to keep it quick.
     let keep = ["02-04", "04-05"];
     let logs: Vec<_> = result
-        .outcomes
-        .iter()
+        .completed()
         .filter(|o| keep.contains(&o.node.to_string().as_str()))
         .map(|o| o.log.clone())
         .collect();

@@ -51,8 +51,7 @@ fn run_loop(spec: &SessionSpec, events: &[TransientEvent]) -> Vec<ErrorRecord> {
     // give the device the same effective salt.
     let device_salt = POLARITY_SALT ^ uc_simclock::rng::mix64(u64::from(NODE.0));
     let device = VecDevice::new(Geometry::TINY, device_salt);
-    let (mut scanner, _start) =
-        DeviceScanner::start(device, spec.pattern, NODE, spec.start, None);
+    let (mut scanner, _start) = DeviceScanner::start(device, spec.pattern, NODE, spec.start, None);
     let passes = (spec.end - spec.start).as_secs() / ITER_SECS;
     let mut out = Vec::new();
     for pass in 0..passes {
@@ -211,8 +210,7 @@ fn randomized_event_storm_matches() {
         let spec = session(pattern, passes);
         let mut events = Vec::new();
         for _ in 0..60 {
-            let t = spec.start.as_secs()
-                + rng.below(((passes - 1) * ITER_SECS) as u64) as i64;
+            let t = spec.start.as_secs() + rng.below(((passes - 1) * ITER_SECS) as u64) as i64;
             let n_strikes = 1 + rng.below(3);
             let strikes = (0..n_strikes)
                 .map(|_| {

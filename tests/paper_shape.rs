@@ -45,9 +45,9 @@ fn most_nodes_show_no_fault_at_all() {
     let (result, report) = campaign();
     let faulty = report.fig3_faults.nonzero_cells();
     assert!(
-        faulty * 2 < result.outcomes.len(),
+        faulty * 2 < result.completed().count(),
         "{faulty} faulty of {}",
-        result.outcomes.len()
+        result.completed().count()
     );
 }
 
@@ -96,7 +96,11 @@ fn simultaneous_corruption_is_pervasive() {
     let c = &report.coincidence;
     assert!(c.faults_in_groups > 1_000, "{}", c.faults_in_groups);
     assert!(c.multi_single_groups > 500);
-    assert!(c.max_group_bits >= 12, "large groups exist: {}", c.max_group_bits);
+    assert!(
+        c.max_group_bits >= 12,
+        "large groups exist: {}",
+        c.max_group_bits
+    );
     // Most multi-bit faults are accompanied by simultaneous singles.
     assert!(c.double_with_single > 0);
 }
@@ -105,7 +109,9 @@ fn simultaneous_corruption_is_pervasive() {
 fn single_bit_rate_flat_across_the_day() {
     // Paper Fig. 5: no particular hour concentrates single-bit errors.
     let (_, report) = campaign();
-    let series = report.hourly.class_series(uc_analysis::fault::BitClass::One);
+    let series = report
+        .hourly
+        .class_series(uc_analysis::fault::BitClass::One);
     let max = *series.iter().max().unwrap() as f64;
     let min = *series.iter().min().unwrap() as f64;
     assert!(min > 0.0, "every hour sees errors");
@@ -184,7 +190,11 @@ fn regime_split_matches_paper_fractions() {
     assert!((0.08..=0.30).contains(&frac), "degraded fraction {frac}");
     let s = report.regime_summary;
     assert!(s.normal_mtbf_h > 80.0, "normal MTBF {}", s.normal_mtbf_h);
-    assert!(s.degraded_mtbf_h < 2.0, "degraded MTBF {}", s.degraded_mtbf_h);
+    assert!(
+        s.degraded_mtbf_h < 2.0,
+        "degraded MTBF {}",
+        s.degraded_mtbf_h
+    );
     assert!(
         s.normal_mtbf_h / s.degraded_mtbf_h > 100.0,
         "orders of magnitude apart"
@@ -241,10 +251,7 @@ fn spatio_temporal_predictor_works() {
         .unwrap();
     assert!(recall_24h > 0.9, "24 h recall {recall_24h}");
     // Monotone in horizon.
-    assert!(report
-        .predictor_recall
-        .windows(2)
-        .all(|w| w[0].1 <= w[1].1));
+    assert!(report.predictor_recall.windows(2).all(|w| w[0].1 <= w[1].1));
 }
 
 #[test]

@@ -1,0 +1,119 @@
+//! Supervised campaign execution: checkpointed runs resume byte-identically
+//! after an interruption, and a poisoned node degrades the campaign
+//! instead of aborting it.
+
+use std::fs;
+use std::path::PathBuf;
+
+use uc_cluster::NodeId;
+use unprotected_core::checkpoint::{clear_checkpoints, run_campaign_checkpointed};
+use unprotected_core::{render, run_campaign, CampaignConfig, Report};
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("uc-resume-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn interrupted_campaign_resumes_byte_identical() {
+    let cfg = CampaignConfig::small(42, 6);
+    let fresh = run_campaign(&cfg);
+    let fresh_report = render::full_report(&Report::build(&fresh));
+
+    // First run populates the checkpoint directory.
+    let ckpt = tempdir("interrupt");
+    let first = run_campaign_checkpointed(&cfg, &ckpt);
+    assert_eq!(
+        render::full_report(&Report::build(&first)),
+        fresh_report,
+        "checkpointed run matches plain run"
+    );
+
+    // Simulate an interruption: every third checkpoint is lost, and one
+    // survivor is torn mid-write.
+    let mut ckpts: Vec<PathBuf> = fs::read_dir(&ckpt)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    ckpts.sort();
+    assert!(
+        ckpts.len() > 10,
+        "expected many checkpoints: {}",
+        ckpts.len()
+    );
+    for path in ckpts.iter().step_by(3) {
+        fs::remove_file(path).unwrap();
+    }
+    let survivor = ckpts
+        .iter()
+        .find(|p| p.exists())
+        .expect("a surviving checkpoint");
+    let text = fs::read(survivor).unwrap();
+    fs::write(survivor, &text[..text.len() / 2]).unwrap();
+
+    // Resume: restored + recomputed nodes together are indistinguishable
+    // from an uninterrupted run, down to the rendered report text.
+    let resumed = run_campaign_checkpointed(&cfg, &ckpt);
+    assert!(!resumed.is_degraded());
+    for (a, b) in resumed.completed().zip(fresh.completed()) {
+        assert_eq!(a.node, b.node);
+        assert_eq!(a.log.entries(), b.log.entries(), "node {}", a.node);
+        assert_eq!(a.faults, b.faults, "node {}", a.node);
+        assert_eq!(a.monitored_hours.to_bits(), b.monitored_hours.to_bits());
+        assert_eq!(a.terabyte_hours.to_bits(), b.terabyte_hours.to_bits());
+    }
+    assert_eq!(render::full_report(&Report::build(&resumed)), fresh_report);
+
+    fs::remove_dir_all(&ckpt).unwrap();
+}
+
+#[test]
+fn stale_checkpoints_from_another_seed_are_not_reused() {
+    let ckpt = tempdir("stale-seed");
+    let a = run_campaign_checkpointed(&CampaignConfig::small(42, 6), &ckpt);
+    // Same directory, different seed: every checkpoint is stale, so the
+    // result must match that seed's plain run, not seed 42's.
+    let b = run_campaign_checkpointed(&CampaignConfig::small(43, 6), &ckpt);
+    let plain_b = run_campaign(&CampaignConfig::small(43, 6));
+    assert_eq!(b.all_faults(), plain_b.all_faults());
+    assert_ne!(a.all_faults(), b.all_faults());
+
+    clear_checkpoints(&ckpt).unwrap();
+    assert!(fs::read_dir(&ckpt).unwrap().next().is_none());
+    fs::remove_dir_all(&ckpt).unwrap();
+}
+
+#[test]
+fn poisoned_node_yields_degraded_report_naming_the_node() {
+    let mut cfg = CampaignConfig::small(42, 6);
+    let victim = NodeId::from_name("01-05").unwrap();
+    cfg.panic_nodes.push(victim);
+    cfg.node_attempts = 2;
+
+    let result = run_campaign(&cfg);
+    assert!(result.is_degraded());
+    let failed = result.failed_nodes();
+    assert_eq!(failed.len(), 1);
+    assert_eq!(failed[0].0, victim);
+    assert_eq!(failed[0].1, 2, "both attempts consumed");
+
+    // The report survives, names the failed node, and covers the others.
+    let report = Report::build(&result);
+    assert_eq!(report.failed_nodes.len(), 1);
+    assert_eq!(report.failed_nodes[0].0, victim);
+    let headline = render::headline(&report);
+    assert!(headline.contains("DEGRADED"), "{headline}");
+    assert!(headline.contains("01-05"), "{headline}");
+    assert!(report.headline.independent_faults > 0);
+
+    // The surviving nodes' output matches a healthy run's exactly.
+    let healthy = run_campaign(&CampaignConfig::small(42, 6));
+    for (a, b) in result
+        .completed()
+        .zip(healthy.completed().filter(|o| o.node != victim))
+    {
+        assert_eq!(a.node, b.node);
+        assert_eq!(a.faults, b.faults);
+    }
+}

@@ -1,0 +1,158 @@
+//! Offline drop-in for the slice of `criterion` this workspace's benches
+//! use. The real crate cannot be fetched (no network, no registry cache),
+//! and the benches only need a callable harness: this shim times each
+//! benchmark with a fixed warm-up + measurement loop and prints mean
+//! wall-clock time per iteration. No statistics, plots or baselines.
+
+use std::time::{Duration, Instant};
+
+/// Per-iteration throughput annotation (printed alongside the timing).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measurement_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, None, self.measurement_time, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_bench(&full, self.throughput, self.criterion.measurement_time, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time the closure over the harness-chosen iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F>(name: &str, throughput: Option<Throughput>, budget: Duration, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibration pass: one iteration, to size the measurement loop.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let iters = (budget.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mean = b.elapsed.as_secs_f64() / iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if mean > 0.0 => {
+            format!("  {:.1} MiB/s", n as f64 / mean / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(n)) if mean > 0.0 => {
+            format!("  {:.0} elem/s", n as f64 / mean)
+        }
+        _ => String::new(),
+    };
+    println!("bench {name:<48} {:>12.3} us/iter{rate}", mean * 1e6);
+}
+
+/// Re-export: the benches import `black_box` from `std::hint` already, but
+/// the real criterion also exposes one.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            // `cargo test`/`cargo bench` pass harness flags; a bench binary
+            // invoked with `--test` must not run the full measurement loop.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn harness_times_a_closure() {
+        let mut c = super::Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+}

@@ -1,0 +1,652 @@
+//! A self-contained, offline drop-in for the subset of the `proptest` API
+//! this workspace uses.
+//!
+//! The build environment has no network access and no registry cache, so the
+//! real `proptest` crate cannot be fetched (DESIGN.md §5 already keeps the
+//! dependency tree tiny for the same reason). This shim implements the same
+//! surface with the same semantics — deterministic pseudo-random generation
+//! of many cases per property — minus shrinking: a failing case reports its
+//! seed and generated inputs instead of a minimized counterexample.
+//!
+//! Supported surface (everything the workspace's tests use):
+//!
+//! - `proptest! { #[test] fn name(pat in strategy, ...) { body } }` with an
+//!   optional leading `#![proptest_config(ProptestConfig::with_cases(n))]`;
+//! - `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`;
+//! - range strategies (`0i64..1000`), `any::<T>()`, `Just`, tuples of
+//!   strategies, `.prop_map`, `prop_oneof!`, `proptest::collection::vec`,
+//!   `proptest::option::of`, and regex-literal string strategies for the
+//!   simple classes used here (`"\\PC*"`, `"[ =x0-9a-f]{0,6}"`).
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// Deterministic generator behind every strategy: xorshift-style mixing,
+/// seeded per test from the test name so runs are reproducible.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> TestRng {
+        TestRng {
+            state: seed | 1, // never the all-zero state
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        // SplitMix64 step: well-mixed, never stuck.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // Multiply-shift; bias is irrelevant for test-case generation.
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+    }
+}
+
+/// A value generator. Unlike real proptest there is no value tree: `generate`
+/// yields the value directly and failures are not shrunk.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// `.prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternatives (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = ((rng.next_u64() as u128) * span >> 64) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! int_rangeinclusive_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128 - *self.start() as i128 + 1) as u128;
+                let off = ((rng.next_u64() as u128) * span >> 64) as i128;
+                (*self.start() as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+int_rangeinclusive_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                self.start + (self.end - self.start) * unit as $t
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! int_rangefrom_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::RangeFrom<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (<$t>::MAX as u128) - (self.start as u128) + 1;
+                let off = ((rng.next_u64() as u128) * span >> 64) as u128;
+                ((self.start as u128) + off) as $t
+            }
+        }
+    )*};
+}
+
+int_rangefrom_strategy!(u8, u16, u32, u64, usize);
+
+/// A strategy from a generator closure — the engine behind `prop_compose!`.
+pub struct FnStrategy<F> {
+    f: F,
+}
+
+impl<F> FnStrategy<F> {
+    pub fn new<T>(f: F) -> FnStrategy<F>
+    where
+        F: Fn(&mut TestRng) -> T,
+    {
+        FnStrategy { f }
+    }
+}
+
+impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// The `any::<T>()` entry point.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Types with a canonical full-range generator.
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// String strategies from regex literals. Only the simple shapes used in
+/// this workspace are interpreted: `\PC*` (any printable characters), a
+/// character class with an optional `{m,n}` / `*` / `+` repetition, or a
+/// plain literal.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    const PRINTABLE_EXTRA: &[char] = &['é', 'λ', '💥', '\u{00A0}', '中'];
+    if pattern == "\\PC*" {
+        // Any non-control characters, length 0..64.
+        let len = rng.below(64) as usize;
+        return (0..len)
+            .map(|_| {
+                if rng.below(8) == 0 {
+                    PRINTABLE_EXTRA[rng.below(PRINTABLE_EXTRA.len() as u64) as usize]
+                } else {
+                    (0x20 + rng.below(0x5F) as u8) as char
+                }
+            })
+            .collect();
+    }
+    if let Some(rest) = pattern.strip_prefix('[') {
+        if let Some(close) = rest.find(']') {
+            let class = expand_class(&rest[..close]);
+            let tail = &rest[close + 1..];
+            let (lo, hi) = parse_repeat(tail);
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            if class.is_empty() {
+                return String::new();
+            }
+            return (0..len)
+                .map(|_| class[rng.below(class.len() as u64) as usize])
+                .collect();
+        }
+    }
+    // Fallback: the pattern itself, treated as a literal.
+    pattern.to_string()
+}
+
+fn expand_class(class: &str) -> Vec<char> {
+    let chars: Vec<char> = class.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+            for c in lo..=hi {
+                if let Some(c) = char::from_u32(c) {
+                    out.push(c);
+                }
+            }
+            i += 3;
+        } else {
+            out.push(chars[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+fn parse_repeat(tail: &str) -> (usize, usize) {
+    match tail {
+        "*" => (0, 16),
+        "+" => (1, 16),
+        "" => (1, 1),
+        _ => {
+            if let Some(body) = tail.strip_prefix('{').and_then(|t| t.strip_suffix('}')) {
+                let mut parts = body.splitn(2, ',');
+                let lo = parts.next().and_then(|p| p.parse().ok()).unwrap_or(0);
+                let hi = parts
+                    .next()
+                    .and_then(|p| p.parse().ok())
+                    .unwrap_or(lo.max(1));
+                (lo, hi.max(lo))
+            } else {
+                (1, 1)
+            }
+        }
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element, size_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `proptest::option::of(strategy)`: `None` about a quarter of the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Property-test run parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed or skipped test case, produced by the `prop_assert*` macros.
+#[derive(Debug)]
+pub enum TestCaseError {
+    Fail(String),
+    Reject,
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+pub mod test_runner {
+    pub use super::{ProptestConfig, TestCaseError, TestRng};
+
+    /// Runs a property closure for `config.cases` deterministic cases.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        seed: u64,
+    }
+
+    impl TestRunner {
+        pub fn new(config: ProptestConfig, test_name: &str) -> TestRunner {
+            // Per-test deterministic seed: FNV-1a of the test name.
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1_0000_01B3);
+            }
+            TestRunner { config, seed: h }
+        }
+
+        pub fn run_cases(
+            &mut self,
+            mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+        ) {
+            for i in 0..u64::from(self.config.cases) {
+                let mut rng = TestRng::new(self.seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                match case(&mut rng) {
+                    Ok(()) | Err(TestCaseError::Reject) => {}
+                    Err(TestCaseError::Fail(msg)) => {
+                        panic!("property failed at case {i}: {msg}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof,
+        proptest, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+    pub mod prop {
+        pub use crate::{collection, option};
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner =
+                $crate::test_runner::TestRunner::new($cfg, concat!(module_path!(), "::", stringify!($name)));
+            runner.run_cases(|rng| {
+                $(let $pat = $crate::Strategy::generate(&($strat), rng);)+
+                let __case = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    Ok(())
+                };
+                __case()
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{} (left: {:?}, right: {:?})",
+            format!($($fmt)+),
+            l,
+            r
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {} (both: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "{} (both: {:?})", format!($($fmt)+), l);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident ( $($outer:tt)* )
+                 ( $($pat:pat_param in $strat:expr),+ $(,)? ) -> $out:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($outer)*) -> impl $crate::Strategy<Value = $out> {
+            $crate::FnStrategy::new(move |rng: &mut $crate::TestRng| {
+                $(let $pat = $crate::Strategy::generate(&($strat), rng);)+
+                $body
+            })
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::new(7);
+        for _ in 0..1000 {
+            let v = crate::Strategy::generate(&(10i64..20), &mut rng);
+            assert!((10..20).contains(&v));
+            let u = crate::Strategy::generate(&(0u8..4), &mut rng);
+            assert!(u < 4);
+        }
+    }
+
+    #[test]
+    fn string_class_pattern() {
+        let mut rng = crate::TestRng::new(3);
+        for _ in 0..200 {
+            let s = crate::Strategy::generate(&"[ =x0-9a-f]{0,6}", &mut rng);
+            assert!(s.len() <= 6);
+            assert!(s.chars().all(|c| " =x0123456789abcdef".contains(c)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_wires_up(a in 0u32..10, b in any::<bool>(), v in prop::collection::vec(0i64..5, 1..4)) {
+            prop_assert!(a < 10);
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert_eq!(b, b);
+        }
+
+        #[test]
+        fn oneof_and_map(x in prop_oneof![Just(1u32), (5u32..8).prop_map(|v| v * 10)]) {
+            prop_assert!(x == 1 || (50..80).contains(&x));
+        }
+    }
+}
