@@ -16,13 +16,22 @@
 //! faults, matching the paper's thousands of identical-but-independent
 //! weak-bit errors.
 
-use std::collections::HashMap;
+use std::collections::{BinaryHeap, HashMap};
 
 use uc_faultlog::record::ErrorRecord;
 use uc_faultlog::store::{LogEntry, NodeLog};
 use uc_simclock::{SimDuration, SimTime};
 
 use crate::fault::Fault;
+
+/// The canonical, fully discriminating sort key for fault streams. Every
+/// field participates so that two distinct faults can never compare equal:
+/// sorting or merging by this key is total, which is what makes extraction
+/// output independent of `HashMap` iteration order and thread count (the
+/// DESIGN.md §6 contract).
+pub fn fault_sort_key(f: &Fault) -> (SimTime, u32, u64, u32, u32, u64) {
+    (f.time, f.node.0, f.vaddr, f.expected, f.actual, f.raw_logs)
+}
 
 /// Extraction parameters.
 #[derive(Clone, Copy, Debug)]
@@ -60,8 +69,17 @@ pub fn extract_node_faults(log: &NodeLog, cfg: &ExtractConfig) -> Vec<Fault> {
                   count: u64,
                   last_time: SimTime| {
         let key = (rec.vaddr, rec.expected ^ rec.actual);
+        // Only a forward-in-time recurrence can extend an open fault. A
+        // record timestamped *before* the open fault's last sighting is an
+        // out-of-order log line (recovering ingest keeps those, and
+        // `NodeLog::from_text` never re-sorts): raw subtraction would hand
+        // back a negative "gap" that always passes the window check,
+        // silently merging unrelated faults — and overflows on adversarial
+        // timestamps. `checked_elapsed_since` refuses both, so the
+        // recurrence opens a new fault instead.
+        let recurrence_gap = |of: &OpenFault| rec.time.checked_elapsed_since(of.last_seen);
         match open.get_mut(&key) {
-            Some(of) if rec.time - of.last_seen <= cfg.merge_window => {
+            Some(of) if recurrence_gap(of).is_some_and(|gap| gap <= cfg.merge_window) => {
                 of.fault.raw_logs += count;
                 of.last_seen = last_time;
             }
@@ -109,21 +127,79 @@ pub fn extract_node_faults(log: &NodeLog, cfg: &ExtractConfig) -> Vec<Fault> {
     done.extend(open.into_values().map(|of| of.fault));
     // Fully discriminating key: the open-fault map iterates in hash order,
     // so ties on (time, vaddr) must still sort deterministically.
-    done.sort_by_key(|f| (f.time, f.vaddr, f.expected, f.actual, f.raw_logs));
+    done.sort_by_key(fault_sort_key);
     done
 }
 
-/// Extract faults for a whole cluster log, node by node, concatenated in
-/// node order (callers re-sort by time when needed).
+/// Merge per-node fault streams, each already sorted by [`fault_sort_key`]
+/// (the [`extract_node_faults`] postcondition), into one stream sorted by
+/// the same key — the k-way merge discipline the cluster log's record
+/// stream already uses, instead of concat-then-sort. Ties across streams
+/// break by stream index, so the merge is total and deterministic.
+fn merge_sorted_fault_streams(streams: Vec<Vec<Fault>>) -> Vec<Fault> {
+    struct Head {
+        key: (SimTime, u32, u64, u32, u32, u64),
+        stream: usize,
+    }
+    impl PartialEq for Head {
+        fn eq(&self, other: &Self) -> bool {
+            self.cmp(other) == std::cmp::Ordering::Equal
+        }
+    }
+    impl Eq for Head {}
+    impl PartialOrd for Head {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Head {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // BinaryHeap is a max-heap; invert for smallest-key-first.
+            (&other.key, other.stream).cmp(&(&self.key, self.stream))
+        }
+    }
+
+    let total = streams.iter().map(Vec::len).sum();
+    let mut cursors: Vec<std::vec::IntoIter<Fault>> =
+        streams.into_iter().map(Vec::into_iter).collect();
+    let mut heap = BinaryHeap::with_capacity(cursors.len());
+    let mut peeked: Vec<Option<Fault>> = Vec::with_capacity(cursors.len());
+    for (i, cur) in cursors.iter_mut().enumerate() {
+        let head = cur.next();
+        if let Some(f) = &head {
+            heap.push(Head {
+                key: fault_sort_key(f),
+                stream: i,
+            });
+        }
+        peeked.push(head);
+    }
+    let mut out = Vec::with_capacity(total);
+    while let Some(Head { stream, .. }) = heap.pop() {
+        let fault = peeked[stream].take().expect("heap entry has a peeked head");
+        out.push(fault);
+        if let Some(next) = cursors[stream].next() {
+            heap.push(Head {
+                key: fault_sort_key(&next),
+                stream,
+            });
+            peeked[stream] = Some(next);
+        }
+    }
+    out
+}
+
+/// Extract faults for a whole cluster log: per-node extraction fans out
+/// over `parallel::par_map` (order-preserving), and the per-node streams
+/// are combined by a k-way merge on [`fault_sort_key`]. Output is sorted
+/// by that key and byte-identical regardless of thread count.
 pub fn extract_cluster_faults(
     cluster: &uc_faultlog::store::ClusterLog,
     cfg: &ExtractConfig,
 ) -> Vec<Fault> {
-    let mut out = Vec::new();
-    for log in cluster.node_logs() {
-        out.extend(extract_node_faults(log, cfg));
-    }
-    out
+    let per_node =
+        uc_parallel::par_map(cluster.node_logs(), |_, log| extract_node_faults(log, cfg));
+    merge_sorted_fault_streams(per_node)
 }
 
 /// Extraction over a recovered (lossy) ingest: the paper's flood filter
@@ -133,7 +209,8 @@ pub fn extract_cluster_faults(
 /// complete.
 #[derive(Clone, Debug)]
 pub struct RecoveredExtract {
-    /// Independent faults, sorted by (time, node, vaddr).
+    /// Independent faults, sorted by the fully discriminating
+    /// [`fault_sort_key`].
     pub faults: Vec<Fault>,
     /// Nodes excluded by the flood filter.
     pub flood_nodes: Vec<uc_cluster::NodeId>,
@@ -144,6 +221,11 @@ pub struct RecoveredExtract {
 /// Run the extraction methodology over a recovering ingest's output. A
 /// node whose raw error logs exceed `flood_share` of the cluster total is
 /// excluded, mirroring the paper's removal of its single faulty node.
+/// Per-node extraction runs in parallel; the output is combined by the
+/// k-way merge on [`fault_sort_key`], so two same-instant faults at one
+/// address with different corruption patterns order deterministically (the
+/// old `(time, node, vaddr)` key left that tie to `HashMap` iteration
+/// order, violating the §6 contract).
 pub fn extract_recovered(
     cluster: &uc_faultlog::store::ClusterLog,
     stats: uc_faultlog::ingest::IngestStats,
@@ -151,18 +233,18 @@ pub fn extract_recovered(
     flood_share: f64,
 ) -> RecoveredExtract {
     let total_raw = cluster.raw_error_count().max(1);
-    let mut faults: Vec<Fault> = Vec::new();
     let mut flood_nodes = Vec::new();
+    let mut kept: Vec<&NodeLog> = Vec::new();
     for log in cluster.node_logs() {
         if log.raw_error_count() as f64 / total_raw as f64 > flood_share {
             flood_nodes.extend(log.node);
-            continue;
+        } else {
+            kept.push(log);
         }
-        faults.extend(extract_node_faults(log, cfg));
     }
-    faults.sort_by_key(|f| (f.time, f.node.0, f.vaddr));
+    let per_node = uc_parallel::par_map(&kept, |_, log| extract_node_faults(log, cfg));
     RecoveredExtract {
-        faults,
+        faults: merge_sorted_fault_streams(per_node),
         flood_nodes,
         stats,
     }
@@ -354,6 +436,120 @@ mod tests {
             2,
             "flood_share above 1 disables the filter"
         );
+    }
+
+    #[test]
+    fn out_of_order_recurrence_is_a_new_fault() {
+        // `NodeLog::from_text` keeps file order, so a reordered log reaches
+        // extraction with a recurrence timestamped *before* the open
+        // fault's last sighting. The raw `rec.time - of.last_seen` gap was
+        // negative (always within the window), silently merging the two;
+        // now the reordered recurrence opens its own fault.
+        let text = "ERROR t=1000 node=01-01 vaddr=0x00000100 page=0x000001 \
+                    expected=0xffffffff actual=0xfffffffe temp=NA\n\
+                    ERROR t=10 node=01-01 vaddr=0x00000100 page=0x000001 \
+                    expected=0xffffffff actual=0xfffffffe temp=NA\n";
+        let (log, errors) = NodeLog::from_text(text);
+        assert!(errors.is_empty());
+        let faults = extract_node_faults(&log, &ExtractConfig::default());
+        assert_eq!(faults.len(), 2, "reordered recurrence must not merge");
+        assert!(faults.iter().all(|f| f.raw_logs == 1));
+        assert_eq!(faults[0].time.as_secs(), 10, "sorted output");
+    }
+
+    #[test]
+    fn out_of_order_extreme_timestamps_do_not_panic() {
+        // Adversarial timestamps (a damaged log can claim any i64 the
+        // parser accepts) must not overflow the gap computation even in
+        // debug builds.
+        let recs = vec![
+            err(i64::MAX - 1, 0x100, 0xFFFF_FFFF, 0xFFFF_FFFE),
+            err(i64::MIN + 1, 0x100, 0xFFFF_FFFF, 0xFFFF_FFFE),
+        ];
+        let log = NodeLog::from_entries(
+            Some(NodeId(1)),
+            recs.into_iter()
+                .map(|r| LogEntry::One(LogRecord::Error(r)))
+                .collect(),
+        );
+        let faults = extract_node_faults(&log, &ExtractConfig::default());
+        assert_eq!(faults.len(), 2);
+    }
+
+    #[test]
+    fn same_instant_different_patterns_order_deterministically() {
+        // Two faults at one (time, vaddr) with different corruption
+        // patterns tie under the old `(time, node, vaddr)` key; their
+        // relative order then depended on `HashMap` iteration order. Every
+        // run must produce the identical stream.
+        use uc_faultlog::store::ClusterLog;
+        let cluster = || {
+            let recs: Vec<ErrorRecord> = (0..16)
+                .map(|k| err(500, 0x100, 0xFFFF_FFFF, 0xFFFF_FFFF ^ (1 << k)))
+                .collect();
+            ClusterLog::new(vec![log_of(recs)])
+        };
+        let baseline = extract_recovered(
+            &cluster(),
+            Default::default(),
+            &ExtractConfig::default(),
+            1.1,
+        );
+        assert_eq!(baseline.faults.len(), 16);
+        for round in 0..20 {
+            // Fresh HashMaps each round churn RandomState.
+            let again = extract_recovered(
+                &cluster(),
+                Default::default(),
+                &ExtractConfig::default(),
+                1.1,
+            );
+            assert_eq!(baseline.faults, again.faults, "round {round}");
+        }
+        let mut sorted = baseline.faults.clone();
+        sorted.sort_by_key(fault_sort_key);
+        assert_eq!(baseline.faults, sorted, "output sorted by the full key");
+    }
+
+    #[test]
+    fn cluster_extraction_merges_by_time_across_nodes() {
+        let mut a = NodeLog::new(NodeId(1));
+        a.push(LogRecord::Error(err(100, 0x100, 0x0, 0x1)));
+        a.push(LogRecord::Error(err(300, 0x200, 0x0, 0x1)));
+        let mut b = NodeLog::new(NodeId(2));
+        let mut rec = err(200, 0x300, 0x0, 0x1);
+        rec.node = NodeId(2);
+        b.push(LogRecord::Error(rec));
+        let cluster = uc_faultlog::store::ClusterLog::new(vec![a, b]);
+        let faults = extract_cluster_faults(&cluster, &ExtractConfig::default());
+        let times: Vec<i64> = faults.iter().map(|f| f.time.as_secs()).collect();
+        assert_eq!(times, vec![100, 200, 300], "k-way merged, not node-major");
+    }
+
+    #[test]
+    fn extraction_identical_across_thread_counts() {
+        use uc_faultlog::store::ClusterLog;
+        let cluster = {
+            let mut logs = Vec::new();
+            for n in 1..=9u32 {
+                let entries = (0..50i64)
+                    .map(|k| {
+                        let mut r = err(k * 37 % 900, 0x100 + (k as u64 % 7) * 8, 0x0, 0x1);
+                        r.node = NodeId(n);
+                        LogEntry::One(LogRecord::Error(r))
+                    })
+                    .collect();
+                logs.push(NodeLog::from_entries(Some(NodeId(n)), entries));
+            }
+            ClusterLog::new(logs)
+        };
+        let cfg = ExtractConfig::default();
+        let one = uc_parallel::with_thread_limit(1, || extract_cluster_faults(&cluster, &cfg));
+        for threads in [2, 4, 8] {
+            let n =
+                uc_parallel::with_thread_limit(threads, || extract_cluster_faults(&cluster, &cfg));
+            assert_eq!(one, n, "{threads} threads");
+        }
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! The offline analysis pipeline, 1-thread vs N-thread: recovering
+//! directory ingest, cluster fault extraction, and the full report build.
+//! Every stage is deterministic (DESIGN.md §6), so the pairs here measure
+//! pure speedup — the outputs are byte-identical by construction. Run with
+//! `cargo bench -p uc-bench --bench pipeline`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+use uc_analysis::extract::{extract_cluster_faults, ExtractConfig};
+use uc_bench::campaign;
+use uc_faultlog::ingest::read_cluster_log_recovering;
+use uc_parallel::with_thread_limit;
+use unprotected_core::Report;
+
+/// Write the cached campaign's logs to a scratch directory once and reuse
+/// it for the ingest benches.
+fn log_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join("uc-bench-pipeline-logs");
+    let marker = dir.join("node-01-01.log");
+    if !marker.exists() {
+        std::fs::create_dir_all(&dir).expect("create bench log dir");
+        uc_faultlog::files::write_cluster_log_compact(&dir, &campaign().cluster_log())
+            .expect("write bench logs");
+    }
+    dir
+}
+
+fn ingest(c: &mut Criterion) {
+    let dir = log_dir();
+    let mut g = c.benchmark_group("pipeline_ingest");
+    g.bench_function("dir_recovering_1thread", |b| {
+        b.iter(|| {
+            with_thread_limit(1, || {
+                black_box(read_cluster_log_recovering(&dir).unwrap().1.records_kept)
+            })
+        })
+    });
+    g.bench_function("dir_recovering_nthread", |b| {
+        b.iter(|| black_box(read_cluster_log_recovering(&dir).unwrap().1.records_kept))
+    });
+    g.finish();
+}
+
+fn extraction(c: &mut Criterion) {
+    let cluster = campaign().cluster_log();
+    let cfg = ExtractConfig::default();
+    let mut g = c.benchmark_group("pipeline_extract");
+    g.bench_function("cluster_faults_1thread", |b| {
+        b.iter(|| {
+            with_thread_limit(1, || {
+                black_box(extract_cluster_faults(&cluster, &cfg).len())
+            })
+        })
+    });
+    g.bench_function("cluster_faults_nthread", |b| {
+        b.iter(|| black_box(extract_cluster_faults(&cluster, &cfg).len()))
+    });
+    g.finish();
+}
+
+fn report(c: &mut Criterion) {
+    let result = campaign();
+    let mut g = c.benchmark_group("pipeline_report");
+    g.bench_function("report_build_1thread", |b| {
+        b.iter(|| {
+            with_thread_limit(1, || {
+                black_box(Report::build(result).headline.independent_faults)
+            })
+        })
+    });
+    g.bench_function("report_build_nthread", |b| {
+        b.iter(|| black_box(Report::build(result).headline.independent_faults))
+    });
+    g.finish();
+}
+
+criterion_group!(pipeline, ingest, extraction, report);
+criterion_main!(pipeline);

@@ -9,7 +9,9 @@
 //! - `kernels`: the hot loops (scan pass, ECC codecs, extraction, PRNG,
 //!   parallel map, log codec);
 //! - `ablations`: design-choice studies (lane scrambling on/off, solar gain
-//!   on/off, merge window, quarantine trigger, SECDED vs chipkill).
+//!   on/off, merge window, quarantine trigger, SECDED vs chipkill);
+//! - `pipeline`: the offline analysis pipeline (recovering ingest, cluster
+//!   extraction, report build) at 1 thread vs the full worker pool.
 //!
 //! The campaign fixture is built once per process and shared.
 

@@ -93,13 +93,14 @@ impl CampaignResult {
             .any(|o| matches!(o, NodeOutcome::Failed { .. }))
     }
 
-    /// All faults across the cluster, time-sorted (ties by node id).
+    /// All faults across the cluster, sorted by the canonical
+    /// fully discriminating key (time first, ties by node id).
     pub fn all_faults(&self) -> Vec<Fault> {
         let mut out: Vec<Fault> = self
             .completed()
             .flat_map(|o| o.faults.iter().copied())
             .collect();
-        out.sort_by_key(|f| (f.time, f.node.0, f.vaddr, f.expected, f.actual));
+        out.sort_by_key(uc_analysis::extract::fault_sort_key);
         out
     }
 
@@ -127,6 +128,25 @@ impl CampaignResult {
             .collect()
     }
 
+    /// Fraction of all raw error logs held by the flood nodes. Numerator
+    /// and denominator both range over `completed()` — the degraded-mode
+    /// roster — so a failed node's lost logs appear in neither. Keeping the
+    /// two sides of the ratio in one place makes that consistency
+    /// structural rather than a property every caller re-derives.
+    pub fn flood_log_share(&self, share: f64) -> f64 {
+        let total = self.raw_error_logs();
+        if total == 0 {
+            return 0.0;
+        }
+        let flood = self.flood_nodes(share);
+        let flood_logs: u64 = self
+            .completed()
+            .filter(|o| flood.contains(&o.node))
+            .map(|o| o.log.raw_error_count())
+            .sum();
+        flood_logs as f64 / total as f64
+    }
+
     /// Faults excluding the flood nodes — the paper's "after these filters"
     /// dataset (>55k independent errors).
     pub fn characterized_faults(&self) -> Vec<Fault> {
@@ -136,7 +156,7 @@ impl CampaignResult {
             .filter(|o| !flood.contains(&o.node))
             .flat_map(|o| o.faults.iter().copied())
             .collect();
-        out.sort_by_key(|f| (f.time, f.node.0, f.vaddr, f.expected, f.actual));
+        out.sort_by_key(uc_analysis::extract::fault_sort_key);
         out
     }
 
@@ -390,6 +410,43 @@ mod tests {
             assert_eq!(a.node, b.node);
             assert_eq!(a.faults, b.faults);
             assert_eq!(a.log.entries(), b.log.entries());
+        }
+    }
+
+    #[test]
+    fn flood_share_consistent_on_degraded_campaign() {
+        // A non-flood node fails: its logs must vanish from numerator and
+        // denominator alike, so the share stays the direct ratio over the
+        // surviving roster.
+        let mut cfg = CampaignConfig::small(42, 8);
+        cfg.panic_nodes.push(NodeId::from_name("03-03").unwrap());
+        let r = run_campaign(&cfg);
+        assert!(r.is_degraded());
+        let share = r.flood_log_share(0.5);
+        assert!((0.0..=1.0).contains(&share), "share {share}");
+        let flood = r.flood_nodes(0.5);
+        let expected: u64 = r
+            .completed()
+            .filter(|o| flood.contains(&o.node))
+            .map(|o| o.log.raw_error_count())
+            .sum();
+        assert_eq!(share, expected as f64 / r.raw_error_logs() as f64);
+        assert!(share > 0.9, "flood node survived, still dominates: {share}");
+    }
+
+    #[test]
+    fn flood_share_zero_when_flood_node_itself_fails() {
+        // The flood node fails: it is in neither side of the ratio, and no
+        // surviving node crosses the 50% threshold.
+        let mut cfg = CampaignConfig::small(42, 8);
+        cfg.panic_nodes.push(NodeId::from_name("05-07").unwrap());
+        let r = run_campaign(&cfg);
+        assert!(r.is_degraded());
+        assert!(r.raw_error_logs() > 0, "survivors still log errors");
+        let share = r.flood_log_share(0.5);
+        assert!((0.0..=1.0).contains(&share), "share {share}");
+        if r.flood_nodes(0.5).is_empty() {
+            assert_eq!(share, 0.0);
         }
     }
 

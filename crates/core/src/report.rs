@@ -106,6 +106,14 @@ pub struct Report {
 
 impl Report {
     /// Build the full report from a campaign result.
+    ///
+    /// The figure/table analyses are independent pure folds over the fault
+    /// slice, so they fan out over `parallel::join4` into four balanced
+    /// groups (corruption patterns, time structure, ECC counterfactuals,
+    /// spatial/regime structure). Each value lands in its named field
+    /// regardless of scheduling, and every fold is deterministic on its
+    /// inputs — the report is byte-identical at any thread count (§6), and
+    /// `join` degrades to plain sequential calls under `UC_THREADS=1`.
     pub fn build(result: &CampaignResult) -> Report {
         let cfg = &result.config;
         let faults = result.characterized_faults();
@@ -125,7 +133,8 @@ impl Report {
             fig3_faults.add(f.node, 1.0);
         }
 
-        // Daily series.
+        // Daily series: a fold over the node logs, not the fault slice, so
+        // it stays with the sequential preamble.
         let mut daily = DailySeries::new(first_day, days);
         for o in result.completed() {
             daily.add_node_log(&o.log);
@@ -135,31 +144,77 @@ impl Report {
 
         // Regime and quarantine exclude the permanently failing node.
         let mtbf_excluded = excluded_for_mtbf(cfg, &faults);
-        let regime = RegimeDays::compute(&faults, &mtbf_excluded, first_day, days);
+
+        let faults = &faults;
+        let mtbf_excluded_ref = &mtbf_excluded;
+        let (
+            (table1, multibit, flips, bitpos_multibit),
+            (hourly, temperature, fig12, burstiness_stats, predictor_recall),
+            (secded, chipkill, protection, scrub),
+            ((fig4, coincidence), (alignment, alignment_background), (regime, table2)),
+        ) = uc_parallel::join4(
+            || {
+                (
+                    table_i(faults),
+                    multibit_stats(faults),
+                    flip_directions(faults),
+                    BitPositionHistogram::compute(faults, true),
+                )
+            },
+            || {
+                (
+                    HourlyProfile::compute(faults),
+                    TemperatureProfile::compute(faults),
+                    top_node_series(faults, 3, first_day, days),
+                    burstiness(faults),
+                    recall_curve(faults, &[1, 6, 24, 72]),
+                )
+            },
+            || {
+                (
+                    secded_counterfactual(faults),
+                    chipkill_counterfactual(faults),
+                    compare_protections(faults, days as f64 * 24.0),
+                    scrub_sweep(faults, &[1, 6, 24, 168]),
+                )
+            },
+            || {
+                uc_parallel::join3(
+                    || {
+                        (
+                            MultiplicityComparison::compute(faults),
+                            coincidence_stats(faults),
+                        )
+                    },
+                    || {
+                        let background: Vec<_> = faults
+                            .iter()
+                            .filter(|f| !mtbf_excluded_ref.contains(&f.node))
+                            .copied()
+                            .collect();
+                        (
+                            alignment_stats(faults, cfg.scan.geometry),
+                            alignment_stats(&background, cfg.scan.geometry),
+                        )
+                    },
+                    || {
+                        let regime =
+                            RegimeDays::compute(faults, mtbf_excluded_ref, first_day, days);
+                        let sim = QuarantineSim {
+                            observed_hours: days as f64 * 24.0,
+                            fleet_nodes: cfg.topology.monitored_node_count(),
+                            exclude: mtbf_excluded_ref.clone(),
+                        };
+                        let table2 = sim.sweep(faults, &[0, 5, 10, 15, 20, 25, 30]);
+                        (regime, table2)
+                    },
+                )
+            },
+        );
         let regime_summary = regime.summary();
-        let sim = QuarantineSim {
-            observed_hours: days as f64 * 24.0,
-            fleet_nodes: cfg.topology.monitored_node_count(),
-            exclude: mtbf_excluded.clone(),
-        };
-        let table2 = sim.sweep(&faults, &[0, 5, 10, 15, 20, 25, 30]);
 
         let raw = result.raw_error_logs();
-        let flood_logs: u64 = result
-            .completed()
-            .filter(|o| flood.contains(&o.node))
-            .map(|o| o.log.raw_error_count())
-            .sum();
         let monitored_node_hours = result.monitored_node_hours();
-        let protection = compare_protections(&faults, days as f64 * 24.0);
-        let alignment_background = {
-            let background: Vec<_> = faults
-                .iter()
-                .filter(|f| !mtbf_excluded.contains(&f.node))
-                .copied()
-                .collect();
-            alignment_stats(&background, cfg.scan.geometry)
-        };
         let projection = exascale_sweep(&NodeRates::from_totals(
             faults.len() as u64,
             protection.secded.silent_corruptions,
@@ -177,11 +232,10 @@ impl Report {
             terabyte_hours: result.terabyte_hours(),
             raw_error_logs: raw,
             flood_nodes: flood,
-            flood_log_share: if raw == 0 {
-                0.0
-            } else {
-                flood_logs as f64 / raw as f64
-            },
+            // Numerator and denominator both range over the completed
+            // (degraded-mode surviving) roster — see
+            // `CampaignResult::flood_log_share`.
+            flood_log_share: result.flood_log_share(0.5),
             independent_faults: faults.len() as u64,
             node_mtbf_h: uc_analysis::stats::mtbf_hours(monitored_node_hours, faults.len() as u64),
             cluster_error_interval_min: if faults.is_empty() {
@@ -189,7 +243,7 @@ impl Report {
             } else {
                 days as f64 * 24.0 * 60.0 / faults.len() as f64
             },
-            top3_concentration: concentration(&faults, 3),
+            top3_concentration: concentration(faults, 3),
         };
 
         Report {
@@ -198,29 +252,29 @@ impl Report {
             fig1_hours,
             fig2_tbh,
             fig3_faults,
-            table1: table_i(&faults),
-            multibit: multibit_stats(&faults),
-            flips: flip_directions(&faults),
-            fig4: MultiplicityComparison::compute(&faults),
-            coincidence: coincidence_stats(&faults),
-            hourly: HourlyProfile::compute(&faults),
-            temperature: TemperatureProfile::compute(&faults),
+            table1,
+            multibit,
+            flips,
+            fig4,
+            coincidence,
+            hourly,
+            temperature,
             daily,
             scan_error_pearson,
-            fig12: top_node_series(&faults, 3, first_day, days),
+            fig12,
             regime,
             regime_summary,
             table2,
-            secded: secded_counterfactual(&faults),
-            chipkill: chipkill_counterfactual(&faults),
+            secded,
+            chipkill,
             mtbf_excluded,
-            burstiness: burstiness(&faults),
-            predictor_recall: recall_curve(&faults, &[1, 6, 24, 72]),
-            bitpos_multibit: BitPositionHistogram::compute(&faults, true),
-            scrub: scrub_sweep(&faults, &[1, 6, 24, 168]),
+            burstiness: burstiness_stats,
+            predictor_recall,
+            bitpos_multibit,
+            scrub,
             protection,
             projection,
-            alignment: alignment_stats(&faults, cfg.scan.geometry),
+            alignment,
             alignment_background,
         }
     }

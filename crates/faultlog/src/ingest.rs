@@ -334,13 +334,21 @@ pub fn node_log_paths(dir: &Path) -> Result<Vec<PathBuf>, IngestError> {
 /// Read a whole directory of node logs in recovering mode. Unreadable
 /// individual files are counted and skipped; the call fails only when the
 /// directory is missing/empty/unusable or *no* file could be read at all.
+///
+/// Per-file parsing fans out over `parallel::par_map` (the full-scale
+/// campaign writes ~36M lines across ~900 files). Determinism argument
+/// (DESIGN.md §6): the file list is sorted, `par_map` is order-preserving,
+/// the [`IngestStats`] merge is a commutative-and-associative `+=` folded
+/// in that fixed order, and the first error is picked by file order — so
+/// the result is byte-identical at any thread count.
 pub fn read_cluster_log_recovering(dir: &Path) -> Result<(ClusterLog, IngestStats), IngestError> {
     let paths = node_log_paths(dir)?;
+    let loaded = uc_parallel::par_map(&paths, |_, path| read_node_log_recovering(path));
     let mut stats = IngestStats::default();
     let mut logs: Vec<NodeLog> = Vec::new();
     let mut first_err: Option<IngestError> = None;
-    for path in &paths {
-        match read_node_log_recovering(path) {
+    for res in loaded {
+        match res {
             Ok(rec) => {
                 stats.merge(&rec.stats);
                 logs.push(rec.log);
@@ -541,6 +549,40 @@ mod tests {
             read_cluster_log_recovering(&file),
             Err(IngestError::NotADirectory(_))
         ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn directory_recovery_identical_across_thread_counts() {
+        let dir = std::env::temp_dir().join(format!("uc-ingest-par-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        for blade in 1..=9 {
+            let node = format!("0{blade}-01");
+            fs::write(
+                dir.join(format!("node-{node}.log")),
+                format!(
+                    "START t=0 node={node} alloc=1024 temp=NA\nJUNK\n\
+                     ERROR t=40 node={node} vaddr=0x00000100 page=0x000001 \
+                     expected=0xffffffff actual=0xfffffffe temp=NA\n\
+                     END t=100 node={node} temp=NA\n"
+                ),
+            )
+            .unwrap();
+        }
+        let (base_cluster, base_stats) =
+            uc_parallel::with_thread_limit(1, || read_cluster_log_recovering(&dir).unwrap());
+        for threads in [2usize, 4, 8] {
+            let (cluster, stats) = uc_parallel::with_thread_limit(threads, || {
+                read_cluster_log_recovering(&dir).unwrap()
+            });
+            assert_eq!(stats, base_stats, "{threads} threads");
+            assert_eq!(cluster.node_logs().len(), base_cluster.node_logs().len());
+            for (a, b) in base_cluster.node_logs().iter().zip(cluster.node_logs()) {
+                assert_eq!(a.node, b.node);
+                assert_eq!(a.entries(), b.entries());
+            }
+        }
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -23,18 +23,143 @@
 //! The [`pipeline`] module adds a bounded-channel producer/consumer stage
 //! built on `crossbeam-channel`, used by the log-processing examples.
 
+use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 pub mod pipeline;
 
-/// Number of worker threads to use: the available parallelism, capped so
-/// tiny inputs do not spawn idle threads.
+/// Process-wide worker ceiling set by [`set_thread_limit`]; 0 means unset.
+static GLOBAL_THREAD_LIMIT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Caller-scoped worker ceiling set by [`with_thread_limit`]; 0 means
+    /// unset. Thread-local so concurrent tests (and nested scopes) cannot
+    /// race on it.
+    static SCOPED_THREAD_LIMIT: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The `UC_THREADS` environment variable, read once. 0 means unset.
+fn env_thread_limit() -> usize {
+    static LIMIT: OnceLock<usize> = OnceLock::new();
+    *LIMIT.get_or_init(|| {
+        std::env::var("UC_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(0)
+    })
+}
+
+/// Cap the number of worker threads every primitive in this crate may use.
+/// `None` (or `Some(0)`) removes the cap. The cap only bounds resource use;
+/// by the §6 determinism contract it never changes any result.
+pub fn set_thread_limit(limit: Option<usize>) {
+    GLOBAL_THREAD_LIMIT.store(limit.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The effective worker ceiling, if any: an enclosing [`with_thread_limit`]
+/// scope wins over [`set_thread_limit`], which wins over the `UC_THREADS`
+/// environment variable.
+pub fn thread_limit() -> Option<usize> {
+    let scoped = SCOPED_THREAD_LIMIT.with(Cell::get);
+    if scoped > 0 {
+        return Some(scoped);
+    }
+    let global = GLOBAL_THREAD_LIMIT.load(Ordering::Relaxed);
+    if global > 0 {
+        return Some(global);
+    }
+    match env_thread_limit() {
+        0 => None,
+        n => Some(n),
+    }
+}
+
+/// Run `f` with the calling thread's worker ceiling set to `limit` (>= 1),
+/// restoring the previous ceiling afterwards, panic or not. Scoped and
+/// thread-local, so it is safe under the concurrent test harness and for
+/// 1-vs-N comparisons in benches.
+pub fn with_thread_limit<R>(limit: usize, f: impl FnOnce() -> R) -> R {
+    assert!(limit > 0, "thread limit must be at least 1");
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            SCOPED_THREAD_LIMIT.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(SCOPED_THREAD_LIMIT.with(|c| c.replace(limit)));
+    f()
+}
+
+/// Number of worker threads to use: the available parallelism, bounded by
+/// the configured [`thread_limit`] and capped so tiny inputs do not spawn
+/// idle threads.
 pub fn worker_count(items: usize) -> usize {
     let hw = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    hw.min(items).max(1)
+    thread_limit().unwrap_or(hw).min(items).max(1)
+}
+
+/// Run two closures, potentially in parallel, and return both results.
+/// `fb` runs on a spawned scoped thread while `fa` runs on the caller; with
+/// an effective thread limit of 1 both run sequentially on the caller. A
+/// panic in either closure propagates after both finish.
+pub fn join<A, B, FA, FB>(fa: FA, fb: FB) -> (A, B)
+where
+    A: Send,
+    B: Send,
+    FA: FnOnce() -> A + Send,
+    FB: FnOnce() -> B + Send,
+{
+    if worker_count(2) == 1 {
+        return (fa(), fb());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(fb);
+        let a = catch_unwind(AssertUnwindSafe(fa));
+        let b = hb.join();
+        match (a, b) {
+            (Ok(a), Ok(b)) => (a, b),
+            // Propagate fa's panic first: it is the deterministic caller-side
+            // failure; fb's payload (if any) is dropped with the scope.
+            (Err(p), _) => resume_unwind(p),
+            (_, Err(p)) => resume_unwind(p),
+        }
+    })
+}
+
+/// Three-way [`join`].
+pub fn join3<A, B, C>(
+    fa: impl FnOnce() -> A + Send,
+    fb: impl FnOnce() -> B + Send,
+    fc: impl FnOnce() -> C + Send,
+) -> (A, B, C)
+where
+    A: Send,
+    B: Send,
+    C: Send,
+{
+    let (a, (b, c)) = join(fa, || join(fb, fc));
+    (a, b, c)
+}
+
+/// Four-way [`join`].
+pub fn join4<A, B, C, D>(
+    fa: impl FnOnce() -> A + Send,
+    fb: impl FnOnce() -> B + Send,
+    fc: impl FnOnce() -> C + Send,
+    fd: impl FnOnce() -> D + Send,
+) -> (A, B, C, D)
+where
+    A: Send,
+    B: Send,
+    C: Send,
+    D: Send,
+{
+    let ((a, b), (c, d)) = join(|| join(fa, fb), || join(fc, fd));
+    (a, b, c, d)
 }
 
 /// Parallel, order-preserving map. Semantically identical to
@@ -498,7 +623,82 @@ mod tests {
         let hw = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        assert_eq!(worker_count(1_000_000), hw);
+        assert_eq!(worker_count(1_000_000), thread_limit().unwrap_or(hw).max(1));
+    }
+
+    #[test]
+    fn scoped_thread_limit_caps_workers_and_restores() {
+        let before = SCOPED_THREAD_LIMIT.with(Cell::get);
+        with_thread_limit(1, || {
+            assert_eq!(worker_count(1_000_000), 1);
+            with_thread_limit(3, || assert_eq!(worker_count(1_000_000), 3));
+            assert_eq!(worker_count(1_000_000), 1, "inner scope restored");
+        });
+        assert_eq!(SCOPED_THREAD_LIMIT.with(Cell::get), before);
+    }
+
+    #[test]
+    fn scoped_thread_limit_restored_on_panic() {
+        let before = SCOPED_THREAD_LIMIT.with(Cell::get);
+        let result = std::panic::catch_unwind(|| with_thread_limit(1, || panic!("boom")));
+        assert!(result.is_err());
+        assert_eq!(SCOPED_THREAD_LIMIT.with(Cell::get), before);
+    }
+
+    #[test]
+    fn limited_par_map_matches_unlimited() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let unlimited = par_map(&items, |i, x| x.wrapping_mul(31) ^ i as u64);
+        for limit in [1, 2, 3, 8] {
+            let limited = with_thread_limit(limit, || {
+                par_map(&items, |i, x| x.wrapping_mul(31) ^ i as u64)
+            });
+            assert_eq!(limited, unlimited, "limit {limit}");
+        }
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok".to_string());
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+        let (a, b, c) = join3(|| 1, || 2, || 3);
+        assert_eq!((a, b, c), (1, 2, 3));
+        let (a, b, c, d) = join4(|| 1u8, || 2u16, || 3u32, || 4u64);
+        assert_eq!((a, b, c, d), (1, 2, 3, 4));
+    }
+
+    #[test]
+    fn join_sequential_under_limit_one() {
+        let (a, b) = with_thread_limit(1, || {
+            let caller = std::thread::current().id();
+            join(
+                move || std::thread::current().id() == caller,
+                move || std::thread::current().id() == caller,
+            )
+        });
+        assert!(a && b, "limit 1 runs both closures on the caller");
+    }
+
+    #[test]
+    fn join_propagates_panics_from_either_side() {
+        for poison_a in [true, false] {
+            let result = std::panic::catch_unwind(|| {
+                join(
+                    || {
+                        if poison_a {
+                            panic!("a")
+                        }
+                    },
+                    || {
+                        if !poison_a {
+                            panic!("b")
+                        }
+                    },
+                )
+            });
+            assert!(result.is_err(), "poison_a={poison_a}");
+        }
     }
 
     #[test]

@@ -93,6 +93,19 @@ impl SimTime {
     pub fn clamp(self, lo: SimTime, hi: SimTime) -> SimTime {
         SimTime(self.0.clamp(lo.0, hi.0))
     }
+
+    /// The non-negative span since `earlier`, or `None` when `self` is
+    /// before `earlier` (or the raw subtraction would overflow). The safe
+    /// way to ask "how long since?" about records that may arrive out of
+    /// order — damaged field logs do (see `faultlog::ingest`), and plain
+    /// `self - earlier` would silently hand back a negative span.
+    #[inline]
+    pub const fn checked_elapsed_since(self, earlier: SimTime) -> Option<SimDuration> {
+        match self.0.checked_sub(earlier.0) {
+            Some(secs) if secs >= 0 => Some(SimDuration(secs)),
+            _ => None,
+        }
+    }
 }
 
 impl SimDuration {
@@ -189,7 +202,13 @@ impl Sub<SimDuration> for SimTime {
     type Output = SimTime;
     #[inline]
     fn sub(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0 - rhs.0)
+        debug_assert!(
+            self.0.checked_sub(rhs.0).is_some(),
+            "SimTime - SimDuration overflowed: {} - {}",
+            self.0,
+            rhs.0
+        );
+        SimTime(self.0.wrapping_sub(rhs.0))
     }
 }
 
@@ -202,9 +221,20 @@ impl SubAssign<SimDuration> for SimTime {
 
 impl Sub<SimTime> for SimTime {
     type Output = SimDuration;
+    /// The signed span from `rhs` to `self`. Negative when `self` is the
+    /// earlier instant — callers comparing against a window should prefer
+    /// [`SimTime::checked_elapsed_since`], which cannot hand a reordered
+    /// pair back as a huge negative "gap". Overflow panics in debug builds
+    /// and wraps in release, like primitive integer arithmetic.
     #[inline]
     fn sub(self, rhs: SimTime) -> SimDuration {
-        SimDuration(self.0 - rhs.0)
+        debug_assert!(
+            self.0.checked_sub(rhs.0).is_some(),
+            "SimTime - SimTime overflowed: {} - {}",
+            self.0,
+            rhs.0
+        );
+        SimDuration(self.0.wrapping_sub(rhs.0))
     }
 }
 
@@ -227,7 +257,13 @@ impl Sub<SimDuration> for SimDuration {
     type Output = SimDuration;
     #[inline]
     fn sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0 - rhs.0)
+        debug_assert!(
+            self.0.checked_sub(rhs.0).is_some(),
+            "SimDuration - SimDuration overflowed: {} - {}",
+            self.0,
+            rhs.0
+        );
+        SimDuration(self.0.wrapping_sub(rhs.0))
     }
 }
 
@@ -330,6 +366,32 @@ mod tests {
     fn duration_sum() {
         let total: SimDuration = (1..=4).map(SimDuration::from_hours).sum();
         assert_eq!(total, SimDuration::from_hours(10));
+    }
+
+    #[test]
+    fn checked_elapsed_since_rejects_reordered_pairs() {
+        let early = SimTime::from_secs(100);
+        let late = SimTime::from_secs(175);
+        assert_eq!(
+            late.checked_elapsed_since(early),
+            Some(SimDuration::from_secs(75))
+        );
+        assert_eq!(early.checked_elapsed_since(early), Some(SimDuration::ZERO));
+        assert_eq!(early.checked_elapsed_since(late), None, "out of order");
+        assert_eq!(
+            SimTime::from_secs(i64::MAX).checked_elapsed_since(SimTime::from_secs(-1)),
+            None,
+            "overflow is not a span"
+        );
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn sub_overflow_panics_in_debug() {
+        let r = std::panic::catch_unwind(|| {
+            SimTime::from_secs(i64::MAX) - SimTime::from_secs(i64::MIN)
+        });
+        assert!(r.is_err(), "debug builds reject overflowing subtraction");
     }
 
     #[test]

@@ -8,8 +8,11 @@
 //!   `<out>/.checkpoints`; `--resume` restores finished nodes from them
 //!   instead of recomputing (resumed output is byte-identical to an
 //!   uninterrupted run), while a fresh run clears them first;
-//! - `uc analyze <dir>` — load a log directory, run the extraction
-//!   methodology and print the analyses that derive from logs alone;
+//! - `uc analyze <dir> [--threads N]` — load a log directory, run the
+//!   extraction methodology and print the analyses that derive from logs
+//!   alone. `--threads` caps the analysis worker pool (equivalent to the
+//!   `UC_THREADS` environment variable; output is byte-identical at any
+//!   setting, see DESIGN.md §6);
 //! - `uc scan [--mb N] [--iters N]` — scan real host memory (memtester
 //!   mode; see also the `memscan_host` example for fault injection);
 //! - `uc report [--seed N] [--blades N] [--csv <dir>]` — run a campaign in memory and
@@ -26,7 +29,6 @@ use uc_analysis::fault::Fault;
 use uc_analysis::multibit::{multibit_stats, table_i};
 use uc_analysis::spatial::top_nodes;
 use uc_faultlog::files::{write_cluster_log, write_cluster_log_compact};
-use uc_faultlog::ingest::IngestStats;
 use uc_memscan::host::{run_host_scan, run_host_scan_parallel};
 use uc_memscan::Pattern;
 use unprotected_core::{checkpoint, render, run_campaign, CampaignConfig, Report};
@@ -69,8 +71,8 @@ impl Args {
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  uc campaign --out <dir> [--seed N] [--blades N] [--compact x] [--resume x]\n  \
-         uc analyze <dir>\n  uc scan [--mb N] [--iters N] [--pattern alternating|incrementing|checkerboard] [--parallel x]\n  \
-         uc report [--seed N] [--blades N] [--csv <dir>]"
+         uc analyze <dir> [--threads N]\n  uc scan [--mb N] [--iters N] [--pattern alternating|incrementing|checkerboard] [--parallel x]\n  \
+         uc report [--seed N] [--blades N] [--csv <dir>] [--threads N]"
     );
     ExitCode::FAILURE
 }
@@ -142,51 +144,25 @@ fn cmd_analyze(args: &Args) -> ExitCode {
         eprintln!("analyze requires a log directory");
         return ExitCode::FAILURE;
     };
-    // Recovering, parallel load: list the node-log files, lossy-parse each
-    // on its own worker (the full-scale campaign writes ~36M lines /
-    // several GB of text), then merge the per-file ingest accounting.
+    // Recovering, parallel load: `read_cluster_log_recovering` lossy-parses
+    // each node-log file on its own worker (the full-scale campaign writes
+    // ~36M lines / several GB of text) and merges the per-file ingest
+    // accounting deterministically.
     let dir_path = PathBuf::from(dir);
-    let paths = match uc_faultlog::ingest::node_log_paths(&dir_path) {
-        Ok(p) => p,
+    let t0 = std::time::Instant::now();
+    let (cluster, stats) = match uc_faultlog::ingest::read_cluster_log_recovering(&dir_path) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("analyze: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let t0 = std::time::Instant::now();
-    let loaded = uc_parallel::par_map(&paths, |_, path| {
-        uc_faultlog::ingest::read_node_log_recovering(path)
-    });
-    let mut stats = IngestStats::default();
-    let mut logs = Vec::new();
-    let mut first_err = None;
-    for res in loaded {
-        match res {
-            Ok(rec) => {
-                stats.merge(&rec.stats);
-                logs.push(rec.log);
-            }
-            Err(e) => {
-                stats.files_unreadable += 1;
-                if first_err.is_none() {
-                    first_err = Some(e);
-                }
-            }
-        }
-    }
-    if logs.is_empty() {
-        if let Some(e) = first_err {
-            eprintln!("analyze: no readable log files: {e}");
-            return ExitCode::FAILURE;
-        }
-    }
-    logs.sort_by_key(|l| l.node.map(|n| n.0));
-    let cluster = uc_faultlog::store::ClusterLog::new(logs);
+    let file_count = cluster.node_logs().len() + stats.files_unreadable as usize;
     eprintln!(
         "parsed {} files in {:?} ({} worker threads)",
-        paths.len(),
+        file_count,
         t0.elapsed(),
-        uc_parallel::worker_count(paths.len())
+        uc_parallel::worker_count(file_count)
     );
     eprintln!("{}", stats.summary());
     println!(
@@ -311,6 +287,19 @@ fn main() -> ExitCode {
         return usage();
     };
     let args = Args::parse(rest);
+    // `--threads N` caps every worker pool for the rest of the process
+    // (same knob as the UC_THREADS environment variable, which it
+    // overrides). All parallel stages are deterministic, so this only
+    // trades wall-clock time — never output bytes.
+    if let Some(v) = args.get("threads") {
+        match v.parse::<usize>() {
+            Ok(n) if n >= 1 => uc_parallel::set_thread_limit(Some(n)),
+            _ => {
+                eprintln!("--threads requires a positive integer, got {v:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     match cmd.as_str() {
         "campaign" => cmd_campaign(&args),
         "analyze" => cmd_analyze(&args),

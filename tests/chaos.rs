@@ -107,6 +107,44 @@ fn heavy_corruption_never_panics_and_still_accounts() {
         stats
     );
 
+    // The damaged corpus (bit flips, duplicated and reordered lines,
+    // truncations) must flow through extraction too — recovery sorts
+    // entries by *start* time only, so a duplicated or displaced RUN line
+    // still expands past its successors and extraction sees backwards
+    // time-steps, which it must treat as new faults rather than wrapping
+    // or panicking.
+    let recovered = extract_recovered(&cluster, stats, &ExtractConfig::default(), 0.5);
+    assert!(!recovered.faults.is_empty());
+    let mut sorted = recovered.faults.clone();
+    sorted.sort_by_key(uc_analysis::extract::fault_sort_key);
+    assert_eq!(sorted, recovered.faults, "extraction output is sorted");
+
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn reordered_records_extract_identically_at_any_thread_count() {
+    let dir = tempdir("reorder");
+    write_corpus(&dir);
+
+    // A heavy line-mutation dose includes Reorder swaps and Duplicate
+    // lines (see `faultlog::chaos::LineMutation`); recovery's stable sort
+    // is by entry *start* time, so displaced run-length entries still
+    // overlap their successors and extraction sees non-monotonic
+    // timestamps. The whole pipeline must stay panic-free and
+    // byte-identical regardless of the worker count.
+    let report = corrupt_dir(&dir, &ChaosConfig::lines(4242, 0.30)).unwrap();
+    assert!(report.total_line_mutations() > 0);
+
+    let one = uc_parallel::with_thread_limit(1, || ingest_and_extract(&dir));
+    let four = uc_parallel::with_thread_limit(4, || ingest_and_extract(&dir));
+    let eight = uc_parallel::with_thread_limit(8, || ingest_and_extract(&dir));
+    assert!(!one.faults.is_empty());
+    assert_eq!(one.stats, four.stats);
+    assert_eq!(one.faults, four.faults);
+    assert_eq!(one.stats, eight.stats);
+    assert_eq!(one.faults, eight.faults);
+
     fs::remove_dir_all(&dir).unwrap();
 }
 
