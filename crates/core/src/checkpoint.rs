@@ -20,14 +20,26 @@
 //! recomputed from the restored log on load (and the checkpoint stays
 //! small). Checkpoints are advisory — any unreadable, stale-seed or
 //! malformed file is ignored and the node recomputed.
+//!
+//! Since the durability layer landed, checkpoints are durable segments
+//! (`uc_faultlog::durable`): each line is a CRC-checksummed frame, the
+//! file is written as `.ckpt.tmp` with flush boundaries and sealed by
+//! atomic rename, and writes go through the injectable I/O layer with
+//! bounded-retry backoff. A checkpoint damaged in any way — torn at a
+//! byte offset, bit-flipped, truncated — fails its frame checksums or
+//! its entry count and reads as `None`: the node is recomputed, never
+//! resumed wrong. `uc fsck` verifies and salvages checkpoint directories
+//! like any other durable directory.
 
 use std::fs;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 use uc_analysis::extract::{extract_node_faults, ExtractConfig};
 use uc_cluster::NodeId;
 use uc_faultlog::codec::{format_entry_exact, parse_entry_line};
+use uc_faultlog::durable::{
+    scan_segment_bytes, DurabilityError, Io, RetryPolicy, SealedSegment, SegmentWriter, StdIo,
+};
 use uc_faultlog::store::NodeLog;
 use uc_parallel::par_map_supervised;
 
@@ -42,21 +54,21 @@ fn ckpt_path(dir: &Path, node: NodeId) -> PathBuf {
     dir.join(format!("node-{node}.ckpt"))
 }
 
-/// Serialize a completed node simulation.
-fn encode(seed: u64, sim: &NodeSim) -> String {
-    let mut s = String::new();
-    s.push_str(&format!(
-        "{MAGIC} seed={seed} node={} mh={:016x} tbh={:016x} entries={}\n",
+/// Serialize a completed node simulation, one line per durable frame:
+/// the header first, then one exact-codec line per log entry.
+fn encode_lines(seed: u64, sim: &NodeSim) -> Vec<String> {
+    let mut lines = Vec::with_capacity(1 + sim.log.entries().len());
+    lines.push(format!(
+        "{MAGIC} seed={seed} node={} mh={:016x} tbh={:016x} entries={}",
         sim.node,
         sim.monitored_hours.to_bits(),
         sim.terabyte_hours.to_bits(),
         sim.log.entries().len()
     ));
     for e in sim.log.entries() {
-        s.push_str(&format_entry_exact(e));
-        s.push('\n');
+        lines.push(format_entry_exact(e));
     }
-    s
+    lines
 }
 
 /// Parse a checkpoint file's text. Returns `None` on any mismatch —
@@ -107,29 +119,65 @@ fn decode(text: &str, seed: u64, node: NodeId) -> Option<NodeSim> {
     })
 }
 
-/// Load one node's checkpoint if present and valid.
+/// Load one node's checkpoint if present and valid. The file is a durable
+/// segment: any frame damage (torn write, bit flip, truncation) stops the
+/// payload scan, the entry count no longer matches, and the checkpoint is
+/// treated as missing — the node recomputes rather than resuming wrong.
 pub fn read_node_checkpoint(dir: &Path, seed: u64, node: NodeId) -> Option<NodeSim> {
-    let text = fs::read_to_string(ckpt_path(dir, node)).ok()?;
+    let bytes = fs::read(ckpt_path(dir, node)).ok()?;
+    let scan = scan_segment_bytes(&bytes);
+    if scan.damage.is_some() {
+        return None;
+    }
+    let mut text = String::new();
+    for payload in &scan.payloads {
+        text.push_str(&String::from_utf8_lossy(payload));
+        text.push('\n');
+    }
     decode(&text, seed, node)
 }
 
-/// Write one node's checkpoint atomically (tmp file + rename), so a crash
-/// mid-write leaves either the old file or none — never a torn one that
-/// happens to parse.
-pub fn write_node_checkpoint(dir: &Path, seed: u64, sim: &NodeSim) -> std::io::Result<()> {
-    fs::create_dir_all(dir)?;
-    let path = ckpt_path(dir, sim.node);
-    let tmp = path.with_extension("ckpt.tmp");
-    {
-        let mut f = fs::File::create(&tmp)?;
-        f.write_all(encode(seed, sim).as_bytes())?;
-        f.sync_all()?;
+/// Write one node's checkpoint as a durable segment through an injected
+/// I/O layer: frames are CRC-checksummed lines, the writer flushes at
+/// bounded boundaries, and the file is sealed tmp-then-atomic-rename.
+/// Transient write failures retry with exponential backoff per `policy`;
+/// exhaustion degrades to a typed [`DurabilityError`].
+pub fn write_node_checkpoint_with(
+    dir: &Path,
+    seed: u64,
+    sim: &NodeSim,
+    io: &dyn Io,
+    policy: RetryPolicy,
+) -> Result<SealedSegment, DurabilityError> {
+    let lines = encode_lines(seed, sim);
+    let file_name = format!("node-{}.ckpt", sim.node);
+    let mut w = SegmentWriter::create(dir, &file_name, io, policy)?;
+    // Flush every ⌈n/4⌉ frames: enough boundaries for a crash to land
+    // between them, few enough that the crash-matrix suite (one simulated
+    // crash per boundary) stays bounded.
+    let stride = lines.len().div_ceil(4).max(1);
+    for (i, line) in lines.iter().enumerate() {
+        w.append(line.as_bytes());
+        if (i + 1) % stride == 0 {
+            w.flush()?;
+        }
     }
-    fs::rename(&tmp, &path)
+    w.seal()
 }
 
-/// Remove every checkpoint file in `dir` (used when starting a fresh,
-/// non-resumed run so stale state from an earlier campaign can't leak in).
+/// [`write_node_checkpoint_with`] against the real filesystem with the
+/// default retry policy.
+pub fn write_node_checkpoint(
+    dir: &Path,
+    seed: u64,
+    sim: &NodeSim,
+) -> Result<SealedSegment, DurabilityError> {
+    write_node_checkpoint_with(dir, seed, sim, &StdIo, RetryPolicy::default())
+}
+
+/// Remove every checkpoint file in `dir` — plus the durable-directory
+/// bookkeeping (`MANIFEST`, `.fsck.report`, `.lost+found`) that described
+/// them — so stale state from an earlier campaign can't leak in.
 pub fn clear_checkpoints(dir: &Path) -> std::io::Result<()> {
     let entries = match fs::read_dir(dir) {
         Ok(e) => e,
@@ -139,8 +187,14 @@ pub fn clear_checkpoints(dir: &Path) -> std::io::Result<()> {
     for entry in entries {
         let path = entry?.path();
         let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
-        if name.starts_with("node-") && (name.ends_with(".ckpt") || name.ends_with(".ckpt.tmp")) {
+        let is_ckpt =
+            name.starts_with("node-") && (name.ends_with(".ckpt") || name.ends_with(".ckpt.tmp"));
+        let is_bookkeeping = name == uc_faultlog::durable::MANIFEST_NAME
+            || name == uc_faultlog::durable::FSCK_REPORT_NAME;
+        if is_ckpt || is_bookkeeping {
             fs::remove_file(&path)?;
+        } else if name == uc_faultlog::durable::LOST_AND_FOUND && path.is_dir() {
+            fs::remove_dir_all(&path)?;
         }
     }
     Ok(())
@@ -228,10 +282,49 @@ mod tests {
         let dir = tmpdir("torn");
         write_node_checkpoint(&dir, cfg.seed, sim).unwrap();
         let path = ckpt_path(&dir, sim.node);
-        let text = fs::read_to_string(&path).unwrap();
-        let cut = text.len() * 2 / 3;
-        fs::write(&path, &text[..cut]).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        let cut = bytes.len() * 2 / 3;
+        fs::write(&path, &bytes[..cut]).unwrap();
         assert!(read_node_checkpoint(&dir, cfg.seed, sim.node).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flipped_checkpoint_is_ignored() {
+        let cfg = CampaignConfig::small(42, 8);
+        let r = run_campaign(&cfg);
+        let sim = r.completed().next().unwrap();
+        let dir = tmpdir("rot");
+        write_node_checkpoint(&dir, cfg.seed, sim).unwrap();
+        let path = ckpt_path(&dir, sim.node);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x04;
+        fs::write(&path, &bytes).unwrap();
+        assert!(
+            read_node_checkpoint(&dir, cfg.seed, sim.node).is_none(),
+            "a single flipped bit must fail the frame CRC, never resume wrong"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_writes_go_through_the_injected_io() {
+        use uc_faultlog::durable::FlakyIo;
+        let cfg = CampaignConfig::small(42, 8);
+        let r = run_campaign(&cfg);
+        let sim = r.completed().next().unwrap();
+        let dir = tmpdir("flaky");
+        // Transient failures recover through the retry budget.
+        let io = FlakyIo::failing_first(3);
+        write_node_checkpoint_with(&dir, cfg.seed, sim, &io, RetryPolicy::immediate(5)).unwrap();
+        assert!(io.injected_failures() >= 3);
+        assert!(read_node_checkpoint(&dir, cfg.seed, sim.node).is_some());
+        // A permanently failing path degrades to a typed error, no panic.
+        let io = FlakyIo::poisoning(".ckpt");
+        let err = write_node_checkpoint_with(&dir, cfg.seed, sim, &io, RetryPolicy::immediate(2))
+            .unwrap_err();
+        assert!(matches!(err, DurabilityError::Io { attempts: 2, .. }));
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -240,10 +333,16 @@ mod tests {
         let dir = tmpdir("clear");
         fs::write(dir.join("node-01-01.ckpt"), "junk").unwrap();
         fs::write(dir.join("node-01-02.ckpt.tmp"), "junk").unwrap();
+        fs::write(dir.join("MANIFEST"), "junk").unwrap();
+        fs::write(dir.join(".fsck.report"), "junk").unwrap();
+        fs::create_dir_all(dir.join(".lost+found")).unwrap();
         fs::write(dir.join("report.txt"), "keep me").unwrap();
         clear_checkpoints(&dir).unwrap();
         assert!(!dir.join("node-01-01.ckpt").exists());
         assert!(!dir.join("node-01-02.ckpt.tmp").exists());
+        assert!(!dir.join("MANIFEST").exists());
+        assert!(!dir.join(".fsck.report").exists());
+        assert!(!dir.join(".lost+found").exists());
         assert!(dir.join("report.txt").exists());
         // Clearing a missing directory is fine.
         clear_checkpoints(&dir.join("nope")).unwrap();

@@ -18,7 +18,9 @@ use std::path::Path;
 
 use uc_simclock::{StreamRng, StreamTag};
 
-use crate::ingest::{node_log_paths, IngestError};
+use crate::durable::crc::crc32;
+use crate::durable::segment::{scan_segment_bytes, MAGIC};
+use crate::ingest::{node_log_paths, node_of_log_file_name, IngestError};
 
 /// Dose and seed for one corruption pass.
 #[derive(Clone, Copy, Debug)]
@@ -54,13 +56,56 @@ pub struct ChaosReport {
     pub files_dropped: u64,
     /// Files truncated at a random byte offset.
     pub files_truncated: u64,
-    /// Line mutations applied, by kind, in [`LineMutation`] order.
-    pub line_mutations: [u64; 5],
+    /// Line mutations applied, by kind.
+    pub line_mutations: LineMutationCounts,
 }
 
 impl ChaosReport {
     pub fn total_line_mutations(&self) -> u64 {
-        self.line_mutations.iter().sum()
+        self.line_mutations.total()
+    }
+}
+
+/// Per-kind counts of applied line mutations, one named field per
+/// [`LineMutation`] variant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LineMutationCounts {
+    /// [`LineMutation::BitFlip`] applications.
+    pub bit_flips: u64,
+    /// [`LineMutation::Truncate`] applications.
+    pub truncations: u64,
+    /// [`LineMutation::Duplicate`] applications.
+    pub duplicates: u64,
+    /// [`LineMutation::Reorder`] applications.
+    pub reorders: u64,
+    /// [`LineMutation::Garbage`] applications.
+    pub garbage: u64,
+}
+
+impl LineMutationCounts {
+    /// Mutations applied across every kind.
+    pub fn total(&self) -> u64 {
+        self.bit_flips + self.truncations + self.duplicates + self.reorders + self.garbage
+    }
+
+    /// Record one application of `m`.
+    pub fn bump(&mut self, m: LineMutation) {
+        match m {
+            LineMutation::BitFlip => self.bit_flips += 1,
+            LineMutation::Truncate => self.truncations += 1,
+            LineMutation::Duplicate => self.duplicates += 1,
+            LineMutation::Reorder => self.reorders += 1,
+            LineMutation::Garbage => self.garbage += 1,
+        }
+    }
+
+    /// Field-wise accumulation.
+    pub fn merge(&mut self, other: &LineMutationCounts) {
+        self.bit_flips += other.bit_flips;
+        self.truncations += other.truncations;
+        self.duplicates += other.duplicates;
+        self.reorders += other.reorders;
+        self.garbage += other.garbage;
     }
 }
 
@@ -91,8 +136,12 @@ const MUTATIONS: [LineMutation; 5] = [
 /// Corrupt one file's bytes in place (line mutations only; file-level
 /// truncation and deletion are directory concerns). Returns per-kind
 /// mutation counts.
-pub fn corrupt_bytes(bytes: &[u8], rate: f64, rng: &mut StreamRng) -> (Vec<u8>, [u64; 5]) {
-    let mut counts = [0u64; 5];
+pub fn corrupt_bytes(
+    bytes: &[u8],
+    rate: f64,
+    rng: &mut StreamRng,
+) -> (Vec<u8>, LineMutationCounts) {
+    let mut counts = LineMutationCounts::default();
     if bytes.is_empty() {
         return (Vec::new(), counts);
     }
@@ -107,7 +156,7 @@ pub fn corrupt_bytes(bytes: &[u8], rate: f64, rng: &mut StreamRng) -> (Vec<u8>, 
             continue;
         }
         let m = *rng.pick(&MUTATIONS);
-        counts[m as usize] += 1;
+        counts.bump(m);
         match m {
             LineMutation::BitFlip => {
                 let mut l = line.to_vec();
@@ -169,11 +218,15 @@ pub fn corrupt_bytes(bytes: &[u8], rate: f64, rng: &mut StreamRng) -> (Vec<u8>, 
 pub fn corrupt_dir(dir: &Path, cfg: &ChaosConfig) -> Result<ChaosReport, IngestError> {
     let mut report = ChaosReport::default();
     for path in node_log_paths(dir)? {
-        let node = path
-            .file_name()
-            .and_then(|n| n.to_str())
-            .and_then(crate::files::node_of_file_name)
-            .expect("node_log_paths only yields node files");
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.ends_with(".dlog") {
+            // Durable segments are framed binary; line mutations do not
+            // apply. `corrupt_durable_dir` damages those.
+            continue;
+        }
+        let Some(node) = node_of_log_file_name(name) else {
+            continue;
+        };
         let mut rng = StreamRng::for_stream(cfg.seed, u64::from(node.0), StreamTag::Chaos);
         if rng.chance(cfg.drop_file_rate) {
             fs::remove_file(&path).map_err(|e| IngestError::io(&path, e))?;
@@ -182,21 +235,141 @@ pub fn corrupt_dir(dir: &Path, cfg: &ChaosConfig) -> Result<ChaosReport, IngestE
         }
         let bytes = fs::read(&path).map_err(|e| IngestError::io(&path, e))?;
         let (mut mangled, counts) = corrupt_bytes(&bytes, cfg.line_corruption_rate, &mut rng);
-        let mut touched = counts.iter().any(|&c| c > 0);
+        let mut touched = counts.total() > 0;
         if rng.chance(cfg.truncate_file_rate) && !mangled.is_empty() {
             mangled.truncate(rng.below(mangled.len() as u64) as usize);
             report.files_truncated += 1;
             touched = true;
         }
-        for (total, c) in report.line_mutations.iter_mut().zip(counts) {
-            *total += c;
-        }
+        report.line_mutations.merge(&counts);
         if touched {
             fs::write(&path, &mangled).map_err(|e| IngestError::io(&path, e))?;
             report.files_corrupted += 1;
         }
     }
     Ok(report)
+}
+
+/// Dose and seed for one durable-segment corruption pass — the crash and
+/// rot modes framed binary segments are exposed to, as opposed to the
+/// line-level damage of [`ChaosConfig`].
+#[derive(Clone, Copy, Debug)]
+pub struct SegmentChaosConfig {
+    /// Seed for the corruption streams.
+    pub seed: u64,
+    /// Probability of truncating a segment at an arbitrary byte offset
+    /// (a crash mid-append, possibly mid-frame-header).
+    pub truncate_rate: f64,
+    /// Probability of cutting inside the *final* frame specifically (the
+    /// classic torn last write).
+    pub torn_final_rate: f64,
+    /// Probability of leaving a byte-identical `.tmp` duplicate next to a
+    /// sealed segment (a crash during the seal rename).
+    pub duplicate_rate: f64,
+    /// Probability of flipping one random bit inside the sealed body
+    /// (storage bit rot under the checksums).
+    pub bit_rot_rate: f64,
+}
+
+/// What one durable-segment corruption pass actually did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SegmentChaosReport {
+    /// Durable files considered.
+    pub segments_seen: u64,
+    /// Segments cut at an arbitrary offset.
+    pub segments_truncated: u64,
+    /// Segments whose final frame was torn.
+    pub torn_final_segments: u64,
+    /// Segments duplicated as an unsealed `.tmp` sibling.
+    pub duplicated_segments: u64,
+    /// Segments with one bit flipped in place.
+    pub bit_rotted_segments: u64,
+}
+
+impl SegmentChaosReport {
+    pub fn total_damage(&self) -> u64 {
+        self.segments_truncated
+            + self.torn_final_segments
+            + self.duplicated_segments
+            + self.bit_rotted_segments
+    }
+}
+
+/// Corrupt every sealed durable file (`*.dlog`, `*.ckpt`) under `dir`,
+/// deterministically in `cfg.seed`. Per-file randomness is keyed by a hash
+/// of the file name, so the outcome is independent of directory iteration
+/// order. Damage modes compose: one segment can be duplicated, bit-rotted
+/// *and* torn in a single pass.
+pub fn corrupt_durable_dir(
+    dir: &Path,
+    cfg: &SegmentChaosConfig,
+) -> Result<SegmentChaosReport, IngestError> {
+    if !dir.exists() {
+        return Err(IngestError::Missing(dir.to_path_buf()));
+    }
+    let mut names: Vec<String> = fs::read_dir(dir)
+        .map_err(|e| IngestError::io(dir, e))?
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().to_str().map(str::to_string))
+        .filter(|n| n.ends_with(".dlog") || n.ends_with(".ckpt"))
+        .collect();
+    names.sort();
+    let mut report = SegmentChaosReport::default();
+    for name in names {
+        let path = dir.join(&name);
+        let mut rng = StreamRng::for_stream(
+            cfg.seed,
+            u64::from(crc32(name.as_bytes())),
+            StreamTag::Chaos,
+        );
+        report.segments_seen += 1;
+        let bytes = fs::read(&path).map_err(|e| IngestError::io(&path, e))?;
+        if rng.chance(cfg.duplicate_rate) {
+            let dup = dir.join(format!("{name}.tmp"));
+            fs::write(&dup, &bytes).map_err(|e| IngestError::io(&dup, e))?;
+            report.duplicated_segments += 1;
+        }
+        let mut mangled = bytes;
+        let mut touched = false;
+        if rng.chance(cfg.bit_rot_rate) && mangled.len() > MAGIC.len() {
+            let i = MAGIC.len() as u64 + rng.below((mangled.len() - MAGIC.len()) as u64);
+            mangled[i as usize] ^= 1 << rng.below(8) as u8;
+            report.bit_rotted_segments += 1;
+            touched = true;
+        }
+        if rng.chance(cfg.torn_final_rate) {
+            // Cut strictly inside the last frame of the (clean) prefix, so
+            // earlier frames survive the tear the way a real torn final
+            // write leaves them.
+            let scan = scan_segment_bytes(&mangled);
+            if let Some(&last_start) = scan_frame_starts(&scan).last() {
+                let cut = last_start + 1 + rng.below((scan.valid_bytes - last_start - 1).max(1));
+                mangled.truncate(cut as usize);
+                report.torn_final_segments += 1;
+                touched = true;
+            }
+        }
+        if rng.chance(cfg.truncate_rate) && !mangled.is_empty() {
+            mangled.truncate(rng.below(mangled.len() as u64) as usize);
+            report.segments_truncated += 1;
+            touched = true;
+        }
+        if touched {
+            fs::write(&path, &mangled).map_err(|e| IngestError::io(&path, e))?;
+        }
+    }
+    Ok(report)
+}
+
+/// Byte offsets where each valid frame of a scanned segment starts.
+fn scan_frame_starts(scan: &crate::durable::SegmentScan) -> Vec<u64> {
+    let mut starts = Vec::with_capacity(scan.payloads.len());
+    let mut pos = MAGIC.len() as u64;
+    for p in &scan.payloads {
+        starts.push(pos);
+        pos += (crate::durable::segment::FRAME_HEADER_LEN + p.len()) as u64;
+    }
+    starts
 }
 
 #[cfg(test)]
@@ -217,7 +390,7 @@ mod tests {
         let mut rng = StreamRng::from_seed(7);
         let (out, counts) = corrupt_bytes(&bytes, 0.0, &mut rng);
         assert_eq!(out, bytes);
-        assert_eq!(counts, [0; 5]);
+        assert_eq!(counts, LineMutationCounts::default());
     }
 
     #[test]
@@ -247,7 +420,7 @@ mod tests {
         let bytes = corpus();
         let mut rng = StreamRng::from_seed(5);
         let (_, counts) = corrupt_bytes(&bytes, 1.0, &mut rng);
-        assert_eq!(counts.iter().sum::<u64>(), 200);
+        assert_eq!(counts.total(), 200);
     }
 
     #[test]
@@ -294,6 +467,58 @@ mod tests {
         assert_eq!(a, b, "report deterministic in the seed");
         assert_eq!(snapshot_a, snapshot_b, "damage deterministic in the seed");
         assert!(a.files_dropped + a.files_corrupted > 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durable_chaos_is_deterministic_and_salvageable() {
+        use crate::durable::{fsck_dir, write_cluster_log_durable};
+        use crate::record::{LogRecord, StartRecord};
+        use crate::store::{ClusterLog, NodeLog};
+        use uc_cluster::NodeId;
+        use uc_simclock::SimTime;
+
+        let dir = std::env::temp_dir().join(format!("uc-chaos-durable-{}", std::process::id()));
+        let make = || {
+            let _ = fs::remove_dir_all(&dir);
+            let logs: Vec<NodeLog> = (1..=6)
+                .map(|n| {
+                    let id = NodeId(n * 7);
+                    let mut log = NodeLog::new(id);
+                    for t in 0..20 {
+                        log.push(LogRecord::Start(StartRecord {
+                            time: SimTime::from_secs(t * 100),
+                            node: id,
+                            alloc_bytes: 1024,
+                            temp: None,
+                        }));
+                    }
+                    log
+                })
+                .collect();
+            assert!(write_cluster_log_durable(&dir, &ClusterLog::new(logs)).is_fully_durable());
+        };
+        let cfg = SegmentChaosConfig {
+            seed: 5,
+            truncate_rate: 0.3,
+            torn_final_rate: 0.4,
+            duplicate_rate: 0.3,
+            bit_rot_rate: 0.3,
+        };
+        make();
+        let a = corrupt_durable_dir(&dir, &cfg).unwrap();
+        let snap_a = read_all(&dir);
+        make();
+        let b = corrupt_durable_dir(&dir, &cfg).unwrap();
+        let snap_b = read_all(&dir);
+        assert_eq!(a, b, "report deterministic in the seed");
+        assert_eq!(snap_a, snap_b, "damage deterministic in the seed");
+        assert!(a.total_damage() > 0, "dose high enough to do something");
+        // And fsck can always repair whatever this inflicted.
+        let r = fsck_dir(&dir).unwrap();
+        assert!(r.is_conserved());
+        let r2 = fsck_dir(&dir).unwrap();
+        assert!(!r2.found_damage(), "fsck converges in one pass");
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,232 @@
+//! The per-directory manifest: which sealed segments a durable directory
+//! is supposed to contain, with their byte lengths and whole-file digests.
+//!
+//! `uc fsck` uses it to detect damage a frame scan alone cannot prove —
+//! a segment that vanished entirely, or bit rot that happens to strike a
+//! frame the directory no longer reaches. The manifest itself is plain
+//! text, written atomically (temp + rename), and treated as advisory: a
+//! missing or corrupt manifest downgrades fsck to frame-scan verification
+//! and is rebuilt from the surviving segments.
+//!
+//! ```text
+//! UCMANIFEST1
+//! file=node-01-01.dlog bytes=1234 crc=89abcdef
+//! ```
+
+use std::path::Path;
+
+use super::io::{with_retry, Io, RetryPolicy};
+use super::DurabilityError;
+
+/// Manifest file name inside a durable directory.
+pub const MANIFEST_NAME: &str = "MANIFEST";
+
+const MANIFEST_MAGIC: &str = "UCMANIFEST1";
+
+/// One sealed segment's identity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ManifestEntry {
+    pub file: String,
+    pub bytes: u64,
+    pub crc: u32,
+}
+
+/// The set of segments a directory should hold, sorted by file name.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Manifest {
+    pub entries: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    /// Insert or replace the entry for `entry.file`, keeping name order.
+    pub fn upsert(&mut self, entry: ManifestEntry) {
+        match self.entries.binary_search_by(|e| e.file.cmp(&entry.file)) {
+            Ok(i) => self.entries[i] = entry,
+            Err(i) => self.entries.insert(i, entry),
+        }
+    }
+
+    /// Look up a file's recorded identity.
+    pub fn get(&self, file: &str) -> Option<&ManifestEntry> {
+        self.entries
+            .binary_search_by(|e| e.file.as_str().cmp(file))
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+
+    /// Drop a file's entry if present.
+    pub fn remove(&mut self, file: &str) {
+        if let Ok(i) = self.entries.binary_search_by(|e| e.file.as_str().cmp(file)) {
+            self.entries.remove(i);
+        }
+    }
+
+    /// Render as manifest text.
+    pub fn to_text(&self) -> String {
+        let mut s = String::with_capacity(32 + self.entries.len() * 48);
+        s.push_str(MANIFEST_MAGIC);
+        s.push('\n');
+        for e in &self.entries {
+            s.push_str(&format!(
+                "file={} bytes={} crc={:08x}\n",
+                e.file, e.bytes, e.crc
+            ));
+        }
+        s
+    }
+
+    /// Parse manifest text. Returns `None` when the magic header is
+    /// missing (the file is not a manifest at all); individually damaged
+    /// entry lines are skipped — fsck re-verifies every segment anyway,
+    /// so a lost entry only downgrades that segment to frame-scan checks.
+    pub fn parse(text: &str) -> Option<Manifest> {
+        let mut lines = text.lines();
+        if lines.next()?.trim() != MANIFEST_MAGIC {
+            return None;
+        }
+        let mut m = Manifest::default();
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Some(entry) = parse_entry(line) else {
+                continue;
+            };
+            m.upsert(entry);
+        }
+        Some(m)
+    }
+}
+
+fn parse_entry(line: &str) -> Option<ManifestEntry> {
+    let mut file = None;
+    let mut bytes = None;
+    let mut crc = None;
+    for field in line.split_whitespace() {
+        let (k, v) = field.split_once('=')?;
+        match k {
+            "file" => file = Some(v.to_string()),
+            "bytes" => bytes = v.parse::<u64>().ok(),
+            "crc" => crc = u32::from_str_radix(v, 16).ok(),
+            _ => return None,
+        }
+    }
+    Some(ManifestEntry {
+        file: file?,
+        bytes: bytes?,
+        crc: crc?,
+    })
+}
+
+/// Read `<dir>/MANIFEST`. `None` when absent or not parseable as a
+/// manifest — callers treat that as "verify by frame scan and rebuild".
+pub fn read_manifest(dir: &Path, io: &dyn Io) -> Option<Manifest> {
+    let bytes = io.read(&dir.join(MANIFEST_NAME)).ok()?;
+    Manifest::parse(&String::from_utf8_lossy(&bytes))
+}
+
+/// Atomically (re)write `<dir>/MANIFEST` via temp + rename, with retry.
+pub fn write_manifest(
+    dir: &Path,
+    manifest: &Manifest,
+    io: &dyn Io,
+    policy: &RetryPolicy,
+) -> Result<(), DurabilityError> {
+    let path = dir.join(MANIFEST_NAME);
+    let tmp = dir.join(format!("{MANIFEST_NAME}.tmp"));
+    let text = manifest.to_text();
+    with_retry(policy, &tmp, || io.write_file(&tmp, text.as_bytes()))?;
+    with_retry(policy, &tmp, || io.sync(&tmp))?;
+    with_retry(policy, &tmp, || io.rename(&tmp, &path))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::durable::io::StdIo;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("uc-durable-man-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample() -> Manifest {
+        let mut m = Manifest::default();
+        m.upsert(ManifestEntry {
+            file: "node-01-02.dlog".into(),
+            bytes: 99,
+            crc: 0xDEAD_BEEF,
+        });
+        m.upsert(ManifestEntry {
+            file: "node-01-01.dlog".into(),
+            bytes: 123,
+            crc: 0x0000_00AB,
+        });
+        m
+    }
+
+    #[test]
+    fn text_roundtrip_and_name_order() {
+        let m = sample();
+        assert_eq!(m.entries[0].file, "node-01-01.dlog", "sorted by name");
+        let back = Manifest::parse(&m.to_text()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.get("node-01-02.dlog").unwrap().bytes, 99);
+        assert!(back.get("node-09-09.dlog").is_none());
+    }
+
+    #[test]
+    fn upsert_replaces_and_remove_drops() {
+        let mut m = sample();
+        m.upsert(ManifestEntry {
+            file: "node-01-01.dlog".into(),
+            bytes: 7,
+            crc: 1,
+        });
+        assert_eq!(m.entries.len(), 2);
+        assert_eq!(m.get("node-01-01.dlog").unwrap().bytes, 7);
+        m.remove("node-01-01.dlog");
+        assert_eq!(m.entries.len(), 1);
+        m.remove("node-01-01.dlog"); // idempotent
+        assert_eq!(m.entries.len(), 1);
+    }
+
+    #[test]
+    fn bad_magic_is_none_bad_lines_are_skipped() {
+        assert!(Manifest::parse("not a manifest\n").is_none());
+        assert!(Manifest::parse("").is_none());
+        let text = format!(
+            "{MANIFEST_MAGIC}\nfile=a.dlog bytes=1 crc=ff\nGARBAGE\nfile=b.dlog bytes=zz crc=1\n"
+        );
+        let m = Manifest::parse(&text).unwrap();
+        assert_eq!(m.entries.len(), 1);
+        assert_eq!(m.entries[0].file, "a.dlog");
+    }
+
+    #[test]
+    fn disk_roundtrip_is_atomic() {
+        let dir = tmpdir("disk");
+        let io = StdIo;
+        let m = sample();
+        write_manifest(&dir, &m, &io, &RetryPolicy::no_retry()).unwrap();
+        assert!(!dir.join("MANIFEST.tmp").exists(), "tmp renamed away");
+        assert_eq!(read_manifest(&dir, &io).unwrap(), m);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_or_corrupt_manifest_reads_as_none() {
+        let dir = tmpdir("missing");
+        let io = StdIo;
+        assert!(read_manifest(&dir, &io).is_none());
+        fs::write(dir.join(MANIFEST_NAME), b"\xFF\xFEgarbage").unwrap();
+        assert!(read_manifest(&dir, &io).is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -27,42 +27,56 @@ pub fn node_of_file_name(name: &str) -> Option<NodeId> {
     NodeId::from_name(stem)
 }
 
-/// Write one node's log to `<dir>/node-BB-SS.log` (directory created if
-/// missing). Compressed runs are expanded to raw lines, as the real
-/// scanner would have written them.
-pub fn write_node_log(dir: &Path, log: &NodeLog) -> Result<PathBuf, IngestError> {
-    let node = log.node.ok_or(IngestError::NoNodeId)?;
+/// Write lines to `<dir>/<name>` atomically: stream into `<name>.tmp`,
+/// fsync, then rename into place. A crash mid-write leaves either the old
+/// file or none — never a torn one masquerading as a complete log. The
+/// `.tmp` name does not match the node-log convention, so readers skip
+/// any leftover from a crash.
+fn write_lines_atomic<I: Iterator<Item = String>>(
+    dir: &Path,
+    name: &str,
+    lines: I,
+) -> Result<PathBuf, IngestError> {
     fs::create_dir_all(dir).map_err(|e| IngestError::io(dir, e))?;
-    let path = dir.join(node_file_name(node));
-    let file = fs::File::create(&path).map_err(|e| IngestError::io(&path, e))?;
-    let mut w = BufWriter::new(file);
-    let write_all = |w: &mut BufWriter<fs::File>| -> io::Result<()> {
-        for rec in log.iter() {
-            writeln!(w, "{}", format_record(&rec))?;
+    let path = dir.join(name);
+    let tmp = dir.join(format!("{name}.tmp"));
+    let write_all = || -> io::Result<()> {
+        let mut w = BufWriter::new(fs::File::create(&tmp)?);
+        for line in lines {
+            writeln!(w, "{line}")?;
         }
-        w.flush()
+        w.flush()?;
+        w.into_inner()
+            .map_err(|e| io::Error::other(e.to_string()))?
+            .sync_all()
     };
-    write_all(&mut w).map_err(|e| IngestError::io(&path, e))?;
+    write_all().map_err(|e| IngestError::io(&tmp, e))?;
+    fs::rename(&tmp, &path).map_err(|e| IngestError::io(&path, e))?;
     Ok(path)
 }
 
-/// Write one node's log in the compact format: compressed runs persist as
-/// single `ERRORRUN` lines (the flood node shrinks from tens of millions of
-/// lines to about one per scan session).
+/// Write one node's log to `<dir>/node-BB-SS.log` (directory created if
+/// missing), atomically via temp file + rename. Compressed runs are
+/// expanded to raw lines, as the real scanner would have written them.
+pub fn write_node_log(dir: &Path, log: &NodeLog) -> Result<PathBuf, IngestError> {
+    let node = log.node.ok_or(IngestError::NoNodeId)?;
+    write_lines_atomic(
+        dir,
+        &node_file_name(node),
+        log.iter().map(|rec| format_record(&rec)),
+    )
+}
+
+/// Write one node's log in the compact format, atomically: compressed runs
+/// persist as single `ERRORRUN` lines (the flood node shrinks from tens of
+/// millions of lines to about one per scan session).
 pub fn write_node_log_compact(dir: &Path, log: &NodeLog) -> Result<PathBuf, IngestError> {
     let node = log.node.ok_or(IngestError::NoNodeId)?;
-    fs::create_dir_all(dir).map_err(|e| IngestError::io(dir, e))?;
-    let path = dir.join(node_file_name(node));
-    let file = fs::File::create(&path).map_err(|e| IngestError::io(&path, e))?;
-    let mut w = BufWriter::new(file);
-    let write_all = |w: &mut BufWriter<fs::File>| -> io::Result<()> {
-        for entry in log.entries() {
-            writeln!(w, "{}", crate::codec::format_entry(entry))?;
-        }
-        w.flush()
-    };
-    write_all(&mut w).map_err(|e| IngestError::io(&path, e))?;
-    Ok(path)
+    write_lines_atomic(
+        dir,
+        &node_file_name(node),
+        log.entries().iter().map(crate::codec::format_entry),
+    )
 }
 
 /// Write a whole cluster compactly; returns files written.
@@ -316,6 +330,25 @@ mod tests {
         let (back, errs) = NodeLog::from_text_compact(&compact);
         assert!(errs.is_empty());
         assert_eq!(back.raw_error_count(), 100_000);
+    }
+
+    #[test]
+    fn writes_are_atomic_no_tmp_left_behind() {
+        let dir = tempdir("atomic");
+        let path = write_node_log(&dir, &sample_log(4)).unwrap();
+        assert!(path.exists());
+        assert!(!dir.join("node-01-04.log.tmp").exists());
+        let path = write_node_log_compact(&dir, &sample_log(4)).unwrap();
+        assert!(path.exists());
+        assert!(!dir.join("node-01-04.log.tmp").exists());
+        // A stale tmp from a crashed writer is invisible to readers and
+        // replaced by the next successful write.
+        fs::write(dir.join("node-01-04.log.tmp"), "half a line").unwrap();
+        let (loaded, issues) = read_cluster_log(&dir).unwrap();
+        assert_eq!(loaded.node_logs().len(), 1);
+        assert_eq!(issues.skipped_files.len(), 1, "tmp skipped, not parsed");
+        write_node_log(&dir, &sample_log(4)).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -31,8 +31,10 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::codec::{parse_entry_line, ParseError};
+use crate::durable;
 use crate::record::LogRecord;
 use crate::store::{ClusterLog, LogEntry, NodeLog};
+use uc_cluster::NodeId;
 
 /// Why a log directory or file could not be ingested at all. Per-line
 /// trouble never produces this — it lands in [`IngestStats`] instead.
@@ -56,7 +58,7 @@ impl std::fmt::Display for IngestError {
             IngestError::Missing(p) => write!(f, "log directory {} does not exist", p.display()),
             IngestError::NotADirectory(p) => write!(f, "{} is not a directory", p.display()),
             IngestError::NoLogFiles(p) => {
-                write!(f, "no node-*.log files in {}", p.display())
+                write!(f, "no node-*.log or node-*.dlog files in {}", p.display())
             }
             IngestError::NoNodeId => write!(f, "log has no node id"),
             IngestError::Io { path, source } => write!(f, "{}: {source}", path.display()),
@@ -118,6 +120,13 @@ pub struct IngestStats {
     pub out_of_order: u64,
     /// START seen while a session was already open (hard-reboot signature).
     pub session_gaps: u64,
+    /// From the directory's `.fsck.report`, when present: durable files
+    /// whose valid prefix was salvaged by `uc fsck`.
+    pub fsck_files_salvaged: u64,
+    /// From `.fsck.report`: bytes `uc fsck` kept in place.
+    pub fsck_bytes_salvaged: u64,
+    /// From `.fsck.report`: bytes `uc fsck` moved to `.lost+found`.
+    pub fsck_bytes_quarantined: u64,
 }
 
 impl IngestStats {
@@ -154,6 +163,9 @@ impl IngestStats {
         self.bad_node += other.bad_node;
         self.out_of_order += other.out_of_order;
         self.session_gaps += other.session_gaps;
+        self.fsck_files_salvaged += other.fsck_files_salvaged;
+        self.fsck_bytes_salvaged += other.fsck_bytes_salvaged;
+        self.fsck_bytes_quarantined += other.fsck_bytes_quarantined;
     }
 
     fn classify(&mut self, e: &ParseError) {
@@ -200,6 +212,14 @@ impl IngestStats {
                 s,
                 "ingest: anomalies kept: {} out-of-order records, {} session gaps (START/START)",
                 self.out_of_order, self.session_gaps
+            );
+        }
+        if self.fsck_files_salvaged + self.fsck_bytes_quarantined > 0 {
+            let _ = writeln!(
+                s,
+                "ingest: fsck salvage history: {} file(s) salvaged, \
+                 {} bytes kept, {} bytes in .lost+found",
+                self.fsck_files_salvaged, self.fsck_bytes_salvaged, self.fsck_bytes_quarantined
             );
         }
         s.pop();
@@ -285,28 +305,56 @@ pub fn recover_text(text: &str) -> Recovered {
     }
 }
 
-/// Read one node-log file in recovering mode. Fails only if the file
-/// itself cannot be read; its *content* can be arbitrarily damaged.
+/// Parse a node id out of either log file naming convention: plain
+/// (`node-BB-SS.log`) or durable (`node-BB-SS.dlog`).
+pub fn node_of_log_file_name(name: &str) -> Option<NodeId> {
+    crate::files::node_of_file_name(name).or_else(|| durable::node_of_durable_file_name(name))
+}
+
+/// Read one node-log file in recovering mode — plain text or durable
+/// (`.dlog`), chosen by file name. Fails only if the file itself cannot
+/// be read; its *content* can be arbitrarily damaged.
 pub fn read_node_log_recovering(path: &Path) -> Result<Recovered, IngestError> {
-    let bytes = fs::read(path).map_err(|e| IngestError::io(path, e))?;
-    let text = String::from_utf8_lossy(&bytes);
-    let mut rec = recover_text(&text);
+    let is_durable = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .is_some_and(|n| n.ends_with(".dlog"));
+    let mut rec = if is_durable {
+        let (text, scan) =
+            durable::read_durable_text(path).map_err(|e| IngestError::io(path, e))?;
+        let mut rec = recover_text(&text);
+        if scan.damage.is_some() && scan.torn_bytes() > 0 {
+            // The torn tail is the durable analogue of an unterminated
+            // final line: account for it so the loss is visible, keeping
+            // the conservation law (one line read, one line dropped).
+            rec.stats.lines_read += 1;
+            rec.stats.torn_final_lines += 1;
+        }
+        rec
+    } else {
+        let bytes = fs::read(path).map_err(|e| IngestError::io(path, e))?;
+        let text = String::from_utf8_lossy(&bytes);
+        let mut rec = recover_text(&text);
+        if let Cow::Owned(_) = text {
+            rec.stats.invalid_utf8_files = 1;
+        }
+        rec
+    };
     rec.stats.files_read = 1;
-    if let Cow::Owned(_) = text {
-        rec.stats.invalid_utf8_files = 1;
-    }
     if rec.log.node.is_none() {
         // A file whose every line is damaged still names its node.
         rec.log.node = path
             .file_name()
             .and_then(|n| n.to_str())
-            .and_then(crate::files::node_of_file_name);
+            .and_then(node_of_log_file_name);
     }
     Ok(rec)
 }
 
-/// List the `node-*.log` files under `dir`, sorted, with typed errors for
-/// each way a directory can be unusable.
+/// List the node-log files under `dir` — plain `node-*.log` and durable
+/// `node-*.dlog` — sorted by node, with typed errors for each way a
+/// directory can be unusable. When a node has both forms, the durable one
+/// wins: it is the checksummed, fsck-verified copy.
 pub fn node_log_paths(dir: &Path) -> Result<Vec<PathBuf>, IngestError> {
     if !dir.exists() {
         return Err(IngestError::Missing(dir.to_path_buf()));
@@ -315,19 +363,25 @@ pub fn node_log_paths(dir: &Path) -> Result<Vec<PathBuf>, IngestError> {
         return Err(IngestError::NotADirectory(dir.to_path_buf()));
     }
     let rd = fs::read_dir(dir).map_err(|e| IngestError::io(dir, e))?;
-    let mut paths: Vec<PathBuf> = rd
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .filter(|p| {
-            p.file_name()
-                .and_then(|n| n.to_str())
-                .and_then(crate::files::node_of_file_name)
-                .is_some()
-        })
+    let mut by_node: std::collections::BTreeMap<u32, (Option<PathBuf>, Option<PathBuf>)> =
+        std::collections::BTreeMap::new();
+    for path in rd.filter_map(|e| e.ok().map(|e| e.path())) {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if let Some(node) = crate::files::node_of_file_name(name) {
+            by_node.entry(node.0).or_default().0 = Some(path);
+        } else if let Some(node) = durable::node_of_durable_file_name(name) {
+            by_node.entry(node.0).or_default().1 = Some(path);
+        }
+    }
+    let paths: Vec<PathBuf> = by_node
+        .into_values()
+        .filter_map(|(plain, durable)| durable.or(plain))
         .collect();
     if paths.is_empty() {
         return Err(IngestError::NoLogFiles(dir.to_path_buf()));
     }
-    paths.sort();
     Ok(paths)
 }
 
@@ -367,6 +421,14 @@ pub fn read_cluster_log_recovering(dir: &Path) -> Result<(ClusterLog, IngestStat
         }
     }
     logs.sort_by_key(|l| l.node.map(|n| n.0));
+    // A directory `uc fsck` has salvaged carries its accumulated
+    // accounting; fold it in so the analysis output states what storage
+    // damage preceded this ingest.
+    if let Some(fr) = durable::read_fsck_report(dir) {
+        stats.fsck_files_salvaged += fr.files_salvaged;
+        stats.fsck_bytes_salvaged += fr.bytes_salvaged;
+        stats.fsck_bytes_quarantined += fr.bytes_quarantined;
+    }
     Ok((ClusterLog::new(logs), stats))
 }
 
@@ -583,6 +645,89 @@ mod tests {
                 assert_eq!(a.entries(), b.entries());
             }
         }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durable_logs_are_read_and_preferred_over_plain_twins() {
+        use crate::durable::write_cluster_log_durable;
+        use crate::record::{LogRecord, StartRecord};
+        use crate::store::NodeLog;
+        use uc_simclock::SimTime;
+
+        let dir = std::env::temp_dir().join(format!("uc-ingest-durable-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let id = NodeId::from_name("01-01").unwrap();
+        let mut log = NodeLog::new(id);
+        for t in 0..5 {
+            log.push(LogRecord::Start(StartRecord {
+                time: SimTime::from_secs(t * 100),
+                node: id,
+                alloc_bytes: 1024,
+                temp: None,
+            }));
+        }
+        let out = write_cluster_log_durable(&dir, &ClusterLog::new(vec![log]));
+        assert!(out.is_fully_durable());
+        // A stale plain-text twin with different content: the durable
+        // copy must win.
+        fs::write(dir.join("node-01-01.log"), "END t=9 node=01-01 temp=NA\n").unwrap();
+        let paths = node_log_paths(&dir).unwrap();
+        assert_eq!(paths.len(), 1);
+        assert!(paths[0].to_string_lossy().ends_with(".dlog"));
+        let (cluster, stats) = read_cluster_log_recovering(&dir).unwrap();
+        assert_eq!(cluster.node_logs().len(), 1);
+        assert_eq!(stats.records_kept, 5, "durable content, not the twin");
+        assert!(stats.is_conserved());
+
+        // Tear the durable file mid-frame: the flushed prefix survives and
+        // the tear is accounted as a torn final line.
+        let path = &paths[0];
+        let bytes = fs::read(path).unwrap();
+        fs::write(path, &bytes[..bytes.len() - 3]).unwrap();
+        let rec = read_node_log_recovering(path).unwrap();
+        assert_eq!(rec.stats.torn_final_lines, 1);
+        assert!(rec.stats.records_kept >= 1);
+        assert!(rec.stats.is_conserved());
+        assert_eq!(rec.log.node, Some(id));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsck_history_is_folded_into_directory_stats() {
+        use crate::durable::{fsck_dir, write_cluster_log_durable};
+        use crate::record::{LogRecord, StartRecord};
+        use crate::store::NodeLog;
+        use uc_simclock::SimTime;
+
+        let dir = std::env::temp_dir().join(format!("uc-ingest-fsck-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let id = NodeId::from_name("02-02").unwrap();
+        let mut log = NodeLog::new(id);
+        for t in 0..8 {
+            log.push(LogRecord::Start(StartRecord {
+                time: SimTime::from_secs(t * 50),
+                node: id,
+                alloc_bytes: 64,
+                temp: None,
+            }));
+        }
+        assert!(write_cluster_log_durable(&dir, &ClusterLog::new(vec![log])).is_fully_durable());
+        let path = dir.join("node-02-02.dlog");
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 2]).unwrap();
+        let fr = fsck_dir(&dir).unwrap();
+        assert_eq!(fr.files_salvaged, 1);
+        let (_, stats) = read_cluster_log_recovering(&dir).unwrap();
+        assert_eq!(stats.fsck_files_salvaged, 1);
+        assert_eq!(stats.fsck_bytes_salvaged, fr.bytes_salvaged);
+        assert_eq!(stats.fsck_bytes_quarantined, fr.bytes_quarantined);
+        assert!(
+            stats.is_conserved(),
+            "fsck history does not disturb line accounting"
+        );
+        assert!(stats.summary().contains("fsck salvage history"));
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -20,16 +20,22 @@
 //!   and count instead of abort, with per-category [`ingest::IngestStats`]
 //!   accounting;
 //! - [`chaos`]: a deterministic log corrupter for chaos testing the
-//!   ingestion and extraction paths.
+//!   ingestion and extraction paths;
+//! - [`durable`]: crash-consistent storage — length-framed CRC-checksummed
+//!   segments with flush boundaries and atomic sealing, an injectable I/O
+//!   layer with bounded-retry backoff, per-directory manifests, and the
+//!   `uc fsck` salvage engine with its conservation-law accounting.
 
 pub mod chaos;
 pub mod codec;
+pub mod durable;
 pub mod files;
 pub mod ingest;
 pub mod record;
 pub mod store;
 
 pub use codec::{format_record, parse_line, ParseError};
+pub use durable::{fsck_dir, DurabilityError, FsckReport};
 pub use files::{read_cluster_log, write_cluster_log};
 pub use ingest::{read_cluster_log_recovering, IngestError, IngestStats, Recovered};
 pub use record::{EndRecord, ErrorRecord, LogRecord, StartRecord, TempC};

@@ -2,17 +2,27 @@
 //!
 //! Subcommands:
 //!
-//! - `uc campaign --out <dir> [--seed N] [--blades N] [--compact x] [--resume x]` —
+//! - `uc campaign --out <dir> [--seed N] [--blades N] [--compact x] [--resume x] [--durable x]` —
 //!   run a campaign and write per-node log files (the paper's on-disk
 //!   layout) plus the full text report. Per-node checkpoints are kept in
-//!   `<out>/.checkpoints`; `--resume` restores finished nodes from them
-//!   instead of recomputing (resumed output is byte-identical to an
-//!   uninterrupted run), while a fresh run clears them first;
-//! - `uc analyze <dir> [--threads N]` — load a log directory, run the
-//!   extraction methodology and print the analyses that derive from logs
-//!   alone. `--threads` caps the analysis worker pool (equivalent to the
-//!   `UC_THREADS` environment variable; output is byte-identical at any
-//!   setting, see DESIGN.md §6);
+//!   `<out>/.checkpoints` as durable segments; `--resume` restores
+//!   finished nodes from them instead of recomputing (resumed output is
+//!   byte-identical to an uninterrupted run), while a fresh run clears
+//!   them first. `--durable` writes logs as checksummed `.dlog` segments
+//!   (length-framed, CRC per record, whole-file digest in `MANIFEST`)
+//!   instead of plain text; a node whose storage fails degrades that node,
+//!   never the campaign;
+//! - `uc fsck <dir>` — verify a durable directory (and its
+//!   `.checkpoints`, if present): check manifests and frame checksums,
+//!   keep the longest valid prefix of each torn file, move damaged tails
+//!   to `<dir>/.lost+found`, rebuild the manifest, and print accounting
+//!   under the conservation law `bytes_in == salvaged + quarantined`;
+//! - `uc analyze <dir> [--threads N]` — load a log directory (plain and
+//!   durable files alike; fsck salvage history is folded into the ingest
+//!   accounting), run the extraction methodology and print the analyses
+//!   that derive from logs alone. `--threads` caps the analysis worker
+//!   pool (equivalent to the `UC_THREADS` environment variable; output is
+//!   byte-identical at any setting, see DESIGN.md §6);
 //! - `uc scan [--mb N] [--iters N]` — scan real host memory (memtester
 //!   mode; see also the `memscan_host` example for fault injection);
 //! - `uc report [--seed N] [--blades N] [--csv <dir>]` — run a campaign in memory and
@@ -70,7 +80,8 @@ impl Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  uc campaign --out <dir> [--seed N] [--blades N] [--compact x] [--resume x]\n  \
+        "usage:\n  uc campaign --out <dir> [--seed N] [--blades N] [--compact x] [--resume x] [--durable x]\n  \
+         uc fsck <dir>\n  \
          uc analyze <dir> [--threads N]\n  uc scan [--mb N] [--iters N] [--pattern alternating|incrementing|checkerboard] [--parallel x]\n  \
          uc report [--seed N] [--blades N] [--csv <dir>] [--threads N]"
     );
@@ -116,16 +127,42 @@ fn cmd_campaign(args: &Args) -> ExitCode {
         eprintln!("campaign is DEGRADED: output covers the surviving nodes only");
     }
     let compact = args.flags.iter().any(|(k, _)| k == "compact");
-    let write = if compact {
-        write_cluster_log_compact
+    let durable = args.flags.iter().any(|(k, _)| k == "durable");
+    if durable {
+        let cluster = result.cluster_log();
+        let out = if compact {
+            uc_faultlog::durable::write_cluster_log_durable_compact(&dir, &cluster)
+        } else {
+            uc_faultlog::durable::write_cluster_log_durable(&dir, &cluster)
+        };
+        for (node, err) in &out.failures {
+            eprintln!("WARNING: node {node} log not durable: {err}");
+        }
+        if let Some(err) = &out.manifest_error {
+            eprintln!("WARNING: manifest not durable: {err}");
+        }
+        eprintln!(
+            "wrote {} durable node log segments to {}{}",
+            out.sealed.len(),
+            dir.display(),
+            if out.is_fully_durable() {
+                ""
+            } else {
+                " (DEGRADED)"
+            }
+        );
     } else {
-        write_cluster_log
-    };
-    match write(&dir, &result.cluster_log()) {
-        Ok(n) => eprintln!("wrote {n} node log files to {}", dir.display()),
-        Err(e) => {
-            eprintln!("failed to write logs: {e}");
-            return ExitCode::FAILURE;
+        let write = if compact {
+            write_cluster_log_compact
+        } else {
+            write_cluster_log
+        };
+        match write(&dir, &result.cluster_log()) {
+            Ok(n) => eprintln!("wrote {n} node log files to {}", dir.display()),
+            Err(e) => {
+                eprintln!("failed to write logs: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
     let report = Report::build(&result);
@@ -223,6 +260,39 @@ fn cmd_analyze(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_fsck(args: &Args) -> ExitCode {
+    let Some(dir) = args.positional.first() else {
+        eprintln!("fsck requires a directory");
+        return ExitCode::FAILURE;
+    };
+    let dir = PathBuf::from(dir);
+    let mut targets = vec![dir.clone()];
+    let ckpt_dir = dir.join(".checkpoints");
+    if ckpt_dir.is_dir() {
+        targets.push(ckpt_dir);
+    }
+    let mut conserved = true;
+    for target in targets {
+        match uc_faultlog::durable::fsck_dir(&target) {
+            Ok(report) => {
+                eprintln!("fsck {}:", target.display());
+                eprintln!("{}", report.summary());
+                conserved &= report.is_conserved();
+            }
+            Err(e) => {
+                eprintln!("fsck {}: {e}", target.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if conserved {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("fsck: CONSERVATION VIOLATED — this is a bug, bytes were lost");
+        ExitCode::FAILURE
+    }
+}
+
 fn cmd_scan(args: &Args) -> ExitCode {
     let mb = args.get_u64("mb", 256);
     let iters = args.get_u64("iters", 4);
@@ -302,6 +372,7 @@ fn main() -> ExitCode {
     }
     match cmd.as_str() {
         "campaign" => cmd_campaign(&args),
+        "fsck" => cmd_fsck(&args),
         "analyze" => cmd_analyze(&args),
         "scan" => cmd_scan(&args),
         "report" => cmd_report(&args),

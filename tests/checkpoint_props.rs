@@ -1,0 +1,120 @@
+//! Checkpoint codec properties (DESIGN.md §7.2): a written checkpoint
+//! round-trips bit-exactly through the public API, and any damage —
+//! truncation at an arbitrary byte offset, or a single flipped bit —
+//! makes the checkpoint read as missing. Never a panic, never a
+//! silently-wrong resume.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use unprotected_core::checkpoint::{read_node_checkpoint, write_node_checkpoint};
+use unprotected_core::{run_campaign, CampaignConfig, NodeSim};
+
+const SEED: u64 = 42;
+
+/// One small campaign's completed sims, computed once and shared by
+/// every proptest case (simulation is the expensive part, not I/O).
+fn sims() -> &'static Vec<NodeSim> {
+    static SIMS: OnceLock<Vec<NodeSim>> = OnceLock::new();
+    SIMS.get_or_init(|| {
+        let result = run_campaign(&CampaignConfig::small(SEED, 6));
+        let sims: Vec<NodeSim> = result.completed().cloned().collect();
+        assert!(sims.len() > 4, "campaign too small: {}", sims.len());
+        sims
+    })
+}
+
+/// A fresh scratch directory per case; `tag` keeps parallel tests apart.
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("uc-ckpt-props-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn assert_same_sim(a: &NodeSim, b: &NodeSim) {
+    assert_eq!(a.node, b.node);
+    assert_eq!(a.log.entries(), b.log.entries(), "node {}", a.node);
+    assert_eq!(a.faults, b.faults, "node {}", a.node);
+    assert_eq!(a.monitored_hours.to_bits(), b.monitored_hours.to_bits());
+    assert_eq!(a.terabyte_hours.to_bits(), b.terabyte_hours.to_bits());
+}
+
+fn ckpt_file(dir: &Path, sim: &NodeSim) -> PathBuf {
+    dir.join(format!("node-{}.ckpt", sim.node))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Write → read returns the simulation bit-for-bit: entries, faults,
+    /// and the f64 hour counters compared by raw bits.
+    #[test]
+    fn checkpoint_roundtrips_bit_exact(idx in 0usize..64) {
+        let sims = sims();
+        let sim = &sims[idx % sims.len()];
+        let dir = tempdir("roundtrip");
+        write_node_checkpoint(&dir, SEED, sim).unwrap();
+        let back = read_node_checkpoint(&dir, SEED, sim.node)
+            .expect("clean checkpoint must read back");
+        assert_same_sim(&back, sim);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Truncation at ANY byte offset: the full file reads back intact;
+    /// any proper prefix is treated as missing (the frame scan or the
+    /// entry-count check rejects it) — and reading never panics.
+    #[test]
+    fn truncated_checkpoint_is_treated_as_missing(
+        idx in 0usize..64,
+        cut_permille in 0u32..=1000,
+    ) {
+        let sims = sims();
+        let sim = &sims[idx % sims.len()];
+        let dir = tempdir("truncate");
+        write_node_checkpoint(&dir, SEED, sim).unwrap();
+        let path = ckpt_file(&dir, sim);
+        let bytes = fs::read(&path).unwrap();
+        let cut = (bytes.len() as u64 * u64::from(cut_permille) / 1000) as usize;
+        fs::write(&path, &bytes[..cut]).unwrap();
+
+        match read_node_checkpoint(&dir, SEED, sim.node) {
+            Some(back) => {
+                prop_assert_eq!(cut, bytes.len(), "a proper prefix decoded");
+                assert_same_sim(&back, sim);
+            }
+            None => prop_assert!(cut < bytes.len(), "the intact file must decode"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A single flipped bit anywhere in the file — magic, frame header,
+    /// stored CRC, or payload — is always detected: the read returns
+    /// `None` and the node recomputes instead of resuming wrong.
+    #[test]
+    fn bit_flipped_checkpoint_is_treated_as_missing(
+        idx in 0usize..64,
+        pos_permille in 0u32..1000,
+        bit in 0u8..8,
+    ) {
+        let sims = sims();
+        let sim = &sims[idx % sims.len()];
+        let dir = tempdir("bitflip");
+        write_node_checkpoint(&dir, SEED, sim).unwrap();
+        let path = ckpt_file(&dir, sim);
+        let mut bytes = fs::read(&path).unwrap();
+        let pos = (bytes.len() as u64 * u64::from(pos_permille) / 1000) as usize;
+        let pos = pos.min(bytes.len() - 1);
+        bytes[pos] ^= 1 << bit;
+        fs::write(&path, &bytes).unwrap();
+
+        prop_assert!(
+            read_node_checkpoint(&dir, SEED, sim.node).is_none(),
+            "flipped bit {bit} at byte {pos} went undetected"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}
