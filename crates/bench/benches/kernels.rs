@@ -128,8 +128,34 @@ fn parallel_runtime(c: &mut Criterion) {
     group.finish();
 }
 
+/// The pre-cursor parser this PR replaced: tokenize the whole line with
+/// `split_whitespace().collect()`, then re-scan the token vector once per
+/// field. Kept inline as a permanent speedup baseline for `parse_error_line`
+/// (the cursor parser must stay ≥3x faster than this on the ERROR case).
+fn tokenizing_parse_error(line: &str) -> Option<(i64, NodeId, u64, u64, u32, u32, f32)> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let field = |key: &str| -> Option<&str> {
+        tokens
+            .iter()
+            .find(|t| t.starts_with(key) && t.as_bytes().get(key.len()) == Some(&b'='))
+            .and_then(|t| t.split_once('='))
+            .map(|(_, v)| v)
+    };
+    if tokens.first() != Some(&"ERROR") {
+        return None;
+    }
+    let t = field("t")?.parse::<i64>().ok()?;
+    let node = NodeId::from_name(field("node")?)?;
+    let vaddr = u64::from_str_radix(field("vaddr")?.strip_prefix("0x")?, 16).ok()?;
+    let page = u64::from_str_radix(field("page")?.strip_prefix("0x")?, 16).ok()?;
+    let expected = u64::from_str_radix(field("expected")?.strip_prefix("0x")?, 16).ok()? as u32;
+    let actual = u64::from_str_radix(field("actual")?.strip_prefix("0x")?, 16).ok()? as u32;
+    let temp = field("temp")?.parse::<f32>().ok()?;
+    Some((t, node, vaddr, page, expected, actual, temp))
+}
+
 fn log_codec(c: &mut Criterion) {
-    use uc_faultlog::codec::{format_record, parse_line};
+    use uc_faultlog::codec::{format_record, parse_entry_line, parse_line, write_record_into};
     use uc_faultlog::record::{ErrorRecord, LogRecord, TempC};
     let rec = LogRecord::Error(ErrorRecord {
         time: SimTime::from_secs(2_679_000),
@@ -141,13 +167,60 @@ fn log_codec(c: &mut Criterion) {
         temp: Some(TempC(35.0)),
     });
     let line = format_record(&rec);
+    let run_line = format!("ERRORRUN {} count=48 period=3600", &line["ERROR ".len()..]);
     let mut group = c.benchmark_group("log_codec");
     group.throughput(Throughput::Elements(1));
     group.bench_function("format_error_record", |b| {
         b.iter(|| black_box(format_record(&rec).len()))
     });
+    group.bench_function("format_record_into_reused_buffer", |b| {
+        let mut buf = String::with_capacity(128);
+        b.iter(|| {
+            buf.clear();
+            write_record_into(&mut buf, &rec);
+            black_box(buf.len())
+        })
+    });
     group.bench_function("parse_error_line", |b| {
         b.iter(|| black_box(parse_line(&line).unwrap()))
+    });
+    group.bench_function("parse_error_line_tokenizing_reference", |b| {
+        b.iter(|| black_box(tokenizing_parse_error(&line).unwrap()))
+    });
+    group.bench_function("parse_errorrun_entry", |b| {
+        b.iter(|| black_box(parse_entry_line(&run_line).unwrap()))
+    });
+    group.finish();
+
+    // Full-file single-pass ingest: a realistic session mix, measured in
+    // bytes/s so before/after throughput is comparable across line mixes.
+    let mut text = String::new();
+    let mut r = rec;
+    for s in 0..1_000u64 {
+        let t0 = s as i64 * 4_000;
+        text.push_str(&format!("START t={t0} node=02-04 alloc=262144 temp=31.0\n"));
+        for i in 0..8u64 {
+            if let LogRecord::Error(e) = &mut r {
+                e.time = SimTime::from_secs(t0 + 10 + i as i64);
+                e.vaddr = 0x1000 + s * 64 + i;
+            }
+            write_record_into(&mut text, &r);
+            text.push('\n');
+        }
+        text.push_str(&format!(
+            "ERRORRUN t={} node=02-04 vaddr=0x00000fa3 page=0x0003e8 \
+             expected=0xffffffff actual=0xffff7bff temp=35.0 count=12 period=60\n",
+            t0 + 100
+        ));
+        text.push_str(&format!("END t={} node=02-04 temp=33.5\n", t0 + 3_600));
+    }
+    let mut group = c.benchmark_group("log_codec_ingest");
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_function("recover_text_11k_lines", |b| {
+        b.iter(|| {
+            let rec = uc_faultlog::ingest::recover_text(&text);
+            black_box(rec.stats.records_kept)
+        })
     });
     group.finish();
 }

@@ -1,0 +1,78 @@
+//! Proves the codec happy path performs zero heap allocation, the core
+//! claim of the zero-allocation codec rework: parsing a well-formed line
+//! and formatting into a pre-reserved buffer must never touch the
+//! allocator. A counting global allocator wraps `System`; the test warms
+//! everything up, snapshots the counter, runs the hot loop, and asserts
+//! the counter did not move.
+//!
+//! Keep this file to a single `#[test]`: parallel tests in the same
+//! binary would allocate concurrently and make the counter racy.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use uc_faultlog::codec::{parse_entry_line, parse_line, write_entry_into, write_record_into};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn codec_happy_path_does_not_allocate() {
+    let error_line =
+        "ERROR t=2679010 node=02-04 vaddr=0x00fa3b9c page=0x0003e8 expected=0xffffffff \
+         actual=0xffff7bff temp=35.0";
+    let start_line = "START t=0 node=02-04 alloc=262144 temp=31.0";
+    let end_line = "END t=3600 node=02-04 temp=33.5";
+    let run_line = "ERRORRUN t=100 node=02-04 vaddr=0x00000fa3 page=0x0003e8 expected=0xffffffff \
+         actual=0xffff7bff temp=35.0 count=12 period=60";
+
+    // Warm up: first calls may lazily allocate (fmt machinery, etc.), and
+    // the output buffer must be grown to its steady-state size up front.
+    let mut buf = String::with_capacity(512);
+    for line in [error_line, start_line, end_line] {
+        let rec = parse_line(line).unwrap();
+        write_record_into(&mut buf, &rec);
+    }
+    let entry = parse_entry_line(run_line).unwrap();
+    write_entry_into(&mut buf, &entry);
+
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    for _ in 0..1_000 {
+        buf.clear();
+        for line in [error_line, start_line, end_line] {
+            let rec = parse_line(line).unwrap();
+            write_record_into(&mut buf, &rec);
+            buf.push('\n');
+        }
+        let entry = parse_entry_line(run_line).unwrap();
+        write_entry_into(&mut buf, &entry);
+        buf.push('\n');
+        assert!(!buf.is_empty());
+    }
+    let delta = ALLOC_CALLS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        delta, 0,
+        "codec happy path allocated {delta} time(s) in 1000 iterations; \
+         the parse fast path and the *_into appenders must be allocation-free"
+    );
+}

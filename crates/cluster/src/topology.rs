@@ -48,10 +48,30 @@ impl NodeId {
     }
 
     /// Parse the paper's `BB-SS` name (1-based components).
+    ///
+    /// Hot in log ingest (every record names its node), so the common
+    /// all-digit components skip `str::parse`; odd shapes (`+` signs,
+    /// absurdly long digit strings) delegate to it, keeping acceptance
+    /// identical.
     pub fn from_name(name: &str) -> Option<NodeId> {
+        fn parse_u32(s: &str) -> Option<u32> {
+            let b = s.as_bytes();
+            if b.is_empty() || b.len() > 9 {
+                return s.parse().ok();
+            }
+            let mut v = 0u32;
+            for &c in b {
+                let d = c.wrapping_sub(b'0');
+                if d > 9 {
+                    return s.parse().ok();
+                }
+                v = v * 10 + u32::from(d);
+            }
+            Some(v)
+        }
         let (b, s) = name.split_once('-')?;
-        let blade: u32 = b.parse().ok()?;
-        let soc: u32 = s.parse().ok()?;
+        let blade = parse_u32(b)?;
+        let soc = parse_u32(s)?;
         if blade == 0 || blade > TOTAL_BLADES || soc == 0 || soc > SOCS_PER_BLADE {
             return None;
         }

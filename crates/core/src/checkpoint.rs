@@ -11,7 +11,7 @@
 //! Two consequences shape the format:
 //!
 //! - temperatures are stored with the exact-bit `temp=#<hex>` codec
-//!   (`format_entry_exact`), because the human-readable `{:.1}` form
+//!   (`write_entry_exact_into`), because the human-readable `{:.1}` form
 //!   rounds `f32`s and would perturb the restored log;
 //! - monitored/terabyte hours are stored as raw `f64` bit patterns, not
 //!   decimal text.
@@ -36,9 +36,9 @@ use std::path::{Path, PathBuf};
 
 use uc_analysis::extract::{extract_node_faults, ExtractConfig};
 use uc_cluster::NodeId;
-use uc_faultlog::codec::{format_entry_exact, parse_entry_line};
+use uc_faultlog::codec::{parse_entry_line, write_entry_exact_into};
 use uc_faultlog::durable::{
-    scan_segment_bytes, DurabilityError, Io, RetryPolicy, SealedSegment, SegmentWriter, StdIo,
+    scan_segment_slices, DurabilityError, Io, RetryPolicy, SealedSegment, SegmentWriter, StdIo,
 };
 use uc_faultlog::store::NodeLog;
 use uc_parallel::par_map_supervised;
@@ -54,29 +54,26 @@ fn ckpt_path(dir: &Path, node: NodeId) -> PathBuf {
     dir.join(format!("node-{node}.ckpt"))
 }
 
-/// Serialize a completed node simulation, one line per durable frame:
-/// the header first, then one exact-codec line per log entry.
-fn encode_lines(seed: u64, sim: &NodeSim) -> Vec<String> {
-    let mut lines = Vec::with_capacity(1 + sim.log.entries().len());
-    lines.push(format!(
+/// Render the checkpoint header line into `out` (appending).
+fn write_header_into(out: &mut String, seed: u64, sim: &NodeSim) {
+    use std::fmt::Write as _;
+    let _ = write!(
+        out,
         "{MAGIC} seed={seed} node={} mh={:016x} tbh={:016x} entries={}",
         sim.node,
         sim.monitored_hours.to_bits(),
         sim.terabyte_hours.to_bits(),
         sim.log.entries().len()
-    ));
-    for e in sim.log.entries() {
-        lines.push(format_entry_exact(e));
-    }
-    lines
+    );
 }
 
-/// Parse a checkpoint file's text. Returns `None` on any mismatch —
-/// wrong magic, wrong seed, wrong node, truncated entry list, or an
-/// unparseable line. Callers recompute the node in that case.
-fn decode(text: &str, seed: u64, node: NodeId) -> Option<NodeSim> {
-    let mut lines = text.lines();
-    let header = lines.next()?;
+/// Parse a checkpoint's frame payloads (one line per frame: header first,
+/// then one exact-codec line per log entry). Returns `None` on any
+/// mismatch — wrong magic, wrong seed, wrong node, truncated entry list,
+/// or an unparseable line. Callers recompute the node in that case.
+fn decode(payloads: &[&[u8]], seed: u64, node: NodeId) -> Option<NodeSim> {
+    let mut lines = payloads.iter().map(|p| std::str::from_utf8(p).ok());
+    let header = lines.next()??;
     let rest = header.strip_prefix(MAGIC)?.trim_start();
     let mut mh = None;
     let mut tbh = None;
@@ -101,9 +98,9 @@ fn decode(text: &str, seed: u64, node: NodeId) -> Option<NodeSim> {
         }
     }
     let (mh, tbh, count) = (mh?, tbh?, count?);
-    let mut entries = Vec::with_capacity(count);
+    let mut entries = Vec::with_capacity(count.min(payloads.len()));
     for line in lines {
-        entries.push(parse_entry_line(line).ok()?);
+        entries.push(parse_entry_line(line?).ok()?);
     }
     if entries.len() != count {
         return None; // torn write
@@ -125,16 +122,11 @@ fn decode(text: &str, seed: u64, node: NodeId) -> Option<NodeSim> {
 /// treated as missing — the node recomputes rather than resuming wrong.
 pub fn read_node_checkpoint(dir: &Path, seed: u64, node: NodeId) -> Option<NodeSim> {
     let bytes = fs::read(ckpt_path(dir, node)).ok()?;
-    let scan = scan_segment_bytes(&bytes);
+    let scan = scan_segment_slices(&bytes);
     if scan.damage.is_some() {
         return None;
     }
-    let mut text = String::new();
-    for payload in &scan.payloads {
-        text.push_str(&String::from_utf8_lossy(payload));
-        text.push('\n');
-    }
-    decode(&text, seed, node)
+    decode(&scan.payloads, seed, node)
 }
 
 /// Write one node's checkpoint as a durable segment through an injected
@@ -149,16 +141,24 @@ pub fn write_node_checkpoint_with(
     io: &dyn Io,
     policy: RetryPolicy,
 ) -> Result<SealedSegment, DurabilityError> {
-    let lines = encode_lines(seed, sim);
     let file_name = format!("node-{}.ckpt", sim.node);
     let mut w = SegmentWriter::create(dir, &file_name, io, policy)?;
     // Flush every ⌈n/4⌉ frames: enough boundaries for a crash to land
     // between them, few enough that the crash-matrix suite (one simulated
     // crash per boundary) stays bounded.
-    let stride = lines.len().div_ceil(4).max(1);
-    for (i, line) in lines.iter().enumerate() {
+    let total = 1 + sim.log.entries().len();
+    let stride = total.div_ceil(4).max(1);
+    let mut line = String::with_capacity(128);
+    write_header_into(&mut line, seed, sim);
+    w.append(line.as_bytes());
+    if stride == 1 {
+        w.flush()?;
+    }
+    for (i, e) in sim.log.entries().iter().enumerate() {
+        line.clear();
+        write_entry_exact_into(&mut line, e);
         w.append(line.as_bytes());
-        if (i + 1) % stride == 0 {
+        if (i + 2) % stride == 0 {
             w.flush()?;
         }
     }

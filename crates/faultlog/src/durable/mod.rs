@@ -33,7 +33,7 @@ use std::path::{Path, PathBuf};
 
 use uc_cluster::NodeId;
 
-use crate::codec::{format_entry, format_record};
+use crate::codec::{write_entry_into, write_record_into};
 use crate::store::{ClusterLog, NodeLog};
 
 pub use fsck::{
@@ -42,8 +42,8 @@ pub use fsck::{
 pub use io::{with_retry, FlakyIo, Io, RetryPolicy, StdIo};
 pub use manifest::{read_manifest, write_manifest, Manifest, ManifestEntry, MANIFEST_NAME};
 pub use segment::{
-    encode_frame, scan_segment_bytes, FrameDamage, SealedSegment, SegmentScan, SegmentWriter,
-    FRAME_HEADER_LEN, MAGIC,
+    encode_frame, scan_segment_bytes, scan_segment_slices, FrameDamage, SealedSegment, SegmentScan,
+    SegmentScanRef, SegmentWriter, FRAME_HEADER_LEN, MAGIC,
 };
 
 /// A durability failure: typed, recoverable, and never a panic. Campaigns
@@ -114,20 +114,26 @@ fn flush_stride(total: usize) -> usize {
     total.div_ceil(4).clamp(1, MAX_FLUSH_STRIDE)
 }
 
-/// Stream `total` lines into a durable segment, flushing every
-/// [`flush_stride`] records. The lines are consumed lazily — a
-/// run-length-expanded flood log never materializes as one `Vec`.
-fn write_lines_durable(
+/// Stream `total` items into a durable segment, flushing every
+/// [`flush_stride`] records. Items are consumed lazily and rendered into
+/// one reusable line buffer — a run-length-expanded flood log never
+/// materializes as a `Vec` of lines, and no `String` is allocated per
+/// record.
+fn write_lines_durable<T>(
     dir: &Path,
     file_name: &str,
     total: usize,
-    lines: impl Iterator<Item = String>,
+    items: impl Iterator<Item = T>,
+    render: impl Fn(&mut String, &T),
     io: &dyn Io,
     policy: RetryPolicy,
 ) -> Result<SealedSegment, DurabilityError> {
     let mut w = SegmentWriter::create(dir, file_name, io, policy)?;
     let stride = flush_stride(total);
-    for (i, line) in lines.enumerate() {
+    let mut line = String::with_capacity(128);
+    for (i, item) in items.enumerate() {
+        line.clear();
+        render(&mut line, &item);
         w.append(line.as_bytes());
         if (i + 1) % stride == 0 {
             w.flush()?;
@@ -148,8 +154,15 @@ pub fn write_node_log_durable_with(
         .node
         .ok_or_else(|| DurabilityError::Missing(dir.join("<no node id>")))?;
     let total = log.raw_record_count() as usize;
-    let lines = log.iter().map(|r| format_record(&r));
-    write_lines_durable(dir, &durable_file_name(node), total, lines, io, policy)
+    write_lines_durable(
+        dir,
+        &durable_file_name(node),
+        total,
+        log.iter(),
+        write_record_into,
+        io,
+        policy,
+    )
 }
 
 /// Write one node's log as a durable segment in the compact format, one
@@ -164,8 +177,15 @@ pub fn write_node_log_durable_compact_with(
         .node
         .ok_or_else(|| DurabilityError::Missing(dir.join("<no node id>")))?;
     let total = log.entries().len();
-    let lines = log.entries().iter().map(format_entry);
-    write_lines_durable(dir, &durable_file_name(node), total, lines, io, policy)
+    write_lines_durable(
+        dir,
+        &durable_file_name(node),
+        total,
+        log.entries().iter(),
+        |buf, e| write_entry_into(buf, e),
+        io,
+        policy,
+    )
 }
 
 /// [`write_node_log_durable_with`] against the real filesystem.
@@ -276,6 +296,7 @@ pub fn read_durable_text(path: &Path) -> stdio::Result<(String, SegmentScan)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::codec::format_record;
     use crate::record::{EndRecord, ErrorRecord, LogRecord, StartRecord};
     use std::fs;
     use uc_simclock::{SimDuration, SimTime};

@@ -74,7 +74,10 @@ impl std::fmt::Display for FrameDamage {
 }
 
 /// The result of scanning a segment's bytes: the longest valid prefix,
-/// decoded. Pure and panic-free on arbitrary input.
+/// decoded into owned payload copies. Pure and panic-free on arbitrary
+/// input. Readers that only need to *look at* the payloads (ingestion,
+/// checkpoint decode) should use [`scan_segment_slices`] instead, which
+/// borrows from the scanned buffer and copies nothing.
 #[derive(Clone, Debug, Default)]
 pub struct SegmentScan {
     /// Payloads of every valid frame, in order.
@@ -95,11 +98,44 @@ impl SegmentScan {
     }
 }
 
-/// Scan raw segment bytes for the longest valid frame prefix.
-pub fn scan_segment_bytes(bytes: &[u8]) -> SegmentScan {
+/// Borrowing twin of [`SegmentScan`]: payload slices point into the
+/// scanned buffer, so salvaging a segment costs one pass and no copies.
+#[derive(Clone, Debug, Default)]
+pub struct SegmentScanRef<'a> {
+    /// Payload of every valid frame, in order, borrowed from the input.
+    pub payloads: Vec<&'a [u8]>,
+    /// Byte length of the longest valid prefix (magic + whole frames).
+    pub valid_bytes: u64,
+    /// Total bytes scanned.
+    pub total_bytes: u64,
+    /// Why the scan stopped early, if it did. `None` means the whole file
+    /// is intact.
+    pub damage: Option<FrameDamage>,
+}
+
+impl SegmentScanRef<'_> {
+    /// Bytes past the valid prefix (0 for an intact segment).
+    pub fn torn_bytes(&self) -> u64 {
+        self.total_bytes - self.valid_bytes
+    }
+
+    /// Copy the payloads out into an owned [`SegmentScan`].
+    pub fn to_owned_scan(&self) -> SegmentScan {
+        SegmentScan {
+            payloads: self.payloads.iter().map(|p| p.to_vec()).collect(),
+            valid_bytes: self.valid_bytes,
+            total_bytes: self.total_bytes,
+            damage: self.damage,
+        }
+    }
+}
+
+/// Scan raw segment bytes for the longest valid frame prefix, borrowing
+/// each payload from `bytes`.
+pub fn scan_segment_slices(bytes: &[u8]) -> SegmentScanRef<'_> {
     let total_bytes = bytes.len() as u64;
     if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
-        return SegmentScan {
+        return SegmentScanRef {
             payloads: Vec::new(),
             valid_bytes: 0,
             total_bytes,
@@ -129,15 +165,21 @@ pub fn scan_segment_bytes(bytes: &[u8]) -> SegmentScan {
         if crc32(payload) != crc {
             break Some(FrameDamage::BadChecksum);
         }
-        payloads.push(payload.to_vec());
+        payloads.push(payload);
         pos = body_end;
     };
-    SegmentScan {
+    SegmentScanRef {
         payloads,
         valid_bytes: pos as u64,
         total_bytes,
         damage,
     }
+}
+
+/// Scan raw segment bytes for the longest valid frame prefix, copying the
+/// payloads out (see [`scan_segment_slices`] for the borrowing form).
+pub fn scan_segment_bytes(bytes: &[u8]) -> SegmentScan {
+    scan_segment_slices(bytes).to_owned_scan()
 }
 
 /// A sealed segment's identity, as recorded in the directory manifest.

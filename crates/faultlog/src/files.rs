@@ -7,12 +7,12 @@
 //! per-line parse failures without aborting the whole load.
 
 use std::fs;
-use std::io::{self, BufRead, BufWriter, Write};
+use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
 use uc_cluster::NodeId;
 
-use crate::codec::{format_record, parse_line, ParseError};
+use crate::codec::{parse_line, write_entry_into, write_record_into, ParseError};
 use crate::ingest::IngestError;
 use crate::store::{ClusterLog, NodeLog};
 
@@ -32,18 +32,26 @@ pub fn node_of_file_name(name: &str) -> Option<NodeId> {
 /// file or none — never a torn one masquerading as a complete log. The
 /// `.tmp` name does not match the node-log convention, so readers skip
 /// any leftover from a crash.
-fn write_lines_atomic<I: Iterator<Item = String>>(
+fn write_lines_atomic<T>(
     dir: &Path,
     name: &str,
-    lines: I,
+    items: impl Iterator<Item = T>,
+    render: impl Fn(&mut String, &T),
 ) -> Result<PathBuf, IngestError> {
     fs::create_dir_all(dir).map_err(|e| IngestError::io(dir, e))?;
     let path = dir.join(name);
     let tmp = dir.join(format!("{name}.tmp"));
     let write_all = || -> io::Result<()> {
         let mut w = BufWriter::new(fs::File::create(&tmp)?);
-        for line in lines {
-            writeln!(w, "{line}")?;
+        // One reusable line buffer for the whole file: a flood node's
+        // expanded log is tens of millions of lines, none of which should
+        // cost an allocation.
+        let mut line = String::with_capacity(128);
+        for item in items {
+            line.clear();
+            render(&mut line, &item);
+            line.push('\n');
+            w.write_all(line.as_bytes())?;
         }
         w.flush()?;
         w.into_inner()
@@ -60,11 +68,9 @@ fn write_lines_atomic<I: Iterator<Item = String>>(
 /// expanded to raw lines, as the real scanner would have written them.
 pub fn write_node_log(dir: &Path, log: &NodeLog) -> Result<PathBuf, IngestError> {
     let node = log.node.ok_or(IngestError::NoNodeId)?;
-    write_lines_atomic(
-        dir,
-        &node_file_name(node),
-        log.iter().map(|rec| format_record(&rec)),
-    )
+    write_lines_atomic(dir, &node_file_name(node), log.iter(), |buf, rec| {
+        write_record_into(buf, rec)
+    })
 }
 
 /// Write one node's log in the compact format, atomically: compressed runs
@@ -75,7 +81,8 @@ pub fn write_node_log_compact(dir: &Path, log: &NodeLog) -> Result<PathBuf, Inge
     write_lines_atomic(
         dir,
         &node_file_name(node),
-        log.entries().iter().map(crate::codec::format_entry),
+        log.entries().iter(),
+        |buf, e| write_entry_into(buf, e),
     )
 }
 
@@ -161,14 +168,22 @@ pub fn read_cluster_log(dir: &Path) -> Result<(ClusterLog, LoadIssues), IngestEr
             issues.skipped_files.push(path.clone());
             continue;
         };
-        let file = fs::File::open(&path).map_err(|e| IngestError::io(&path, e))?;
+        // One read, one pass: parse borrows each line out of the file's
+        // bytes instead of allocating a `String` per line. Invalid UTF-8
+        // stays the same typed I/O error `BufReader::lines` used to raise.
+        let bytes = fs::read(&path).map_err(|e| IngestError::io(&path, e))?;
+        let text = String::from_utf8(bytes).map_err(|e| {
+            IngestError::io(
+                &path,
+                io::Error::new(io::ErrorKind::InvalidData, e.to_string()),
+            )
+        })?;
         let mut log = NodeLog::new(node);
-        for (i, line) in io::BufReader::new(file).lines().enumerate() {
-            let line = line.map_err(|e| IngestError::io(&path, e))?;
+        for (i, line) in text.lines().enumerate() {
             if line.trim().is_empty() {
                 continue;
             }
-            match parse_line(&line) {
+            match parse_line(line) {
                 Ok(rec) => log.push(rec),
                 Err(e) => issues.bad_lines.push((path.clone(), i + 1, e)),
             }

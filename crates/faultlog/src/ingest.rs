@@ -235,24 +235,34 @@ pub struct Recovered {
     pub stats: IngestStats,
 }
 
-/// Lossy-parse one node's log text. Never fails and never panics: every
-/// line either becomes a record or increments a drop counter.
-pub fn recover_text(text: &str) -> Recovered {
-    let mut stats = IngestStats::default();
-    let mut entries: Vec<LogEntry> = Vec::new();
-    // A file torn mid-write ends without a newline; only then can the last
-    // line's parse failure be attributed to truncation rather than damage.
-    let torn_tail = !text.is_empty() && !text.ends_with('\n');
-    let total_lines = text.lines().count();
-    let mut last_kept_raw: Option<&str> = None;
-    let mut high_water: Option<uc_simclock::SimTime> = None;
-    let mut in_session = false;
+/// The single-pass line recovery state machine. Feed it lines (from plain
+/// text or durable frame payloads) and it classifies each one exactly as
+/// the module doc describes, in one pass, with no per-line allocation:
+/// line counting, torn-tail attribution, duplicate-marker suppression,
+/// session tracking and out-of-order detection all fold into the same
+/// walk that parses the line.
+#[derive(Default)]
+struct LineRecovery {
+    stats: IngestStats,
+    entries: Vec<LogEntry>,
+    /// Raw bytes of the last kept line *when it was a session marker*
+    /// (reused buffer). A duplicate can only ever be marker-vs-marker —
+    /// byte equality forces equal kinds — so nothing else needs storing.
+    last_marker: String,
+    last_was_marker: bool,
+    high_water: Option<uc_simclock::SimTime>,
+    in_session: bool,
+}
 
-    for (i, line) in text.lines().enumerate() {
-        stats.lines_read += 1;
+impl LineRecovery {
+    /// Account one line. `final_unterminated` marks the last line of a
+    /// file that does not end in a newline: only such a line's parse
+    /// failure is attributed to truncation rather than damage.
+    fn line(&mut self, line: &str, final_unterminated: bool) {
+        self.stats.lines_read += 1;
         if line.trim().is_empty() {
-            stats.blank_lines += 1;
-            continue;
+            self.stats.blank_lines += 1;
+            return;
         }
         match parse_entry_line(line) {
             Ok(entry) => {
@@ -266,43 +276,97 @@ pub fn recover_text(text: &str) -> Recovered {
                     entry,
                     LogEntry::One(LogRecord::Start(_)) | LogEntry::One(LogRecord::End(_))
                 );
-                if is_marker && last_kept_raw == Some(line) {
-                    stats.duplicate_lines += 1;
-                    continue;
+                if is_marker && self.last_was_marker && self.last_marker == line {
+                    self.stats.duplicate_lines += 1;
+                    return;
                 }
                 if let LogEntry::One(LogRecord::Start(_)) = entry {
-                    if in_session {
-                        stats.session_gaps += 1;
+                    if self.in_session {
+                        self.stats.session_gaps += 1;
                     }
-                    in_session = true;
+                    self.in_session = true;
                 } else if let LogEntry::One(LogRecord::End(_)) = entry {
-                    in_session = false;
+                    self.in_session = false;
                 }
                 // Compare against the high-water mark, not the previous
                 // record, so one displaced-early line counts once instead
                 // of tainting everything after it.
-                if high_water.is_some_and(|t| entry.first_time() < t) {
-                    stats.out_of_order += 1;
+                if self.high_water.is_some_and(|t| entry.first_time() < t) {
+                    self.stats.out_of_order += 1;
                 } else {
-                    high_water = Some(entry.first_time());
+                    self.high_water = Some(entry.first_time());
                 }
-                last_kept_raw = Some(line);
-                stats.records_kept += 1;
-                entries.push(entry);
+                self.last_was_marker = is_marker;
+                if is_marker {
+                    self.last_marker.clear();
+                    self.last_marker.push_str(line);
+                }
+                self.stats.records_kept += 1;
+                self.entries.push(entry);
             }
             Err(e) => {
-                if torn_tail && i + 1 == total_lines {
-                    stats.torn_final_lines += 1;
+                if final_unterminated {
+                    self.stats.torn_final_lines += 1;
                 } else {
-                    stats.classify(&e);
+                    self.stats.classify(&e);
                 }
             }
         }
     }
-    Recovered {
-        log: NodeLog::from_entries(None, entries),
-        stats,
+
+    /// Feed a whole text in one pass: lines are split at `\n` (with one
+    /// preceding `\r` stripped, `str::lines` semantics) as they are
+    /// walked — no counting pre-pass, no per-line `String`.
+    fn feed_text(&mut self, text: &str) {
+        let bytes = text.as_bytes();
+        let mut start = 0;
+        while start < bytes.len() {
+            match bytes[start..].iter().position(|&b| b == b'\n') {
+                Some(rel) => {
+                    let end = start + rel;
+                    let mut line_end = end;
+                    if line_end > start && bytes[line_end - 1] == b'\r' {
+                        line_end -= 1;
+                    }
+                    self.line(&text[start..line_end], false);
+                    start = end + 1;
+                }
+                None => {
+                    // `str::lines` keeps a trailing `\r` on a final line
+                    // with no newline; so do we.
+                    self.line(&text[start..], true);
+                    break;
+                }
+            }
+        }
     }
+
+    /// Feed one durable frame payload. Each payload is one writer line,
+    /// logically newline-terminated (the frame boundary is the
+    /// terminator), so a payload is never "final unterminated" — durable
+    /// torn tails are accounted by the caller from the segment scan.
+    fn feed_payload(&mut self, payload: &[u8]) {
+        let text = String::from_utf8_lossy(payload);
+        for piece in text.split('\n') {
+            let piece = piece.strip_suffix('\r').unwrap_or(piece);
+            self.line(piece, false);
+        }
+    }
+
+    fn finish(self) -> Recovered {
+        Recovered {
+            log: NodeLog::from_entries(None, self.entries),
+            stats: self.stats,
+        }
+    }
+}
+
+/// Lossy-parse one node's log text. Never fails and never panics: every
+/// line either becomes a record or increments a drop counter.
+pub fn recover_text(text: &str) -> Recovered {
+    let mut r = LineRecovery::default();
+    r.feed_text(text);
+    r.finish()
 }
 
 /// Parse a node id out of either log file naming convention: plain
@@ -319,20 +383,24 @@ pub fn read_node_log_recovering(path: &Path) -> Result<Recovered, IngestError> {
         .file_name()
         .and_then(|n| n.to_str())
         .is_some_and(|n| n.ends_with(".dlog"));
+    let bytes = fs::read(path).map_err(|e| IngestError::io(path, e))?;
     let mut rec = if is_durable {
-        let (text, scan) =
-            durable::read_durable_text(path).map_err(|e| IngestError::io(path, e))?;
-        let mut rec = recover_text(&text);
+        // Hand each frame payload straight to the parser — no full-file
+        // text reconstruction.
+        let scan = durable::scan_segment_slices(&bytes);
+        let mut r = LineRecovery::default();
+        for payload in &scan.payloads {
+            r.feed_payload(payload);
+        }
         if scan.damage.is_some() && scan.torn_bytes() > 0 {
             // The torn tail is the durable analogue of an unterminated
             // final line: account for it so the loss is visible, keeping
             // the conservation law (one line read, one line dropped).
-            rec.stats.lines_read += 1;
-            rec.stats.torn_final_lines += 1;
+            r.stats.lines_read += 1;
+            r.stats.torn_final_lines += 1;
         }
-        rec
+        r.finish()
     } else {
-        let bytes = fs::read(path).map_err(|e| IngestError::io(path, e))?;
         let text = String::from_utf8_lossy(&bytes);
         let mut rec = recover_text(&text);
         if let Cow::Owned(_) = text {
@@ -548,6 +616,43 @@ mod tests {
         let rec = recover_text(text);
         assert_eq!(rec.stats.session_gaps, 1);
         assert_eq!(rec.stats.records_kept, 3);
+    }
+
+    #[test]
+    fn hostile_errorrun_extremes_ingest_without_panicking() {
+        // count * period overflows i64 by ~19 orders of magnitude; the
+        // entry must ingest, sort and report boundaries without panicking
+        // or time-travelling (LogEntry::last_time saturates).
+        let text = format!(
+            "START t=0 node=01-01 alloc=1 temp=NA\n\
+             ERRORRUN t=10 node=01-01 vaddr=0x10 page=0x1 expected=0xffffffff \
+             actual=0xfffffffe temp=NA count={} period={}\n\
+             ERRORRUN t=20 node=01-01 vaddr=0x10 page=0x1 expected=0xffffffff \
+             actual=0xfffffffe temp=NA count=3 period=-500\n\
+             END t=100 node=01-01 temp=NA\n",
+            u64::MAX,
+            i64::MAX
+        );
+        let rec = recover_text(&text);
+        assert_eq!(rec.stats.records_kept, 4);
+        assert!(rec.stats.is_conserved());
+        let runs: Vec<&LogEntry> = rec
+            .log
+            .entries()
+            .iter()
+            .filter(|e| matches!(e, LogEntry::ErrorRun { .. }))
+            .collect();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(
+            runs[0].last_time().as_secs(),
+            i64::MAX,
+            "saturated, not wrapped"
+        );
+        assert_eq!(
+            runs[1].last_time().as_secs(),
+            20,
+            "negative period clamps to first_time"
+        );
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod ingest;
 pub mod record;
 pub mod store;
 
-pub use codec::{format_record, parse_line, ParseError};
+pub use codec::{format_record, parse_line, write_entry_into, write_record_into, ParseError};
 pub use durable::{fsck_dir, DurabilityError, FsckReport};
 pub use files::{read_cluster_log, write_cluster_log};
 pub use ingest::{read_cluster_log_recovering, IngestError, IngestStats, Recovered};

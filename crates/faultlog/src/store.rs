@@ -62,7 +62,11 @@ impl LogEntry {
         }
     }
 
-    /// Timestamp of the last record in the entry.
+    /// Timestamp of the last record in the entry. Saturating: a hostile
+    /// `ERRORRUN` line can carry `count`/`period` whose product overflows
+    /// `i64`, and the parse path (unlike [`NodeLog::push_run`]) does not
+    /// reject negative periods — the result is clamped to
+    /// `[first_time, SimTime::MAX]` instead of panicking or time-travelling.
     pub fn last_time(&self) -> SimTime {
         match self {
             LogEntry::One(r) => r.time(),
@@ -70,7 +74,9 @@ impl LogEntry {
                 first,
                 count,
                 period,
-            } => first.time + SimDuration::from_secs(period.as_secs() * (*count as i64 - 1)),
+            } => first
+                .time
+                .saturating_add(run_offset(*period, count.saturating_sub(1))),
         }
     }
 
@@ -81,6 +87,13 @@ impl LogEntry {
             next: 0,
         }
     }
+}
+
+/// Time offset of repetition `rep` within a run, with the same clamping as
+/// [`LogEntry::last_time`]: never negative, saturating at `i64::MAX`.
+fn run_offset(period: SimDuration, rep: u64) -> SimDuration {
+    let rep = rep.min(i64::MAX as u64) as i64;
+    SimDuration::from_secs(period.as_secs().saturating_mul(rep).max(0))
 }
 
 /// Iterator expanding a [`LogEntry`] into raw records.
@@ -111,7 +124,7 @@ impl Iterator for LogEntryIter<'_> {
                     return None;
                 }
                 let mut rec = *first;
-                rec.time = first.time + SimDuration::from_secs(period.as_secs() * self.next as i64);
+                rec.time = first.time.saturating_add(run_offset(*period, self.next));
                 self.next += 1;
                 Some(LogRecord::Error(rec))
             }
@@ -198,7 +211,7 @@ impl NodeLog {
     pub fn to_text_compact(&self) -> String {
         let mut out = String::new();
         for entry in &self.entries {
-            out.push_str(&crate::codec::format_entry(entry));
+            crate::codec::write_entry_into(&mut out, entry);
             out.push('\n');
         }
         out
@@ -230,7 +243,7 @@ impl NodeLog {
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         for rec in self.iter() {
-            out.push_str(&crate::codec::format_record(&rec));
+            crate::codec::write_record_into(&mut out, &rec);
             out.push('\n');
         }
         out
@@ -490,6 +503,43 @@ mod tests {
             .map(|e| e.first_time().as_secs())
             .collect();
         assert_eq!(firsts, vec![10, 30, 50]);
+    }
+
+    #[test]
+    fn last_time_saturates_on_extreme_runs() {
+        // count * period overflows i64 many times over; the boundary must
+        // clamp, not panic (this shape is reachable from a hostile
+        // ERRORRUN line via the parse path, which skips push_run).
+        let e = LogEntry::ErrorRun {
+            first: err(0, 100),
+            count: u64::MAX,
+            period: SimDuration::from_secs(i64::MAX),
+        };
+        assert_eq!(e.last_time(), SimTime::from_secs(i64::MAX));
+        assert_eq!(e.first_time().as_secs(), 100);
+    }
+
+    #[test]
+    fn negative_period_run_does_not_time_travel() {
+        let e = LogEntry::ErrorRun {
+            first: err(0, 100),
+            count: 5,
+            period: SimDuration::from_secs(-1_000),
+        };
+        assert_eq!(e.last_time().as_secs(), 100, "clamped to first_time");
+        let times: Vec<i64> = e.expand().map(|r| r.time().as_secs()).collect();
+        assert_eq!(times, vec![100; 5], "expansion clamps the same way");
+    }
+
+    #[test]
+    fn extreme_run_expansion_saturates() {
+        let e = LogEntry::ErrorRun {
+            first: err(0, 0),
+            count: 3,
+            period: SimDuration::from_secs(i64::MAX),
+        };
+        let times: Vec<i64> = e.expand().map(|r| r.time().as_secs()).collect();
+        assert_eq!(times, vec![0, i64::MAX, i64::MAX]);
     }
 
     #[test]

@@ -322,11 +322,14 @@ fn cmd_scan(args: &Args) -> ExitCode {
         report.words as f64 * report.iterations as f64 / secs / 1e6,
         report.errors.len()
     );
+    let mut line = String::with_capacity(128);
     for e in &report.errors {
-        println!(
-            "{}",
-            uc_faultlog::codec::format_record(&uc_faultlog::record::LogRecord::Error(*e))
+        line.clear();
+        uc_faultlog::codec::write_record_into(
+            &mut line,
+            &uc_faultlog::record::LogRecord::Error(*e),
         );
+        println!("{line}");
     }
     if report.errors.is_empty() {
         println!("no corruption observed (expected on ECC-protected hosts)");
