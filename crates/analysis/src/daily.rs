@@ -8,11 +8,86 @@
 //! another START (hard reboot) contributes *zero* — "we took a conservative
 //! approach and we assumed 0 hours of memory monitoring".
 
+use std::collections::BTreeMap;
+
 use uc_faultlog::record::LogRecord;
 use uc_faultlog::store::NodeLog;
 use uc_simclock::SimTime;
 
 use crate::fault::Fault;
+
+/// Sparse per-day scanned volume (TBh), unbounded in time.
+///
+/// [`DailySeries`] clips sessions to a fixed day window chosen *after*
+/// extraction (it spans the faults). A fault database is built before any
+/// window exists, so it records volume per civil day over whatever range
+/// the logs cover, and [`DailySeries::add_day_volume`] copies the slice a
+/// later analysis wants. The arithmetic — one `+=` per (session, day) in
+/// log order — is exactly [`DailySeries::add_session`]'s, so routing
+/// volume through a `DayVolume` changes nothing, bit for bit, in the
+/// windowed series (per-slot accumulation order is identical; days outside
+/// the window never feed a slot in either path).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DayVolume {
+    days: BTreeMap<i64, f64>,
+}
+
+impl DayVolume {
+    /// Credit one scan session's volume across the days it spans — the
+    /// same split as [`DailySeries::add_session`], minus the window.
+    pub fn add_session(&mut self, start: SimTime, end: SimTime, alloc_bytes: u64) {
+        let tb = alloc_bytes as f64 / (1u64 << 40) as f64;
+        let mut day = start.day_index();
+        while day.saturating_mul(86_400) < end.as_secs() {
+            let day_start = SimTime::from_secs(day * 86_400);
+            let day_end = SimTime::from_secs(day.saturating_add(1).saturating_mul(86_400));
+            let lo = start.max(day_start);
+            let hi = end.min(day_end);
+            if hi > lo {
+                *self.days.entry(day).or_insert(0.0) += tb * (hi - lo).as_hours_f64();
+            }
+            day += 1;
+        }
+    }
+
+    /// Accumulate from a node's log: START/END pairing with the
+    /// conservative hard-reboot rule, as [`DailySeries::add_node_log`].
+    pub fn add_node_log(&mut self, log: &NodeLog) {
+        let mut pending: Option<(SimTime, u64)> = None;
+        for rec in log.iter() {
+            match rec {
+                LogRecord::Start(s) => pending = Some((s.time, s.alloc_bytes)),
+                LogRecord::End(e) => {
+                    if let Some((start, alloc)) = pending.take() {
+                        self.add_session(start, e.time, alloc);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// (day index, TBh) pairs in day order.
+    pub fn iter(&self) -> impl Iterator<Item = (i64, f64)> + '_ {
+        self.days.iter().map(|(&d, &v)| (d, v))
+    }
+
+    pub fn len(&self) -> usize {
+        self.days.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.days.is_empty()
+    }
+
+    /// Rebuild from stored pairs (the faultdb footer round-trips the exact
+    /// f64 bits, so `from_pairs(v.iter())` is identity).
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (i64, f64)>) -> DayVolume {
+        DayVolume {
+            days: pairs.into_iter().collect(),
+        }
+    }
+}
 
 /// Per-day series over a fixed day range `[first_day, first_day + len)`.
 #[derive(Clone, Debug, Default)]
@@ -80,6 +155,20 @@ impl DailySeries {
                     }
                 }
                 _ => {}
+            }
+        }
+    }
+
+    /// Copy the overlapping slice of a pre-accumulated [`DayVolume`] into
+    /// this window. Each slot receives the same f64 the direct
+    /// `add_node_log` path would have produced (see [`DayVolume`]).
+    pub fn add_day_volume(&mut self, volume: &DayVolume) {
+        for (day, tb) in volume.iter() {
+            let Some(idx) = day.checked_sub(self.first_day) else {
+                continue;
+            };
+            if idx >= 0 && (idx as usize) < self.days() {
+                self.tb_hours[idx as usize] += tb;
             }
         }
     }
@@ -214,6 +303,45 @@ mod tests {
         let res = s.scan_error_correlation();
         // All-zero errors: degenerate, p = 1.
         assert_eq!(res.p_value, 1.0);
+    }
+
+    #[test]
+    fn day_volume_routing_is_bit_identical_to_direct_accumulation() {
+        let mut log = NodeLog::new(NodeId(7));
+        let push_session = |log: &mut NodeLog, t0: i64, t1: i64| {
+            log.push(LogRecord::Start(StartRecord {
+                time: SimTime::from_secs(t0),
+                node: NodeId(7),
+                alloc_bytes: GB3,
+                temp: None,
+            }));
+            log.push(LogRecord::End(EndRecord {
+                time: SimTime::from_secs(t1),
+                node: NodeId(7),
+                temp: None,
+            }));
+        };
+        // Sessions crossing midnight, repeated same-day sessions, and one
+        // outside the window entirely.
+        push_session(&mut log, 18 * 3_600, 30 * 3_600);
+        push_session(&mut log, 31 * 3_600, 33 * 3_600);
+        push_session(&mut log, 33 * 3_600, 40 * 3_600);
+        push_session(&mut log, 20 * 86_400, 21 * 86_400);
+
+        let mut direct = DailySeries::new(0, 3);
+        direct.add_node_log(&log);
+
+        let mut volume = DayVolume::default();
+        volume.add_node_log(&log);
+        let mut routed = DailySeries::new(0, 3);
+        routed.add_day_volume(&volume);
+
+        // Not approximately: the exact same bits in every slot.
+        for (a, b) in direct.tb_hours.iter().zip(&routed.tb_hours) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // And the pairs round-trip losslessly (footer storage path).
+        assert_eq!(DayVolume::from_pairs(volume.iter()), volume);
     }
 
     #[test]

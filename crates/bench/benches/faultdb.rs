@@ -1,0 +1,122 @@
+//! faultdb benchmarks: sealing a database, opening it, pruned vs
+//! full-scan query latency, cold vs warm cache, and the headline
+//! comparison — `uc analyze` re-ingesting text logs vs `uc analyze --db`
+//! reading the sealed database. Run with
+//! `cargo bench -p uc-bench --bench faultdb`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use uc_faultdb::{build_db, DbOptions, FaultDb, QueryOptions, Snapshot, WriteOptions};
+use uc_faultlog::ingest::read_cluster_log_recovering;
+
+/// On-disk fixture, built once: the cached 8-blade campaign written as
+/// compact text logs, then sealed as a database.
+fn fixture() -> &'static (PathBuf, PathBuf) {
+    static CELL: OnceLock<(PathBuf, PathBuf)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("uc-bench-faultdb-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let logs = dir.join("logs");
+        std::fs::create_dir_all(&logs).unwrap();
+        let cluster = uc_bench::campaign().cluster_log();
+        uc_faultlog::files::write_cluster_log_compact(&logs, &cluster).expect("write logs");
+        let db = dir.join("faults.fdb");
+        build_db(&logs, &db, &WriteOptions::default()).expect("seal db");
+        (logs, db)
+    })
+}
+
+fn build_and_open(c: &mut Criterion) {
+    let (logs, db_path) = fixture();
+    let rows = FaultDb::open(db_path).unwrap().rows();
+    let mut group = c.benchmark_group("faultdb");
+    group.throughput(Throughput::Elements(rows));
+    group.bench_function("build_db_from_logs", |b| {
+        let out = db_path.with_extension("rebuild");
+        b.iter(|| black_box(build_db(logs, &out, &WriteOptions::default()).unwrap().rows))
+    });
+    group.bench_function("open_validated", |b| {
+        b.iter(|| black_box(FaultDb::open(db_path).unwrap().rows()))
+    });
+    group.finish();
+}
+
+fn queries(c: &mut Criterion) {
+    let (_, db_path) = fixture();
+    let db = FaultDb::open(db_path).unwrap();
+    let opts = QueryOptions::default();
+    let mut group = c.benchmark_group("faultdb_query");
+    group.throughput(Throughput::Elements(db.rows()));
+    // `raw>=1` matches everything and can never prune: the full-scan
+    // baseline the zone maps are up against.
+    group.bench_function("count_full_scan", |b| {
+        b.iter(|| black_box(db.query("count where raw>=1", &opts).unwrap().matched))
+    });
+    // One day out of ~394: zone maps skip almost every block.
+    group.bench_function("count_pruned_one_day_window", |b| {
+        b.iter(|| {
+            black_box(
+                db.query("count where time>=200d and time<201d", &opts)
+                    .unwrap()
+                    .blocks_scanned,
+            )
+        })
+    });
+    group.bench_function("group_class", |b| {
+        b.iter(|| black_box(db.query("group class", &opts).unwrap().lines.len()))
+    });
+    group.bench_function("top_5_node_multibit", |b| {
+        b.iter(|| {
+            black_box(
+                db.query("top 5 node where multibit", &opts)
+                    .unwrap()
+                    .lines
+                    .len(),
+            )
+        })
+    });
+    group.finish();
+
+    // Cold vs warm: a one-block cache re-decodes every block every scan;
+    // the default cache holds the whole working set after the first.
+    let mut group = c.benchmark_group("faultdb_cache");
+    group.throughput(Throughput::Elements(db.rows()));
+    group.bench_function("group_class_cold_cache", |b| {
+        let cold = FaultDb::open_with(db_path, &DbOptions { cache_blocks: 1 }).unwrap();
+        b.iter(|| black_box(cold.query("group class", &opts).unwrap().lines.len()))
+    });
+    group.bench_function("group_class_warm_cache", |b| {
+        let warm = FaultDb::open(db_path).unwrap();
+        warm.query("group class", &opts).unwrap(); // prime
+        b.iter(|| black_box(warm.query("group class", &opts).unwrap().lines.len()))
+    });
+    group.finish();
+}
+
+fn analyze_paths(c: &mut Criterion) {
+    let (logs, db_path) = fixture();
+    let mut group = c.benchmark_group("faultdb_analyze");
+    group.sample_size(10);
+    // The cold text path `uc analyze` pays on every run: recovering
+    // ingest + extraction + report.
+    group.bench_function("report_from_text_logs", |b| {
+        b.iter(|| {
+            let (cluster, stats) = read_cluster_log_recovering(logs).unwrap();
+            black_box(Snapshot::from_cluster(&cluster, stats).report_text().len())
+        })
+    });
+    // The same bytes out of the sealed database: open + decode + render.
+    group.bench_function("report_from_db", |b| {
+        b.iter(|| {
+            let db = FaultDb::open(db_path).unwrap();
+            black_box(db.snapshot().unwrap().report_text().len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(faultdb, build_and_open, queries, analyze_paths);
+criterion_main!(faultdb);

@@ -201,12 +201,14 @@ pub fn all_series(r: &Report) -> Vec<(&'static str, String)> {
 }
 
 /// Write every series into `dir` (created if missing). Returns the paths.
+/// Each file lands atomically (tmp + fsync + rename, via
+/// [`uc_faultlog::files::write_text_atomic`]): a crash mid-export leaves
+/// whole series or none, never a torn CSV that parses as truncated data.
 pub fn write_all(r: &Report, dir: &Path) -> io::Result<Vec<PathBuf>> {
-    std::fs::create_dir_all(dir)?;
     let mut out = Vec::new();
     for (name, contents) in all_series(r) {
-        let path = dir.join(name);
-        std::fs::write(&path, contents)?;
+        let path = uc_faultlog::files::write_text_atomic(dir, name, &contents)
+            .map_err(|e| io::Error::other(e.to_string()))?;
         out.push(path);
     }
     Ok(out)

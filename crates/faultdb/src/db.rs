@@ -1,0 +1,572 @@
+//! The query engine: open a database, plan (zone-map pruning), scan
+//! (parallel, cached, CRC-checked), aggregate (deterministic merge).
+//!
+//! Execution follows the repo's §6 determinism contract: the planner
+//! selects surviving blocks in index order, `par_map` scans them on the
+//! worker pool, and partial aggregates merge *in block order* — so the
+//! result bytes are identical at any thread count, which is exactly what
+//! the server's selftest asserts against a single-threaded engine.
+//!
+//! A per-query deadline is checked once per block task; an expired
+//! deadline aborts the scan with the typed [`DbError::Timeout`] (the
+//! server maps it to `ERR timeout`). Corrupt blocks abort the same way
+//! with [`DbError::BlockCorrupt`] — a damaged database refuses to
+//! answer rather than answering wrong.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use uc_analysis::fault::{BitClass, Fault};
+use uc_cluster::NodeId;
+
+use crate::cache::{BlockCache, CacheStats};
+use crate::error::DbError;
+use crate::format::{self, Footer, MAGIC, TRAILER_LEN};
+use crate::query::{parse_query, Action, Dim, FlipDir, Query};
+use crate::snapshot::Snapshot;
+
+/// Engine tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct DbOptions {
+    /// Decoded-block cache capacity, in blocks.
+    pub cache_blocks: usize,
+}
+
+impl Default for DbOptions {
+    fn default() -> DbOptions {
+        DbOptions { cache_blocks: 256 }
+    }
+}
+
+/// Per-query execution options.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueryOptions {
+    /// Abort with [`DbError::Timeout`] once this instant passes.
+    pub deadline: Option<Instant>,
+}
+
+/// A query's answer plus scan accounting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryResult {
+    /// Rendered result lines — the server's wire payload.
+    pub lines: Vec<String>,
+    /// Rows matching the predicate.
+    pub matched: u64,
+    /// Blocks in the database.
+    pub blocks_total: u32,
+    /// Blocks that survived zone-map pruning and were scanned.
+    pub blocks_scanned: u32,
+    /// Rows decoded and tested.
+    pub rows_scanned: u64,
+}
+
+/// An open, validated fault database (file fully resident in memory).
+pub struct FaultDb {
+    path: PathBuf,
+    bytes: Vec<u8>,
+    footer: Footer,
+    cache: BlockCache,
+}
+
+impl FaultDb {
+    pub fn open(path: &Path) -> Result<FaultDb, DbError> {
+        FaultDb::open_with(path, &DbOptions::default())
+    }
+
+    /// Validate outside-in: magic, trailer bounds, footer CRC, footer
+    /// structure. Block payloads are checked lazily, on first decode.
+    pub fn open_with(path: &Path, opts: &DbOptions) -> Result<FaultDb, DbError> {
+        let bytes = fs::read(path).map_err(|e| DbError::io(path, e))?;
+        if bytes.len() < MAGIC.len() + TRAILER_LEN {
+            return Err(DbError::TooShort {
+                len: bytes.len() as u64,
+            });
+        }
+        if &bytes[..MAGIC.len()] != MAGIC {
+            return Err(DbError::BadMagic);
+        }
+        let trailer = &bytes[bytes.len() - TRAILER_LEN..];
+        let footer_off = u64::from_le_bytes(trailer[0..8].try_into().unwrap());
+        let footer_len = u32::from_le_bytes(trailer[8..12].try_into().unwrap()) as u64;
+        let footer_crc = u32::from_le_bytes(trailer[12..16].try_into().unwrap());
+        let trailer_at = (bytes.len() - TRAILER_LEN) as u64;
+        let footer_end = footer_off.checked_add(footer_len);
+        if footer_off < MAGIC.len() as u64 || footer_end != Some(trailer_at) {
+            return Err(DbError::BadFooter(format!(
+                "trailer points outside the file (offset {footer_off}, len {footer_len})"
+            )));
+        }
+        let footer_bytes = &bytes[footer_off as usize..(footer_off + footer_len) as usize];
+        if uc_faultlog::durable::crc::crc32(footer_bytes) != footer_crc {
+            return Err(DbError::BadFooter("footer CRC mismatch".into()));
+        }
+        let footer = format::decode_footer(footer_bytes, footer_off)?;
+        Ok(FaultDb {
+            path: path.to_path_buf(),
+            bytes,
+            footer,
+            cache: BlockCache::new(opts.cache_blocks),
+        })
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    pub fn footer(&self) -> &Footer {
+        &self.footer
+    }
+
+    /// Total faults stored.
+    pub fn rows(&self) -> u64 {
+        self.footer.total_rows
+    }
+
+    /// Block count.
+    pub fn blocks(&self) -> u32 {
+        self.footer.blocks.len() as u32
+    }
+
+    /// File size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    fn payload(&self, index: u32) -> &[u8] {
+        let meta = &self.footer.blocks[index as usize];
+        // decode_footer proved offset/len sit inside the block region.
+        &self.bytes[meta.offset as usize..(meta.offset + meta.len as u64) as usize]
+    }
+
+    /// Fetch one decoded block, through the cache.
+    fn block(&self, index: u32) -> Result<Arc<Vec<Fault>>, DbError> {
+        if let Some(hit) = self.cache.get(index) {
+            return Ok(hit);
+        }
+        let meta = &self.footer.blocks[index as usize];
+        let faults = format::decode_block(self.payload(index), meta)
+            .map_err(|damage| DbError::BlockCorrupt { index, damage })?;
+        let block = Arc::new(faults);
+        self.cache.insert(index, Arc::clone(&block));
+        Ok(block)
+    }
+
+    /// Decode every block (in order) — full CRC sweep. Bypasses the
+    /// cache: a one-shot export should not evict a server's working set.
+    pub fn faults_all(&self) -> Result<Vec<Fault>, DbError> {
+        let indices: Vec<u32> = (0..self.blocks()).collect();
+        let decoded = uc_parallel::par_map(&indices, |_, &i| {
+            let meta = &self.footer.blocks[i as usize];
+            format::decode_block(self.payload(i), meta)
+                .map_err(|damage| DbError::BlockCorrupt { index: i, damage })
+        });
+        let mut out = Vec::with_capacity(self.rows() as usize);
+        for block in decoded {
+            out.extend(block?);
+        }
+        Ok(out)
+    }
+
+    /// Rebuild the full analyze [`Snapshot`] (faults + provenance).
+    pub fn snapshot(&self) -> Result<Snapshot, DbError> {
+        Ok(format::snapshot_from_parts(
+            &self.footer.provenance,
+            self.faults_all()?,
+        ))
+    }
+
+    /// Parse and run a query.
+    pub fn query(&self, text: &str, opts: &QueryOptions) -> Result<QueryResult, DbError> {
+        self.run(&parse_query(text)?, opts)
+    }
+
+    /// Run a parsed query: prune, scan, merge.
+    pub fn run(&self, q: &Query, opts: &QueryOptions) -> Result<QueryResult, DbError> {
+        let survivors: Vec<u32> = self
+            .footer
+            .blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| q.pred.may_match(&b.zone))
+            .map(|(i, _)| i as u32)
+            .collect();
+
+        let partials = uc_parallel::par_map(&survivors, |_, &index| {
+            if opts.deadline.is_some_and(|d| Instant::now() >= d) {
+                return Err(DbError::Timeout);
+            }
+            let block = self.block(index)?;
+            Ok(scan_block(q, &block))
+        });
+
+        let mut agg = Aggregate::new(&q.action);
+        let mut rows_scanned = 0u64;
+        for (partial, &index) in partials.into_iter().zip(&survivors) {
+            let partial = partial?;
+            rows_scanned += self.footer.blocks[index as usize].rows as u64;
+            agg.merge(partial);
+        }
+        Ok(QueryResult {
+            lines: agg.render(&q.action),
+            matched: agg.matched,
+            blocks_total: self.blocks(),
+            blocks_scanned: survivors.len() as u32,
+            rows_scanned,
+        })
+    }
+}
+
+// ------------------------------------------------------------ aggregation
+
+/// Dimension key for one fault, as an i64 (see [`render_key`]).
+fn key_of(dim: Dim, f: &Fault) -> i64 {
+    match dim {
+        Dim::Node => f.node.0 as i64,
+        Dim::Blade => (f.node.blade().0 + 1) as i64,
+        Dim::Rack => (f.node.blade().rack() + 1) as i64,
+        Dim::Class => f.bit_class() as i64,
+        Dim::Dir => FlipDir::of(f) as i64,
+        Dim::Hour => f.time.hour_of_day() as i64,
+        Dim::Day => f.time.day_index(),
+    }
+}
+
+fn render_key(dim: Dim, key: i64) -> String {
+    match dim {
+        Dim::Node => NodeId(key as u32).to_string(),
+        Dim::Blade | Dim::Rack | Dim::Day => key.to_string(),
+        Dim::Class => BitClass::ALL[key as usize].label().to_string(),
+        Dim::Dir => match key {
+            0 => FlipDir::OneToZero,
+            1 => FlipDir::ZeroToOne,
+            _ => FlipDir::Mixed,
+        }
+        .label()
+        .to_string(),
+        Dim::Hour => format!("{key:02}"),
+    }
+}
+
+/// One fault as a stable, parseable result line.
+fn render_fault(f: &Fault) -> String {
+    format!(
+        "t={} node={} vaddr=0x{:08x} expected=0x{:08x} actual=0x{:08x} bits={} raw={}",
+        f.time.as_secs(),
+        f.node,
+        f.vaddr,
+        f.expected,
+        f.actual,
+        f.bits_corrupted(),
+        f.raw_logs
+    )
+}
+
+/// Per-block partial aggregate; additive, merged in block order.
+enum Partial {
+    Count(u64),
+    List {
+        rows: Vec<Fault>,
+        matched: u64,
+    },
+    Keyed {
+        counts: BTreeMap<i64, u64>,
+        matched: u64,
+    },
+    Hist {
+        bins: Box<[u64; 33]>,
+        matched: u64,
+    },
+}
+
+fn scan_block(q: &Query, faults: &[Fault]) -> Partial {
+    let matching = faults.iter().filter(|f| q.pred.matches(f));
+    match q.action {
+        Action::Count => Partial::Count(matching.count() as u64),
+        Action::List { limit } => {
+            // Keep at most `limit` per block; the merge truncates again,
+            // so earlier blocks (earlier faults) win, deterministically.
+            let mut matched = 0u64;
+            let mut rows = Vec::new();
+            for f in matching {
+                matched += 1;
+                if limit.is_none_or(|l| rows.len() < l) {
+                    rows.push(*f);
+                }
+            }
+            Partial::List { rows, matched }
+        }
+        Action::Top { by, .. } | Action::Group(by) => {
+            let mut counts = BTreeMap::new();
+            let mut matched = 0u64;
+            for f in matching {
+                matched += 1;
+                *counts.entry(key_of(by, f)).or_insert(0u64) += 1;
+            }
+            Partial::Keyed { counts, matched }
+        }
+        Action::HistBits => {
+            let mut bins = Box::new([0u64; 33]);
+            let mut matched = 0u64;
+            for f in matching {
+                matched += 1;
+                bins[f.bits_corrupted().min(32) as usize] += 1;
+            }
+            Partial::Hist { bins, matched }
+        }
+    }
+}
+
+struct Aggregate {
+    matched: u64,
+    count: u64,
+    rows: Vec<Fault>,
+    counts: BTreeMap<i64, u64>,
+    bins: [u64; 33],
+}
+
+impl Aggregate {
+    fn new(_action: &Action) -> Aggregate {
+        Aggregate {
+            matched: 0,
+            count: 0,
+            rows: Vec::new(),
+            counts: BTreeMap::new(),
+            bins: [0; 33],
+        }
+    }
+
+    fn merge(&mut self, p: Partial) {
+        match p {
+            Partial::Count(n) => {
+                self.count += n;
+                self.matched += n;
+            }
+            Partial::List { rows, matched } => {
+                self.rows.extend(rows);
+                self.matched += matched;
+            }
+            Partial::Keyed { counts, matched } => {
+                for (k, v) in counts {
+                    *self.counts.entry(k).or_insert(0) += v;
+                }
+                self.matched += matched;
+            }
+            Partial::Hist { bins, matched } => {
+                for (acc, v) in self.bins.iter_mut().zip(bins.iter()) {
+                    *acc += v;
+                }
+                self.matched += matched;
+            }
+        }
+    }
+
+    fn render(&self, action: &Action) -> Vec<String> {
+        match *action {
+            Action::Count => vec![self.count.to_string()],
+            Action::List { limit } => {
+                let n = limit.unwrap_or(self.rows.len()).min(self.rows.len());
+                self.rows[..n].iter().map(render_fault).collect()
+            }
+            Action::Group(by) => self
+                .counts
+                .iter()
+                .map(|(&k, &v)| format!("{} {v}", render_key(by, k)))
+                .collect(),
+            Action::Top { k, by } => {
+                let mut pairs: Vec<(i64, u64)> =
+                    self.counts.iter().map(|(&k, &v)| (k, v)).collect();
+                // Highest count first; ties break on the smaller key so
+                // the ranking is total.
+                pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                pairs
+                    .into_iter()
+                    .take(k)
+                    .map(|(key, v)| format!("{} {v}", render_key(by, key)))
+                    .collect()
+            }
+            Action::HistBits => self
+                .bins
+                .iter()
+                .enumerate()
+                .skip(1)
+                .filter(|(_, &v)| v > 0)
+                .map(|(bits, &v)| format!("{bits} {v}"))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{write_db, WriteOptions};
+    use uc_simclock::SimTime;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("uc-faultdb-db-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn snapshot(n: usize) -> Snapshot {
+        let faults = (0..n)
+            .map(|i| Fault {
+                node: NodeId((i % 60) as u32),
+                time: SimTime::from_secs(i as i64 * 500),
+                vaddr: 0x1000 + (i as u64 % 7) * 0x40,
+                expected: 0xFFFF_FFFF,
+                actual: if i % 5 == 0 { 0xFFFF_FFFC } else { 0xFFFF_FFFE },
+                temp: if i % 3 == 0 {
+                    Some(30.0 + i as f32)
+                } else {
+                    None
+                },
+                raw_logs: 1 + (i as u64 % 4),
+            })
+            .collect();
+        Snapshot {
+            faults,
+            flood_nodes: vec![],
+            stats: Default::default(),
+            node_logs: 3,
+            raw_records: n as u64,
+            raw_errors: n as u64,
+            day_volume: Default::default(),
+        }
+    }
+
+    fn build(tag: &str, n: usize, rows_per_block: usize) -> FaultDb {
+        let dir = tempdir(tag);
+        let path = dir.join("t.fdb");
+        write_db(&snapshot(n), &path, &WriteOptions { rows_per_block }).unwrap();
+        FaultDb::open(&path).unwrap()
+    }
+
+    #[test]
+    fn open_roundtrips_rows_and_counts() {
+        let db = build("roundtrip", 1000, 64);
+        assert_eq!(db.rows(), 1000);
+        assert_eq!(db.blocks(), 16);
+        assert_eq!(db.faults_all().unwrap(), snapshot(1000).faults);
+        let r = db.query("count", &QueryOptions::default()).unwrap();
+        assert_eq!(r.lines, vec!["1000".to_string()]);
+        assert_eq!(r.blocks_scanned, 16);
+    }
+
+    #[test]
+    fn time_window_prunes_blocks_and_counts_exactly() {
+        let db = build("prune", 1000, 64);
+        // Faults are time-ordered, 500 s apart; a narrow window hits few
+        // blocks but the exact row count.
+        let r = db
+            .query(
+                "count where time>=100000 and time<150000",
+                &QueryOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(r.lines, vec!["100".to_string()]);
+        assert!(
+            r.blocks_scanned <= 3,
+            "window spans ~100 rows = 2 blocks (+boundary), scanned {}",
+            r.blocks_scanned
+        );
+        // Pruning never changes the answer: full scan agrees.
+        let full = db
+            .query(
+                "count where not (time<100000 or time>=150000)",
+                &QueryOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(full.blocks_scanned, db.blocks(), "not () disables pruning");
+        assert_eq!(full.lines, r.lines);
+    }
+
+    #[test]
+    fn aggregations_agree_with_a_flat_scan() {
+        let db = build("aggs", 500, 32);
+        let faults = snapshot(500).faults;
+        let opts = QueryOptions::default();
+
+        let hist = db.query("hist bits", &opts).unwrap();
+        let ones = faults.iter().filter(|f| f.bits_corrupted() == 1).count();
+        let twos = faults.iter().filter(|f| f.bits_corrupted() == 2).count();
+        assert_eq!(hist.lines, vec![format!("1 {ones}"), format!("2 {twos}")]);
+
+        let grouped = db.query("group class where multibit", &opts).unwrap();
+        assert_eq!(grouped.lines, vec![format!("2 {twos}")]);
+
+        let listed = db.query("list limit 3 where multibit", &opts).unwrap();
+        let expect: Vec<String> = faults
+            .iter()
+            .filter(|f| f.is_multi_bit())
+            .take(3)
+            .map(render_fault)
+            .collect();
+        assert_eq!(listed.lines, expect);
+        assert_eq!(listed.matched as usize, twos);
+
+        let top = db.query("top 2 node", &opts).unwrap();
+        assert_eq!(top.lines.len(), 2);
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let db = build("threads", 2000, 128);
+        let queries = [
+            "count",
+            "count where multibit",
+            "group blade",
+            "group hour",
+            "top 5 node",
+            "hist bits",
+            "list limit 10 where time>=1000",
+        ];
+        for q in queries {
+            let one = uc_parallel::with_thread_limit(1, || db.query(q, &QueryOptions::default()))
+                .unwrap();
+            let eight = uc_parallel::with_thread_limit(8, || db.query(q, &QueryOptions::default()))
+                .unwrap();
+            assert_eq!(one, eight, "{q}");
+        }
+    }
+
+    #[test]
+    fn expired_deadline_is_a_typed_timeout() {
+        let db = build("deadline", 200, 16);
+        let opts = QueryOptions {
+            deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+        };
+        assert!(matches!(db.query("count", &opts), Err(DbError::Timeout)));
+    }
+
+    #[test]
+    fn cache_hits_on_repeat_queries() {
+        let db = build("cache", 500, 32);
+        let opts = QueryOptions::default();
+        db.query("count", &opts).unwrap();
+        let cold = db.cache_stats();
+        assert_eq!(cold.hits, 0);
+        assert_eq!(cold.misses, db.blocks() as u64);
+        db.query("count", &opts).unwrap();
+        let warm = db.cache_stats();
+        assert_eq!(warm.hits, db.blocks() as u64);
+        assert_eq!(warm.misses, cold.misses);
+    }
+
+    #[test]
+    fn empty_database_answers_empty() {
+        let db = build("empty", 0, 64);
+        assert_eq!(db.rows(), 0);
+        let r = db.query("count", &QueryOptions::default()).unwrap();
+        assert_eq!(r.lines, vec!["0".to_string()]);
+        assert_eq!(db.faults_all().unwrap(), vec![]);
+    }
+}

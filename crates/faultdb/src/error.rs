@@ -1,0 +1,108 @@
+//! Typed errors for every way a fault database can fail.
+//!
+//! The corruption-safety contract is: damage is *detected and named*,
+//! never silently folded into query results. Any truncation or bit flip
+//! in a database file surfaces as one of these variants — either at
+//! [`crate::FaultDb::open`] (magic, trailer, footer) or at block-decode
+//! time (payload CRC) — and the engine propagates it instead of
+//! answering from a corrupt block.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// Why a block failed its integrity check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockDamage {
+    /// Stored CRC-32 does not match the payload bytes.
+    ChecksumMismatch,
+    /// The footer's (offset, length) points outside the block region.
+    OutOfBounds,
+    /// Payload length disagrees with the row count's column layout.
+    LayoutMismatch,
+    /// A decoded column value is not representable (e.g. bad node id).
+    BadValue,
+}
+
+impl fmt::Display for BlockDamage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockDamage::ChecksumMismatch => write!(f, "checksum mismatch"),
+            BlockDamage::OutOfBounds => write!(f, "offset/length out of bounds"),
+            BlockDamage::LayoutMismatch => write!(f, "payload length disagrees with layout"),
+            BlockDamage::BadValue => write!(f, "column value out of range"),
+        }
+    }
+}
+
+/// Database open/decode/query failure.
+#[derive(Debug)]
+pub enum DbError {
+    /// I/O error touching the database file.
+    Io { path: PathBuf, source: io::Error },
+    /// File too short to even hold magic + trailer.
+    TooShort { len: u64 },
+    /// Leading magic bytes are not a faultdb's.
+    BadMagic,
+    /// Trailer or footer failed validation (bounds or CRC); the index
+    /// cannot be trusted, so nothing can.
+    BadFooter(String),
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Block `index` failed its integrity check.
+    BlockCorrupt { index: u32, damage: BlockDamage },
+    /// Query text failed to parse.
+    Query(String),
+    /// The per-request deadline passed before the scan finished.
+    Timeout,
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            DbError::TooShort { len } => {
+                write!(f, "file of {len} bytes is too short to be a faultdb")
+            }
+            DbError::BadMagic => write!(f, "not a faultdb file (bad magic)"),
+            DbError::BadFooter(why) => write!(f, "corrupt footer: {why}"),
+            DbError::BadVersion(v) => write!(f, "unsupported faultdb format version {v}"),
+            DbError::BlockCorrupt { index, damage } => {
+                write!(f, "block {index} corrupt: {damage}")
+            }
+            DbError::Query(why) => write!(f, "bad query: {why}"),
+            DbError::Timeout => write!(f, "query deadline exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DbError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl DbError {
+    pub fn io(path: impl Into<PathBuf>, source: io::Error) -> DbError {
+        DbError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// Short machine-readable category, used as the wire error kind by the
+    /// server (`ERR <kind>: <detail>`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DbError::Io { .. } => "io",
+            DbError::TooShort { .. } | DbError::BadMagic => "notadb",
+            DbError::BadFooter(_) | DbError::BadVersion(_) => "corrupt",
+            DbError::BlockCorrupt { .. } => "corrupt",
+            DbError::Query(_) => "parse",
+            DbError::Timeout => "timeout",
+        }
+    }
+}

@@ -1,0 +1,657 @@
+//! The on-disk faultdb format: columnar row-group blocks behind a
+//! CRC-protected footer.
+//!
+//! ```text
+//! +--------------------------------------------------------------+
+//! | magic "UCFDB1\n" (7 bytes)                                   |
+//! | block 0 payload | block 1 payload | ...                      |
+//! | footer (index + zone maps + provenance)                      |
+//! | trailer: footer_off u64le | footer_len u32le | footer_crc    |
+//! +--------------------------------------------------------------+
+//! ```
+//!
+//! Each block holds up to `rows_per_block` faults stored column-major,
+//! fixed-width little-endian: all times, then all node ids, then all
+//! vaddrs, expected words, actual words, raw-log counts, and finally a
+//! temperature presence bitmap followed by one f32 per present reading.
+//! The footer records, per block, the byte extent, row count, payload
+//! CRC-32 (the same from-scratch CRC as the durable log segments), and a
+//! zone map: min/max time, min/max node id, min/max vaddr, a bit-class
+//! bitmap, and a flip-direction bitmap. The trailer carries the footer's
+//! own extent and CRC, so validation is outside-in: magic → trailer →
+//! footer CRC → per-block CRC on decode. Any truncation or bit flip is
+//! caught by one of those checks and surfaces as a typed
+//! [`DbError`](crate::DbError) — never as silently wrong rows.
+//!
+//! Files are sealed with the same tmp + fsync + rename discipline as
+//! every other artifact in this repo: a crash mid-build leaves the old
+//! database or none, never a torn one.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use uc_analysis::daily::DayVolume;
+#[cfg(test)]
+use uc_analysis::fault::BitClass;
+use uc_analysis::fault::Fault;
+use uc_cluster::{NodeId, TOTAL_NODES};
+use uc_faultlog::durable::crc::crc32;
+use uc_faultlog::ingest::IngestStats;
+use uc_simclock::SimTime;
+
+use crate::error::{BlockDamage, DbError};
+use crate::query::FlipDir;
+use crate::snapshot::Snapshot;
+
+/// Leading magic bytes.
+pub const MAGIC: &[u8; 7] = b"UCFDB1\n";
+/// Fixed trailer size: footer offset + length + CRC.
+pub const TRAILER_LEN: usize = 16;
+/// Current format version.
+pub const FORMAT_VERSION: u32 = 1;
+/// Default rows per block: small enough that zone maps prune usefully on
+/// a ~50k-fault study, large enough that per-block overhead vanishes.
+pub const DEFAULT_ROWS_PER_BLOCK: usize = 4096;
+
+/// Bytes per row across the fixed-width columns (time, node, vaddr,
+/// expected, actual, raw_logs) — excludes the temp bitmap and values.
+const FIXED_ROW_BYTES: usize = 8 + 4 + 8 + 4 + 4 + 8;
+
+/// Per-block zone map: conservative bounds the planner prunes against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ZoneMap {
+    pub min_time: i64,
+    pub max_time: i64,
+    pub min_node: u32,
+    pub max_node: u32,
+    pub min_vaddr: u64,
+    pub max_vaddr: u64,
+    /// Bit `c` set iff some row has `BitClass::ALL[c]`.
+    pub class_map: u8,
+    /// Bit `d` set iff some row has flip direction `d` (see [`FlipDir`]).
+    pub dir_map: u8,
+}
+
+/// Footer entry for one block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockMeta {
+    /// Absolute byte offset of the payload in the file.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u32,
+    /// Row count.
+    pub rows: u32,
+    /// CRC-32 of the payload bytes.
+    pub crc: u32,
+    pub zone: ZoneMap,
+}
+
+/// Everything the footer stores besides the block index: the report
+/// provenance a [`Snapshot`] needs (see that type's docs).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Provenance {
+    pub node_logs: u64,
+    pub raw_records: u64,
+    pub raw_errors: u64,
+    pub stats: IngestStats,
+    pub flood_nodes: Vec<NodeId>,
+    /// (day index, f64 bits) pairs — exact-bit day volume.
+    pub day_volume: Vec<(i64, u64)>,
+}
+
+/// Decoded footer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Footer {
+    pub version: u32,
+    pub rows_per_block: u32,
+    pub total_rows: u64,
+    pub blocks: Vec<BlockMeta>,
+    pub provenance: Provenance,
+}
+
+/// Build options.
+#[derive(Clone, Copy, Debug)]
+pub struct WriteOptions {
+    pub rows_per_block: usize,
+}
+
+impl Default for WriteOptions {
+    fn default() -> WriteOptions {
+        WriteOptions {
+            rows_per_block: DEFAULT_ROWS_PER_BLOCK,
+        }
+    }
+}
+
+/// What a successful build produced.
+#[derive(Clone, Debug)]
+pub struct WriteSummary {
+    pub path: PathBuf,
+    pub rows: u64,
+    pub blocks: usize,
+    pub bytes: u64,
+}
+
+// ---------------------------------------------------------------- encode
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn push_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Encode one chunk of faults as a column-major payload plus zone map.
+fn encode_block(faults: &[Fault]) -> (Vec<u8>, ZoneMap) {
+    debug_assert!(!faults.is_empty());
+    let n = faults.len();
+    let bitmap_len = n.div_ceil(8);
+    let mut payload = Vec::with_capacity(n * FIXED_ROW_BYTES + bitmap_len + 4 * n);
+    for f in faults {
+        push_i64(&mut payload, f.time.as_secs());
+    }
+    for f in faults {
+        push_u32(&mut payload, f.node.0);
+    }
+    for f in faults {
+        push_u64(&mut payload, f.vaddr);
+    }
+    for f in faults {
+        push_u32(&mut payload, f.expected);
+    }
+    for f in faults {
+        push_u32(&mut payload, f.actual);
+    }
+    for f in faults {
+        push_u64(&mut payload, f.raw_logs);
+    }
+    let mut bitmap = vec![0u8; bitmap_len];
+    for (i, f) in faults.iter().enumerate() {
+        if f.temp.is_some() {
+            bitmap[i / 8] |= 1 << (i % 8);
+        }
+    }
+    payload.extend_from_slice(&bitmap);
+    for f in faults {
+        if let Some(t) = f.temp {
+            payload.extend_from_slice(&t.to_le_bytes());
+        }
+    }
+
+    let mut zone = ZoneMap {
+        min_time: i64::MAX,
+        max_time: i64::MIN,
+        min_node: u32::MAX,
+        max_node: 0,
+        min_vaddr: u64::MAX,
+        max_vaddr: 0,
+        class_map: 0,
+        dir_map: 0,
+    };
+    for f in faults {
+        zone.min_time = zone.min_time.min(f.time.as_secs());
+        zone.max_time = zone.max_time.max(f.time.as_secs());
+        zone.min_node = zone.min_node.min(f.node.0);
+        zone.max_node = zone.max_node.max(f.node.0);
+        zone.min_vaddr = zone.min_vaddr.min(f.vaddr);
+        zone.max_vaddr = zone.max_vaddr.max(f.vaddr);
+        zone.class_map |= 1 << f.bit_class() as u8;
+        zone.dir_map |= 1 << FlipDir::of(f) as u8;
+    }
+    (payload, zone)
+}
+
+fn encode_footer(footer: &Footer) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + footer.blocks.len() * 58);
+    push_u32(&mut out, footer.version);
+    push_u32(&mut out, footer.rows_per_block);
+    push_u64(&mut out, footer.total_rows);
+    push_u32(&mut out, footer.blocks.len() as u32);
+    for b in &footer.blocks {
+        push_u64(&mut out, b.offset);
+        push_u32(&mut out, b.len);
+        push_u32(&mut out, b.rows);
+        push_u32(&mut out, b.crc);
+        push_i64(&mut out, b.zone.min_time);
+        push_i64(&mut out, b.zone.max_time);
+        push_u32(&mut out, b.zone.min_node);
+        push_u32(&mut out, b.zone.max_node);
+        push_u64(&mut out, b.zone.min_vaddr);
+        push_u64(&mut out, b.zone.max_vaddr);
+        out.push(b.zone.class_map);
+        out.push(b.zone.dir_map);
+    }
+    let p = &footer.provenance;
+    push_u64(&mut out, p.node_logs);
+    push_u64(&mut out, p.raw_records);
+    push_u64(&mut out, p.raw_errors);
+    for v in stats_fields(&p.stats) {
+        push_u64(&mut out, v);
+    }
+    push_u32(&mut out, p.flood_nodes.len() as u32);
+    for n in &p.flood_nodes {
+        push_u32(&mut out, n.0);
+    }
+    push_u32(&mut out, p.day_volume.len() as u32);
+    for &(day, bits) in &p.day_volume {
+        push_i64(&mut out, day);
+        push_u64(&mut out, bits);
+    }
+    out
+}
+
+/// The 17 ingest counters in declaration order; the reader rebuilds the
+/// struct from the same order, so this is the serialization contract.
+fn stats_fields(s: &IngestStats) -> [u64; 17] {
+    [
+        s.files_read,
+        s.files_unreadable,
+        s.invalid_utf8_files,
+        s.lines_read,
+        s.records_kept,
+        s.blank_lines,
+        s.torn_final_lines,
+        s.duplicate_lines,
+        s.bad_kind,
+        s.bad_field,
+        s.bad_number,
+        s.bad_node,
+        s.out_of_order,
+        s.session_gaps,
+        s.fsck_files_salvaged,
+        s.fsck_bytes_salvaged,
+        s.fsck_bytes_quarantined,
+    ]
+}
+
+fn stats_from_fields(v: [u64; 17]) -> IngestStats {
+    IngestStats {
+        files_read: v[0],
+        files_unreadable: v[1],
+        invalid_utf8_files: v[2],
+        lines_read: v[3],
+        records_kept: v[4],
+        blank_lines: v[5],
+        torn_final_lines: v[6],
+        duplicate_lines: v[7],
+        bad_kind: v[8],
+        bad_field: v[9],
+        bad_number: v[10],
+        bad_node: v[11],
+        out_of_order: v[12],
+        session_gaps: v[13],
+        fsck_files_salvaged: v[14],
+        fsck_bytes_salvaged: v[15],
+        fsck_bytes_quarantined: v[16],
+    }
+}
+
+/// Serialize a snapshot to `path` atomically (`<path>.tmp` + fsync +
+/// rename). Block encoding fans out over the worker pool; the byte
+/// stream is identical at any thread count (chunks are concatenated in
+/// order).
+pub fn write_db(
+    snapshot: &Snapshot,
+    path: &Path,
+    opts: &WriteOptions,
+) -> Result<WriteSummary, DbError> {
+    let rows_per_block = opts.rows_per_block.clamp(1, 1 << 20);
+    let chunks: Vec<&[Fault]> = snapshot.faults.chunks(rows_per_block).collect();
+    let encoded = uc_parallel::par_map(&chunks, |_, chunk| encode_block(chunk));
+
+    let mut blocks = Vec::with_capacity(encoded.len());
+    let mut offset = MAGIC.len() as u64;
+    for (chunk, (payload, zone)) in chunks.iter().zip(&encoded) {
+        blocks.push(BlockMeta {
+            offset,
+            len: payload.len() as u32,
+            rows: chunk.len() as u32,
+            crc: crc32(payload),
+            zone: *zone,
+        });
+        offset += payload.len() as u64;
+    }
+
+    let footer = Footer {
+        version: FORMAT_VERSION,
+        rows_per_block: rows_per_block as u32,
+        total_rows: snapshot.faults.len() as u64,
+        blocks,
+        provenance: Provenance {
+            node_logs: snapshot.node_logs,
+            raw_records: snapshot.raw_records,
+            raw_errors: snapshot.raw_errors,
+            stats: snapshot.stats,
+            flood_nodes: snapshot.flood_nodes.clone(),
+            day_volume: snapshot
+                .day_volume
+                .iter()
+                .map(|(d, v)| (d, v.to_bits()))
+                .collect(),
+        },
+    };
+    let footer_bytes = encode_footer(&footer);
+    let footer_off = offset;
+
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| DbError::io(path, io::Error::other("path has no file name")))?;
+    let dir = path.parent().unwrap_or(Path::new("."));
+    fs::create_dir_all(dir).map_err(|e| DbError::io(dir, e))?;
+    let tmp = dir.join(format!("{file_name}.tmp"));
+    let write_all = || -> io::Result<u64> {
+        let mut w = io::BufWriter::new(fs::File::create(&tmp)?);
+        w.write_all(MAGIC)?;
+        for (payload, _) in &encoded {
+            w.write_all(payload)?;
+        }
+        w.write_all(&footer_bytes)?;
+        w.write_all(&footer_off.to_le_bytes())?;
+        w.write_all(&(footer_bytes.len() as u32).to_le_bytes())?;
+        w.write_all(&crc32(&footer_bytes).to_le_bytes())?;
+        w.flush()?;
+        let f = w
+            .into_inner()
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        f.sync_all()?;
+        Ok(footer_off + footer_bytes.len() as u64 + TRAILER_LEN as u64)
+    };
+    let bytes = write_all().map_err(|e| DbError::io(&tmp, e))?;
+    fs::rename(&tmp, path).map_err(|e| DbError::io(path, e))?;
+    Ok(WriteSummary {
+        path: path.to_path_buf(),
+        rows: footer.total_rows,
+        blocks: footer.blocks.len(),
+        bytes,
+    })
+}
+
+// ---------------------------------------------------------------- decode
+
+/// Bounds-checked little-endian cursor; every shortfall is a typed
+/// footer-corruption error rather than a panic.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DbError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| DbError::BadFooter("footer shorter than its structure".into()))?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DbError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, DbError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, DbError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> Result<i64, DbError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+/// Decode and validate a footer slice (CRC already checked by the
+/// caller against the trailer).
+pub fn decode_footer(bytes: &[u8], blocks_end: u64) -> Result<Footer, DbError> {
+    let mut r = Reader::new(bytes);
+    let version = r.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(DbError::BadVersion(version));
+    }
+    let rows_per_block = r.u32()?;
+    let total_rows = r.u64()?;
+    let block_count = r.u32()?;
+    // An absurd count would make us allocate before the take() fails;
+    // bound it by what the footer could possibly hold.
+    if (block_count as usize).saturating_mul(58) > bytes.len() {
+        return Err(DbError::BadFooter(format!(
+            "block count {block_count} larger than the footer"
+        )));
+    }
+    let mut blocks = Vec::with_capacity(block_count as usize);
+    let mut expect_off = MAGIC.len() as u64;
+    let mut rows_sum = 0u64;
+    for i in 0..block_count {
+        let b = BlockMeta {
+            offset: r.u64()?,
+            len: r.u32()?,
+            rows: r.u32()?,
+            crc: r.u32()?,
+            zone: ZoneMap {
+                min_time: r.i64()?,
+                max_time: r.i64()?,
+                min_node: r.u32()?,
+                max_node: r.u32()?,
+                min_vaddr: r.u64()?,
+                max_vaddr: r.u64()?,
+                class_map: r.u8()?,
+                dir_map: r.u8()?,
+            },
+        };
+        if b.offset != expect_off || b.rows == 0 {
+            return Err(DbError::BadFooter(format!("block {i} index inconsistent")));
+        }
+        expect_off += b.len as u64;
+        if expect_off > blocks_end {
+            return Err(DbError::BlockCorrupt {
+                index: i,
+                damage: BlockDamage::OutOfBounds,
+            });
+        }
+        rows_sum += b.rows as u64;
+        blocks.push(b);
+    }
+    if expect_off != blocks_end {
+        return Err(DbError::BadFooter(
+            "block region does not meet the footer".into(),
+        ));
+    }
+    if rows_sum != total_rows {
+        return Err(DbError::BadFooter(format!(
+            "row counts disagree: blocks hold {rows_sum}, footer claims {total_rows}"
+        )));
+    }
+    let node_logs = r.u64()?;
+    let raw_records = r.u64()?;
+    let raw_errors = r.u64()?;
+    let mut fields = [0u64; 17];
+    for f in &mut fields {
+        *f = r.u64()?;
+    }
+    let flood_count = r.u32()?;
+    if (flood_count as usize).saturating_mul(4) > bytes.len() {
+        return Err(DbError::BadFooter("flood list larger than footer".into()));
+    }
+    let mut flood_nodes = Vec::with_capacity(flood_count as usize);
+    for _ in 0..flood_count {
+        flood_nodes.push(NodeId(r.u32()?));
+    }
+    let day_count = r.u32()?;
+    if (day_count as usize).saturating_mul(16) > bytes.len() {
+        return Err(DbError::BadFooter("day volume larger than footer".into()));
+    }
+    let mut day_volume = Vec::with_capacity(day_count as usize);
+    for _ in 0..day_count {
+        let day = r.i64()?;
+        let bits = r.u64()?;
+        day_volume.push((day, bits));
+    }
+    if !r.done() {
+        return Err(DbError::BadFooter("trailing bytes after footer".into()));
+    }
+    Ok(Footer {
+        version,
+        rows_per_block,
+        total_rows,
+        blocks,
+        provenance: Provenance {
+            node_logs,
+            raw_records,
+            raw_errors,
+            stats: stats_from_fields(fields),
+            flood_nodes,
+            day_volume,
+        },
+    })
+}
+
+/// Decode one block payload back into faults. The caller has already
+/// sliced `payload` per the footer; this verifies the CRC and the exact
+/// column layout before trusting a byte.
+pub fn decode_block(payload: &[u8], meta: &BlockMeta) -> Result<Vec<Fault>, BlockDamage> {
+    if crc32(payload) != meta.crc {
+        return Err(BlockDamage::ChecksumMismatch);
+    }
+    let n = meta.rows as usize;
+    let bitmap_len = n.div_ceil(8);
+    let fixed = n * FIXED_ROW_BYTES + bitmap_len;
+    if payload.len() < fixed {
+        return Err(BlockDamage::LayoutMismatch);
+    }
+    let bitmap = &payload[n * FIXED_ROW_BYTES..fixed];
+    let present: usize = bitmap.iter().map(|b| b.count_ones() as usize).sum();
+    if payload.len() != fixed + 4 * present {
+        return Err(BlockDamage::LayoutMismatch);
+    }
+
+    let col = |start: usize, width: usize, i: usize| &payload[start + i * width..][..width];
+    let times = 0;
+    let nodes = times + n * 8;
+    let vaddrs = nodes + n * 4;
+    let expecteds = vaddrs + n * 8;
+    let actuals = expecteds + n * 4;
+    let raws = actuals + n * 4;
+
+    let mut faults = Vec::with_capacity(n);
+    let mut temp_at = fixed;
+    for i in 0..n {
+        let node = u32::from_le_bytes(col(nodes, 4, i).try_into().unwrap());
+        if node >= TOTAL_NODES {
+            return Err(BlockDamage::BadValue);
+        }
+        let temp = if bitmap[i / 8] & (1 << (i % 8)) != 0 {
+            let v = f32::from_le_bytes(payload[temp_at..temp_at + 4].try_into().unwrap());
+            temp_at += 4;
+            Some(v)
+        } else {
+            None
+        };
+        faults.push(Fault {
+            node: NodeId(node),
+            time: SimTime::from_secs(i64::from_le_bytes(col(times, 8, i).try_into().unwrap())),
+            vaddr: u64::from_le_bytes(col(vaddrs, 8, i).try_into().unwrap()),
+            expected: u32::from_le_bytes(col(expecteds, 4, i).try_into().unwrap()),
+            actual: u32::from_le_bytes(col(actuals, 4, i).try_into().unwrap()),
+            temp,
+            raw_logs: u64::from_le_bytes(col(raws, 8, i).try_into().unwrap()),
+        });
+    }
+    Ok(faults)
+}
+
+/// Rebuild the [`Snapshot`] provenance side (everything but the faults).
+pub fn snapshot_from_parts(provenance: &Provenance, faults: Vec<Fault>) -> Snapshot {
+    Snapshot {
+        faults,
+        flood_nodes: provenance.flood_nodes.clone(),
+        stats: provenance.stats,
+        node_logs: provenance.node_logs,
+        raw_records: provenance.raw_records,
+        raw_errors: provenance.raw_errors,
+        day_volume: DayVolume::from_pairs(
+            provenance
+                .day_volume
+                .iter()
+                .map(|&(d, bits)| (d, f64::from_bits(bits))),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fault(t: i64, node: u32, vaddr: u64, actual: u32, temp: Option<f32>) -> Fault {
+        Fault {
+            node: NodeId(node),
+            time: SimTime::from_secs(t),
+            vaddr,
+            expected: 0xFFFF_FFFF,
+            actual,
+            temp,
+            raw_logs: 3,
+        }
+    }
+
+    #[test]
+    fn block_roundtrip_with_and_without_temps() {
+        let faults = vec![
+            fault(10, 1, 0x100, 0xFFFF_FFFE, Some(35.5)),
+            fault(20, 2, 0x200, 0x7FFF_FFFF, None),
+            fault(30, 900, 0x300, 0x0000_0000, Some(-3.25)),
+        ];
+        let (payload, zone) = encode_block(&faults);
+        let meta = BlockMeta {
+            offset: 7,
+            len: payload.len() as u32,
+            rows: 3,
+            crc: crc32(&payload),
+            zone,
+        };
+        let back = decode_block(&payload, &meta).unwrap();
+        assert_eq!(back, faults);
+        assert_eq!(zone.min_time, 10);
+        assert_eq!(zone.max_time, 30);
+        assert_eq!(zone.min_node, 1);
+        assert_eq!(zone.max_node, 900);
+        assert_eq!(zone.min_vaddr, 0x100);
+        assert_eq!(zone.max_vaddr, 0x300);
+        // 1-bit, 1-bit, 32-bit corruptions.
+        assert_eq!(
+            zone.class_map,
+            (1 << BitClass::One as u8) | (1 << BitClass::SixPlus as u8)
+        );
+    }
+
+    #[test]
+    fn payload_bit_flip_is_checksum_mismatch() {
+        let faults = vec![fault(10, 1, 0x100, 0xFFFF_FFFE, None)];
+        let (mut payload, zone) = encode_block(&faults);
+        let meta = BlockMeta {
+            offset: 7,
+            len: payload.len() as u32,
+            rows: 1,
+            crc: crc32(&payload),
+            zone,
+        };
+        payload[5] ^= 0x10;
+        assert_eq!(
+            decode_block(&payload, &meta),
+            Err(BlockDamage::ChecksumMismatch)
+        );
+    }
+}

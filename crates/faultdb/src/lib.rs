@@ -1,0 +1,49 @@
+//! faultdb — columnar fault database with a concurrent query and
+//! serving layer.
+//!
+//! Re-analyzing the campaign's text logs means re-paying ingest,
+//! recovery, and extraction on every question. This crate seals the
+//! *output* of that pipeline — independent faults plus the provenance
+//! the analyze report needs — into a compact binary columnar file, then
+//! answers typed queries over it orders of magnitude faster, locally or
+//! over TCP.
+//!
+//! The layers, bottom-up:
+//!
+//! * [`format`] — the on-disk layout: fixed-size row-group blocks,
+//!   column-major, each with a CRC-32 and a zone map, behind a
+//!   CRC-protected footer; sealed with tmp + fsync + rename.
+//! * [`snapshot`] — what a database stores: faults + report provenance,
+//!   with [`snapshot::Snapshot::report_text`] as the single rendering
+//!   path for both `uc analyze` and `uc analyze --db`.
+//! * [`query`] — the predicate AST, the `action where expr` grammar,
+//!   and conservative zone-map pruning.
+//! * [`cache`] — the sharded LRU over decoded blocks.
+//! * [`db`] — the engine: open/validate, prune, parallel block scans,
+//!   deterministic merge, aggregation kernels.
+//! * [`build`] — `uc build-db`: log directory in, sealed database out.
+//! * [`server`] — `uc serve`: the line protocol, bounded admission with
+//!   typed overload rejection, graceful shutdown, and the loadgen
+//!   selftest.
+//!
+//! Corruption is a first-class outcome, never a wrong answer: every
+//! read path validates CRCs outside-in and surfaces damage as a typed
+//! [`DbError`].
+
+pub mod build;
+pub mod cache;
+pub mod db;
+pub mod error;
+pub mod format;
+pub mod query;
+pub mod server;
+pub mod snapshot;
+
+pub use build::build_db;
+pub use cache::CacheStats;
+pub use db::{DbOptions, FaultDb, QueryOptions, QueryResult};
+pub use error::{BlockDamage, DbError};
+pub use format::{WriteOptions, WriteSummary};
+pub use query::{parse_query, Query};
+pub use server::{selftest, Client, Response, SelftestReport, ServeConfig, Server};
+pub use snapshot::Snapshot;

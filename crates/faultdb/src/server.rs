@@ -1,0 +1,653 @@
+//! Line-protocol TCP serving layer over an open [`FaultDb`].
+//!
+//! One request is one line; one response is `OK <k>` followed by `k`
+//! payload lines, or `ERR <kind>: <message>` (kinds are
+//! [`DbError::kind`] plus `overloaded` and `badcmd`). Connections are
+//! handled by a fixed worker pool behind a *bounded* admission queue:
+//! when the queue is full the acceptor answers `ERR overloaded: ...`
+//! immediately and closes — load shedding is explicit and typed, never a
+//! hang. Each query runs under a per-request deadline, surfacing as
+//! `ERR timeout` when the engine trips [`DbError::Timeout`].
+//!
+//! Shutdown is cooperative: the `SHUTDOWN` command (or
+//! [`Server::shutdown`]) sets a stop flag, wakes the workers, and pokes
+//! the acceptor with a self-connection so its blocking `accept` returns.
+//! Workers drain already-admitted connections before exiting, so every
+//! accepted client gets an answer.
+//!
+//! The vendored channel only offers a *blocking* send, which cannot
+//! express "reject instead of wait" — so admission is a hand-rolled
+//! `Mutex<VecDeque>` + `Condvar` with a non-blocking `try_push`.
+
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use crate::db::{FaultDb, QueryOptions};
+use crate::error::DbError;
+
+/// Server tuning; `Default` suits tests and the selftest.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks a free port.
+    pub addr: String,
+    /// Worker threads handling admitted connections.
+    pub workers: usize,
+    /// Admission queue capacity; connections beyond it are rejected.
+    pub queue: usize,
+    /// Per-request query deadline.
+    pub request_timeout: Duration,
+    /// Per-connection read timeout; an idle client is disconnected.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue: 16,
+            request_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Monotonic serving counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests answered (including `ERR` answers to bad queries).
+    pub served: u64,
+    /// Connections shed at admission with `ERR overloaded`.
+    pub rejected: u64,
+}
+
+/// Bounded admission: non-blocking push for the acceptor, blocking pop
+/// for the workers, drained on shutdown.
+struct Admission {
+    queue: Mutex<VecDeque<TcpStream>>,
+    cv: Condvar,
+    cap: usize,
+    stop: AtomicBool,
+}
+
+impl Admission {
+    fn new(cap: usize) -> Admission {
+        Admission {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            cap: cap.max(1),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// Admit or hand the stream back (queue full / stopping).
+    fn try_push(&self, s: TcpStream) -> Result<(), TcpStream> {
+        if self.stop.load(Ordering::Acquire) {
+            return Err(s);
+        }
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if q.len() >= self.cap {
+            return Err(s);
+        }
+        q.push_back(s);
+        drop(q);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Next admitted connection; `None` once stopped *and* drained.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(s) = q.pop_front() {
+                return Some(s);
+            }
+            if self.stop.load(Ordering::Acquire) {
+                return None;
+            }
+            q = self.cv.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        self.cv.notify_all();
+    }
+}
+
+struct Inner {
+    db: Arc<FaultDb>,
+    cfg: ServeConfig,
+    admission: Admission,
+    addr: SocketAddr,
+    served: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl Inner {
+    fn stats(&self) -> ServerStats {
+        ServerStats {
+            served: self.served.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Begin shutdown; a self-connection unblocks the acceptor.
+    fn shutdown(&self) {
+        self.admission.stop();
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running server; drop without [`Server::join`] detaches the threads.
+pub struct Server {
+    inner: Arc<Inner>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start the acceptor and worker threads.
+    pub fn start(db: Arc<FaultDb>, cfg: &ServeConfig) -> Result<Server, DbError> {
+        let listener = TcpListener::bind(&cfg.addr)
+            .map_err(|e| DbError::io(std::path::Path::new(&cfg.addr), e))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| DbError::io(std::path::Path::new(&cfg.addr), e))?;
+        let inner = Arc::new(Inner {
+            db,
+            cfg: cfg.clone(),
+            admission: Admission::new(cfg.queue),
+            addr,
+            served: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        });
+
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                thread::spawn(move || {
+                    while let Some(conn) = inner.admission.pop() {
+                        handle_connection(&inner, conn);
+                    }
+                })
+            })
+            .collect();
+
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if inner.admission.stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    if let Err(mut refused) = inner.admission.try_push(stream) {
+                        if inner.admission.stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        inner.rejected.fetch_add(1, Ordering::Relaxed);
+                        let _ = refused
+                            .write_all(b"ERR overloaded: admission queue full, retry later\n");
+                        let _ = refused.flush();
+                    }
+                }
+            })
+        };
+
+        Ok(Server {
+            inner,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    pub fn stats(&self) -> ServerStats {
+        self.inner.stats()
+    }
+
+    /// Ask the server to stop; pair with [`Server::join`].
+    pub fn shutdown(&self) {
+        self.inner.shutdown();
+    }
+
+    /// Wait for the acceptor and all workers to exit.
+    pub fn join(mut self) -> ServerStats {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.inner.stats()
+    }
+}
+
+enum Outcome {
+    /// Keep the connection open.
+    Continue,
+    /// `QUIT` — close this connection.
+    Close,
+    /// `SHUTDOWN` — close and stop the server.
+    Shutdown,
+}
+
+fn handle_connection(inner: &Inner, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(inner.cfg.idle_timeout));
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        let request = line.trim();
+        if request.is_empty() {
+            continue;
+        }
+        inner.served.fetch_add(1, Ordering::Relaxed);
+        let outcome = respond(inner, request, &mut writer);
+        if writer.flush().is_err() {
+            return;
+        }
+        match outcome {
+            Outcome::Continue => {}
+            Outcome::Close => return,
+            Outcome::Shutdown => {
+                inner.shutdown();
+                return;
+            }
+        }
+    }
+}
+
+/// Answer one request line. Write errors surface at the caller's flush.
+fn respond(inner: &Inner, request: &str, w: &mut impl Write) -> Outcome {
+    match request {
+        "QUIT" => {
+            let _ = w.write_all(b"OK 0\n");
+            return Outcome::Close;
+        }
+        "SHUTDOWN" => {
+            let _ = w.write_all(b"OK 0\n");
+            return Outcome::Shutdown;
+        }
+        "PING" => {
+            let _ = w.write_all(b"OK 1\npong\n");
+            return Outcome::Continue;
+        }
+        "STATS" => {
+            let db = &inner.db;
+            let cache = db.cache_stats();
+            let stats = inner.stats();
+            let lines = [
+                format!("rows {}", db.rows()),
+                format!("blocks {}", db.blocks()),
+                format!("cache_hits {}", cache.hits),
+                format!("cache_misses {}", cache.misses),
+                format!("cache_evictions {}", cache.evictions),
+                format!("cache_hit_rate {:.4}", cache.hit_rate()),
+                format!("served {}", stats.served),
+                format!("rejected {}", stats.rejected),
+            ];
+            let _ = writeln!(w, "OK {}", lines.len());
+            for l in &lines {
+                let _ = writeln!(w, "{l}");
+            }
+            return Outcome::Continue;
+        }
+        _ => {}
+    }
+
+    let opts = QueryOptions {
+        deadline: Some(Instant::now() + inner.cfg.request_timeout),
+    };
+    match inner.db.query(request, &opts) {
+        Ok(result) => {
+            let _ = writeln!(w, "OK {}", result.lines.len());
+            for l in &result.lines {
+                let _ = writeln!(w, "{l}");
+            }
+        }
+        Err(e) => {
+            // The message is one line by construction (Display never
+            // embeds newlines), so the framing stays parseable.
+            let _ = writeln!(w, "ERR {}: {}", e.kind(), e);
+        }
+    }
+    Outcome::Continue
+}
+
+// ------------------------------------------------------------- client side
+
+/// One parsed response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    Ok(Vec<String>),
+    Err { kind: String, message: String },
+}
+
+/// Minimal blocking client used by the selftest, the CLI, and tests.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Send one request line and read the full response.
+    pub fn request(&mut self, line: &str) -> io::Result<Response> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Read a response without sending (for admission-time rejections).
+    pub fn read_response(&mut self) -> io::Result<Response> {
+        let mut head = String::new();
+        if self.reader.read_line(&mut head)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let head = head.trim_end();
+        if let Some(rest) = head.strip_prefix("OK ") {
+            let count: usize = rest.parse().map_err(|_| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad OK header: {head}"))
+            })?;
+            let mut lines = Vec::with_capacity(count);
+            for _ in 0..count {
+                let mut l = String::new();
+                if self.reader.read_line(&mut l)? == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "truncated response body",
+                    ));
+                }
+                lines.push(l.trim_end_matches('\n').to_string());
+            }
+            Ok(Response::Ok(lines))
+        } else if let Some(rest) = head.strip_prefix("ERR ") {
+            let (kind, message) = rest.split_once(": ").unwrap_or((rest, ""));
+            Ok(Response::Err {
+                kind: kind.to_string(),
+                message: message.to_string(),
+            })
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unparseable response header: {head}"),
+            ))
+        }
+    }
+}
+
+// --------------------------------------------------------------- selftest
+
+/// What `uc serve --selftest N` reports.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SelftestReport {
+    pub clients: usize,
+    pub requests: u64,
+    pub ok: u64,
+    pub overloaded_rejections: u64,
+    pub mismatches: u64,
+}
+
+/// Queries the selftest exercises — every action, some with predicates.
+pub const SELFTEST_QUERIES: &[&str] = &[
+    "count",
+    "count where multibit",
+    "group class",
+    "group blade",
+    "group hour",
+    "top 3 node",
+    "hist bits",
+    "list limit 5",
+    "count where dir=1to0 or dir=mixed",
+];
+
+/// Hammer a freshly started server with `clients` concurrent clients and
+/// assert every successful response matches the single-threaded engine.
+///
+/// The server is deliberately under-provisioned (2 workers, queue 2) so
+/// overload sheds some connections; shed requests retry with backoff and
+/// are counted, proving rejection is bounded and typed rather than a
+/// hang. Determinism of the concurrent path is the whole point: expected
+/// answers are precomputed with a thread limit of 1.
+pub fn selftest(db: Arc<FaultDb>, clients: usize) -> Result<SelftestReport, DbError> {
+    let expected: Vec<Vec<String>> = SELFTEST_QUERIES
+        .iter()
+        .map(|q| {
+            uc_parallel::with_thread_limit(1, || {
+                db.query(q, &QueryOptions::default()).map(|r| r.lines)
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let expected = Arc::new(expected);
+
+    let cfg = ServeConfig {
+        workers: 2,
+        queue: 2,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(db, &cfg)?;
+    let addr = server.local_addr();
+
+    let per_client = SELFTEST_QUERIES.len();
+    let tallies: Vec<JoinHandle<(u64, u64, u64, u64)>> = (0..clients.max(1))
+        .map(|c| {
+            let expected = Arc::clone(&expected);
+            thread::spawn(move || {
+                let (mut requests, mut ok, mut rejected, mut mismatches) = (0u64, 0u64, 0u64, 0u64);
+                for i in 0..per_client {
+                    let qi = (c + i) % SELFTEST_QUERIES.len();
+                    let query = SELFTEST_QUERIES[qi];
+                    // Bounded retry: overload answers arrive immediately,
+                    // so a short backoff clears the burst.
+                    let mut answered = false;
+                    for attempt in 0..50 {
+                        let Ok(mut client) = Client::connect(addr) else {
+                            thread::sleep(Duration::from_millis(2));
+                            continue;
+                        };
+                        requests += 1;
+                        match client.request(query) {
+                            Ok(Response::Ok(lines)) => {
+                                ok += 1;
+                                if lines != expected[qi] {
+                                    mismatches += 1;
+                                }
+                                answered = true;
+                            }
+                            Ok(Response::Err { kind, .. }) if kind == "overloaded" => {
+                                rejected += 1;
+                                thread::sleep(Duration::from_millis(1 + attempt as u64));
+                                continue;
+                            }
+                            Ok(Response::Err { .. }) => {
+                                mismatches += 1;
+                                answered = true;
+                            }
+                            Err(_) => {
+                                thread::sleep(Duration::from_millis(2));
+                                continue;
+                            }
+                        }
+                        break;
+                    }
+                    if !answered {
+                        mismatches += 1;
+                    }
+                }
+                (requests, ok, rejected, mismatches)
+            })
+        })
+        .collect();
+
+    let mut report = SelftestReport {
+        clients: clients.max(1),
+        ..SelftestReport::default()
+    };
+    for t in tallies {
+        let (requests, ok, rejected, mismatches) = t.join().unwrap_or((0, 0, 0, 1));
+        report.requests += requests;
+        report.ok += ok;
+        report.overloaded_rejections += rejected;
+        report.mismatches += mismatches;
+    }
+
+    server.shutdown();
+    server.join();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{write_db, WriteOptions};
+    use crate::snapshot::Snapshot;
+    use std::path::PathBuf;
+    use uc_analysis::fault::Fault;
+    use uc_cluster::NodeId;
+    use uc_simclock::SimTime;
+
+    fn test_db(tag: &str, n: usize) -> Arc<FaultDb> {
+        let dir = std::env::temp_dir().join(format!("uc-faultdb-srv-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path: PathBuf = dir.join("t.fdb");
+        let faults: Vec<Fault> = (0..n)
+            .map(|i| Fault {
+                node: NodeId((i % 45) as u32),
+                time: SimTime::from_secs(i as i64 * 700),
+                vaddr: 0x2000 + i as u64,
+                expected: 0xFFFF_FFFF,
+                actual: 0xFFFF_FFFE,
+                temp: None,
+                raw_logs: 1,
+            })
+            .collect();
+        let snap = Snapshot {
+            faults,
+            flood_nodes: vec![],
+            stats: Default::default(),
+            node_logs: 1,
+            raw_records: n as u64,
+            raw_errors: n as u64,
+            day_volume: Default::default(),
+        };
+        write_db(&snap, &path, &WriteOptions { rows_per_block: 64 }).unwrap();
+        Arc::new(FaultDb::open(&path).unwrap())
+    }
+
+    #[test]
+    fn protocol_ping_query_stats_quit() {
+        let server = Server::start(test_db("proto", 300), &ServeConfig::default()).unwrap();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        assert_eq!(
+            c.request("PING").unwrap(),
+            Response::Ok(vec!["pong".to_string()])
+        );
+        assert_eq!(
+            c.request("count").unwrap(),
+            Response::Ok(vec!["300".to_string()])
+        );
+        match c.request("definitely not a query").unwrap() {
+            Response::Err { kind, .. } => assert_eq!(kind, "parse"),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        match c.request("STATS").unwrap() {
+            Response::Ok(lines) => {
+                assert!(lines.iter().any(|l| l == "rows 300"), "{lines:?}");
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        assert_eq!(c.request("QUIT").unwrap(), Response::Ok(vec![]));
+        server.shutdown();
+        let stats = server.join();
+        assert!(stats.served >= 5);
+    }
+
+    #[test]
+    fn shutdown_command_stops_the_server() {
+        let server = Server::start(test_db("shutdown", 50), &ServeConfig::default()).unwrap();
+        let addr = server.local_addr();
+        let mut c = Client::connect(addr).unwrap();
+        assert_eq!(c.request("SHUTDOWN").unwrap(), Response::Ok(vec![]));
+        server.join(); // must return, not hang
+                       // New connections are now refused or answered with nothing.
+        assert!(
+            Client::connect(addr).is_err() || {
+                let mut c2 = Client::connect(addr).unwrap();
+                c2.request("PING").is_err()
+            }
+        );
+    }
+
+    #[test]
+    fn overload_is_rejected_typed_not_hung() {
+        // One worker, one queue slot; a connection parked in the worker
+        // plus one queued means the third is shed immediately.
+        let cfg = ServeConfig {
+            workers: 1,
+            queue: 1,
+            // Short idle timeout so the parked connection frees its
+            // worker quickly once the assertions are done.
+            idle_timeout: Duration::from_millis(300),
+            ..ServeConfig::default()
+        };
+        let server = Server::start(test_db("overload", 50), &cfg).unwrap();
+        let addr = server.local_addr();
+        // Occupy the only worker with an idle-but-open connection.
+        let parked = Client::connect(addr).unwrap();
+        thread::sleep(Duration::from_millis(50));
+        // Fill the queue slot.
+        let _queued = Client::connect(addr).unwrap();
+        thread::sleep(Duration::from_millis(50));
+        // This one must be rejected with a typed error, quickly.
+        let mut shed = Client::connect(addr).unwrap();
+        match shed.read_response() {
+            Ok(Response::Err { kind, .. }) => assert_eq!(kind, "overloaded"),
+            other => panic!("expected overloaded rejection, got {other:?}"),
+        }
+        drop(parked);
+        assert!(server.stats().rejected >= 1);
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn selftest_small_fleet_matches_single_threaded() {
+        let report = selftest(test_db("selftest", 400), 4).unwrap();
+        assert_eq!(report.mismatches, 0, "{report:?}");
+        assert_eq!(report.ok, 4 * SELFTEST_QUERIES.len() as u64);
+    }
+}

@@ -1,0 +1,170 @@
+//! The unit a fault database stores: extracted faults plus the
+//! provenance needed to reproduce `uc analyze`'s report *byte for byte*
+//! without the text logs.
+//!
+//! `uc analyze` prints more than the fault list — ingest accounting,
+//! flood exclusions, and a Pearson correlation against per-day scanned
+//! volume reconstructed from START/END records. None of that is
+//! derivable from the faults alone, so a [`Snapshot`] carries it
+//! alongside, and both analyze paths (text re-ingest and `--db`) render
+//! through the same [`Snapshot::report_text`]. Equality of the two paths
+//! then reduces to lossless round-tripping of this struct, which the
+//! binary format guarantees (f64 day volumes travel as raw bits).
+
+use std::fmt::Write as _;
+
+use uc_analysis::daily::{DailySeries, DayVolume};
+use uc_analysis::extract::{extract_recovered, ExtractConfig};
+use uc_analysis::fault::Fault;
+use uc_analysis::multibit::{multibit_stats, table_i};
+use uc_analysis::spatial::top_nodes;
+use uc_cluster::NodeId;
+use uc_faultlog::ingest::IngestStats;
+use uc_faultlog::store::ClusterLog;
+
+/// The flood filter share `uc analyze` has always used: a node producing
+/// more than half of all raw error logs is excluded as a flood.
+pub const FLOOD_SHARE: f64 = 0.5;
+
+/// Extraction output plus report provenance; see the module docs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Snapshot {
+    /// Independent faults, sorted by the fully discriminating
+    /// `fault_sort_key` (extraction's output order).
+    pub faults: Vec<Fault>,
+    /// Nodes excluded by the flood filter, ascending by id.
+    pub flood_nodes: Vec<NodeId>,
+    /// Ingest accounting for the source logs.
+    pub stats: IngestStats,
+    /// Number of node logs loaded.
+    pub node_logs: u64,
+    /// Raw records across all logs (runs at full multiplicity).
+    pub raw_records: u64,
+    /// Raw ERROR records across all logs.
+    pub raw_errors: u64,
+    /// Per-day scanned volume (TBh) over the logs' full range.
+    pub day_volume: DayVolume,
+}
+
+impl Snapshot {
+    /// Run the standard extraction (default merge window, 50% flood
+    /// share) over an ingested cluster log and capture the provenance.
+    pub fn from_cluster(cluster: &ClusterLog, stats: IngestStats) -> Snapshot {
+        let recovered = extract_recovered(cluster, stats, &ExtractConfig::default(), FLOOD_SHARE);
+        let mut day_volume = DayVolume::default();
+        for log in cluster.node_logs() {
+            day_volume.add_node_log(log);
+        }
+        Snapshot {
+            faults: recovered.faults,
+            flood_nodes: recovered.flood_nodes,
+            stats: recovered.stats,
+            node_logs: cluster.node_logs().len() as u64,
+            raw_records: cluster.raw_record_count(),
+            raw_errors: cluster.raw_error_count(),
+            day_volume,
+        }
+    }
+
+    /// The `uc analyze` stdout report. Every line derives from this
+    /// struct alone, so a snapshot read back from a database renders the
+    /// identical bytes as one computed from the raw logs.
+    pub fn report_text(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        let _ = writeln!(
+            out,
+            "loaded {} node logs, {} raw records ({} raw errors)",
+            self.node_logs, self.raw_records, self.raw_errors
+        );
+        if !self.flood_nodes.is_empty() {
+            let _ = writeln!(
+                out,
+                "excluded flood node(s): {:?}",
+                self.flood_nodes
+                    .iter()
+                    .map(|n| n.to_string())
+                    .collect::<Vec<_>>()
+            );
+        }
+        let _ = writeln!(out, "independent faults: {}", self.faults.len());
+
+        let mb = multibit_stats(&self.faults);
+        let _ = writeln!(
+            out,
+            "multi-bit: {} (double {}, >2-bit {}), max in-word gap {}",
+            mb.multi_bit_faults, mb.double_bit_faults, mb.over_two_bit_faults, mb.max_bit_distance
+        );
+        let _ = writeln!(out, "top nodes by fault count:");
+        for (node, count) in top_nodes(&self.faults, 5) {
+            let _ = writeln!(out, "  {node}  {count}");
+        }
+        let _ = writeln!(
+            out,
+            "multi-bit corruption table rows: {}",
+            table_i(&self.faults).len()
+        );
+
+        // Daily window spanning the faults, volume copied from provenance.
+        let first_day = self.faults.first().map(|f| f.time.day_index()).unwrap_or(0);
+        let days = self
+            .faults
+            .last()
+            .map(|f| (f.time.day_index() - first_day + 1) as usize)
+            .unwrap_or(1);
+        let mut daily = DailySeries::new(first_day, days.max(1));
+        daily.add_day_volume(&self.day_volume);
+        daily.add_faults(&self.faults);
+        let p = daily.scan_error_correlation();
+        let _ = writeln!(
+            out,
+            "scan-volume vs daily-error Pearson: r = {:.4}, p = {:.4} over {} days",
+            p.r, p.p_value, p.n
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uc_faultlog::ingest::recover_text;
+
+    fn error_line(node: &str, t: i64, vaddr: u64, actual: u32) -> String {
+        format!(
+            "ERROR t={t} node={node} vaddr=0x{vaddr:08x} page=0x{page:06x} \
+             expected=0xffffffff actual=0x{actual:08x} temp=35.0",
+            page = vaddr >> 12
+        )
+    }
+
+    pub(crate) fn small_cluster() -> (ClusterLog, IngestStats) {
+        let mut stats = IngestStats::default();
+        let mut logs = Vec::new();
+        for (i, name) in ["01-01", "01-02", "02-01"].iter().enumerate() {
+            let mut text = format!("START t=0 node={name} alloc=3221225472 temp=30.0\n");
+            for k in 0..20 {
+                let t = 100 + 1000 * k + i as i64;
+                text.push_str(&error_line(name, t, 0x100 * (k as u64 + 1), 0xffff_fffe));
+                text.push('\n');
+            }
+            text.push_str(&format!("END t=90000 node={name} temp=31.0\n"));
+            let rec = recover_text(&text);
+            assert!(rec.stats.is_conserved());
+            stats.merge(&rec.stats);
+            logs.push(rec.log);
+        }
+        (ClusterLog::new(logs), stats)
+    }
+
+    #[test]
+    fn report_has_every_section_and_is_deterministic() {
+        let (cluster, stats) = small_cluster();
+        let snap = Snapshot::from_cluster(&cluster, stats);
+        let text = snap.report_text();
+        assert!(text.starts_with("loaded 3 node logs"));
+        assert!(text.contains("independent faults:"));
+        assert!(text.contains("multi-bit:"));
+        assert!(text.contains("Pearson"));
+        assert_eq!(text, Snapshot::from_cluster(&cluster, stats).report_text());
+    }
+}

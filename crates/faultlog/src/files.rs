@@ -32,7 +32,11 @@ pub fn node_of_file_name(name: &str) -> Option<NodeId> {
 /// file or none — never a torn one masquerading as a complete log. The
 /// `.tmp` name does not match the node-log convention, so readers skip
 /// any leftover from a crash.
-fn write_lines_atomic<T>(
+///
+/// Public because every report-shaped artifact (campaign `report.txt`,
+/// CSV series) must follow the same discipline as the logs they sit next
+/// to: a torn half-report is worse than none.
+pub fn write_lines_atomic<T>(
     dir: &Path,
     name: &str,
     items: impl Iterator<Item = T>,
@@ -57,6 +61,22 @@ fn write_lines_atomic<T>(
         w.into_inner()
             .map_err(|e| io::Error::other(e.to_string()))?
             .sync_all()
+    };
+    write_all().map_err(|e| IngestError::io(&tmp, e))?;
+    fs::rename(&tmp, &path).map_err(|e| IngestError::io(&path, e))?;
+    Ok(path)
+}
+
+/// Write an already-rendered text blob to `<dir>/<name>` atomically
+/// (tmp + fsync + rename), same contract as [`write_lines_atomic`].
+pub fn write_text_atomic(dir: &Path, name: &str, text: &str) -> Result<PathBuf, IngestError> {
+    fs::create_dir_all(dir).map_err(|e| IngestError::io(dir, e))?;
+    let path = dir.join(name);
+    let tmp = dir.join(format!("{name}.tmp"));
+    let write_all = || -> io::Result<()> {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(text.as_bytes())?;
+        f.sync_all()
     };
     write_all().map_err(|e| IngestError::io(&tmp, e))?;
     fs::rename(&tmp, &path).map_err(|e| IngestError::io(&path, e))?;

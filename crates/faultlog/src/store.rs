@@ -300,8 +300,17 @@ impl ClusterLog {
     }
 
     /// Merged, time-ordered stream over all nodes (k-way heap merge).
-    /// Ties break by node id, then by arrival order, so the merge is total
-    /// and deterministic.
+    ///
+    /// Ordering contract (tested by `tests/merged_order.rs`): records are
+    /// emitted sorted by `(time, node id, source log index)`; within one
+    /// source log, same-instant records keep their arrival order. For
+    /// per-source streams that are themselves time-sorted this is exactly
+    /// a stable sort of the concatenated logs by `(time, node id)` — total
+    /// and deterministic, so every consumer (extraction, faultdb build)
+    /// sees the same byte stream on every run. When a compressed
+    /// [`LogEntry::ErrorRun`] overlaps later entries the per-source stream
+    /// is only start-time-ordered, and `merged` accordingly guarantees
+    /// start-time order only (see [`NodeLog::push`]).
     pub fn merged(&self) -> MergedIter<'_> {
         let mut heap = BinaryHeap::with_capacity(self.logs.len());
         let mut iters: Vec<Box<dyn Iterator<Item = LogRecord> + '_>> = self

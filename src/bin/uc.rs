@@ -17,28 +17,38 @@
 //!   keep the longest valid prefix of each torn file, move damaged tails
 //!   to `<dir>/.lost+found`, rebuild the manifest, and print accounting
 //!   under the conservation law `bytes_in == salvaged + quarantined`;
-//! - `uc analyze <dir> [--threads N]` — load a log directory (plain and
-//!   durable files alike; fsck salvage history is folded into the ingest
-//!   accounting), run the extraction methodology and print the analyses
-//!   that derive from logs alone. `--threads` caps the analysis worker
-//!   pool (equivalent to the `UC_THREADS` environment variable; output is
-//!   byte-identical at any setting, see DESIGN.md §6);
+//! - `uc analyze <dir> [--threads N]` / `uc analyze --db <file>` — run
+//!   the extraction methodology and print the log-derivable analyses.
+//!   With `--db` the report comes from a sealed fault database instead of
+//!   re-ingesting text logs; stdout is byte-identical between the two
+//!   paths (both render through `faultdb::Snapshot::report_text`);
+//! - `uc build-db <logdir> <db>` — ingest a log directory (with
+//!   recovery) and seal it as a columnar fault database;
+//! - `uc query <db> <expr...>` — run one query (`count`, `list`, `top`,
+//!   `group`, `hist bits`, each with an optional `where` predicate; see
+//!   DESIGN.md §8 for the grammar) and print the result lines;
+//! - `uc serve <db> [--addr host:port] [--workers N] [--queue N]` — serve
+//!   the database over a line-protocol TCP socket with bounded admission
+//!   (overload is a typed `ERR overloaded` rejection, never a hang);
+//!   `--selftest N` instead hammers a fresh in-process server with N
+//!   concurrent clients and verifies every response against the
+//!   single-threaded engine;
 //! - `uc scan [--mb N] [--iters N]` — scan real host memory (memtester
 //!   mode; see also the `memscan_host` example for fault injection);
 //! - `uc report [--seed N] [--blades N] [--csv <dir>]` — run a campaign in memory and
 //!   print every figure and table.
 //!
-//! Argument handling is deliberately bare: flags are `--key value` pairs.
+//! Argument handling is deliberately bare: flags are `--key value` pairs,
+//! validated per subcommand. Unknown subcommands or flags print usage to
+//! stderr and exit 2; runtime failures exit 1.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
-use uc_analysis::daily::DailySeries;
-use uc_analysis::extract::{extract_recovered, ExtractConfig};
-use uc_analysis::fault::Fault;
-use uc_analysis::multibit::{multibit_stats, table_i};
-use uc_analysis::spatial::top_nodes;
-use uc_faultlog::files::{write_cluster_log, write_cluster_log_compact};
+use uc_faultdb::{FaultDb, QueryOptions, ServeConfig, WriteOptions};
+use uc_faultlog::files::{write_cluster_log, write_cluster_log_compact, write_text_atomic};
 use uc_memscan::host::{run_host_scan, run_host_scan_parallel};
 use uc_memscan::Pattern;
 use unprotected_core::{checkpoint, render, run_campaign, CampaignConfig, Report};
@@ -64,6 +74,31 @@ impl Args {
         Args { positional, flags }
     }
 
+    /// Reject flags outside `allowed` and positional counts outside
+    /// `min_pos..=max_pos` — every subcommand's first line of defense.
+    fn validate(
+        &self,
+        cmd: &str,
+        allowed: &[&str],
+        min_pos: usize,
+        max_pos: usize,
+    ) -> Result<(), String> {
+        for (k, _) in &self.flags {
+            if !allowed.contains(&k.as_str()) {
+                return Err(format!("unknown flag --{k} for `uc {cmd}`"));
+            }
+        }
+        let n = self.positional.len();
+        if n < min_pos || n > max_pos {
+            return Err(match (min_pos, max_pos) {
+                (a, b) if a == b => format!("`uc {cmd}` takes {a} positional argument(s), got {n}"),
+                (a, _) if n < a => format!("`uc {cmd}` needs at least {a} positional argument(s)"),
+                (_, b) => format!("`uc {cmd}` takes at most {b} positional argument(s), got {n}"),
+            });
+        }
+        Ok(())
+    }
+
     fn get(&self, key: &str) -> Option<&str> {
         self.flags
             .iter()
@@ -71,39 +106,70 @@ impl Args {
             .map(|(_, v)| v.as_str())
     }
 
-    fn get_u64(&self, key: &str, default: u64) -> u64 {
-        self.get(key)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
+    fn has(&self, key: &str) -> bool {
+        self.flags.iter().any(|(k, _)| k == key)
+    }
+
+    /// Parse a numeric flag strictly: present-but-garbage is a usage
+    /// error, not a silent default.
+    fn get_u64_strict(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} requires a non-negative integer, got {v:?}")),
+        }
     }
 }
 
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage:\n  uc campaign --out <dir> [--seed N] [--blades N] [--compact x] [--resume x] [--durable x]\n  \
-         uc fsck <dir>\n  \
-         uc analyze <dir> [--threads N]\n  uc scan [--mb N] [--iters N] [--pattern alternating|incrementing|checkerboard] [--parallel x]\n  \
-         uc report [--seed N] [--blades N] [--csv <dir>] [--threads N]"
-    );
-    ExitCode::FAILURE
+const USAGE: &str = "usage:\n  \
+     uc campaign --out <dir> [--seed N] [--blades N] [--compact x] [--resume x] [--durable x]\n  \
+     uc fsck <dir>\n  \
+     uc analyze <dir> [--threads N]\n  \
+     uc analyze --db <file> [--threads N]\n  \
+     uc build-db <logdir> <db> [--rows-per-block N]\n  \
+     uc query <db> <expr...> [--timeout-ms N]\n  \
+     uc serve <db> [--addr host:port] [--workers N] [--queue N] [--timeout-ms N] [--selftest N]\n  \
+     uc scan [--mb N] [--iters N] [--pattern alternating|incrementing|checkerboard] [--parallel x]\n  \
+     uc report [--seed N] [--blades N] [--csv <dir>] [--threads N]\n  \
+     uc --version";
+
+/// Usage errors (unknown subcommand, bad flag) exit 2 so scripts can
+/// tell "you called me wrong" from "the work failed" (exit 1).
+fn bad_usage(msg: &str) -> ExitCode {
+    eprintln!("uc: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
 }
 
-fn config_for(args: &Args) -> CampaignConfig {
-    let seed = args.get_u64("seed", 42);
-    match args.get_u64("blades", 0) {
+fn config_for(args: &Args) -> Result<CampaignConfig, String> {
+    let seed = args.get_u64_strict("seed", 42)?;
+    Ok(match args.get_u64_strict("blades", 0)? {
         0 => CampaignConfig::paper_default(seed),
         b => CampaignConfig::small(seed, b.clamp(6, 63) as u32),
-    }
+    })
 }
 
 fn cmd_campaign(args: &Args) -> ExitCode {
+    if let Err(e) = args.validate(
+        "campaign",
+        &[
+            "out", "seed", "blades", "compact", "resume", "durable", "threads",
+        ],
+        0,
+        0,
+    ) {
+        return bad_usage(&e);
+    }
     let Some(out) = args.get("out") else {
-        eprintln!("campaign requires --out <dir>");
-        return ExitCode::FAILURE;
+        return bad_usage("campaign requires --out <dir>");
     };
-    let cfg = config_for(args);
+    let cfg = match config_for(args) {
+        Ok(c) => c,
+        Err(e) => return bad_usage(&e),
+    };
     let dir = PathBuf::from(out);
-    let resume = args.flags.iter().any(|(k, _)| k == "resume");
+    let resume = args.has("resume");
     let ckpt_dir = dir.join(".checkpoints");
     if !resume {
         // Stale checkpoints from an earlier run (possibly another seed)
@@ -126,8 +192,8 @@ fn cmd_campaign(args: &Args) -> ExitCode {
         }
         eprintln!("campaign is DEGRADED: output covers the surviving nodes only");
     }
-    let compact = args.flags.iter().any(|(k, _)| k == "compact");
-    let durable = args.flags.iter().any(|(k, _)| k == "durable");
+    let compact = args.has("compact");
+    let durable = args.has("durable");
     if durable {
         let cluster = result.cluster_log();
         let out = if compact {
@@ -166,106 +232,273 @@ fn cmd_campaign(args: &Args) -> ExitCode {
         }
     }
     let report = Report::build(&result);
-    let report_path = dir.join("report.txt");
-    if let Err(e) = std::fs::write(&report_path, render::full_report(&report)) {
-        eprintln!("failed to write report: {e}");
-        return ExitCode::FAILURE;
+    // Atomic (tmp + fsync + rename): a crash mid-write must never leave a
+    // half-rendered report.txt next to intact logs.
+    match write_text_atomic(&dir, "report.txt", &render::full_report(&report)) {
+        Ok(path) => eprintln!("report at {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write report: {e}");
+            return ExitCode::FAILURE;
+        }
     }
-    eprintln!("report at {}", report_path.display());
     println!("{}", render::headline(&report));
     ExitCode::SUCCESS
 }
 
 fn cmd_analyze(args: &Args) -> ExitCode {
-    let Some(dir) = args.positional.first() else {
-        eprintln!("analyze requires a log directory");
-        return ExitCode::FAILURE;
-    };
-    // Recovering, parallel load: `read_cluster_log_recovering` lossy-parses
-    // each node-log file on its own worker (the full-scale campaign writes
-    // ~36M lines / several GB of text) and merges the per-file ingest
-    // accounting deterministically.
-    let dir_path = PathBuf::from(dir);
-    let t0 = std::time::Instant::now();
-    let (cluster, stats) = match uc_faultlog::ingest::read_cluster_log_recovering(&dir_path) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("analyze: {e}");
-            return ExitCode::FAILURE;
+    if let Err(e) = args.validate("analyze", &["threads", "db"], 0, 1) {
+        return bad_usage(&e);
+    }
+    let snapshot = if let Some(db_path) = args.get("db") {
+        if !args.positional.is_empty() {
+            return bad_usage("analyze takes either a log directory or --db <file>, not both");
         }
-    };
-    let file_count = cluster.node_logs().len() + stats.files_unreadable as usize;
-    eprintln!(
-        "parsed {} files in {:?} ({} worker threads)",
-        file_count,
-        t0.elapsed(),
-        uc_parallel::worker_count(file_count)
-    );
-    eprintln!("{}", stats.summary());
-    println!(
-        "loaded {} node logs, {} raw records ({} raw errors)",
-        cluster.node_logs().len(),
-        cluster.raw_record_count(),
-        cluster.raw_error_count()
-    );
-
-    // Extraction, flood filter, and the log-derivable analyses.
-    let recovered = extract_recovered(&cluster, stats, &ExtractConfig::default(), 0.5);
-    let faults: Vec<Fault> = recovered.faults;
-    if !recovered.flood_nodes.is_empty() {
-        println!(
-            "excluded flood node(s): {:?}",
-            recovered
-                .flood_nodes
-                .iter()
-                .map(|n| n.to_string())
-                .collect::<Vec<_>>()
+        let t0 = std::time::Instant::now();
+        let db = match FaultDb::open(&PathBuf::from(db_path)) {
+            Ok(db) => db,
+            Err(e) => {
+                eprintln!("analyze: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let snap = match db.snapshot() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("analyze: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!(
+            "opened {db_path}: {} faults in {} blocks, decoded in {:?}",
+            db.rows(),
+            db.blocks(),
+            t0.elapsed()
         );
-    }
-    println!("independent faults: {}", faults.len());
-
-    let stats = multibit_stats(&faults);
-    println!(
-        "multi-bit: {} (double {}, >2-bit {}), max in-word gap {}",
-        stats.multi_bit_faults,
-        stats.double_bit_faults,
-        stats.over_two_bit_faults,
-        stats.max_bit_distance
-    );
-    println!("top nodes by fault count:");
-    for (node, count) in top_nodes(&faults, 5) {
-        println!("  {node}  {count}");
-    }
-    println!(
-        "multi-bit corruption table rows: {}",
-        table_i(&faults).len()
-    );
-
-    // Daily volume from the logs alone (START/END reconstruction).
-    let first_day = faults.first().map(|f| f.time.day_index()).unwrap_or(0);
-    let days = faults
-        .last()
-        .map(|f| (f.time.day_index() - first_day + 1) as usize)
-        .unwrap_or(1);
-    let mut daily = DailySeries::new(first_day, days.max(1));
-    for log in cluster.node_logs() {
-        daily.add_node_log(log);
-    }
-    daily.add_faults(&faults);
-    let p = daily.scan_error_correlation();
-    println!(
-        "scan-volume vs daily-error Pearson: r = {:.4}, p = {:.4} over {} days",
-        p.r, p.p_value, p.n
-    );
+        snap
+    } else {
+        let Some(dir) = args.positional.first() else {
+            return bad_usage("analyze requires a log directory (or --db <file>)");
+        };
+        // Recovering, parallel load: `read_cluster_log_recovering` lossy-parses
+        // each node-log file on its own worker (the full-scale campaign writes
+        // ~36M lines / several GB of text) and merges the per-file ingest
+        // accounting deterministically.
+        let dir_path = PathBuf::from(dir);
+        let t0 = std::time::Instant::now();
+        let (cluster, stats) = match uc_faultlog::ingest::read_cluster_log_recovering(&dir_path) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("analyze: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let file_count = cluster.node_logs().len() + stats.files_unreadable as usize;
+        eprintln!(
+            "parsed {} files in {:?} ({} worker threads)",
+            file_count,
+            t0.elapsed(),
+            uc_parallel::worker_count(file_count)
+        );
+        eprintln!("{}", stats.summary());
+        uc_faultdb::Snapshot::from_cluster(&cluster, stats)
+    };
+    // Both paths print the identical bytes: the report derives from the
+    // snapshot alone (see faultdb::Snapshot), which is what makes `--db`
+    // a drop-in replacement for re-ingesting the text logs.
+    print!("{}", snapshot.report_text());
     ExitCode::SUCCESS
 }
 
-fn cmd_fsck(args: &Args) -> ExitCode {
-    let Some(dir) = args.positional.first() else {
-        eprintln!("fsck requires a directory");
-        return ExitCode::FAILURE;
+fn cmd_build_db(args: &Args) -> ExitCode {
+    if let Err(e) = args.validate("build-db", &["rows-per-block", "threads"], 2, 2) {
+        return bad_usage(&e);
+    }
+    let rows_per_block = match args.get_u64_strict("rows-per-block", 0) {
+        Ok(0) => WriteOptions::default().rows_per_block,
+        Ok(n) => n as usize,
+        Err(e) => return bad_usage(&e),
     };
-    let dir = PathBuf::from(dir);
+    let logdir = PathBuf::from(&args.positional[0]);
+    let out = PathBuf::from(&args.positional[1]);
+    let t0 = std::time::Instant::now();
+    match uc_faultdb::build_db(&logdir, &out, &WriteOptions { rows_per_block }) {
+        Ok(summary) => {
+            println!(
+                "built {}: {} faults in {} blocks, {} bytes",
+                summary.path.display(),
+                summary.rows,
+                summary.blocks,
+                summary.bytes
+            );
+            eprintln!("ingest + extract + seal took {:?}", t0.elapsed());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("build-db: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_query(args: &Args) -> ExitCode {
+    if let Err(e) = args.validate("query", &["timeout-ms", "threads"], 2, usize::MAX) {
+        return bad_usage(&e);
+    }
+    let timeout_ms = match args.get_u64_strict("timeout-ms", 0) {
+        Ok(n) => n,
+        Err(e) => return bad_usage(&e),
+    };
+    let db_path = PathBuf::from(&args.positional[0]);
+    let expr = args.positional[1..].join(" ");
+    let db = match FaultDb::open(&db_path) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("query: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let opts = QueryOptions {
+        deadline: (timeout_ms > 0)
+            .then(|| std::time::Instant::now() + Duration::from_millis(timeout_ms)),
+    };
+    let t0 = std::time::Instant::now();
+    match db.query(&expr, &opts) {
+        Ok(result) => {
+            for line in &result.lines {
+                println!("{line}");
+            }
+            eprintln!(
+                "matched {} rows; scanned {}/{} blocks ({} rows) in {:?}",
+                result.matched,
+                result.blocks_scanned,
+                result.blocks_total,
+                result.rows_scanned,
+                t0.elapsed()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("query: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_serve(args: &Args) -> ExitCode {
+    if let Err(e) = args.validate(
+        "serve",
+        &[
+            "addr",
+            "workers",
+            "queue",
+            "timeout-ms",
+            "selftest",
+            "threads",
+        ],
+        1,
+        1,
+    ) {
+        return bad_usage(&e);
+    }
+    let workers = match args.get_u64_strict("workers", 4) {
+        Ok(n) if n >= 1 => n as usize,
+        Ok(_) => return bad_usage("--workers must be at least 1"),
+        Err(e) => return bad_usage(&e),
+    };
+    let queue = match args.get_u64_strict("queue", 16) {
+        Ok(n) if n >= 1 => n as usize,
+        Ok(_) => return bad_usage("--queue must be at least 1"),
+        Err(e) => return bad_usage(&e),
+    };
+    let timeout_ms = match args.get_u64_strict("timeout-ms", 5_000) {
+        Ok(n) => n,
+        Err(e) => return bad_usage(&e),
+    };
+    let selftest = match args.get_u64_strict("selftest", 0) {
+        Ok(n) => n,
+        Err(e) => return bad_usage(&e),
+    };
+    if args.has("selftest") && selftest == 0 {
+        return bad_usage("--selftest requires a positive client count");
+    }
+
+    let db_path = PathBuf::from(&args.positional[0]);
+    let db = match FaultDb::open(&db_path) {
+        Ok(db) => Arc::new(db),
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if selftest > 0 {
+        match uc_faultdb::selftest(Arc::clone(&db), selftest as usize) {
+            Ok(report) => {
+                println!(
+                    "selftest: {} clients, {} requests, {} ok, {} overloaded rejections, {} mismatches",
+                    report.clients,
+                    report.requests,
+                    report.ok,
+                    report.overloaded_rejections,
+                    report.mismatches
+                );
+                let cache = db.cache_stats();
+                eprintln!(
+                    "cache: {} hits, {} misses, {} evictions ({:.1}% hit rate)",
+                    cache.hits,
+                    cache.misses,
+                    cache.evictions,
+                    100.0 * cache.hit_rate()
+                );
+                if report.mismatches == 0 {
+                    ExitCode::SUCCESS
+                } else {
+                    eprintln!("selftest FAILED: concurrent responses diverged from the single-threaded engine");
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("selftest: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        let cfg = ServeConfig {
+            addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
+            workers,
+            queue,
+            request_timeout: Duration::from_millis(timeout_ms.max(1)),
+            ..ServeConfig::default()
+        };
+        match uc_faultdb::Server::start(db, &cfg) {
+            Ok(server) => {
+                eprintln!(
+                    "serving {} on {} ({} workers, queue {}); send SHUTDOWN to stop",
+                    db_path.display(),
+                    server.local_addr(),
+                    cfg.workers,
+                    cfg.queue
+                );
+                let stats = server.join();
+                eprintln!(
+                    "served {} requests, rejected {} overloaded connections",
+                    stats.served, stats.rejected
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("serve: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    }
+}
+
+fn cmd_fsck(args: &Args) -> ExitCode {
+    if let Err(e) = args.validate("fsck", &["threads"], 1, 1) {
+        return bad_usage(&e);
+    }
+    let dir = PathBuf::from(&args.positional[0]);
     let mut targets = vec![dir.clone()];
     let ckpt_dir = dir.join(".checkpoints");
     if ckpt_dir.is_dir() {
@@ -294,15 +527,33 @@ fn cmd_fsck(args: &Args) -> ExitCode {
 }
 
 fn cmd_scan(args: &Args) -> ExitCode {
-    let mb = args.get_u64("mb", 256);
-    let iters = args.get_u64("iters", 4);
+    if let Err(e) = args.validate(
+        "scan",
+        &["mb", "iters", "pattern", "parallel", "threads"],
+        0,
+        0,
+    ) {
+        return bad_usage(&e);
+    }
+    let mb = match args.get_u64_strict("mb", 256) {
+        Ok(n) => n,
+        Err(e) => return bad_usage(&e),
+    };
+    let iters = match args.get_u64_strict("iters", 4) {
+        Ok(n) => n,
+        Err(e) => return bad_usage(&e),
+    };
     let pattern = match args.get("pattern") {
         Some("incrementing") => Pattern::incrementing(),
         Some("checkerboard") => Pattern::Checkerboard,
-        _ => Pattern::Alternating,
+        Some("alternating") | None => Pattern::Alternating,
+        Some(other) => {
+            return bad_usage(&format!(
+                "--pattern must be alternating|incrementing|checkerboard, got {other:?}"
+            ))
+        }
     };
-    let parallel =
-        args.get("parallel").is_some() || args.flags.iter().any(|(k, _)| k == "parallel");
+    let parallel = args.has("parallel");
     println!(
         "scanning {mb} MB of host memory, {iters} passes, {} pattern{}...",
         pattern.tag(),
@@ -338,7 +589,13 @@ fn cmd_scan(args: &Args) -> ExitCode {
 }
 
 fn cmd_report(args: &Args) -> ExitCode {
-    let cfg = config_for(args);
+    if let Err(e) = args.validate("report", &["seed", "blades", "csv", "threads"], 0, 0) {
+        return bad_usage(&e);
+    }
+    let cfg = match config_for(args) {
+        Ok(c) => c,
+        Err(e) => return bad_usage(&e),
+    };
     let result = run_campaign(&cfg);
     let report = Report::build(&result);
     if let Some(dir) = args.get("csv") {
@@ -357,8 +614,12 @@ fn cmd_report(args: &Args) -> ExitCode {
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = raw.split_first() else {
-        return usage();
+        return bad_usage("missing subcommand");
     };
+    if cmd == "--version" {
+        println!("uc {}", env!("CARGO_PKG_VERSION"));
+        return ExitCode::SUCCESS;
+    }
     let args = Args::parse(rest);
     // `--threads N` caps every worker pool for the rest of the process
     // (same knob as the UC_THREADS environment variable, which it
@@ -367,18 +628,18 @@ fn main() -> ExitCode {
     if let Some(v) = args.get("threads") {
         match v.parse::<usize>() {
             Ok(n) if n >= 1 => uc_parallel::set_thread_limit(Some(n)),
-            _ => {
-                eprintln!("--threads requires a positive integer, got {v:?}");
-                return ExitCode::FAILURE;
-            }
+            _ => return bad_usage(&format!("--threads requires a positive integer, got {v:?}")),
         }
     }
     match cmd.as_str() {
         "campaign" => cmd_campaign(&args),
         "fsck" => cmd_fsck(&args),
         "analyze" => cmd_analyze(&args),
+        "build-db" => cmd_build_db(&args),
+        "query" => cmd_query(&args),
+        "serve" => cmd_serve(&args),
         "scan" => cmd_scan(&args),
         "report" => cmd_report(&args),
-        _ => usage(),
+        other => bad_usage(&format!("unknown subcommand {other:?}")),
     }
 }

@@ -18,6 +18,8 @@
 //! - [`faultlog`]: log records, text codec, stores and streaming readers.
 //! - [`analysis`]: the paper's full analysis suite (extraction, statistics,
 //!   per-figure analyses).
+//! - [`faultdb`]: the columnar fault database — binary store, query
+//!   engine, and line-protocol server (`uc build-db` / `query` / `serve`).
 //! - [`resilience`]: quarantine / page-retirement / checkpointing simulators.
 //! - [`core`]: campaign configuration, runner, and report generation.
 //!
@@ -37,6 +39,7 @@
 pub use uc_analysis as analysis;
 pub use uc_cluster as cluster;
 pub use uc_dram as dram;
+pub use uc_faultdb as faultdb;
 pub use uc_faultlog as faultlog;
 pub use uc_faults as faults;
 pub use uc_memscan as memscan;

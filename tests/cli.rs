@@ -1,0 +1,169 @@
+//! CLI contract tests: shell out to the real `uc` binary.
+//!
+//! Usage errors (no/unknown subcommand, bad flags) must print usage to
+//! stderr and exit 2 — distinct from runtime failures (exit 1) so shell
+//! scripts and CI can tell "called wrong" from "work failed". The
+//! happy-path test drives the new database workflow end to end:
+//! build-db → query → analyze parity between the text and `--db` paths.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn uc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_uc"))
+        .args(args)
+        .output()
+        .expect("spawn uc")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn no_arguments_prints_usage_to_stderr_and_exits_2() {
+    let out = uc(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage:"), "{}", stderr(&out));
+    assert!(stdout(&out).is_empty());
+}
+
+#[test]
+fn unknown_subcommand_exits_2() {
+    let out = uc(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("unknown subcommand"), "{err}");
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn unknown_flag_exits_2_and_names_the_flag() {
+    let out = uc(&["analyze", "somedir", "--frob", "x"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("--frob"), "{err}");
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn garbage_numeric_flag_exits_2() {
+    let out = uc(&["report", "--seed", "banana"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--seed"), "{}", stderr(&out));
+}
+
+#[test]
+fn missing_required_positional_exits_2() {
+    let out = uc(&["build-db", "only-one-arg"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("positional"), "{}", stderr(&out));
+}
+
+#[test]
+fn version_prints_and_exits_0() {
+    let out = uc(&["--version"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    assert!(text.starts_with("uc "), "{text}");
+    assert!(text.trim().len() > 3);
+}
+
+#[test]
+fn runtime_failure_is_exit_1_not_2() {
+    // Well-formed invocation, nonexistent directory: the work fails.
+    let out = uc(&["analyze", "/nonexistent/uc-cli-test"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(!stderr(&out).contains("usage:"), "{}", stderr(&out));
+}
+
+/// A tiny on-disk log directory: 2 nodes, a START/END pair and a handful
+/// of errors each — enough for extraction to produce faults.
+fn write_tiny_logs(dir: &PathBuf) {
+    fs::create_dir_all(dir).unwrap();
+    for name in ["01-01", "01-02"] {
+        let mut text = format!("START t=0 node={name} alloc=3221225472 temp=30.0\n");
+        for k in 0i64..12 {
+            let vaddr = 0x400 + 0x100 * k as u64;
+            text.push_str(&format!(
+                "ERROR t={t} node={name} vaddr=0x{vaddr:08x} page=0x{page:06x} \
+                 expected=0xffffffff actual=0xfffffffe temp=33.0\n",
+                t = 60 + 600 * k,
+                page = vaddr >> 12
+            ));
+        }
+        text.push_str(&format!("END t=90000 node={name} temp=31.0\n"));
+        fs::write(dir.join(format!("node-{name}.log")), text).unwrap();
+    }
+}
+
+#[test]
+fn build_db_query_and_analyze_parity_end_to_end() {
+    let base = std::env::temp_dir().join(format!("uc-cli-e2e-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&base);
+    let logs = base.join("logs");
+    write_tiny_logs(&logs);
+    let db = base.join("faults.fdb");
+    let logs_s = logs.to_str().unwrap();
+    let db_s = db.to_str().unwrap();
+
+    let built = uc(&["build-db", logs_s, db_s]);
+    assert_eq!(built.status.code(), Some(0), "{}", stderr(&built));
+    assert!(stdout(&built).contains("faults"), "{}", stdout(&built));
+    assert!(db.is_file());
+
+    // count == the number of ERROR lines (each is its own fault: distinct
+    // vaddrs, far apart in time).
+    let count = uc(&["query", db_s, "count"]);
+    assert_eq!(count.status.code(), Some(0), "{}", stderr(&count));
+    assert_eq!(stdout(&count).trim(), "24");
+
+    // A structured query through the shell: predicate + aggregation.
+    let grouped = uc(&["query", db_s, "group", "node", "where", "time>=0"]);
+    assert_eq!(grouped.status.code(), Some(0), "{}", stderr(&grouped));
+    assert_eq!(stdout(&grouped).lines().count(), 2, "{}", stdout(&grouped));
+
+    // A malformed query is a runtime failure (exit 1), not usage (2).
+    let bad = uc(&["query", db_s, "frobnicate", "everything"]);
+    assert_eq!(bad.status.code(), Some(1));
+
+    // The acceptance bar: `analyze --db` stdout is byte-identical to
+    // `analyze` over the raw text logs, at different thread counts too.
+    let text_report = uc(&["analyze", logs_s]);
+    assert_eq!(
+        text_report.status.code(),
+        Some(0),
+        "{}",
+        stderr(&text_report)
+    );
+    let db_report = uc(&["analyze", "--db", db_s]);
+    assert_eq!(db_report.status.code(), Some(0), "{}", stderr(&db_report));
+    assert_eq!(stdout(&text_report), stdout(&db_report));
+    let db_report_1t = uc(&["analyze", "--db", db_s, "--threads", "1"]);
+    assert_eq!(stdout(&text_report), stdout(&db_report_1t));
+
+    let _ = fs::remove_dir_all(&base);
+}
+
+#[test]
+fn serve_selftest_passes_through_the_binary() {
+    let base = std::env::temp_dir().join(format!("uc-cli-serve-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&base);
+    let logs = base.join("logs");
+    write_tiny_logs(&logs);
+    let db = base.join("faults.fdb");
+    let built = uc(&["build-db", logs.to_str().unwrap(), db.to_str().unwrap()]);
+    assert_eq!(built.status.code(), Some(0), "{}", stderr(&built));
+
+    let out = uc(&["serve", db.to_str().unwrap(), "--selftest", "4"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("0 mismatches"), "{text}");
+
+    let _ = fs::remove_dir_all(&base);
+}

@@ -80,6 +80,62 @@ proptest! {
     }
 }
 
+/// The §6 contract extended to the database path: a report rendered from
+/// a sealed fault database is byte-identical to one rendered straight
+/// from the ingested cluster, at every thread count — which is exactly
+/// what makes `uc analyze --db` a drop-in replacement for `uc analyze`.
+#[test]
+fn db_report_is_byte_identical_to_text_report_at_any_thread_count() {
+    use unprotected_computing::faultdb::{format::write_db, FaultDb, Snapshot, WriteOptions};
+
+    // Tie-heavy synthetic cluster: same-instant records across nodes, so
+    // any ordering wobble in build or scan would change the report.
+    let entries: Vec<(usize, i64, u64, u32)> = (0..90)
+        .map(|i| {
+            (
+                i % 3,
+                (i as i64 / 9) * 40_000,
+                0x100 * (1 + i as u64 % 4),
+                0xffff_fffe,
+            )
+        })
+        .collect();
+    let cluster = cluster_from_entries(&entries);
+    let stats = uc_faultlog::ingest::IngestStats::default();
+    let direct = Snapshot::from_cluster(&cluster, stats);
+
+    let dir = std::env::temp_dir().join(format!("uc-pipe-db-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("t.fdb");
+    // Small blocks so the parallel build and scan actually fan out.
+    write_db(&direct, &path, &WriteOptions { rows_per_block: 4 }).unwrap();
+
+    let baseline = direct.report_text();
+    for threads in [1, 2, 8] {
+        let report = with_thread_limit(threads, || {
+            FaultDb::open(&path)
+                .unwrap()
+                .snapshot()
+                .unwrap()
+                .report_text()
+        });
+        assert_eq!(report, baseline, "threads = {threads}");
+    }
+    // And the build itself is thread-invariant: re-seal at 1 thread and
+    // compare the file bytes.
+    let single = dir.join("t1.fdb");
+    with_thread_limit(1, || {
+        write_db(&direct, &single, &WriteOptions { rows_per_block: 4 }).unwrap()
+    });
+    assert_eq!(
+        std::fs::read(&path).unwrap(),
+        std::fs::read(&single).unwrap(),
+        "sealed database bytes depend on thread count"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// A hand-built worst case: reordered records with extreme timestamps for
 /// the same (vaddr, pattern) key. Recovery stable-sorts entries by start
 /// time, so extraction sees MIN+1, 10, 10, 4e9, MAX-1 — and the very
