@@ -1,0 +1,1020 @@
+//! Generation catalog and the live, streaming-ingest database.
+//!
+//! A *live directory* holds three kinds of state:
+//!
+//! ```text
+//! wal-000001.dlog        sealed WAL segments   (the database of record)
+//! wal-000002.dlog.tmp    active WAL segment    (flushed prefix durable)
+//! gen-000001.ucfdb       sealed generations    (immutable query indexes)
+//! CATALOG                which generation is current, with provenance
+//! ```
+//!
+//! The equivalence contract (ISSUE: "a query over a live database must be
+//! byte-identical to the same query over a freshly batch-built db of the
+//! same records") is earned structurally, not by re-implementing ingest:
+//! the live path accumulates each node's raw record lines verbatim and, at
+//! every seal, runs them through the *identical* batch pipeline —
+//! `recover_text` per node (with the same `files_read`/node-fallback
+//! fixups `read_node_log_recovering` applies), stats merged in node order,
+//! `ClusterLog::new` → `Snapshot::from_cluster` → `write_db`. Same bytes
+//! in, same code, same bytes out.
+//!
+//! Extraction is a *global* function of the whole corpus (merge windows
+//! straddle batch boundaries; the flood filter is a share of the total),
+//! so generations cannot be built incrementally from deltas and a sealed
+//! generation cannot serve as a re-ingest source. The WAL is therefore
+//! retained forever and every seal rebuilds from the full record set; the
+//! generation file is a disposable index over the WAL, which is exactly
+//! what makes crash recovery simple — when in doubt, reseal.
+//!
+//! Crash recovery (`LiveDb::open`): replay the WAL (flushed prefixes of
+//! every segment, in index order), rebuilding per-node cursors and a
+//! running CRC over the accepted record payloads. The catalog's current
+//! generation is served only if its recorded `(records, crc)` pair matches
+//! the replayed state *and* the file opens clean — any torn seal, stale
+//! catalog, or post-seal ingest makes the pair differ, and the generation
+//! is rebuilt from the WAL instead. `fsck_live_dir` extends `uc fsck` to
+//! these directories under the same conservation law.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use uc_cluster::NodeId;
+use uc_faultlog::durable::crc::{crc32, Crc32};
+use uc_faultlog::durable::{fsck_dir, FsckReport};
+use uc_faultlog::ingest::recover_text;
+use uc_faultlog::{ClusterLog, IngestStats, NodeLog};
+
+use crate::db::{DbHandle, FaultDb};
+use crate::error::DbError;
+use crate::format::{write_db, WriteOptions};
+use crate::snapshot::Snapshot;
+use crate::wal::{encode_wal_payload, Wal, WalRecovery};
+
+/// Catalog file name inside a live directory.
+pub const CATALOG_NAME: &str = "CATALOG";
+/// First line of a catalog file.
+pub const CATALOG_MAGIC: &str = "UCCAT1";
+
+/// Sealed generation file name for index `n`.
+pub fn gen_file_name(index: u64) -> String {
+    format!("gen-{index:06}.ucfdb")
+}
+
+/// Parse the index out of `gen-NNNNNN.ucfdb` (or its `.tmp`).
+pub fn gen_index_of_name(name: &str) -> Option<u64> {
+    let stem = name
+        .strip_suffix(".ucfdb.tmp")
+        .or_else(|| name.strip_suffix(".ucfdb"))?;
+    stem.strip_prefix("gen-")?.parse().ok()
+}
+
+/// One sealed generation the catalog knows about.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GenEntry {
+    pub index: u64,
+    pub file: String,
+    /// Accepted records the generation was built from.
+    pub records: u64,
+    /// Running CRC-32 over the canonical WAL payloads of those records,
+    /// in acceptance order — the fingerprint recovery must reproduce for
+    /// the generation to be served without a rebuild.
+    pub stream_crc: u32,
+}
+
+/// The parsed `CATALOG` file: generation history plus the current pick.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Catalog {
+    pub generations: Vec<GenEntry>,
+    pub current: Option<u64>,
+}
+
+impl Catalog {
+    pub fn entry(&self, index: u64) -> Option<&GenEntry> {
+        self.generations.iter().find(|g| g.index == index)
+    }
+
+    pub fn max_index(&self) -> u64 {
+        self.generations.iter().map(|g| g.index).max().unwrap_or(0)
+    }
+
+    /// Render the catalog in its canonical text form, trailing self-CRC
+    /// included (over every preceding byte, so any truncation or edit is
+    /// detected at load).
+    pub fn render(&self) -> String {
+        let mut body = String::new();
+        body.push_str(CATALOG_MAGIC);
+        body.push('\n');
+        for g in &self.generations {
+            body.push_str(&format!(
+                "gen {} {} {} {:08x}\n",
+                g.index, g.file, g.records, g.stream_crc
+            ));
+        }
+        if let Some(cur) = self.current {
+            body.push_str(&format!("current {cur}\n"));
+        }
+        let digest = crc32(body.as_bytes());
+        body.push_str(&format!("crc {digest:08x}\n"));
+        body
+    }
+
+    /// Parse catalog text. `None` for anything the renderer could not
+    /// have produced — bad magic, bad CRC, malformed lines. Callers
+    /// treat a damaged catalog as absent (the WAL can always rebuild).
+    pub fn parse(text: &str) -> Option<Catalog> {
+        let body_end = text.rfind("crc ")?;
+        let digest_line = text[body_end..].strip_prefix("crc ")?.trim();
+        let digest = u32::from_str_radix(digest_line, 16).ok()?;
+        let body = &text[..body_end];
+        if crc32(body.as_bytes()) != digest {
+            return None;
+        }
+        let mut lines = body.lines();
+        if lines.next()? != CATALOG_MAGIC {
+            return None;
+        }
+        let mut cat = Catalog::default();
+        for line in lines {
+            if let Some(rest) = line.strip_prefix("gen ") {
+                let mut it = rest.split(' ');
+                let index: u64 = it.next()?.parse().ok()?;
+                let file = it.next()?.to_string();
+                let records: u64 = it.next()?.parse().ok()?;
+                let stream_crc = u32::from_str_radix(it.next()?, 16).ok()?;
+                if it.next().is_some() {
+                    return None;
+                }
+                cat.generations.push(GenEntry {
+                    index,
+                    file,
+                    records,
+                    stream_crc,
+                });
+            } else if let Some(rest) = line.strip_prefix("current ") {
+                cat.current = Some(rest.parse().ok()?);
+            } else {
+                return None;
+            }
+        }
+        // `current` must name a listed generation.
+        if let Some(cur) = cat.current {
+            cat.entry(cur)?;
+        }
+        Some(cat)
+    }
+
+    /// Load the catalog from `dir`. Missing or damaged → `None` (the
+    /// caller reseals from the WAL; `fsck_live_dir` is what *reports*
+    /// damage).
+    pub fn load(dir: &Path) -> Option<Catalog> {
+        let text = std::fs::read_to_string(dir.join(CATALOG_NAME)).ok()?;
+        Catalog::parse(&text)
+    }
+
+    /// Write atomically: tmp + fsync + rename + dir fsync, the same
+    /// publish discipline as every sealed file in the repo.
+    pub fn save(&self, dir: &Path) -> Result<(), DbError> {
+        let tmp = dir.join(format!("{CATALOG_NAME}.tmp"));
+        let finals = dir.join(CATALOG_NAME);
+        let text = self.render();
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::File::create(&tmp).map_err(|e| DbError::io(&tmp, e))?;
+            f.write_all(text.as_bytes())
+                .map_err(|e| DbError::io(&tmp, e))?;
+            f.sync_all().map_err(|e| DbError::io(&tmp, e))?;
+        }
+        std::fs::rename(&tmp, &finals).map_err(|e| DbError::io(&finals, e))?;
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    }
+}
+
+/// Verdict on one pushed record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// Next in sequence: buffered in the WAL (durable after `flush`).
+    Accepted,
+    /// Sequence number below the cursor: a replay of something already
+    /// accepted. Ignored — this is what makes reconnect retries safe.
+    Duplicate,
+    /// Sequence number ahead of the cursor: the client skipped records
+    /// the server never saw. Rejected; accepting would silently lose
+    /// the gap.
+    Gap { expected: u64 },
+}
+
+/// One node's live stream state.
+struct NodeStream {
+    /// The raw lines, newline-terminated — byte-identical to the text
+    /// log file a batch ingest would read for this node.
+    text: String,
+    /// Next sequence number expected from the client.
+    next_seq: u64,
+}
+
+/// A point-in-time summary of the live state, for `STATS`-style reporting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LiveStatus {
+    /// Accepted records across all nodes.
+    pub records: u64,
+    /// Nodes with at least one accepted record.
+    pub nodes: u64,
+    /// Index of the generation currently served.
+    pub generation: u64,
+    /// Records the served generation was built from (lags `records`
+    /// until the next seal).
+    pub gen_records: u64,
+    /// Running CRC over accepted payloads.
+    pub stream_crc: u32,
+    /// Duplicate records ignored (replays) since open, including replay
+    /// duplicates observed during WAL recovery.
+    pub duplicates: u64,
+    /// Gap rejections since open, including out-of-sequence records
+    /// dropped during WAL recovery (possible only via mid-file damage).
+    pub gaps: u64,
+}
+
+struct LiveInner {
+    wal: Wal,
+    streams: BTreeMap<u32, NodeStream>,
+    records: u64,
+    crc: Crc32,
+    catalog: Catalog,
+    current_gen: u64,
+    gen_records: u64,
+    duplicates: u64,
+    gaps: u64,
+}
+
+/// A live, streaming-ingest database: crash-consistent WAL in front,
+/// immutable sealed generations behind, snapshot-isolated queries via
+/// [`DbHandle`] throughout.
+pub struct LiveDb {
+    dir: PathBuf,
+    inner: parking_lot::Mutex<LiveInner>,
+    handle: DbHandle,
+}
+
+/// What [`LiveDb::open`] found and did.
+#[derive(Clone, Debug)]
+pub struct OpenReport {
+    /// Raw WAL scan results.
+    pub wal: WalRecovery,
+    /// Records accepted during replay.
+    pub replayed: u64,
+    /// Whether the catalog's current generation matched the replayed
+    /// state and was served as-is (`false` ⇒ a fresh seal was needed).
+    pub served_existing: bool,
+    /// Generation index now being served.
+    pub generation: u64,
+}
+
+impl LiveDb {
+    /// Open (or create) a live directory: replay the WAL, then either
+    /// adopt the catalog's current generation (if its provenance matches
+    /// the replayed state exactly) or seal a fresh one from the WAL.
+    pub fn open(dir: &Path) -> Result<(LiveDb, OpenReport), DbError> {
+        let (wal, recovery) = Wal::open(dir)?;
+        let mut streams: BTreeMap<u32, NodeStream> = BTreeMap::new();
+        let mut crc = Crc32::new();
+        let mut records = 0u64;
+        let mut duplicates = 0u64;
+        let mut gaps = 0u64;
+        for rec in &recovery.records {
+            let stream = streams.entry(rec.node.0).or_insert_with(|| NodeStream {
+                text: String::new(),
+                next_seq: 0,
+            });
+            if rec.seq == stream.next_seq {
+                crc.update(&encode_wal_payload(rec.node, rec.seq, &rec.line));
+                stream.text.push_str(&rec.line);
+                stream.text.push('\n');
+                stream.next_seq += 1;
+                records += 1;
+            } else if rec.seq < stream.next_seq {
+                // A crash between WAL flush and client ACK makes the
+                // client resend; both copies are in the WAL, one wins.
+                duplicates += 1;
+            } else {
+                // Possible only through mid-file damage (a checksummed
+                // frame lost between two surviving ones). Torn *tails*
+                // never gap — they lose a suffix of acceptance order.
+                gaps += 1;
+            }
+        }
+
+        let catalog = Catalog::load(dir).unwrap_or_default();
+        let mut inner = LiveInner {
+            wal,
+            streams,
+            records,
+            crc,
+            catalog,
+            current_gen: 0,
+            gen_records: 0,
+            duplicates,
+            gaps,
+        };
+
+        // Serve the cataloged generation only on an exact provenance
+        // match; anything else (post-seal ingest, torn seal, stale or
+        // damaged catalog, corrupt file) rebuilds from the WAL.
+        let mut served_existing = false;
+        let stream_crc = inner.crc.finish();
+        let adopt = inner.catalog.current.and_then(|cur| {
+            let entry = inner.catalog.entry(cur)?.clone();
+            if entry.records != inner.records || entry.stream_crc != stream_crc {
+                return None;
+            }
+            let db = FaultDb::open(&dir.join(&entry.file)).ok()?;
+            db.verify_deep().ok()?;
+            Some((entry, db))
+        });
+        let db = match adopt {
+            Some((entry, db)) => {
+                inner.current_gen = entry.index;
+                inner.gen_records = entry.records;
+                served_existing = true;
+                Arc::new(db)
+            }
+            None => {
+                let next = next_gen_index(dir, &inner.catalog)?;
+                // The WAL segment just opened is empty; sealing without
+                // rotation keeps recovery from leaving a trail of empty
+                // sealed segments behind every restart.
+                Arc::new(seal_generation(dir, &mut inner, next, false)?)
+            }
+        };
+        let handle = DbHandle::new(db);
+        let report = OpenReport {
+            wal: recovery,
+            replayed: records,
+            served_existing,
+            generation: inner.current_gen,
+        };
+        Ok((
+            LiveDb {
+                dir: dir.to_path_buf(),
+                inner: parking_lot::Mutex::new(inner),
+                handle,
+            },
+            report,
+        ))
+    }
+
+    /// The swappable handle the query server answers from.
+    pub fn handle(&self) -> DbHandle {
+        self.handle.clone()
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Judge one pushed record against the node's cursor and, if it is
+    /// the expected next record, buffer it in the WAL. Not durable until
+    /// [`LiveDb::flush`] — callers must not acknowledge before that.
+    pub fn ingest(&self, node: NodeId, seq: u64, line: &str) -> Result<IngestOutcome, DbError> {
+        if line.contains('\n') || line.contains('\r') {
+            // One record ⇔ one log line; an embedded newline would break
+            // the batch-equivalence bijection.
+            return Err(DbError::Query("record line contains a line break".into()));
+        }
+        let mut inner = self.inner.lock();
+        let stream = inner.streams.entry(node.0).or_insert_with(|| NodeStream {
+            text: String::new(),
+            next_seq: 0,
+        });
+        if seq < stream.next_seq {
+            inner.duplicates += 1;
+            return Ok(IngestOutcome::Duplicate);
+        }
+        if seq > stream.next_seq {
+            let expected = stream.next_seq;
+            inner.gaps += 1;
+            return Ok(IngestOutcome::Gap { expected });
+        }
+        stream.text.push_str(line);
+        stream.text.push('\n');
+        stream.next_seq += 1;
+        let payload = inner.wal.append(node, seq, line)?;
+        inner.crc.update(&payload);
+        inner.records += 1;
+        Ok(IngestOutcome::Accepted)
+    }
+
+    /// Next sequence number expected from `node` — what a reconnecting
+    /// client must resume from.
+    pub fn next_seq(&self, node: NodeId) -> u64 {
+        self.inner
+            .lock()
+            .streams
+            .get(&node.0)
+            .map(|s| s.next_seq)
+            .unwrap_or(0)
+    }
+
+    /// Make everything accepted so far durable. The ack boundary.
+    pub fn flush(&self) -> Result<(), DbError> {
+        self.inner.lock().wal.flush()
+    }
+
+    /// Rebuild the generation from the full record set, publish it to
+    /// queries, persist the catalog, and rotate the WAL. Queries in
+    /// flight keep their generation (snapshot isolation); new ones see
+    /// the seal.
+    pub fn seal(&self) -> Result<LiveStatus, DbError> {
+        let mut inner = self.inner.lock();
+        inner.wal.flush()?;
+        // Nothing accepted since the last seal ⇒ the current generation
+        // already covers the full record set; resealing would only grow
+        // the directory with identical files.
+        if inner
+            .catalog
+            .entry(inner.current_gen)
+            .is_some_and(|e| e.records == inner.records && e.stream_crc == inner.crc.finish())
+        {
+            return Ok(status_of(&inner));
+        }
+        let next = inner.current_gen + 1;
+        let db = seal_generation(&self.dir, &mut inner, next, true)?;
+        self.handle.swap(Arc::new(db));
+        Ok(status_of(&inner))
+    }
+
+    pub fn status(&self) -> LiveStatus {
+        status_of(&self.inner.lock())
+    }
+}
+
+fn status_of(inner: &LiveInner) -> LiveStatus {
+    LiveStatus {
+        records: inner.records,
+        nodes: inner.streams.values().filter(|s| s.next_seq > 0).count() as u64,
+        generation: inner.current_gen,
+        gen_records: inner.gen_records,
+        stream_crc: inner.crc.finish(),
+        duplicates: inner.duplicates,
+        gaps: inner.gaps,
+    }
+}
+
+/// First unused generation index: above everything the catalog lists
+/// *and* everything on disk (a crash can leave files the catalog never
+/// heard of; never overwrite potential evidence).
+fn next_gen_index(dir: &Path, catalog: &Catalog) -> Result<u64, DbError> {
+    let mut max = catalog.max_index();
+    let rd = std::fs::read_dir(dir).map_err(|e| DbError::io(dir, e))?;
+    for entry in rd.filter_map(|e| e.ok()) {
+        if let Some(idx) = entry.file_name().to_str().and_then(gen_index_of_name) {
+            max = max.max(idx);
+        }
+    }
+    Ok(max + 1)
+}
+
+/// Build the snapshot exactly as batch ingest would, write the
+/// generation file (atomically, via `write_db`'s tmp + rename), update
+/// and persist the catalog, and optionally rotate the WAL.
+fn seal_generation(
+    dir: &Path,
+    inner: &mut LiveInner,
+    index: u64,
+    rotate_wal: bool,
+) -> Result<FaultDb, DbError> {
+    let snapshot = build_snapshot(&inner.streams);
+    let file = gen_file_name(index);
+    let path = dir.join(&file);
+    write_db(&snapshot, &path, &WriteOptions::default())?;
+    let db = FaultDb::open(&path)?;
+
+    inner.catalog.generations.retain(|g| g.index != index);
+    inner.catalog.generations.push(GenEntry {
+        index,
+        file,
+        records: inner.records,
+        stream_crc: inner.crc.finish(),
+    });
+    inner.catalog.generations.sort_by_key(|g| g.index);
+    inner.catalog.current = Some(index);
+    inner.catalog.save(dir)?;
+    inner.current_gen = index;
+    inner.gen_records = inner.records;
+    if rotate_wal {
+        inner.wal.rotate()?;
+    }
+    Ok(db)
+}
+
+/// The batch pipeline, fed from in-memory streams instead of files.
+/// Mirrors `read_node_log_recovering` + `read_cluster_log_recovering`
+/// line by line: per-node `recover_text`, `files_read = 1`, node id
+/// fallback, stats merged in node order, logs sorted by node (free,
+/// since `BTreeMap<u32, _>` iterates sorted). No `.fsck.report` folding
+/// — the oracle is a *fresh* text directory, which has none.
+fn build_snapshot(streams: &BTreeMap<u32, NodeStream>) -> Snapshot {
+    let mut stats = IngestStats::default();
+    let mut logs: Vec<NodeLog> = Vec::new();
+    for (&node, stream) in streams {
+        if stream.next_seq == 0 {
+            continue;
+        }
+        let mut rec = recover_text(&stream.text);
+        rec.stats.files_read = 1;
+        if rec.log.node.is_none() {
+            rec.log.node = Some(NodeId(node));
+        }
+        stats.merge(&rec.stats);
+        logs.push(rec.log);
+    }
+    let cluster = ClusterLog::new(logs);
+    Snapshot::from_cluster(&cluster, stats)
+}
+
+// ---------------------------------------------------------------- fsck
+
+/// `uc fsck` extended to a live directory: the durable pass (WAL salvage,
+/// orphan-tmp promotion, manifest rebuild) plus a generation pass under
+/// the same conservation law — every generation/catalog byte examined is
+/// either still in the directory or in `.lost+found`.
+#[derive(Clone, Debug, Default)]
+pub struct LiveFsckReport {
+    /// The standard durable-directory pass over the WAL segments.
+    pub durable: FsckReport,
+    /// Generation files examined (sealed and `.tmp`).
+    pub gens_checked: u64,
+    /// Complete-but-unrenamed `gen-*.ucfdb.tmp` promoted to sealed names
+    /// (the crash hit between `write_db`'s fsync and its rename).
+    pub gens_promoted: u64,
+    /// Generation files (either form) that failed deep validation and
+    /// were quarantined whole.
+    pub gens_quarantined: u64,
+    /// Catalog repairs: current pointer rolled back to the newest
+    /// surviving generation, or dead entries dropped.
+    pub catalog_rollbacks: u64,
+    /// The catalog file itself was unparseable and was quarantined.
+    pub catalog_quarantined: bool,
+    /// Bytes of generation/catalog files examined.
+    pub gen_bytes_in: u64,
+    /// Bytes of generation/catalog files kept in place.
+    pub gen_bytes_kept: u64,
+    /// Bytes of generation/catalog files moved to `.lost+found`.
+    pub gen_bytes_quarantined: u64,
+}
+
+impl LiveFsckReport {
+    /// Conservation across both passes.
+    pub fn is_conserved(&self) -> bool {
+        self.durable.is_conserved()
+            && self.gen_bytes_in == self.gen_bytes_kept + self.gen_bytes_quarantined
+    }
+
+    pub fn render(&self) -> String {
+        format!(
+            "live fsck: wal[{} checked, {} clean, {} salvaged, {} quarantined, \
+             {} promoted] gens[{} checked, {} promoted, {} quarantined] \
+             catalog[{} rollbacks{}] bytes[{} in = {} kept + {} quarantined] \
+             conserved={}",
+            self.durable.files_checked,
+            self.durable.files_clean,
+            self.durable.files_salvaged,
+            self.durable.files_quarantined,
+            self.durable.tmp_promoted,
+            self.gens_checked,
+            self.gens_promoted,
+            self.gens_quarantined,
+            self.catalog_rollbacks,
+            if self.catalog_quarantined {
+                ", catalog quarantined"
+            } else {
+                ""
+            },
+            self.durable.bytes_in + self.gen_bytes_in,
+            self.durable.bytes_salvaged + self.gen_bytes_kept,
+            self.durable.bytes_quarantined + self.gen_bytes_quarantined,
+            self.is_conserved(),
+        )
+    }
+}
+
+/// Does `dir` look like a live streaming directory (vs. a plain durable
+/// log directory)? Any WAL segment, generation file, or catalog counts.
+pub fn is_live_dir(dir: &Path) -> bool {
+    if dir.join(CATALOG_NAME).exists() {
+        return true;
+    }
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return false;
+    };
+    rd.filter_map(|e| e.ok()).any(|e| {
+        e.file_name()
+            .to_str()
+            .is_some_and(|n| crate::wal::is_wal_name(n) || gen_index_of_name(n).is_some())
+    })
+}
+
+fn quarantine(dir: &Path, path: &Path, report_bytes: &mut u64) -> Result<(), DbError> {
+    let lost = dir.join(".lost+found");
+    std::fs::create_dir_all(&lost).map_err(|e| DbError::io(&lost, e))?;
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("unnamed")
+        .to_string();
+    let mut dest = lost.join(&name);
+    let mut n = 1;
+    while dest.exists() {
+        dest = lost.join(format!("{name}.{n}"));
+        n += 1;
+    }
+    let len = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    std::fs::rename(path, &dest).map_err(|e| DbError::io(path, e))?;
+    *report_bytes += len;
+    Ok(())
+}
+
+/// Deep-validate one generation file: footer *and* every block CRC.
+fn gen_is_valid(path: &Path) -> bool {
+    FaultDb::open(path).is_ok_and(|db| db.verify_deep().is_ok())
+}
+
+/// Repair a live directory after a crash at any point. Idempotent; a
+/// second run finds nothing to do.
+pub fn fsck_live_dir(dir: &Path) -> Result<LiveFsckReport, DbError> {
+    let mut report = LiveFsckReport {
+        // Pass 1 — the WAL is a plain durable directory to `fsck_dir`:
+        // salvage torn segments, promote orphan tmps, rebuild MANIFEST.
+        durable: fsck_dir(dir)?,
+        ..LiveFsckReport::default()
+    };
+
+    // Pass 2 — generation files. Collect first: renames mutate the dir.
+    let mut tmps: Vec<PathBuf> = Vec::new();
+    let mut sealed: Vec<PathBuf> = Vec::new();
+    let rd = std::fs::read_dir(dir).map_err(|e| DbError::io(dir, e))?;
+    for entry in rd.filter_map(|e| e.ok()) {
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if gen_index_of_name(name).is_none() {
+            continue;
+        }
+        if name.ends_with(".tmp") {
+            tmps.push(path);
+        } else {
+            sealed.push(path);
+        }
+    }
+    for path in &tmps {
+        report.gens_checked += 1;
+        let len = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        report.gen_bytes_in += len;
+        let sealed_sibling = path.with_extension(""); // strips ".tmp"
+        if sealed_sibling.exists() {
+            // The rename happened and *then* a new tmp appeared — or the
+            // crash raced the rename. Either way the sealed copy is the
+            // published one; the tmp is a duplicate.
+            quarantine(dir, path, &mut report.gen_bytes_quarantined)?;
+            report.gens_quarantined += 1;
+        } else if gen_is_valid(path) {
+            // Complete but unrenamed: `write_db` crashed between fsync
+            // and rename. Finish its job.
+            std::fs::rename(path, &sealed_sibling).map_err(|e| DbError::io(path, e))?;
+            report.gens_promoted += 1;
+            report.gen_bytes_kept += len;
+            sealed.push(sealed_sibling);
+        } else {
+            quarantine(dir, path, &mut report.gen_bytes_quarantined)?;
+            report.gens_quarantined += 1;
+        }
+    }
+    let mut surviving: Vec<String> = Vec::new();
+    for path in &sealed {
+        report.gens_checked += 1;
+        let len = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        report.gen_bytes_in += len;
+        if gen_is_valid(path) {
+            report.gen_bytes_kept += len;
+            if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                surviving.push(name.to_string());
+            }
+        } else {
+            quarantine(dir, path, &mut report.gen_bytes_quarantined)?;
+            report.gens_quarantined += 1;
+        }
+    }
+
+    // Pass 3 — the catalog must only reference generations that exist.
+    let cat_path = dir.join(CATALOG_NAME);
+    if cat_path.exists() {
+        let len = std::fs::metadata(&cat_path).map(|m| m.len()).unwrap_or(0);
+        report.gen_bytes_in += len;
+        let parsed = std::fs::read_to_string(&cat_path)
+            .ok()
+            .and_then(|t| Catalog::parse(&t));
+        match parsed {
+            None => {
+                quarantine(dir, &cat_path, &mut report.gen_bytes_quarantined)?;
+                report.catalog_quarantined = true;
+            }
+            Some(mut cat) => {
+                let before = cat.clone();
+                cat.generations
+                    .retain(|g| surviving.iter().any(|s| s == &g.file));
+                let listed_current = cat.current;
+                if listed_current.is_some_and(|c| cat.entry(c).is_none()) {
+                    // Roll back to the newest generation that survived.
+                    cat.current = cat.generations.iter().map(|g| g.index).max();
+                }
+                if cat == before {
+                    report.gen_bytes_kept += len;
+                } else {
+                    report.catalog_rollbacks += 1;
+                    if cat.generations.is_empty() {
+                        // Nothing left to point at; remove rather than
+                        // publish an empty lie. Removal is accounted as
+                        // quarantine of the old bytes.
+                        quarantine(dir, &cat_path, &mut report.gen_bytes_quarantined)?;
+                    } else {
+                        cat.save(dir)?;
+                        report.gen_bytes_kept += len;
+                    }
+                }
+            }
+        }
+    }
+    // A stale `CATALOG.tmp` from a crashed save: the sealed catalog (or
+    // its absence) is authoritative; the tmp is unpublished work.
+    let cat_tmp = dir.join(format!("{CATALOG_NAME}.tmp"));
+    if cat_tmp.exists() {
+        let len = std::fs::metadata(&cat_tmp).map(|m| m.len()).unwrap_or(0);
+        report.gen_bytes_in += len;
+        quarantine(dir, &cat_tmp, &mut report.gen_bytes_quarantined)?;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("uc-cat-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn n(name: &str) -> NodeId {
+        NodeId::from_name(name).unwrap()
+    }
+
+    fn error_line(node: &str, t: i64, actual: &str) -> String {
+        format!(
+            "ERROR t={t} node={node} vaddr=0x00000400 page=0x000000 \
+             expected=0xffffffff actual={actual} temp=33.0"
+        )
+    }
+
+    #[test]
+    fn catalog_roundtrips_and_rejects_tampering() {
+        let cat = Catalog {
+            generations: vec![
+                GenEntry {
+                    index: 1,
+                    file: gen_file_name(1),
+                    records: 10,
+                    stream_crc: 0xDEAD_BEEF,
+                },
+                GenEntry {
+                    index: 2,
+                    file: gen_file_name(2),
+                    records: 25,
+                    stream_crc: 0x0BAD_F00D,
+                },
+            ],
+            current: Some(2),
+        };
+        let text = cat.render();
+        assert_eq!(Catalog::parse(&text).unwrap(), cat);
+        // Flip one byte anywhere → parse refuses.
+        let mut bad = text.clone().into_bytes();
+        bad[8] ^= 0x20;
+        assert!(Catalog::parse(&String::from_utf8(bad).unwrap()).is_none());
+        // Truncation → refuses.
+        assert!(Catalog::parse(&text[..text.len() - 2]).is_none());
+        // current pointing at an unlisted gen → refuses.
+        let orphan = Catalog {
+            generations: vec![],
+            current: Some(9),
+        };
+        assert!(Catalog::parse(&orphan.render()).is_none());
+    }
+
+    #[test]
+    fn live_db_open_on_empty_dir_serves_empty_generation() {
+        let dir = tmpdir("empty");
+        let (live, report) = LiveDb::open(&dir).unwrap();
+        assert!(!report.served_existing);
+        assert_eq!(report.generation, 1);
+        let db = live.handle().current();
+        assert_eq!(db.rows(), 0);
+        let r = db
+            .query("count", &crate::db::QueryOptions::default())
+            .unwrap();
+        assert_eq!(r.lines, vec!["0".to_string()]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sequence_discipline_dup_and_gap() {
+        let dir = tmpdir("seq");
+        let (live, _) = LiveDb::open(&dir).unwrap();
+        let node = n("01-01");
+        assert_eq!(
+            live.ingest(node, 0, &error_line("01-01", 60, "0xfffffffe"))
+                .unwrap(),
+            IngestOutcome::Accepted
+        );
+        assert_eq!(
+            live.ingest(node, 0, &error_line("01-01", 60, "0xfffffffe"))
+                .unwrap(),
+            IngestOutcome::Duplicate
+        );
+        assert_eq!(
+            live.ingest(node, 5, "whatever").unwrap(),
+            IngestOutcome::Gap { expected: 1 }
+        );
+        assert_eq!(live.next_seq(node), 1);
+        assert!(live.ingest(node, 1, "two\nlines").is_err());
+        let s = live.status();
+        assert_eq!((s.records, s.duplicates, s.gaps), (1, 1, 1));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn seal_then_reopen_serves_existing_generation_without_rebuild() {
+        let dir = tmpdir("adopt");
+        let (live, _) = LiveDb::open(&dir).unwrap();
+        for i in 0..5 {
+            live.ingest(
+                n("01-01"),
+                i,
+                &error_line("01-01", 60 + i as i64 * 7200, "0xfffffffe"),
+            )
+            .unwrap();
+        }
+        live.seal().unwrap();
+        drop(live);
+        let (live2, report) = LiveDb::open(&dir).unwrap();
+        assert!(
+            report.served_existing,
+            "exact provenance match → no rebuild"
+        );
+        assert_eq!(live2.status().records, 5);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unflushed_ingest_after_seal_forces_rebuild_on_reopen() {
+        let dir = tmpdir("rebuild");
+        let (live, _) = LiveDb::open(&dir).unwrap();
+        // Two nodes: a single-node corpus would trip the flood filter
+        // (100% > the 50% share) and extract zero faults.
+        live.ingest(n("01-01"), 0, &error_line("01-01", 60, "0xfffffffe"))
+            .unwrap();
+        live.ingest(n("01-02"), 0, &error_line("01-02", 60, "0xfffffffe"))
+            .unwrap();
+        live.seal().unwrap();
+        live.ingest(n("01-01"), 1, &error_line("01-01", 7260, "0xfffffffe"))
+            .unwrap();
+        live.ingest(n("01-02"), 1, &error_line("01-02", 7260, "0xfffffffe"))
+            .unwrap();
+        live.flush().unwrap();
+        drop(live);
+        let (live2, report) = LiveDb::open(&dir).unwrap();
+        assert!(
+            !report.served_existing,
+            "post-seal records ⇒ catalog mismatch"
+        );
+        assert_eq!(live2.status().records, 4);
+        let db = live2.handle().current();
+        assert_eq!(db.rows(), 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_isolation_in_flight_handle_survives_seal() {
+        let dir = tmpdir("iso");
+        let (live, _) = LiveDb::open(&dir).unwrap();
+        live.ingest(n("01-01"), 0, &error_line("01-01", 60, "0xfffffffe"))
+            .unwrap();
+        live.ingest(n("01-02"), 0, &error_line("01-02", 60, "0xfffffffe"))
+            .unwrap();
+        live.seal().unwrap();
+        let before = live.handle().current();
+        live.ingest(n("01-01"), 1, &error_line("01-01", 7260, "0xfffffffe"))
+            .unwrap();
+        live.ingest(n("01-02"), 1, &error_line("01-02", 7260, "0xfffffffe"))
+            .unwrap();
+        live.seal().unwrap();
+        let after = live.handle().current();
+        assert_eq!(before.rows(), 2, "pinned generation is immutable");
+        assert_eq!(after.rows(), 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsck_promotes_complete_gen_tmp_and_rolls_back_catalog() {
+        let dir = tmpdir("fsck-gen");
+        let (live, _) = LiveDb::open(&dir).unwrap();
+        for i in 0..3 {
+            live.ingest(
+                n("01-01"),
+                i,
+                &error_line("01-01", 60 + i as i64 * 7200, "0xfffffffe"),
+            )
+            .unwrap();
+        }
+        live.seal().unwrap();
+        drop(live);
+
+        // Fabricate a crash mid-seal of gen 3: complete bytes under the
+        // tmp name (rename never happened), catalog still naming gen 2.
+        let g2 = fs::read(dir.join(gen_file_name(2))).unwrap();
+        fs::write(dir.join(format!("{}.tmp", gen_file_name(3))), &g2).unwrap();
+        // And a torn tmp for gen 4 (first half only).
+        fs::write(
+            dir.join(format!("{}.tmp", gen_file_name(4))),
+            &g2[..g2.len() / 2],
+        )
+        .unwrap();
+        // And quarantine bait: corrupt sealed gen 1 (flip a payload byte).
+        let g1path = dir.join(gen_file_name(1));
+        let mut g1 = fs::read(&g1path).unwrap();
+        let mid = g1.len() / 2;
+        g1[mid] ^= 0xFF;
+        fs::write(&g1path, &g1).unwrap();
+
+        let report = fsck_live_dir(&dir).unwrap();
+        assert!(report.is_conserved(), "{}", report.render());
+        assert_eq!(report.gens_promoted, 1, "complete tmp promoted");
+        assert!(report.gens_quarantined >= 2, "torn tmp + corrupt sealed");
+        assert!(dir.join(gen_file_name(3)).exists());
+        assert!(!dir.join(format!("{}.tmp", gen_file_name(4))).exists());
+        // Catalog dropped the dead gen-1 entry.
+        let cat = Catalog::load(&dir).unwrap();
+        assert!(cat.entry(1).is_none());
+        assert_eq!(cat.current, Some(2));
+
+        // Second run: nothing left to repair.
+        let again = fsck_live_dir(&dir).unwrap();
+        assert!(again.is_conserved());
+        assert_eq!(again.gens_promoted + again.gens_quarantined, 0);
+
+        // And the live db still opens and serves the right answer.
+        let (live2, _) = LiveDb::open(&dir).unwrap();
+        assert_eq!(live2.status().records, 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsck_quarantines_damaged_catalog() {
+        let dir = tmpdir("fsck-cat");
+        let (live, _) = LiveDb::open(&dir).unwrap();
+        live.ingest(n("01-01"), 0, &error_line("01-01", 60, "0xfffffffe"))
+            .unwrap();
+        live.seal().unwrap();
+        drop(live);
+        fs::write(
+            dir.join(CATALOG_NAME),
+            b"UCCAT1\ngarbage that is not a catalog\n",
+        )
+        .unwrap();
+        let report = fsck_live_dir(&dir).unwrap();
+        assert!(report.catalog_quarantined);
+        assert!(report.is_conserved(), "{}", report.render());
+        assert!(!dir.join(CATALOG_NAME).exists());
+        // Open reseals from the WAL; records survive.
+        let (live2, report2) = LiveDb::open(&dir).unwrap();
+        assert!(!report2.served_existing);
+        assert_eq!(live2.status().records, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn is_live_dir_discriminates() {
+        let dir = tmpdir("isld");
+        fs::create_dir_all(&dir).unwrap();
+        assert!(!is_live_dir(&dir));
+        fs::write(dir.join("wal-000001.dlog"), b"x").unwrap();
+        assert!(is_live_dir(&dir));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

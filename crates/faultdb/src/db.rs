@@ -158,6 +158,21 @@ impl FaultDb {
         Ok(block)
     }
 
+    /// Validate every block payload (CRC + layout + value decode) without
+    /// keeping the rows — the deep check live fsck runs before promoting
+    /// or trusting a generation file, where `open`'s outside-in pass only
+    /// proves the footer. Returns the first damage found, in block order.
+    pub fn verify_deep(&self) -> Result<(), DbError> {
+        let indices: Vec<u32> = (0..self.blocks()).collect();
+        let checked = uc_parallel::par_map(&indices, |_, &i| {
+            let meta = &self.footer.blocks[i as usize];
+            format::decode_block(self.payload(i), meta)
+                .map(drop)
+                .map_err(|damage| DbError::BlockCorrupt { index: i, damage })
+        });
+        checked.into_iter().collect()
+    }
+
     /// Decode every block (in order) — full CRC sweep. Bypasses the
     /// cache: a one-shot export should not evict a server's working set.
     pub fn faults_all(&self) -> Result<Vec<Fault>, DbError> {
@@ -220,6 +235,45 @@ impl FaultDb {
             blocks_scanned: survivors.len() as u32,
             rows_scanned,
         })
+    }
+}
+
+/// A swappable reference to the currently-served database.
+///
+/// This is the snapshot-isolation primitive for live ingest: the query
+/// server holds a `DbHandle` instead of a bare `Arc<FaultDb>`, and each
+/// request clones the *current* `Arc` once, up front. A generation seal
+/// swaps the inner pointer; requests already in flight keep scanning the
+/// generation they started on, and every request sees exactly one
+/// consistent generation — never a mix. The lock is held only for the
+/// pointer clone/swap, never across a scan.
+#[derive(Clone)]
+pub struct DbHandle {
+    inner: Arc<parking_lot::RwLock<Arc<FaultDb>>>,
+}
+
+impl DbHandle {
+    pub fn new(db: Arc<FaultDb>) -> DbHandle {
+        DbHandle {
+            inner: Arc::new(parking_lot::RwLock::new(db)),
+        }
+    }
+
+    /// The generation to answer this request from.
+    pub fn current(&self) -> Arc<FaultDb> {
+        Arc::clone(&self.inner.read())
+    }
+
+    /// Publish a freshly sealed generation. In-flight queries are
+    /// untouched; the next `current()` call sees the new one.
+    pub fn swap(&self, db: Arc<FaultDb>) {
+        *self.inner.write() = db;
+    }
+}
+
+impl From<Arc<FaultDb>> for DbHandle {
+    fn from(db: Arc<FaultDb>) -> DbHandle {
+        DbHandle::new(db)
     }
 }
 

@@ -55,6 +55,13 @@ pub enum DbError {
     Query(String),
     /// The per-request deadline passed before the scan finished.
     Timeout,
+    /// A live-db durability operation (WAL append/flush/seal) failed.
+    Durable(uc_faultlog::DurabilityError),
+    /// The live directory's generation catalog is damaged or inconsistent.
+    Catalog(String),
+    /// A request line exceeded the server's cap; the connection is closed
+    /// rather than growing an unbounded buffer.
+    LineTooLong { limit: usize },
 }
 
 impl fmt::Display for DbError {
@@ -72,6 +79,11 @@ impl fmt::Display for DbError {
             }
             DbError::Query(why) => write!(f, "bad query: {why}"),
             DbError::Timeout => write!(f, "query deadline exceeded"),
+            DbError::Durable(e) => write!(f, "durability failure: {e}"),
+            DbError::Catalog(why) => write!(f, "catalog: {why}"),
+            DbError::LineTooLong { limit } => {
+                write!(f, "request exceeds the {limit}-byte line cap")
+            }
         }
     }
 }
@@ -80,8 +92,15 @@ impl std::error::Error for DbError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DbError::Io { source, .. } => Some(source),
+            DbError::Durable(source) => Some(source),
             _ => None,
         }
+    }
+}
+
+impl From<uc_faultlog::DurabilityError> for DbError {
+    fn from(e: uc_faultlog::DurabilityError) -> DbError {
+        DbError::Durable(e)
     }
 }
 
@@ -103,6 +122,9 @@ impl DbError {
             DbError::BlockCorrupt { .. } => "corrupt",
             DbError::Query(_) => "parse",
             DbError::Timeout => "timeout",
+            DbError::Durable(_) => "io",
+            DbError::Catalog(_) => "corrupt",
+            DbError::LineTooLong { .. } => "line-too-long",
         }
     }
 }

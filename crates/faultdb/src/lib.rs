@@ -25,6 +25,15 @@
 //! * [`server`] — `uc serve`: the line protocol, bounded admission with
 //!   typed overload rejection, graceful shutdown, and the loadgen
 //!   selftest.
+//! * [`wal`] — the streaming write-ahead log: CRC-framed durable
+//!   segments holding every accepted record, replayable after any crash.
+//! * [`catalog`] — the live database: WAL replay, generation sealing
+//!   through the identical batch pipeline (so live answers are
+//!   byte-identical to batch answers), the generation catalog, and
+//!   `fsck` for live directories.
+//! * [`ingest_server`] — `uc serve --ingest` / `uc stream`: the framed
+//!   TCP push protocol with sequence-numbered idempotent replay, bounded
+//!   admission, per-connection deadlines, and a chaos-driven selftest.
 //!
 //! Corruption is a first-class outcome, never a wrong answer: every
 //! read path validates CRCs outside-in and surfaces damage as a typed
@@ -32,18 +41,33 @@
 
 pub mod build;
 pub mod cache;
+pub mod catalog;
 pub mod db;
 pub mod error;
 pub mod format;
+pub mod ingest_server;
 pub mod query;
 pub mod server;
 pub mod snapshot;
+pub mod wal;
 
 pub use build::build_db;
 pub use cache::CacheStats;
-pub use db::{DbOptions, FaultDb, QueryOptions, QueryResult};
+pub use catalog::{
+    fsck_live_dir, gen_file_name, is_live_dir, Catalog, GenEntry, IngestOutcome, LiveDb,
+    LiveFsckReport, LiveStatus, OpenReport,
+};
+pub use db::{DbHandle, DbOptions, FaultDb, QueryOptions, QueryResult};
 pub use error::{BlockDamage, DbError};
 pub use format::{WriteOptions, WriteSummary};
+pub use ingest_server::{
+    ingest_selftest, stream_lines, IngestConfig, IngestSelftestReport, IngestServer,
+    IngestServerStats, IngestShutdownHandle, StreamOptions, StreamReport,
+};
 pub use query::{parse_query, Query};
-pub use server::{selftest, Client, Response, SelftestReport, ServeConfig, Server};
+pub use server::{
+    selftest, Client, Response, SelftestReport, ServeConfig, Server, ShutdownHandle,
+    MAX_REQUEST_LINE,
+};
 pub use snapshot::Snapshot;
+pub use wal::{Wal, WalRecord, WalRecovery};

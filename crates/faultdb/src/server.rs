@@ -27,8 +27,13 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use crate::db::{FaultDb, QueryOptions};
+use crate::db::{DbHandle, FaultDb, QueryOptions};
 use crate::error::DbError;
+
+/// Hard cap on one request line. A client that streams bytes without a
+/// newline is answered with a typed `ERR line-too-long` and disconnected
+/// instead of growing an unbounded buffer.
+pub const MAX_REQUEST_LINE: usize = 8192;
 
 /// Server tuning; `Default` suits tests and the selftest.
 #[derive(Clone, Debug)]
@@ -67,8 +72,9 @@ pub struct ServerStats {
 }
 
 /// Bounded admission: non-blocking push for the acceptor, blocking pop
-/// for the workers, drained on shutdown.
-struct Admission {
+/// for the workers, drained on shutdown. Shared with the ingest server,
+/// which has the same shed-don't-hang contract.
+pub(crate) struct Admission {
     queue: Mutex<VecDeque<TcpStream>>,
     cv: Condvar,
     cap: usize,
@@ -76,7 +82,7 @@ struct Admission {
 }
 
 impl Admission {
-    fn new(cap: usize) -> Admission {
+    pub(crate) fn new(cap: usize) -> Admission {
         Admission {
             queue: Mutex::new(VecDeque::new()),
             cv: Condvar::new(),
@@ -86,7 +92,7 @@ impl Admission {
     }
 
     /// Admit or hand the stream back (queue full / stopping).
-    fn try_push(&self, s: TcpStream) -> Result<(), TcpStream> {
+    pub(crate) fn try_push(&self, s: TcpStream) -> Result<(), TcpStream> {
         if self.stop.load(Ordering::Acquire) {
             return Err(s);
         }
@@ -101,7 +107,7 @@ impl Admission {
     }
 
     /// Next admitted connection; `None` once stopped *and* drained.
-    fn pop(&self) -> Option<TcpStream> {
+    pub(crate) fn pop(&self) -> Option<TcpStream> {
         let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if let Some(s) = q.pop_front() {
@@ -114,14 +120,18 @@ impl Admission {
         }
     }
 
-    fn stop(&self) {
+    pub(crate) fn stop(&self) {
         self.stop.store(true, Ordering::Release);
         self.cv.notify_all();
+    }
+
+    pub(crate) fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
     }
 }
 
 struct Inner {
-    db: Arc<FaultDb>,
+    db: DbHandle,
     cfg: ServeConfig,
     admission: Admission,
     addr: SocketAddr,
@@ -151,16 +161,33 @@ pub struct Server {
     workers: Vec<JoinHandle<()>>,
 }
 
+/// A cloneable remote control for [`Server::shutdown`] — lets a signal
+/// watcher (or any other thread) stop the server while the main thread
+/// is parked in [`Server::join`].
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    inner: Arc<Inner>,
+}
+
+impl ShutdownHandle {
+    pub fn shutdown(&self) {
+        self.inner.shutdown();
+    }
+}
+
 impl Server {
-    /// Bind and start the acceptor and worker threads.
-    pub fn start(db: Arc<FaultDb>, cfg: &ServeConfig) -> Result<Server, DbError> {
+    /// Bind and start the acceptor and worker threads. Accepts either a
+    /// plain `Arc<FaultDb>` (static serving) or a [`DbHandle`] from a
+    /// [`crate::catalog::LiveDb`] — in the live case, generation seals
+    /// become visible to new requests without a restart.
+    pub fn start(db: impl Into<DbHandle>, cfg: &ServeConfig) -> Result<Server, DbError> {
         let listener = TcpListener::bind(&cfg.addr)
             .map_err(|e| DbError::io(std::path::Path::new(&cfg.addr), e))?;
         let addr = listener
             .local_addr()
             .map_err(|e| DbError::io(std::path::Path::new(&cfg.addr), e))?;
         let inner = Arc::new(Inner {
-            db,
+            db: db.into(),
             cfg: cfg.clone(),
             admission: Admission::new(cfg.queue),
             addr,
@@ -221,6 +248,13 @@ impl Server {
         self.inner.shutdown();
     }
 
+    /// A handle other threads can use to trigger the same shutdown.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
     /// Wait for the acceptor and all workers to exit.
     pub fn join(mut self) -> ServerStats {
         if let Some(a) = self.acceptor.take() {
@@ -242,6 +276,48 @@ enum Outcome {
     Shutdown,
 }
 
+/// Outcome of one bounded line read.
+pub(crate) enum LineRead {
+    Line(String),
+    Eof,
+    TooLong,
+}
+
+/// Read one `\n`-terminated line without ever buffering more than `cap`
+/// bytes — the fix for the unbounded `read_line` a hostile client could
+/// feed forever. A final unterminated line at EOF is still delivered.
+pub(crate) fn read_bounded_line(reader: &mut impl BufRead, cap: usize) -> io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if buf.len() + pos > cap {
+                    return Ok(LineRead::TooLong);
+                }
+                buf.extend_from_slice(&chunk[..pos]);
+                reader.consume(pos + 1);
+                return Ok(LineRead::Line(String::from_utf8_lossy(&buf).into_owned()));
+            }
+            None => {
+                let n = chunk.len();
+                if buf.len() + n > cap {
+                    return Ok(LineRead::TooLong);
+                }
+                buf.extend_from_slice(chunk);
+                reader.consume(n);
+            }
+        }
+    }
+}
+
 fn handle_connection(inner: &Inner, stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(inner.cfg.idle_timeout));
     let _ = stream.set_nodelay(true);
@@ -250,13 +326,20 @@ fn handle_connection(inner: &Inner, stream: TcpStream) {
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
-    let mut line = String::new();
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => return,
-            Ok(_) => {}
-        }
+        let line = match read_bounded_line(&mut reader, MAX_REQUEST_LINE) {
+            Ok(LineRead::Line(l)) => l,
+            Ok(LineRead::Eof) | Err(_) => return,
+            Ok(LineRead::TooLong) => {
+                inner.served.fetch_add(1, Ordering::Relaxed);
+                let e = DbError::LineTooLong {
+                    limit: MAX_REQUEST_LINE,
+                };
+                let _ = writeln!(writer, "ERR {}: {}", e.kind(), e);
+                let _ = writer.flush();
+                return;
+            }
+        };
         let request = line.trim();
         if request.is_empty() {
             continue;
@@ -293,7 +376,7 @@ fn respond(inner: &Inner, request: &str, w: &mut impl Write) -> Outcome {
             return Outcome::Continue;
         }
         "STATS" => {
-            let db = &inner.db;
+            let db = inner.db.current();
             let cache = db.cache_stats();
             let stats = inner.stats();
             let lines = [
@@ -318,7 +401,9 @@ fn respond(inner: &Inner, request: &str, w: &mut impl Write) -> Outcome {
     let opts = QueryOptions {
         deadline: Some(Instant::now() + inner.cfg.request_timeout),
     };
-    match inner.db.query(request, &opts) {
+    // One `current()` per request: the whole answer comes from a single
+    // generation even if a seal lands mid-scan (snapshot isolation).
+    match inner.db.current().query(request, &opts) {
         Ok(result) => {
             let _ = writeln!(w, "OK {}", result.lines.len());
             for l in &result.lines {
@@ -642,6 +727,62 @@ mod tests {
         assert!(server.stats().rejected >= 1);
         server.shutdown();
         server.join();
+    }
+
+    #[test]
+    fn oversized_request_line_is_rejected_typed() {
+        let server = Server::start(test_db("linecap", 10), &ServeConfig::default()).unwrap();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        // A newline-free flood past the cap must be answered (typed) and
+        // disconnected, never buffered indefinitely.
+        let flood = "a".repeat(MAX_REQUEST_LINE + 1000);
+        match c.request(&flood).unwrap() {
+            Response::Err { kind, .. } => assert_eq!(kind, "line-too-long"),
+            other => panic!("expected line-too-long, got {other:?}"),
+        }
+        // A request exactly at the cap still works.
+        let mut c2 = Client::connect(server.local_addr()).unwrap();
+        let padded = format!("{}count", " ".repeat(MAX_REQUEST_LINE - 5));
+        assert_eq!(
+            c2.request(&padded).unwrap(),
+            Response::Ok(vec!["10".to_string()])
+        );
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn live_handle_seal_becomes_visible_to_new_requests() {
+        let dir = std::env::temp_dir().join(format!("uc-faultdb-srv-live-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (live, _) = crate::catalog::LiveDb::open(&dir).unwrap();
+        let server = Server::start(live.handle(), &ServeConfig::default()).unwrap();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        assert_eq!(
+            c.request("count").unwrap(),
+            Response::Ok(vec!["0".to_string()])
+        );
+        // Two nodes, or the flood filter (one node holding >50% of all
+        // errors) would extract zero faults.
+        for name in ["01-01", "01-02"] {
+            live.ingest(
+                NodeId::from_name(name).unwrap(),
+                0,
+                &format!(
+                    "ERROR t=60 node={name} vaddr=0x00000400 page=0x000000 \
+                     expected=0xffffffff actual=0xfffffffe temp=33.0"
+                ),
+            )
+            .unwrap();
+        }
+        live.seal().unwrap();
+        assert_eq!(
+            c.request("count").unwrap(),
+            Response::Ok(vec!["2".to_string()])
+        );
+        server.shutdown();
+        server.join();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

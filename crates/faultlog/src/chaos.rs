@@ -361,6 +361,171 @@ pub fn corrupt_durable_dir(
     Ok(report)
 }
 
+// ------------------------------------------------------------ network chaos
+
+/// Dose and seed for an unreliable-network transport wrapper: the faults
+/// a streaming client sees on a real fleet link, injected into any
+/// `Read + Write` stream. Like the corpus corrupters above, every
+/// decision comes from a [`StreamRng`] keyed by `(seed, stream key,
+/// Chaos)`, so a chaotic connection is a pure function of its seed.
+#[derive(Clone, Copy, Debug)]
+pub struct NetChaosConfig {
+    /// Seed for the per-connection chaos streams.
+    pub seed: u64,
+    /// Probability, per write, of dropping the connection before any
+    /// byte goes out (a mid-stream disconnect).
+    pub disconnect_rate: f64,
+    /// Probability, per write, of writing only a prefix of the buffer
+    /// and then failing (a partial write tearing a frame on the wire).
+    pub partial_write_rate: f64,
+    /// Probability, per write, of injecting garbage bytes into the
+    /// stream before failing (a corrupt frame the peer must reject).
+    pub garbage_rate: f64,
+    /// Probability, per write, of delaying before the bytes go out.
+    pub delay_rate: f64,
+    /// Upper bound on one injected delay, in milliseconds.
+    pub delay_ms_max: u64,
+    /// Probability, per read, of dropping the connection instead.
+    pub read_drop_rate: f64,
+}
+
+impl NetChaosConfig {
+    /// A hostile-but-survivable dose: every fault mode enabled at rates
+    /// that force several reconnects over a typical stream without
+    /// exhausting a bounded retry budget.
+    pub fn hostile(seed: u64) -> NetChaosConfig {
+        NetChaosConfig {
+            seed,
+            disconnect_rate: 0.02,
+            partial_write_rate: 0.02,
+            garbage_rate: 0.01,
+            delay_rate: 0.05,
+            delay_ms_max: 2,
+            read_drop_rate: 0.01,
+        }
+    }
+
+    /// All rates zero: a transparent wrapper (useful as a control).
+    pub fn quiet(seed: u64) -> NetChaosConfig {
+        NetChaosConfig {
+            seed,
+            disconnect_rate: 0.0,
+            partial_write_rate: 0.0,
+            garbage_rate: 0.0,
+            delay_rate: 0.0,
+            delay_ms_max: 0,
+            read_drop_rate: 0.0,
+        }
+    }
+}
+
+/// Shared tally of injected network faults, readable after the wrapped
+/// streams have been dropped (reconnect loops drop a stream per retry).
+#[derive(Debug, Default)]
+pub struct NetChaosTally {
+    pub disconnects: std::sync::atomic::AtomicU64,
+    pub partial_writes: std::sync::atomic::AtomicU64,
+    pub garbage_frames: std::sync::atomic::AtomicU64,
+    pub delays: std::sync::atomic::AtomicU64,
+    pub read_drops: std::sync::atomic::AtomicU64,
+}
+
+impl NetChaosTally {
+    pub fn total(&self) -> u64 {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.disconnects.load(Relaxed)
+            + self.partial_writes.load(Relaxed)
+            + self.garbage_frames.load(Relaxed)
+            + self.delays.load(Relaxed)
+            + self.read_drops.load(Relaxed)
+    }
+}
+
+/// An injectable transport: wraps any `Read + Write` stream and injects
+/// drops, partial writes, delays, and garbage bytes per
+/// [`NetChaosConfig`]. Injected failures surface as ordinary
+/// `io::Error`s (`ConnectionReset`), indistinguishable from the real
+/// thing — which is the point: the client's retry path cannot tell chaos
+/// from weather.
+pub struct ChaosStream<S> {
+    inner: S,
+    cfg: NetChaosConfig,
+    rng: StreamRng,
+    tally: std::sync::Arc<NetChaosTally>,
+}
+
+impl<S> ChaosStream<S> {
+    /// Wrap `inner`; `stream_key` distinguishes connections (use an
+    /// attempt counter) so each reconnect sees fresh, reproducible chaos.
+    pub fn new(
+        inner: S,
+        cfg: NetChaosConfig,
+        stream_key: u64,
+        tally: std::sync::Arc<NetChaosTally>,
+    ) -> ChaosStream<S> {
+        ChaosStream {
+            inner,
+            cfg,
+            rng: StreamRng::for_stream(cfg.seed, stream_key, StreamTag::Chaos),
+            tally,
+        }
+    }
+
+    fn dropped(&self, counter: &std::sync::atomic::AtomicU64) -> std::io::Error {
+        counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::io::Error::new(
+            std::io::ErrorKind::ConnectionReset,
+            "chaos: connection dropped",
+        )
+    }
+}
+
+impl<S: std::io::Write> std::io::Write for ChaosStream<S> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.rng.chance(self.cfg.disconnect_rate) {
+            return Err(self.dropped(&self.tally.disconnects));
+        }
+        if self.rng.chance(self.cfg.garbage_rate) {
+            // Put a corrupt frame on the wire, then fail: the peer must
+            // reject the garbage by checksum, and the client must treat
+            // the connection as dead and replay.
+            let n = 1 + self.rng.below(16) as usize;
+            let junk: Vec<u8> = (0..n).map(|_| self.rng.next_u64() as u8).collect();
+            let _ = self.inner.write_all(&junk);
+            let _ = self.inner.flush();
+            return Err(self.dropped(&self.tally.garbage_frames));
+        }
+        if self.rng.chance(self.cfg.partial_write_rate) && buf.len() > 1 {
+            let k = 1 + self.rng.below(buf.len() as u64 - 1) as usize;
+            let _ = self.inner.write_all(&buf[..k]);
+            let _ = self.inner.flush();
+            return Err(self.dropped(&self.tally.partial_writes));
+        }
+        if self.rng.chance(self.cfg.delay_rate) && self.cfg.delay_ms_max > 0 {
+            self.tally
+                .delays
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            std::thread::sleep(std::time::Duration::from_millis(
+                1 + self.rng.below(self.cfg.delay_ms_max),
+            ));
+        }
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl<S: std::io::Read> std::io::Read for ChaosStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.rng.chance(self.cfg.read_drop_rate) {
+            return Err(self.dropped(&self.tally.read_drops));
+        }
+        self.inner.read(buf)
+    }
+}
+
 /// Byte offsets where each valid frame of a scanned segment starts.
 fn scan_frame_starts(scan: &crate::durable::SegmentScan) -> Vec<u64> {
     let mut starts = Vec::with_capacity(scan.payloads.len());
@@ -520,6 +685,52 @@ mod tests {
         let r2 = fsck_dir(&dir).unwrap();
         assert!(!r2.found_damage(), "fsck converges in one pass");
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quiet_chaos_stream_is_transparent() {
+        use std::io::{Read, Write};
+        let tally = std::sync::Arc::new(NetChaosTally::default());
+        let mut out = Vec::new();
+        let mut w = ChaosStream::new(&mut out, NetChaosConfig::quiet(1), 0, tally.clone());
+        w.write_all(b"hello frames").unwrap();
+        drop(w);
+        assert_eq!(out, b"hello frames");
+        let mut r = ChaosStream::new(&out[..], NetChaosConfig::quiet(1), 1, tally.clone());
+        let mut back = Vec::new();
+        r.read_to_end(&mut back).unwrap();
+        assert_eq!(back, b"hello frames");
+        assert_eq!(tally.total(), 0);
+    }
+
+    #[test]
+    fn hostile_chaos_stream_injects_deterministically() {
+        use std::io::Write;
+        let run = |seed: u64| {
+            let tally = std::sync::Arc::new(NetChaosTally::default());
+            let mut outcomes = Vec::new();
+            let mut out = Vec::new();
+            let mut cfg = NetChaosConfig::hostile(seed);
+            // Crank the rates so a short run always trips something.
+            cfg.disconnect_rate = 0.3;
+            cfg.partial_write_rate = 0.3;
+            cfg.garbage_rate = 0.2;
+            cfg.delay_rate = 0.0;
+            let mut w = ChaosStream::new(&mut out, cfg, 7, tally.clone());
+            for i in 0..50u8 {
+                outcomes.push(w.write_all(&[i; 16]).is_ok());
+            }
+            drop(w);
+            (outcomes, out, tally.total())
+        };
+        let (a_out, a_bytes, a_total) = run(11);
+        let (b_out, b_bytes, b_total) = run(11);
+        assert_eq!(a_out, b_out, "same seed, same fault schedule");
+        assert_eq!(a_bytes, b_bytes);
+        assert_eq!(a_total, b_total);
+        assert!(a_total > 0, "dose high enough to do something");
+        let (c_out, ..) = run(12);
+        assert_ne!(a_out, c_out, "different seeds differ");
     }
 
     fn read_all(dir: &Path) -> Vec<(String, Vec<u8>)> {

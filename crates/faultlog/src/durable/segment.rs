@@ -296,6 +296,96 @@ impl<'a> SegmentWriter<'a> {
     }
 }
 
+// ------------------------------------------------------------ wire reader
+
+/// One event from an incremental frame stream.
+///
+/// Transport-level failures (reset, timeout) surface as `io::Error` from
+/// [`FrameReader::next_frame`]; *content*-level failures — a frame that
+/// arrived but is not a valid frame — are a [`FrameEvent::Damaged`] value,
+/// because the bytes are evidence the reader may want to report, not an
+/// I/O condition to retry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameEvent {
+    /// A complete, checksum-valid payload.
+    Frame(Vec<u8>),
+    /// The stream ended cleanly at a frame boundary.
+    Eof,
+    /// The stream produced bytes that are not a valid frame (torn write,
+    /// corrupt header, checksum mismatch). The stream is unusable past
+    /// this point.
+    Damaged(FrameDamage),
+}
+
+/// Incremental reader for the segment format over any byte stream — the
+/// same `MAGIC frame*` layout the on-disk scanner validates, consumed
+/// frame-by-frame so it can serve as a TCP wire protocol. Hostile input
+/// never panics and never allocates more than [`MAX_FRAME_LEN`].
+pub struct FrameReader<R> {
+    inner: R,
+}
+
+impl<R: std::io::Read> FrameReader<R> {
+    pub fn new(inner: R) -> FrameReader<R> {
+        FrameReader { inner }
+    }
+
+    /// Fill `buf` from the stream. `Ok(true)` on success, `Ok(false)` on
+    /// EOF before the first byte; EOF mid-buffer is reported via `torn`.
+    fn read_exact_or_eof(&mut self, buf: &mut [u8]) -> std::io::Result<Option<bool>> {
+        let mut got = 0usize;
+        while got < buf.len() {
+            match self.inner.read(&mut buf[got..]) {
+                Ok(0) => return Ok(if got == 0 { Some(false) } else { None }),
+                Ok(n) => got += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(Some(true))
+    }
+
+    /// Read and verify the leading [`MAGIC`]. Call once per stream;
+    /// `Ok(false)` means the peer is not speaking this protocol.
+    pub fn expect_magic(&mut self) -> std::io::Result<bool> {
+        let mut buf = [0u8; 7];
+        match self.read_exact_or_eof(&mut buf)? {
+            Some(true) => Ok(&buf == MAGIC),
+            _ => Ok(false),
+        }
+    }
+
+    /// Read the next frame, blocking until one arrives or the stream ends.
+    pub fn next_frame(&mut self) -> std::io::Result<FrameEvent> {
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        match self.read_exact_or_eof(&mut header)? {
+            Some(true) => {}
+            Some(false) => return Ok(FrameEvent::Eof),
+            None => return Ok(FrameEvent::Damaged(FrameDamage::TornHeader)),
+        }
+        let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        if len > MAX_FRAME_LEN {
+            return Ok(FrameEvent::Damaged(FrameDamage::BadLength));
+        }
+        let mut payload = vec![0u8; len as usize];
+        match self.read_exact_or_eof(&mut payload)? {
+            Some(true) => {}
+            _ => return Ok(FrameEvent::Damaged(FrameDamage::TornPayload)),
+        }
+        if crc32(&payload) != crc {
+            return Ok(FrameEvent::Damaged(FrameDamage::BadChecksum));
+        }
+        Ok(FrameEvent::Frame(payload))
+    }
+}
+
+/// Write one frame (header + payload) to a stream. The caller owns
+/// buffering and flushing.
+pub fn write_frame(w: &mut impl std::io::Write, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&encode_frame(payload))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -447,6 +537,77 @@ mod tests {
         assert!(matches!(err, DurabilityError::Io { attempts: 2, .. }));
         assert!(err.to_string().contains("n.dlog"));
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn frame_reader_replays_a_segment_stream() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(MAGIC);
+        wire.extend_from_slice(&encode_frame(b"alpha"));
+        wire.extend_from_slice(&encode_frame(b""));
+        wire.extend_from_slice(&encode_frame(b"\x00\xFFbinary"));
+        let mut r = FrameReader::new(&wire[..]);
+        assert!(r.expect_magic().unwrap());
+        assert_eq!(
+            r.next_frame().unwrap(),
+            FrameEvent::Frame(b"alpha".to_vec())
+        );
+        assert_eq!(r.next_frame().unwrap(), FrameEvent::Frame(Vec::new()));
+        assert_eq!(
+            r.next_frame().unwrap(),
+            FrameEvent::Frame(b"\x00\xFFbinary".to_vec())
+        );
+        assert_eq!(r.next_frame().unwrap(), FrameEvent::Eof);
+    }
+
+    #[test]
+    fn frame_reader_rejects_hostile_bytes_without_panic() {
+        // Wrong magic.
+        let mut r = FrameReader::new(&b"GET / HTTP/1.1\r\n"[..]);
+        assert!(!r.expect_magic().unwrap());
+        // Truncated magic.
+        let mut r = FrameReader::new(&MAGIC[..3]);
+        assert!(!r.expect_magic().unwrap());
+        // Torn header.
+        let mut wire = MAGIC.to_vec();
+        wire.extend_from_slice(&[1, 2, 3]);
+        let mut r = FrameReader::new(&wire[..]);
+        assert!(r.expect_magic().unwrap());
+        assert_eq!(
+            r.next_frame().unwrap(),
+            FrameEvent::Damaged(FrameDamage::TornHeader)
+        );
+        // Implausible length is damage, not an allocation request.
+        let mut wire = MAGIC.to_vec();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        wire.extend_from_slice(&0u32.to_le_bytes());
+        let mut r = FrameReader::new(&wire[..]);
+        assert!(r.expect_magic().unwrap());
+        assert_eq!(
+            r.next_frame().unwrap(),
+            FrameEvent::Damaged(FrameDamage::BadLength)
+        );
+        // Torn payload.
+        let mut wire = MAGIC.to_vec();
+        wire.extend_from_slice(&encode_frame(b"whole frame")[..12]);
+        let mut r = FrameReader::new(&wire[..]);
+        assert!(r.expect_magic().unwrap());
+        assert_eq!(
+            r.next_frame().unwrap(),
+            FrameEvent::Damaged(FrameDamage::TornPayload)
+        );
+        // Flipped payload bit.
+        let mut wire = MAGIC.to_vec();
+        let mut frame = encode_frame(b"checksummed");
+        let last = frame.len() - 1;
+        frame[last] ^= 0x01;
+        wire.extend_from_slice(&frame);
+        let mut r = FrameReader::new(&wire[..]);
+        assert!(r.expect_magic().unwrap());
+        assert_eq!(
+            r.next_frame().unwrap(),
+            FrameEvent::Damaged(FrameDamage::BadChecksum)
+        );
     }
 
     #[test]

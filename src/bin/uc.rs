@@ -16,7 +16,10 @@
 //!   `.checkpoints`, if present): check manifests and frame checksums,
 //!   keep the longest valid prefix of each torn file, move damaged tails
 //!   to `<dir>/.lost+found`, rebuild the manifest, and print accounting
-//!   under the conservation law `bytes_in == salvaged + quarantined`;
+//!   under the conservation law `bytes_in == salvaged + quarantined`.
+//!   A *live* directory (WAL segments + generations + CATALOG) gets the
+//!   extended live fsck: WAL salvage, half-sealed generation promotion
+//!   or quarantine, and catalog rollback, same conservation law;
 //! - `uc analyze <dir> [--threads N]` / `uc analyze --db <file>` — run
 //!   the extraction methodology and print the log-derivable analyses.
 //!   With `--db` the report comes from a sealed fault database instead of
@@ -33,6 +36,21 @@
 //!   `--selftest N` instead hammers a fresh in-process server with N
 //!   concurrent clients and verifies every response against the
 //!   single-threaded engine;
+//! - `uc serve <livedir> --ingest x [--ingest-addr host:port]` — the live
+//!   variant: open (or create) a streaming-ingest database directory,
+//!   accept framed record pushes on the ingest endpoint (acked only
+//!   after a WAL fsync), answer snapshot-isolated queries on the query
+//!   endpoint during ingest, and seal a generation on drain. SIGINT,
+//!   SIGTERM, and the `SHUTDOWN` command all drain gracefully.
+//!   `--selftest N` runs the chaos end-to-end check instead: N
+//!   fault-injected clients stream into an under-provisioned server and
+//!   the sealed generation must byte-match a batch-built oracle;
+//! - `uc stream <addr> <logdir>` — push every `node-*.log` in a
+//!   directory to a live ingest server, one resilient
+//!   sequence-numbered session per node (reconnect resumes from the
+//!   server's cursor; replay is exactly-once); `--seal x` seals a
+//!   queryable generation at the end, `--chaos-seed N` injects
+//!   deterministic transport faults for self-torture;
 //! - `uc scan [--mb N] [--iters N]` — scan real host memory (memtester
 //!   mode; see also the `memscan_host` example for fault injection);
 //! - `uc report [--seed N] [--blades N] [--csv <dir>]` — run a campaign in memory and
@@ -47,11 +65,69 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-use uc_faultdb::{FaultDb, QueryOptions, ServeConfig, WriteOptions};
+use uc_faultdb::{FaultDb, IngestConfig, QueryOptions, ServeConfig, StreamOptions, WriteOptions};
 use uc_faultlog::files::{write_cluster_log, write_cluster_log_compact, write_text_atomic};
 use uc_memscan::host::{run_host_scan, run_host_scan_parallel};
 use uc_memscan::Pattern;
 use unprotected_core::{checkpoint, render, run_campaign, CampaignConfig, Report};
+
+/// SIGINT/SIGTERM → the servers' *graceful* shutdown path (stop flag +
+/// self-connect), so an operator's Ctrl-C or a supervisor's TERM drains
+/// admitted connections instead of killing mid-request. Raw
+/// `signal(2)` via the C ABI — the repo links no signal crate, and a
+/// handler that only stores to an `AtomicBool` is async-signal-safe.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        TERMINATE.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+
+    pub fn triggered() -> bool {
+        TERMINATE.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+
+    pub fn triggered() -> bool {
+        false
+    }
+}
+
+/// Install the handler and watch for it from a background thread,
+/// running `on_term` (each server's graceful shutdown) when a signal
+/// lands. The watcher dies with the process; no cleanup needed.
+fn spawn_signal_watcher(on_term: impl Fn() + Send + 'static) {
+    sig::install();
+    std::thread::spawn(move || loop {
+        if sig::triggered() {
+            eprintln!("signal received; draining connections and shutting down");
+            on_term();
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    });
+}
 
 struct Args {
     positional: Vec<String>,
@@ -130,6 +206,8 @@ const USAGE: &str = "usage:\n  \
      uc build-db <logdir> <db> [--rows-per-block N]\n  \
      uc query <db> <expr...> [--timeout-ms N]\n  \
      uc serve <db> [--addr host:port] [--workers N] [--queue N] [--timeout-ms N] [--selftest N]\n  \
+     uc serve <livedir> --ingest x [--ingest-addr host:port] [--addr host:port] [--selftest N] [--chaos-seed N]\n  \
+     uc stream <addr> <logdir> [--batch N] [--max-attempts N] [--chaos-seed N] [--seal x]\n  \
      uc scan [--mb N] [--iters N] [--pattern alternating|incrementing|checkerboard] [--parallel x]\n  \
      uc report [--seed N] [--blades N] [--csv <dir>] [--threads N]\n  \
      uc --version";
@@ -394,6 +472,9 @@ fn cmd_serve(args: &Args) -> ExitCode {
             "timeout-ms",
             "selftest",
             "threads",
+            "ingest",
+            "ingest-addr",
+            "chaos-seed",
         ],
         1,
         1,
@@ -420,6 +501,13 @@ fn cmd_serve(args: &Args) -> ExitCode {
     };
     if args.has("selftest") && selftest == 0 {
         return bad_usage("--selftest requires a positive client count");
+    }
+    if args.has("ingest-addr") && !args.has("ingest") {
+        return bad_usage("--ingest-addr only makes sense with --ingest");
+    }
+
+    if args.has("ingest") {
+        return cmd_serve_ingest(args, selftest);
     }
 
     let db_path = PathBuf::from(&args.positional[0]);
@@ -473,12 +561,14 @@ fn cmd_serve(args: &Args) -> ExitCode {
         match uc_faultdb::Server::start(db, &cfg) {
             Ok(server) => {
                 eprintln!(
-                    "serving {} on {} ({} workers, queue {}); send SHUTDOWN to stop",
+                    "serving {} on {} ({} workers, queue {}); send SHUTDOWN or SIGINT/SIGTERM to stop",
                     db_path.display(),
                     server.local_addr(),
                     cfg.workers,
                     cfg.queue
                 );
+                let handle = server.shutdown_handle();
+                spawn_signal_watcher(move || handle.shutdown());
                 let stats = server.join();
                 eprintln!(
                     "served {} requests, rejected {} overloaded connections",
@@ -494,11 +584,279 @@ fn cmd_serve(args: &Args) -> ExitCode {
     }
 }
 
+/// `uc serve <livedir> --ingest`: a live database with a framed push
+/// endpoint for nodes and the usual query endpoint for readers, both
+/// draining gracefully on SHUTDOWN or SIGINT/SIGTERM. With
+/// `--selftest N`, runs the chaos-driven end-to-end check instead.
+fn cmd_serve_ingest(args: &Args, selftest: u64) -> ExitCode {
+    let dir = PathBuf::from(&args.positional[0]);
+
+    if selftest > 0 {
+        let seed = match args.get_u64_strict("chaos-seed", 1) {
+            Ok(n) => n,
+            Err(e) => return bad_usage(&e),
+        };
+        return match uc_faultdb::ingest_selftest(&dir, selftest as usize, seed) {
+            Ok(report) => {
+                println!(
+                    "ingest selftest: {} clients, {}/{} records acked, {} reconnects, \
+                     {} chaos events, {} sheds, {} mismatches",
+                    report.clients,
+                    report.records_acked,
+                    report.records_sent,
+                    report.reconnects,
+                    report.chaos_events,
+                    report.sheds,
+                    report.mismatches
+                );
+                if report.mismatches == 0 && report.records_acked == report.records_sent {
+                    ExitCode::SUCCESS
+                } else {
+                    eprintln!(
+                        "ingest selftest FAILED: live database diverged from the batch oracle"
+                    );
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("ingest selftest: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let (live, open) = match uc_faultdb::LiveDb::open(&dir) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("serve --ingest: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let live = Arc::new(live);
+    eprintln!(
+        "opened live db {}: {} records replayed from {} WAL segment(s), {} gen {} ({} torn bytes trimmed)",
+        dir.display(),
+        open.replayed,
+        open.wal.segments,
+        if open.served_existing {
+            "serving existing"
+        } else {
+            "resealed"
+        },
+        open.generation,
+        open.wal.torn_bytes
+    );
+
+    let ingest_cfg = IngestConfig {
+        addr: args
+            .get("ingest-addr")
+            .unwrap_or("127.0.0.1:7879")
+            .to_string(),
+        ..IngestConfig::default()
+    };
+    let ingest = match uc_faultdb::IngestServer::start(Arc::clone(&live), &ingest_cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve --ingest: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let query_cfg = ServeConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
+        ..ServeConfig::default()
+    };
+    let query = match uc_faultdb::Server::start(live.handle(), &query_cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve --ingest: {e}");
+            ingest.shutdown();
+            ingest.join();
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "ingest on {}, queries on {}; send SHUTDOWN or SIGINT/SIGTERM to stop",
+        ingest.local_addr(),
+        query.local_addr()
+    );
+
+    let iq = ingest.shutdown_handle();
+    let qq = query.shutdown_handle();
+    spawn_signal_watcher(move || {
+        iq.shutdown();
+        qq.shutdown();
+    });
+    // The query server owns lifetime: its SHUTDOWN command (or a signal)
+    // ends both endpoints.
+    let qstats = query.join();
+    ingest.shutdown();
+    let istats = ingest.join();
+    // One last seal so everything acked is also queryable after restart
+    // without a WAL replay rebuild.
+    if let Err(e) = live.seal() {
+        eprintln!("final seal failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let status = live.status();
+    eprintln!(
+        "served {} queries ({} shed); ingested {} records over {} sessions ({} shed, {} protocol errors); \
+         final generation {} with {} records",
+        qstats.served,
+        qstats.rejected,
+        status.records,
+        istats.sessions,
+        istats.rejected,
+        istats.protocol_errors,
+        status.generation,
+        status.gen_records
+    );
+    ExitCode::SUCCESS
+}
+
+/// `uc stream <addr> <logdir>`: push every `node-*.log` in a directory
+/// to a live ingest server, one resilient session per node.
+fn cmd_stream(args: &Args) -> ExitCode {
+    if let Err(e) = args.validate(
+        "stream",
+        &["batch", "chaos-seed", "seal", "max-attempts", "threads"],
+        2,
+        2,
+    ) {
+        return bad_usage(&e);
+    }
+    let batch = match args.get_u64_strict("batch", 64) {
+        Ok(n) if n >= 1 => n as usize,
+        Ok(_) => return bad_usage("--batch must be at least 1"),
+        Err(e) => return bad_usage(&e),
+    };
+    let max_attempts = match args.get_u64_strict("max-attempts", 10) {
+        Ok(n) if n >= 1 => n as u32,
+        Ok(_) => return bad_usage("--max-attempts must be at least 1"),
+        Err(e) => return bad_usage(&e),
+    };
+    let chaos_seed = match args.get_u64_strict("chaos-seed", 0) {
+        Ok(n) => n,
+        Err(e) => return bad_usage(&e),
+    };
+    let addr = {
+        use std::net::ToSocketAddrs;
+        match args.positional[0].to_socket_addrs() {
+            Ok(mut addrs) => match addrs.next() {
+                Some(a) => a,
+                None => return bad_usage("stream address resolved to nothing"),
+            },
+            Err(e) => return bad_usage(&format!("bad stream address {}: {e}", args.positional[0])),
+        }
+    };
+    let logdir = PathBuf::from(&args.positional[1]);
+    let paths = match uc_faultlog::ingest::node_log_paths(&logdir) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("stream: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let opts = StreamOptions {
+        batch,
+        max_attempts,
+        seal_at_end: false,
+        chaos: (chaos_seed > 0).then(|| uc_faultlog::chaos::NetChaosConfig::hostile(chaos_seed)),
+        ..StreamOptions::default()
+    };
+    let t0 = std::time::Instant::now();
+    let mut total_acked = 0u64;
+    let mut total_retries = 0u32;
+    let mut failures = 0u64;
+    let n = paths.len();
+    let results = uc_parallel::par_map(&paths, |_, path| {
+        let name = path.file_name().and_then(|s| s.to_str()).unwrap_or("");
+        let Some(node) = uc_faultlog::ingest::node_of_log_file_name(name) else {
+            return Err(format!("{}: not a node log file", path.display()));
+        };
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let lines: Vec<String> = text.lines().map(str::to_string).collect();
+        uc_faultdb::stream_lines(addr, node, &lines, &opts, None)
+            .map(|r| (node, r))
+            .map_err(|e| format!("{node}: {e}"))
+    });
+    for r in results {
+        match r {
+            Ok((node, report)) => {
+                eprintln!(
+                    "streamed {node}: {} records acked over {} connection(s), {} retries",
+                    report.acked, report.connects, report.retries
+                );
+                total_acked += report.acked;
+                total_retries += report.retries;
+            }
+            Err(e) => {
+                eprintln!("stream FAILED: {e}");
+                failures += 1;
+            }
+        }
+    }
+    // One seal at the end, not per node: generations are global. Without
+    // `--seal x` the records are still WAL-durable and replayed on
+    // restart; they just aren't queryable until the server next seals.
+    if failures == 0 && args.has("seal") {
+        if let Err(e) = seal_remote(addr) {
+            eprintln!("stream: final seal failed: {e}");
+            failures += 1;
+        }
+    }
+    println!(
+        "streamed {n} node log(s): {total_acked} records acked, {total_retries} retries, \
+         {failures} failures in {:?}",
+        t0.elapsed()
+    );
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Ask the server to seal a generation using a node-less session: HELLO
+/// as an arbitrary real node with zero records, then SEAL.
+fn seal_remote(addr: std::net::SocketAddr) -> Result<(), uc_faultdb::DbError> {
+    // A SEAL needs a session but no records; any valid node name works
+    // and an empty line set means the cursor math is untouched.
+    let node = uc_cluster::NodeId::from_name("01-01").expect("static name is valid");
+    let opts = StreamOptions {
+        seal_at_end: true,
+        ..StreamOptions::default()
+    };
+    uc_faultdb::stream_lines(addr, node, &[], &opts, None).map(drop)
+}
+
 fn cmd_fsck(args: &Args) -> ExitCode {
     if let Err(e) = args.validate("fsck", &["threads"], 1, 1) {
         return bad_usage(&e);
     }
     let dir = PathBuf::from(&args.positional[0]);
+    // Live ingest directories carry WAL segments, sealed generations, and
+    // a catalog on top of the durable segment format; their fsck enforces
+    // the same conservation law but also promotes or rolls back torn
+    // generation seals.
+    if uc_faultdb::is_live_dir(&dir) {
+        return match uc_faultdb::fsck_live_dir(&dir) {
+            Ok(report) => {
+                eprintln!("fsck (live) {}:", dir.display());
+                eprintln!("{}", report.render());
+                if report.is_conserved() {
+                    ExitCode::SUCCESS
+                } else {
+                    eprintln!("fsck: CONSERVATION VIOLATED — this is a bug, bytes were lost");
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("fsck {}: {e}", dir.display());
+                ExitCode::FAILURE
+            }
+        };
+    }
     let mut targets = vec![dir.clone()];
     let ckpt_dir = dir.join(".checkpoints");
     if ckpt_dir.is_dir() {
@@ -638,6 +996,7 @@ fn main() -> ExitCode {
         "build-db" => cmd_build_db(&args),
         "query" => cmd_query(&args),
         "serve" => cmd_serve(&args),
+        "stream" => cmd_stream(&args),
         "scan" => cmd_scan(&args),
         "report" => cmd_report(&args),
         other => bad_usage(&format!("unknown subcommand {other:?}")),

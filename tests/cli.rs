@@ -151,6 +151,144 @@ fn build_db_query_and_analyze_parity_end_to_end() {
 }
 
 #[test]
+fn ingest_addr_without_ingest_is_a_usage_error() {
+    let out = uc(&["serve", "somedir", "--ingest-addr", "127.0.0.1:9"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--ingest-addr"), "{}", stderr(&out));
+}
+
+#[test]
+fn ingest_selftest_passes_through_the_binary() {
+    let base = std::env::temp_dir().join(format!("uc-cli-ingest-self-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&base);
+    fs::create_dir_all(&base).unwrap();
+
+    let out = uc(&[
+        "serve",
+        base.to_str().unwrap(),
+        "--ingest",
+        "x",
+        "--selftest",
+        "3",
+        "--chaos-seed",
+        "11",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("0 mismatches"), "{text}");
+
+    let _ = fs::remove_dir_all(&base);
+}
+
+/// The full operational loop through the shell: start a live server,
+/// `uc stream` real node logs into it with a final seal, query the
+/// records back over TCP, stop the server with SIGTERM (the graceful
+/// path, exit 0), and fsck the directory it leaves behind.
+#[cfg(unix)]
+#[test]
+fn stream_serve_ingest_sigterm_and_fsck_end_to_end() {
+    use std::io::BufRead;
+
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    const SIGTERM: i32 = 15;
+
+    let base = std::env::temp_dir().join(format!("uc-cli-ingest-e2e-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&base);
+    let logs = base.join("logs");
+    write_tiny_logs(&logs);
+    let live = base.join("live");
+
+    // If an assertion below fails, the server must die with the test —
+    // a leaked child keeps the harness pipes open forever.
+    struct KillOnDrop(std::process::Child);
+    impl Drop for KillOnDrop {
+        fn drop(&mut self) {
+            let _ = self.0.kill();
+            let _ = self.0.wait();
+        }
+    }
+
+    // Port 0 on both endpoints: the server prints the bound addresses.
+    let child = Command::new(env!("CARGO_BIN_EXE_uc"))
+        .args([
+            "serve",
+            live.to_str().unwrap(),
+            "--ingest",
+            "x",
+            "--ingest-addr",
+            "127.0.0.1:0",
+            "--addr",
+            "127.0.0.1:0",
+        ])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn uc serve --ingest");
+    let mut child = KillOnDrop(child);
+    let mut reader = std::io::BufReader::new(child.0.stderr.take().unwrap());
+    let mut banner = String::new();
+    let (ingest_addr, query_addr) = loop {
+        let mut line = String::new();
+        assert_ne!(
+            reader.read_line(&mut line).unwrap(),
+            0,
+            "server died: {banner}"
+        );
+        banner.push_str(&line);
+        if let Some(rest) = line.strip_prefix("ingest on ") {
+            let (i, rest) = rest.split_once(", queries on ").unwrap();
+            break (
+                i.to_string(),
+                rest.split(';').next().unwrap().trim().to_string(),
+            );
+        }
+    };
+
+    let streamed = uc(&[
+        "stream",
+        &ingest_addr,
+        logs.to_str().unwrap(),
+        "--seal",
+        "x",
+    ]);
+    assert_eq!(streamed.status.code(), Some(0), "{}", stderr(&streamed));
+    assert!(
+        stdout(&streamed).contains("28 records acked"),
+        "{}",
+        stdout(&streamed)
+    );
+
+    // The sealed generation answers over the query endpoint.
+    let mut client =
+        uc_faultdb::Client::connect(query_addr.parse().unwrap()).expect("connect query endpoint");
+    match client.request("count").expect("count over live endpoint") {
+        uc_faultdb::Response::Ok(lines) => assert_eq!(lines, vec!["24".to_string()]),
+        other => panic!("unexpected response: {other:?}"),
+    }
+    drop(client);
+
+    // SIGTERM drains and exits 0 — the graceful path, not a kill.
+    assert_eq!(unsafe { kill(child.0.id() as i32, SIGTERM) }, 0);
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut reader, &mut rest).unwrap();
+    let status = child.0.wait().unwrap();
+    assert_eq!(status.code(), Some(0), "{banner}{rest}");
+    assert!(rest.contains("signal received"), "{rest}");
+
+    // What the server leaves behind is a conserved, healthy live dir.
+    let fsck = uc(&["fsck", live.to_str().unwrap()]);
+    assert_eq!(fsck.status.code(), Some(0), "{}", stderr(&fsck));
+    assert!(
+        stderr(&fsck).contains("conserved=true"),
+        "{}",
+        stderr(&fsck)
+    );
+
+    let _ = fs::remove_dir_all(&base);
+}
+
+#[test]
 fn serve_selftest_passes_through_the_binary() {
     let base = std::env::temp_dir().join(format!("uc-cli-serve-{}", std::process::id()));
     let _ = fs::remove_dir_all(&base);
