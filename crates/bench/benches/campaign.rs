@@ -1,0 +1,166 @@
+//! Campaign-path benchmarks and the machine-readable perf trajectory.
+//!
+//! Measures the two routes from a simulation to a sealed fault database:
+//!
+//! * **text path** — campaign → plain text corpus → recovering ingest →
+//!   seal (`uc campaign --out` + `uc build-db`);
+//! * **direct path** — campaign → in-memory recovery → fold → seal
+//!   (`uc campaign --db`), no text corpus.
+//!
+//! Besides the usual criterion timings, this bench writes
+//! `BENCH_campaign.json` at the repo root with the four trajectory
+//! metrics CI tracks across PRs:
+//!
+//! * `campaign_faults_per_sec` — simulation throughput (sealed faults
+//!   per second of campaign wall-clock on the direct path);
+//! * `text_path_e2e_seconds` / `direct_path_e2e_seconds` — end-to-end
+//!   latency of each route (plus the derived `direct_speedup`);
+//! * `ingest_mb_per_sec` — recovering text ingest throughput over the
+//!   campaign corpus;
+//! * `scan_rows_per_sec` — full-scan query throughput over the sealed
+//!   database.
+//!
+//! Run with `cargo bench -p uc-bench --bench campaign`; `--test` does a
+//! single quick pass (CI smoke) and still emits the JSON.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use uc_faultdb::{build_db, FaultDb, QueryOptions, WriteOptions};
+use uc_faultlog::files::write_cluster_log;
+use uc_faultlog::ingest::read_cluster_log_recovering;
+use unprotected_computing::core::{run_campaign_checkpointed, CampaignConfig};
+use unprotected_computing::direct::campaign_to_db;
+
+fn bench_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("uc-bench-campaign-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn cfg() -> CampaignConfig {
+    CampaignConfig::small(42, 8)
+}
+
+/// One full text-path run: campaign → plain text logs → build_db.
+/// Returns (elapsed seconds, corpus bytes, sealed rows).
+fn text_path_once(base: &Path, tag: &str) -> (f64, u64, u64) {
+    let logs = base.join(format!("text-logs-{tag}"));
+    std::fs::create_dir_all(&logs).unwrap();
+    let db = base.join(format!("text-{tag}.ucfdb"));
+    let ckpt = base.join(format!("text-ckpt-{tag}"));
+    let t0 = Instant::now();
+    let result = run_campaign_checkpointed(&cfg(), &ckpt);
+    write_cluster_log(&logs, &result.cluster_log()).unwrap();
+    let summary = build_db(&logs, &db, &WriteOptions::default()).unwrap();
+    let secs = t0.elapsed().as_secs_f64();
+    let corpus_bytes: u64 = std::fs::read_dir(&logs)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.metadata().ok())
+        .map(|m| m.len())
+        .sum();
+    (secs, corpus_bytes, summary.rows)
+}
+
+/// One full direct-path run: campaign → in-memory stream → sealed db.
+/// Returns (elapsed seconds, sealed rows).
+fn direct_path_once(base: &Path, tag: &str) -> (f64, u64) {
+    let db = base.join(format!("direct-{tag}.ucfdb"));
+    let ckpt = base.join(format!("direct-ckpt-{tag}"));
+    let t0 = Instant::now();
+    let output = campaign_to_db(&cfg(), &ckpt, &db, &WriteOptions::default()).unwrap();
+    (t0.elapsed().as_secs_f64(), output.summary.rows)
+}
+
+/// Best-of-N end-to-end measurements plus the two derived throughputs,
+/// written as `BENCH_campaign.json` at the repo root.
+fn emit_trajectory(quick: bool) {
+    let base = bench_dir();
+    let rounds = if quick { 1 } else { 3 };
+
+    let mut text_best = f64::INFINITY;
+    let mut corpus_bytes = 0u64;
+    let mut rows = 0u64;
+    for r in 0..rounds {
+        let (secs, bytes, n) = text_path_once(&base, &r.to_string());
+        text_best = text_best.min(secs);
+        corpus_bytes = bytes;
+        rows = n;
+    }
+
+    let mut direct_best = f64::INFINITY;
+    for r in 0..rounds {
+        let (secs, n) = direct_path_once(&base, &r.to_string());
+        direct_best = direct_best.min(secs);
+        assert_eq!(n, rows, "direct path sealed a different row count");
+    }
+
+    // Ingest throughput over the corpus the text path wrote.
+    let logs = base.join("text-logs-0");
+    let mut ingest_best = f64::INFINITY;
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        let (cluster, _) = read_cluster_log_recovering(&logs).unwrap();
+        black_box(cluster.node_logs().len());
+        ingest_best = ingest_best.min(t0.elapsed().as_secs_f64());
+    }
+    let ingest_mb_per_sec = corpus_bytes as f64 / (1024.0 * 1024.0) / ingest_best;
+
+    // Full-scan query throughput over the sealed database.
+    let db = FaultDb::open(&base.join("direct-0.ucfdb")).unwrap();
+    let opts = QueryOptions::default();
+    let mut scan_best = f64::INFINITY;
+    let mut rows_scanned = 0u64;
+    for _ in 0..rounds.max(3) {
+        let t0 = Instant::now();
+        let result = db.query("count where raw>=1", &opts).unwrap();
+        scan_best = scan_best.min(t0.elapsed().as_secs_f64());
+        rows_scanned = result.rows_scanned;
+    }
+    let scan_rows_per_sec = rows_scanned as f64 / scan_best;
+
+    let json = format!(
+        "{{\n  \"bench\": \"campaign\",\n  \"config\": {{\"seed\": 42, \"blades\": 8}},\n  \
+         \"rows\": {rows},\n  \
+         \"campaign_faults_per_sec\": {:.1},\n  \
+         \"text_path_e2e_seconds\": {text_best:.4},\n  \
+         \"direct_path_e2e_seconds\": {direct_best:.4},\n  \
+         \"direct_speedup\": {:.2},\n  \
+         \"ingest_mb_per_sec\": {ingest_mb_per_sec:.1},\n  \
+         \"scan_rows_per_sec\": {scan_rows_per_sec:.0}\n}}\n",
+        rows as f64 / direct_best,
+        text_best / direct_best,
+    );
+    // crates/bench/benches → repo root, where CI validates the file.
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_campaign.json");
+    std::fs::write(&out, json).expect("write BENCH_campaign.json");
+    eprintln!("wrote {}", out.display());
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+fn campaign_paths(c: &mut Criterion) {
+    // The trajectory runs first so `--test` smoke still produces the
+    // JSON CI checks for.
+    let quick = std::env::args().any(|a| a == "--test");
+    emit_trajectory(quick);
+
+    let base = bench_dir();
+    let mut group = c.benchmark_group("campaign_path");
+    group.bench_function("direct_campaign_to_db", |b| {
+        b.iter(|| black_box(direct_path_once(&base, "crit").1))
+    });
+    group.bench_function("text_campaign_build_db", |b| {
+        b.iter(|| black_box(text_path_once(&base, "crit").2))
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+criterion_group!(benches, campaign_paths);
+criterion_main!(benches);

@@ -210,15 +210,37 @@ pub fn clear_checkpoints(dir: &Path) -> std::io::Result<()> {
 /// logs round-trip exactly (bit-exact temperatures, bit-exact hours) and
 /// fault extraction is deterministic.
 pub fn run_campaign_checkpointed(cfg: &CampaignConfig, ckpt_dir: &Path) -> CampaignResult {
+    run_campaign_checkpointed_with(cfg, ckpt_dir, |_| {})
+}
+
+/// [`run_campaign_checkpointed`] with a per-node completion hook: the
+/// direct campaign→db streaming path taps the simulation here.
+///
+/// `on_node` runs on the simulating worker thread the moment a node's
+/// simulation is available — for freshly simulated *and* for
+/// checkpoint-restored nodes alike (a resumed direct run must stream the
+/// same nodes an uninterrupted one would). It is never called for a node
+/// whose attempts all failed: `simulate_node` panics before any work on
+/// an injected-failure node, so a failing node can never emit a partial
+/// result, and a degraded direct run therefore streams exactly the nodes
+/// a degraded text run would write log files for. The hook must be
+/// `Sync` — completions arrive concurrently from the whole worker pool.
+pub fn run_campaign_checkpointed_with(
+    cfg: &CampaignConfig,
+    ckpt_dir: &Path,
+    on_node: impl Fn(&NodeSim) + Sync,
+) -> CampaignResult {
     let (roles, nodes) = campaign_nodes(cfg);
     let attempts = cfg.node_attempts.max(1);
     let sims = par_map_supervised(&nodes, attempts, |_, &node| {
         if let Some(sim) = read_node_checkpoint(ckpt_dir, cfg.seed, node) {
+            on_node(&sim);
             return sim;
         }
         let sim = simulate_node(cfg, node);
         // Best-effort: a full disk must not kill the campaign.
         let _ = write_node_checkpoint(ckpt_dir, cfg.seed, &sim);
+        on_node(&sim);
         sim
     });
     let outcomes = nodes

@@ -21,7 +21,7 @@ pub mod render;
 pub mod report;
 
 pub use campaign::{run_campaign, CampaignResult, NodeOutcome, NodeSim};
-pub use checkpoint::run_campaign_checkpointed;
+pub use checkpoint::{run_campaign_checkpointed, run_campaign_checkpointed_with};
 pub use config::CampaignConfig;
 pub use paperref::{compare, Comparison};
 pub use report::Report;

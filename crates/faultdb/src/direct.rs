@@ -1,0 +1,232 @@
+//! Direct campaign→db sealing: per-node recovered logs in, sealed
+//! database out, **no text corpus in between**.
+//!
+//! The text path the campaign has always taken is
+//!
+//! ```text
+//! simulate → write node-*.log → read_cluster_log_recovering → Snapshot → write_db
+//! ```
+//!
+//! This module is the same spine with the two disk trips removed. Each
+//! completed node simulation is recovered *in memory*
+//! ([`uc_faultlog::ingest::recover_log`] — proven byte-equivalent to
+//! writing and re-reading the node's text file), streamed into a fold,
+//! and the fold's product goes through the identical
+//! [`Snapshot::from_cluster`] → [`write_db`] tail. The text path stays
+//! around as the differential oracle: for the same seed,
+//! campaign→text→`uc build-db` and campaign→`--db` must produce
+//! byte-identical files, at any thread count, degraded or not
+//! (`tests/direct_path.rs` at the workspace root proves it).
+//!
+//! Determinism argument (DESIGN.md §6): contributions arrive in
+//! nondeterministic completion order, so the fold is order-insensitive —
+//! a bag of per-node [`Recovered`]s plus an additive (commutative,
+//! associative) [`IngestStats`] merge — and [`seal_recovered`] imposes
+//! the directory reader's total order (sort by node id) before the
+//! snapshot is built. From there the inputs to `Snapshot::from_cluster`
+//! are bit-identical to the text path's, so the sealed bytes are too.
+
+use std::path::Path;
+
+use uc_faultlog::ingest::{IngestStats, Recovered};
+use uc_faultlog::store::{ClusterLog, NodeLog};
+
+use crate::error::DbError;
+use crate::format::{write_db, WriteOptions, WriteSummary};
+use crate::snapshot::Snapshot;
+
+/// The streaming fold: accumulate per-node [`Recovered`] contributions
+/// in any order. This is the consumer-side accumulator of the campaign's
+/// fault channel (`uc_parallel::pipeline::stage_shared`): per-worker
+/// bags merge associatively, so the merged result is independent of both
+/// arrival order and worker count.
+#[derive(Debug, Default)]
+pub struct DirectFold {
+    parts: Vec<Recovered>,
+}
+
+impl DirectFold {
+    pub fn new() -> DirectFold {
+        DirectFold::default()
+    }
+
+    /// Add one node's recovered log. A log that names no node is
+    /// dropped *with its stats*: the text layout cannot write a file
+    /// for it ([`uc_faultlog::files::write_cluster_log`] skips such
+    /// logs), so the oracle would never read or count it.
+    pub fn add(&mut self, rec: Recovered) {
+        if rec.log.node.is_some() {
+            self.parts.push(rec);
+        }
+    }
+
+    /// Merge another fold into this one (associative, order-insensitive
+    /// up to the final sort in [`DirectFold::into_cluster`]).
+    pub fn merge(&mut self, mut other: DirectFold) {
+        self.parts.append(&mut other.parts);
+    }
+
+    /// Number of node logs accumulated so far.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// Impose the directory reader's total order and produce exactly
+    /// what [`uc_faultlog::ingest::read_cluster_log_recovering`] returns
+    /// for the equivalent text directory: node logs sorted by node id,
+    /// stats merged additively. (A freshly written campaign directory
+    /// has no fsck salvage history, so no fsck counters fold in.)
+    pub fn into_cluster(self) -> (ClusterLog, IngestStats) {
+        let mut stats = IngestStats::default();
+        let mut logs: Vec<NodeLog> = Vec::with_capacity(self.parts.len());
+        for rec in self.parts {
+            stats.merge(&rec.stats);
+            logs.push(rec.log);
+        }
+        logs.sort_by_key(|l| l.node.map(|n| n.0));
+        (ClusterLog::new(logs), stats)
+    }
+}
+
+/// Seal a database from streamed per-node contributions: the direct
+/// path's replacement for [`crate::build::build_db`], sharing its whole
+/// tail ([`Snapshot::from_cluster`] → [`write_db`], including the
+/// `.tmp` + fsync + atomic-rename crash discipline — a crash mid-seal
+/// leaves only a `*.tmp` for `uc fsck` to quarantine).
+pub fn seal_recovered(
+    fold: DirectFold,
+    out: &Path,
+    opts: &WriteOptions,
+) -> Result<(WriteSummary, IngestStats), DbError> {
+    let (cluster, stats) = fold.into_cluster();
+    let snapshot = Snapshot::from_cluster(&cluster, stats);
+    let summary = write_db(&snapshot, out, opts)?;
+    Ok((summary, stats))
+}
+
+/// Quarantine stray `*.ucfdb.tmp` files (the residue of a crash inside
+/// [`write_db`]'s write-then-rename window) into `<dir>/.lost+found`,
+/// mirroring the durable layer's salvage convention. Returns the moved
+/// file names with their sizes; the database files themselves are
+/// untouched — an interrupted seal never damages a sealed db.
+pub fn quarantine_db_tmps(dir: &Path) -> std::io::Result<Vec<(String, u64)>> {
+    let mut moved = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(moved),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if !name.ends_with(".ucfdb.tmp") || !path.is_file() {
+            continue;
+        }
+        let bytes = std::fs::metadata(&path)?.len();
+        let lost = dir.join(".lost+found");
+        std::fs::create_dir_all(&lost)?;
+        std::fs::rename(&path, lost.join(name))?;
+        moved.push((name.to_string(), bytes));
+    }
+    moved.sort();
+    Ok(moved)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uc_cluster::NodeId;
+    use uc_faultlog::files::write_cluster_log;
+    use uc_faultlog::ingest::recover_log;
+    use uc_faultlog::record::{EndRecord, ErrorRecord, LogRecord, StartRecord, TempC};
+    use uc_faultlog::store::NodeLog;
+    use uc_simclock::SimTime;
+
+    fn node_log(name: &str, errors: usize) -> NodeLog {
+        let node = NodeId::from_name(name).unwrap();
+        let mut log = NodeLog::new(node);
+        log.push(LogRecord::Start(StartRecord {
+            time: SimTime::from_secs(0),
+            node,
+            alloc_bytes: 3 << 30,
+            temp: Some(TempC(30.0)),
+        }));
+        for k in 0..errors {
+            log.push(LogRecord::Error(ErrorRecord {
+                time: SimTime::from_secs(60 + 600 * k as i64),
+                node,
+                vaddr: 0x400 + 0x100 * k as u64,
+                phys_page: (0x400 + 0x100 * k as u64) >> 12,
+                expected: 0xffff_ffff,
+                actual: 0xffff_fffe,
+                temp: Some(TempC(33.0)),
+            }));
+        }
+        log.push(LogRecord::End(EndRecord {
+            time: SimTime::from_secs(90_000),
+            node,
+            temp: Some(TempC(31.0)),
+        }));
+        log
+    }
+
+    #[test]
+    fn direct_seal_is_byte_identical_to_text_build_and_order_insensitive() {
+        let base = std::env::temp_dir().join(format!("uc-direct-seal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let logs_dir = base.join("logs");
+        std::fs::create_dir_all(&logs_dir).unwrap();
+
+        let logs: Vec<NodeLog> = ["01-02", "02-05", "01-01"]
+            .iter()
+            .map(|n| node_log(n, 12))
+            .collect();
+        write_cluster_log(&logs_dir, &ClusterLog::new(logs.clone())).unwrap();
+        let oracle = base.join("oracle.ucfdb");
+        crate::build::build_db(&logs_dir, &oracle, &WriteOptions::default()).unwrap();
+
+        // Reversed arrival order: the fold must not care.
+        let mut fold = DirectFold::new();
+        for log in logs.iter().rev() {
+            fold.add(recover_log(log));
+        }
+        let direct = base.join("direct.ucfdb");
+        let (summary, stats) = seal_recovered(fold, &direct, &WriteOptions::default()).unwrap();
+        assert!(summary.rows > 0);
+        assert_eq!(stats.files_read, 3);
+
+        assert_eq!(
+            std::fs::read(&oracle).unwrap(),
+            std::fs::read(&direct).unwrap(),
+            "direct seal diverged from the text oracle"
+        );
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn quarantine_moves_only_ucfdb_tmps() {
+        let dir = std::env::temp_dir().join(format!("uc-direct-tmps-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("out.ucfdb.tmp"), b"torn half-written seal").unwrap();
+        std::fs::write(dir.join("keep.ucfdb"), b"sealed").unwrap();
+        std::fs::write(dir.join("unrelated.txt"), b"hi").unwrap();
+
+        let moved = quarantine_db_tmps(&dir).unwrap();
+        assert_eq!(moved.len(), 1);
+        assert_eq!(moved[0].0, "out.ucfdb.tmp");
+        assert!(!dir.join("out.ucfdb.tmp").exists());
+        assert!(dir.join(".lost+found").join("out.ucfdb.tmp").is_file());
+        assert!(dir.join("keep.ucfdb").is_file());
+        assert!(dir.join("unrelated.txt").is_file());
+        // Idempotent: a second pass finds nothing.
+        assert!(quarantine_db_tmps(&dir).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -43,6 +43,7 @@ pub mod build;
 pub mod cache;
 pub mod catalog;
 pub mod db;
+pub mod direct;
 pub mod error;
 pub mod format;
 pub mod ingest_server;
@@ -58,6 +59,7 @@ pub use catalog::{
     LiveFsckReport, LiveStatus, OpenReport,
 };
 pub use db::{DbHandle, DbOptions, FaultDb, QueryOptions, QueryResult};
+pub use direct::{quarantine_db_tmps, seal_recovered, DirectFold};
 pub use error::{BlockDamage, DbError};
 pub use format::{WriteOptions, WriteSummary};
 pub use ingest_server::{

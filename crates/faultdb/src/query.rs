@@ -292,6 +292,21 @@ fn parse_usize(tok: &str, what: &str) -> Result<usize, DbError> {
         .map_err(|_| bad(format!("{what} wants a number, got {tok:?}")))
 }
 
+/// Parse a `u32`-ranged predicate value with a typed out-of-range error.
+/// A plain `parse_usize(..)? as u32` silently truncates: `bits=4294967297`
+/// would wrap to the valid-looking `bits=1` and match the wrong rows.
+fn parse_u32(tok: &str, what: &str) -> Result<u32, DbError> {
+    let v = parse_usize(tok, what)?;
+    u32::try_from(v).map_err(|_| bad(format!("{what} {tok} out of range (max {})", u32::MAX)))
+}
+
+/// Parse a `u64` predicate value without a `usize` detour, so the
+/// accepted range does not depend on the platform's pointer width.
+fn parse_u64(tok: &str, what: &str) -> Result<u64, DbError> {
+    tok.parse()
+        .map_err(|_| bad(format!("{what} wants a number, got {tok:?}")))
+}
+
 /// `T`, `Th` (hours) or `Td` (days) → seconds.
 fn parse_time(tok: &str) -> Result<SimTime, DbError> {
     let (num, scale) = if let Some(h) = tok.strip_suffix('h') {
@@ -344,7 +359,7 @@ fn parse_atom(tok: &str) -> Result<Pred, DbError> {
                 .map(Pred::Node)
                 .ok_or_else(|| bad(format!("bad node name {val:?} (want BB-SS)"))),
             ("blade", "=") => {
-                let b = parse_usize(val, "blade")? as u32;
+                let b = parse_u32(val, "blade")?;
                 if b == 0 || b > TOTAL_BLADES {
                     return Err(bad(format!("blade {b} out of 1..={TOTAL_BLADES}")));
                 }
@@ -352,7 +367,7 @@ fn parse_atom(tok: &str) -> Result<Pred, DbError> {
             }
             ("rack", "=") => {
                 let racks = TOTAL_BLADES / (CHASSIS_PER_RACK * BLADES_PER_CHASSIS);
-                let r = parse_usize(val, "rack")? as u32;
+                let r = parse_u32(val, "rack")?;
                 if r == 0 || r > racks {
                     return Err(bad(format!("rack {r} out of 1..={racks}")));
                 }
@@ -379,10 +394,10 @@ fn parse_atom(tok: &str) -> Result<Pred, DbError> {
                 };
                 Ok(Pred::Dir(d))
             }
-            ("bits", "=") => Ok(Pred::BitsEq(parse_usize(val, "bits")? as u32)),
-            ("bits", ">=") => Ok(Pred::BitsGe(parse_usize(val, "bits")? as u32)),
-            ("bits", "<=") => Ok(Pred::BitsLe(parse_usize(val, "bits")? as u32)),
-            ("raw", ">=") => Ok(Pred::RawGe(parse_usize(val, "raw")? as u64)),
+            ("bits", "=") => Ok(Pred::BitsEq(parse_u32(val, "bits")?)),
+            ("bits", ">=") => Ok(Pred::BitsGe(parse_u32(val, "bits")?)),
+            ("bits", "<=") => Ok(Pred::BitsLe(parse_u32(val, "bits")?)),
+            ("raw", ">=") => Ok(Pred::RawGe(parse_u64(val, "raw")?)),
             ("time", ">=") => Ok(Pred::TimeGe(parse_time(val)?)),
             ("time", ">") => Ok(Pred::TimeGt(parse_time(val)?)),
             ("time", "<=") => Ok(Pred::TimeLe(parse_time(val)?)),
@@ -505,6 +520,36 @@ mod tests {
         assert!(!q
             .pred
             .matches(&fault(16, 400 * 3_600, 0xFFFF_FFFF, 0xFFFF_FFFC)));
+    }
+
+    /// Regression: values above `u32::MAX` used to truncate (`as u32`),
+    /// so `bits=4294967297` silently became the valid-looking `bits=1`
+    /// and matched the wrong rows. They must be typed parse errors now.
+    #[test]
+    fn out_of_range_predicate_values_error_instead_of_wrapping() {
+        let wrapping = u64::from(u32::MAX) + 2; // wraps to 1 when truncated
+        for expr in [
+            format!("count where bits={wrapping}"),
+            format!("count where bits>={wrapping}"),
+            format!("count where bits<={wrapping}"),
+            format!("count where blade={wrapping}"),
+            format!("count where rack={wrapping}"),
+        ] {
+            let err = parse_query(&expr).expect_err(&expr);
+            assert!(
+                err.to_string().contains("out of range") || err.to_string().contains("out of 1..="),
+                "{expr}: {err}"
+            );
+        }
+        // The wrapped-to value still parses, and matches different rows
+        // than the overflowing literal ever could.
+        let q = parse_query("count where bits=1").unwrap();
+        assert!(q.pred.matches(&fault(0, 0, 0xFFFF_FFFF, 0xFFFF_FFFE)));
+        // u64-ranged `raw` takes the full range without a usize detour...
+        let q = parse_query(&format!("count where raw>={}", u64::MAX)).unwrap();
+        assert!(!q.pred.matches(&fault(0, 0, 0xFFFF_FFFF, 0xFFFF_FFFE)));
+        // ...and past u64 it is a number error, not a wrap.
+        assert!(parse_query("count where raw>=18446744073709551616").is_err());
     }
 
     #[test]

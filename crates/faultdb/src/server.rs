@@ -730,6 +730,51 @@ mod tests {
     }
 
     #[test]
+    fn poisoned_admission_lock_still_admits_and_serves() {
+        // The admission queue is the one std mutex every connection
+        // crosses. A worker that panics while holding it must not
+        // cascade the whole server down: every lock site recovers the
+        // poisoned guard (the queue state is a plain VecDeque, valid at
+        // every instruction boundary).
+        let adm = Arc::new(Admission::new(4));
+        let poisoner = Arc::clone(&adm);
+        let _ = thread::spawn(move || {
+            let _guard = poisoner.queue.lock().unwrap();
+            panic!("worker dies while holding the admission lock");
+        })
+        .join();
+        assert!(adm.queue.lock().is_err(), "lock should now be poisoned");
+
+        // Admission still works end to end across the poisoned mutex.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _client = TcpStream::connect(addr).unwrap();
+        let (stream, _) = listener.accept().unwrap();
+        adm.try_push(stream)
+            .expect("poisoned admission must still admit");
+        assert!(adm.pop().is_some(), "poisoned admission must still pop");
+        adm.stop();
+        assert!(adm.pop().is_none(), "stop still drains after poison");
+
+        // And a live server whose admission mutex gets poisoned keeps
+        // answering queries.
+        let server = Server::start(test_db("poison", 120), &ServeConfig::default()).unwrap();
+        let poisoner = Arc::clone(&server.inner);
+        let _ = thread::spawn(move || {
+            let _guard = poisoner.admission.queue.lock().unwrap();
+            panic!("simulated worker crash mid-admission");
+        })
+        .join();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        assert_eq!(
+            c.request("count").unwrap(),
+            Response::Ok(vec!["120".to_string()])
+        );
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
     fn oversized_request_line_is_rejected_typed() {
         let server = Server::start(test_db("linecap", 10), &ServeConfig::default()).unwrap();
         let mut c = Client::connect(server.local_addr()).unwrap();

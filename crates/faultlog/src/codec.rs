@@ -119,7 +119,7 @@ fn push_hex_digits(out: &mut String, mut v: u64, width: usize) {
 
 /// The paper's `BB-SS` form: both parts 1-based, zero padded to two digits
 /// (wider if a raw id exceeds the physical topology) — `{:02}-{:02}`.
-fn push_node(out: &mut String, node: NodeId) {
+pub(crate) fn push_node(out: &mut String, node: NodeId) {
     let name = node.name();
     push_2pad(out, name.blade);
     out.push('-');
@@ -135,7 +135,7 @@ fn push_2pad(out: &mut String, v: u32) {
     }
 }
 
-fn push_temp(out: &mut String, temp: Option<TempC>) {
+pub(crate) fn push_temp(out: &mut String, temp: Option<TempC>) {
     match temp {
         // `{:.1}` float formatting uses stack buffers only; no heap.
         Some(t) => {
@@ -420,7 +420,7 @@ fn temp_f32_simple(s: &str) -> Option<f32> {
     Some(if neg { -val } else { val })
 }
 
-fn val_temp(v: Option<&str>) -> Result<Option<TempC>, ParseError> {
+pub(crate) fn val_temp(v: Option<&str>) -> Result<Option<TempC>, ParseError> {
     let v = v.ok_or(ParseError::MissingField("temp"))?;
     if v == "NA" {
         Ok(None)

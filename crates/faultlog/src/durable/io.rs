@@ -129,15 +129,21 @@ impl<I: Io> FlakyIo<I> {
         }
     }
 
+    // Every `state` lock recovers from poisoning (`into_inner`): the
+    // counters stay meaningful even if a test thread panicked mid-gate,
+    // and a chaos-harness panic can never cascade an unrelated unwrap.
     pub fn with_transient_failures(self, n: u64) -> FlakyIo<I> {
-        self.state.lock().unwrap().fail_next = n;
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .fail_next = n;
         self
     }
 
     pub fn with_poisoned_path(self, substring: &str) -> FlakyIo<I> {
         self.state
             .lock()
-            .unwrap()
+            .unwrap_or_else(|e| e.into_inner())
             .poison
             .push(substring.to_string());
         self
@@ -145,16 +151,19 @@ impl<I: Io> FlakyIo<I> {
 
     /// Failures injected so far (both transient and poisoned).
     pub fn injected_failures(&self) -> u64 {
-        self.state.lock().unwrap().injected
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .injected
     }
 
     /// Mutating operations attempted so far.
     pub fn mutating_ops(&self) -> u64 {
-        self.state.lock().unwrap().ops
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).ops
     }
 
     fn gate(&self, path: &Path) -> io::Result<()> {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
         s.ops += 1;
         let p = path.to_string_lossy();
         if s.poison.iter().any(|needle| p.contains(needle.as_str())) {

@@ -314,6 +314,56 @@ impl LineRecovery {
         }
     }
 
+    /// Account one in-memory `ERROR` record without rendering the full
+    /// line — the hot path of the direct campaign→db stream, where the
+    /// record never touches disk. Byte-for-byte equivalent to rendering
+    /// the record with [`crate::codec::write_record_into`] and feeding
+    /// the line through [`LineRecovery::line`]:
+    ///
+    /// - every integer field (`t`, `vaddr`, `page`, `expected`, `actual`)
+    ///   round-trips the writer/parser exactly, so no text is needed;
+    /// - the node is the pre-reparsed verdict of rendering `node=BB-SS`
+    ///   and re-reading it (`reparsed`, cached by the caller) — `None`
+    ///   drops the record as `bad_node`, exactly as the text path would;
+    /// - the temperature is the one lossy field: it is rendered with the
+    ///   writer's `{:.1}` encoder and re-read with the parser's decoder,
+    ///   the identical normalization the text round-trip applies;
+    /// - an `ERROR` line is never a session marker, so the duplicate and
+    ///   session bookkeeping reduces to `last_was_marker = false` on keep
+    ///   (a *dropped* line leaves the marker state untouched, like the
+    ///   `Err` arm of [`LineRecovery::line`]).
+    fn error_record_typed(
+        &mut self,
+        rec: &crate::record::ErrorRecord,
+        reparsed: Option<NodeId>,
+        temp_buf: &mut String,
+    ) {
+        self.stats.lines_read += 1;
+        let Some(node) = reparsed else {
+            self.stats.bad_node += 1;
+            return;
+        };
+        temp_buf.clear();
+        crate::codec::push_temp(temp_buf, rec.temp);
+        let temp = match crate::codec::val_temp(Some(temp_buf)) {
+            Ok(t) => t,
+            Err(e) => {
+                self.stats.classify(&e);
+                return;
+            }
+        };
+        if self.high_water.is_some_and(|t| rec.time < t) {
+            self.stats.out_of_order += 1;
+        } else {
+            self.high_water = Some(rec.time);
+        }
+        self.last_was_marker = false;
+        self.stats.records_kept += 1;
+        self.entries.push(LogEntry::One(LogRecord::Error(
+            crate::record::ErrorRecord { node, temp, ..*rec },
+        )));
+    }
+
     /// Feed a whole text in one pass: lines are split at `\n` (with one
     /// preceding `\r` stripped, `str::lines` semantics) as they are
     /// walked — no counting pre-pass, no per-line `String`.
@@ -367,6 +417,61 @@ pub fn recover_text(text: &str) -> Recovered {
     let mut r = LineRecovery::default();
     r.feed_text(text);
     r.finish()
+}
+
+/// Recover an in-memory [`NodeLog`] exactly as if it had been written to
+/// a plain text file and read back with [`read_node_log_recovering`] —
+/// the byte-identity seam of the direct campaign→db streaming path.
+///
+/// The contract, pinned by differential tests against
+/// `recover_text(&log.to_text())`:
+///
+/// - the record walk is `log.iter()` (runs expanded), the identical
+///   sequence [`NodeLog::to_text`] renders one line per record;
+/// - session markers (`START`/`END`) and `ALLOCFAIL` are rendered and
+///   fed through the real line classifier, so duplicate-marker
+///   suppression and session-gap accounting see the same bytes a file
+///   would hold (two `NaN` temperatures render identically and *are*
+///   duplicates — float equality would say otherwise);
+/// - `ERROR` records take the typed fast path
+///   ([`LineRecovery::error_record_typed`]): no line rendering, just the
+///   writer→parser normalization of the two non-exact fields (node name
+///   and `{:.1}` temperature);
+/// - `files_read = 1` and the node falls back to `log.node` when no
+///   entry names one, mirroring the file-name fallback of the file
+///   reader (a plain log file is named after `log.node`).
+pub fn recover_log(log: &NodeLog) -> Recovered {
+    let mut r = LineRecovery::default();
+    let mut line = String::with_capacity(160);
+    let mut scratch = String::with_capacity(32);
+    // One-entry node cache: a node log names one node in virtually every
+    // record, so render+reparse validation runs once, not per record.
+    let mut node_cache: Option<(NodeId, Option<NodeId>)> = None;
+    for rec in log.iter() {
+        if let LogRecord::Error(e) = &rec {
+            let reparsed = match node_cache {
+                Some((seen, verdict)) if seen == e.node => verdict,
+                _ => {
+                    scratch.clear();
+                    crate::codec::push_node(&mut scratch, e.node);
+                    let verdict = NodeId::from_name(&scratch);
+                    node_cache = Some((e.node, verdict));
+                    verdict
+                }
+            };
+            r.error_record_typed(e, reparsed, &mut scratch);
+        } else {
+            line.clear();
+            crate::codec::write_record_into(&mut line, &rec);
+            r.line(&line, false);
+        }
+    }
+    let mut rec = r.finish();
+    rec.stats.files_read = 1;
+    if rec.log.node.is_none() {
+        rec.log.node = log.node;
+    }
+    rec
 }
 
 /// Parse a node id out of either log file naming convention: plain
@@ -616,6 +721,179 @@ mod tests {
         let rec = recover_text(text);
         assert_eq!(rec.stats.session_gaps, 1);
         assert_eq!(rec.stats.records_kept, 3);
+    }
+
+    /// `recover_log` must behave exactly like writing the log to a plain
+    /// text file and reading it back: same kept records, same stats, same
+    /// node fallback. This is the byte-identity seam of the direct
+    /// campaign→db path, so every divergence here is a corruption bug.
+    fn assert_recover_log_matches_text_path(log: &NodeLog) {
+        let direct = recover_log(log);
+        let mut oracle = recover_text(&log.to_text());
+        oracle.stats.files_read = 1;
+        if oracle.log.node.is_none() {
+            oracle.log.node = log.node;
+        }
+        assert_eq!(direct.stats, oracle.stats, "ingest stats diverged");
+        assert_eq!(direct.log.node, oracle.log.node, "node diverged");
+        assert_eq!(
+            direct.log.entries().len(),
+            oracle.log.entries().len(),
+            "entry count diverged"
+        );
+        // Entry-level equality through the exact-bit renderer: LogEntry
+        // has no PartialEq, and float `==` would miss NaN-vs-NaN anyway.
+        let render = |l: &NodeLog| {
+            let mut out = String::new();
+            for e in l.entries() {
+                crate::codec::write_entry_exact_into(&mut out, e);
+                out.push('\n');
+            }
+            out
+        };
+        assert_eq!(render(&direct.log), render(&oracle.log), "entries diverged");
+    }
+
+    fn node(name: &str) -> NodeId {
+        NodeId::from_name(name).unwrap()
+    }
+
+    fn err_at(t: i64, n: NodeId, vaddr: u64, temp: Option<f32>) -> LogRecord {
+        LogRecord::Error(crate::record::ErrorRecord {
+            time: uc_simclock::SimTime::from_secs(t),
+            node: n,
+            vaddr,
+            phys_page: vaddr >> 12,
+            expected: 0xffff_ffff,
+            actual: 0xffff_fffe,
+            temp: temp.map(crate::record::TempC),
+        })
+    }
+
+    #[test]
+    fn recover_log_matches_text_path_on_a_clean_session() {
+        let n = node("01-01");
+        let mut log = NodeLog::new(n);
+        log.push(LogRecord::Start(crate::record::StartRecord {
+            time: uc_simclock::SimTime::from_secs(0),
+            node: n,
+            alloc_bytes: 3 << 30,
+            temp: Some(crate::record::TempC(34.52)),
+        }));
+        for k in 0..40 {
+            log.push(err_at(60 + 30 * k, n, 0x400 + 0x10 * k as u64, Some(35.0)));
+        }
+        log.push(LogRecord::End(crate::record::EndRecord {
+            time: uc_simclock::SimTime::from_secs(90_000),
+            node: n,
+            temp: None,
+        }));
+        assert_recover_log_matches_text_path(&log);
+    }
+
+    #[test]
+    fn recover_log_matches_text_path_on_hostile_temps() {
+        // Every branch of the temp round-trip: NA, negative, -0.0, NaN
+        // (renders "NaN", reparses as the canonical quiet NaN), ±inf,
+        // huge magnitudes that overflow the {:.1} fast parser, and
+        // subnormals that round to "0.0".
+        let n = node("02-07");
+        let mut log = NodeLog::new(n);
+        let temps = [
+            None,
+            Some(-12.34),
+            Some(-0.0),
+            Some(f32::NAN),
+            Some(f32::INFINITY),
+            Some(f32::NEG_INFINITY),
+            Some(3.3e38),
+            Some(-3.3e38),
+            Some(1.0e-40),
+            Some(99.95),
+            Some(-99.95),
+        ];
+        for (k, t) in temps.into_iter().enumerate() {
+            log.push(err_at(10 * k as i64, n, 0x1000 + k as u64, t));
+        }
+        assert_recover_log_matches_text_path(&log);
+    }
+
+    #[test]
+    fn recover_log_matches_text_path_on_duplicate_and_nan_markers() {
+        // Two END markers with NaN temps render byte-identically, so the
+        // text path drops the second as a duplicate; float equality would
+        // disagree (NaN != NaN). recover_log must agree with the bytes.
+        let n = node("01-01");
+        let mut log = NodeLog::new(n);
+        for _ in 0..2 {
+            log.push(LogRecord::End(crate::record::EndRecord {
+                time: uc_simclock::SimTime::from_secs(50),
+                node: n,
+                temp: Some(crate::record::TempC(f32::NAN)),
+            }));
+        }
+        // START/START with no END: a session gap.
+        log.push(LogRecord::Start(crate::record::StartRecord {
+            time: uc_simclock::SimTime::from_secs(100),
+            node: n,
+            alloc_bytes: 1,
+            temp: None,
+        }));
+        log.push(LogRecord::Start(crate::record::StartRecord {
+            time: uc_simclock::SimTime::from_secs(200),
+            node: n,
+            alloc_bytes: 1,
+            temp: None,
+        }));
+        let rec = recover_log(&log);
+        assert_eq!(rec.stats.duplicate_lines, 1);
+        assert_eq!(rec.stats.session_gaps, 1);
+        assert_recover_log_matches_text_path(&log);
+    }
+
+    #[test]
+    fn recover_log_matches_text_path_on_out_of_topology_nodes() {
+        // A NodeId outside the topology renders to a name that does not
+        // reparse; the text path drops those lines as bad_node and infers
+        // the log's node from the file name. recover_log must do both.
+        let good = node("01-01");
+        let bad = NodeId(u32::MAX);
+        let mut log = NodeLog::new(good);
+        log.push(err_at(10, bad, 0x10, Some(30.0)));
+        log.push(err_at(20, good, 0x20, Some(30.0)));
+        log.push(err_at(30, bad, 0x30, None));
+        let rec = recover_log(&log);
+        assert!(rec.stats.bad_node > 0 || rec.stats.records_kept == 3);
+        assert_recover_log_matches_text_path(&log);
+    }
+
+    #[test]
+    fn recover_log_matches_text_path_on_runs_and_allocfail() {
+        let n = node("05-07");
+        let mut log = NodeLog::new(n);
+        log.push(LogRecord::AllocFail {
+            time: uc_simclock::SimTime::from_secs(5),
+            node: n,
+        });
+        if let LogRecord::Error(first) = err_at(10, n, 0x10, Some(41.0)) {
+            log.push_run(first, 7, uc_simclock::SimDuration::from_secs(3));
+        }
+        // A run whose expansion interleaves out-of-order with a later
+        // single record exercises high-water accounting across the
+        // expansion boundary.
+        log.push(err_at(12, n, 0x999, None));
+        let rec = recover_log(&log);
+        assert_eq!(rec.stats.out_of_order, 1, "run tail is past the single");
+        assert_recover_log_matches_text_path(&log);
+    }
+
+    #[test]
+    fn recover_log_of_empty_log_keeps_the_node_fallback() {
+        let log = NodeLog::new(node("03-03"));
+        let rec = recover_log(&log);
+        assert_eq!(rec.stats.files_read, 1);
+        assert_eq!(rec.stats.lines_read, 0);
+        assert_eq!(rec.log.node, log.node);
     }
 
     #[test]

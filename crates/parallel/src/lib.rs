@@ -206,8 +206,11 @@ where
                 }));
                 if let Err(p) = result {
                     // First panic wins; park the cursor so siblings drain.
+                    // Recover a poisoned lock: two workers panicking at
+                    // once must not escalate into a double panic (abort)
+                    // while recording the first payload.
                     cursor.store(n, Ordering::Relaxed);
-                    let mut slot = panic_payload.lock().unwrap();
+                    let mut slot = panic_payload.lock().unwrap_or_else(|e| e.into_inner());
                     if slot.is_none() {
                         *slot = Some(p);
                     }
@@ -216,7 +219,10 @@ where
         }
     });
 
-    if let Some(p) = panic_payload.into_inner().unwrap() {
+    if let Some(p) = panic_payload
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
+    {
         resume_unwind(p);
     }
     out.into_iter()

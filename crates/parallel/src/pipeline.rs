@@ -83,6 +83,76 @@ where
     (acc, stats)
 }
 
+/// Like [`stage`], but the producer's emit hook is `Sync` so it can be
+/// called from *many* threads at once — the shape of the direct
+/// campaign→db stream, where every supervised simulation worker pushes
+/// its node's recovered log the moment it completes.
+///
+/// The emit hook counts atomically; consumers and the partial merge are
+/// identical to [`stage`] (per-worker folds merged in worker-index
+/// order). Note that with a multi-threaded producer the *arrival* order
+/// is nondeterministic, so deterministic callers must fold into an
+/// order-insensitive accumulator and impose a total order afterwards
+/// (the direct db path sorts its per-node results by node id).
+pub fn stage_shared<T, A>(
+    capacity: usize,
+    consumers: usize,
+    producer: impl FnOnce(&(dyn Fn(T) + Sync)) + Send,
+    identity: impl Fn() -> A + Sync,
+    fold: impl Fn(A, T) -> A + Sync,
+    merge: impl Fn(A, A) -> A,
+) -> (A, StageStats)
+where
+    T: Send,
+    A: Send,
+{
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    assert!(capacity > 0, "capacity must be positive");
+    let consumers = consumers.max(1);
+    let (tx, rx) = channel::bounded::<T>(capacity);
+    let produced = AtomicU64::new(0);
+    let partials: Mutex<Vec<(usize, A)>> = Mutex::new(Vec::new());
+    let consumed_total = Mutex::new(0u64);
+
+    std::thread::scope(|scope| {
+        for worker in 0..consumers {
+            let rx = rx.clone();
+            let partials = &partials;
+            let consumed_total = &consumed_total;
+            let identity = &identity;
+            let fold = &fold;
+            scope.spawn(move || {
+                let mut acc = identity();
+                let mut count = 0u64;
+                for item in rx.iter() {
+                    acc = fold(acc, item);
+                    count += 1;
+                }
+                partials.lock().push((worker, acc));
+                *consumed_total.lock() += count;
+            });
+        }
+        drop(rx);
+
+        let push = |item: T| {
+            tx.send(item).expect("consumers alive while producing");
+            produced.fetch_add(1, Ordering::Relaxed);
+        };
+        producer(&push);
+        drop(tx); // close the channel so consumers drain and exit
+    });
+
+    let mut parts = partials.into_inner();
+    parts.sort_by_key(|(w, _)| *w);
+    let acc = parts.into_iter().map(|(_, a)| a).fold(identity(), merge);
+    let stats = StageStats {
+        produced: produced.into_inner(),
+        consumed: consumed_total.into_inner(),
+    };
+    (acc, stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,6 +231,45 @@ mod tests {
         );
         assert_eq!(count, 500);
         assert_eq!(stats.consumed, 500);
+    }
+
+    #[test]
+    fn stage_shared_accepts_emits_from_many_threads() {
+        let (sum, stats) = stage_shared(
+            16,
+            3,
+            |push| {
+                std::thread::scope(|s| {
+                    for t in 0..4u64 {
+                        s.spawn(move || {
+                            for i in 0..1_000u64 {
+                                push(t * 1_000 + i);
+                            }
+                        });
+                    }
+                });
+            },
+            || 0u64,
+            |acc, x| acc + x,
+            |a, b| a + b,
+        );
+        assert_eq!(sum, (0..4_000u64).sum::<u64>());
+        assert_eq!(stats.produced, 4_000);
+        assert_eq!(stats.consumed, 4_000);
+    }
+
+    #[test]
+    fn stage_shared_empty_producer() {
+        let (acc, stats) = stage_shared(
+            8,
+            2,
+            |_push: &(dyn Fn(u32) + Sync)| {},
+            || 0u32,
+            |acc, x: u32| acc + x,
+            |a, b| a + b,
+        );
+        assert_eq!(acc, 0);
+        assert_eq!(stats, StageStats::default());
     }
 
     #[test]

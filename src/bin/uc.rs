@@ -11,7 +11,11 @@
 //!   them first. `--durable` writes logs as checksummed `.dlog` segments
 //!   (length-framed, CRC per record, whole-file digest in `MANIFEST`)
 //!   instead of plain text; a node whose storage fails degrades that node,
-//!   never the campaign;
+//!   never the campaign. `--db <file>` streams each completed node's
+//!   faults straight into a sealed fault database (no text corpus in
+//!   between — the direct path; see DESIGN.md §10), byte-identical to
+//!   `--out` + `uc build-db` for the same seed at any thread count;
+//!   with both flags one campaign run produces both artifacts;
 //! - `uc fsck <dir>` — verify a durable directory (and its
 //!   `.checkpoints`, if present): check manifests and frame checksums,
 //!   keep the longest valid prefix of each torn file, move damaged tails
@@ -187,7 +191,10 @@ impl Args {
     }
 
     /// Parse a numeric flag strictly: present-but-garbage is a usage
-    /// error, not a silent default.
+    /// error, not a silent default. Overflow is garbage too — every
+    /// numeric flag follows the same contract (usage message on stderr,
+    /// exit 2), so `--workers 99999999999999999999` and `--workers x`
+    /// fail identically instead of one overflowing into a cast.
     fn get_u64_strict(&self, key: &str, default: u64) -> Result<u64, String> {
         match self.get(key) {
             None => Ok(default),
@@ -196,10 +203,20 @@ impl Args {
                 .map_err(|_| format!("--{key} requires a non-negative integer, got {v:?}")),
         }
     }
+
+    /// Like [`Args::get_u64_strict`] but for flags that land in a `u32`
+    /// (`--max-attempts`): a value above `u32::MAX` is a usage error,
+    /// never a silent truncating `as` cast.
+    fn get_u32_strict(&self, key: &str, default: u32) -> Result<u32, String> {
+        let v = self.get_u64_strict(key, u64::from(default))?;
+        u32::try_from(v)
+            .map_err(|_| format!("--{key} must fit in 32 bits (max {}), got {v}", u32::MAX))
+    }
 }
 
 const USAGE: &str = "usage:\n  \
-     uc campaign --out <dir> [--seed N] [--blades N] [--compact x] [--resume x] [--durable x]\n  \
+     uc campaign --out <dir> [--db <file>] [--seed N] [--blades N] [--compact x] [--resume x] [--durable x]\n  \
+     uc campaign --db <file> [--seed N] [--blades N] [--resume x]\n  \
      uc fsck <dir>\n  \
      uc analyze <dir> [--threads N]\n  \
      uc analyze --db <file> [--threads N]\n  \
@@ -232,23 +249,33 @@ fn cmd_campaign(args: &Args) -> ExitCode {
     if let Err(e) = args.validate(
         "campaign",
         &[
-            "out", "seed", "blades", "compact", "resume", "durable", "threads",
+            "out", "db", "seed", "blades", "compact", "resume", "durable", "threads",
         ],
         0,
         0,
     ) {
         return bad_usage(&e);
     }
-    let Some(out) = args.get("out") else {
-        return bad_usage("campaign requires --out <dir>");
-    };
+    let out = args.get("out");
+    let db = args.get("db");
+    if out.is_none() && db.is_none() {
+        return bad_usage("campaign requires --out <dir> and/or --db <file>");
+    }
+    if out.is_none() && (args.has("compact") || args.has("durable")) {
+        return bad_usage("--compact/--durable shape the text log layout and need --out <dir>");
+    }
     let cfg = match config_for(args) {
         Ok(c) => c,
         Err(e) => return bad_usage(&e),
     };
-    let dir = PathBuf::from(out);
     let resume = args.has("resume");
-    let ckpt_dir = dir.join(".checkpoints");
+    // Checkpoints live next to whichever output exists: under the log
+    // directory as before, or as a `<db>.checkpoints` sibling when the
+    // campaign streams straight to a database with no text corpus.
+    let ckpt_dir = match out {
+        Some(o) => PathBuf::from(o).join(".checkpoints"),
+        None => PathBuf::from(format!("{}.checkpoints", db.expect("checked above"))),
+    };
     if !resume {
         // Stale checkpoints from an earlier run (possibly another seed)
         // must not leak into a fresh campaign.
@@ -263,63 +290,99 @@ fn cmd_campaign(args: &Args) -> ExitCode {
         cfg.topology.monitored_node_count(),
         if resume { " (resuming)" } else { "" }
     );
-    let result = checkpoint::run_campaign_checkpointed(&cfg, &ckpt_dir);
+    // With `--db` the campaign streams each completed node's recovered
+    // log straight into the database sealer — the text corpus never
+    // exists unless `--out` asks for it too. Without `--db` this is the
+    // classic text-only run. Either way the campaign executes once.
+    let (result, sealed) = if let Some(db_path) = db {
+        let db_path = PathBuf::from(db_path);
+        match unprotected_computing::direct::campaign_to_db(
+            &cfg,
+            &ckpt_dir,
+            &db_path,
+            &WriteOptions::default(),
+        ) {
+            Ok(output) => (output.result, Some(output.summary)),
+            Err(e) => {
+                eprintln!("campaign --db: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        (checkpoint::run_campaign_checkpointed(&cfg, &ckpt_dir), None)
+    };
     if result.is_degraded() {
         for (node, attempts, reason) in result.failed_nodes() {
             eprintln!("WARNING: node {node} failed after {attempts} attempt(s): {reason}");
         }
         eprintln!("campaign is DEGRADED: output covers the surviving nodes only");
     }
-    let compact = args.has("compact");
-    let durable = args.has("durable");
-    if durable {
-        let cluster = result.cluster_log();
-        let out = if compact {
-            uc_faultlog::durable::write_cluster_log_durable_compact(&dir, &cluster)
-        } else {
-            uc_faultlog::durable::write_cluster_log_durable(&dir, &cluster)
-        };
-        for (node, err) in &out.failures {
-            eprintln!("WARNING: node {node} log not durable: {err}");
-        }
-        if let Some(err) = &out.manifest_error {
-            eprintln!("WARNING: manifest not durable: {err}");
-        }
+    if let Some(summary) = &sealed {
         eprintln!(
-            "wrote {} durable node log segments to {}{}",
-            out.sealed.len(),
-            dir.display(),
-            if out.is_fully_durable() {
-                ""
-            } else {
-                " (DEGRADED)"
-            }
+            "sealed {}: {} faults in {} blocks, {} bytes (direct stream, no text corpus)",
+            summary.path.display(),
+            summary.rows,
+            summary.blocks,
+            summary.bytes
         );
-    } else {
-        let write = if compact {
-            write_cluster_log_compact
+    }
+    if let Some(out) = out {
+        let dir = PathBuf::from(out);
+        let compact = args.has("compact");
+        let durable = args.has("durable");
+        if durable {
+            let cluster = result.cluster_log();
+            let out = if compact {
+                uc_faultlog::durable::write_cluster_log_durable_compact(&dir, &cluster)
+            } else {
+                uc_faultlog::durable::write_cluster_log_durable(&dir, &cluster)
+            };
+            for (node, err) in &out.failures {
+                eprintln!("WARNING: node {node} log not durable: {err}");
+            }
+            if let Some(err) = &out.manifest_error {
+                eprintln!("WARNING: manifest not durable: {err}");
+            }
+            eprintln!(
+                "wrote {} durable node log segments to {}{}",
+                out.sealed.len(),
+                dir.display(),
+                if out.is_fully_durable() {
+                    ""
+                } else {
+                    " (DEGRADED)"
+                }
+            );
         } else {
-            write_cluster_log
-        };
-        match write(&dir, &result.cluster_log()) {
-            Ok(n) => eprintln!("wrote {n} node log files to {}", dir.display()),
+            let write = if compact {
+                write_cluster_log_compact
+            } else {
+                write_cluster_log
+            };
+            match write(&dir, &result.cluster_log()) {
+                Ok(n) => eprintln!("wrote {n} node log files to {}", dir.display()),
+                Err(e) => {
+                    eprintln!("failed to write logs: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let report = Report::build(&result);
+        // Atomic (tmp + fsync + rename): a crash mid-write must never leave a
+        // half-rendered report.txt next to intact logs.
+        match write_text_atomic(&dir, "report.txt", &render::full_report(&report)) {
+            Ok(path) => eprintln!("report at {}", path.display()),
             Err(e) => {
-                eprintln!("failed to write logs: {e}");
+                eprintln!("failed to write report: {e}");
                 return ExitCode::FAILURE;
             }
         }
+        println!("{}", render::headline(&report));
+    } else {
+        // Database-only run: the headline still prints (the report is
+        // derived in memory), there's just no report.txt to point at.
+        println!("{}", render::headline(&Report::build(&result)));
     }
-    let report = Report::build(&result);
-    // Atomic (tmp + fsync + rename): a crash mid-write must never leave a
-    // half-rendered report.txt next to intact logs.
-    match write_text_atomic(&dir, "report.txt", &render::full_report(&report)) {
-        Ok(path) => eprintln!("report at {}", path.display()),
-        Err(e) => {
-            eprintln!("failed to write report: {e}");
-            return ExitCode::FAILURE;
-        }
-    }
-    println!("{}", render::headline(&report));
     ExitCode::SUCCESS
 }
 
@@ -393,7 +456,15 @@ fn cmd_build_db(args: &Args) -> ExitCode {
     }
     let rows_per_block = match args.get_u64_strict("rows-per-block", 0) {
         Ok(0) => WriteOptions::default().rows_per_block,
-        Ok(n) => n as usize,
+        // The writer clamps internally; a flag outside its range is a
+        // user mistake worth a loud usage error, not a silent clamp.
+        Ok(n) if n <= (1 << 20) => n as usize,
+        Ok(n) => {
+            return bad_usage(&format!(
+                "--rows-per-block {n} exceeds the maximum of {}",
+                1u64 << 20
+            ))
+        }
         Err(e) => return bad_usage(&e),
     };
     let logdir = PathBuf::from(&args.positional[0]);
@@ -729,8 +800,8 @@ fn cmd_stream(args: &Args) -> ExitCode {
         Ok(_) => return bad_usage("--batch must be at least 1"),
         Err(e) => return bad_usage(&e),
     };
-    let max_attempts = match args.get_u64_strict("max-attempts", 10) {
-        Ok(n) if n >= 1 => n as u32,
+    let max_attempts = match args.get_u32_strict("max-attempts", 10) {
+        Ok(n) if n >= 1 => n,
         Ok(_) => return bad_usage("--max-attempts must be at least 1"),
         Err(e) => return bad_usage(&e),
     };
@@ -857,6 +928,21 @@ fn cmd_fsck(args: &Args) -> ExitCode {
             }
         };
     }
+    // A crash inside `uc campaign --db` (or `uc build-db`) can leave a
+    // half-written `*.ucfdb.tmp` in its write-then-rename window; the
+    // sealed databases themselves are never damaged. Quarantine the
+    // residue into `.lost+found` like any other torn tail.
+    match uc_faultdb::quarantine_db_tmps(&dir) {
+        Ok(moved) => {
+            for (name, bytes) in &moved {
+                eprintln!("quarantined torn db seal {name} ({bytes} bytes) to .lost+found");
+            }
+        }
+        Err(e) => {
+            eprintln!("fsck {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
     let mut targets = vec![dir.clone()];
     let ckpt_dir = dir.join(".checkpoints");
     if ckpt_dir.is_dir() {
@@ -894,7 +980,10 @@ fn cmd_scan(args: &Args) -> ExitCode {
         return bad_usage(&e);
     }
     let mb = match args.get_u64_strict("mb", 256) {
-        Ok(n) => n,
+        // The scanner takes bytes; reject sizes whose byte count would
+        // overflow instead of wrapping in the multiply below.
+        Ok(n) if n.checked_mul(1024 * 1024).is_some() => n,
+        Ok(n) => return bad_usage(&format!("--mb {n} is too large (byte count overflows)")),
         Err(e) => return bad_usage(&e),
     };
     let iters = match args.get_u64_strict("iters", 4) {
@@ -983,10 +1072,16 @@ fn main() -> ExitCode {
     // (same knob as the UC_THREADS environment variable, which it
     // overrides). All parallel stages are deterministic, so this only
     // trades wall-clock time — never output bytes.
-    if let Some(v) = args.get("threads") {
-        match v.parse::<usize>() {
-            Ok(n) if n >= 1 => uc_parallel::set_thread_limit(Some(n)),
-            _ => return bad_usage(&format!("--threads requires a positive integer, got {v:?}")),
+    if args.has("threads") {
+        // Same strict contract as every other numeric flag: garbage and
+        // overflow are both usage errors (exit 2), zero is rejected.
+        match args.get_u64_strict("threads", 0) {
+            Ok(n) if n >= 1 => match usize::try_from(n) {
+                Ok(n) => uc_parallel::set_thread_limit(Some(n)),
+                Err(_) => return bad_usage(&format!("--threads {n} is too large")),
+            },
+            Ok(_) => return bad_usage("--threads requires a positive integer, got \"0\""),
+            Err(e) => return bad_usage(&e),
         }
     }
     match cmd.as_str() {

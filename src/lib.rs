@@ -36,6 +36,8 @@
 //! assert_eq!(report.multibit.max_bit_distance, 11);
 //! ```
 
+pub mod direct;
+
 pub use uc_analysis as analysis;
 pub use uc_cluster as cluster;
 pub use uc_dram as dram;

@@ -288,6 +288,100 @@ fn stream_serve_ingest_sigterm_and_fsck_end_to_end() {
     let _ = fs::remove_dir_all(&base);
 }
 
+/// Every numeric flag follows one contract: garbage AND overflow are
+/// usage errors (stderr + exit 2), never a silent wrap into a
+/// valid-looking value. `--max-attempts 4294967301` used to truncate
+/// to 5 via an `as u32` cast; these pin the normalized behavior.
+#[test]
+fn numeric_flag_overflow_and_garbage_both_exit_2() {
+    // u32 flag: one past u32::MAX must not wrap (4294967296 -> 0, +5 -> 5).
+    let wrap = uc(&[
+        "stream",
+        "127.0.0.1:1",
+        "somedir",
+        "--max-attempts",
+        "4294967301",
+    ]);
+    assert_eq!(wrap.status.code(), Some(2), "{}", stderr(&wrap));
+    assert!(
+        stderr(&wrap).contains("--max-attempts"),
+        "{}",
+        stderr(&wrap)
+    );
+    let garbage = uc(&["stream", "127.0.0.1:1", "somedir", "--max-attempts", "many"]);
+    assert_eq!(garbage.status.code(), Some(2));
+
+    // u64 flag: one past u64::MAX overflows the parse itself.
+    let big = uc(&["report", "--seed", "18446744073709551616"]);
+    assert_eq!(big.status.code(), Some(2));
+    assert!(stderr(&big).contains("--seed"), "{}", stderr(&big));
+
+    // Derived overflow: the MB -> bytes multiply must be checked.
+    let mb = uc(&["scan", "--mb", "99999999999999"]);
+    assert_eq!(mb.status.code(), Some(2));
+    assert!(stderr(&mb).contains("--mb"), "{}", stderr(&mb));
+
+    // Range check instead of silent clamp.
+    let rpb = uc(&["build-db", "a", "b", "--rows-per-block", "2000000"]);
+    assert_eq!(rpb.status.code(), Some(2));
+    assert!(
+        stderr(&rpb).contains("--rows-per-block"),
+        "{}",
+        stderr(&rpb)
+    );
+
+    // --threads: zero, garbage, and overflow all land on the same exit.
+    for bad in ["0", "x", "18446744073709551616"] {
+        let out = uc(&["report", "--threads", bad]);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "--threads {bad}: {}",
+            stderr(&out)
+        );
+        assert!(stderr(&out).contains("--threads"), "{}", stderr(&out));
+    }
+}
+
+#[test]
+fn campaign_without_out_or_db_exits_2() {
+    let out = uc(&["campaign"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("--out") && err.contains("--db"), "{err}");
+}
+
+#[test]
+fn campaign_db_only_rejects_text_layout_flags() {
+    let out = uc(&["campaign", "--db", "x.ucfdb", "--compact", "x"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--out"), "{}", stderr(&out));
+}
+
+/// A crash inside the db sealer's write-then-rename window leaves only a
+/// `*.ucfdb.tmp`; `uc fsck` must quarantine it into `.lost+found`.
+#[test]
+fn fsck_quarantines_torn_db_seal_tmps() {
+    let base = std::env::temp_dir().join(format!("uc-cli-dbtmp-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&base);
+    fs::create_dir_all(&base).unwrap();
+    fs::write(base.join("direct.ucfdb.tmp"), b"half-written seal").unwrap();
+    fs::write(base.join("sealed.ucfdb"), b"not touched").unwrap();
+
+    let out = uc(&["fsck", base.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("quarantined torn db seal direct.ucfdb.tmp"),
+        "{}",
+        stderr(&out)
+    );
+    assert!(!base.join("direct.ucfdb.tmp").exists());
+    assert!(base.join(".lost+found").join("direct.ucfdb.tmp").is_file());
+    assert!(base.join("sealed.ucfdb").is_file());
+
+    let _ = fs::remove_dir_all(&base);
+}
+
 #[test]
 fn serve_selftest_passes_through_the_binary() {
     let base = std::env::temp_dir().join(format!("uc-cli-serve-{}", std::process::id()));
