@@ -18,18 +18,26 @@
 //! * `ingest_mb_per_sec` — recovering text ingest throughput over the
 //!   campaign corpus;
 //! * `scan_rows_per_sec` — full-scan query throughput over the sealed
-//!   database.
+//!   database;
+//! * `serve_p99_us` — p99 request latency through the TCP serving layer;
+//! * `catchup_mb_per_sec` — WAL-shipping throughput of a fresh replica
+//!   catching up to a sealed primary over loopback.
 //!
 //! Run with `cargo bench -p uc-bench --bench campaign`; `--test` does a
 //! single quick pass (CI smoke) and still emits the JSON.
 
 use std::path::{Path, PathBuf};
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use uc_faultdb::{build_db, FaultDb, QueryOptions, WriteOptions};
+use uc_cluster::NodeId;
+use uc_faultdb::{
+    build_db, Client, FaultDb, IngestConfig, IngestServer, LiveDb, QueryOptions, ReplicaConfig,
+    Replication, Role, ServeConfig, Server, WriteOptions,
+};
 use uc_faultlog::files::write_cluster_log;
 use uc_faultlog::ingest::read_cluster_log_recovering;
 use unprotected_computing::core::{run_campaign_checkpointed, CampaignConfig};
@@ -75,6 +83,96 @@ fn direct_path_once(base: &Path, tag: &str) -> (f64, u64) {
     let t0 = Instant::now();
     let output = campaign_to_db(&cfg(), &ckpt, &db, &WriteOptions::default()).unwrap();
     (t0.elapsed().as_secs_f64(), output.summary.rows)
+}
+
+/// p99 latency (µs) of query requests over the TCP serving layer, one
+/// warm client against a default-provisioned server on the sealed db.
+fn serve_p99_us(db_path: &Path, quick: bool) -> f64 {
+    let db = Arc::new(FaultDb::open(db_path).unwrap());
+    let server = Server::start(db, &ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    for _ in 0..20 {
+        client.request("count where raw>=1").unwrap();
+    }
+    let n = if quick { 200 } else { 1000 };
+    let mut lat_us = Vec::with_capacity(n);
+    for _ in 0..n {
+        let t0 = Instant::now();
+        client.request("count where raw>=1").unwrap();
+        lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    drop(client);
+    server.shutdown_handle().shutdown();
+    server.join();
+    lat_us.sort_by(f64::total_cmp);
+    lat_us[(lat_us.len() * 99 / 100).min(lat_us.len() - 1)]
+}
+
+/// Replication catch-up throughput: a fresh replica syncing a sealed
+/// primary's full WAL over loopback, measured as shipped WAL MB per
+/// second of wall-clock until the replica matches the primary.
+fn catchup_mb_per_sec(base: &Path, quick: bool) -> f64 {
+    let pdir = base.join("repl-primary");
+    std::fs::create_dir_all(&pdir).unwrap();
+    let (primary, _) = LiveDb::open(&pdir).unwrap();
+    let primary = Arc::new(primary);
+    let per_node = if quick { 2_000 } else { 10_000 };
+    for (i, name) in ["05-01", "05-02", "05-03", "05-04"].iter().enumerate() {
+        let node = NodeId::from_name(name).unwrap();
+        for k in 0..per_node {
+            let vaddr = 0x8000 + 0x40 * k as u64 + ((i as u64) << 28);
+            let line = format!(
+                "ERROR t={t} node={name} vaddr=0x{vaddr:08x} page=0x{page:06x} \
+                 expected=0xffffffff actual=0xfffffffe temp=33.0",
+                t = 100 + 60 * k as i64,
+                page = vaddr >> 12
+            );
+            primary.ingest(node, k as u64, &line).unwrap();
+        }
+    }
+    primary.seal().unwrap();
+    let wal_bytes: u64 = std::fs::read_dir(&pdir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            e.file_name()
+                .to_str()
+                .is_some_and(|n| n.starts_with("wal-"))
+        })
+        .filter_map(|e| e.metadata().ok())
+        .map(|m| m.len())
+        .sum();
+    let server = IngestServer::start_with_role(
+        Arc::clone(&primary),
+        &IngestConfig::default(),
+        Some(Arc::new(Role::primary())),
+    )
+    .unwrap();
+
+    let rdir = base.join("repl-replica");
+    std::fs::create_dir_all(&rdir).unwrap();
+    let (replica, _) = LiveDb::open(&rdir).unwrap();
+    let replica = Arc::new(replica);
+    let want = primary.status();
+    let mut rcfg = ReplicaConfig::new(&server.local_addr().to_string());
+    rcfg.poll_interval = Duration::from_millis(1);
+    rcfg.pull_max = 4096;
+    let t0 = Instant::now();
+    let repl = Replication::start(Arc::clone(&replica), rcfg);
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        let got = replica.status();
+        if got.records == want.records && got.generation == want.generation {
+            break;
+        }
+        assert!(Instant::now() < deadline, "replica catch-up stalled");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    drop(repl);
+    server.shutdown();
+    server.join();
+    wal_bytes as f64 / (1024.0 * 1024.0) / secs
 }
 
 /// Best-of-N end-to-end measurements plus the two derived throughputs,
@@ -124,6 +222,10 @@ fn emit_trajectory(quick: bool) {
     }
     let scan_rows_per_sec = rows_scanned as f64 / scan_best;
 
+    // Serving-layer tail latency and replication catch-up throughput.
+    let p99_us = serve_p99_us(&base.join("direct-0.ucfdb"), quick);
+    let catchup = catchup_mb_per_sec(&base, quick);
+
     let json = format!(
         "{{\n  \"bench\": \"campaign\",\n  \"config\": {{\"seed\": 42, \"blades\": 8}},\n  \
          \"rows\": {rows},\n  \
@@ -132,7 +234,9 @@ fn emit_trajectory(quick: bool) {
          \"direct_path_e2e_seconds\": {direct_best:.4},\n  \
          \"direct_speedup\": {:.2},\n  \
          \"ingest_mb_per_sec\": {ingest_mb_per_sec:.1},\n  \
-         \"scan_rows_per_sec\": {scan_rows_per_sec:.0}\n}}\n",
+         \"scan_rows_per_sec\": {scan_rows_per_sec:.0},\n  \
+         \"serve_p99_us\": {p99_us:.1},\n  \
+         \"catchup_mb_per_sec\": {catchup:.2}\n}}\n",
         rows as f64 / direct_best,
         text_best / direct_best,
     );

@@ -49,8 +49,9 @@ use uc_faultlog::{ClusterLog, IngestStats, NodeLog};
 use crate::db::{DbHandle, FaultDb};
 use crate::error::DbError;
 use crate::format::{write_db, WriteOptions};
+use crate::lock::LiveLock;
 use crate::snapshot::Snapshot;
-use crate::wal::{encode_wal_payload, Wal, WalRecovery};
+use crate::wal::{encode_wal_payload, Wal, WalRecord, WalRecovery};
 
 /// Catalog file name inside a live directory.
 pub const CATALOG_NAME: &str = "CATALOG";
@@ -88,6 +89,12 @@ pub struct GenEntry {
 pub struct Catalog {
     pub generations: Vec<GenEntry>,
     pub current: Option<u64>,
+    /// Monotonic fencing epoch. Bumped by promotion (failover); a
+    /// replication peer announcing a lower epoch is from a superseded
+    /// timeline and gets a typed rejection instead of forking history.
+    /// Rendered only when non-zero, so pre-replication catalogs stay
+    /// byte-stable.
+    pub epoch: u64,
 }
 
 impl Catalog {
@@ -106,6 +113,9 @@ impl Catalog {
         let mut body = String::new();
         body.push_str(CATALOG_MAGIC);
         body.push('\n');
+        if self.epoch > 0 {
+            body.push_str(&format!("epoch {}\n", self.epoch));
+        }
         for g in &self.generations {
             body.push_str(&format!(
                 "gen {} {} {} {:08x}\n",
@@ -154,6 +164,8 @@ impl Catalog {
                 });
             } else if let Some(rest) = line.strip_prefix("current ") {
                 cat.current = Some(rest.parse().ok()?);
+            } else if let Some(rest) = line.strip_prefix("epoch ") {
+                cat.epoch = rest.parse().ok()?;
             } else {
                 return None;
             }
@@ -209,7 +221,7 @@ pub enum IngestOutcome {
 }
 
 /// One node's live stream state.
-struct NodeStream {
+pub(crate) struct NodeStream {
     /// The raw lines, newline-terminated — byte-identical to the text
     /// log file a batch ingest would read for this node.
     text: String,
@@ -237,6 +249,84 @@ pub struct LiveStatus {
     /// Gap rejections since open, including out-of-sequence records
     /// dropped during WAL recovery (possible only via mid-file damage).
     pub gaps: u64,
+    /// Fencing epoch of this node's timeline (0 until a promotion).
+    pub epoch: u64,
+}
+
+/// Deterministic replay of WAL records through the per-node sequence
+/// discipline — the one shared definition of "the accepted record
+/// prefix" used by recovery ([`LiveDb::open`]), the replication shipper
+/// (which must ship exactly what a replica's replay would accept), and
+/// the scrubber (which rebuilds a generation from the prefix its catalog
+/// entry names).
+pub(crate) struct ReplayState {
+    pub(crate) streams: BTreeMap<u32, NodeStream>,
+    pub(crate) records: u64,
+    pub(crate) crc: Crc32,
+    pub(crate) duplicates: u64,
+    pub(crate) gaps: u64,
+}
+
+impl ReplayState {
+    pub(crate) fn new() -> ReplayState {
+        ReplayState {
+            streams: BTreeMap::new(),
+            records: 0,
+            crc: Crc32::new(),
+            duplicates: 0,
+            gaps: 0,
+        }
+    }
+
+    /// Feed one recovered record through the sequence discipline.
+    /// Returns `true` when it advanced the accepted prefix.
+    pub(crate) fn apply(&mut self, rec: &WalRecord) -> bool {
+        let stream = self
+            .streams
+            .entry(rec.node.0)
+            .or_insert_with(|| NodeStream {
+                text: String::new(),
+                next_seq: 0,
+            });
+        if rec.seq == stream.next_seq {
+            self.crc
+                .update(&encode_wal_payload(rec.node, rec.seq, &rec.line));
+            stream.text.push_str(&rec.line);
+            stream.text.push('\n');
+            stream.next_seq += 1;
+            self.records += 1;
+            true
+        } else if rec.seq < stream.next_seq {
+            // A crash between WAL flush and client ACK makes the client
+            // resend; both copies are in the WAL, one wins.
+            self.duplicates += 1;
+            false
+        } else {
+            // Possible only through mid-file damage (a checksummed frame
+            // lost between two surviving ones). Torn *tails* never gap —
+            // they lose a suffix of acceptance order.
+            self.gaps += 1;
+            false
+        }
+    }
+
+    /// Replay records in order, stopping once `cap` accepted records
+    /// have been taken (`None` = all of them).
+    pub(crate) fn replay(records: &[WalRecord], cap: Option<u64>) -> ReplayState {
+        let mut state = ReplayState::new();
+        for rec in records {
+            if cap.is_some_and(|c| state.records >= c) {
+                break;
+            }
+            state.apply(rec);
+        }
+        state
+    }
+
+    /// The batch-pipeline snapshot of the accepted prefix.
+    pub(crate) fn snapshot(&self) -> Snapshot {
+        build_snapshot(&self.streams)
+    }
 }
 
 struct LiveInner {
@@ -253,11 +343,14 @@ struct LiveInner {
 
 /// A live, streaming-ingest database: crash-consistent WAL in front,
 /// immutable sealed generations behind, snapshot-isolated queries via
-/// [`DbHandle`] throughout.
+/// [`DbHandle`] throughout. Holds the directory's PID lock for its
+/// whole lifetime — a second opener (another `uc serve`, a concurrent
+/// `uc fsck`) fails fast with [`DbError::Locked`] instead of racing.
 pub struct LiveDb {
     dir: PathBuf,
     inner: parking_lot::Mutex<LiveInner>,
     handle: DbHandle,
+    _lock: LiveLock,
 }
 
 /// What [`LiveDb::open`] found and did.
@@ -279,46 +372,23 @@ impl LiveDb {
     /// adopt the catalog's current generation (if its provenance matches
     /// the replayed state exactly) or seal a fresh one from the WAL.
     pub fn open(dir: &Path) -> Result<(LiveDb, OpenReport), DbError> {
+        std::fs::create_dir_all(dir).map_err(|e| DbError::io(dir, e))?;
+        let lock = LiveLock::acquire(dir)?;
         let (wal, recovery) = Wal::open(dir)?;
-        let mut streams: BTreeMap<u32, NodeStream> = BTreeMap::new();
-        let mut crc = Crc32::new();
-        let mut records = 0u64;
-        let mut duplicates = 0u64;
-        let mut gaps = 0u64;
-        for rec in &recovery.records {
-            let stream = streams.entry(rec.node.0).or_insert_with(|| NodeStream {
-                text: String::new(),
-                next_seq: 0,
-            });
-            if rec.seq == stream.next_seq {
-                crc.update(&encode_wal_payload(rec.node, rec.seq, &rec.line));
-                stream.text.push_str(&rec.line);
-                stream.text.push('\n');
-                stream.next_seq += 1;
-                records += 1;
-            } else if rec.seq < stream.next_seq {
-                // A crash between WAL flush and client ACK makes the
-                // client resend; both copies are in the WAL, one wins.
-                duplicates += 1;
-            } else {
-                // Possible only through mid-file damage (a checksummed
-                // frame lost between two surviving ones). Torn *tails*
-                // never gap — they lose a suffix of acceptance order.
-                gaps += 1;
-            }
-        }
+        let replay = ReplayState::replay(&recovery.records, None);
+        let records = replay.records;
 
         let catalog = Catalog::load(dir).unwrap_or_default();
         let mut inner = LiveInner {
             wal,
-            streams,
+            streams: replay.streams,
             records,
-            crc,
+            crc: replay.crc,
             catalog,
             current_gen: 0,
             gen_records: 0,
-            duplicates,
-            gaps,
+            duplicates: replay.duplicates,
+            gaps: replay.gaps,
         };
 
         // Serve the cataloged generation only on an exact provenance
@@ -362,6 +432,7 @@ impl LiveDb {
                 dir: dir.to_path_buf(),
                 inner: parking_lot::Mutex::new(inner),
                 handle,
+                _lock: lock,
             },
             report,
         ))
@@ -450,6 +521,69 @@ impl LiveDb {
     pub fn status(&self) -> LiveStatus {
         status_of(&self.inner.lock())
     }
+
+    /// Fencing epoch of this node's timeline.
+    pub fn epoch(&self) -> u64 {
+        self.inner.lock().catalog.epoch
+    }
+
+    /// Bump the fencing epoch and persist it — the promotion step of a
+    /// failover. After this returns, any peer still announcing the old
+    /// epoch is fenced off. Returns the new epoch.
+    pub fn promote(&self) -> Result<u64, DbError> {
+        let mut inner = self.inner.lock();
+        inner.catalog.epoch += 1;
+        inner.catalog.save(&self.dir)?;
+        Ok(inner.catalog.epoch)
+    }
+
+    /// Adopt a peer's (higher) epoch — a replica following a promoted
+    /// primary records the primary's timeline. Lower or equal epochs are
+    /// a no-op; the epoch is monotonic.
+    pub fn adopt_epoch(&self, epoch: u64) -> Result<(), DbError> {
+        let mut inner = self.inner.lock();
+        if epoch > inner.catalog.epoch {
+            inner.catalog.epoch = epoch;
+            inner.catalog.save(&self.dir)?;
+        }
+        Ok(())
+    }
+
+    /// A point-in-time copy of the catalog, for shipping seal markers
+    /// and for provenance checks.
+    pub fn catalog_snapshot(&self) -> Catalog {
+        self.inner.lock().catalog.clone()
+    }
+
+    /// Seal generation `index` exactly as the primary did: only legal
+    /// when this node's accepted prefix is exactly `(records, crc)` —
+    /// i.e. the replica stands at the same point of the same history —
+    /// so the sealed file comes out byte-identical to the primary's.
+    /// Anything else is a typed divergence, never a silent fork.
+    pub fn seal_replica(&self, index: u64, records: u64, stream_crc: u32) -> Result<(), DbError> {
+        let mut inner = self.inner.lock();
+        inner.wal.flush()?;
+        if inner.records != records || inner.crc.finish() != stream_crc {
+            return Err(DbError::Diverged(format!(
+                "seal marker for gen {index} names {records} records crc {stream_crc:08x}, \
+                 local state is {} records crc {:08x}",
+                inner.records,
+                inner.crc.finish()
+            )));
+        }
+        if inner.current_gen == index
+            && inner
+                .catalog
+                .entry(index)
+                .is_some_and(|e| e.records == records && e.stream_crc == stream_crc)
+        {
+            // Marker replayed after a restart; the seal already happened.
+            return Ok(());
+        }
+        let db = seal_generation(&self.dir, &mut inner, index, true)?;
+        self.handle.swap(Arc::new(db));
+        Ok(())
+    }
 }
 
 fn status_of(inner: &LiveInner) -> LiveStatus {
@@ -461,6 +595,7 @@ fn status_of(inner: &LiveInner) -> LiveStatus {
         stream_crc: inner.crc.finish(),
         duplicates: inner.duplicates,
         gaps: inner.gaps,
+        epoch: inner.catalog.epoch,
     }
 }
 
@@ -618,7 +753,7 @@ pub fn is_live_dir(dir: &Path) -> bool {
     })
 }
 
-fn quarantine(dir: &Path, path: &Path, report_bytes: &mut u64) -> Result<(), DbError> {
+pub(crate) fn quarantine(dir: &Path, path: &Path, report_bytes: &mut u64) -> Result<(), DbError> {
     let lost = dir.join(".lost+found");
     std::fs::create_dir_all(&lost).map_err(|e| DbError::io(&lost, e))?;
     let name = path
@@ -639,13 +774,20 @@ fn quarantine(dir: &Path, path: &Path, report_bytes: &mut u64) -> Result<(), DbE
 }
 
 /// Deep-validate one generation file: footer *and* every block CRC.
-fn gen_is_valid(path: &Path) -> bool {
+pub(crate) fn gen_is_valid(path: &Path) -> bool {
     FaultDb::open(path).is_ok_and(|db| db.verify_deep().is_ok())
 }
 
 /// Repair a live directory after a crash at any point. Idempotent; a
-/// second run finds nothing to do.
+/// second run finds nothing to do. Takes the directory's PID lock for
+/// the duration — repairing files under a live server would race every
+/// invariant this function restores.
 pub fn fsck_live_dir(dir: &Path) -> Result<LiveFsckReport, DbError> {
+    let _lock = if dir.is_dir() {
+        Some(LiveLock::acquire(dir)?)
+    } else {
+        None // let the durable pass report the missing directory
+    };
     let mut report = LiveFsckReport {
         // Pass 1 — the WAL is a plain durable directory to `fsck_dir`:
         // salvage torn segments, promote orphan tmps, rebuild MANIFEST.
@@ -800,6 +942,7 @@ mod tests {
                 },
             ],
             current: Some(2),
+            epoch: 3,
         };
         let text = cat.render();
         assert_eq!(Catalog::parse(&text).unwrap(), cat);
@@ -813,6 +956,7 @@ mod tests {
         let orphan = Catalog {
             generations: vec![],
             current: Some(9),
+            epoch: 0,
         };
         assert!(Catalog::parse(&orphan.render()).is_none());
     }
@@ -1005,6 +1149,45 @@ mod tests {
         let (live2, report2) = LiveDb::open(&dir).unwrap();
         assert!(!report2.served_existing);
         assert_eq!(live2.status().records, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn epoch_renders_only_when_set_and_promotion_persists() {
+        // Epoch 0 renders exactly as the pre-replication format did.
+        let plain = Catalog::default().render();
+        assert!(!plain.contains("epoch"));
+        assert_eq!(Catalog::parse(&plain).unwrap().epoch, 0);
+
+        let dir = tmpdir("epoch");
+        let (live, _) = LiveDb::open(&dir).unwrap();
+        assert_eq!(live.epoch(), 0);
+        assert_eq!(live.promote().unwrap(), 1);
+        assert_eq!(live.promote().unwrap(), 2);
+        live.adopt_epoch(1).unwrap(); // stale: monotonicity holds
+        assert_eq!(live.epoch(), 2);
+        live.adopt_epoch(7).unwrap();
+        drop(live);
+        let (live2, _) = LiveDb::open(&dir).unwrap();
+        assert_eq!(live2.epoch(), 7, "epoch survives restart");
+        assert_eq!(live2.status().epoch, 7);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn second_open_of_live_dir_is_refused_while_locked() {
+        let dir = tmpdir("locked");
+        let (live, _) = LiveDb::open(&dir).unwrap();
+        match LiveDb::open(&dir) {
+            Err(DbError::Locked { .. }) => {}
+            other => panic!("expected Locked, got {:?}", other.map(|(_, r)| r)),
+        }
+        match fsck_live_dir(&dir) {
+            Err(DbError::Locked { .. }) => {}
+            other => panic!("expected Locked, got {other:?}"),
+        }
+        drop(live);
+        assert!(fsck_live_dir(&dir).is_ok(), "lock released on drop");
         fs::remove_dir_all(&dir).unwrap();
     }
 

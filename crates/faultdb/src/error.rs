@@ -62,6 +62,21 @@ pub enum DbError {
     /// A request line exceeded the server's cap; the connection is closed
     /// rather than growing an unbounded buffer.
     LineTooLong { limit: usize },
+    /// Another process owns the live directory (its PID is stamped in the
+    /// lock file); concurrent serve/fsck/scrub would race the catalog.
+    Locked { path: PathBuf, pid: u32 },
+    /// A replication peer from a superseded epoch tried to push or serve
+    /// history that conflicts with the promoted timeline.
+    Fenced {
+        local_epoch: u64,
+        peer_epoch: u64,
+        detail: String,
+    },
+    /// Two nodes disagree about the record stream at the same cursor —
+    /// one of them holds forked history that must not be merged silently.
+    Diverged(String),
+    /// This node is a syncing replica; writes must go to the primary.
+    ReadOnly { upstream: String },
 }
 
 impl fmt::Display for DbError {
@@ -83,6 +98,21 @@ impl fmt::Display for DbError {
             DbError::Catalog(why) => write!(f, "catalog: {why}"),
             DbError::LineTooLong { limit } => {
                 write!(f, "request exceeds the {limit}-byte line cap")
+            }
+            DbError::Locked { path, pid } => {
+                write!(f, "{} is locked by live pid {pid}", path.display())
+            }
+            DbError::Fenced {
+                local_epoch,
+                peer_epoch,
+                detail,
+            } => write!(
+                f,
+                "fenced: peer epoch {peer_epoch} vs local epoch {local_epoch}: {detail}"
+            ),
+            DbError::Diverged(why) => write!(f, "history diverged: {why}"),
+            DbError::ReadOnly { upstream } => {
+                write!(f, "replica of {upstream} is read-only; push to the primary")
             }
         }
     }
@@ -125,6 +155,10 @@ impl DbError {
             DbError::Durable(_) => "io",
             DbError::Catalog(_) => "corrupt",
             DbError::LineTooLong { .. } => "line-too-long",
+            DbError::Locked { .. } => "locked",
+            DbError::Fenced { .. } => "fenced",
+            DbError::Diverged(_) => "diverged",
+            DbError::ReadOnly { .. } => "readonly",
         }
     }
 }

@@ -42,7 +42,7 @@ use std::time::Duration;
 
 use uc_cluster::NodeId;
 use uc_faultlog::chaos::{ChaosStream, NetChaosConfig, NetChaosTally};
-use uc_faultlog::durable::{write_frame, FrameEvent, FrameReader, MAGIC};
+use uc_faultlog::durable::{write_frame, FrameEvent, FrameReader, RetryPolicy, MAGIC};
 
 use crate::catalog::{IngestOutcome, LiveDb};
 use crate::error::DbError;
@@ -93,6 +93,9 @@ struct Inner {
     sessions: AtomicU64,
     rejected: AtomicU64,
     protocol_errors: AtomicU64,
+    /// Replication role, when this node is part of a replicated pair:
+    /// replicas refuse pushes, fenced nodes refuse everything.
+    role: Option<Arc<crate::repl::Role>>,
 }
 
 impl Inner {
@@ -131,6 +134,18 @@ impl IngestShutdownHandle {
 
 impl IngestServer {
     pub fn start(live: Arc<LiveDb>, cfg: &IngestConfig) -> Result<IngestServer, DbError> {
+        IngestServer::start_with_role(live, cfg, None)
+    }
+
+    /// [`IngestServer::start`] with a replication [`crate::repl::Role`]:
+    /// pushes are refused on replicas (`readonly`) and on fenced nodes
+    /// (`fenced`); `SYNC` sessions are served according to the role's
+    /// fencing state.
+    pub fn start_with_role(
+        live: Arc<LiveDb>,
+        cfg: &IngestConfig,
+        role: Option<Arc<crate::repl::Role>>,
+    ) -> Result<IngestServer, DbError> {
         let listener = TcpListener::bind(&cfg.addr)
             .map_err(|e| DbError::io(std::path::Path::new(&cfg.addr), e))?;
         let addr = listener
@@ -144,6 +159,7 @@ impl IngestServer {
             sessions: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
+            role,
         });
 
         let workers = (0..cfg.workers.max(1))
@@ -296,7 +312,47 @@ fn handle_session(inner: &Inner, stream: TcpStream) {
             return;
         };
 
+        if let Some(rest) = text.strip_prefix("SYNC ") {
+            // A replication session: hand the connection to the shipper.
+            // It owns the wire from here; typed refusals come back as
+            // errors for the usual framed ERR path.
+            let rest = rest.to_string();
+            if let Err(e) = crate::repl::serve_shipping(
+                &inner.live,
+                inner.role.as_deref(),
+                &rest,
+                &mut reader,
+                &mut writer,
+            ) {
+                refuse(inner, &mut writer, e.kind(), &e.to_string());
+            }
+            return;
+        }
         if let Some(name) = text.strip_prefix("HELLO ") {
+            if let Some(role) = &inner.role {
+                // Typed, fail-fast refusal before any state changes: a
+                // client pushing at the wrong node learns *why* (and, for
+                // readonly, where the primary is) instead of timing out.
+                let refusal = if role.is_fenced() {
+                    Some(DbError::Fenced {
+                        local_epoch: inner.live.epoch(),
+                        peer_epoch: 0,
+                        detail: role
+                            .fence_reason()
+                            .unwrap_or_else(|| "this node is fenced".into()),
+                    })
+                } else if role.is_readonly() {
+                    Some(DbError::ReadOnly {
+                        upstream: role.upstream().unwrap_or_default(),
+                    })
+                } else {
+                    None
+                };
+                if let Some(e) = refusal {
+                    refuse(inner, &mut writer, e.kind(), &e.to_string());
+                    return;
+                }
+            }
             let Some(id) = NodeId::from_name(name.trim()) else {
                 refuse(
                     inner,
@@ -428,12 +484,12 @@ impl Write for Wire {
 pub struct StreamOptions {
     /// Records pushed between FLUSH/ACK checkpoints.
     pub batch: usize,
-    /// Connection attempts with no cursor progress before giving up.
-    /// Progress (any ACK advancing the cursor) resets the budget — a
-    /// lossy link that still moves forward eventually finishes.
-    pub max_attempts: u32,
-    /// Base backoff between attempts (scaled linearly by attempt).
-    pub backoff: Duration,
+    /// Reconnect policy: `max_attempts` connection attempts with no
+    /// cursor progress before giving up, with bounded exponential
+    /// backoff (jittered per node/connect) between attempts. Progress
+    /// (any ACK advancing the cursor) resets the budget — a lossy link
+    /// that still moves forward eventually finishes.
+    pub retry: RetryPolicy,
     /// Ask the server to seal a generation after the last record.
     pub seal_at_end: bool,
     /// Fault injection (None ⇒ plain TCP).
@@ -444,8 +500,11 @@ impl Default for StreamOptions {
     fn default() -> StreamOptions {
         StreamOptions {
             batch: 64,
-            max_attempts: 10,
-            backoff: Duration::from_millis(5),
+            retry: RetryPolicy {
+                max_attempts: 10,
+                base_delay: Duration::from_millis(5),
+                max_delay: Duration::from_millis(100),
+            },
             seal_at_end: false,
             chaos: None,
         }
@@ -547,7 +606,7 @@ pub fn stream_lines(
                     attempts_without_progress = 0;
                 } else {
                     attempts_without_progress += 1;
-                    if attempts_without_progress >= opts.max_attempts.max(1) {
+                    if attempts_without_progress >= opts.retry.max_attempts.max(1) {
                         return Err(DbError::io(
                             std::path::Path::new(&addr.to_string()),
                             io::Error::new(
@@ -560,7 +619,14 @@ pub fn stream_lines(
                         ));
                     }
                 }
-                thread::sleep(opts.backoff * attempts_without_progress.max(1));
+                // Jitter keyed by (node, connect): concurrent streamers
+                // knocked over by the same fault desynchronize instead
+                // of reconnecting in lockstep, deterministically.
+                let key = (u64::from(node.0) << 32) | u64::from(report.connects);
+                thread::sleep(
+                    opts.retry
+                        .delay_for_jittered(attempts_without_progress.max(1), key),
+                );
             }
         }
     }
@@ -802,8 +868,11 @@ pub fn ingest_selftest(
             let lines = synthetic_lines(&name, c, records_per_client);
             let opts = StreamOptions {
                 batch: 16,
-                max_attempts: 50,
-                backoff: Duration::from_millis(2),
+                retry: RetryPolicy {
+                    max_attempts: 50,
+                    base_delay: Duration::from_millis(2),
+                    max_delay: Duration::from_millis(50),
+                },
                 seal_at_end: false,
                 chaos: Some(NetChaosConfig::hostile(
                     seed ^ (c as u64).wrapping_mul(0x9E37),
@@ -1076,8 +1145,11 @@ mod tests {
         let tally = Arc::new(NetChaosTally::default());
         let opts = StreamOptions {
             batch: 4,
-            max_attempts: 100,
-            backoff: Duration::from_millis(1),
+            retry: RetryPolicy {
+                max_attempts: 100,
+                base_delay: Duration::from_millis(1),
+                max_delay: Duration::from_millis(20),
+            },
             seal_at_end: true,
             chaos: Some(NetChaosConfig::hostile(7)),
         };

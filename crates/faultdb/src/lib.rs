@@ -47,7 +47,10 @@ pub mod direct;
 pub mod error;
 pub mod format;
 pub mod ingest_server;
+pub mod lock;
 pub mod query;
+pub mod repl;
+pub mod scrub;
 pub mod server;
 pub mod snapshot;
 pub mod wal;
@@ -66,9 +69,15 @@ pub use ingest_server::{
     ingest_selftest, stream_lines, IngestConfig, IngestSelftestReport, IngestServer,
     IngestServerStats, IngestShutdownHandle, StreamOptions, StreamReport,
 };
+pub use lock::LiveLock;
 pub use query::{parse_query, Query};
+pub use repl::{
+    repl_selftest, NodeAdmin, ReplSelftestReport, ReplicaConfig, Replication, ReplicationStats,
+    Role,
+};
+pub use scrub::{scrub_live_dir, ScrubConfig, ScrubReport, Scrubber};
 pub use server::{
-    selftest, Client, Response, SelftestReport, ServeConfig, Server, ShutdownHandle,
+    selftest, Client, Response, SelftestReport, ServeConfig, Server, ServerAdmin, ShutdownHandle,
     MAX_REQUEST_LINE,
 };
 pub use snapshot::Snapshot;

@@ -1,0 +1,205 @@
+//! PID-stamped lock files for live directories.
+//!
+//! A live directory is a single-writer store: the WAL tail, the
+//! generation catalog, and sealing are all serialized through one
+//! [`crate::LiveDb`]. Two processes (say, `uc serve` and `uc fsck`)
+//! mutating the same directory would race the catalog and corrupt the
+//! store in ways no CRC can catch — both sides write *valid* files.
+//! So every opener takes a `LOCK` file first and fails fast with the
+//! typed [`DbError::Locked`] when another live process holds it.
+//!
+//! The lock is advisory and crash-safe: the file records the owning
+//! PID, and an acquirer finding a lock whose PID is no longer alive
+//! (checked via `/proc`) takes the lock over instead of wedging on a
+//! crashed owner's leftovers. A lock stamped with *our own* PID is
+//! genuine only if this process actually holds that directory (tracked
+//! in a per-process registry); otherwise it is a leftover inside a
+//! copied or restored directory — a crash snapshot, a backup — and is
+//! taken over like any other stale lock.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+
+use crate::error::DbError;
+
+/// Name of the lock file inside a live directory.
+pub const LOCK_FILE: &str = "LOCK";
+
+/// Canonical paths of lock files this process currently holds. A LOCK
+/// stamp naming our own PID is only authoritative when its path is in
+/// here; a copy of a live directory carries the stamp but not the hold.
+static HELD: std::sync::LazyLock<Mutex<BTreeSet<PathBuf>>> =
+    std::sync::LazyLock::new(|| Mutex::new(BTreeSet::new()));
+
+/// Stable identity for a lock-file path: canonicalized so copies and
+/// the original never alias, falling back to the raw path when the
+/// directory cannot be canonicalized.
+fn lock_key(path: &Path) -> PathBuf {
+    path.canonicalize().unwrap_or_else(|_| path.to_path_buf())
+}
+
+/// An acquired live-directory lock; released on drop.
+#[derive(Debug)]
+pub struct LiveLock {
+    path: PathBuf,
+    key: PathBuf,
+    pid: u32,
+}
+
+impl LiveLock {
+    /// Take the lock for `dir`, stamping our PID. If a lock exists and
+    /// its owner is still alive, fails with [`DbError::Locked`]; if the
+    /// owner is dead (crashed without releasing), the stale lock is
+    /// taken over.
+    pub fn acquire(dir: &Path) -> Result<LiveLock, DbError> {
+        let path = dir.join(LOCK_FILE);
+        let pid = std::process::id();
+        // Two rounds: a first create attempt, then (after evicting a
+        // stale owner) one retry. A live owner always errors out.
+        for _ in 0..2 {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    f.write_all(format!("pid {pid}\n").as_bytes())
+                        .and_then(|()| f.sync_all())
+                        .map_err(|e| DbError::io(&path, e))?;
+                    let key = lock_key(&path);
+                    HELD.lock().insert(key.clone());
+                    return Ok(LiveLock { path, key, pid });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    match read_lock_pid(&path) {
+                        // Our own stamp in a directory we don't hold is
+                        // a leftover inside a copied/restored dir, not a
+                        // live hold — fall through to eviction.
+                        Some(owner) if owner == pid && !HELD.lock().contains(&lock_key(&path)) => {
+                            let _ = fs::remove_file(&path);
+                        }
+                        Some(owner) if pid_is_alive(owner) => {
+                            return Err(DbError::Locked {
+                                path: dir.to_path_buf(),
+                                pid: owner,
+                            });
+                        }
+                        // Dead owner or unreadable stamp: evict and retry.
+                        _ => {
+                            let _ = fs::remove_file(&path);
+                        }
+                    }
+                }
+                Err(e) => return Err(DbError::io(&path, e)),
+            }
+        }
+        // Both creates lost the race to concurrent acquirers — someone
+        // live holds it now.
+        let owner = read_lock_pid(&path).unwrap_or(0);
+        Err(DbError::Locked {
+            path: dir.to_path_buf(),
+            pid: owner,
+        })
+    }
+}
+
+impl Drop for LiveLock {
+    fn drop(&mut self) {
+        HELD.lock().remove(&self.key);
+        // Only remove a lock we still own: after a crash + takeover the
+        // path may hold another process's stamp.
+        if read_lock_pid(&self.path) == Some(self.pid) {
+            let _ = fs::remove_file(&self.path);
+        }
+    }
+}
+
+/// The PID stamped into a lock file, if it parses.
+fn read_lock_pid(path: &Path) -> Option<u32> {
+    let text = fs::read_to_string(path).ok()?;
+    text.strip_prefix("pid ")?.trim().parse().ok()
+}
+
+/// Whether `pid` names a live process. Uses `/proc`; if procfs is
+/// missing entirely we cannot tell, so we conservatively report alive
+/// (never steal a lock we cannot prove stale).
+fn pid_is_alive(pid: u32) -> bool {
+    if pid == std::process::id() {
+        return true;
+    }
+    let proc_root = Path::new("/proc");
+    if !proc_root.exists() {
+        return true;
+    }
+    proc_root.join(pid.to_string()).exists()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("uc-lock-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn second_acquire_fails_typed_and_release_unlocks() {
+        let dir = scratch("basic");
+        let lock = LiveLock::acquire(&dir).unwrap();
+        match LiveLock::acquire(&dir) {
+            Err(DbError::Locked { pid, .. }) => assert_eq!(pid, std::process::id()),
+            other => panic!("expected Locked, got {other:?}"),
+        }
+        drop(lock);
+        assert!(!dir.join(LOCK_FILE).exists(), "drop releases the lock");
+        let _again = LiveLock::acquire(&dir).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_lock_from_dead_pid_is_taken_over() {
+        let dir = scratch("stale");
+        // PIDs wrap far below u32::MAX - 1; this one cannot be alive.
+        fs::write(dir.join(LOCK_FILE), "pid 4294967294\n").unwrap();
+        let lock = LiveLock::acquire(&dir).unwrap();
+        assert_eq!(
+            read_lock_pid(&dir.join(LOCK_FILE)),
+            Some(std::process::id())
+        );
+        drop(lock);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn own_pid_stamp_in_unheld_dir_is_stale() {
+        // A restored snapshot of a live directory carries the original
+        // holder's LOCK — possibly stamped with *this* process's PID.
+        // We don't hold that path, so the stamp is a copy artifact and
+        // must be taken over, not wedged on.
+        let dir = scratch("copied");
+        fs::write(dir.join(LOCK_FILE), format!("pid {}\n", std::process::id())).unwrap();
+        let lock = LiveLock::acquire(&dir).unwrap();
+        // While genuinely held, a second acquire still refuses.
+        match LiveLock::acquire(&dir) {
+            Err(DbError::Locked { pid, .. }) => assert_eq!(pid, std::process::id()),
+            other => panic!("expected Locked, got {other:?}"),
+        }
+        drop(lock);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn garbage_lock_file_is_treated_as_stale() {
+        let dir = scratch("garbage");
+        fs::write(dir.join(LOCK_FILE), "not a lock\n").unwrap();
+        let _lock = LiveLock::acquire(&dir).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

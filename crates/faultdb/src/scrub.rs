@@ -1,0 +1,552 @@
+//! Rate-limited background scrubber for live directories.
+//!
+//! Latent sector corruption is only dangerous while it stays latent: a
+//! damaged generation block discovered *at query time* is an outage, the
+//! same block discovered by a background scrub is a non-event — because
+//! the WAL is the record of truth and every generation is a disposable
+//! index over it, a damaged generation is **repaired by resealing from
+//! the WAL** through the identical batch pipeline, reproducing the
+//! original file byte for byte.
+//!
+//! One scrub pass, under the directory's PID lock:
+//!
+//! 1. **WAL segments** — every frame CRC re-verified via the durable
+//!    scanner. WAL damage is *reported, never mutated*: the WAL is the
+//!    only copy of history, and salvage decisions belong to `uc fsck`.
+//! 2. **Generation files** — every catalog entry deep-validated (footer
+//!    and all block CRCs). A damaged file's original bytes are
+//!    quarantined to `.lost+found` (the fsck conservation law: every
+//!    byte examined is still in the directory or in `.lost+found`), then
+//!    the generation is rebuilt from the WAL and verified against the
+//!    catalog's recorded `(records, crc)` cursor. If the WAL cannot
+//!    reproduce that cursor the generation is unrecoverable: the
+//!    quarantined bytes are all that remains and the catalog entry is
+//!    dropped (rolling the current pointer back if needed) so readers
+//!    fail typed instead of reading garbage.
+//!
+//! The scrubber throttles itself by bytes read (`max_bytes_per_sec`), so
+//! a background [`Scrubber`] can patrol a large directory without
+//! starving the serving path of disk bandwidth.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use uc_faultlog::durable::scan_segment_slices;
+
+use crate::catalog::{gen_is_valid, quarantine, Catalog, ReplayState};
+use crate::error::DbError;
+use crate::format::{write_db, WriteOptions};
+use crate::lock::LiveLock;
+use crate::wal::{decode_wal_payload, list_wal_segments, WalRecord};
+
+/// Scrub tuning; `Default` repairs at full disk speed.
+#[derive(Clone, Debug)]
+pub struct ScrubConfig {
+    /// Repair damaged generations (quarantine + reseal). `false` is a
+    /// dry run: damage is detected and reported, nothing is touched.
+    pub repair: bool,
+    /// Throttle: sleep so sustained read bandwidth stays under this.
+    /// `None` scrubs flat out.
+    pub max_bytes_per_sec: Option<u64>,
+}
+
+impl Default for ScrubConfig {
+    fn default() -> ScrubConfig {
+        ScrubConfig {
+            repair: true,
+            max_bytes_per_sec: None,
+        }
+    }
+}
+
+/// What one scrub pass found and did. Conservation law: every byte of a
+/// generation file examined is accounted for — kept in place, or moved
+/// to `.lost+found`.
+#[derive(Clone, Debug, Default)]
+pub struct ScrubReport {
+    /// WAL segments scanned.
+    pub wal_segments: u64,
+    /// Intact WAL frames verified.
+    pub wal_frames: u64,
+    /// WAL bytes that failed frame CRCs (reported, not mutated; run
+    /// `uc fsck` to salvage).
+    pub wal_damaged_bytes: u64,
+    /// Catalog entries examined.
+    pub gens_checked: u64,
+    /// Entries whose file deep-validated clean.
+    pub gens_ok: u64,
+    /// Damaged entries found (dry run counts them here too).
+    pub gens_damaged: u64,
+    /// Damaged entries rebuilt from the WAL, byte-identical.
+    pub gens_repaired: u64,
+    /// Damaged entries the WAL could not reproduce; original bytes are
+    /// in `.lost+found`, the catalog entry is dropped.
+    pub gens_unrecoverable: u64,
+    /// Catalog edits persisted (dropped entries, current rollbacks).
+    pub catalog_fixups: u64,
+    /// Total bytes read (WAL + generations) — the throttled quantity.
+    pub bytes_scanned: u64,
+    /// Generation bytes examined.
+    pub gen_bytes_in: u64,
+    /// Generation bytes left in place (valid files).
+    pub gen_bytes_kept: u64,
+    /// Generation bytes moved to `.lost+found`.
+    pub gen_bytes_quarantined: u64,
+    /// Times the throttle put the scrubber to sleep.
+    pub throttle_sleeps: u64,
+}
+
+impl ScrubReport {
+    /// The fsck conservation law, applied to the generation pass.
+    pub fn is_conserved(&self) -> bool {
+        self.gen_bytes_in == self.gen_bytes_kept + self.gen_bytes_quarantined
+    }
+
+    /// Did this pass find anything wrong (repaired or not)?
+    pub fn found_damage(&self) -> bool {
+        self.gens_damaged > 0 || self.wal_damaged_bytes > 0
+    }
+
+    pub fn render(&self) -> String {
+        format!(
+            "scrub: wal[{} segments, {} frames ok, {} damaged bytes] \
+             gens[{} checked, {} ok, {} damaged, {} repaired, {} unrecoverable] \
+             catalog[{} fixups] bytes[{} in = {} kept + {} quarantined] \
+             conserved={}",
+            self.wal_segments,
+            self.wal_frames,
+            self.wal_damaged_bytes,
+            self.gens_checked,
+            self.gens_ok,
+            self.gens_damaged,
+            self.gens_repaired,
+            self.gens_unrecoverable,
+            self.catalog_fixups,
+            self.gen_bytes_in,
+            self.gen_bytes_kept,
+            self.gen_bytes_quarantined,
+            self.is_conserved(),
+        )
+    }
+}
+
+/// Byte-budget throttle: charge what was read, sleep off the excess.
+struct Throttle {
+    rate: Option<u64>,
+    window_start: Instant,
+    window_bytes: u64,
+    sleeps: u64,
+}
+
+impl Throttle {
+    fn new(rate: Option<u64>) -> Throttle {
+        Throttle {
+            rate,
+            window_start: Instant::now(),
+            window_bytes: 0,
+            sleeps: 0,
+        }
+    }
+
+    fn charge(&mut self, bytes: u64) {
+        let Some(rate) = self.rate else { return };
+        let rate = rate.max(1);
+        self.window_bytes += bytes;
+        let owed = Duration::from_secs_f64(self.window_bytes as f64 / rate as f64);
+        let elapsed = self.window_start.elapsed();
+        if owed > elapsed {
+            thread::sleep(owed - elapsed);
+            self.sleeps += 1;
+        }
+    }
+}
+
+/// One full scrub pass over a live directory. Takes the directory's PID
+/// lock for the duration — repairing generation files under a live
+/// server would race seals; a busy directory returns [`DbError::Locked`]
+/// (the background [`Scrubber`] treats that as "skip this round").
+pub fn scrub_live_dir(dir: &Path, cfg: &ScrubConfig) -> Result<ScrubReport, DbError> {
+    let _lock = LiveLock::acquire(dir)?;
+    let mut report = ScrubReport::default();
+    let mut throttle = Throttle::new(cfg.max_bytes_per_sec);
+
+    // Pass 1 — WAL segments: verify every frame CRC, collect the decoded
+    // records once for all repairs.
+    let mut records: Vec<WalRecord> = Vec::new();
+    for (_idx, path) in list_wal_segments(dir)? {
+        let bytes = std::fs::read(&path).map_err(|e| DbError::io(&path, e))?;
+        report.wal_segments += 1;
+        report.bytes_scanned += bytes.len() as u64;
+        throttle.charge(bytes.len() as u64);
+        let scan = scan_segment_slices(&bytes);
+        report.wal_frames += scan.payloads.len() as u64;
+        report.wal_damaged_bytes += scan.torn_bytes();
+        for payload in &scan.payloads {
+            if let Some(rec) = decode_wal_payload(payload) {
+                records.push(rec);
+            }
+        }
+    }
+
+    // Pass 2 — generation files, through the catalog (files the catalog
+    // never heard of are fsck's department; scrub guards what queries
+    // can actually reach).
+    let Some(mut catalog) = Catalog::load(dir) else {
+        report.throttle_sleeps = throttle.sleeps;
+        return Ok(report);
+    };
+    let mut dropped: Vec<u64> = Vec::new();
+    for entry in catalog.generations.clone() {
+        report.gens_checked += 1;
+        let path = dir.join(&entry.file);
+        let len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        report.gen_bytes_in += len;
+        report.bytes_scanned += len;
+        throttle.charge(len);
+        if path.exists() && gen_is_valid(&path) {
+            report.gens_ok += 1;
+            report.gen_bytes_kept += len;
+            continue;
+        }
+        report.gens_damaged += 1;
+        if !cfg.repair {
+            // Dry run: the damaged bytes stay where they are.
+            report.gen_bytes_kept += len;
+            continue;
+        }
+        if path.exists() {
+            quarantine(dir, &path, &mut report.gen_bytes_quarantined)?;
+        }
+        if let Some(rebuilt) = rebuild_generation(dir, &records, &entry)? {
+            report.gens_repaired += 1;
+            report.bytes_scanned += rebuilt;
+        } else {
+            report.gens_unrecoverable += 1;
+            dropped.push(entry.index);
+        }
+    }
+    if !dropped.is_empty() {
+        catalog.generations.retain(|g| !dropped.contains(&g.index));
+        if catalog.current.is_some_and(|c| dropped.contains(&c)) {
+            catalog.current = catalog.generations.iter().map(|g| g.index).max();
+        }
+        report.catalog_fixups += 1;
+        if catalog.generations.is_empty() {
+            let cat_path = dir.join(crate::catalog::CATALOG_NAME);
+            std::fs::remove_file(&cat_path).map_err(|e| DbError::io(&cat_path, e))?;
+        } else {
+            catalog.save(dir)?;
+        }
+    }
+    report.throttle_sleeps = throttle.sleeps;
+    Ok(report)
+}
+
+/// Reseal one generation from the WAL record stream. Returns the new
+/// file's size, or `None` when the WAL cannot reproduce the catalog's
+/// recorded cursor (too few records, or a CRC that says the history
+/// differs — resealing would fabricate a generation that never existed).
+fn rebuild_generation(
+    dir: &Path,
+    records: &[WalRecord],
+    entry: &crate::catalog::GenEntry,
+) -> Result<Option<u64>, DbError> {
+    let replay = ReplayState::replay(records, Some(entry.records));
+    if replay.records != entry.records || replay.crc.finish() != entry.stream_crc {
+        return Ok(None);
+    }
+    let snapshot = replay.snapshot();
+    let path = dir.join(&entry.file);
+    write_db(&snapshot, &path, &WriteOptions::default())?;
+    if !gen_is_valid(&path) {
+        return Err(DbError::Catalog(format!(
+            "rebuilt generation {} failed validation immediately",
+            entry.file
+        )));
+    }
+    let len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    Ok(Some(len))
+}
+
+// ------------------------------------------------------------ scrubber
+
+/// Background patrol: run [`scrub_live_dir`] every `interval`, skipping
+/// rounds while the directory is busy (locked by a live server or an
+/// fsck). Scrub results accumulate into counters a health endpoint can
+/// poll; a pass that finds damage is the signal, not the outage.
+pub struct Scrubber {
+    stop: Arc<AtomicBool>,
+    rounds: Arc<AtomicU64>,
+    busy_skips: Arc<AtomicU64>,
+    repaired: Arc<AtomicU64>,
+    last_render: Arc<parking_lot::Mutex<Option<String>>>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Scrubber {
+    pub fn start(dir: &Path, interval: Duration, cfg: ScrubConfig) -> Scrubber {
+        let stop = Arc::new(AtomicBool::new(false));
+        let rounds = Arc::new(AtomicU64::new(0));
+        let busy_skips = Arc::new(AtomicU64::new(0));
+        let repaired = Arc::new(AtomicU64::new(0));
+        let last_render = Arc::new(parking_lot::Mutex::new(None));
+        let thread = {
+            let dir: PathBuf = dir.to_path_buf();
+            let (stop, rounds, busy_skips, repaired, last_render) = (
+                Arc::clone(&stop),
+                Arc::clone(&rounds),
+                Arc::clone(&busy_skips),
+                Arc::clone(&repaired),
+                Arc::clone(&last_render),
+            );
+            thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    match scrub_live_dir(&dir, &cfg) {
+                        Ok(report) => {
+                            rounds.fetch_add(1, Ordering::Relaxed);
+                            repaired.fetch_add(report.gens_repaired, Ordering::Relaxed);
+                            *last_render.lock() = Some(report.render());
+                        }
+                        Err(DbError::Locked { .. }) => {
+                            busy_skips.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            *last_render.lock() = Some(format!("scrub failed: {e}"));
+                        }
+                    }
+                    let deadline = Instant::now() + interval;
+                    while Instant::now() < deadline && !stop.load(Ordering::SeqCst) {
+                        thread::sleep(Duration::from_millis(10).min(interval));
+                    }
+                }
+            })
+        };
+        Scrubber {
+            stop,
+            rounds,
+            busy_skips,
+            repaired,
+            last_render,
+            thread: Some(thread),
+        }
+    }
+
+    /// Completed scrub rounds.
+    pub fn rounds(&self) -> u64 {
+        self.rounds.load(Ordering::Relaxed)
+    }
+
+    /// Rounds skipped because the directory was locked.
+    pub fn busy_skips(&self) -> u64 {
+        self.busy_skips.load(Ordering::Relaxed)
+    }
+
+    /// Generations repaired across all rounds.
+    pub fn repaired(&self) -> u64 {
+        self.repaired.load(Ordering::Relaxed)
+    }
+
+    /// Rendered report of the most recent round.
+    pub fn last_report(&self) -> Option<String> {
+        self.last_render.lock().clone()
+    }
+
+    /// Stop the patrol and wait for it.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Scrubber {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{gen_file_name, LiveDb};
+    use std::fs;
+    use uc_cluster::NodeId;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("uc-scrub-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn n(name: &str) -> NodeId {
+        NodeId::from_name(name).unwrap()
+    }
+
+    fn error_line(node: &str, t: i64) -> String {
+        format!(
+            "ERROR t={t} node={node} vaddr=0x00000400 page=0x000000 \
+             expected=0xffffffff actual=0xfffffffe temp=33.0"
+        )
+    }
+
+    fn seeded_dir(tag: &str) -> (PathBuf, u64) {
+        let dir = tmpdir(tag);
+        let (live, _) = LiveDb::open(&dir).unwrap();
+        for i in 0..12 {
+            live.ingest(n("01-01"), i, &error_line("01-01", 60 + i as i64 * 7200))
+                .unwrap();
+        }
+        live.seal().unwrap();
+        for i in 12..20 {
+            live.ingest(n("01-01"), i, &error_line("01-01", 60 + i as i64 * 7200))
+                .unwrap();
+        }
+        let status = live.seal().unwrap();
+        (dir, status.generation)
+    }
+
+    #[test]
+    fn clean_directory_scrubs_clean() {
+        let (dir, _) = seeded_dir("clean");
+        let report = scrub_live_dir(&dir, &ScrubConfig::default()).unwrap();
+        // Three entries: the initial seal from `LiveDb::open` plus two
+        // explicit ones.
+        assert_eq!(report.gens_checked, 3);
+        assert_eq!(report.gens_ok, 3);
+        assert!(!report.found_damage(), "{}", report.render());
+        assert!(report.is_conserved());
+        assert!(report.wal_frames >= 20);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_generation_is_repaired_byte_identical() {
+        let (dir, gen) = seeded_dir("repair");
+        let path = dir.join(gen_file_name(gen));
+        let original = fs::read(&path).unwrap();
+        // Flip one byte mid-file (inside a block, past the header).
+        let mut bytes = original.clone();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+
+        let report = scrub_live_dir(&dir, &ScrubConfig::default()).unwrap();
+        assert_eq!(report.gens_damaged, 1, "{}", report.render());
+        assert_eq!(report.gens_repaired, 1);
+        assert_eq!(report.gens_unrecoverable, 0);
+        assert!(report.is_conserved());
+        assert_eq!(
+            fs::read(&path).unwrap(),
+            original,
+            "repair must reproduce the original file byte for byte"
+        );
+        // The damaged original is conserved in .lost+found.
+        let quarantined = dir.join(".lost+found").join(gen_file_name(gen));
+        assert_eq!(fs::read(quarantined).unwrap(), bytes);
+        // Second pass: nothing left to do.
+        let again = scrub_live_dir(&dir, &ScrubConfig::default()).unwrap();
+        assert!(!again.found_damage());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dry_run_reports_without_touching() {
+        let (dir, gen) = seeded_dir("dry");
+        let path = dir.join(gen_file_name(gen));
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+
+        let cfg = ScrubConfig {
+            repair: false,
+            ..ScrubConfig::default()
+        };
+        let report = scrub_live_dir(&dir, &cfg).unwrap();
+        assert_eq!(report.gens_damaged, 1);
+        assert_eq!(report.gens_repaired, 0);
+        assert!(report.is_conserved());
+        assert_eq!(fs::read(&path).unwrap(), bytes, "dry run must not write");
+        assert!(!dir.join(".lost+found").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unrecoverable_generation_is_quarantined_and_dropped() {
+        let (dir, gen) = seeded_dir("unrec");
+        // Destroy the WAL history *and* the generation: the cursor can no
+        // longer be reproduced, so the entry must be dropped, typed.
+        for entry in fs::read_dir(&dir).unwrap().filter_map(|e| e.ok()) {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with("wal-") {
+                fs::remove_file(entry.path()).unwrap();
+            }
+        }
+        let path = dir.join(gen_file_name(gen));
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+
+        let report = scrub_live_dir(&dir, &ScrubConfig::default()).unwrap();
+        assert_eq!(report.gens_unrecoverable, 1, "{}", report.render());
+        assert_eq!(report.catalog_fixups, 1);
+        assert!(report.is_conserved());
+        assert!(!path.exists());
+        // The catalog no longer points at the dead generation.
+        let cat = Catalog::load(&dir).unwrap();
+        assert!(cat.entry(gen).is_none());
+        assert_eq!(cat.current, cat.generations.iter().map(|g| g.index).max());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn throttle_sleeps_when_rate_limited() {
+        let (dir, _) = seeded_dir("rate");
+        let cfg = ScrubConfig {
+            repair: true,
+            max_bytes_per_sec: Some(64 * 1024),
+        };
+        let report = scrub_live_dir(&dir, &cfg).unwrap();
+        assert!(report.throttle_sleeps > 0, "{}", report.render());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scrubber_daemon_patrols_and_skips_busy_dirs() {
+        let (dir, gen) = seeded_dir("daemon");
+        let path = dir.join(gen_file_name(gen));
+        let original = fs::read(&path).unwrap();
+        let mut bytes = original.clone();
+        bytes[original.len() / 2] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+
+        let scrubber = Scrubber::start(&dir, Duration::from_millis(20), ScrubConfig::default());
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while scrubber.repaired() == 0 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(scrubber.repaired(), 1);
+        assert!(scrubber.last_report().unwrap().contains("repaired"));
+        assert_eq!(fs::read(&path).unwrap(), original);
+
+        // While the directory is locked, rounds are skipped, not failed.
+        let lock = LiveLock::acquire(&dir).unwrap();
+        let skips_before = scrubber.busy_skips();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while scrubber.busy_skips() == skips_before && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(10));
+        }
+        assert!(scrubber.busy_skips() > skips_before);
+        drop(lock);
+        scrubber.stop();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -130,6 +130,17 @@ impl Admission {
     }
 }
 
+/// Node-level administration the query port exposes when the server
+/// fronts a replicated [`crate::catalog::LiveDb`]: extra `STATS` lines
+/// (role, epoch, lag) and the `PROMOTE` failover command. Plain static
+/// servers run without one.
+pub trait ServerAdmin: Send + Sync {
+    /// Lines appended to the `STATS` response.
+    fn stats_lines(&self) -> Vec<String>;
+    /// Execute a failover promotion; returns the new epoch.
+    fn promote(&self) -> Result<u64, DbError>;
+}
+
 struct Inner {
     db: DbHandle,
     cfg: ServeConfig,
@@ -137,6 +148,7 @@ struct Inner {
     addr: SocketAddr,
     served: AtomicU64,
     rejected: AtomicU64,
+    admin: Option<Arc<dyn ServerAdmin>>,
 }
 
 impl Inner {
@@ -181,6 +193,16 @@ impl Server {
     /// [`crate::catalog::LiveDb`] — in the live case, generation seals
     /// become visible to new requests without a restart.
     pub fn start(db: impl Into<DbHandle>, cfg: &ServeConfig) -> Result<Server, DbError> {
+        Server::start_with_admin(db, cfg, None)
+    }
+
+    /// [`Server::start`] plus a [`ServerAdmin`] that extends `STATS` and
+    /// answers `PROMOTE` — the replicated-node entry point.
+    pub fn start_with_admin(
+        db: impl Into<DbHandle>,
+        cfg: &ServeConfig,
+        admin: Option<Arc<dyn ServerAdmin>>,
+    ) -> Result<Server, DbError> {
         let listener = TcpListener::bind(&cfg.addr)
             .map_err(|e| DbError::io(std::path::Path::new(&cfg.addr), e))?;
         let addr = listener
@@ -193,6 +215,7 @@ impl Server {
             addr,
             served: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            admin,
         });
 
         let workers = (0..cfg.workers.max(1))
@@ -379,7 +402,7 @@ fn respond(inner: &Inner, request: &str, w: &mut impl Write) -> Outcome {
             let db = inner.db.current();
             let cache = db.cache_stats();
             let stats = inner.stats();
-            let lines = [
+            let mut lines = vec![
                 format!("rows {}", db.rows()),
                 format!("blocks {}", db.blocks()),
                 format!("cache_hits {}", cache.hits),
@@ -389,9 +412,28 @@ fn respond(inner: &Inner, request: &str, w: &mut impl Write) -> Outcome {
                 format!("served {}", stats.served),
                 format!("rejected {}", stats.rejected),
             ];
+            if let Some(admin) = &inner.admin {
+                lines.extend(admin.stats_lines());
+            }
             let _ = writeln!(w, "OK {}", lines.len());
             for l in &lines {
                 let _ = writeln!(w, "{l}");
+            }
+            return Outcome::Continue;
+        }
+        "PROMOTE" => {
+            match &inner.admin {
+                Some(admin) => match admin.promote() {
+                    Ok(epoch) => {
+                        let _ = writeln!(w, "OK 1\nepoch {epoch}");
+                    }
+                    Err(e) => {
+                        let _ = writeln!(w, "ERR {}: {}", e.kind(), e);
+                    }
+                },
+                None => {
+                    let _ = w.write_all(b"ERR parse: this server has no replication admin\n");
+                }
             }
             return Outcome::Continue;
         }

@@ -81,8 +81,40 @@ pub fn decode_wal_payload(payload: &[u8]) -> Option<WalRecord> {
     })
 }
 
-fn wal_file_name(index: u64) -> String {
+pub(crate) fn wal_file_name(index: u64) -> String {
     format!("wal-{index:06}.dlog")
+}
+
+/// The WAL segment files in `dir`, in replay order. A `.tmp` with a
+/// sealed sibling is a duplicate from a crash during the seal rename;
+/// the sealed copy wins (fsck quarantines the tmp). Orphan tmps are
+/// listed in place — promotion is fsck's job. Shared by [`Wal::open`]'s
+/// recovery scan, the replication shipper (which re-reads the same
+/// bytes a replica's recovery would), and the scrubber.
+pub(crate) fn list_wal_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, DbError> {
+    let mut sealed: Vec<(u64, PathBuf)> = Vec::new();
+    let mut tmps: Vec<(u64, PathBuf)> = Vec::new();
+    let rd = std::fs::read_dir(dir).map_err(|e| DbError::io(dir, e))?;
+    for entry in rd.filter_map(|e| e.ok()) {
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let Some(index) = wal_index_of_name(name) else {
+            continue;
+        };
+        if name.ends_with(".tmp") {
+            tmps.push((index, path));
+        } else {
+            sealed.push((index, path));
+        }
+    }
+    let sealed_indices: std::collections::BTreeSet<u64> = sealed.iter().map(|(i, _)| *i).collect();
+    tmps.retain(|(i, _)| !sealed_indices.contains(i));
+    let mut all = sealed;
+    all.extend(tmps);
+    all.sort();
+    Ok(all)
 }
 
 /// Parse the index out of `wal-NNNNNN.dlog` or `wal-NNNNNN.dlog.tmp`.
@@ -125,33 +157,7 @@ impl Wal {
     /// immutable evidence; new records go to a new file.
     pub fn open(dir: &Path) -> Result<(Wal, WalRecovery), DbError> {
         std::fs::create_dir_all(dir).map_err(|e| DbError::io(dir, e))?;
-        let mut sealed: Vec<(u64, PathBuf)> = Vec::new();
-        let mut tmps: Vec<(u64, PathBuf)> = Vec::new();
-        let rd = std::fs::read_dir(dir).map_err(|e| DbError::io(dir, e))?;
-        for entry in rd.filter_map(|e| e.ok()) {
-            let path = entry.path();
-            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
-                continue;
-            };
-            let Some(index) = wal_index_of_name(name) else {
-                continue;
-            };
-            if name.ends_with(".tmp") {
-                tmps.push((index, path));
-            } else {
-                sealed.push((index, path));
-            }
-        }
-        // A tmp with a sealed sibling is a duplicate from a crash during
-        // the seal rename; the sealed copy wins (fsck quarantines the
-        // tmp). Orphan tmps are read in place — promotion is fsck's job.
-        let sealed_indices: std::collections::BTreeSet<u64> =
-            sealed.iter().map(|(i, _)| *i).collect();
-        tmps.retain(|(i, _)| !sealed_indices.contains(i));
-        let mut all: Vec<(u64, PathBuf)> = sealed;
-        all.extend(tmps);
-        all.sort();
-
+        let all = list_wal_segments(dir)?;
         let mut recovery = WalRecovery::default();
         for (_, path) in &all {
             let bytes = std::fs::read(path).map_err(|e| DbError::io(path, e))?;

@@ -441,6 +441,40 @@ impl NetChaosTally {
     }
 }
 
+/// A shared kill-switch for a link: while severed, every read and write
+/// on streams carrying the breaker fails with `ConnectionReset` — the
+/// deterministic "someone pulled the cable" a partition test needs,
+/// independent of the probabilistic [`NetChaosConfig`] faults. `heal()`
+/// restores the link for the *next* connection (existing sockets were
+/// already torn down by the failure), so a test can flap a replication
+/// link mid-frame at an exact point of its choosing.
+#[derive(Clone, Debug, Default)]
+pub struct LinkBreaker {
+    severed: std::sync::Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl LinkBreaker {
+    pub fn new() -> LinkBreaker {
+        LinkBreaker::default()
+    }
+
+    /// Cut the link: all subsequent I/O on breaker-carrying streams fails.
+    pub fn sever(&self) {
+        self.severed
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Restore the link for future connections.
+    pub fn heal(&self) {
+        self.severed
+            .store(false, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    pub fn is_severed(&self) -> bool {
+        self.severed.load(std::sync::atomic::Ordering::SeqCst)
+    }
+}
+
 /// An injectable transport: wraps any `Read + Write` stream and injects
 /// drops, partial writes, delays, and garbage bytes per
 /// [`NetChaosConfig`]. Injected failures surface as ordinary
@@ -452,6 +486,7 @@ pub struct ChaosStream<S> {
     cfg: NetChaosConfig,
     rng: StreamRng,
     tally: std::sync::Arc<NetChaosTally>,
+    breaker: Option<LinkBreaker>,
 }
 
 impl<S> ChaosStream<S> {
@@ -468,7 +503,20 @@ impl<S> ChaosStream<S> {
             cfg,
             rng: StreamRng::for_stream(cfg.seed, stream_key, StreamTag::Chaos),
             tally,
+            breaker: None,
         }
+    }
+
+    /// Attach a [`LinkBreaker`]: while it is severed, every read and
+    /// write fails with `ConnectionReset` before touching the inner
+    /// stream.
+    pub fn with_breaker(mut self, breaker: LinkBreaker) -> ChaosStream<S> {
+        self.breaker = Some(breaker);
+        self
+    }
+
+    fn severed(&self) -> bool {
+        self.breaker.as_ref().is_some_and(LinkBreaker::is_severed)
     }
 
     fn dropped(&self, counter: &std::sync::atomic::AtomicU64) -> std::io::Error {
@@ -482,6 +530,9 @@ impl<S> ChaosStream<S> {
 
 impl<S: std::io::Write> std::io::Write for ChaosStream<S> {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.severed() {
+            return Err(self.dropped(&self.tally.disconnects));
+        }
         if self.rng.chance(self.cfg.disconnect_rate) {
             return Err(self.dropped(&self.tally.disconnects));
         }
@@ -519,6 +570,9 @@ impl<S: std::io::Write> std::io::Write for ChaosStream<S> {
 
 impl<S: std::io::Read> std::io::Read for ChaosStream<S> {
     fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.severed() {
+            return Err(self.dropped(&self.tally.read_drops));
+        }
         if self.rng.chance(self.cfg.read_drop_rate) {
             return Err(self.dropped(&self.tally.read_drops));
         }
@@ -685,6 +739,32 @@ mod tests {
         let r2 = fsck_dir(&dir).unwrap();
         assert!(!r2.found_damage(), "fsck converges in one pass");
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn severed_breaker_fails_reads_and_writes_until_healed() {
+        use std::io::{Read, Write};
+        let tally = std::sync::Arc::new(NetChaosTally::default());
+        let breaker = LinkBreaker::new();
+        let mut out = Vec::new();
+        let mut w = ChaosStream::new(&mut out, NetChaosConfig::quiet(1), 0, tally.clone())
+            .with_breaker(breaker.clone());
+        w.write_all(b"before").unwrap();
+        breaker.sever();
+        let err = w.write_all(b"after").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::ConnectionReset);
+        breaker.heal();
+        w.write_all(b"healed").unwrap();
+        drop(w);
+        assert_eq!(out, b"beforehealed");
+
+        breaker.sever();
+        let mut r = ChaosStream::new(&out[..], NetChaosConfig::quiet(1), 1, tally.clone())
+            .with_breaker(breaker.clone());
+        let mut back = Vec::new();
+        let err = r.read_to_end(&mut back).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::ConnectionReset);
+        assert!(tally.total() >= 2, "severed I/O is tallied as drops");
     }
 
     #[test]

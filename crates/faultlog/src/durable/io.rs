@@ -268,6 +268,27 @@ impl RetryPolicy {
         let factor = 1u32 << retry.saturating_sub(1).min(20);
         self.base_delay.saturating_mul(factor).min(self.max_delay)
     }
+
+    /// [`RetryPolicy::delay_for`] scaled by a deterministic jitter factor
+    /// in `[0.5, 1.0]` derived from `key` — distinct retry loops (keyed
+    /// by connection, node, attempt counter …) desynchronize instead of
+    /// thundering back in lockstep, and the same key always yields the
+    /// same schedule, so chaos tests stay reproducible.
+    pub fn delay_for_jittered(&self, retry: u32, key: u64) -> Duration {
+        let full = self.delay_for(retry);
+        if full.is_zero() {
+            return full;
+        }
+        // splitmix64: cheap, well-distributed, and dependency-free.
+        let mut z = key
+            .wrapping_add(u64::from(retry))
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let frac = (z >> 11) as f64 / (1u64 << 53) as f64;
+        full.mul_f64(0.5 + 0.5 * frac)
+    }
 }
 
 /// Run `op`, retrying per `policy`, and degrade to a typed
@@ -364,6 +385,28 @@ mod tests {
         assert_eq!(p.delay_for(3), Duration::from_millis(8));
         assert_eq!(p.delay_for(4), Duration::from_millis(9), "capped");
         assert_eq!(p.delay_for(30), Duration::from_millis(9), "no overflow");
+    }
+
+    #[test]
+    fn jittered_backoff_is_bounded_and_deterministic() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(4),
+            max_delay: Duration::from_millis(64),
+        };
+        for retry in 1..8 {
+            for key in [0u64, 1, 42, u64::MAX] {
+                let full = p.delay_for(retry);
+                let j = p.delay_for_jittered(retry, key);
+                assert!(j <= full, "jitter never exceeds the full delay");
+                assert!(j >= full / 2, "jitter keeps at least half the delay");
+                assert_eq!(j, p.delay_for_jittered(retry, key), "deterministic");
+            }
+        }
+        // Different keys actually spread out.
+        assert_ne!(p.delay_for_jittered(3, 1), p.delay_for_jittered(3, 2));
+        // Zero base delay stays zero (test policies never sleep).
+        assert!(RetryPolicy::immediate(3).delay_for_jittered(2, 7).is_zero());
     }
 
     #[test]

@@ -224,6 +224,10 @@ const USAGE: &str = "usage:\n  \
      uc query <db> <expr...> [--timeout-ms N]\n  \
      uc serve <db> [--addr host:port] [--workers N] [--queue N] [--timeout-ms N] [--selftest N]\n  \
      uc serve <livedir> --ingest x [--ingest-addr host:port] [--addr host:port] [--selftest N] [--chaos-seed N]\n  \
+     uc serve <livedir> --ingest x --replica-of host:port [--auto-promote-ms N] [...]\n  \
+     uc serve --ingest x --selftest-repl x [--chaos-seed N]\n  \
+     uc promote <host:port>\n  \
+     uc scrub <livedir> [--dry-run x] [--rate-mb N] [--watch-ms N]\n  \
      uc stream <addr> <logdir> [--batch N] [--max-attempts N] [--chaos-seed N] [--seal x]\n  \
      uc scan [--mb N] [--iters N] [--pattern alternating|incrementing|checkerboard] [--parallel x]\n  \
      uc report [--seed N] [--blades N] [--csv <dir>] [--threads N]\n  \
@@ -542,12 +546,15 @@ fn cmd_serve(args: &Args) -> ExitCode {
             "queue",
             "timeout-ms",
             "selftest",
+            "selftest-repl",
             "threads",
             "ingest",
             "ingest-addr",
             "chaos-seed",
+            "replica-of",
+            "auto-promote-ms",
         ],
-        1,
+        0,
         1,
     ) {
         return bad_usage(&e);
@@ -575,6 +582,21 @@ fn cmd_serve(args: &Args) -> ExitCode {
     }
     if args.has("ingest-addr") && !args.has("ingest") {
         return bad_usage("--ingest-addr only makes sense with --ingest");
+    }
+    if args.has("replica-of") && !args.has("ingest") {
+        return bad_usage("--replica-of only makes sense with --ingest");
+    }
+    if args.has("selftest-repl") && !args.has("ingest") {
+        return bad_usage("--selftest-repl only makes sense with --ingest");
+    }
+    if args.has("auto-promote-ms") && !args.has("replica-of") {
+        return bad_usage("--auto-promote-ms only makes sense with --replica-of");
+    }
+    if args.has("replica-of") && selftest > 0 {
+        return bad_usage("--selftest and --replica-of are mutually exclusive");
+    }
+    if !args.has("selftest-repl") && args.positional.is_empty() {
+        return bad_usage("serve needs a database path (or --selftest-repl)");
     }
 
     if args.has("ingest") {
@@ -660,6 +682,23 @@ fn cmd_serve(args: &Args) -> ExitCode {
 /// draining gracefully on SHUTDOWN or SIGINT/SIGTERM. With
 /// `--selftest N`, runs the chaos-driven end-to-end check instead.
 fn cmd_serve_ingest(args: &Args, selftest: u64) -> ExitCode {
+    if args.has("selftest-repl") {
+        let seed = match args.get_u64_strict("chaos-seed", 1) {
+            Ok(n) => n,
+            Err(e) => return bad_usage(&e),
+        };
+        return match uc_faultdb::repl_selftest(seed) {
+            Ok(report) => {
+                println!("{}", report.render());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("replication selftest FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     let dir = PathBuf::from(&args.positional[0]);
 
     if selftest > 0 {
@@ -718,6 +757,35 @@ fn cmd_serve_ingest(args: &Args, selftest: u64) -> ExitCode {
         open.wal.torn_bytes
     );
 
+    // Role + admin: a primary accepts pushes and ships WAL to SYNC
+    // sessions; a replica follows its upstream (readonly until a
+    // PROMOTE, manual or automatic). Both answer PROMOTE and report
+    // repl_* STATS lines over the query wire.
+    let (role, repl) = if let Some(upstream) = args.get("replica-of") {
+        let auto_ms = match args.get_u64_strict("auto-promote-ms", 0) {
+            Ok(n) => n,
+            Err(e) => return bad_usage(&e),
+        };
+        let mut rcfg = uc_faultdb::ReplicaConfig::new(upstream);
+        if auto_ms > 0 {
+            rcfg.auto_promote_after = Some(Duration::from_millis(auto_ms));
+        }
+        let repl = Arc::new(uc_faultdb::Replication::start(Arc::clone(&live), rcfg));
+        (repl.role(), Some(repl))
+    } else {
+        (Arc::new(uc_faultdb::Role::primary()), None)
+    };
+    let admin: Arc<dyn uc_faultdb::ServerAdmin> = match &repl {
+        Some(repl) => Arc::new(uc_faultdb::NodeAdmin::replica(
+            Arc::clone(&live),
+            Arc::clone(repl),
+        )),
+        None => Arc::new(uc_faultdb::NodeAdmin::primary(
+            Arc::clone(&live),
+            Arc::clone(&role),
+        )),
+    };
+
     let ingest_cfg = IngestConfig {
         addr: args
             .get("ingest-addr")
@@ -725,7 +793,11 @@ fn cmd_serve_ingest(args: &Args, selftest: u64) -> ExitCode {
             .to_string(),
         ..IngestConfig::default()
     };
-    let ingest = match uc_faultdb::IngestServer::start(Arc::clone(&live), &ingest_cfg) {
+    let ingest = match uc_faultdb::IngestServer::start_with_role(
+        Arc::clone(&live),
+        &ingest_cfg,
+        Some(Arc::clone(&role)),
+    ) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("serve --ingest: {e}");
@@ -736,7 +808,7 @@ fn cmd_serve_ingest(args: &Args, selftest: u64) -> ExitCode {
         addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
         ..ServeConfig::default()
     };
-    let query = match uc_faultdb::Server::start(live.handle(), &query_cfg) {
+    let query = match uc_faultdb::Server::start_with_admin(live.handle(), &query_cfg, Some(admin)) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("serve --ingest: {e}");
@@ -745,11 +817,19 @@ fn cmd_serve_ingest(args: &Args, selftest: u64) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    eprintln!(
-        "ingest on {}, queries on {}; send SHUTDOWN or SIGINT/SIGTERM to stop",
-        ingest.local_addr(),
-        query.local_addr()
-    );
+    match args.get("replica-of") {
+        Some(upstream) => eprintln!(
+            "replica of {upstream}: ingest on {} (readonly), queries on {}; \
+             send PROMOTE to take over, SHUTDOWN or SIGINT/SIGTERM to stop",
+            ingest.local_addr(),
+            query.local_addr()
+        ),
+        None => eprintln!(
+            "ingest on {}, queries on {}; send SHUTDOWN or SIGINT/SIGTERM to stop",
+            ingest.local_addr(),
+            query.local_addr()
+        ),
+    }
 
     let iq = ingest.shutdown_handle();
     let qq = query.shutdown_handle();
@@ -762,9 +842,20 @@ fn cmd_serve_ingest(args: &Args, selftest: u64) -> ExitCode {
     let qstats = query.join();
     ingest.shutdown();
     let istats = ingest.join();
+    if let Some(repl) = &repl {
+        let rs = repl.stats();
+        eprintln!(
+            "replication: role {}, epoch {}, lag {}, {} connects, {} records applied, {} seals",
+            rs.role, rs.epoch, rs.lag, rs.connects, rs.applied, rs.seals
+        );
+    }
     // One last seal so everything acked is also queryable after restart
-    // without a WAL replay rebuild.
-    if let Err(e) = live.seal() {
+    // without a WAL replay rebuild. A still-readonly replica must not
+    // seal locally: its generation crossings come from the primary's
+    // seal markers, never from its own clock.
+    if role.is_readonly() {
+        drop(repl);
+    } else if let Err(e) = live.seal() {
         eprintln!("final seal failed: {e}");
         return ExitCode::FAILURE;
     }
@@ -830,10 +921,12 @@ fn cmd_stream(args: &Args) -> ExitCode {
 
     let opts = StreamOptions {
         batch,
-        max_attempts,
+        retry: uc_faultlog::durable::RetryPolicy {
+            max_attempts,
+            ..StreamOptions::default().retry
+        },
         seal_at_end: false,
         chaos: (chaos_seed > 0).then(|| uc_faultlog::chaos::NetChaosConfig::hostile(chaos_seed)),
-        ..StreamOptions::default()
     };
     let t0 = std::time::Instant::now();
     let mut total_acked = 0u64;
@@ -970,6 +1063,129 @@ fn cmd_fsck(args: &Args) -> ExitCode {
     }
 }
 
+/// `uc scrub <livedir>`: walk every sealed generation and WAL segment
+/// verifying CRCs, repair damaged generations by resealing from the WAL,
+/// and quarantine unrecoverables under the fsck conservation law. With
+/// `--watch-ms N`, patrol continuously until SIGINT/SIGTERM.
+fn cmd_scrub(args: &Args) -> ExitCode {
+    if let Err(e) = args.validate(
+        "scrub",
+        &["dry-run", "rate-mb", "watch-ms", "threads"],
+        1,
+        1,
+    ) {
+        return bad_usage(&e);
+    }
+    let dir = PathBuf::from(&args.positional[0]);
+    let rate_mb = match args.get_u64_strict("rate-mb", 0) {
+        Ok(n) => n,
+        Err(e) => return bad_usage(&e),
+    };
+    let watch_ms = match args.get_u64_strict("watch-ms", 0) {
+        Ok(n) => n,
+        Err(e) => return bad_usage(&e),
+    };
+    let cfg = uc_faultdb::ScrubConfig {
+        repair: !args.has("dry-run"),
+        max_bytes_per_sec: if rate_mb > 0 {
+            Some(rate_mb.saturating_mul(1 << 20))
+        } else {
+            None
+        },
+    };
+
+    if watch_ms > 0 {
+        let scrubber =
+            uc_faultdb::Scrubber::start(&dir, Duration::from_millis(watch_ms.max(1)), cfg);
+        eprintln!(
+            "scrubbing {} every {watch_ms}ms; send SIGINT/SIGTERM to stop",
+            dir.display()
+        );
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        spawn_signal_watcher(move || {
+            let _ = tx.send(());
+        });
+        let _ = rx.recv();
+        let rounds = scrubber.rounds();
+        let busy = scrubber.busy_skips();
+        let repaired = scrubber.repaired();
+        let last = scrubber.last_report();
+        scrubber.stop();
+        if let Some(report) = last {
+            eprintln!("{report}");
+        }
+        eprintln!("scrub: {rounds} rounds, {repaired} generations repaired, {busy} busy skips");
+        return ExitCode::SUCCESS;
+    }
+
+    match uc_faultdb::scrub_live_dir(&dir, &cfg) {
+        Ok(report) => {
+            eprintln!("scrub {}:", dir.display());
+            eprintln!("{}", report.render());
+            if !report.is_conserved() {
+                eprintln!("scrub: CONSERVATION VIOLATED — this is a bug, bytes were lost");
+                ExitCode::FAILURE
+            } else if report.gens_unrecoverable > 0 {
+                eprintln!(
+                    "scrub: {} generation(s) unrecoverable — quarantined to .lost+found",
+                    report.gens_unrecoverable
+                );
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("scrub {}: {e}", dir.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `uc promote <addr>`: ask a serving node (primary or replica) over its
+/// query port to stop following and start accepting writes at a bumped
+/// epoch. The old primary, if partitioned away, is fenced on reconnect.
+fn cmd_promote(args: &Args) -> ExitCode {
+    if let Err(e) = args.validate("promote", &[], 1, 1) {
+        return bad_usage(&e);
+    }
+    use std::net::ToSocketAddrs;
+    let addr = match args.positional[0].to_socket_addrs() {
+        Ok(mut addrs) => match addrs.next() {
+            Some(a) => a,
+            None => return bad_usage("promote: address resolved to nothing"),
+        },
+        Err(e) => {
+            eprintln!("promote {}: {e}", args.positional[0]);
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut client = match uc_faultdb::Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("promote {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match client.request("PROMOTE") {
+        Ok(uc_faultdb::Response::Ok(lines)) => {
+            for line in &lines {
+                println!("{line}");
+            }
+            eprintln!("promoted: {addr} now accepts writes");
+            ExitCode::SUCCESS
+        }
+        Ok(uc_faultdb::Response::Err { kind, message }) => {
+            eprintln!("promote {addr}: {kind}: {message}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("promote {addr}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn cmd_scan(args: &Args) -> ExitCode {
     if let Err(e) = args.validate(
         "scan",
@@ -1092,6 +1308,8 @@ fn main() -> ExitCode {
         "query" => cmd_query(&args),
         "serve" => cmd_serve(&args),
         "stream" => cmd_stream(&args),
+        "scrub" => cmd_scrub(&args),
+        "promote" => cmd_promote(&args),
         "scan" => cmd_scan(&args),
         "report" => cmd_report(&args),
         other => bad_usage(&format!("unknown subcommand {other:?}")),

@@ -15,6 +15,7 @@ use std::collections::BTreeMap;
 use std::fs;
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 use proptest::prelude::*;
 
@@ -24,6 +25,7 @@ use uc_faultdb::{
     StreamOptions, WriteOptions,
 };
 use uc_faultlog::chaos::{NetChaosConfig, NetChaosTally};
+use uc_faultlog::durable::RetryPolicy;
 
 fn fresh_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("uc-live-props-{tag}-{}", std::process::id()));
@@ -171,7 +173,11 @@ proptest! {
         let chaos_lines = corpus("02-04", 0, 12);
         let opts = StreamOptions {
             batch: 4,
-            max_attempts: 80,
+            retry: RetryPolicy {
+                max_attempts: 80,
+                base_delay: Duration::from_millis(1),
+                max_delay: Duration::from_millis(20),
+            },
             chaos: Some(NetChaosConfig::hostile(seed)),
             ..StreamOptions::default()
         };
