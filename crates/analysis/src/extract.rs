@@ -136,7 +136,12 @@ pub fn extract_node_faults(log: &NodeLog, cfg: &ExtractConfig) -> Vec<Fault> {
 /// the same key — the k-way merge discipline the cluster log's record
 /// stream already uses, instead of concat-then-sort. Ties across streams
 /// break by stream index, so the merge is total and deterministic.
-fn merge_sorted_fault_streams(streams: Vec<Vec<Fault>>) -> Vec<Fault> {
+///
+/// Public because it is the merge template for every fan-out in the
+/// system: per-node extraction here, and shard fan-out in faultdb's root
+/// catalog engine, which merges per-shard row streams with exactly this
+/// discipline to stay byte-identical to the single-file scan.
+pub fn merge_sorted_fault_streams(streams: Vec<Vec<Fault>>) -> Vec<Fault> {
     struct Head {
         key: (SimTime, u32, u64, u32, u32, u64),
         stream: usize,

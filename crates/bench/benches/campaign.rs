@@ -17,8 +17,12 @@
 //!   latency of each route (plus the derived `direct_speedup`);
 //! * `ingest_mb_per_sec` — recovering text ingest throughput over the
 //!   campaign corpus;
-//! * `scan_rows_per_sec` — full-scan query throughput over the sealed
-//!   database;
+//! * `scan_rows_per_sec` — warm full-scan query throughput over the
+//!   sealed database in the historical v1 fixed layout;
+//! * `scan_packed_rows_per_sec` — the same scan over the v2 packed
+//!   layout through the branch-free kernels;
+//! * `shard_fanout_rows_per_sec` — the same scan over a (time window ×
+//!   rack) sharded root through the fan-out engine;
 //! * `serve_p99_us` — p99 request latency through the TCP serving layer;
 //! * `catchup_mb_per_sec` — WAL-shipping throughput of a fresh replica
 //!   catching up to a sealed primary over loopback.
@@ -35,8 +39,8 @@ use std::hint::black_box;
 
 use uc_cluster::NodeId;
 use uc_faultdb::{
-    build_db, Client, FaultDb, IngestConfig, IngestServer, LiveDb, QueryOptions, ReplicaConfig,
-    Replication, Role, ServeConfig, Server, WriteOptions,
+    build_db, Client, Engine, FaultDb, FileEncoding, IngestConfig, IngestServer, LiveDb,
+    QueryOptions, ReplicaConfig, Replication, Role, ServeConfig, Server, WriteOptions,
 };
 use uc_faultlog::files::write_cluster_log;
 use uc_faultlog::ingest::read_cluster_log_recovering;
@@ -175,6 +179,28 @@ fn catchup_mb_per_sec(base: &Path, quick: bool) -> f64 {
     wal_bytes as f64 / (1024.0 * 1024.0) / secs
 }
 
+/// Warm full-scan throughput (rows/s) of `count where raw>=1` over an
+/// engine. Warm-up passes populate the block cache first (the steady
+/// state a server scans from), then best-of-N over many repetitions —
+/// the scan is microseconds-scale, so a single cold pass was dominated
+/// by timing noise and produced spurious trajectory regressions.
+fn scan_throughput(db: &Engine, quick: bool) -> f64 {
+    let opts = QueryOptions::default();
+    for _ in 0..3 {
+        db.query("count where raw>=1", &opts).unwrap();
+    }
+    let reps = if quick { 20 } else { 200 };
+    let mut best = f64::INFINITY;
+    let mut rows_scanned = 0u64;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let result = db.query("count where raw>=1", &opts).unwrap();
+        best = best.min(t0.elapsed().as_secs_f64());
+        rows_scanned = result.rows_scanned;
+    }
+    rows_scanned as f64 / best
+}
+
 /// Best-of-N end-to-end measurements plus the two derived throughputs,
 /// written as `BENCH_campaign.json` at the repo root.
 fn emit_trajectory(quick: bool) {
@@ -209,18 +235,30 @@ fn emit_trajectory(quick: bool) {
     }
     let ingest_mb_per_sec = corpus_bytes as f64 / (1024.0 * 1024.0) / ingest_best;
 
-    // Full-scan query throughput over the sealed database.
-    let db = FaultDb::open(&base.join("direct-0.ucfdb")).unwrap();
-    let opts = QueryOptions::default();
-    let mut scan_best = f64::INFINITY;
-    let mut rows_scanned = 0u64;
-    for _ in 0..rounds.max(3) {
-        let t0 = Instant::now();
-        let result = db.query("count where raw>=1", &opts).unwrap();
-        scan_best = scan_best.min(t0.elapsed().as_secs_f64());
-        rows_scanned = result.rows_scanned;
-    }
-    let scan_rows_per_sec = rows_scanned as f64 / scan_best;
+    // Full-scan query throughput. Three variants of the same sealed
+    // campaign: the historical v1 fixed layout (`scan_rows_per_sec`, the
+    // long-tracked trajectory key), the v2 packed layout
+    // (`scan_packed_rows_per_sec`, the branch-free kernel's headline),
+    // and a (time window × rack) sharded root queried through the
+    // fan-out engine (`shard_fanout_rows_per_sec`).
+    let v2_path = base.join("direct-0.ucfdb");
+    let snap = FaultDb::open(&v2_path).unwrap().snapshot().unwrap();
+    let v1_path = base.join("scan-v1.ucfdb");
+    uc_faultdb::format::write_db(
+        &snap,
+        &v1_path,
+        &WriteOptions {
+            encoding: FileEncoding::V1,
+            ..WriteOptions::default()
+        },
+    )
+    .unwrap();
+    let root_dir = base.join("scan-root");
+    uc_faultdb::write_sharded(&snap, &root_dir, 4, &WriteOptions::default()).unwrap();
+
+    let scan_rows_per_sec = scan_throughput(&Engine::open_auto(&v1_path).unwrap(), quick);
+    let scan_packed_rows_per_sec = scan_throughput(&Engine::open_auto(&v2_path).unwrap(), quick);
+    let shard_fanout_rows_per_sec = scan_throughput(&Engine::open_auto(&root_dir).unwrap(), quick);
 
     // Serving-layer tail latency and replication catch-up throughput.
     let p99_us = serve_p99_us(&base.join("direct-0.ucfdb"), quick);
@@ -235,6 +273,8 @@ fn emit_trajectory(quick: bool) {
          \"direct_speedup\": {:.2},\n  \
          \"ingest_mb_per_sec\": {ingest_mb_per_sec:.1},\n  \
          \"scan_rows_per_sec\": {scan_rows_per_sec:.0},\n  \
+         \"scan_packed_rows_per_sec\": {scan_packed_rows_per_sec:.0},\n  \
+         \"shard_fanout_rows_per_sec\": {shard_fanout_rows_per_sec:.0},\n  \
          \"serve_p99_us\": {p99_us:.1},\n  \
          \"catchup_mb_per_sec\": {catchup:.2}\n}}\n",
         rows as f64 / direct_best,

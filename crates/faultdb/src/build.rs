@@ -13,6 +13,7 @@ use uc_faultlog::ingest::read_cluster_log_recovering;
 
 use crate::error::DbError;
 use crate::format::{write_db, WriteOptions, WriteSummary};
+use crate::shard::{write_sharded, RootWriteSummary};
 use crate::snapshot::Snapshot;
 
 /// Ingest a log directory (with recovery) and seal it as a database.
@@ -21,6 +22,20 @@ pub fn build_db(logdir: &Path, out: &Path, opts: &WriteOptions) -> Result<WriteS
         .map_err(|e| DbError::io(logdir, io::Error::other(e.to_string())))?;
     let snapshot = Snapshot::from_cluster(&cluster, stats);
     write_db(&snapshot, out, opts)
+}
+
+/// `uc build-db --shard N`: the same ingest-and-extract spine, sealed as
+/// a (time window × rack) sharded root directory instead of one file.
+pub fn build_sharded_db(
+    logdir: &Path,
+    out: &Path,
+    windows: usize,
+    opts: &WriteOptions,
+) -> Result<RootWriteSummary, DbError> {
+    let (cluster, stats) = read_cluster_log_recovering(logdir)
+        .map_err(|e| DbError::io(logdir, io::Error::other(e.to_string())))?;
+    let snapshot = Snapshot::from_cluster(&cluster, stats);
+    write_sharded(&snapshot, out, windows, opts)
 }
 
 #[cfg(test)]

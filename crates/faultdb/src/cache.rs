@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use uc_analysis::fault::Fault;
+use crate::encoding::Columns;
 
 /// Number of shards; power of two so `index % SHARDS` is a mask.
 const SHARDS: usize = 8;
@@ -47,7 +47,7 @@ impl CacheStats {
 }
 
 struct Entry {
-    block: Arc<Vec<Fault>>,
+    block: Arc<Columns>,
     last_used: u64,
 }
 
@@ -83,7 +83,7 @@ impl BlockCache {
     }
 
     /// Look a block up, refreshing its LRU position on a hit.
-    pub fn get(&self, index: u32) -> Option<Arc<Vec<Fault>>> {
+    pub fn get(&self, index: u32) -> Option<Arc<Columns>> {
         let mut shard = self.shard(index).lock();
         shard.clock += 1;
         let clock = shard.clock;
@@ -102,7 +102,7 @@ impl BlockCache {
 
     /// Insert a freshly decoded block, evicting the least recently used
     /// entry of the shard if it is full.
-    pub fn insert(&self, index: u32, block: Arc<Vec<Fault>>) {
+    pub fn insert(&self, index: u32, block: Arc<Columns>) {
         let mut shard = self.shard(index).lock();
         shard.clock += 1;
         let clock = shard.clock;
@@ -134,8 +134,8 @@ impl BlockCache {
 mod tests {
     use super::*;
 
-    fn block(n: usize) -> Arc<Vec<Fault>> {
-        Arc::new(Vec::with_capacity(n))
+    fn block(_n: usize) -> Arc<Columns> {
+        Arc::new(Columns::default())
     }
 
     #[test]

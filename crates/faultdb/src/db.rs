@@ -7,25 +7,32 @@
 //! result bytes are identical at any thread count, which is exactly what
 //! the server's selftest asserts against a single-threaded engine.
 //!
+//! Blocks decode into columnar form ([`Columns`]) and stay columnar in
+//! the cache; the scan itself is the branch-free bitmap kernels of
+//! [`crate::kernel`], not a per-row predicate walk. A sharded database
+//! ([`crate::shard::RootDb`]) runs the same `run_partial` per shard and
+//! merges shard aggregates, so both engines share one scan path.
+//!
 //! A per-query deadline is checked once per block task; an expired
 //! deadline aborts the scan with the typed [`DbError::Timeout`] (the
 //! server maps it to `ERR timeout`). Corrupt blocks abort the same way
 //! with [`DbError::BlockCorrupt`] — a damaged database refuses to
 //! answer rather than answering wrong.
 
-use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
-use uc_analysis::fault::{BitClass, Fault};
-use uc_cluster::NodeId;
+use uc_analysis::fault::Fault;
 
 use crate::cache::{BlockCache, CacheStats};
+use crate::encoding::{BlockEncoding, Columns};
 use crate::error::DbError;
 use crate::format::{self, Footer, MAGIC, TRAILER_LEN};
-use crate::query::{parse_query, Action, Dim, FlipDir, Query};
+use crate::kernel::{self, Aggregate};
+use crate::query::{parse_query, Query};
+use crate::shard::Engine;
 use crate::snapshot::Snapshot;
 
 /// Engine tuning knobs.
@@ -55,12 +62,34 @@ pub struct QueryResult {
     pub lines: Vec<String>,
     /// Rows matching the predicate.
     pub matched: u64,
-    /// Blocks in the database.
+    /// Shards in the database (1 for a single file).
+    pub shards_total: u32,
+    /// Shards that survived catalog-level pruning.
+    pub shards_scanned: u32,
+    /// Blocks across all scanned shards.
     pub blocks_total: u32,
     /// Blocks that survived zone-map pruning and were scanned.
     pub blocks_scanned: u32,
     /// Rows decoded and tested.
     pub rows_scanned: u64,
+}
+
+/// Per-engine scan accounting, merged additively across shards.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct ScanAccounting {
+    pub(crate) blocks_total: u32,
+    pub(crate) blocks_scanned: u32,
+    pub(crate) rows_scanned: u64,
+}
+
+/// One block's row in a query plan (`uc query --explain`).
+#[derive(Clone, Copy, Debug)]
+pub struct BlockPlan {
+    pub index: u32,
+    pub rows: u32,
+    pub encoding: BlockEncoding,
+    /// `false` means the zone map pruned the block.
+    pub scan: bool,
 }
 
 /// An open, validated fault database (file fully resident in memory).
@@ -145,15 +174,15 @@ impl FaultDb {
         &self.bytes[meta.offset as usize..(meta.offset + meta.len as u64) as usize]
     }
 
-    /// Fetch one decoded block, through the cache.
-    fn block(&self, index: u32) -> Result<Arc<Vec<Fault>>, DbError> {
+    /// Fetch one decoded columnar block, through the cache.
+    fn block(&self, index: u32) -> Result<Arc<Columns>, DbError> {
         if let Some(hit) = self.cache.get(index) {
             return Ok(hit);
         }
         let meta = &self.footer.blocks[index as usize];
-        let faults = format::decode_block(self.payload(index), meta)
+        let columns = format::decode_block_columns(self.payload(index), meta)
             .map_err(|damage| DbError::BlockCorrupt { index, damage })?;
-        let block = Arc::new(faults);
+        let block = Arc::new(columns);
         self.cache.insert(index, Arc::clone(&block));
         Ok(block)
     }
@@ -166,7 +195,7 @@ impl FaultDb {
         let indices: Vec<u32> = (0..self.blocks()).collect();
         let checked = uc_parallel::par_map(&indices, |_, &i| {
             let meta = &self.footer.blocks[i as usize];
-            format::decode_block(self.payload(i), meta)
+            format::decode_block_columns(self.payload(i), meta)
                 .map(drop)
                 .map_err(|damage| DbError::BlockCorrupt { index: i, damage })
         });
@@ -204,70 +233,119 @@ impl FaultDb {
 
     /// Run a parsed query: prune, scan, merge.
     pub fn run(&self, q: &Query, opts: &QueryOptions) -> Result<QueryResult, DbError> {
-        let survivors: Vec<u32> = self
-            .footer
+        let (agg, acct) = self.run_partial(q, opts, true)?;
+        Ok(QueryResult {
+            lines: agg.render(&q.action),
+            matched: agg.matched,
+            shards_total: 1,
+            shards_scanned: 1,
+            blocks_total: acct.blocks_total,
+            blocks_scanned: acct.blocks_scanned,
+            rows_scanned: acct.rows_scanned,
+        })
+    }
+
+    /// Blocks surviving zone-map pruning, in index order.
+    fn survivors(&self, q: &Query) -> Vec<u32> {
+        self.footer
             .blocks
             .iter()
             .enumerate()
             .filter(|(_, b)| q.pred.may_match(&b.zone))
             .map(|(i, _)| i as u32)
-            .collect();
+            .collect()
+    }
 
-        let partials = uc_parallel::par_map(&survivors, |_, &index| {
+    /// Prune + scan into an unrendered aggregate. `parallel` fans block
+    /// scans over the worker pool; the shard engine passes `false` so
+    /// shards (not blocks) are the unit of parallelism — partials still
+    /// merge in block order either way, so the aggregate is identical.
+    pub(crate) fn run_partial(
+        &self,
+        q: &Query,
+        opts: &QueryOptions,
+        parallel: bool,
+    ) -> Result<(Aggregate, ScanAccounting), DbError> {
+        let survivors = self.survivors(q);
+        let scan_one = |&index: &u32| -> Result<kernel::Partial, DbError> {
             if opts.deadline.is_some_and(|d| Instant::now() >= d) {
                 return Err(DbError::Timeout);
             }
             let block = self.block(index)?;
-            Ok(scan_block(q, &block))
-        });
+            Ok(kernel::scan_columns(q, &block))
+        };
+        let partials: Vec<Result<kernel::Partial, DbError>> = if parallel {
+            uc_parallel::par_map(&survivors, |_, index| scan_one(index))
+        } else {
+            survivors.iter().map(scan_one).collect()
+        };
 
-        let mut agg = Aggregate::new(&q.action);
+        let mut agg = Aggregate::new();
         let mut rows_scanned = 0u64;
         for (partial, &index) in partials.into_iter().zip(&survivors) {
-            let partial = partial?;
             rows_scanned += self.footer.blocks[index as usize].rows as u64;
-            agg.merge(partial);
+            agg.merge(partial?);
         }
-        Ok(QueryResult {
-            lines: agg.render(&q.action),
-            matched: agg.matched,
-            blocks_total: self.blocks(),
-            blocks_scanned: survivors.len() as u32,
-            rows_scanned,
-        })
+        Ok((
+            agg,
+            ScanAccounting {
+                blocks_total: self.blocks(),
+                blocks_scanned: survivors.len() as u32,
+                rows_scanned,
+            },
+        ))
+    }
+
+    /// Pure planning for `--explain`: which blocks the zone maps keep,
+    /// and how each is encoded. No payload is touched.
+    pub fn plan(&self, q: &Query) -> Vec<BlockPlan> {
+        self.footer
+            .blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| BlockPlan {
+                index: i as u32,
+                rows: b.rows,
+                encoding: b.encoding,
+                scan: q.pred.may_match(&b.zone),
+            })
+            .collect()
     }
 }
 
 /// A swappable reference to the currently-served database.
 ///
 /// This is the snapshot-isolation primitive for live ingest: the query
-/// server holds a `DbHandle` instead of a bare `Arc<FaultDb>`, and each
-/// request clones the *current* `Arc` once, up front. A generation seal
-/// swaps the inner pointer; requests already in flight keep scanning the
+/// server holds a `DbHandle` instead of a bare engine, and each request
+/// clones the *current* engine once, up front. A generation seal swaps
+/// the inner engine; requests already in flight keep scanning the
 /// generation they started on, and every request sees exactly one
 /// consistent generation — never a mix. The lock is held only for the
-/// pointer clone/swap, never across a scan.
+/// engine clone/swap, never across a scan.
+///
+/// The engine inside may be a single file or a sharded root catalog
+/// ([`Engine`]); both answer the same queries identically.
 #[derive(Clone)]
 pub struct DbHandle {
-    inner: Arc<parking_lot::RwLock<Arc<FaultDb>>>,
+    inner: Arc<parking_lot::RwLock<Engine>>,
 }
 
 impl DbHandle {
-    pub fn new(db: Arc<FaultDb>) -> DbHandle {
+    pub fn new(db: impl Into<Engine>) -> DbHandle {
         DbHandle {
-            inner: Arc::new(parking_lot::RwLock::new(db)),
+            inner: Arc::new(parking_lot::RwLock::new(db.into())),
         }
     }
 
     /// The generation to answer this request from.
-    pub fn current(&self) -> Arc<FaultDb> {
-        Arc::clone(&self.inner.read())
+    pub fn current(&self) -> Engine {
+        self.inner.read().clone()
     }
 
     /// Publish a freshly sealed generation. In-flight queries are
     /// untouched; the next `current()` call sees the new one.
-    pub fn swap(&self, db: Arc<FaultDb>) {
-        *self.inner.write() = db;
+    pub fn swap(&self, db: impl Into<Engine>) {
+        *self.inner.write() = db.into();
     }
 }
 
@@ -277,190 +355,18 @@ impl From<Arc<FaultDb>> for DbHandle {
     }
 }
 
-// ------------------------------------------------------------ aggregation
-
-/// Dimension key for one fault, as an i64 (see [`render_key`]).
-fn key_of(dim: Dim, f: &Fault) -> i64 {
-    match dim {
-        Dim::Node => f.node.0 as i64,
-        Dim::Blade => (f.node.blade().0 + 1) as i64,
-        Dim::Rack => (f.node.blade().rack() + 1) as i64,
-        Dim::Class => f.bit_class() as i64,
-        Dim::Dir => FlipDir::of(f) as i64,
-        Dim::Hour => f.time.hour_of_day() as i64,
-        Dim::Day => f.time.day_index(),
-    }
-}
-
-fn render_key(dim: Dim, key: i64) -> String {
-    match dim {
-        Dim::Node => NodeId(key as u32).to_string(),
-        Dim::Blade | Dim::Rack | Dim::Day => key.to_string(),
-        Dim::Class => BitClass::ALL[key as usize].label().to_string(),
-        Dim::Dir => match key {
-            0 => FlipDir::OneToZero,
-            1 => FlipDir::ZeroToOne,
-            _ => FlipDir::Mixed,
-        }
-        .label()
-        .to_string(),
-        Dim::Hour => format!("{key:02}"),
-    }
-}
-
-/// One fault as a stable, parseable result line.
-fn render_fault(f: &Fault) -> String {
-    format!(
-        "t={} node={} vaddr=0x{:08x} expected=0x{:08x} actual=0x{:08x} bits={} raw={}",
-        f.time.as_secs(),
-        f.node,
-        f.vaddr,
-        f.expected,
-        f.actual,
-        f.bits_corrupted(),
-        f.raw_logs
-    )
-}
-
-/// Per-block partial aggregate; additive, merged in block order.
-enum Partial {
-    Count(u64),
-    List {
-        rows: Vec<Fault>,
-        matched: u64,
-    },
-    Keyed {
-        counts: BTreeMap<i64, u64>,
-        matched: u64,
-    },
-    Hist {
-        bins: Box<[u64; 33]>,
-        matched: u64,
-    },
-}
-
-fn scan_block(q: &Query, faults: &[Fault]) -> Partial {
-    let matching = faults.iter().filter(|f| q.pred.matches(f));
-    match q.action {
-        Action::Count => Partial::Count(matching.count() as u64),
-        Action::List { limit } => {
-            // Keep at most `limit` per block; the merge truncates again,
-            // so earlier blocks (earlier faults) win, deterministically.
-            let mut matched = 0u64;
-            let mut rows = Vec::new();
-            for f in matching {
-                matched += 1;
-                if limit.is_none_or(|l| rows.len() < l) {
-                    rows.push(*f);
-                }
-            }
-            Partial::List { rows, matched }
-        }
-        Action::Top { by, .. } | Action::Group(by) => {
-            let mut counts = BTreeMap::new();
-            let mut matched = 0u64;
-            for f in matching {
-                matched += 1;
-                *counts.entry(key_of(by, f)).or_insert(0u64) += 1;
-            }
-            Partial::Keyed { counts, matched }
-        }
-        Action::HistBits => {
-            let mut bins = Box::new([0u64; 33]);
-            let mut matched = 0u64;
-            for f in matching {
-                matched += 1;
-                bins[f.bits_corrupted().min(32) as usize] += 1;
-            }
-            Partial::Hist { bins, matched }
-        }
-    }
-}
-
-struct Aggregate {
-    matched: u64,
-    count: u64,
-    rows: Vec<Fault>,
-    counts: BTreeMap<i64, u64>,
-    bins: [u64; 33],
-}
-
-impl Aggregate {
-    fn new(_action: &Action) -> Aggregate {
-        Aggregate {
-            matched: 0,
-            count: 0,
-            rows: Vec::new(),
-            counts: BTreeMap::new(),
-            bins: [0; 33],
-        }
-    }
-
-    fn merge(&mut self, p: Partial) {
-        match p {
-            Partial::Count(n) => {
-                self.count += n;
-                self.matched += n;
-            }
-            Partial::List { rows, matched } => {
-                self.rows.extend(rows);
-                self.matched += matched;
-            }
-            Partial::Keyed { counts, matched } => {
-                for (k, v) in counts {
-                    *self.counts.entry(k).or_insert(0) += v;
-                }
-                self.matched += matched;
-            }
-            Partial::Hist { bins, matched } => {
-                for (acc, v) in self.bins.iter_mut().zip(bins.iter()) {
-                    *acc += v;
-                }
-                self.matched += matched;
-            }
-        }
-    }
-
-    fn render(&self, action: &Action) -> Vec<String> {
-        match *action {
-            Action::Count => vec![self.count.to_string()],
-            Action::List { limit } => {
-                let n = limit.unwrap_or(self.rows.len()).min(self.rows.len());
-                self.rows[..n].iter().map(render_fault).collect()
-            }
-            Action::Group(by) => self
-                .counts
-                .iter()
-                .map(|(&k, &v)| format!("{} {v}", render_key(by, k)))
-                .collect(),
-            Action::Top { k, by } => {
-                let mut pairs: Vec<(i64, u64)> =
-                    self.counts.iter().map(|(&k, &v)| (k, v)).collect();
-                // Highest count first; ties break on the smaller key so
-                // the ranking is total.
-                pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-                pairs
-                    .into_iter()
-                    .take(k)
-                    .map(|(key, v)| format!("{} {v}", render_key(by, key)))
-                    .collect()
-            }
-            Action::HistBits => self
-                .bins
-                .iter()
-                .enumerate()
-                .skip(1)
-                .filter(|(_, &v)| v > 0)
-                .map(|(bits, &v)| format!("{bits} {v}"))
-                .collect(),
-        }
+impl From<Engine> for DbHandle {
+    fn from(engine: Engine) -> DbHandle {
+        DbHandle::new(engine)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::format::{write_db, WriteOptions};
+    use crate::format::{write_db, FileEncoding, WriteOptions};
+    use crate::kernel::render_fault;
+    use uc_cluster::NodeId;
     use uc_simclock::SimTime;
 
     fn tempdir(tag: &str) -> PathBuf {
@@ -498,9 +404,21 @@ mod tests {
     }
 
     fn build(tag: &str, n: usize, rows_per_block: usize) -> FaultDb {
+        build_enc(tag, n, rows_per_block, FileEncoding::V2)
+    }
+
+    fn build_enc(tag: &str, n: usize, rows_per_block: usize, encoding: FileEncoding) -> FaultDb {
         let dir = tempdir(tag);
         let path = dir.join("t.fdb");
-        write_db(&snapshot(n), &path, &WriteOptions { rows_per_block }).unwrap();
+        write_db(
+            &snapshot(n),
+            &path,
+            &WriteOptions {
+                rows_per_block,
+                encoding,
+            },
+        )
+        .unwrap();
         FaultDb::open(&path).unwrap()
     }
 
@@ -513,6 +431,34 @@ mod tests {
         let r = db.query("count", &QueryOptions::default()).unwrap();
         assert_eq!(r.lines, vec!["1000".to_string()]);
         assert_eq!(r.blocks_scanned, 16);
+    }
+
+    #[test]
+    fn v1_and_v2_files_answer_identically() {
+        let v1 = build_enc("encv1", 700, 64, FileEncoding::V1);
+        let v2 = build_enc("encv2", 700, 64, FileEncoding::V2);
+        assert_eq!(v1.footer().version, 1);
+        assert_eq!(v2.footer().version, 2);
+        assert!(
+            v2.size_bytes() < v1.size_bytes(),
+            "v2 must compress this narrow-range sample ({} vs {})",
+            v2.size_bytes(),
+            v1.size_bytes()
+        );
+        for q in [
+            "count",
+            "count where multibit",
+            "group class",
+            "top 3 node",
+            "hist bits",
+            "list limit 5 where raw>=2",
+        ] {
+            let a = v1.query(q, &QueryOptions::default()).unwrap();
+            let b = v2.query(q, &QueryOptions::default()).unwrap();
+            assert_eq!(a.lines, b.lines, "{q}");
+            assert_eq!(a.matched, b.matched, "{q}");
+        }
+        assert_eq!(v1.faults_all().unwrap(), v2.faults_all().unwrap());
     }
 
     #[test]
@@ -541,6 +487,25 @@ mod tests {
             .unwrap();
         assert_eq!(full.blocks_scanned, db.blocks(), "not () disables pruning");
         assert_eq!(full.lines, r.lines);
+    }
+
+    #[test]
+    fn plan_reports_pruning_without_scanning() {
+        let db = build("plan", 1000, 64);
+        let q = parse_query("count where time>=100000 and time<150000").unwrap();
+        let plan = db.plan(&q);
+        assert_eq!(plan.len(), db.blocks() as usize);
+        // Planning must not decode payloads.
+        assert_eq!(db.cache_stats().misses, 0);
+        let kept = plan.iter().filter(|b| b.scan).count();
+        let r = db
+            .query(
+                "count where time>=100000 and time<150000",
+                &QueryOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(kept as u32, r.blocks_scanned);
+        assert_eq!(db.cache_stats().misses, kept as u64);
     }
 
     #[test]
@@ -605,11 +570,11 @@ mod tests {
     fn cache_hits_on_repeat_queries() {
         let db = build("cache", 500, 32);
         let opts = QueryOptions::default();
-        db.query("count", &opts).unwrap();
+        db.query("count where raw>=1", &opts).unwrap();
         let cold = db.cache_stats();
         assert_eq!(cold.hits, 0);
         assert_eq!(cold.misses, db.blocks() as u64);
-        db.query("count", &opts).unwrap();
+        db.query("count where raw>=1", &opts).unwrap();
         let warm = db.cache_stats();
         assert_eq!(warm.hits, db.blocks() as u64);
         assert_eq!(warm.misses, cold.misses);

@@ -125,7 +125,9 @@ pub fn quarantine_db_tmps(dir: &Path) -> std::io::Result<Vec<(String, u64)>> {
         let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
             continue;
         };
-        if !name.ends_with(".ucfdb.tmp") || !path.is_file() {
+        // Torn seals: a half-written shard/database file, or a root
+        // catalog caught inside its write-then-rename window.
+        if !(name.ends_with(".ucfdb.tmp") || name == "ROOT.tmp") || !path.is_file() {
             continue;
         }
         let bytes = std::fs::metadata(&path)?.len();

@@ -10,18 +10,24 @@
 //! +--------------------------------------------------------------+
 //! ```
 //!
-//! Each block holds up to `rows_per_block` faults stored column-major,
-//! fixed-width little-endian: all times, then all node ids, then all
-//! vaddrs, expected words, actual words, raw-log counts, and finally a
-//! temperature presence bitmap followed by one f32 per present reading.
+//! Each block holds up to `rows_per_block` faults stored column-major.
+//! Format version 1 stores every column fixed-width little-endian;
+//! version 2 additionally allows per-block compressed payloads
+//! (delta-encoded timestamps, frame-of-reference bit-packed columns —
+//! see [`crate::encoding`]), chosen per block by a pure cost rule and
+//! recorded as one encoding byte in that block's footer entry. Version 1
+//! files remain fully readable: a version 1 footer simply has no
+//! encoding byte and every block decodes as fixed-width.
+//!
 //! The footer records, per block, the byte extent, row count, payload
-//! CRC-32 (the same from-scratch CRC as the durable log segments), and a
-//! zone map: min/max time, min/max node id, min/max vaddr, a bit-class
-//! bitmap, and a flip-direction bitmap. The trailer carries the footer's
-//! own extent and CRC, so validation is outside-in: magic → trailer →
-//! footer CRC → per-block CRC on decode. Any truncation or bit flip is
-//! caught by one of those checks and surfaces as a typed
-//! [`DbError`](crate::DbError) — never as silently wrong rows.
+//! CRC-32 (the same from-scratch CRC as the durable log segments), the
+//! encoding byte (version ≥ 2), and a zone map: min/max time, min/max
+//! node id, min/max vaddr, a bit-class bitmap, and a flip-direction
+//! bitmap. The trailer carries the footer's own extent and CRC, so
+//! validation is outside-in: magic → trailer → footer CRC → per-block
+//! CRC on decode. Any truncation or bit flip is caught by one of those
+//! checks and surfaces as a typed [`DbError`](crate::DbError) — never as
+//! silently wrong rows.
 //!
 //! Files are sealed with the same tmp + fsync + rename discipline as
 //! every other artifact in this repo: a crash mid-build leaves the old
@@ -35,11 +41,11 @@ use uc_analysis::daily::DayVolume;
 #[cfg(test)]
 use uc_analysis::fault::BitClass;
 use uc_analysis::fault::Fault;
-use uc_cluster::{NodeId, TOTAL_NODES};
+use uc_cluster::NodeId;
 use uc_faultlog::durable::crc::crc32;
 use uc_faultlog::ingest::IngestStats;
-use uc_simclock::SimTime;
 
+use crate::encoding::{self, BlockEncoding, Columns};
 use crate::error::{BlockDamage, DbError};
 use crate::query::FlipDir;
 use crate::snapshot::Snapshot;
@@ -48,15 +54,23 @@ use crate::snapshot::Snapshot;
 pub const MAGIC: &[u8; 7] = b"UCFDB1\n";
 /// Fixed trailer size: footer offset + length + CRC.
 pub const TRAILER_LEN: usize = 16;
-/// Current format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current format version (2 = per-block compressed encodings).
+pub const FORMAT_VERSION: u32 = 2;
+/// Oldest version this reader still decodes.
+pub const MIN_FORMAT_VERSION: u32 = 1;
 /// Default rows per block: small enough that zone maps prune usefully on
 /// a ~50k-fault study, large enough that per-block overhead vanishes.
 pub const DEFAULT_ROWS_PER_BLOCK: usize = 4096;
 
-/// Bytes per row across the fixed-width columns (time, node, vaddr,
-/// expected, actual, raw_logs) — excludes the temp bitmap and values.
-const FIXED_ROW_BYTES: usize = 8 + 4 + 8 + 4 + 4 + 8;
+/// Per-block footer entry size by format version (version 2 adds the
+/// encoding byte).
+fn block_meta_len(version: u32) -> usize {
+    if version >= 2 {
+        59
+    } else {
+        58
+    }
+}
 
 /// Per-block zone map: conservative bounds the planner prunes against.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -73,6 +87,55 @@ pub struct ZoneMap {
     pub dir_map: u8,
 }
 
+impl ZoneMap {
+    /// The identity under [`ZoneMap::absorb`]: bounds no row satisfies.
+    pub fn empty() -> ZoneMap {
+        ZoneMap {
+            min_time: i64::MAX,
+            max_time: i64::MIN,
+            min_node: u32::MAX,
+            max_node: 0,
+            min_vaddr: u64::MAX,
+            max_vaddr: 0,
+            class_map: 0,
+            dir_map: 0,
+        }
+    }
+
+    /// Widen to cover one fault.
+    pub fn add(&mut self, f: &Fault) {
+        self.min_time = self.min_time.min(f.time.as_secs());
+        self.max_time = self.max_time.max(f.time.as_secs());
+        self.min_node = self.min_node.min(f.node.0);
+        self.max_node = self.max_node.max(f.node.0);
+        self.min_vaddr = self.min_vaddr.min(f.vaddr);
+        self.max_vaddr = self.max_vaddr.max(f.vaddr);
+        self.class_map |= 1 << f.bit_class() as u8;
+        self.dir_map |= 1 << FlipDir::of(f) as u8;
+    }
+
+    /// Widen to cover everything another zone map covers.
+    pub fn absorb(&mut self, z: &ZoneMap) {
+        self.min_time = self.min_time.min(z.min_time);
+        self.max_time = self.max_time.max(z.max_time);
+        self.min_node = self.min_node.min(z.min_node);
+        self.max_node = self.max_node.max(z.max_node);
+        self.min_vaddr = self.min_vaddr.min(z.min_vaddr);
+        self.max_vaddr = self.max_vaddr.max(z.max_vaddr);
+        self.class_map |= z.class_map;
+        self.dir_map |= z.dir_map;
+    }
+
+    /// The zone map covering exactly these faults.
+    pub fn of(faults: &[Fault]) -> ZoneMap {
+        let mut z = ZoneMap::empty();
+        for f in faults {
+            z.add(f);
+        }
+        z
+    }
+}
+
 /// Footer entry for one block.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BlockMeta {
@@ -84,6 +147,8 @@ pub struct BlockMeta {
     pub rows: u32,
     /// CRC-32 of the payload bytes.
     pub crc: u32,
+    /// How the payload is encoded (always `Fixed` in version 1 files).
+    pub encoding: BlockEncoding,
     pub zone: ZoneMap,
 }
 
@@ -110,16 +175,28 @@ pub struct Footer {
     pub provenance: Provenance,
 }
 
+/// Which format version to write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileEncoding {
+    /// Version 1: fixed-width blocks, byte-identical to the historical
+    /// writer. Kept as the differential oracle.
+    V1,
+    /// Version 2: per-block cost-ruled compressed encodings.
+    V2,
+}
+
 /// Build options.
 #[derive(Clone, Copy, Debug)]
 pub struct WriteOptions {
     pub rows_per_block: usize,
+    pub encoding: FileEncoding,
 }
 
 impl Default for WriteOptions {
     fn default() -> WriteOptions {
         WriteOptions {
             rows_per_block: DEFAULT_ROWS_PER_BLOCK,
+            encoding: FileEncoding::V2,
         }
     }
 }
@@ -145,68 +222,19 @@ fn push_i64(out: &mut Vec<u8>, v: i64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-/// Encode one chunk of faults as a column-major payload plus zone map.
-fn encode_block(faults: &[Fault]) -> (Vec<u8>, ZoneMap) {
+/// Encode one chunk of faults under the chosen file encoding.
+fn encode_block(faults: &[Fault], file_enc: FileEncoding) -> (Vec<u8>, ZoneMap, BlockEncoding) {
     debug_assert!(!faults.is_empty());
-    let n = faults.len();
-    let bitmap_len = n.div_ceil(8);
-    let mut payload = Vec::with_capacity(n * FIXED_ROW_BYTES + bitmap_len + 4 * n);
-    for f in faults {
-        push_i64(&mut payload, f.time.as_secs());
-    }
-    for f in faults {
-        push_u32(&mut payload, f.node.0);
-    }
-    for f in faults {
-        push_u64(&mut payload, f.vaddr);
-    }
-    for f in faults {
-        push_u32(&mut payload, f.expected);
-    }
-    for f in faults {
-        push_u32(&mut payload, f.actual);
-    }
-    for f in faults {
-        push_u64(&mut payload, f.raw_logs);
-    }
-    let mut bitmap = vec![0u8; bitmap_len];
-    for (i, f) in faults.iter().enumerate() {
-        if f.temp.is_some() {
-            bitmap[i / 8] |= 1 << (i % 8);
-        }
-    }
-    payload.extend_from_slice(&bitmap);
-    for f in faults {
-        if let Some(t) = f.temp {
-            payload.extend_from_slice(&t.to_le_bytes());
-        }
-    }
-
-    let mut zone = ZoneMap {
-        min_time: i64::MAX,
-        max_time: i64::MIN,
-        min_node: u32::MAX,
-        max_node: 0,
-        min_vaddr: u64::MAX,
-        max_vaddr: 0,
-        class_map: 0,
-        dir_map: 0,
+    let zone = ZoneMap::of(faults);
+    let (payload, enc) = match file_enc {
+        FileEncoding::V1 => (encoding::encode_fixed(faults), BlockEncoding::Fixed),
+        FileEncoding::V2 => encoding::encode_block_choose(faults),
     };
-    for f in faults {
-        zone.min_time = zone.min_time.min(f.time.as_secs());
-        zone.max_time = zone.max_time.max(f.time.as_secs());
-        zone.min_node = zone.min_node.min(f.node.0);
-        zone.max_node = zone.max_node.max(f.node.0);
-        zone.min_vaddr = zone.min_vaddr.min(f.vaddr);
-        zone.max_vaddr = zone.max_vaddr.max(f.vaddr);
-        zone.class_map |= 1 << f.bit_class() as u8;
-        zone.dir_map |= 1 << FlipDir::of(f) as u8;
-    }
-    (payload, zone)
+    (payload, zone, enc)
 }
 
 fn encode_footer(footer: &Footer) -> Vec<u8> {
-    let mut out = Vec::with_capacity(64 + footer.blocks.len() * 58);
+    let mut out = Vec::with_capacity(64 + footer.blocks.len() * block_meta_len(footer.version));
     push_u32(&mut out, footer.version);
     push_u32(&mut out, footer.rows_per_block);
     push_u64(&mut out, footer.total_rows);
@@ -224,24 +252,71 @@ fn encode_footer(footer: &Footer) -> Vec<u8> {
         push_u64(&mut out, b.zone.max_vaddr);
         out.push(b.zone.class_map);
         out.push(b.zone.dir_map);
+        if footer.version >= 2 {
+            out.push(b.encoding as u8);
+        }
     }
-    let p = &footer.provenance;
-    push_u64(&mut out, p.node_logs);
-    push_u64(&mut out, p.raw_records);
-    push_u64(&mut out, p.raw_errors);
-    for v in stats_fields(&p.stats) {
-        push_u64(&mut out, v);
-    }
-    push_u32(&mut out, p.flood_nodes.len() as u32);
-    for n in &p.flood_nodes {
-        push_u32(&mut out, n.0);
-    }
-    push_u32(&mut out, p.day_volume.len() as u32);
-    for &(day, bits) in &p.day_volume {
-        push_i64(&mut out, day);
-        push_u64(&mut out, bits);
-    }
+    encode_provenance(&mut out, &footer.provenance);
     out
+}
+
+/// Append a [`Provenance`] in the footer wire layout. Shared with the
+/// root catalog, which stores the campaign's provenance once at the root
+/// instead of in every shard.
+pub(crate) fn encode_provenance(out: &mut Vec<u8>, p: &Provenance) {
+    push_u64(out, p.node_logs);
+    push_u64(out, p.raw_records);
+    push_u64(out, p.raw_errors);
+    for v in stats_fields(&p.stats) {
+        push_u64(out, v);
+    }
+    push_u32(out, p.flood_nodes.len() as u32);
+    for n in &p.flood_nodes {
+        push_u32(out, n.0);
+    }
+    push_u32(out, p.day_volume.len() as u32);
+    for &(day, bits) in &p.day_volume {
+        push_i64(out, day);
+        push_u64(out, bits);
+    }
+}
+
+/// Decode a [`Provenance`] from the cursor (inverse of
+/// [`encode_provenance`]).
+pub(crate) fn decode_provenance(r: &mut Reader<'_>) -> Result<Provenance, DbError> {
+    let node_logs = r.u64()?;
+    let raw_records = r.u64()?;
+    let raw_errors = r.u64()?;
+    let mut fields = [0u64; 17];
+    for f in &mut fields {
+        *f = r.u64()?;
+    }
+    let flood_count = r.u32()?;
+    if (flood_count as usize).saturating_mul(4) > r.remaining() {
+        return Err(DbError::BadFooter("flood list larger than footer".into()));
+    }
+    let mut flood_nodes = Vec::with_capacity(flood_count as usize);
+    for _ in 0..flood_count {
+        flood_nodes.push(NodeId(r.u32()?));
+    }
+    let day_count = r.u32()?;
+    if (day_count as usize).saturating_mul(16) > r.remaining() {
+        return Err(DbError::BadFooter("day volume larger than footer".into()));
+    }
+    let mut day_volume = Vec::with_capacity(day_count as usize);
+    for _ in 0..day_count {
+        let day = r.i64()?;
+        let bits = r.u64()?;
+        day_volume.push((day, bits));
+    }
+    Ok(Provenance {
+        node_logs,
+        raw_records,
+        raw_errors,
+        stats: stats_from_fields(fields),
+        flood_nodes,
+        day_volume,
+    })
 }
 
 /// The 17 ingest counters in declaration order; the reader rebuilds the
@@ -293,7 +368,7 @@ fn stats_from_fields(v: [u64; 17]) -> IngestStats {
 /// Serialize a snapshot to `path` atomically (`<path>.tmp` + fsync +
 /// rename). Block encoding fans out over the worker pool; the byte
 /// stream is identical at any thread count (chunks are concatenated in
-/// order).
+/// order, and the per-block cost rule is pure).
 pub fn write_db(
     snapshot: &Snapshot,
     path: &Path,
@@ -301,23 +376,27 @@ pub fn write_db(
 ) -> Result<WriteSummary, DbError> {
     let rows_per_block = opts.rows_per_block.clamp(1, 1 << 20);
     let chunks: Vec<&[Fault]> = snapshot.faults.chunks(rows_per_block).collect();
-    let encoded = uc_parallel::par_map(&chunks, |_, chunk| encode_block(chunk));
+    let encoded = uc_parallel::par_map(&chunks, |_, chunk| encode_block(chunk, opts.encoding));
 
     let mut blocks = Vec::with_capacity(encoded.len());
     let mut offset = MAGIC.len() as u64;
-    for (chunk, (payload, zone)) in chunks.iter().zip(&encoded) {
+    for (chunk, (payload, zone, enc)) in chunks.iter().zip(&encoded) {
         blocks.push(BlockMeta {
             offset,
             len: payload.len() as u32,
             rows: chunk.len() as u32,
             crc: crc32(payload),
+            encoding: *enc,
             zone: *zone,
         });
         offset += payload.len() as u64;
     }
 
     let footer = Footer {
-        version: FORMAT_VERSION,
+        version: match opts.encoding {
+            FileEncoding::V1 => 1,
+            FileEncoding::V2 => FORMAT_VERSION,
+        },
         rows_per_block: rows_per_block as u32,
         total_rows: snapshot.faults.len() as u64,
         blocks,
@@ -347,7 +426,7 @@ pub fn write_db(
     let write_all = || -> io::Result<u64> {
         let mut w = io::BufWriter::new(fs::File::create(&tmp)?);
         w.write_all(MAGIC)?;
-        for (payload, _) in &encoded {
+        for (payload, _, _) in &encoded {
             w.write_all(payload)?;
         }
         w.write_all(&footer_bytes)?;
@@ -374,18 +453,19 @@ pub fn write_db(
 // ---------------------------------------------------------------- decode
 
 /// Bounds-checked little-endian cursor; every shortfall is a typed
-/// footer-corruption error rather than a panic.
-struct Reader<'a> {
+/// footer-corruption error rather than a panic. Shared with the root
+/// catalog decoder.
+pub(crate) struct Reader<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(bytes: &'a [u8]) -> Reader<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Reader<'a> {
         Reader { bytes, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], DbError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], DbError> {
         let end = self
             .pos
             .checked_add(n)
@@ -396,30 +476,35 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self) -> Result<u8, DbError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, DbError> {
         Ok(self.take(1)?[0])
     }
-    fn u32(&mut self) -> Result<u32, DbError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, DbError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
-    fn u64(&mut self) -> Result<u64, DbError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, DbError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
-    fn i64(&mut self) -> Result<i64, DbError> {
+    pub(crate) fn i64(&mut self) -> Result<i64, DbError> {
         Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    fn done(&self) -> bool {
+    /// Bytes left unread.
+    pub(crate) fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    pub(crate) fn done(&self) -> bool {
         self.pos == self.bytes.len()
     }
 }
 
 /// Decode and validate a footer slice (CRC already checked by the
-/// caller against the trailer).
+/// caller against the trailer). Accepts versions 1 and 2.
 pub fn decode_footer(bytes: &[u8], blocks_end: u64) -> Result<Footer, DbError> {
     let mut r = Reader::new(bytes);
     let version = r.u32()?;
-    if version != FORMAT_VERSION {
+    if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
         return Err(DbError::BadVersion(version));
     }
     let rows_per_block = r.u32()?;
@@ -427,7 +512,7 @@ pub fn decode_footer(bytes: &[u8], blocks_end: u64) -> Result<Footer, DbError> {
     let block_count = r.u32()?;
     // An absurd count would make us allocate before the take() fails;
     // bound it by what the footer could possibly hold.
-    if (block_count as usize).saturating_mul(58) > bytes.len() {
+    if (block_count as usize).saturating_mul(block_meta_len(version)) > bytes.len() {
         return Err(DbError::BadFooter(format!(
             "block count {block_count} larger than the footer"
         )));
@@ -441,6 +526,7 @@ pub fn decode_footer(bytes: &[u8], blocks_end: u64) -> Result<Footer, DbError> {
             len: r.u32()?,
             rows: r.u32()?,
             crc: r.u32()?,
+            encoding: BlockEncoding::Fixed,
             zone: ZoneMap {
                 min_time: r.i64()?,
                 max_time: r.i64()?,
@@ -451,6 +537,13 @@ pub fn decode_footer(bytes: &[u8], blocks_end: u64) -> Result<Footer, DbError> {
                 class_map: r.u8()?,
                 dir_map: r.u8()?,
             },
+        };
+        let b = if version >= 2 {
+            let enc = BlockEncoding::from_byte(r.u8()?)
+                .ok_or_else(|| DbError::BadFooter(format!("block {i} unknown encoding")))?;
+            BlockMeta { encoding: enc, ..b }
+        } else {
+            b
         };
         if b.offset != expect_off || b.rows == 0 {
             return Err(DbError::BadFooter(format!("block {i} index inconsistent")));
@@ -475,31 +568,7 @@ pub fn decode_footer(bytes: &[u8], blocks_end: u64) -> Result<Footer, DbError> {
             "row counts disagree: blocks hold {rows_sum}, footer claims {total_rows}"
         )));
     }
-    let node_logs = r.u64()?;
-    let raw_records = r.u64()?;
-    let raw_errors = r.u64()?;
-    let mut fields = [0u64; 17];
-    for f in &mut fields {
-        *f = r.u64()?;
-    }
-    let flood_count = r.u32()?;
-    if (flood_count as usize).saturating_mul(4) > bytes.len() {
-        return Err(DbError::BadFooter("flood list larger than footer".into()));
-    }
-    let mut flood_nodes = Vec::with_capacity(flood_count as usize);
-    for _ in 0..flood_count {
-        flood_nodes.push(NodeId(r.u32()?));
-    }
-    let day_count = r.u32()?;
-    if (day_count as usize).saturating_mul(16) > bytes.len() {
-        return Err(DbError::BadFooter("day volume larger than footer".into()));
-    }
-    let mut day_volume = Vec::with_capacity(day_count as usize);
-    for _ in 0..day_count {
-        let day = r.i64()?;
-        let bits = r.u64()?;
-        day_volume.push((day, bits));
-    }
+    let provenance = decode_provenance(&mut r)?;
     if !r.done() {
         return Err(DbError::BadFooter("trailing bytes after footer".into()));
     }
@@ -508,69 +577,23 @@ pub fn decode_footer(bytes: &[u8], blocks_end: u64) -> Result<Footer, DbError> {
         rows_per_block,
         total_rows,
         blocks,
-        provenance: Provenance {
-            node_logs,
-            raw_records,
-            raw_errors,
-            stats: stats_from_fields(fields),
-            flood_nodes,
-            day_volume,
-        },
+        provenance,
     })
 }
 
-/// Decode one block payload back into faults. The caller has already
-/// sliced `payload` per the footer; this verifies the CRC and the exact
-/// column layout before trusting a byte.
-pub fn decode_block(payload: &[u8], meta: &BlockMeta) -> Result<Vec<Fault>, BlockDamage> {
+/// Decode one block payload into columnar form. The caller has already
+/// sliced `payload` per the footer; this verifies the CRC before
+/// trusting a byte, then the exact column layout and every value.
+pub fn decode_block_columns(payload: &[u8], meta: &BlockMeta) -> Result<Columns, BlockDamage> {
     if crc32(payload) != meta.crc {
         return Err(BlockDamage::ChecksumMismatch);
     }
-    let n = meta.rows as usize;
-    let bitmap_len = n.div_ceil(8);
-    let fixed = n * FIXED_ROW_BYTES + bitmap_len;
-    if payload.len() < fixed {
-        return Err(BlockDamage::LayoutMismatch);
-    }
-    let bitmap = &payload[n * FIXED_ROW_BYTES..fixed];
-    let present: usize = bitmap.iter().map(|b| b.count_ones() as usize).sum();
-    if payload.len() != fixed + 4 * present {
-        return Err(BlockDamage::LayoutMismatch);
-    }
+    encoding::decode_columns(payload, meta.rows as usize, meta.encoding)
+}
 
-    let col = |start: usize, width: usize, i: usize| &payload[start + i * width..][..width];
-    let times = 0;
-    let nodes = times + n * 8;
-    let vaddrs = nodes + n * 4;
-    let expecteds = vaddrs + n * 8;
-    let actuals = expecteds + n * 4;
-    let raws = actuals + n * 4;
-
-    let mut faults = Vec::with_capacity(n);
-    let mut temp_at = fixed;
-    for i in 0..n {
-        let node = u32::from_le_bytes(col(nodes, 4, i).try_into().unwrap());
-        if node >= TOTAL_NODES {
-            return Err(BlockDamage::BadValue);
-        }
-        let temp = if bitmap[i / 8] & (1 << (i % 8)) != 0 {
-            let v = f32::from_le_bytes(payload[temp_at..temp_at + 4].try_into().unwrap());
-            temp_at += 4;
-            Some(v)
-        } else {
-            None
-        };
-        faults.push(Fault {
-            node: NodeId(node),
-            time: SimTime::from_secs(i64::from_le_bytes(col(times, 8, i).try_into().unwrap())),
-            vaddr: u64::from_le_bytes(col(vaddrs, 8, i).try_into().unwrap()),
-            expected: u32::from_le_bytes(col(expecteds, 4, i).try_into().unwrap()),
-            actual: u32::from_le_bytes(col(actuals, 4, i).try_into().unwrap()),
-            temp,
-            raw_logs: u64::from_le_bytes(col(raws, 8, i).try_into().unwrap()),
-        });
-    }
-    Ok(faults)
+/// Decode one block payload back into faults (row form).
+pub fn decode_block(payload: &[u8], meta: &BlockMeta) -> Result<Vec<Fault>, BlockDamage> {
+    Ok(decode_block_columns(payload, meta)?.to_faults())
 }
 
 /// Rebuild the [`Snapshot`] provenance side (everything but the faults).
@@ -594,6 +617,7 @@ pub fn snapshot_from_parts(provenance: &Provenance, faults: Vec<Fault>) -> Snaps
 #[cfg(test)]
 mod tests {
     use super::*;
+    use uc_simclock::SimTime;
 
     fn fault(t: i64, node: u32, vaddr: u64, actual: u32, temp: Option<f32>) -> Fault {
         Fault {
@@ -614,44 +638,110 @@ mod tests {
             fault(20, 2, 0x200, 0x7FFF_FFFF, None),
             fault(30, 900, 0x300, 0x0000_0000, Some(-3.25)),
         ];
-        let (payload, zone) = encode_block(&faults);
-        let meta = BlockMeta {
-            offset: 7,
-            len: payload.len() as u32,
-            rows: 3,
-            crc: crc32(&payload),
-            zone,
-        };
-        let back = decode_block(&payload, &meta).unwrap();
-        assert_eq!(back, faults);
-        assert_eq!(zone.min_time, 10);
-        assert_eq!(zone.max_time, 30);
-        assert_eq!(zone.min_node, 1);
-        assert_eq!(zone.max_node, 900);
-        assert_eq!(zone.min_vaddr, 0x100);
-        assert_eq!(zone.max_vaddr, 0x300);
-        // 1-bit, 1-bit, 32-bit corruptions.
-        assert_eq!(
-            zone.class_map,
-            (1 << BitClass::One as u8) | (1 << BitClass::SixPlus as u8)
-        );
+        for file_enc in [FileEncoding::V1, FileEncoding::V2] {
+            let (payload, zone, enc) = encode_block(&faults, file_enc);
+            let meta = BlockMeta {
+                offset: 7,
+                len: payload.len() as u32,
+                rows: 3,
+                crc: crc32(&payload),
+                encoding: enc,
+                zone,
+            };
+            let back = decode_block(&payload, &meta).unwrap();
+            assert_eq!(back, faults, "{file_enc:?}");
+            assert_eq!(zone.min_time, 10);
+            assert_eq!(zone.max_time, 30);
+            assert_eq!(zone.min_node, 1);
+            assert_eq!(zone.max_node, 900);
+            assert_eq!(zone.min_vaddr, 0x100);
+            assert_eq!(zone.max_vaddr, 0x300);
+            // 1-bit, 1-bit, 32-bit corruptions.
+            assert_eq!(
+                zone.class_map,
+                (1 << BitClass::One as u8) | (1 << BitClass::SixPlus as u8)
+            );
+        }
     }
 
     #[test]
-    fn payload_bit_flip_is_checksum_mismatch() {
+    fn v1_blocks_are_byte_identical_to_the_historical_writer() {
+        // The version-1 encoder must keep producing exactly the layout
+        // documented at the top of this file — spot-check the column
+        // offsets by hand.
+        let faults = vec![
+            fault(10, 1, 0x100, 0xFFFF_FFFE, None),
+            fault(20, 2, 0x200, 0xFFFF_FFFD, None),
+        ];
+        let (payload, _, enc) = encode_block(&faults, FileEncoding::V1);
+        assert_eq!(enc, BlockEncoding::Fixed);
+        assert_eq!(payload.len(), 2 * 36 + 1); // two rows + bitmap, no temps
+        assert_eq!(&payload[0..8], &10i64.to_le_bytes());
+        assert_eq!(&payload[8..16], &20i64.to_le_bytes());
+        assert_eq!(&payload[16..20], &1u32.to_le_bytes());
+        assert_eq!(&payload[20..24], &2u32.to_le_bytes());
+    }
+
+    #[test]
+    fn payload_bit_flip_is_checksum_mismatch_in_both_encodings() {
         let faults = vec![fault(10, 1, 0x100, 0xFFFF_FFFE, None)];
-        let (mut payload, zone) = encode_block(&faults);
-        let meta = BlockMeta {
-            offset: 7,
-            len: payload.len() as u32,
-            rows: 1,
-            crc: crc32(&payload),
-            zone,
-        };
-        payload[5] ^= 0x10;
-        assert_eq!(
-            decode_block(&payload, &meta),
-            Err(BlockDamage::ChecksumMismatch)
-        );
+        for file_enc in [FileEncoding::V1, FileEncoding::V2] {
+            let (mut payload, zone, enc) = encode_block(&faults, file_enc);
+            let meta = BlockMeta {
+                offset: 7,
+                len: payload.len() as u32,
+                rows: 1,
+                crc: crc32(&payload),
+                encoding: enc,
+                zone,
+            };
+            payload[5] ^= 0x10;
+            assert_eq!(
+                decode_block(&payload, &meta),
+                Err(BlockDamage::ChecksumMismatch),
+                "{file_enc:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn footer_roundtrips_both_versions() {
+        let zone = ZoneMap::of(&[fault(5, 3, 0x40, 0xFFFF_FFFE, None)]);
+        for (version, enc) in [(1, BlockEncoding::Fixed), (2, BlockEncoding::Packed)] {
+            let footer = Footer {
+                version,
+                rows_per_block: 4096,
+                total_rows: 1,
+                blocks: vec![BlockMeta {
+                    offset: MAGIC.len() as u64,
+                    len: 40,
+                    rows: 1,
+                    crc: 0xDEAD_BEEF,
+                    encoding: enc,
+                    zone,
+                }],
+                provenance: Provenance {
+                    node_logs: 1,
+                    raw_records: 2,
+                    raw_errors: 3,
+                    stats: IngestStats::default(),
+                    flood_nodes: vec![NodeId(7)],
+                    day_volume: vec![(0, 1.5f64.to_bits())],
+                },
+            };
+            let bytes = encode_footer(&footer);
+            let back = decode_footer(&bytes, MAGIC.len() as u64 + 40).unwrap();
+            assert_eq!(back, footer, "version {version}");
+        }
+    }
+
+    #[test]
+    fn unknown_footer_version_is_typed() {
+        let mut bytes = vec![0u8; 20];
+        bytes[0..4].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            decode_footer(&bytes, 7),
+            Err(DbError::BadVersion(99))
+        ));
     }
 }

@@ -1,0 +1,529 @@
+//! Branch-free scan kernels: evaluate a predicate over a decoded
+//! columnar block into a selection bitmap, then run the query's action
+//! over the bitmap — count by popcount, group/top/hist by iterating set
+//! bits, list by materializing only selected rows.
+//!
+//! The per-row branching of the old scan (`faults.iter().filter(|f|
+//! pred.matches(f))` — a recursive AST walk per row) is replaced by one
+//! pass per *leaf* predicate: each leaf is a tight compare loop that
+//! packs `(cmp as u64) << (i & 63)` into 64-row words (no data-dependent
+//! branches, so the compiler vectorizes it), and `and`/`or`/`not`
+//! combine whole words. The invariant throughout is that bits at
+//! positions `>= rows` are zero in every bitmap — `not` re-masks the
+//! tail to preserve it.
+//!
+//! This module also owns the partial/aggregate machinery shared by the
+//! single-file engine and the shard fan-out: partials merge additively
+//! in block order (and shard aggregates merge in shard order), which is
+//! what keeps results byte-identical at any thread count (§6).
+
+use std::collections::BTreeMap;
+
+use uc_analysis::fault::{BitClass, Fault};
+use uc_cluster::NodeId;
+use uc_simclock::SimTime;
+
+use crate::encoding::Columns;
+use crate::query::{blade_node_range, rack_node_range, Action, Dim, FlipDir, Pred, Query};
+
+// ------------------------------------------------------------- bitmaps
+
+/// Number of 64-bit words covering `rows` rows.
+fn words_for(rows: usize) -> usize {
+    rows.div_ceil(64)
+}
+
+/// Mask off bits at positions `>= rows` in the last word.
+fn mask_tail(words: &mut [u64], rows: usize) {
+    if !rows.is_multiple_of(64) {
+        if let Some(last) = words.last_mut() {
+            *last &= (1u64 << (rows % 64)) - 1;
+        }
+    }
+}
+
+/// Build a bitmap from a per-row predicate closure. The closure is a
+/// pure comparison, so the inner loop compiles without branches.
+fn bitmap_from<F: FnMut(usize) -> bool>(rows: usize, mut f: F) -> Vec<u64> {
+    let mut words = vec![0u64; words_for(rows)];
+    for (w, word) in words.iter_mut().enumerate() {
+        let base = w * 64;
+        let n = 64.min(rows - base);
+        let mut acc = 0u64;
+        for i in 0..n {
+            acc |= (f(base + i) as u64) << i;
+        }
+        *word = acc;
+    }
+    words
+}
+
+/// Evaluate a predicate tree over a block into a selection bitmap.
+pub(crate) fn eval_pred(p: &Pred, c: &Columns) -> Vec<u64> {
+    let rows = c.len();
+    match p {
+        Pred::All => {
+            let mut words = vec![u64::MAX; words_for(rows)];
+            mask_tail(&mut words, rows);
+            words
+        }
+        Pred::MultiBit => bitmap_from(rows, |i| c.bits[i] >= 2),
+        Pred::Node(n) => {
+            let v = n.0;
+            bitmap_from(rows, |i| c.node[i] == v)
+        }
+        Pred::Blade(b) => {
+            let (lo, hi) = blade_node_range(*b);
+            bitmap_from(rows, |i| lo <= c.node[i] && c.node[i] <= hi)
+        }
+        Pred::Rack(r) => {
+            let (lo, hi) = rack_node_range(*r);
+            bitmap_from(rows, |i| lo <= c.node[i] && c.node[i] <= hi)
+        }
+        Pred::Class(class) => {
+            // BitClass::of as a range test on the derived bits column:
+            // One is 0..=1, SixPlus is 6.., the rest are exact.
+            let (lo, hi) = match class {
+                BitClass::One => (0u32, 1u32),
+                BitClass::Two => (2, 2),
+                BitClass::Three => (3, 3),
+                BitClass::Four => (4, 4),
+                BitClass::Five => (5, 5),
+                BitClass::SixPlus => (6, u32::MAX),
+            };
+            bitmap_from(rows, |i| lo <= c.bits[i] && c.bits[i] <= hi)
+        }
+        Pred::Dir(d) => {
+            let v = *d as u8;
+            bitmap_from(rows, |i| c.dir[i] == v)
+        }
+        Pred::BitsEq(n) => {
+            let v = *n;
+            bitmap_from(rows, |i| c.bits[i] == v)
+        }
+        Pred::BitsGe(n) => {
+            let v = *n;
+            bitmap_from(rows, |i| c.bits[i] >= v)
+        }
+        Pred::BitsLe(n) => {
+            let v = *n;
+            bitmap_from(rows, |i| c.bits[i] <= v)
+        }
+        Pred::RawGe(n) => {
+            let v = *n;
+            bitmap_from(rows, |i| c.raw_logs[i] >= v)
+        }
+        Pred::TimeGe(t) => {
+            let v = t.as_secs();
+            bitmap_from(rows, |i| c.time[i] >= v)
+        }
+        Pred::TimeGt(t) => {
+            let v = t.as_secs();
+            bitmap_from(rows, |i| c.time[i] > v)
+        }
+        Pred::TimeLe(t) => {
+            let v = t.as_secs();
+            bitmap_from(rows, |i| c.time[i] <= v)
+        }
+        Pred::TimeLt(t) => {
+            let v = t.as_secs();
+            bitmap_from(rows, |i| c.time[i] < v)
+        }
+        Pred::And(a, b) => {
+            let mut wa = eval_pred(a, c);
+            let wb = eval_pred(b, c);
+            for (x, y) in wa.iter_mut().zip(&wb) {
+                *x &= y;
+            }
+            wa
+        }
+        Pred::Or(a, b) => {
+            let mut wa = eval_pred(a, c);
+            let wb = eval_pred(b, c);
+            for (x, y) in wa.iter_mut().zip(&wb) {
+                *x |= y;
+            }
+            wa
+        }
+        Pred::Not(p) => {
+            let mut w = eval_pred(p, c);
+            for x in w.iter_mut() {
+                *x = !*x;
+            }
+            mask_tail(&mut w, rows);
+            w
+        }
+    }
+}
+
+/// Iterate the set bit positions of a selection bitmap.
+fn for_each_set<F: FnMut(usize)>(words: &[u64], mut f: F) {
+    for (w, &word) in words.iter().enumerate() {
+        let mut word = word;
+        let base = w * 64;
+        while word != 0 {
+            f(base + word.trailing_zeros() as usize);
+            word &= word - 1;
+        }
+    }
+}
+
+fn popcount(words: &[u64]) -> u64 {
+    words.iter().map(|w| w.count_ones() as u64).sum()
+}
+
+/// Which kernel an action runs over its selection bitmap (for
+/// `--explain`).
+pub(crate) fn kernel_name(action: &Action) -> &'static str {
+    match action {
+        Action::Count => "count/popcount",
+        Action::List { .. } => "list/gather",
+        Action::Top { .. } => "topk/gather",
+        Action::Group(_) => "group/gather",
+        Action::HistBits => "hist/gather",
+    }
+}
+
+// ----------------------------------------------------------------- scan
+
+/// Dimension key for one row of a columnar block (see [`render_key`]).
+fn key_of_row(dim: Dim, c: &Columns, i: usize) -> i64 {
+    match dim {
+        Dim::Node => c.node[i] as i64,
+        Dim::Blade => (NodeId(c.node[i]).blade().0 + 1) as i64,
+        Dim::Rack => (NodeId(c.node[i]).blade().rack() + 1) as i64,
+        Dim::Class => BitClass::of(c.bits[i]) as i64,
+        Dim::Dir => c.dir[i] as i64,
+        Dim::Hour => SimTime::from_secs(c.time[i]).hour_of_day() as i64,
+        Dim::Day => SimTime::from_secs(c.time[i]).day_index(),
+    }
+}
+
+/// Scan one decoded block: evaluate the predicate into a bitmap, then
+/// run the action's kernel over the selected rows.
+pub(crate) fn scan_columns(q: &Query, c: &Columns) -> Partial {
+    let rows = c.len();
+    // count over `all` needs no bitmap at all: every row matches.
+    if matches!((&q.action, &q.pred), (Action::Count, Pred::All)) {
+        return Partial::Count(rows as u64);
+    }
+    let sel = eval_pred(&q.pred, c);
+    match q.action {
+        Action::Count => Partial::Count(popcount(&sel)),
+        Action::List { limit } => {
+            // Keep at most `limit` per block; the merge truncates again,
+            // so earlier blocks (earlier faults) win, deterministically.
+            let matched = popcount(&sel);
+            let keep = limit.unwrap_or(usize::MAX);
+            let mut rows_out = Vec::new();
+            for_each_set(&sel, |i| {
+                if rows_out.len() < keep {
+                    rows_out.push(c.fault(i));
+                }
+            });
+            Partial::List {
+                rows: rows_out,
+                matched,
+            }
+        }
+        Action::Top { by, .. } | Action::Group(by) => {
+            let mut counts = BTreeMap::new();
+            let mut matched = 0u64;
+            for_each_set(&sel, |i| {
+                matched += 1;
+                *counts.entry(key_of_row(by, c, i)).or_insert(0u64) += 1;
+            });
+            Partial::Keyed { counts, matched }
+        }
+        Action::HistBits => {
+            let mut bins = Box::new([0u64; 33]);
+            let mut matched = 0u64;
+            for_each_set(&sel, |i| {
+                matched += 1;
+                bins[c.bits[i].min(32) as usize] += 1;
+            });
+            Partial::Hist { bins, matched }
+        }
+    }
+}
+
+// ------------------------------------------------------------ aggregation
+
+fn render_key(dim: Dim, key: i64) -> String {
+    match dim {
+        Dim::Node => NodeId(key as u32).to_string(),
+        Dim::Blade | Dim::Rack | Dim::Day => key.to_string(),
+        Dim::Class => BitClass::ALL[key as usize].label().to_string(),
+        Dim::Dir => match key {
+            0 => FlipDir::OneToZero,
+            1 => FlipDir::ZeroToOne,
+            _ => FlipDir::Mixed,
+        }
+        .label()
+        .to_string(),
+        Dim::Hour => format!("{key:02}"),
+    }
+}
+
+/// One fault as a stable, parseable result line.
+pub(crate) fn render_fault(f: &Fault) -> String {
+    format!(
+        "t={} node={} vaddr=0x{:08x} expected=0x{:08x} actual=0x{:08x} bits={} raw={}",
+        f.time.as_secs(),
+        f.node,
+        f.vaddr,
+        f.expected,
+        f.actual,
+        f.bits_corrupted(),
+        f.raw_logs
+    )
+}
+
+/// Per-block partial aggregate; additive, merged in block order.
+pub(crate) enum Partial {
+    Count(u64),
+    List {
+        rows: Vec<Fault>,
+        matched: u64,
+    },
+    Keyed {
+        counts: BTreeMap<i64, u64>,
+        matched: u64,
+    },
+    Hist {
+        bins: Box<[u64; 33]>,
+        matched: u64,
+    },
+}
+
+pub(crate) struct Aggregate {
+    pub(crate) matched: u64,
+    count: u64,
+    pub(crate) rows: Vec<Fault>,
+    counts: BTreeMap<i64, u64>,
+    bins: [u64; 33],
+}
+
+impl Aggregate {
+    pub(crate) fn new() -> Aggregate {
+        Aggregate {
+            matched: 0,
+            count: 0,
+            rows: Vec::new(),
+            counts: BTreeMap::new(),
+            bins: [0; 33],
+        }
+    }
+
+    pub(crate) fn merge(&mut self, p: Partial) {
+        match p {
+            Partial::Count(n) => {
+                self.count += n;
+                self.matched += n;
+            }
+            Partial::List { rows, matched } => {
+                self.rows.extend(rows);
+                self.matched += matched;
+            }
+            Partial::Keyed { counts, matched } => {
+                for (k, v) in counts {
+                    *self.counts.entry(k).or_insert(0) += v;
+                }
+                self.matched += matched;
+            }
+            Partial::Hist { bins, matched } => {
+                for (acc, v) in self.bins.iter_mut().zip(bins.iter()) {
+                    *acc += v;
+                }
+                self.matched += matched;
+            }
+        }
+    }
+
+    /// Fold another aggregate in (shard fan-out). `rows` concatenate in
+    /// call order; the caller is responsible for ordering shards so that
+    /// concatenation equals the global sort order, or for re-merging rows
+    /// by sort key afterwards.
+    pub(crate) fn absorb(&mut self, other: Aggregate) {
+        self.matched += other.matched;
+        self.count += other.count;
+        self.rows.extend(other.rows);
+        for (k, v) in other.counts {
+            *self.counts.entry(k).or_insert(0) += v;
+        }
+        for (acc, v) in self.bins.iter_mut().zip(other.bins.iter()) {
+            *acc += v;
+        }
+    }
+
+    /// Replace the accumulated rows (after a k-way merge across shards).
+    pub(crate) fn set_rows(&mut self, rows: Vec<Fault>) {
+        self.rows = rows;
+    }
+
+    pub(crate) fn render(&self, action: &Action) -> Vec<String> {
+        match *action {
+            Action::Count => vec![self.count.to_string()],
+            Action::List { limit } => {
+                let n = limit.unwrap_or(self.rows.len()).min(self.rows.len());
+                self.rows[..n].iter().map(render_fault).collect()
+            }
+            Action::Group(by) => self
+                .counts
+                .iter()
+                .map(|(&k, &v)| format!("{} {v}", render_key(by, k)))
+                .collect(),
+            Action::Top { k, by } => {
+                let mut pairs: Vec<(i64, u64)> =
+                    self.counts.iter().map(|(&k, &v)| (k, v)).collect();
+                // Highest count first; ties break on the smaller key so
+                // the ranking is total.
+                pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                pairs
+                    .into_iter()
+                    .take(k)
+                    .map(|(key, v)| format!("{} {v}", render_key(by, key)))
+                    .collect()
+            }
+            Action::HistBits => self
+                .bins
+                .iter()
+                .enumerate()
+                .skip(1)
+                .filter(|(_, &v)| v > 0)
+                .map(|(bits, &v)| format!("{bits} {v}"))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::{decode_columns, encode_packed, BlockEncoding};
+    use crate::query::parse_query;
+
+    fn sample(n: usize) -> Vec<Fault> {
+        (0..n)
+            .map(|i| Fault {
+                node: NodeId((i % 97) as u32),
+                time: SimTime::from_secs(i as i64 * 37),
+                vaddr: 0x1000 + (i as u64 % 11) * 0x40,
+                expected: 0xFFFF_FFFF,
+                // Always flips bit 0: a real fault has expected != actual.
+                actual: 0xFFFF_FFFF ^ (((1u32 << (i % 7)) - 1) | 1),
+                temp: (i % 4 == 0).then_some(25.0 + i as f32 / 8.0),
+                raw_logs: 1 + (i as u64 % 5),
+            })
+            .collect()
+    }
+
+    fn columns(faults: &[Fault]) -> Columns {
+        let payload = encode_packed(faults);
+        decode_columns(&payload, faults.len(), BlockEncoding::Packed).unwrap()
+    }
+
+    #[test]
+    fn bitmap_eval_agrees_with_row_filter_on_every_leaf() {
+        let faults = sample(333); // odd length exercises tail masking
+        let c = columns(&faults);
+        for expr in [
+            "all",
+            "multibit",
+            "node=01-01",
+            "blade=2",
+            "rack=1",
+            "class=1",
+            "class=6+",
+            "dir=1to0",
+            "dir=mixed",
+            "bits=3",
+            "bits>=2",
+            "bits<=1",
+            "raw>=4",
+            "time>=3000",
+            "time>3000",
+            "time<=3000",
+            "time<3000",
+            "not multibit",
+            "not (bits>=2 and raw>=3)",
+            "(blade=1 or rack=1) and time<5000",
+            "not not multibit",
+        ] {
+            let q = parse_query(&format!("count where {expr}")).unwrap();
+            let sel = eval_pred(&q.pred, &c);
+            let mut expect = Vec::new();
+            for (i, f) in faults.iter().enumerate() {
+                if q.pred.matches(f) {
+                    expect.push(i);
+                }
+            }
+            let mut got = Vec::new();
+            for_each_set(&sel, |i| got.push(i));
+            assert_eq!(got, expect, "{expr}");
+            // Tail invariant: no bits at or past `rows`.
+            assert!(got.iter().all(|&i| i < faults.len()), "{expr}");
+        }
+    }
+
+    #[test]
+    fn kernels_agree_with_the_legacy_row_scan() {
+        let faults = sample(500);
+        let c = columns(&faults);
+        for text in [
+            "count",
+            "count where multibit",
+            "list limit 7 where raw>=3",
+            "list where bits=1",
+            "top 3 node where time>=1000",
+            "group class",
+            "group hour where multibit",
+            "group day",
+            "hist bits",
+            "hist bits where not multibit",
+        ] {
+            let q = parse_query(text).unwrap();
+            let mut agg = Aggregate::new();
+            agg.merge(scan_columns(&q, &c));
+            // Brute-force oracle: filter rows, aggregate naively.
+            let matching: Vec<&Fault> = faults.iter().filter(|f| q.pred.matches(f)).collect();
+            assert_eq!(agg.matched, matching.len() as u64, "{text}");
+            let lines = agg.render(&q.action);
+            match q.action {
+                Action::Count => {
+                    assert_eq!(lines, vec![matching.len().to_string()], "{text}")
+                }
+                Action::List { limit } => {
+                    let expect: Vec<String> = matching
+                        .iter()
+                        .take(limit.unwrap_or(usize::MAX))
+                        .map(|f| render_fault(f))
+                        .collect();
+                    assert_eq!(lines, expect, "{text}");
+                }
+                _ => {
+                    // Keyed/hist cross-checked by total mass.
+                    let total: u64 = lines
+                        .iter()
+                        .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+                        .sum();
+                    match q.action {
+                        Action::Top { k, .. } => {
+                            assert!(lines.len() <= k && total <= matching.len() as u64, "{text}")
+                        }
+                        _ => assert_eq!(total, matching.len() as u64, "{text}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_block_scans_clean() {
+        let c = columns(&[]);
+        let q = parse_query("count where multibit").unwrap();
+        let mut agg = Aggregate::new();
+        agg.merge(scan_columns(&q, &c));
+        assert_eq!(agg.render(&q.action), vec!["0".to_string()]);
+    }
+}

@@ -18,9 +18,17 @@
 //!   path for both `uc analyze` and `uc analyze --db`.
 //! * [`query`] — the predicate AST, the `action where expr` grammar,
 //!   and conservative zone-map pruning.
+//! * [`encoding`] — per-block column codecs: the v1 fixed layout and the
+//!   v2 compressed encodings (delta timestamps, frame-of-reference
+//!   bit-packing), chosen per block by a cost rule.
 //! * [`cache`] — the sharded LRU over decoded blocks.
+//! * [`kernel`] — branch-free scan kernels: predicate → selection
+//!   bitmap, then count/top-k/group/hist over the bitmap.
 //! * [`db`] — the engine: open/validate, prune, parallel block scans,
 //!   deterministic merge, aggregation kernels.
+//! * [`shard`] — the root catalog: (time window × rack) shards behind a
+//!   `UCFDBROOT` index with shard-level zone maps, fan-out queries, and
+//!   the [`shard::Engine`] abstraction over both database shapes.
 //! * [`build`] — `uc build-db`: log directory in, sealed database out.
 //! * [`server`] — `uc serve`: the line protocol, bounded admission with
 //!   typed overload rejection, graceful shutdown, and the loadgen
@@ -44,27 +52,31 @@ pub mod cache;
 pub mod catalog;
 pub mod db;
 pub mod direct;
+pub mod encoding;
 pub mod error;
 pub mod format;
 pub mod ingest_server;
+pub mod kernel;
 pub mod lock;
 pub mod query;
 pub mod repl;
 pub mod scrub;
 pub mod server;
+pub mod shard;
 pub mod snapshot;
 pub mod wal;
 
-pub use build::build_db;
+pub use build::{build_db, build_sharded_db};
 pub use cache::CacheStats;
 pub use catalog::{
     fsck_live_dir, gen_file_name, is_live_dir, Catalog, GenEntry, IngestOutcome, LiveDb,
     LiveFsckReport, LiveStatus, OpenReport,
 };
-pub use db::{DbHandle, DbOptions, FaultDb, QueryOptions, QueryResult};
+pub use db::{BlockPlan, DbHandle, DbOptions, FaultDb, QueryOptions, QueryResult};
 pub use direct::{quarantine_db_tmps, seal_recovered, DirectFold};
+pub use encoding::BlockEncoding;
 pub use error::{BlockDamage, DbError};
-pub use format::{WriteOptions, WriteSummary};
+pub use format::{FileEncoding, WriteOptions, WriteSummary};
 pub use ingest_server::{
     ingest_selftest, stream_lines, IngestConfig, IngestSelftestReport, IngestServer,
     IngestServerStats, IngestShutdownHandle, StreamOptions, StreamReport,
@@ -79,6 +91,10 @@ pub use scrub::{scrub_live_dir, ScrubConfig, ScrubReport, Scrubber};
 pub use server::{
     selftest, Client, Response, SelftestReport, ServeConfig, Server, ServerAdmin, ShutdownHandle,
     MAX_REQUEST_LINE,
+};
+pub use shard::{
+    is_root_dir, write_sharded, Engine, RootCatalog, RootDb, RootWriteSummary, ShardEntry,
+    ROOT_FILE,
 };
 pub use snapshot::Snapshot;
 pub use wal::{Wal, WalRecord, WalRecovery};

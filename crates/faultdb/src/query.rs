@@ -137,13 +137,13 @@ pub struct Query {
 }
 
 /// Inclusive dense node-id range `[lo, hi]` covered by a 1-based blade.
-fn blade_node_range(blade1: u32) -> (u32, u32) {
+pub(crate) fn blade_node_range(blade1: u32) -> (u32, u32) {
     let b = blade1 - 1;
     (b * SOCS_PER_BLADE, b * SOCS_PER_BLADE + SOCS_PER_BLADE - 1)
 }
 
 /// Inclusive node-id range covered by a 1-based rack.
-fn rack_node_range(rack1: u32) -> (u32, u32) {
+pub(crate) fn rack_node_range(rack1: u32) -> (u32, u32) {
     let blades_per_rack = CHASSIS_PER_RACK * BLADES_PER_CHASSIS;
     let first_blade = (rack1 - 1) * blades_per_rack;
     (

@@ -27,8 +27,9 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use crate::db::{DbHandle, FaultDb, QueryOptions};
+use crate::db::{DbHandle, QueryOptions};
 use crate::error::DbError;
+use crate::shard::Engine;
 
 /// Hard cap on one request line. A client that streams bytes without a
 /// newline is answered with a typed `ERR line-too-long` and disconnected
@@ -412,6 +413,8 @@ fn respond(inner: &Inner, request: &str, w: &mut impl Write) -> Outcome {
                 format!("served {}", stats.served),
                 format!("rejected {}", stats.rejected),
             ];
+            // Sharded engines append topology and per-shard scan counts.
+            lines.extend(db.stats_lines());
             if let Some(admin) = &inner.admin {
                 lines.extend(admin.stats_lines());
             }
@@ -569,7 +572,8 @@ pub const SELFTEST_QUERIES: &[&str] = &[
 /// are counted, proving rejection is bounded and typed rather than a
 /// hang. Determinism of the concurrent path is the whole point: expected
 /// answers are precomputed with a thread limit of 1.
-pub fn selftest(db: Arc<FaultDb>, clients: usize) -> Result<SelftestReport, DbError> {
+pub fn selftest(db: impl Into<Engine>, clients: usize) -> Result<SelftestReport, DbError> {
+    let db = db.into();
     let expected: Vec<Vec<String>> = SELFTEST_QUERIES
         .iter()
         .map(|q| {
@@ -585,7 +589,7 @@ pub fn selftest(db: Arc<FaultDb>, clients: usize) -> Result<SelftestReport, DbEr
         queue: 2,
         ..ServeConfig::default()
     };
-    let server = Server::start(db, &cfg)?;
+    let server = Server::start(db.clone(), &cfg)?;
     let addr = server.local_addr();
 
     let per_client = SELFTEST_QUERIES.len();
@@ -659,6 +663,7 @@ pub fn selftest(db: Arc<FaultDb>, clients: usize) -> Result<SelftestReport, DbEr
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::db::FaultDb;
     use crate::format::{write_db, WriteOptions};
     use crate::snapshot::Snapshot;
     use std::path::PathBuf;
@@ -691,7 +696,15 @@ mod tests {
             raw_errors: n as u64,
             day_volume: Default::default(),
         };
-        write_db(&snap, &path, &WriteOptions { rows_per_block: 64 }).unwrap();
+        write_db(
+            &snap,
+            &path,
+            &WriteOptions {
+                rows_per_block: 64,
+                ..WriteOptions::default()
+            },
+        )
+        .unwrap();
         Arc::new(FaultDb::open(&path).unwrap())
     }
 
@@ -721,6 +734,93 @@ mod tests {
         server.shutdown();
         let stats = server.join();
         assert!(stats.served >= 5);
+    }
+
+    #[test]
+    fn stats_surface_cache_and_shard_counters() {
+        // Serve a sharded root and check that STATS exposes the block
+        // cache and per-shard scan counters, and that they move when
+        // queries run.
+        let dir = std::env::temp_dir().join(format!("uc-faultdb-srv-root-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let faults: Vec<Fault> = (0..400)
+            .map(|i| Fault {
+                node: NodeId(((i * 31) % 1080) as u32),
+                time: SimTime::from_secs(i as i64 * 700),
+                vaddr: 0x2000 + i as u64,
+                expected: 0xFFFF_FFFF,
+                actual: 0xFFFF_FFFE,
+                temp: None,
+                raw_logs: 1,
+            })
+            .collect();
+        let mut faults = faults;
+        faults.sort_by_key(uc_analysis::extract::fault_sort_key);
+        let snap = Snapshot {
+            faults,
+            flood_nodes: vec![],
+            stats: Default::default(),
+            node_logs: 1,
+            raw_records: 400,
+            raw_errors: 400,
+            day_volume: Default::default(),
+        };
+        crate::shard::write_sharded(
+            &snap,
+            &dir,
+            3,
+            &WriteOptions {
+                rows_per_block: 32,
+                ..WriteOptions::default()
+            },
+        )
+        .unwrap();
+        let engine = Engine::open_auto(&dir).unwrap();
+        let server = Server::start(engine, &ServeConfig::default()).unwrap();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+
+        let stat = |c: &mut Client, key: &str| -> u64 {
+            match c.request("STATS").unwrap() {
+                Response::Ok(lines) => lines
+                    .iter()
+                    .find_map(|l| l.strip_prefix(&format!("{key} ")))
+                    .unwrap_or_else(|| panic!("STATS missing {key}"))
+                    .split_whitespace()
+                    .last()
+                    .unwrap()
+                    .parse()
+                    .unwrap(),
+                other => panic!("expected stats, got {other:?}"),
+            }
+        };
+
+        // Before any query: counters exist and sit at zero.
+        assert!(stat(&mut c, "shards") > 1, "sharded engine reports shards");
+        assert_eq!(stat(&mut c, "cache_misses"), 0);
+        assert_eq!(stat(&mut c, "shard_scans shard-00000.ucfdb"), 0);
+
+        assert!(matches!(
+            c.request("count where multibit").unwrap(),
+            Response::Ok(_)
+        ));
+        let misses_after_one = stat(&mut c, "cache_misses");
+        assert!(
+            misses_after_one > 0,
+            "scan decodes blocks through the cache"
+        );
+        assert_eq!(stat(&mut c, "shard_scans shard-00000.ucfdb"), 1);
+
+        // A repeat of the same query hits the warm cache.
+        assert!(matches!(
+            c.request("count where multibit").unwrap(),
+            Response::Ok(_)
+        ));
+        assert_eq!(stat(&mut c, "cache_misses"), misses_after_one);
+        assert!(stat(&mut c, "cache_hits") > 0);
+        assert_eq!(stat(&mut c, "shard_scans shard-00000.ucfdb"), 2);
+
+        server.shutdown();
+        server.join();
     }
 
     #[test]

@@ -69,7 +69,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-use uc_faultdb::{FaultDb, IngestConfig, QueryOptions, ServeConfig, StreamOptions, WriteOptions};
+use uc_faultdb::{IngestConfig, QueryOptions, ServeConfig, StreamOptions, WriteOptions};
 use uc_faultlog::files::{write_cluster_log, write_cluster_log_compact, write_text_atomic};
 use uc_memscan::host::{run_host_scan, run_host_scan_parallel};
 use uc_memscan::Pattern;
@@ -220,8 +220,8 @@ const USAGE: &str = "usage:\n  \
      uc fsck <dir>\n  \
      uc analyze <dir> [--threads N]\n  \
      uc analyze --db <file> [--threads N]\n  \
-     uc build-db <logdir> <db> [--rows-per-block N]\n  \
-     uc query <db> <expr...> [--timeout-ms N]\n  \
+     uc build-db <logdir> <db> [--rows-per-block N] [--shard N] [--encoding v1|v2]\n  \
+     uc query <db> <expr...> [--timeout-ms N] [--explain x]\n  \
      uc serve <db> [--addr host:port] [--workers N] [--queue N] [--timeout-ms N] [--selftest N]\n  \
      uc serve <livedir> --ingest x [--ingest-addr host:port] [--addr host:port] [--selftest N] [--chaos-seed N]\n  \
      uc serve <livedir> --ingest x --replica-of host:port [--auto-promote-ms N] [...]\n  \
@@ -399,7 +399,9 @@ fn cmd_analyze(args: &Args) -> ExitCode {
             return bad_usage("analyze takes either a log directory or --db <file>, not both");
         }
         let t0 = std::time::Instant::now();
-        let db = match FaultDb::open(&PathBuf::from(db_path)) {
+        // Either shape works: a single `.ucfdb` file or a sharded root
+        // directory; both reconstruct the identical snapshot.
+        let db = match uc_faultdb::Engine::open_auto(&PathBuf::from(db_path)) {
             Ok(db) => db,
             Err(e) => {
                 eprintln!("analyze: {e}");
@@ -455,7 +457,12 @@ fn cmd_analyze(args: &Args) -> ExitCode {
 }
 
 fn cmd_build_db(args: &Args) -> ExitCode {
-    if let Err(e) = args.validate("build-db", &["rows-per-block", "threads"], 2, 2) {
+    if let Err(e) = args.validate(
+        "build-db",
+        &["rows-per-block", "threads", "shard", "encoding"],
+        2,
+        2,
+    ) {
         return bad_usage(&e);
     }
     let rows_per_block = match args.get_u64_strict("rows-per-block", 0) {
@@ -471,10 +478,53 @@ fn cmd_build_db(args: &Args) -> ExitCode {
         }
         Err(e) => return bad_usage(&e),
     };
+    let encoding = match args.get("encoding") {
+        None | Some("v2") => uc_faultdb::FileEncoding::V2,
+        Some("v1") => uc_faultdb::FileEncoding::V1,
+        Some(other) => return bad_usage(&format!("--encoding must be v1 or v2, not {other:?}")),
+    };
+    let shard_windows = match args.get_u64_strict("shard", 0) {
+        Ok(n) if n <= (1 << 16) => n as usize,
+        Ok(n) => {
+            return bad_usage(&format!(
+                "--shard {n} exceeds the maximum of {}",
+                1u64 << 16
+            ))
+        }
+        Err(e) => return bad_usage(&e),
+    };
+    if args.has("shard") && shard_windows == 0 {
+        return bad_usage("--shard requires a positive time-window count");
+    }
+    let opts = WriteOptions {
+        rows_per_block,
+        encoding,
+    };
     let logdir = PathBuf::from(&args.positional[0]);
     let out = PathBuf::from(&args.positional[1]);
     let t0 = std::time::Instant::now();
-    match uc_faultdb::build_db(&logdir, &out, &WriteOptions { rows_per_block }) {
+    if shard_windows > 0 {
+        // `--shard N`: seal a (time window × rack) root directory
+        // instead of a single file; queries over it answer identically.
+        return match uc_faultdb::build_sharded_db(&logdir, &out, shard_windows, &opts) {
+            Ok(summary) => {
+                println!(
+                    "built {}: {} faults in {} shards, {} bytes",
+                    summary.dir.display(),
+                    summary.rows,
+                    summary.shards,
+                    summary.bytes
+                );
+                eprintln!("ingest + extract + seal took {:?}", t0.elapsed());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("build-db: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    match uc_faultdb::build_db(&logdir, &out, &opts) {
         Ok(summary) => {
             println!(
                 "built {}: {} faults in {} blocks, {} bytes",
@@ -494,7 +544,12 @@ fn cmd_build_db(args: &Args) -> ExitCode {
 }
 
 fn cmd_query(args: &Args) -> ExitCode {
-    if let Err(e) = args.validate("query", &["timeout-ms", "threads"], 2, usize::MAX) {
+    if let Err(e) = args.validate(
+        "query",
+        &["timeout-ms", "threads", "explain"],
+        2,
+        usize::MAX,
+    ) {
         return bad_usage(&e);
     }
     let timeout_ms = match args.get_u64_strict("timeout-ms", 0) {
@@ -503,13 +558,31 @@ fn cmd_query(args: &Args) -> ExitCode {
     };
     let db_path = PathBuf::from(&args.positional[0]);
     let expr = args.positional[1..].join(" ");
-    let db = match FaultDb::open(&db_path) {
+    // `open_auto` serves both shapes: a single `.ucfdb` file or a
+    // sharded root directory (detected by its ROOT catalog).
+    let db = match uc_faultdb::Engine::open_auto(&db_path) {
         Ok(db) => db,
         Err(e) => {
             eprintln!("query: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if args.has("explain") {
+        // Print the plan — shard and block pruning, per-block encodings,
+        // the kernel that would run — without scanning anything.
+        return match db.explain(&expr) {
+            Ok(lines) => {
+                for line in &lines {
+                    println!("{line}");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("query: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let opts = QueryOptions {
         deadline: (timeout_ms > 0)
             .then(|| std::time::Instant::now() + Duration::from_millis(timeout_ms)),
@@ -521,8 +594,10 @@ fn cmd_query(args: &Args) -> ExitCode {
                 println!("{line}");
             }
             eprintln!(
-                "matched {} rows; scanned {}/{} blocks ({} rows) in {:?}",
+                "matched {} rows; scanned {}/{} shards, {}/{} blocks ({} rows) in {:?}",
                 result.matched,
+                result.shards_scanned,
+                result.shards_total,
                 result.blocks_scanned,
                 result.blocks_total,
                 result.rows_scanned,
@@ -604,8 +679,8 @@ fn cmd_serve(args: &Args) -> ExitCode {
     }
 
     let db_path = PathBuf::from(&args.positional[0]);
-    let db = match FaultDb::open(&db_path) {
-        Ok(db) => Arc::new(db),
+    let db = match uc_faultdb::Engine::open_auto(&db_path) {
+        Ok(db) => db,
         Err(e) => {
             eprintln!("serve: {e}");
             return ExitCode::FAILURE;
@@ -613,7 +688,7 @@ fn cmd_serve(args: &Args) -> ExitCode {
     };
 
     if selftest > 0 {
-        match uc_faultdb::selftest(Arc::clone(&db), selftest as usize) {
+        match uc_faultdb::selftest(db.clone(), selftest as usize) {
             Ok(report) => {
                 println!(
                     "selftest: {} clients, {} requests, {} ok, {} overloaded rejections, {} mismatches",
@@ -1014,6 +1089,41 @@ fn cmd_fsck(args: &Args) -> ExitCode {
                     eprintln!("fsck: CONSERVATION VIOLATED — this is a bug, bytes were lost");
                     ExitCode::FAILURE
                 }
+            }
+            Err(e) => {
+                eprintln!("fsck {}: {e}", dir.display());
+                ExitCode::FAILURE
+            }
+        };
+    }
+    // A sharded root: quarantine torn seals (shard tmps and ROOT.tmp),
+    // then validate the catalog CRC, every shard footer, the
+    // catalog-vs-shard row agreement, and every block payload CRC.
+    if uc_faultdb::is_root_dir(&dir) {
+        match uc_faultdb::quarantine_db_tmps(&dir) {
+            Ok(moved) => {
+                for (name, bytes) in &moved {
+                    eprintln!("quarantined torn db seal {name} ({bytes} bytes) to .lost+found");
+                }
+            }
+            Err(e) => {
+                eprintln!("fsck {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        return match uc_faultdb::RootDb::open(&dir).and_then(|db| {
+            db.verify_deep()?;
+            Ok(db)
+        }) {
+            Ok(db) => {
+                eprintln!("fsck (root) {}:", dir.display());
+                eprintln!(
+                    "  {} shards, {} rows, {} blocks — catalog and every block CRC verified",
+                    db.shard_count(),
+                    db.rows(),
+                    db.blocks()
+                );
+                ExitCode::SUCCESS
             }
             Err(e) => {
                 eprintln!("fsck {}: {e}", dir.display());

@@ -42,7 +42,15 @@ fn clean_db_bytes() -> (Vec<u8>, Snapshot) {
     let _ = fs::remove_dir_all(&dir);
     fs::create_dir_all(&dir).unwrap();
     let path = dir.join("clean.fdb");
-    write_db(&snap, &path, &WriteOptions { rows_per_block: 8 }).unwrap();
+    write_db(
+        &snap,
+        &path,
+        &WriteOptions {
+            rows_per_block: 8,
+            ..WriteOptions::default()
+        },
+    )
+    .unwrap();
     (fs::read(&path).unwrap(), snap)
 }
 

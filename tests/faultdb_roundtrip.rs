@@ -65,7 +65,15 @@ fn snapshot_roundtrips_and_reports_identically() {
     let snap = varied_snapshot();
     assert!(!snap.faults.is_empty());
     let path = dir.join("t.fdb");
-    write_db(&snap, &path, &WriteOptions { rows_per_block: 16 }).unwrap();
+    write_db(
+        &snap,
+        &path,
+        &WriteOptions {
+            rows_per_block: 16,
+            ..WriteOptions::default()
+        },
+    )
+    .unwrap();
     let db = FaultDb::open(&path).unwrap();
     let back = db.snapshot().unwrap();
     assert_eq!(back, snap);
@@ -77,7 +85,15 @@ fn queries_agree_with_brute_force_and_pruning_is_sound() {
     let dir = tempdir("brute");
     let snap = varied_snapshot();
     let path = dir.join("t.fdb");
-    write_db(&snap, &path, &WriteOptions { rows_per_block: 8 }).unwrap();
+    write_db(
+        &snap,
+        &path,
+        &WriteOptions {
+            rows_per_block: 8,
+            ..WriteOptions::default()
+        },
+    )
+    .unwrap();
     let db = FaultDb::open(&path).unwrap();
     let opts = QueryOptions::default();
 
@@ -131,7 +147,15 @@ fn query_results_thread_invariant_through_the_public_api() {
     let dir = tempdir("threads");
     let snap = varied_snapshot();
     let path = dir.join("t.fdb");
-    write_db(&snap, &path, &WriteOptions { rows_per_block: 8 }).unwrap();
+    write_db(
+        &snap,
+        &path,
+        &WriteOptions {
+            rows_per_block: 8,
+            ..WriteOptions::default()
+        },
+    )
+    .unwrap();
     let db = FaultDb::open(&path).unwrap();
     for q in [
         "count",
@@ -152,7 +176,15 @@ fn cache_counters_move_but_results_do_not() {
     let dir = tempdir("cache");
     let snap = varied_snapshot();
     let path = dir.join("t.fdb");
-    write_db(&snap, &path, &WriteOptions { rows_per_block: 8 }).unwrap();
+    write_db(
+        &snap,
+        &path,
+        &WriteOptions {
+            rows_per_block: 8,
+            ..WriteOptions::default()
+        },
+    )
+    .unwrap();
 
     // Tiny cache: forced evictions on a full scan.
     let db = FaultDb::open_with(&path, &DbOptions { cache_blocks: 4 }).unwrap();

@@ -21,7 +21,7 @@ use std::path::{Path, PathBuf};
 use uc_cluster::NodeId;
 use uc_faultdb::server::SELFTEST_QUERIES;
 use uc_faultdb::{
-    build_db, fsck_live_dir, gen_file_name, FaultDb, LiveDb, QueryOptions, WriteOptions,
+    build_db, fsck_live_dir, gen_file_name, Engine, FaultDb, LiveDb, QueryOptions, WriteOptions,
 };
 
 fn chaos_seed() -> u64 {
@@ -149,7 +149,7 @@ fn build_oracle(tag: &str, lines_by_node: &BTreeMap<String, Vec<String>>) -> Opt
 }
 
 /// Every selftest query, answered single-threaded for a stable oracle.
-fn answers(db: &FaultDb) -> Vec<Vec<String>> {
+fn answers(db: &Engine) -> Vec<Vec<String>> {
     uc_parallel::with_thread_limit(1, || {
         SELFTEST_QUERIES
             .iter()
@@ -305,7 +305,8 @@ fn crash_matrix_at_every_flush_and_seal_boundary() {
                     "k={k}: generation file is not byte-identical to the batch build"
                 );
                 let live_db = revived.handle().current();
-                let oracle = FaultDb::open(&oracle_path).unwrap();
+                let oracle: Engine =
+                    std::sync::Arc::new(FaultDb::open(&oracle_path).unwrap()).into();
                 assert_eq!(answers(&live_db), answers(&oracle), "k={k}");
                 let _ = fs::remove_file(&oracle_path);
             }

@@ -109,7 +109,15 @@ fn db_report_is_byte_identical_to_text_report_at_any_thread_count() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("t.fdb");
     // Small blocks so the parallel build and scan actually fan out.
-    write_db(&direct, &path, &WriteOptions { rows_per_block: 4 }).unwrap();
+    write_db(
+        &direct,
+        &path,
+        &WriteOptions {
+            rows_per_block: 4,
+            ..WriteOptions::default()
+        },
+    )
+    .unwrap();
 
     let baseline = direct.report_text();
     for threads in [1, 2, 8] {
@@ -126,7 +134,15 @@ fn db_report_is_byte_identical_to_text_report_at_any_thread_count() {
     // compare the file bytes.
     let single = dir.join("t1.fdb");
     with_thread_limit(1, || {
-        write_db(&direct, &single, &WriteOptions { rows_per_block: 4 }).unwrap()
+        write_db(
+            &direct,
+            &single,
+            &WriteOptions {
+                rows_per_block: 4,
+                ..WriteOptions::default()
+            },
+        )
+        .unwrap()
     });
     assert_eq!(
         std::fs::read(&path).unwrap(),

@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 use uc_cluster::NodeId;
 use uc_faultdb::server::SELFTEST_QUERIES;
 use uc_faultdb::{
-    build_db, stream_lines, Client, FaultDb, IngestConfig, IngestServer, LiveDb, NodeAdmin,
+    build_db, stream_lines, Client, Engine, FaultDb, IngestConfig, IngestServer, LiveDb, NodeAdmin,
     QueryOptions, ReplicaConfig, Replication, Response, Role, ServeConfig, Server, ServerAdmin,
     StreamOptions, WriteOptions,
 };
@@ -116,7 +116,7 @@ fn assert_gens_byte_identical(a: &Path, b: &Path) {
     assert!(compared >= 2, "only {compared} generations compared");
 }
 
-fn answers(db: &FaultDb) -> Vec<Vec<String>> {
+fn answers(db: &Engine) -> Vec<Vec<String>> {
     uc_parallel::with_thread_limit(1, || {
         SELFTEST_QUERIES
             .iter()
@@ -280,7 +280,7 @@ fn failover_promotes_replica_and_fences_divergent_ex_primary() {
         .map(|(i, n)| (n.to_string(), forked[i].clone()))
         .collect();
     let oracle_path = build_oracle("post-promote", &sealed);
-    let oracle = FaultDb::open(&oracle_path).unwrap();
+    let oracle: Engine = std::sync::Arc::new(FaultDb::open(&oracle_path).unwrap()).into();
     assert_eq!(
         answers(&live_b.handle().current()),
         answers(&oracle),
