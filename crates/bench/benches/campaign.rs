@@ -25,7 +25,11 @@
 //!   rack) sharded root through the fan-out engine;
 //! * `serve_p99_us` — p99 request latency through the TCP serving layer;
 //! * `catchup_mb_per_sec` — WAL-shipping throughput of a fresh replica
-//!   catching up to a sealed primary over loopback.
+//!   catching up to a sealed primary over loopback;
+//! * `policy_days_per_sec` — mitigation policy replay throughput: total
+//!   policy-days (simulated days × policies compared) per second of the
+//!   full five-policy `uc policy` comparison over the sealed campaign,
+//!   day stream included.
 //!
 //! Run with `cargo bench -p uc-bench --bench campaign`; `--test` does a
 //! single quick pass (CI smoke) and still emits the JSON.
@@ -179,6 +183,28 @@ fn catchup_mb_per_sec(base: &Path, quick: bool) -> f64 {
     wal_bytes as f64 / (1024.0 * 1024.0) / secs
 }
 
+/// Mitigation policy replay throughput: the full five-policy
+/// comparison (`uc policy` with `--policy all`) over the sealed
+/// campaign, including the pruned per-day window scans that feed it.
+/// Reported as policy-days per second — simulated days × policies,
+/// divided by the best wall-clock over N repetitions.
+fn policy_days_per_sec(db_path: &Path, quick: bool) -> f64 {
+    let db = Engine::open_auto(db_path).unwrap();
+    let cfg = uc_policy::ReplayConfig::default();
+    let reps = if quick { 2 } else { 5 };
+    let mut best = f64::INFINITY;
+    let mut policy_days = 0usize;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let days = db.collect_days().unwrap();
+        let cmp = uc_policy::run_comparison(&days, &uc_policy::PolicyKind::ALL, &cfg);
+        best = best.min(t0.elapsed().as_secs_f64());
+        policy_days = days.len() * cmp.runs.len();
+        black_box(cmp.eval_faults);
+    }
+    policy_days as f64 / best
+}
+
 /// Warm full-scan throughput (rows/s) of `count where raw>=1` over an
 /// engine. Warm-up passes populate the block cache first (the steady
 /// state a server scans from), then best-of-N over many repetitions —
@@ -260,9 +286,11 @@ fn emit_trajectory(quick: bool) {
     let scan_packed_rows_per_sec = scan_throughput(&Engine::open_auto(&v2_path).unwrap(), quick);
     let shard_fanout_rows_per_sec = scan_throughput(&Engine::open_auto(&root_dir).unwrap(), quick);
 
-    // Serving-layer tail latency and replication catch-up throughput.
+    // Serving-layer tail latency, replication catch-up throughput, and
+    // policy replay throughput.
     let p99_us = serve_p99_us(&base.join("direct-0.ucfdb"), quick);
     let catchup = catchup_mb_per_sec(&base, quick);
+    let policy_dps = policy_days_per_sec(&base.join("direct-0.ucfdb"), quick);
 
     let json = format!(
         "{{\n  \"bench\": \"campaign\",\n  \"config\": {{\"seed\": 42, \"blades\": 8}},\n  \
@@ -276,7 +304,8 @@ fn emit_trajectory(quick: bool) {
          \"scan_packed_rows_per_sec\": {scan_packed_rows_per_sec:.0},\n  \
          \"shard_fanout_rows_per_sec\": {shard_fanout_rows_per_sec:.0},\n  \
          \"serve_p99_us\": {p99_us:.1},\n  \
-         \"catchup_mb_per_sec\": {catchup:.2}\n}}\n",
+         \"catchup_mb_per_sec\": {catchup:.2},\n  \
+         \"policy_days_per_sec\": {policy_dps:.0}\n}}\n",
         rows as f64 / direct_best,
         text_best / direct_best,
     );

@@ -29,6 +29,9 @@
 //! * [`shard`] — the root catalog: (time window × rack) shards behind a
 //!   `UCFDBROOT` index with shard-level zone maps, fan-out queries, and
 //!   the [`shard::Engine`] abstraction over both database shapes.
+//! * [`days`] — day-ordered streaming iteration over either shape: one
+//!   zone-map-pruned window scan per simulated day, the replay feed for
+//!   the mitigation policy engine (`uc policy`).
 //! * [`build`] — `uc build-db`: log directory in, sealed database out.
 //! * [`server`] — `uc serve`: the line protocol, bounded admission with
 //!   typed overload rejection, graceful shutdown, and the loadgen
@@ -50,6 +53,7 @@
 pub mod build;
 pub mod cache;
 pub mod catalog;
+pub mod days;
 pub mod db;
 pub mod direct;
 pub mod encoding;
@@ -72,6 +76,7 @@ pub use catalog::{
     fsck_live_dir, gen_file_name, is_live_dir, Catalog, GenEntry, IngestOutcome, LiveDb,
     LiveFsckReport, LiveStatus, OpenReport,
 };
+pub use days::{DayFaults, DayStream};
 pub use db::{BlockPlan, DbHandle, DbOptions, FaultDb, QueryOptions, QueryResult};
 pub use direct::{quarantine_db_tmps, seal_recovered, DirectFold};
 pub use encoding::BlockEncoding;

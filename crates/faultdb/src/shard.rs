@@ -425,6 +425,17 @@ impl RootDb {
             .collect()
     }
 
+    /// One shard by index (the day-stream's fan-out unit).
+    pub(crate) fn shard(&self, index: usize) -> &FaultDb {
+        &self.shards[index]
+    }
+
+    /// [`RootDb::survivors`] for sibling modules (the day stream mirrors
+    /// the list fan-out without rendering a `QueryResult`).
+    pub(crate) fn day_survivors(&self, q: &Query) -> Vec<usize> {
+        self.survivors(q)
+    }
+
     /// Shards surviving catalog-level zone pruning, in shard order.
     fn survivors(&self, q: &Query) -> Vec<usize> {
         self.catalog

@@ -1,0 +1,245 @@
+//! Tabular epsilon-greedy contextual bandit over discretized states.
+//!
+//! Pure-Rust, integer-only, fully deterministic given a seed: the value
+//! table keeps exact `(pulls, total cost)` per (state, action) cell and
+//! compares empirical means by u128 cross-multiplication, so there is
+//! no float accumulation and no ordering hazard. Exploration draws come
+//! from the repo's own [`StreamRng`] (seeded splitmix + Lemire bounded
+//! sampling), and the replay driver calls `choose`/`learn` in one fixed
+//! sequential order, so a run is byte-reproducible across thread counts.
+//!
+//! ## Hierarchical backoff
+//!
+//! Every observation is recorded at three resolutions: the full state
+//! cell, its activity-level aggregate, and a global per-action row.
+//! Training decisions stay optimistic on the full-resolution table
+//! (untried = mean 0) so every action in a visited state gets tried.
+//! Frozen evaluation instead reads each action's mean from the most
+//! specific level with data ([`Bandit::exploit`]): feature axes like
+//! repeat share drift monotonically over a campaign, so evaluation days
+//! routinely land in states training never visited — without backoff
+//! those all-untried states tie at optimistic 0 and degenerate to
+//! `Observe`, silently missing every fault behind them.
+
+use uc_resilience::MitigationAction;
+use uc_simclock::StreamRng;
+
+use crate::features::{state_activity, ACTIVITY_LEVELS, STATE_BINS};
+
+const N_ACTIONS: usize = MitigationAction::ALL.len();
+
+/// Exact running statistics for one (state, action) cell.
+#[derive(Clone, Copy, Debug, Default)]
+struct Cell {
+    pulls: u64,
+    total_mnh: u128,
+}
+
+/// Epsilon-greedy tabular learner: explore a fixed percent of training
+/// decisions uniformly, otherwise pick the action with the lowest
+/// empirical mean cost (untried actions count as optimistic mean 0, so
+/// every action in a visited state gets tried; ties resolve to the
+/// lowest action index).
+pub struct Bandit {
+    rng: StreamRng,
+    explore_pct: u64,
+    cells: Vec<[Cell; N_ACTIONS]>,
+    activity: [[Cell; N_ACTIONS]; ACTIVITY_LEVELS],
+    global: [Cell; N_ACTIONS],
+}
+
+impl Bandit {
+    pub fn new(seed: u64) -> Bandit {
+        Bandit {
+            rng: StreamRng::from_seed(seed),
+            explore_pct: 10,
+            cells: vec![[Cell::default(); N_ACTIONS]; STATE_BINS],
+            activity: [[Cell::default(); N_ACTIONS]; ACTIVITY_LEVELS],
+            global: [Cell::default(); N_ACTIONS],
+        }
+    }
+
+    /// Pick an action for `state`. Training decisions explore
+    /// `explore_pct`% of the time, otherwise follow the optimistic
+    /// full-resolution greedy; evaluation decisions (`training = false`)
+    /// are frozen backoff-greedy ([`Bandit::exploit`]) and consume no
+    /// randomness, so the eval phase is a pure function of the learned
+    /// table.
+    pub fn choose(&mut self, state: usize, training: bool) -> MitigationAction {
+        if training {
+            if self.rng.below(100) < self.explore_pct {
+                return MitigationAction::ALL[self.rng.below(N_ACTIONS as u64) as usize];
+            }
+            return self.greedy(state);
+        }
+        self.exploit(state)
+    }
+
+    /// The current greedy action for `state` on the full-resolution
+    /// table (lowest empirical mean, untried = 0, tie → lowest index).
+    pub fn greedy(&self, state: usize) -> MitigationAction {
+        let cells = &self.cells[state];
+        let mut best = 0usize;
+        for cand in 1..N_ACTIONS {
+            if mean_lt(&cells[cand], &cells[best]) {
+                best = cand;
+            }
+        }
+        MitigationAction::ALL[best]
+    }
+
+    /// The frozen evaluation action for `state`: each action's mean is
+    /// read from the most specific level with at least one pull — full
+    /// state, then activity aggregate, then global — so a state unseen
+    /// in training inherits the judgment of its activity level instead
+    /// of defaulting to optimistic `Observe`. Fully untried actions
+    /// still count as mean 0.
+    pub fn exploit(&self, state: usize) -> MitigationAction {
+        let act = state_activity(state);
+        let resolve = |a: usize| -> Cell {
+            for cell in [self.cells[state][a], self.activity[act][a], self.global[a]] {
+                if cell.pulls > 0 {
+                    return cell;
+                }
+            }
+            Cell::default()
+        };
+        let mut best = 0usize;
+        let mut best_cell = resolve(0);
+        for cand in 1..N_ACTIONS {
+            let cell = resolve(cand);
+            if mean_lt(&cell, &best_cell) {
+                best = cand;
+                best_cell = cell;
+            }
+        }
+        MitigationAction::ALL[best]
+    }
+
+    /// Record the realized cost of taking `action` in `state`, at every
+    /// resolution level.
+    pub fn learn(&mut self, state: usize, action: MitigationAction, cost_mnh: u64) {
+        let a = action.index();
+        for cell in [
+            &mut self.cells[state][a],
+            &mut self.activity[state_activity(state)][a],
+            &mut self.global[a],
+        ] {
+            cell.pulls = cell.pulls.saturating_add(1);
+            cell.total_mnh = cell.total_mnh.saturating_add(u128::from(cost_mnh));
+        }
+    }
+
+    /// Total training decisions recorded (full-resolution pulls).
+    pub fn pulls(&self) -> u64 {
+        self.cells
+            .iter()
+            .flat_map(|row| row.iter())
+            .map(|c| c.pulls)
+            .fold(0u64, u64::saturating_add)
+    }
+}
+
+/// Is `a`'s empirical mean strictly lower than `b`'s? Untried cells act
+/// as mean 0 (optimistic): untried vs untried is a tie (false → keep
+/// the earlier index); untried vs tried-with-cost is strictly lower
+/// unless the tried mean is also 0.
+fn mean_lt(a: &Cell, b: &Cell) -> bool {
+    let (at, ap) = (a.total_mnh, u128::from(a.pulls.max(1)));
+    let (bt, bp) = (b.total_mnh, u128::from(b.pulls.max(1)));
+    // a.total/a.pulls < b.total/b.pulls  ⇔  a.total·b.pulls < b.total·a.pulls
+    at.saturating_mul(bp) < bt.saturating_mul(ap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_prefers_lowest_mean_and_breaks_ties_low() {
+        let mut b = Bandit::new(7);
+        // Untried everywhere → lowest index (Observe).
+        assert_eq!(b.greedy(0), MitigationAction::Observe);
+        b.learn(0, MitigationAction::Observe, 1_000);
+        b.learn(0, MitigationAction::CheckpointNow, 100);
+        // Other actions are untried (mean 0) and beat both tried means;
+        // lowest untried index is Quarantine.
+        assert_eq!(b.greedy(0), MitigationAction::QuarantineNode);
+        for a in MitigationAction::ALL {
+            b.learn(0, a, 5_000);
+        }
+        // Now all tried: Checkpoint has mean (100+5000)/2, Observe
+        // (1000+5000)/2, rest 5000 → Checkpoint wins.
+        assert_eq!(b.greedy(0), MitigationAction::CheckpointNow);
+    }
+
+    #[test]
+    fn exploit_backs_off_to_activity_then_global() {
+        let mut b = Bandit::new(7);
+        // Train only in state 48 (activity level 4): Observe is
+        // expensive there, Migrate cheap.
+        b.learn(48, MitigationAction::Observe, 100_000);
+        b.learn(48, MitigationAction::MigrateJob, 3_000);
+        // State 59 shares activity level 4 but was never visited: the
+        // frozen eval choice must inherit the aggregate, not tie at
+        // optimistic 0 and observe.
+        assert_eq!(state_activity(59), state_activity(48));
+        assert_eq!(b.exploit(59), MitigationAction::CheckpointNow); // untried → 0
+        b.learn(48, MitigationAction::QuarantineNode, 24_000);
+        b.learn(48, MitigationAction::CheckpointNow, 20_000);
+        b.learn(48, MitigationAction::RetireRow, 50_000);
+        assert_eq!(b.exploit(59), MitigationAction::MigrateJob);
+        // A state in an activity level with no data at all falls back to
+        // the global row.
+        assert_eq!(state_activity(0), 0);
+        assert_eq!(b.exploit(0), MitigationAction::MigrateJob);
+        // The visited state itself still answers from full resolution.
+        assert_eq!(b.exploit(48), MitigationAction::MigrateJob);
+    }
+
+    #[test]
+    fn eval_decisions_consume_no_randomness() {
+        let mut a = Bandit::new(42);
+        let mut b = Bandit::new(42);
+        // Interleave eval choices in one copy only; training draws must
+        // stay aligned.
+        for state in 0..STATE_BINS {
+            let _ = a.choose(state, false);
+            let _ = a.choose(state, false);
+        }
+        for _ in 0..200 {
+            assert_eq!(a.choose(3, true), b.choose(3, true));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_trajectory() {
+        let run = |seed: u64| {
+            let mut bandit = Bandit::new(seed);
+            let mut picks = Vec::new();
+            for i in 0..500u64 {
+                let state = (i % STATE_BINS as u64) as usize;
+                let action = bandit.choose(state, true);
+                bandit.learn(state, action, (i * 37) % 9_000);
+                picks.push(action);
+            }
+            picks
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn cross_multiplication_survives_huge_totals() {
+        let a = Cell {
+            pulls: 1,
+            total_mnh: u128::from(u64::MAX),
+        };
+        let b = Cell {
+            pulls: u64::MAX,
+            total_mnh: 1,
+        };
+        assert!(mean_lt(&b, &a));
+        assert!(!mean_lt(&a, &b));
+    }
+}

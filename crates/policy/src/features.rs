@@ -1,0 +1,355 @@
+//! Per-node feature extraction from fault history.
+//!
+//! A [`NodeHistory`] accumulates everything the policies are allowed to
+//! know about a node: it absorbs each day's faults at end-of-day
+//! ([`NodeHistory::absorb_day`]), and [`NodeHistory::features`] derives
+//! the day's feature vector from *strictly past* information — a policy
+//! deciding on day `d` sees days `< d` only. The oracle's clairvoyant
+//! inputs travel separately (see `policies::Decision`).
+//!
+//! Everything is integer (or integer-binned) so feature extraction is
+//! byte-deterministic: temperatures become milli-degrees, shares become
+//! whole percents, inter-arrival becomes whole hours. The discretized
+//! [`Features::state_bin`] is the tabular bandit's state index.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use uc_analysis::fault::Fault;
+use uc_faultdb::query::FlipDir;
+use uc_resilience::retirement::PAGE_BYTES;
+
+/// Faults on one page before the policy engine considers it *hot*
+/// (retirement-eligible). Matches `RetirementConfig::default().retire_after`
+/// so `RetireRow` day leases and the offline retirement replay agree on
+/// what a weak page looks like.
+pub const HOT_PAGE_AFTER: u32 = 2;
+
+/// How many trailing days feed the recent-activity features.
+pub const RECENT_WINDOW_DAYS: i64 = 7;
+
+/// Number of discretized bandit states ([`Features::state_bin`] range).
+pub const STATE_BINS: usize = 60;
+
+/// Number of recent-activity levels — the leading (most significant)
+/// axis of the state layout, so `state / (STATE_BINS / ACTIVITY_LEVELS)`
+/// recovers it.
+pub const ACTIVITY_LEVELS: usize = 5;
+
+/// The activity level encoded in a state bin. This is the coarse axis
+/// the bandit backs off to for states it never saw in training: activity
+/// is the feature most predictive of tomorrow's fault volume, while the
+/// finer axes (repeat share, multi-bit, temperature) drift over a
+/// campaign and can push evaluation days into unvisited bins.
+pub fn state_activity(state: usize) -> usize {
+    debug_assert!(state < STATE_BINS);
+    state / (STATE_BINS / ACTIVITY_LEVELS)
+}
+
+/// Everything known about one node from its past fault history.
+#[derive(Clone, Debug)]
+pub struct NodeHistory {
+    first_day: i64,
+    total: u64,
+    multibit: u64,
+    dir_counts: [u64; 3],
+    /// (day, fault count) for fault-bearing days inside the recent
+    /// window; pruned on absorb, filtered again on read.
+    recent: VecDeque<(i64, u32)>,
+    /// page index -> lifetime fault count.
+    page_counts: BTreeMap<u64, u32>,
+    hot_pages: u32,
+    /// Faults that landed on a page already faulted before.
+    repeat_faults: u64,
+    temp_milli_sum: i64,
+    temp_samples: u64,
+    last_fault_secs: Option<i64>,
+    interarrival_sum_secs: i64,
+    interarrival_samples: u64,
+}
+
+/// One day's feature vector for one node, derived from strictly past
+/// history. All integers; no float ordering hazards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Features {
+    /// Days since the node's first observed fault.
+    pub days_since_first: u32,
+    /// Faults in the last [`RECENT_WINDOW_DAYS`] days (yesterday back).
+    pub recent7: u32,
+    /// Faults yesterday alone.
+    pub recent1: u32,
+    /// Lifetime fault count.
+    pub total: u64,
+    /// Lifetime multi-bit fault count.
+    pub multibit: u64,
+    /// Dominant flip direction so far (0 = 1→0, 1 = 0→1, 2 = mixed;
+    /// ties resolve to the lower index).
+    pub dominant_dir: u8,
+    /// Share of lifetime faults that repeated an already-faulted page,
+    /// in whole percent.
+    pub repeat_share_pct: u8,
+    /// Pages with ≥ [`HOT_PAGE_AFTER`] lifetime faults.
+    pub hot_pages: u32,
+    /// Mean inter-arrival between faults in whole hours; `u32::MAX`
+    /// when fewer than two faults have been seen.
+    pub mean_interarrival_h: u32,
+    /// Mean temperature at fault time in milli-degrees C, if the node's
+    /// faults carried telemetry.
+    pub temp_milli: Option<i32>,
+}
+
+impl Features {
+    /// Discretize into one of [`STATE_BINS`] states:
+    /// 5 activity levels × 3 spatial-repeat levels × multi-bit seen ×
+    /// hot temperature regime.
+    pub fn state_bin(&self) -> usize {
+        let activity = match self.recent7 {
+            0 => 0,
+            1 => 1,
+            2..=3 => 2,
+            4..=9 => 3,
+            _ => 4,
+        };
+        let repeat = if self.hot_pages == 0 && self.repeat_share_pct == 0 {
+            0
+        } else if self.repeat_share_pct < 50 {
+            1
+        } else {
+            2
+        };
+        let multi = usize::from(self.multibit > 0);
+        let hot_temp = usize::from(matches!(self.temp_milli, Some(t) if t > 40_000));
+        let bin = ((activity * 3 + repeat) * 2 + multi) * 2 + hot_temp;
+        debug_assert!(bin < STATE_BINS);
+        bin
+    }
+}
+
+impl NodeHistory {
+    pub fn new(first_day: i64) -> NodeHistory {
+        NodeHistory {
+            first_day,
+            total: 0,
+            multibit: 0,
+            dir_counts: [0; 3],
+            recent: VecDeque::new(),
+            page_counts: BTreeMap::new(),
+            hot_pages: 0,
+            repeat_faults: 0,
+            temp_milli_sum: 0,
+            temp_samples: 0,
+            last_fault_secs: None,
+            interarrival_sum_secs: 0,
+            interarrival_samples: 0,
+        }
+    }
+
+    /// Lifetime fault count absorbed so far.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fold one day's faults in (called at end-of-day, *after* the
+    /// day's decisions resolved). Faults arrive in global sort order.
+    pub fn absorb_day(&mut self, day: i64, faults: &[&Fault]) {
+        for f in faults {
+            self.total += 1;
+            if f.is_multi_bit() {
+                self.multibit += 1;
+            }
+            self.dir_counts[FlipDir::of(f) as usize] += 1;
+            let page = f.vaddr / PAGE_BYTES;
+            let count = self.page_counts.entry(page).or_insert(0);
+            if *count > 0 {
+                self.repeat_faults += 1;
+            }
+            *count += 1;
+            if *count == HOT_PAGE_AFTER {
+                self.hot_pages += 1;
+            }
+            if let Some(t) = f.temp {
+                // One deterministic f32→integer conversion per sample;
+                // accumulation is integer, so order cannot matter.
+                self.temp_milli_sum += (f64::from(t) * 1000.0) as i64;
+                self.temp_samples += 1;
+            }
+            let secs = f.time.as_secs();
+            if let Some(last) = self.last_fault_secs {
+                self.interarrival_sum_secs += (secs - last).max(0);
+                self.interarrival_samples += 1;
+            }
+            self.last_fault_secs = Some(secs);
+        }
+        if !faults.is_empty() {
+            self.recent.push_back((day, faults.len() as u32));
+        }
+        while let Some(&(d, _)) = self.recent.front() {
+            if d < day - RECENT_WINDOW_DAYS {
+                self.recent.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// How many of `today`'s faults land on pages already hot (≥
+    /// [`HOT_PAGE_AFTER`] faults strictly before today) — the
+    /// `RetireRow` lease's coverage, and the oracle's clairvoyant input.
+    pub fn hot_faults(&self, today: &[&Fault]) -> u64 {
+        today
+            .iter()
+            .filter(|f| {
+                self.page_counts
+                    .get(&(f.vaddr / PAGE_BYTES))
+                    .is_some_and(|&c| c >= HOT_PAGE_AFTER)
+            })
+            .count() as u64
+    }
+
+    /// The feature vector for deciding on day `today`, from strictly
+    /// past history (`absorb_day(today, ..)` has not run yet).
+    pub fn features(&self, today: i64) -> Features {
+        let mut recent7 = 0u32;
+        let mut recent1 = 0u32;
+        for &(d, n) in &self.recent {
+            if d < today && d >= today - RECENT_WINDOW_DAYS {
+                recent7 = recent7.saturating_add(n);
+            }
+            if d == today - 1 {
+                recent1 = recent1.saturating_add(n);
+            }
+        }
+        let dominant_dir = self
+            .dir_counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))
+            .map(|(i, _)| i as u8)
+            .unwrap_or(0);
+        let repeat_share_pct = (self.repeat_faults * 100)
+            .checked_div(self.total)
+            .map_or(0, |pct| pct.min(100) as u8);
+        let mean_interarrival_h = (self.interarrival_sum_secs.max(0) as u64)
+            .checked_div(self.interarrival_samples)
+            .map_or(u32::MAX, |secs| {
+                u32::try_from(secs / 3_600).unwrap_or(u32::MAX)
+            });
+        let temp_milli = if self.temp_samples > 0 {
+            i32::try_from(self.temp_milli_sum / self.temp_samples as i64).ok()
+        } else {
+            None
+        };
+        Features {
+            days_since_first: u32::try_from((today - self.first_day).max(0)).unwrap_or(u32::MAX),
+            recent7,
+            recent1,
+            total: self.total,
+            multibit: self.multibit,
+            dominant_dir,
+            repeat_share_pct,
+            hot_pages: self.hot_pages,
+            mean_interarrival_h,
+            temp_milli,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uc_cluster::NodeId;
+    use uc_simclock::SimTime;
+
+    fn fault(t: i64, vaddr: u64, temp: Option<f32>) -> Fault {
+        Fault {
+            node: NodeId(1),
+            time: SimTime::from_secs(t),
+            vaddr,
+            expected: 0xffff_ffff,
+            actual: 0xffff_fffe,
+            temp,
+            raw_logs: 1,
+        }
+    }
+
+    #[test]
+    fn state_bins_cover_the_declared_range_exactly() {
+        let mut seen = [false; STATE_BINS];
+        for recent7 in [0u32, 1, 2, 5, 20] {
+            for (repeat_pct, hot) in [(0u8, 0u32), (20, 1), (80, 3)] {
+                for multibit in [0u64, 2] {
+                    for temp in [None, Some(20_000), Some(55_000)] {
+                        let f = Features {
+                            days_since_first: 3,
+                            recent7,
+                            recent1: 0,
+                            total: 10,
+                            multibit,
+                            dominant_dir: 0,
+                            repeat_share_pct: repeat_pct,
+                            hot_pages: hot,
+                            mean_interarrival_h: 4,
+                            temp_milli: temp,
+                        };
+                        let bin = f.state_bin();
+                        assert!(bin < STATE_BINS);
+                        seen[bin] = true;
+                    }
+                }
+            }
+        }
+        assert_eq!(seen.iter().filter(|&&s| s).count(), STATE_BINS);
+    }
+
+    #[test]
+    fn features_see_strictly_past_days_only() {
+        let mut h = NodeHistory::new(10);
+        let day10: Vec<Fault> = (0..3)
+            .map(|k| fault(10 * 86_400 + k, 0x5000, None))
+            .collect();
+        let refs: Vec<&Fault> = day10.iter().collect();
+        h.absorb_day(10, &refs);
+        // Deciding on day 10 again (hypothetically) must not see day 10.
+        assert_eq!(h.features(10).recent7, 0);
+        // Day 11 sees them as yesterday.
+        let f = h.features(11);
+        assert_eq!(f.recent7, 3);
+        assert_eq!(f.recent1, 3);
+        assert_eq!(f.days_since_first, 1);
+        // Day 17 still sees them (window edge: today-7 = 10), day 18 does not.
+        assert_eq!(h.features(17).recent7, 3);
+        assert_eq!(h.features(18).recent7, 0);
+    }
+
+    #[test]
+    fn hot_pages_need_two_faults_and_hot_faults_is_clairvoyant_free() {
+        let mut h = NodeHistory::new(0);
+        let first = fault(100, 0x5000, None);
+        let refs = vec![&first];
+        // Before any absorption the page is cold.
+        assert_eq!(h.hot_faults(&refs), 0);
+        h.absorb_day(0, &refs);
+        assert_eq!(h.features(1).hot_pages, 0);
+        let second = fault(200, 0x5001, None); // same 4 KiB page
+        h.absorb_day(0, &[&second]);
+        assert_eq!(h.features(1).hot_pages, 1);
+        // Now a third fault on that page counts as hot coverage.
+        let third = fault(300, 0x5abc, None);
+        assert_eq!(h.hot_faults(&[&third]), 1);
+        // A fault on a different page does not.
+        let other = fault(300, 0x9000, None);
+        assert_eq!(h.hot_faults(&[&other]), 0);
+        assert_eq!(h.features(1).repeat_share_pct, 50);
+    }
+
+    #[test]
+    fn temperature_mean_is_integer_and_order_free() {
+        let mut h = NodeHistory::new(0);
+        let a = fault(0, 0x1000, Some(35.5));
+        let b = fault(10, 0x2000, Some(44.5));
+        h.absorb_day(0, &[&a, &b]);
+        assert_eq!(h.features(1).temp_milli, Some(40_000));
+        let f = h.features(1);
+        assert_eq!(f.state_bin(), f.state_bin());
+    }
+}

@@ -1,0 +1,195 @@
+//! The [`Policy`] trait and its five implementations: three static
+//! baselines, the learning bandit, and the clairvoyant oracle.
+//!
+//! A policy sees one [`Decision`] per managed node per day and returns a
+//! [`MitigationAction`] — a one-day lease executed by the cost surface
+//! in `uc_resilience::actions`. Only the oracle may read the decision's
+//! clairvoyant fields (`faults_today`, `faults_on_hot_pages`); every
+//! other policy must decide from `features` alone, which encode strictly
+//! past history. Because actions are day-leases — no decision changes
+//! any later day's faults or features — the oracle's per-day greedy
+//! argmin is a true global optimum, which is what lets the test suite
+//! assert `oracle ≤ every policy` over arbitrary fault streams.
+
+use uc_resilience::{best_action, CostModel, MitigationAction};
+
+use crate::bandit::Bandit;
+use crate::features::Features;
+
+/// One (node, day) decision point.
+#[derive(Clone, Copy, Debug)]
+pub struct Decision {
+    /// Simulated day index.
+    pub day: i64,
+    /// Node id.
+    pub node: u32,
+    /// Strictly-past feature vector.
+    pub features: Features,
+    /// `features.state_bin()`, precomputed once per decision.
+    pub state: usize,
+    /// Whether this day is in the training window (bandit may explore
+    /// and learn) or the evaluation window (frozen).
+    pub training: bool,
+    /// Clairvoyant: faults that will land on this node today.
+    /// **Oracle-only** — learning policies must not read this.
+    pub faults_today: u64,
+    /// Clairvoyant: how many of today's faults hit already-hot pages.
+    /// **Oracle-only.**
+    pub faults_on_hot_pages: u64,
+}
+
+/// A mitigation policy: a (possibly stateful) map from decision points
+/// to day-lease actions.
+pub trait Policy {
+    fn name(&self) -> &'static str;
+    fn decide(&mut self, d: &Decision) -> MitigationAction;
+    /// Feedback after the day resolves: the realized cost of the chosen
+    /// lease. Only learning policies care.
+    fn learn(&mut self, d: &Decision, action: MitigationAction, cost_mnh: u64) {
+        let _ = (d, action, cost_mnh);
+    }
+}
+
+/// Baseline: never mitigate anything.
+pub struct Never;
+
+impl Policy for Never {
+    fn name(&self) -> &'static str {
+        "never"
+    }
+    fn decide(&mut self, _d: &Decision) -> MitigationAction {
+        MitigationAction::Observe
+    }
+}
+
+/// Baseline: checkpoint every managed node every day.
+pub struct AlwaysCheckpoint;
+
+impl Policy for AlwaysCheckpoint {
+    fn name(&self) -> &'static str {
+        "always-checkpoint"
+    }
+    fn decide(&mut self, _d: &Decision) -> MitigationAction {
+        MitigationAction::CheckpointNow
+    }
+}
+
+/// Baseline: quarantine a node whose trailing-week fault count reaches
+/// a fixed threshold, otherwise observe.
+pub struct ThresholdOnCount {
+    pub threshold: u32,
+}
+
+impl Policy for ThresholdOnCount {
+    fn name(&self) -> &'static str {
+        "threshold"
+    }
+    fn decide(&mut self, d: &Decision) -> MitigationAction {
+        if d.features.recent7 >= self.threshold {
+            MitigationAction::QuarantineNode
+        } else {
+            MitigationAction::Observe
+        }
+    }
+}
+
+/// The learning policy: tabular epsilon-greedy over
+/// [`Features::state_bin`](crate::features::Features::state_bin) states.
+pub struct BanditPolicy {
+    bandit: Bandit,
+}
+
+impl BanditPolicy {
+    pub fn new(seed: u64) -> BanditPolicy {
+        BanditPolicy {
+            bandit: Bandit::new(seed),
+        }
+    }
+}
+
+impl Policy for BanditPolicy {
+    fn name(&self) -> &'static str {
+        "bandit"
+    }
+    fn decide(&mut self, d: &Decision) -> MitigationAction {
+        self.bandit.choose(d.state, d.training)
+    }
+    fn learn(&mut self, d: &Decision, action: MitigationAction, cost_mnh: u64) {
+        if d.training {
+            self.bandit.learn(d.state, action, cost_mnh);
+        }
+    }
+}
+
+/// Post-hoc clairvoyant: sees today's faults before choosing, picks the
+/// per-day cost argmin. Under day-lease semantics this lower-bounds
+/// every realizable policy's cost.
+pub struct Oracle {
+    pub cost: CostModel,
+}
+
+impl Policy for Oracle {
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+    fn decide(&mut self, d: &Decision) -> MitigationAction {
+        best_action(&self.cost, d.faults_today, d.faults_on_hot_pages).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::Features;
+
+    fn decision(recent7: u32, today: u64, hot: u64) -> Decision {
+        Decision {
+            day: 40,
+            node: 7,
+            features: Features {
+                days_since_first: 5,
+                recent7,
+                recent1: 0,
+                total: u64::from(recent7),
+                multibit: 0,
+                dominant_dir: 0,
+                repeat_share_pct: 0,
+                hot_pages: 0,
+                mean_interarrival_h: u32::MAX,
+                temp_milli: None,
+            },
+            state: 0,
+            training: false,
+            faults_today: today,
+            faults_on_hot_pages: hot,
+        }
+    }
+
+    #[test]
+    fn static_baselines_are_static() {
+        let d = decision(2, 9, 3);
+        assert_eq!(Never.decide(&d), MitigationAction::Observe);
+        assert_eq!(AlwaysCheckpoint.decide(&d), MitigationAction::CheckpointNow);
+        let mut thr = ThresholdOnCount { threshold: 3 };
+        assert_eq!(thr.decide(&decision(2, 0, 0)), MitigationAction::Observe);
+        assert_eq!(
+            thr.decide(&decision(3, 0, 0)),
+            MitigationAction::QuarantineNode
+        );
+    }
+
+    #[test]
+    fn oracle_matches_best_action_on_quiet_and_loud_days() {
+        let mut o = Oracle {
+            cost: CostModel::default(),
+        };
+        // Quiet day: observing is free, everything else costs.
+        assert_eq!(o.decide(&decision(0, 0, 0)), MitigationAction::Observe);
+        // Loud day on hot pages: retire covers all faults at trivial cost.
+        assert_eq!(o.decide(&decision(0, 12, 12)), MitigationAction::RetireRow);
+        let cost = CostModel::default();
+        let d = decision(0, 5, 1);
+        let (want, _) = best_action(&cost, d.faults_today, d.faults_on_hot_pages);
+        assert_eq!(o.decide(&d), want);
+    }
+}

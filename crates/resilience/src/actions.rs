@@ -1,0 +1,284 @@
+//! The mitigation action space and its cost surfaces — the *environment*
+//! the online policy engine (`crates/policy`) acts against.
+//!
+//! Each simulated day, a policy picks one [`MitigationAction`] per managed
+//! node. The action is a **day lease**: it shapes what happens to that
+//! node's faults *today* and expires at midnight. Day leases are what make
+//! policies comparable — per-(node, day) outcomes are independent of every
+//! earlier decision, so a clairvoyant per-day greedy choice
+//! ([`best_action`]) is a true global lower bound on total cost, not just
+//! a heuristic (see DESIGN.md §13.3 for the argument).
+//!
+//! Costs are integer **milli-node-hours** (mNh): every surface is exact
+//! `u64` arithmetic, so replay totals are byte-deterministic at any thread
+//! count and admit exact cross-policy comparisons — no float ordering
+//! hazards, ever. The default magnitudes are derived from the machinery
+//! already in this crate:
+//!
+//! - a *miss* (an unmitigated fault killing the running job) loses half a
+//!   node-day of work, the scale `projection::checkpoint waste` charges a
+//!   fleet per uncorrected error;
+//! - `CheckpointNow` is ~6 minutes of I/O ([`crate::checkpoint`]'s
+//!   commit-cost scale) and softens each of today's faults to bounded
+//!   rework instead of a full miss;
+//! - `QuarantineNode` idles the node for the day — exactly one node-day
+//!   of capacity, the unit [`crate::quarantine`] accounts in
+//!   `node_days_quarantined`;
+//! - `RetireRow` is a page-table remap (near free) but only absorbs
+//!   faults on pages already known hot, the [`crate::retirement`] nuance
+//!   ("would not be effective in all cases");
+//! - `MigrateJob` drains the job to a healthy node (~2 node-hours, the
+//!   `placement::lost_node_hours` scale) and downgrades the node's
+//!   remaining faults to residual logging noise.
+
+/// One day-lease mitigation decision for one node.
+///
+/// Discriminants are stable: they index cost tables and CSV columns, and
+/// the bandit's value store is keyed by them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum MitigationAction {
+    /// Do nothing; every fault today is a full miss.
+    Observe = 0,
+    /// Take a checkpoint now; today's faults cost bounded rework.
+    CheckpointNow = 1,
+    /// Idle the node for the day; all of today's faults are absorbed.
+    QuarantineNode = 2,
+    /// Retire the node's known-hot pages; only repeats on those pages
+    /// are absorbed, everything else is still a full miss.
+    RetireRow = 3,
+    /// Drain the job to a healthy node; faults degrade to residual noise.
+    MigrateJob = 4,
+}
+
+impl MitigationAction {
+    /// Every action, in discriminant order. Tie-breaks in
+    /// [`best_action`] and the bandit resolve toward the earlier entry,
+    /// so this order is part of the determinism contract.
+    pub const ALL: [MitigationAction; 5] = [
+        MitigationAction::Observe,
+        MitigationAction::CheckpointNow,
+        MitigationAction::QuarantineNode,
+        MitigationAction::RetireRow,
+        MitigationAction::MigrateJob,
+    ];
+
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    pub const fn label(self) -> &'static str {
+        match self {
+            MitigationAction::Observe => "observe",
+            MitigationAction::CheckpointNow => "checkpoint",
+            MitigationAction::QuarantineNode => "quarantine",
+            MitigationAction::RetireRow => "retire",
+            MitigationAction::MigrateJob => "migrate",
+        }
+    }
+}
+
+/// Per-action cost surfaces in integer milli-node-hours (1000 mNh = one
+/// node-hour). See the module docs for where each magnitude comes from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CostModel {
+    /// An unmitigated fault: lost work back to the last checkpoint
+    /// (half a node-day).
+    pub miss_mnh: u64,
+    /// A fault on a freshly checkpointed node: bounded rework.
+    pub soft_miss_mnh: u64,
+    /// A fault on a drained node: logging/scrub overhead only.
+    pub residual_mnh: u64,
+    /// Taking one checkpoint (~6 min of I/O).
+    pub checkpoint_mnh: u64,
+    /// One node-day of idled capacity.
+    pub quarantine_mnh: u64,
+    /// Draining and restarting the job elsewhere (~2 node-hours).
+    pub migrate_mnh: u64,
+    /// Retiring already-hot pages: a page-table remap.
+    pub retire_mnh: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            miss_mnh: 12_000,
+            soft_miss_mnh: 1_000,
+            residual_mnh: 200,
+            checkpoint_mnh: 100,
+            quarantine_mnh: 24_000,
+            migrate_mnh: 2_000,
+            retire_mnh: 50,
+        }
+    }
+}
+
+/// What one (node, day, action) resolved to once the day's faults landed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DayOutcome {
+    /// Total charge for the day in milli-node-hours: the action's fixed
+    /// cost plus per-fault penalties.
+    pub cost_mnh: u64,
+    /// Faults whose damage the action absorbed.
+    pub mitigated: u64,
+    /// Faults that still cost a full miss.
+    pub missed: u64,
+}
+
+/// Resolve one day lease: `faults_today` faults landed on the node, of
+/// which `faults_on_hot_pages` hit pages already known hot (eligible for
+/// retirement). Pure integer arithmetic; conservation
+/// `mitigated + missed == faults_today` holds for every action.
+pub fn day_cost(
+    m: &CostModel,
+    action: MitigationAction,
+    faults_today: u64,
+    faults_on_hot_pages: u64,
+) -> DayOutcome {
+    debug_assert!(faults_on_hot_pages <= faults_today);
+    let n = faults_today;
+    let hot = faults_on_hot_pages.min(n);
+    match action {
+        MitigationAction::Observe => DayOutcome {
+            cost_mnh: n.saturating_mul(m.miss_mnh),
+            mitigated: 0,
+            missed: n,
+        },
+        MitigationAction::CheckpointNow => DayOutcome {
+            cost_mnh: m
+                .checkpoint_mnh
+                .saturating_add(n.saturating_mul(m.soft_miss_mnh)),
+            mitigated: n,
+            missed: 0,
+        },
+        MitigationAction::QuarantineNode => DayOutcome {
+            cost_mnh: m.quarantine_mnh,
+            mitigated: n,
+            missed: 0,
+        },
+        MitigationAction::RetireRow => DayOutcome {
+            cost_mnh: m
+                .retire_mnh
+                .saturating_add((n - hot).saturating_mul(m.miss_mnh)),
+            mitigated: hot,
+            missed: n - hot,
+        },
+        MitigationAction::MigrateJob => DayOutcome {
+            cost_mnh: m
+                .migrate_mnh
+                .saturating_add(n.saturating_mul(m.residual_mnh)),
+            mitigated: n,
+            missed: 0,
+        },
+    }
+}
+
+/// The clairvoyant per-day optimum: the cheapest action for a (node, day)
+/// whose fault count and hot-page split are already known. Because
+/// actions are day leases (outcomes independent across days), summing
+/// this choice over every (node, day) is the global cost minimum — the
+/// oracle policy's decision rule. Ties resolve to the earliest action in
+/// [`MitigationAction::ALL`].
+pub fn best_action(
+    m: &CostModel,
+    faults_today: u64,
+    faults_on_hot_pages: u64,
+) -> (MitigationAction, DayOutcome) {
+    let mut best = (
+        MitigationAction::Observe,
+        day_cost(
+            m,
+            MitigationAction::Observe,
+            faults_today,
+            faults_on_hot_pages,
+        ),
+    );
+    for action in &MitigationAction::ALL[1..] {
+        let outcome = day_cost(m, *action, faults_today, faults_on_hot_pages);
+        if outcome.cost_mnh < best.1.cost_mnh {
+            best = (*action, outcome);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conservation_for_every_action() {
+        let m = CostModel::default();
+        for n in [0u64, 1, 3, 12, 500] {
+            for hot in [0u64, 1, n / 2, n] {
+                let hot = hot.min(n);
+                for action in MitigationAction::ALL {
+                    let o = day_cost(&m, action, n, hot);
+                    assert_eq!(o.mitigated + o.missed, n, "{action:?} n={n} hot={hot}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quiet_day_is_free_only_under_observe() {
+        let m = CostModel::default();
+        assert_eq!(day_cost(&m, MitigationAction::Observe, 0, 0).cost_mnh, 0);
+        for action in &MitigationAction::ALL[1..] {
+            assert!(day_cost(&m, *action, 0, 0).cost_mnh > 0, "{action:?}");
+        }
+        let (best, o) = best_action(&m, 0, 0);
+        assert_eq!(best, MitigationAction::Observe);
+        assert_eq!(o.cost_mnh, 0);
+    }
+
+    #[test]
+    fn weak_bit_day_retires_and_flood_day_migrates() {
+        let m = CostModel::default();
+        // A weak bit repeating 12x on one known-hot page: retirement is a
+        // near-free remap and absorbs everything.
+        let (a, o) = best_action(&m, 12, 12);
+        assert_eq!(a, MitigationAction::RetireRow);
+        assert_eq!(o.missed, 0);
+        assert_eq!(o.cost_mnh, m.retire_mnh);
+        // 12 scattered faults (no hot pages): migration beats a day of
+        // quarantine and 12 full misses.
+        let (a, o) = best_action(&m, 12, 0);
+        assert_eq!(a, MitigationAction::MigrateJob);
+        assert!(o.cost_mnh < m.quarantine_mnh);
+        assert!(o.cost_mnh < 12 * m.miss_mnh);
+    }
+
+    #[test]
+    fn best_action_matches_exhaustive_min() {
+        let m = CostModel::default();
+        for n in 0..40u64 {
+            for hot in 0..=n {
+                let (_, best) = best_action(&m, n, hot);
+                let brute = MitigationAction::ALL
+                    .iter()
+                    .map(|&a| day_cost(&m, a, n, hot).cost_mnh)
+                    .min()
+                    .unwrap();
+                assert_eq!(best.cost_mnh, brute, "n={n} hot={hot}");
+            }
+        }
+    }
+
+    #[test]
+    fn saturating_never_overflows() {
+        let m = CostModel {
+            miss_mnh: u64::MAX,
+            soft_miss_mnh: u64::MAX,
+            residual_mnh: u64::MAX,
+            checkpoint_mnh: u64::MAX,
+            quarantine_mnh: u64::MAX,
+            migrate_mnh: u64::MAX,
+            retire_mnh: u64::MAX,
+        };
+        for action in MitigationAction::ALL {
+            let o = day_cost(&m, action, u64::MAX, 0);
+            assert_eq!(o.mitigated + o.missed, u64::MAX);
+        }
+    }
+}

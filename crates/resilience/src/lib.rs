@@ -28,8 +28,12 @@
 //!   debug-jobs-only policies compared by killed job count;
 //! - [`combined`]: page retirement and quarantine composed — retirement
 //!   absorbs the weak-bit repeats cheaply, quarantine handles what
-//!   retirement cannot (the paper's "would not be effective in all cases").
+//!   retirement cannot (the paper's "would not be effective in all cases");
+//! - [`actions`]: the day-lease mitigation action space and integer cost
+//!   surfaces the online policy engine (`crates/policy`, `uc policy`)
+//!   executes against.
 
+pub mod actions;
 pub mod checkpoint;
 pub mod combined;
 pub mod ecc_machine;
@@ -39,6 +43,7 @@ pub mod quarantine;
 pub mod retirement;
 pub mod scrubbing;
 
+pub use actions::{best_action, day_cost, CostModel, DayOutcome, MitigationAction};
 pub use checkpoint::{daly_interval, waste_fraction, young_interval};
 pub use ecc_machine::{compare_protections, protected_outcome, Protection};
 pub use placement::{simulate_placement, Policy};

@@ -69,12 +69,43 @@ pub struct QuarantineSim {
 }
 
 impl QuarantineSim {
+    /// The zeroed outcome for degenerate inputs: an empty fault set (or
+    /// one fully excluded) has nothing to replay, and a zero-length
+    /// observation window has no rates. Counters, MTBF, and availability
+    /// all come back zero — callers never need to special-case before
+    /// rendering or dividing.
+    fn zeroed(&self, cfg: &QuarantineConfig) -> QuarantineOutcome {
+        QuarantineOutcome {
+            quarantine_days: cfg.quarantine_days,
+            surviving_faults: 0,
+            prevented_faults: 0,
+            node_days_quarantined: 0,
+            quarantine_entries: 0,
+            // No failures in a positive window is infinite MTBF (the
+            // `mtbf_hours` convention); a degenerate window has no rate
+            // at all, which renders as 0 rather than inf or NaN.
+            system_mtbf_h: if self.observed_hours > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            },
+            availability_loss: 0.0,
+        }
+    }
+
     /// Replay `faults` (must be sorted by time) under `cfg`.
     pub fn run(&self, faults: &[Fault], cfg: &QuarantineConfig) -> QuarantineOutcome {
         debug_assert!(
             faults.windows(2).all(|w| w[0].time <= w[1].time),
             "faults must be time-sorted"
         );
+        // Empty-fault-set edge case: return the zeroed outcome up front
+        // instead of an infinite-MTBF surprise from the loop falling
+        // through (single-day campaigns with `observed_hours == 0` used
+        // to report `mtbf = inf` here, and NaN-shaped availability).
+        if faults.iter().all(|f| self.exclude.contains(&f.node)) {
+            return self.zeroed(cfg);
+        }
         let mut outcome = QuarantineOutcome {
             quarantine_days: cfg.quarantine_days,
             surviving_faults: 0,
@@ -116,13 +147,22 @@ impl QuarantineSim {
                 outcome.node_days_quarantined += u64::from(cfg.quarantine_days);
             }
         }
-        outcome.system_mtbf_h = mtbf_hours(self.observed_hours, outcome.surviving_faults);
+        // Single-day-campaign edge case: with `observed_hours == 0` the
+        // rates are undefined — report them zeroed rather than letting
+        // `mtbf_hours(0, n) == 0 / n` masquerade as a measurement, or a
+        // 0/0 availability turn NaN.
         let total_node_days = f64::from(self.fleet_nodes) * self.observed_hours / 24.0;
-        outcome.availability_loss = if total_node_days > 0.0 {
-            outcome.node_days_quarantined as f64 / total_node_days
+        if total_node_days > 0.0 {
+            outcome.system_mtbf_h = mtbf_hours(self.observed_hours, outcome.surviving_faults);
+            // A quarantine stay may extend past the end of a short
+            // observation window; clamp so the reported loss is a true
+            // fraction of observed capacity, never > 100%.
+            outcome.availability_loss =
+                (outcome.node_days_quarantined as f64 / total_node_days).min(1.0);
         } else {
-            0.0
-        };
+            outcome.system_mtbf_h = 0.0;
+            outcome.availability_loss = 0.0;
+        }
         outcome
     }
 
@@ -252,6 +292,79 @@ mod tests {
         faults.sort_by_key(|f| f.time);
         let out = sim().run(&faults, &QuarantineConfig::with_days(10));
         assert!(out.quarantine_entries >= 2, "both nodes trigger");
+    }
+
+    /// Regression: an empty fault set must come back fully zeroed (with
+    /// the infinite-MTBF "no failures observed" convention), not depend
+    /// on the replay loop happening to fall through.
+    #[test]
+    fn empty_fault_set_returns_zeroed_outcome() {
+        let out = sim().run(&[], &QuarantineConfig::with_days(30));
+        assert_eq!(out.surviving_faults, 0);
+        assert_eq!(out.prevented_faults, 0);
+        assert_eq!(out.node_days_quarantined, 0);
+        assert_eq!(out.quarantine_entries, 0);
+        assert_eq!(out.availability_loss, 0.0);
+        assert!(out.system_mtbf_h.is_infinite());
+    }
+
+    /// Regression: a stream whose every fault is excluded is the same
+    /// empty-set edge case.
+    #[test]
+    fn fully_excluded_stream_returns_zeroed_outcome() {
+        let faults = weak_stream(7, 10);
+        let mut s = sim();
+        s.exclude = vec![NodeId(7)];
+        let out = s.run(&faults, &QuarantineConfig::with_days(30));
+        assert_eq!(out.surviving_faults, 0);
+        assert_eq!(out.node_days_quarantined, 0);
+        assert_eq!(out.availability_loss, 0.0);
+        assert!(out.system_mtbf_h.is_infinite());
+    }
+
+    /// Regression: a single-day campaign (observation span rounds to
+    /// zero hours) has no rates — MTBF and availability must be zeroed,
+    /// not `0 / n == 0` masquerading as infinite failure rate or a 0/0
+    /// NaN. The counters still replay.
+    #[test]
+    fn single_day_campaign_zeroes_rates_not_counters() {
+        let faults = weak_stream(1, 1); // 12 faults, all inside one day
+        let s = QuarantineSim {
+            observed_hours: 0.0,
+            fleet_nodes: 945,
+            exclude: vec![],
+        };
+        let out = s.run(&faults, &QuarantineConfig::with_days(30));
+        assert!(out.surviving_faults > 0);
+        assert_eq!(
+            out.surviving_faults + out.prevented_faults,
+            12,
+            "conservation still holds"
+        );
+        assert_eq!(out.system_mtbf_h, 0.0);
+        assert_eq!(out.availability_loss, 0.0);
+        assert!(!out.system_mtbf_h.is_nan());
+        assert!(!out.availability_loss.is_nan());
+        // Empty + degenerate window: everything zero, including MTBF.
+        let empty = s.run(&[], &QuarantineConfig::with_days(30));
+        assert_eq!(empty.system_mtbf_h, 0.0);
+        assert_eq!(empty.availability_loss, 0.0);
+    }
+
+    /// Regression: a quarantine stay extending past a short observation
+    /// window must not report more than 100% availability loss.
+    #[test]
+    fn availability_loss_is_clamped_to_observation_window() {
+        let faults = weak_stream(1, 1);
+        let s = QuarantineSim {
+            observed_hours: 24.0, // one observed day...
+            fleet_nodes: 4,       // ...of a tiny fleet: 4 node-days total
+            exclude: vec![],
+        };
+        // ...but a 30-day quarantine: naively 30/4 = 750% loss.
+        let out = s.run(&faults, &QuarantineConfig::with_days(30));
+        assert!(out.quarantine_entries >= 1);
+        assert!(out.availability_loss <= 1.0, "{}", out.availability_loss);
     }
 
     #[test]

@@ -50,6 +50,13 @@ pub struct RetirementOutcome {
 
 /// Replay `faults` (time-sorted) under the retirement policy.
 pub fn simulate_retirement(faults: &[Fault], cfg: &RetirementConfig) -> RetirementOutcome {
+    // Empty-fault-set edge case: the zeroed outcome is the explicit
+    // contract (same as quarantine's), not an accident of the loop body
+    // never running — callers (the policy engine replays single-day and
+    // empty windows constantly) must not need to special-case.
+    if faults.is_empty() {
+        return RetirementOutcome::default();
+    }
     let mut out = RetirementOutcome::default();
     // (node, page) -> fault count; retired set; per-node retired count.
     let mut counts: HashMap<(u32, u64), u32> = HashMap::new();
@@ -157,6 +164,30 @@ mod tests {
         let out = simulate_retirement(&faults, &cfg);
         assert_eq!(out.pages_retired, 2);
         assert_eq!(out.prevented_faults, 2);
+    }
+
+    /// Regression: an empty fault set returns the all-zero outcome by
+    /// explicit contract.
+    #[test]
+    fn empty_fault_set_returns_zeroed_outcome() {
+        let out = simulate_retirement(&[], &RetirementConfig::default());
+        assert_eq!(out, RetirementOutcome::default());
+        assert_eq!(out.surviving_faults, 0);
+        assert_eq!(out.prevented_faults, 0);
+        assert_eq!(out.pages_retired, 0);
+        assert_eq!(out.budget_exhausted_nodes, 0);
+    }
+
+    /// Regression: a single-day campaign (every fault at one instant) is
+    /// just a short stream — counters replay, conservation holds, and
+    /// nothing degenerates.
+    #[test]
+    fn single_day_campaign_replays_cleanly() {
+        let faults: Vec<Fault> = (0..10).map(|_| fault(1, 0, 0x5000)).collect();
+        let out = simulate_retirement(&faults, &RetirementConfig::default());
+        assert_eq!(out.surviving_faults + out.prevented_faults, 10);
+        assert_eq!(out.pages_retired, 1);
+        assert_eq!(out.surviving_faults, 2);
     }
 
     #[test]

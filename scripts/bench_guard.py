@@ -32,6 +32,7 @@ HIGHER_IS_BETTER = (
     "scan_packed_rows_per_sec",
     "shard_fanout_rows_per_sec",
     "catchup_mb_per_sec",
+    "policy_days_per_sec",
 )
 LOWER_IS_BETTER = (
     "text_path_e2e_seconds",

@@ -58,11 +58,20 @@
 //! - `uc scan [--mb N] [--iters N]` — scan real host memory (memtester
 //!   mode; see also the `memscan_host` example for fault injection);
 //! - `uc report [--seed N] [--blades N] [--csv <dir>]` — run a campaign in memory and
-//!   print every figure and table.
+//!   print every figure and table;
+//! - `uc policy <db|livedir> [--policy X] [--seed N] [--train-days D]` —
+//!   replay a sealed campaign one simulated day at a time through the
+//!   online mitigation policy engine and print the cost-vs-coverage
+//!   table (static baselines, a seeded tabular bandit, and the
+//!   clairvoyant oracle lower bound; see DESIGN.md §13). `--csv <file>`
+//!   exports the table; `--selftest x` runs the end-to-end determinism
+//!   and bound check instead.
 //!
 //! Argument handling is deliberately bare: flags are `--key value` pairs,
 //! validated per subcommand. Unknown subcommands or flags print usage to
-//! stderr and exit 2; runtime failures exit 1.
+//! stderr and exit 2; runtime failures exit 1. `uc help` (or `--help`)
+//! prints the usage table — generated from the same command table that
+//! drives dispatch, so the two cannot drift apart.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -214,30 +223,113 @@ impl Args {
     }
 }
 
-const USAGE: &str = "usage:\n  \
-     uc campaign --out <dir> [--db <file>] [--seed N] [--blades N] [--compact x] [--resume x] [--durable x]\n  \
-     uc campaign --db <file> [--seed N] [--blades N] [--resume x]\n  \
-     uc fsck <dir>\n  \
-     uc analyze <dir> [--threads N]\n  \
-     uc analyze --db <file> [--threads N]\n  \
-     uc build-db <logdir> <db> [--rows-per-block N] [--shard N] [--encoding v1|v2]\n  \
-     uc query <db> <expr...> [--timeout-ms N] [--explain x]\n  \
-     uc serve <db> [--addr host:port] [--workers N] [--queue N] [--timeout-ms N] [--selftest N]\n  \
-     uc serve <livedir> --ingest x [--ingest-addr host:port] [--addr host:port] [--selftest N] [--chaos-seed N]\n  \
-     uc serve <livedir> --ingest x --replica-of host:port [--auto-promote-ms N] [...]\n  \
-     uc serve --ingest x --selftest-repl x [--chaos-seed N]\n  \
-     uc promote <host:port>\n  \
-     uc scrub <livedir> [--dry-run x] [--rate-mb N] [--watch-ms N]\n  \
-     uc stream <addr> <logdir> [--batch N] [--max-attempts N] [--chaos-seed N] [--seal x]\n  \
-     uc scan [--mb N] [--iters N] [--pattern alternating|incrementing|checkerboard] [--parallel x]\n  \
-     uc report [--seed N] [--blades N] [--csv <dir>] [--threads N]\n  \
-     uc --version";
+/// One row per subcommand: the name `main` dispatches on, the usage
+/// line(s) `uc help` prints, and the handler. Dispatch and the usage
+/// table are generated from this single array, so a subcommand cannot
+/// exist in one and be missing from the other.
+struct Command {
+    name: &'static str,
+    usage: &'static [&'static str],
+    run: fn(&Args) -> ExitCode,
+}
+
+const COMMANDS: &[Command] = &[
+    Command {
+        name: "campaign",
+        usage: &[
+            "uc campaign --out <dir> [--db <file>] [--seed N] [--blades N] [--compact x] [--resume x] [--durable x]",
+            "uc campaign --db <file> [--seed N] [--blades N] [--resume x]",
+        ],
+        run: cmd_campaign,
+    },
+    Command {
+        name: "fsck",
+        usage: &["uc fsck <dir>"],
+        run: cmd_fsck,
+    },
+    Command {
+        name: "analyze",
+        usage: &[
+            "uc analyze <dir> [--threads N]",
+            "uc analyze --db <file> [--threads N]",
+        ],
+        run: cmd_analyze,
+    },
+    Command {
+        name: "build-db",
+        usage: &["uc build-db <logdir> <db> [--rows-per-block N] [--shard N] [--encoding v1|v2]"],
+        run: cmd_build_db,
+    },
+    Command {
+        name: "query",
+        usage: &["uc query <db> <expr...> [--timeout-ms N] [--explain x]"],
+        run: cmd_query,
+    },
+    Command {
+        name: "serve",
+        usage: &[
+            "uc serve <db> [--addr host:port] [--workers N] [--queue N] [--timeout-ms N] [--selftest N]",
+            "uc serve <livedir> --ingest x [--ingest-addr host:port] [--addr host:port] [--selftest N] [--chaos-seed N]",
+            "uc serve <livedir> --ingest x --replica-of host:port [--auto-promote-ms N] [...]",
+            "uc serve --ingest x --selftest-repl x [--chaos-seed N]",
+        ],
+        run: cmd_serve,
+    },
+    Command {
+        name: "stream",
+        usage: &["uc stream <addr> <logdir> [--batch N] [--max-attempts N] [--chaos-seed N] [--seal x]"],
+        run: cmd_stream,
+    },
+    Command {
+        name: "scrub",
+        usage: &["uc scrub <livedir> [--dry-run x] [--rate-mb N] [--watch-ms N]"],
+        run: cmd_scrub,
+    },
+    Command {
+        name: "promote",
+        usage: &["uc promote <host:port>"],
+        run: cmd_promote,
+    },
+    Command {
+        name: "policy",
+        usage: &[
+            "uc policy <db|livedir> [--policy never|always-checkpoint|threshold|bandit|oracle|all] [--seed N] [--train-days D] [--threshold N] [--csv <file>] [--threads N]",
+            "uc policy --selftest x [--seed N]",
+        ],
+        run: cmd_policy,
+    },
+    Command {
+        name: "scan",
+        usage: &["uc scan [--mb N] [--iters N] [--pattern alternating|incrementing|checkerboard] [--parallel x]"],
+        run: cmd_scan,
+    },
+    Command {
+        name: "report",
+        usage: &["uc report [--seed N] [--blades N] [--csv <dir>] [--threads N]"],
+        run: cmd_report,
+    },
+];
+
+/// The usage table, generated from [`COMMANDS`].
+fn usage_text() -> String {
+    let mut out = String::from("usage:\n");
+    for cmd in COMMANDS {
+        for line in cmd.usage {
+            out.push_str("  ");
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out.push_str("  uc help | uc --help\n");
+    out.push_str("  uc --version");
+    out
+}
 
 /// Usage errors (unknown subcommand, bad flag) exit 2 so scripts can
 /// tell "you called me wrong" from "the work failed" (exit 1).
 fn bad_usage(msg: &str) -> ExitCode {
     eprintln!("uc: {msg}");
-    eprintln!("{USAGE}");
+    eprintln!("{}", usage_text());
     ExitCode::from(2)
 }
 
@@ -1361,6 +1453,155 @@ fn cmd_scan(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Open a replay source for `uc policy`: a sealed `.ucfdb` file, a
+/// sharded root directory, or a live ingest directory (replayed from
+/// its current sealed generation).
+fn open_replay_engine(path: &std::path::Path) -> Result<uc_faultdb::Engine, String> {
+    if uc_faultdb::is_live_dir(path) {
+        let catalog = uc_faultdb::Catalog::load(path)
+            .ok_or_else(|| format!("{}: unreadable live catalog", path.display()))?;
+        let current = catalog.current.ok_or_else(|| {
+            format!(
+                "{}: live directory has no sealed generation yet (seal one first)",
+                path.display()
+            )
+        })?;
+        let gen = path.join(uc_faultdb::gen_file_name(current));
+        uc_faultdb::Engine::open_auto(&gen).map_err(|e| format!("{}: {e}", gen.display()))
+    } else {
+        uc_faultdb::Engine::open_auto(path).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+/// `uc policy <db|livedir>`: day-replay the stored fault stream through
+/// the mitigation policy engine and print the cost-vs-coverage table.
+fn cmd_policy(args: &Args) -> ExitCode {
+    use uc_policy::{render_csv, render_table, run_comparison, PolicyKind, ReplayConfig};
+
+    if let Err(e) = args.validate(
+        "policy",
+        &[
+            "policy",
+            "seed",
+            "train-days",
+            "threshold",
+            "csv",
+            "selftest",
+            "threads",
+        ],
+        0,
+        1,
+    ) {
+        return bad_usage(&e);
+    }
+    let seed = match args.get_u64_strict("seed", 0) {
+        Ok(n) => n,
+        Err(e) => return bad_usage(&e),
+    };
+    if args.has("selftest") {
+        if !args.positional.is_empty() {
+            return bad_usage("policy --selftest builds its own corpus and takes no database path");
+        }
+        return match unprotected_computing::policyrun::policy_selftest(seed) {
+            Ok(report) => {
+                println!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("policy selftest FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let Some(path) = args.positional.first() else {
+        return bad_usage("policy requires a database path (or --selftest x)");
+    };
+    let kinds: Vec<PolicyKind> = match args.get("policy") {
+        None | Some("all") => PolicyKind::ALL.to_vec(),
+        Some(name) => match PolicyKind::parse(name) {
+            Some(k) => vec![k],
+            None => {
+                return bad_usage(&format!(
+                    "--policy must be never|always-checkpoint|threshold|bandit|oracle|all, got {name:?}"
+                ))
+            }
+        },
+    };
+    let train_days = if args.has("train-days") {
+        match args.get_u64_strict("train-days", 0) {
+            Ok(n) => match i64::try_from(n) {
+                Ok(d) => Some(d),
+                Err(_) => return bad_usage(&format!("--train-days {n} is too large")),
+            },
+            Err(e) => return bad_usage(&e),
+        }
+    } else {
+        None
+    };
+    let threshold = match args.get_u32_strict("threshold", 3) {
+        Ok(n) if n >= 1 => n,
+        Ok(_) => return bad_usage("--threshold must be at least 1"),
+        Err(e) => return bad_usage(&e),
+    };
+
+    let path = PathBuf::from(path);
+    let db = match open_replay_engine(&path) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("policy: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let t0 = std::time::Instant::now();
+    let days = match db.collect_days() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("policy: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if days.is_empty() {
+        println!(
+            "policy: {} holds no faults; nothing to replay",
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    if let Some(td) = train_days {
+        // A training window that swallows the whole stream leaves no
+        // evaluation days — every total would be vacuously zero.
+        if td >= days.len() as i64 {
+            eprintln!(
+                "policy: --train-days {td} leaves no evaluation days (stream spans {} days)",
+                days.len()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    let cfg = ReplayConfig {
+        seed,
+        train_days,
+        threshold,
+        ..ReplayConfig::default()
+    };
+    let cmp = run_comparison(&days, &kinds, &cfg);
+    print!("{}", render_table(&cmp));
+    eprintln!(
+        "replayed {} days x {} policies in {:?}",
+        days.len(),
+        cmp.runs.len(),
+        t0.elapsed()
+    );
+    if let Some(csv_path) = args.get("csv") {
+        if let Err(e) = std::fs::write(csv_path, render_csv(&cmp)) {
+            eprintln!("policy: failed to write {csv_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote CSV to {csv_path}");
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_report(args: &Args) -> ExitCode {
     if let Err(e) = args.validate("report", &["seed", "blades", "csv", "threads"], 0, 0) {
         return bad_usage(&e);
@@ -1393,6 +1634,12 @@ fn main() -> ExitCode {
         println!("uc {}", env!("CARGO_PKG_VERSION"));
         return ExitCode::SUCCESS;
     }
+    if cmd == "help" || cmd == "--help" {
+        // Asked-for usage goes to stdout and exits 0, unlike the exit-2
+        // stderr copy a *wrong* invocation gets.
+        println!("{}", usage_text());
+        return ExitCode::SUCCESS;
+    }
     let args = Args::parse(rest);
     // `--threads N` caps every worker pool for the rest of the process
     // (same knob as the UC_THREADS environment variable, which it
@@ -1410,18 +1657,8 @@ fn main() -> ExitCode {
             Err(e) => return bad_usage(&e),
         }
     }
-    match cmd.as_str() {
-        "campaign" => cmd_campaign(&args),
-        "fsck" => cmd_fsck(&args),
-        "analyze" => cmd_analyze(&args),
-        "build-db" => cmd_build_db(&args),
-        "query" => cmd_query(&args),
-        "serve" => cmd_serve(&args),
-        "stream" => cmd_stream(&args),
-        "scrub" => cmd_scrub(&args),
-        "promote" => cmd_promote(&args),
-        "scan" => cmd_scan(&args),
-        "report" => cmd_report(&args),
-        other => bad_usage(&format!("unknown subcommand {other:?}")),
+    match COMMANDS.iter().find(|c| c.name == cmd.as_str()) {
+        Some(command) => (command.run)(&args),
+        None => bad_usage(&format!("unknown subcommand {cmd:?}")),
     }
 }

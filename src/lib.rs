@@ -20,7 +20,11 @@
 //!   per-figure analyses).
 //! - [`faultdb`]: the columnar fault database — binary store, query
 //!   engine, and line-protocol server (`uc build-db` / `query` / `serve`).
-//! - [`resilience`]: quarantine / page-retirement / checkpointing simulators.
+//! - [`resilience`]: quarantine / page-retirement / checkpointing simulators
+//!   plus the day-lease mitigation action cost surface.
+//! - [`policy`]: the online mitigation policy engine behind `uc policy` —
+//!   per-day feature extraction, static baselines, a seeded tabular
+//!   bandit, and the clairvoyant oracle lower bound.
 //! - [`core`]: campaign configuration, runner, and report generation.
 //!
 //! See `README.md` for a quickstart and `EXPERIMENTS.md` for the
@@ -37,6 +41,7 @@
 //! ```
 
 pub mod direct;
+pub mod policyrun;
 
 pub use uc_analysis as analysis;
 pub use uc_cluster as cluster;
@@ -46,6 +51,7 @@ pub use uc_faultlog as faultlog;
 pub use uc_faults as faults;
 pub use uc_memscan as memscan;
 pub use uc_parallel as parallel;
+pub use uc_policy as policy;
 pub use uc_resilience as resilience;
 pub use uc_sched as sched;
 pub use uc_simclock as simclock;

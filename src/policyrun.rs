@@ -1,0 +1,202 @@
+//! `uc policy --selftest`: the end-to-end determinism and bound check
+//! for the mitigation policy engine, runnable anywhere (CI included)
+//! without a pre-built campaign.
+//!
+//! The selftest builds a small synthetic fault corpus with distinct node
+//! personalities (a hot-page repeater, a bursty node, a quiet node),
+//! seals it into a temporary database, replays every policy through the
+//! real `Engine::collect_days` feed, and then asserts the contracts the
+//! subsystem advertises:
+//!
+//! 1. **Thread invariance** — the rendered comparison is byte-identical
+//!    under worker pools of 1, 2, and 8 threads.
+//! 2. **Seed determinism** — a second run at the same seed renders the
+//!    identical bytes.
+//! 3. **Oracle bound** — the clairvoyant oracle's evaluation cost is ≤
+//!    every policy's, and the bandit's is ≤ the worst static baseline's.
+//! 4. **Conservation** — every policy accounts for exactly the faults in
+//!    the evaluation window: mitigated + missed + unmanaged.
+
+use std::path::Path;
+
+use uc_faultdb::format::write_db;
+use uc_faultdb::{Engine, WriteOptions};
+use uc_faultlog::ingest::{recover_text, IngestStats};
+use uc_faultlog::store::ClusterLog;
+use uc_parallel::with_thread_limit;
+use uc_policy::{render_table, run_comparison, worst_static, Comparison, PolicyKind, ReplayConfig};
+
+/// Synthetic month-long corpus with three node personalities. Built as
+/// log text and pushed through the real recovery pipeline so the
+/// selftest exercises the same ingest path as a campaign.
+fn selftest_snapshot() -> uc_faultdb::Snapshot {
+    const DAY: i64 = 86_400;
+    let mut stats = IngestStats::default();
+    let mut logs = Vec::new();
+
+    // 01-01: hot-page repeater — one fault a day on the same page from
+    // day 2 on. Retire leases should dominate once the page turns hot.
+    let mut text = String::from("START t=0 node=01-01 alloc=3221225472 temp=30.0\n");
+    for d in 2i64..28 {
+        let t = d * DAY + 3_600;
+        text.push_str(&format!(
+            "ERROR t={t} node=01-01 vaddr=0x00005008 page=0x000005 \
+             expected=0xffffffff actual=0xfffffffe temp=45.0\n"
+        ));
+    }
+    text.push_str("END t=2600000 node=01-01 temp=31.0\n");
+    let rec = recover_text(&text);
+    stats.merge(&rec.stats);
+    logs.push(rec.log);
+
+    // 01-09: bursty — clusters of multi-page faults around days 8-10 and
+    // 20-22; checkpoint or quarantine territory, nothing to retire.
+    let mut text = String::from("START t=0 node=01-09 alloc=3221225472 temp=30.0\n");
+    for d in [8i64, 9, 10, 20, 21, 22] {
+        for k in 0i64..4 {
+            let t = d * DAY + 1_000 * (k + 1);
+            let vaddr = 0x10_000 + 0x2000 * (d * 4 + k) as u64;
+            text.push_str(&format!(
+                "ERROR t={t} node=01-09 vaddr=0x{vaddr:08x} page=0x{page:06x} \
+                 expected=0xffffffff actual=0x7fffffff temp=36.0\n",
+                page = vaddr >> 12
+            ));
+        }
+    }
+    text.push_str("END t=2600000 node=01-09 temp=31.0\n");
+    let rec = recover_text(&text);
+    stats.merge(&rec.stats);
+    logs.push(rec.log);
+
+    // 05-03: quiet — two isolated faults; observing should win.
+    let mut text = String::from("START t=0 node=05-03 alloc=3221225472 temp=30.0\n");
+    for (d, vaddr) in [(4i64, 0x40_000u64), (17, 0x90_000)] {
+        let t = d * DAY + 7_200;
+        text.push_str(&format!(
+            "ERROR t={t} node=05-03 vaddr=0x{vaddr:08x} page=0x{page:06x} \
+             expected=0xffffffff actual=0xfffffffc temp=31.0\n",
+            page = vaddr >> 12
+        ));
+    }
+    text.push_str("END t=2600000 node=05-03 temp=31.0\n");
+    let rec = recover_text(&text);
+    stats.merge(&rec.stats);
+    logs.push(rec.log);
+
+    uc_faultdb::Snapshot::from_cluster(&ClusterLog::new(logs), stats)
+}
+
+fn run_all(days: &[uc_faultdb::DayFaults], cfg: &ReplayConfig) -> Comparison {
+    run_comparison(days, &PolicyKind::ALL, cfg)
+}
+
+/// Run the full selftest; `Ok` carries the human-readable transcript
+/// (checks performed + the final table), `Err` a diagnostic.
+pub fn policy_selftest(seed: u64) -> Result<String, String> {
+    let dir = std::env::temp_dir().join(format!("uc-policy-selftest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("tempdir: {e}"))?;
+    let result = policy_selftest_in(&dir, seed);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn policy_selftest_in(dir: &Path, seed: u64) -> Result<String, String> {
+    let snap = selftest_snapshot();
+    let path = dir.join("selftest.ucfdb");
+    write_db(&snap, &path, &WriteOptions::default()).map_err(|e| format!("seal: {e}"))?;
+    let db = Engine::open_auto(&path).map_err(|e| format!("open: {e}"))?;
+    let days = db.collect_days().map_err(|e| format!("day stream: {e}"))?;
+    if days.is_empty() {
+        return Err("selftest corpus produced an empty day stream".into());
+    }
+    let total: usize = days.iter().map(|d| d.faults.len()).sum();
+    if total != snap.faults.len() {
+        return Err(format!(
+            "day stream dropped faults: {} streamed vs {} sealed",
+            total,
+            snap.faults.len()
+        ));
+    }
+    let cfg = ReplayConfig {
+        seed,
+        ..ReplayConfig::default()
+    };
+
+    // 1. Thread invariance: identical bytes at 1, 2, and 8 workers.
+    let t1 = with_thread_limit(1, || render_table(&run_all(&days, &cfg)));
+    let t2 = with_thread_limit(2, || render_table(&run_all(&days, &cfg)));
+    let t8 = with_thread_limit(8, || render_table(&run_all(&days, &cfg)));
+    if t1 != t2 || t1 != t8 {
+        return Err("comparison bytes differ across thread counts".into());
+    }
+
+    // 2. Seed determinism: a fresh rerun renders identically.
+    let cmp = run_all(&days, &cfg);
+    let rendered = render_table(&cmp);
+    if rendered != t1 {
+        return Err("rerun at the same seed rendered different bytes".into());
+    }
+
+    // 3. Oracle bound + bandit vs worst static.
+    let oracle = cmp.oracle().ok_or("comparison lost its oracle run")?;
+    for run in &cmp.runs {
+        if run.eval_cost_mnh < oracle.eval_cost_mnh {
+            return Err(format!(
+                "{} beat the oracle ({} < {} mNh) — the bound is broken",
+                run.kind.label(),
+                run.eval_cost_mnh,
+                oracle.eval_cost_mnh
+            ));
+        }
+    }
+    let bandit = cmp
+        .runs
+        .iter()
+        .find(|r| r.kind == PolicyKind::Bandit)
+        .ok_or("comparison lost its bandit run")?;
+    let worst = worst_static(&cmp).ok_or("comparison lost its static baselines")?;
+    if bandit.eval_cost_mnh > worst.eval_cost_mnh {
+        return Err(format!(
+            "bandit ({} mNh) cost more than the worst static baseline {} ({} mNh)",
+            bandit.eval_cost_mnh,
+            worst.kind.label(),
+            worst.eval_cost_mnh
+        ));
+    }
+
+    // 4. Conservation: every run accounts for exactly the eval faults.
+    for run in &cmp.runs {
+        if run.eval_faults() != cmp.eval_faults {
+            return Err(format!(
+                "{} accounted {} faults, eval window has {}",
+                run.kind.label(),
+                run.eval_faults(),
+                cmp.eval_faults
+            ));
+        }
+    }
+
+    Ok(format!(
+        "policy selftest: {} days, {} faults, seed {}\n\
+           thread invariance (1/2/8 workers): ok\n\
+           seed determinism (rerun): ok\n\
+           oracle lower bound + bandit <= worst static: ok\n\
+           fault conservation across all policies: ok\n\n{rendered}",
+        days.len(),
+        total,
+        seed
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selftest_passes_end_to_end() {
+        let report = policy_selftest(7).expect("selftest must pass");
+        assert!(report.contains("thread invariance"));
+        assert!(report.contains("oracle"));
+    }
+}

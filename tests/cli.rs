@@ -382,6 +382,195 @@ fn fsck_quarantines_torn_db_seal_tmps() {
     let _ = fs::remove_dir_all(&base);
 }
 
+/// `uc help` (and `--help`) print the full usage table to stdout and
+/// exit 0 — and the table must list every subcommand, because it is
+/// generated from the same table `main` dispatches on.
+#[test]
+fn help_lists_every_subcommand_and_exits_0() {
+    for invocation in [&["help"][..], &["--help"][..]] {
+        let out = uc(invocation);
+        assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+        let text = stdout(&out);
+        for cmd in [
+            "campaign", "fsck", "analyze", "build-db", "query", "serve", "stream", "scrub",
+            "promote", "policy", "scan", "report",
+        ] {
+            assert!(
+                text.contains(&format!("uc {cmd}")),
+                "help missing {cmd}: {text}"
+            );
+        }
+        assert!(stderr(&out).is_empty(), "{}", stderr(&out));
+    }
+}
+
+#[test]
+fn policy_usage_errors_exit_2() {
+    // No database path and no --selftest.
+    let out = uc(&["policy"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage:"), "{}", stderr(&out));
+
+    // Unknown policy name.
+    let out = uc(&["policy", "some.fdb", "--policy", "ouija"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--policy"), "{}", stderr(&out));
+
+    // Garbage numerics follow the strict-flag contract.
+    for (flag, value) in [
+        ("--seed", "banana"),
+        ("--train-days", "x"),
+        ("--threshold", "0"),
+    ] {
+        let out = uc(&["policy", "some.fdb", flag, value]);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{flag} {value}: {}",
+            stderr(&out)
+        );
+        assert!(stderr(&out).contains(flag), "{}", stderr(&out));
+    }
+
+    // Unknown flag.
+    let out = uc(&["policy", "some.fdb", "--frob", "x"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--frob"), "{}", stderr(&out));
+
+    // --selftest and a positional path are contradictory.
+    let out = uc(&["policy", "some.fdb", "--selftest", "x"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+/// Multi-day logs for the policy replay: one node faulting daily on the
+/// same page (retire bait), one quiet node.
+fn write_multiday_logs(dir: &PathBuf) {
+    fs::create_dir_all(dir).unwrap();
+    let mut text = String::from("START t=0 node=01-01 alloc=3221225472 temp=30.0\n");
+    for d in 1i64..12 {
+        text.push_str(&format!(
+            "ERROR t={t} node=01-01 vaddr=0x00005008 page=0x000005 \
+             expected=0xffffffff actual=0xfffffffe temp=41.0\n",
+            t = d * 86_400 + 300
+        ));
+    }
+    text.push_str("END t=1100000 node=01-01 temp=31.0\n");
+    fs::write(dir.join("node-01-01.log"), text).unwrap();
+
+    // Matching volume on a second node keeps both under the flood
+    // filter's 50% share so neither gets excluded from the snapshot.
+    let mut text = String::from("START t=0 node=01-02 alloc=3221225472 temp=30.0\n");
+    for d in 1i64..12 {
+        let vaddr = 0x41_000 + 0x2000 * d as u64;
+        text.push_str(&format!(
+            "ERROR t={t} node=01-02 vaddr=0x{vaddr:08x} page=0x{page:06x} \
+             expected=0xffffffff actual=0x7fffffff temp=32.0\n",
+            t = d * 86_400 + 900,
+            page = vaddr >> 12
+        ));
+    }
+    text.push_str("END t=1100000 node=01-02 temp=31.0\n");
+    fs::write(dir.join("node-01-02.log"), text).unwrap();
+}
+
+#[test]
+fn policy_replay_end_to_end_through_the_binary() {
+    let base = std::env::temp_dir().join(format!("uc-cli-policy-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&base);
+    let logs = base.join("logs");
+    write_multiday_logs(&logs);
+    let db = base.join("faults.fdb");
+    let built = uc(&["build-db", logs.to_str().unwrap(), db.to_str().unwrap()]);
+    assert_eq!(built.status.code(), Some(0), "{}", stderr(&built));
+    let db_s = db.to_str().unwrap();
+
+    // Full comparison: table lists every policy, reruns byte-identically,
+    // and the CSV export matches across runs too.
+    let csv1 = base.join("run1.csv");
+    let csv2 = base.join("run2.csv");
+    let run1 = uc(&[
+        "policy",
+        db_s,
+        "--seed",
+        "9",
+        "--csv",
+        csv1.to_str().unwrap(),
+    ]);
+    assert_eq!(run1.status.code(), Some(0), "{}", stderr(&run1));
+    let table = stdout(&run1);
+    for name in [
+        "never",
+        "always-checkpoint",
+        "threshold",
+        "bandit",
+        "oracle",
+    ] {
+        assert!(table.contains(name), "table missing {name}: {table}");
+    }
+    let run2 = uc(&[
+        "policy",
+        db_s,
+        "--seed",
+        "9",
+        "--csv",
+        csv2.to_str().unwrap(),
+    ]);
+    assert_eq!(stdout(&run1), stdout(&run2));
+    assert_eq!(
+        fs::read_to_string(&csv1).unwrap(),
+        fs::read_to_string(&csv2).unwrap()
+    );
+
+    // Thread count must not change a byte either.
+    let run_1t = uc(&["policy", db_s, "--seed", "9", "--threads", "1"]);
+    assert_eq!(stdout(&run1), stdout(&run_1t));
+
+    // A single policy still gets the oracle appended for regret.
+    let single = uc(&["policy", db_s, "--policy", "bandit"]);
+    assert_eq!(single.status.code(), Some(0), "{}", stderr(&single));
+    assert!(stdout(&single).contains("bandit"), "{}", stdout(&single));
+    assert!(stdout(&single).contains("oracle"), "{}", stdout(&single));
+
+    // A training window that swallows the whole stream is a runtime
+    // failure (exit 1), not a usage error.
+    let bad = uc(&["policy", db_s, "--train-days", "99999"]);
+    assert_eq!(bad.status.code(), Some(1), "{}", stderr(&bad));
+    assert!(stderr(&bad).contains("--train-days"), "{}", stderr(&bad));
+
+    // Nonexistent database: runtime failure.
+    let missing = uc(&["policy", base.join("nope.fdb").to_str().unwrap()]);
+    assert_eq!(missing.status.code(), Some(1));
+
+    let _ = fs::remove_dir_all(&base);
+}
+
+#[test]
+fn policy_on_faultless_db_says_so_and_exits_0() {
+    let base = std::env::temp_dir().join(format!("uc-cli-policy-empty-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&base);
+    let logs = base.join("logs");
+    fs::create_dir_all(&logs).unwrap();
+    // A healthy node that never faulted: the db seals with zero rows.
+    fs::write(
+        logs.join("node-01-01.log"),
+        "START t=0 node=01-01 alloc=3221225472 temp=30.0\nEND t=90000 node=01-01 temp=31.0\n",
+    )
+    .unwrap();
+    let db = base.join("faults.fdb");
+    let built = uc(&["build-db", logs.to_str().unwrap(), db.to_str().unwrap()]);
+    assert_eq!(built.status.code(), Some(0), "{}", stderr(&built));
+
+    let out = uc(&["policy", db.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("nothing to replay"),
+        "{}",
+        stdout(&out)
+    );
+
+    let _ = fs::remove_dir_all(&base);
+}
+
 #[test]
 fn serve_selftest_passes_through_the_binary() {
     let base = std::env::temp_dir().join(format!("uc-cli-serve-{}", std::process::id()));

@@ -1,0 +1,209 @@
+//! Day-stream contract: `Engine::day_stream` partitions the stored
+//! fault stream exactly like a brute-force `SimTime::day_index` split —
+//! every fault lands in exactly one day, a fault at the exact midnight
+//! boundary lands in the *starting* day and no other, empty days inside
+//! the span are yielded, and concatenating the per-day faults
+//! reproduces the sealed stream byte for byte. Proven against both
+//! database shapes (single sealed file and sharded root) by a property
+//! test over arbitrary fault placements with a deliberate bias toward
+//! exact-midnight timestamps.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+
+use unprotected_computing::analysis::fault::Fault;
+use unprotected_computing::faultdb::format::write_db;
+use unprotected_computing::faultdb::{write_sharded, Engine, WriteOptions};
+use unprotected_computing::faultlog::ingest::{recover_text, IngestStats};
+use unprotected_computing::faultlog::store::ClusterLog;
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("uc-fdb-days-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Seal a database from synthetic per-node log text built from (node
+/// index, second, vaddr) placements. Distinct vaddr pages keep
+/// extraction from folding placements into one independent fault.
+fn snapshot_from_placements(
+    placements: &[(usize, i64, u64)],
+) -> unprotected_computing::faultdb::Snapshot {
+    const NAMES: [&str; 4] = ["01-01", "01-09", "05-03", "09-14"];
+    let mut per_node: BTreeMap<usize, Vec<(i64, u64)>> = BTreeMap::new();
+    for &(n, t, v) in placements {
+        per_node.entry(n % NAMES.len()).or_default().push((t, v));
+    }
+    let mut stats = IngestStats::default();
+    let mut logs = Vec::new();
+    for (n, mut faults) in per_node {
+        let name = NAMES[n];
+        faults.sort_unstable();
+        let mut text = format!("START t=0 node={name} alloc=3221225472 temp=30.0\n");
+        for (t, vaddr) in faults {
+            text.push_str(&format!(
+                "ERROR t={t} node={name} vaddr=0x{vaddr:08x} page=0x{page:06x} \
+                 expected=0xffffffff actual=0xfffffffe temp=33.0\n",
+                page = vaddr >> 12
+            ));
+        }
+        text.push_str(&format!("END t=3000000 node={name} temp=31.0\n"));
+        let rec = recover_text(&text);
+        stats.merge(&rec.stats);
+        logs.push(rec.log);
+    }
+    unprotected_computing::faultdb::Snapshot::from_cluster(&ClusterLog::new(logs), stats)
+}
+
+/// The brute-force oracle: partition by `day_index`, one entry per day
+/// from the first stored day through the last, empties included.
+fn brute_force_days(faults: &[Fault]) -> Vec<(i64, Vec<Fault>)> {
+    let Some(first) = faults.iter().map(|f| f.time.day_index()).min() else {
+        return Vec::new();
+    };
+    let last = faults.iter().map(|f| f.time.day_index()).max().unwrap();
+    (first..=last)
+        .map(|day| {
+            (
+                day,
+                faults
+                    .iter()
+                    .filter(|f| f.time.day_index() == day)
+                    .cloned()
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn check_engine_days(db: &Engine, tag: &str) {
+    let snap = db.snapshot().unwrap();
+    let days = db.collect_days().unwrap();
+    let oracle = brute_force_days(&snap.faults);
+
+    assert_eq!(days.len(), oracle.len(), "{tag}: span mismatch");
+    for (got, (day, want)) in days.iter().zip(&oracle) {
+        assert_eq!(got.day, *day, "{tag}: day ordering diverged");
+        assert_eq!(&got.faults, want, "{tag}: day {day} contents diverged");
+        for f in &got.faults {
+            assert_eq!(
+                f.time.day_index(),
+                *day,
+                "{tag}: fault leaked across the day boundary"
+            );
+        }
+    }
+    // Concatenation reproduces the sealed stream exactly — so every
+    // fault is in exactly one day.
+    let concat: Vec<Fault> = days.into_iter().flat_map(|d| d.faults).collect();
+    assert_eq!(concat, snap.faults, "{tag}: concatenation diverged");
+}
+
+/// A placement strategy biased toward the exact-midnight boundary:
+/// roughly a third of faults land at `day * 86_400` precisely.
+fn placements() -> impl Strategy<Value = Vec<(usize, i64, u64)>> {
+    let second = prop_oneof![
+        // Exact midnight of days 0..=12.
+        (0i64..13).prop_map(|d| d * 86_400),
+        // Last second of a day.
+        (1i64..13).prop_map(|d| d * 86_400 - 1),
+        // Anywhere in the first ~12 days.
+        0i64..1_000_000,
+    ];
+    proptest::collection::vec(
+        (0usize..4, second, 0u64..64).prop_map(|(n, t, k)| {
+            // Distinct pages per (node, slot) so extraction can't merge
+            // two placements into one independent fault.
+            (n, t, 0x1000 * (1 + k) + 0x100_000 * n as u64)
+        }),
+        1..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn day_stream_matches_brute_force_partition(placements in placements()) {
+        let dir = tempdir("prop");
+        let snap = snapshot_from_placements(&placements);
+        prop_assume!(!snap.faults.is_empty());
+
+        // Single sealed file, small blocks so windows cross block edges.
+        let path = dir.join("days.ucfdb");
+        write_db(
+            &snap,
+            &path,
+            &WriteOptions { rows_per_block: 8, ..WriteOptions::default() },
+        )
+        .unwrap();
+        check_engine_days(&Engine::open_auto(&path).unwrap(), "single");
+
+        // Sharded root: the fan-out path must partition identically.
+        let root = dir.join("days-root");
+        write_sharded(&snap, &root, 3, &WriteOptions::default()).unwrap();
+        check_engine_days(&Engine::open_auto(&root).unwrap(), "root");
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+/// The pinned boundary case from the contract: a fault at exactly
+/// midnight belongs to the starting day, its neighbor one second
+/// earlier to the previous day.
+#[test]
+fn midnight_fault_lands_in_exactly_one_day() {
+    let dir = tempdir("midnight");
+    // Two faults per node: the flood filter excludes any node holding
+    // more than half the raw errors, so volumes stay balanced.
+    let snap = snapshot_from_placements(&[
+        (0, 3 * 86_400 - 1, 0x4000),    // last second of day 2
+        (0, 3 * 86_400, 0x8000),        // exactly midnight: day 3
+        (1, 3 * 86_400, 0x200_000),     // another node, same boundary
+        (1, 3 * 86_400 - 1, 0x204_000), // same node, last second of day 2
+    ]);
+    assert_eq!(snap.faults.len(), 4);
+    let path = dir.join("midnight.ucfdb");
+    write_db(&snap, &path, &WriteOptions::default()).unwrap();
+    let db = Engine::open_auto(&path).unwrap();
+
+    assert_eq!(db.day_bounds(), Some((2, 3)));
+    let day2 = db.faults_on_day(2).unwrap();
+    let day3 = db.faults_on_day(3).unwrap();
+    assert_eq!(day2.len(), 2);
+    assert!(day2.iter().all(|f| f.time.as_secs() == 3 * 86_400 - 1));
+    assert_eq!(day3.len(), 2);
+    assert!(day3.iter().all(|f| f.time.as_secs() == 3 * 86_400));
+    // Out-of-span days decode nothing.
+    assert!(db.faults_on_day(1).unwrap().is_empty());
+    assert!(db.faults_on_day(4).unwrap().is_empty());
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Empty days inside the span are yielded (the policy engine charges
+/// daily costs whether or not faults landed).
+#[test]
+fn empty_days_inside_the_span_are_yielded() {
+    let dir = tempdir("gaps");
+    // One fault per node so the flood filter keeps both.
+    let snap = snapshot_from_placements(&[(0, 86_400 + 5, 0x4000), (1, 5 * 86_400 + 5, 0x108_000)]);
+    assert_eq!(snap.faults.len(), 2);
+    let path = dir.join("gaps.ucfdb");
+    write_db(&snap, &path, &WriteOptions::default()).unwrap();
+    let db = Engine::open_auto(&path).unwrap();
+    let days = db.collect_days().unwrap();
+    assert_eq!(
+        days.iter().map(|d| d.day).collect::<Vec<_>>(),
+        vec![1, 2, 3, 4, 5]
+    );
+    assert_eq!(
+        days.iter().map(|d| d.faults.len()).collect::<Vec<_>>(),
+        vec![1, 0, 0, 0, 1]
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
